@@ -1,0 +1,50 @@
+"""Benchmark fixtures: one paper-scale simulation shared by all benches.
+
+Each benchmark regenerates one of the paper's tables/figures from the
+simulated fleet, prints the reproduced rows/series, writes them under
+``results/`` for inspection, and asserts the paper's qualitative shape
+(who wins, rough factors, crossovers) — not absolute numbers, since the
+substrate is a simulator rather than the authors' production estate.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+import repro
+from repro.reporting import AnalysisContext
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def paper_run() -> repro.SimulationResult:
+    """The canonical paper-scale run: 331+290 racks over 910 days."""
+    return repro.simulate(repro.SimulationConfig.paper_scale(seed=0))
+
+
+@pytest.fixture(scope="session")
+def paper_context(paper_run) -> AnalysisContext:
+    """Cached analysis context over the paper-scale run."""
+    return AnalysisContext(paper_run)
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Writer: persist a reproduced artifact under results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive analysis exactly once (no warmup loops)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

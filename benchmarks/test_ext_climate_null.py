@@ -1,0 +1,65 @@
+"""Extension benches: climate-control TCO and the null-factor check."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import MultiFactorModel, TreeParams
+from repro.decisions import ClimateCostParams, climate_tco_curve
+from repro.environment import attach_ahu_telemetry
+
+
+def test_ext_climate_tco(benchmark, paper_context, record):
+    """§VI-Q3's declared follow-up: setpoint choice as a TCO problem."""
+    curve = run_once(
+        benchmark, climate_tco_curve, paper_context.result,
+        table=paper_context.disk_failures,
+    )
+    pricey = climate_tco_curve(
+        paper_context.result, table=paper_context.disk_failures,
+        params=ClimateCostParams(trim_cost_per_rack_degree_day=0.5),
+    )
+    record(
+        "ext_climate_tco",
+        curve.render() + "\n\nwith 250X pricier trim cooling: optimum "
+        f"moves to {pricey.optimal.cap_f:.0f} F",
+    )
+    # Failure cost never decreases as the cap loosens; cooling cost
+    # never increases; the optimum rises with the trim price.
+    failures = [e.failure_cost for e in curve.evaluations]
+    cooling = [e.cooling_cost for e in curve.evaluations]
+    assert all(a <= b + 1e-9 for a, b in zip(failures, failures[1:]))
+    assert all(a >= b - 1e-9 for a, b in zip(cooling, cooling[1:]))
+    assert pricey.optimal.cap_f >= curve.optimal.cap_f
+    # At realistic trim prices the optimum stays at or below the planted
+    # 78 F step — the "how much leeway" answer of Q3.
+    assert curve.optimal.cap_f <= 78.0
+
+
+def test_ext_null_factor(benchmark, paper_context, record):
+    """Pressure/airflow are planted nulls; MF must not flag them."""
+    table = run_once(
+        benchmark, attach_ahu_telemetry,
+        paper_context.all_failures, paper_context.result,
+    )
+    model = MultiFactorModel.from_formula(
+        "failures ~ pressure_pa, airflow_cfm, sku, workload, age_months, "
+        "dc, rated_power_kw",
+        table,
+        params=TreeParams(max_depth=6, min_split=800, min_bucket=300,
+                          cp=5e-4),
+    )
+    importance = model.importance()
+    pressure = table.column("pressure_pa").astype(float)
+    failures = table.column("failures").astype(float)
+    correlation = float(np.corrcoef(pressure, failures)[0, 1])
+    record(
+        "ext_null_factor",
+        f"pressure-failure correlation: {correlation:+.4f}\n"
+        f"MF importance: { {k: round(v, 3) for k, v in importance.items()} }\n"
+        "-> the framework assigns the null factors no influence while "
+        "ranking the real ones",
+    )
+    assert abs(correlation) < 0.02
+    assert importance.get("pressure_pa", 0.0) < 0.05
+    assert importance.get("airflow_cfm", 0.0) < 0.05
+    assert importance.get("sku", 0.0) > 0.3

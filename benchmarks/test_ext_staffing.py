@@ -1,0 +1,46 @@
+"""Extension bench: repair staffing vs spare provisioning coupling."""
+
+import numpy as np
+from conftest import run_once
+
+import repro
+from repro.decisions import AvailabilitySla, SpareProvisioner
+from repro.failures.queueing import apply_technician_queue, staffing_curve
+
+
+def test_ext_staffing(benchmark, paper_run, record):
+    curve = run_once(benchmark, staffing_curve, paper_run,
+                     pool_sizes=(16, 32, 64))
+
+    # Re-provision W6 under an under-provisioned pool vs generous
+    # staffing (at paper scale ~30 hardware tickets/day/DC x ~14 h mean
+    # service needs ~18+ technicians to stay stable).
+    lean = apply_technician_queue(paper_run, 16)
+    generous = apply_technician_queue(paper_run, 64)
+
+    def reprovision(outcome):
+        adjusted = repro.SimulationResult(
+            config=paper_run.config, fleet=paper_run.fleet,
+            calendar=paper_run.calendar, environment=paper_run.environment,
+            bms=paper_run.bms, tickets=outcome.adjusted_log,
+        )
+        provisioner = SpareProvisioner(adjusted, window_hours=24.0)
+        return provisioner.multi_factor("W6", AvailabilitySla(1.0)).overprovision
+
+    lean_spares = reprovision(lean)
+    generous_spares = reprovision(generous)
+    record(
+        "ext_staffing",
+        "mean repair queueing delay by per-DC technician pool:\n"
+        + "\n".join(f"  {size:3d} technicians: {wait:8.2f} h"
+                    for size, wait in curve.items())
+        + f"\n\nW6 MF over-provision @100% SLA: {generous_spares:.1%} with "
+        f"generous staffing vs {lean_spares:.1%} with an under-provisioned\n"
+        "16-technician pool\n"
+        "-> spares and staffing are coupled OpEx/CapEx knobs; sizing one "
+        "assuming the other is infinite under-provisions",
+    )
+    waits = list(curve.values())
+    assert waits == sorted(waits, reverse=True)   # more techs, less waiting
+    assert curve[64] < 1.0                         # generous pool ≈ no queue
+    assert lean_spares >= generous_spares - 1e-9   # queueing can only add μ

@@ -1,0 +1,136 @@
+"""Figs 2-9: the §V-B evidence family — failure rate vs one factor each.
+
+Grouped in one module because they share the rack-day table; each
+figure still gets its own benchmarked test and shape assertions.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.reporting.figures import (
+    fig02_spatial,
+    fig03_day_of_week,
+    fig04_month,
+    fig05_humidity,
+    fig06_workload,
+    fig07_sku,
+    fig08_power,
+    fig09_age,
+)
+
+
+def test_fig02_spatial(benchmark, paper_context, record):
+    figure = run_once(benchmark, fig02_spatial, paper_context)
+    record("fig02_spatial", figure.render())
+
+    means = dict(zip(figure.labels, figure.values("mean")))
+    dc1 = [v for k, v in means.items() if k.startswith("DC1")]
+    dc2 = [v for k, v in means.items() if k.startswith("DC2")]
+    # "In general, regions of DC1 shows higher failure rate than DC2."
+    assert np.mean(dc1) > 1.15 * np.mean(dc2)
+    # Intra-DC variation exists.
+    assert max(dc1) > 1.3 * min(dc1)
+
+
+def test_fig03_day_of_week(benchmark, paper_context, record):
+    figure = run_once(benchmark, fig03_day_of_week, paper_context)
+    record("fig03_day_of_week", figure.render())
+
+    means = dict(zip(figure.labels, figure.values("mean")))
+    weekday = np.mean([means[d] for d in ("Mon", "Tue", "Wed", "Thu", "Fri")])
+    weekend = np.mean([means[d] for d in ("Sat", "Sun")])
+    # "Mean failure rate is high on weekdays."
+    assert weekday > 1.1 * weekend
+    assert min(means, key=means.get) in ("Sat", "Sun")
+    # The paper plots 2012 and 2013 as separate, concordant series.
+    for name in figure.series:
+        if name.startswith("year"):
+            values = figure.values(name)
+            year_weekday = np.nanmean(values[1:6])
+            year_weekend = np.nanmean(values[[0, 6]])
+            assert year_weekday > year_weekend
+
+
+def test_fig04_month(benchmark, paper_context, record):
+    figure = run_once(benchmark, fig04_month, paper_context)
+    record("fig04_month", figure.render())
+
+    means = dict(zip(figure.labels, figure.values("mean")))
+    first_half = np.mean([means[m] for m in ("Jan", "Feb", "Mar", "Apr", "May")])
+    second_half = np.mean([means[m] for m in ("Jul", "Aug", "Sep", "Oct")])
+    # "An increase in failures in the second half of the year."
+    assert second_half > first_half
+    # Whole observation years show the same H2 bump independently.
+    label_index = {label: i for i, label in enumerate(figure.labels)}
+    for name in figure.series:
+        if not name.startswith("year"):
+            continue
+        values = figure.values(name)
+        h1 = np.nanmean([values[label_index[m]]
+                         for m in ("Feb", "Mar", "Apr", "May")])
+        h2 = np.nanmean([values[label_index[m]]
+                         for m in ("Jul", "Aug", "Sep", "Oct")])
+        if np.isfinite(h1) and np.isfinite(h2):
+            assert h2 > 0.9 * h1  # concordant within noise
+
+
+def test_fig05_humidity(benchmark, paper_context, record):
+    figure = run_once(benchmark, fig05_humidity, paper_context)
+    record("fig05_humidity", figure.render())
+
+    means = figure.values("mean")
+    counts = figure.values("count")
+    populated = counts > 500
+    # "Notable variation in failure rates for lower humidity points":
+    # the driest populated bin clearly exceeds the mid-range bins.
+    dry = means[0] if populated[0] else means[1]
+    mid = np.nanmean(means[3:5])
+    assert dry > 1.15 * mid
+
+
+def test_fig06_workload(benchmark, paper_context, record):
+    figure = run_once(benchmark, fig06_workload, paper_context)
+    record("fig06_workload", figure.render())
+
+    means = dict(zip(figure.labels, figure.values("mean")))
+    # W2 (compute) highest; HPC among the calmest; storage-data below
+    # storage-compute.
+    assert means["W2"] == max(means.values())
+    assert means["W3"] <= 1.25 * min(means.values())
+    assert means["W5"] < means["W4"]
+    assert means["W6"] < means["W7"]
+
+
+def test_fig07_sku(benchmark, paper_context, record):
+    figure = run_once(benchmark, fig07_sku, paper_context)
+    record("fig07_sku", figure.render())
+
+    means = dict(zip(figure.labels, figure.values("mean")))
+    sds = dict(zip(figure.labels, figure.values("sd")))
+    # "Marked differences in mean and sd of failure rates for SKUs."
+    assert means["S2"] == max(means.values())
+    assert max(means.values()) > 2.0 * min(means.values())
+    assert sds["S2"] > sds["S4"]
+
+
+def test_fig08_power(benchmark, paper_context, record):
+    figure = run_once(benchmark, fig08_power, paper_context)
+    record("fig08_power", figure.render())
+
+    levels = np.array([float(label) for label in figure.labels])
+    means = figure.values("mean")
+    high = means[levels > 12.0].mean()
+    low = means[levels <= 9.0].mean()
+    # "Racks with higher power ratings (>12KW) report higher rates."
+    assert high > 1.2 * low
+
+
+def test_fig09_age(benchmark, paper_context, record):
+    figure = run_once(benchmark, fig09_age, paper_context)
+    record("fig09_age", figure.render())
+
+    means = figure.values("mean")
+    # "New equipment tends to have higher failures" — the young edge of
+    # the bathtub; no wear-out tail is visible within 2.5 years.
+    assert means[0] == np.nanmax(means)
+    assert means[0] > 1.5 * np.nanmin(means[:8])

@@ -1,0 +1,29 @@
+"""Fig 10: over-provisioning requirement, LB/MF/SF × 3 SLAs, daily."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.reporting.figures import fig10_overprovision
+
+
+def test_fig10_overprovision_daily(benchmark, paper_context, record):
+    figure = run_once(benchmark, fig10_overprovision, paper_context, 24.0)
+    record("fig10_overprovision_daily", figure.render())
+
+    lb = dict(zip(figure.labels, figure.values("LB")))
+    mf = dict(zip(figure.labels, figure.values("MF")))
+    sf = dict(zip(figure.labels, figure.values("SF")))
+
+    for label in figure.labels:
+        # LB <= MF <= SF at every SLA/workload (Fig 10's bar ordering).
+        assert lb[label] <= mf[label] + 1e-6
+        assert mf[label] <= sf[label] + 1e-6
+
+    # "Less than half the over-provisioned capacity [of SF] for the SLA
+    # of 100% availability ... very close to the lower bound" (W1).
+    assert mf["W1@100%"] < 0.7 * sf["W1@100%"]
+    assert mf["W6@100%"] < 0.8 * sf["W6@100%"]
+
+    # "The spare capacity estimated by the SF for the compute workload is
+    # nearly half that of the storage workload."
+    assert sf["W1@100%"] < 0.5 * sf["W6@100%"]

@@ -1,0 +1,79 @@
+"""Figs 16-18: temperature/RH vs failures — Q3's SF and MF views."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.decisions import discover_climate_thresholds
+from repro.reporting.figures import (
+    fig16_temperature_all,
+    fig17_temperature_disk,
+    fig18_climate_mf,
+)
+
+
+def test_fig16_temp_all(benchmark, paper_context, record):
+    figure = run_once(benchmark, fig16_temperature_all, paper_context)
+    record("fig16_temp_all", figure.render())
+
+    means = figure.values("mean")
+    sds = figure.values("sd")
+    finite = np.isfinite(means)
+    # "Less variation in the mean of the failure rates among different
+    # groups identified by temperature range, but there is a high
+    # variation within each group."
+    between = means[finite].max() - means[finite].min()
+    within = np.nanmean(sds)
+    assert within > 1.5 * between
+
+
+def test_fig17_temp_disk(benchmark, paper_context, record):
+    figure = run_once(benchmark, fig17_temperature_disk, paper_context)
+    record("fig17_temp_disk", figure.render())
+
+    means = figure.values("mean")
+    # "A clear trend in hard disk failure rate with increase in
+    # operating temperature": hottest bin worst, well above the coolest.
+    assert np.nanargmax(means) == len(means) - 1
+    assert means[-1] > 1.5 * means[0]
+    assert means[-1] > means[-2]
+
+
+def test_fig18_temp_rh_mf(benchmark, paper_context, record):
+    figure = run_once(benchmark, fig18_climate_mf, paper_context)
+    record("fig18_temp_rh_mf", figure.render())
+
+    rates = dict(zip(figure.labels, figure.values("rate")))
+    # DC1: operating above 78 F raises HDD failures (paper: +50%), and
+    # hot-AND-dry is worse still (paper: +25% more).
+    assert rates["DC1:T>=78.8F"] > 1.3 * rates["DC1:T<=78F"]
+    assert rates["DC1:T>=78.8+RH<=25.5"] > 1.1 * rates["DC1:T>=78.8F"]
+    assert rates["DC1:T>=78.8+RH<=25.5"] == 1.0  # the normalization anchor
+    # DC2 "seems relatively unaffected with temperature and RH
+    # variations" — flat (or missing) hot-group rates.
+    dc2_hot = rates["DC2:T>=78.8F"]
+    if np.isfinite(dc2_hot):
+        assert dc2_hot < 1.4 * rates["DC2:T<=78F"]
+    assert not np.isfinite(rates["DC2:T>=78.8+RH<=25.5"])  # regime unreachable
+
+
+def test_fig18_threshold_discovery(benchmark, paper_context, record):
+    """The MF tree *finds* 78 F / 25% RH rather than assuming them."""
+    found_dc1 = run_once(
+        benchmark, discover_climate_thresholds,
+        paper_context.result, "DC1", table=paper_context.disk_failures,
+    )
+    found_dc2 = discover_climate_thresholds(
+        paper_context.result, "DC2", table=paper_context.disk_failures,
+    )
+    record(
+        "fig18_thresholds",
+        f"DC1: T* = {found_dc1.temp_threshold_f} (paper: 78/78.8), "
+        f"RH* = {found_dc1.rh_threshold} (paper: 25.5), "
+        f"gain share = {found_dc1.temp_gain_share:.4f}\n"
+        f"DC2: T* = {found_dc2.temp_threshold_f} (paper: no split)",
+    )
+    assert found_dc1.temp_threshold_f is not None
+    assert abs(found_dc1.temp_threshold_f - 78.0) < 5.0
+    if found_dc1.rh_threshold is not None:
+        assert found_dc1.rh_threshold < 33.0
+    assert found_dc2.temp_threshold_f is None

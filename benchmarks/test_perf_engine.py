@@ -1,0 +1,72 @@
+"""Performance benches: the substrate itself is fast enough to iterate on.
+
+These are honest timing benchmarks (multiple rounds) of the hot paths,
+so pytest-benchmark's statistics are meaningful here.
+"""
+
+import pytest
+
+import repro
+from repro.failures.tickets import HARDWARE_FAULTS
+from repro.telemetry import build_rack_day_table, lambda_matrix, mu_matrix
+
+
+def test_perf_simulation_quarter_scale(benchmark):
+    """Simulating a quarter-scale fleet for one year."""
+    config = repro.SimulationConfig.small(seed=50, scale=0.25, n_days=365)
+    result = benchmark.pedantic(
+        repro.simulate, args=(config,), rounds=3, iterations=1,
+    )
+    assert len(result.tickets) > 1000
+
+
+@pytest.fixture(scope="module")
+def perf_run():
+    return repro.simulate(
+        repro.SimulationConfig.small(seed=50, scale=0.25, n_days=365)
+    )
+
+
+def test_perf_rack_day_table(benchmark, perf_run):
+    """Building the full analysis table."""
+    table = benchmark.pedantic(
+        build_rack_day_table, args=(perf_run,),
+        kwargs={"include_mu": True}, rounds=3, iterations=1,
+    )
+    assert table.n_rows > 10_000
+
+
+def test_perf_mu_hourly(benchmark, perf_run):
+    """Hourly μ over the whole run (the heaviest window computation)."""
+    mu = benchmark.pedantic(
+        mu_matrix, args=(perf_run, 1.0), rounds=3, iterations=1,
+    )
+    assert mu.shape[1] == perf_run.n_days * 24
+
+
+def test_perf_lambda(benchmark, perf_run):
+    counts = benchmark.pedantic(
+        lambda_matrix, args=(perf_run, list(HARDWARE_FAULTS)),
+        rounds=5, iterations=1,
+    )
+    assert counts.sum() > 0
+
+
+def test_perf_cart_fit(benchmark, perf_run):
+    """Fitting the Q2 CART on ~30k rack-days."""
+    from repro.analysis import MultiFactorModel, TreeParams
+    from repro.decisions.sku_ranking import MF_FORMULA
+
+    table = build_rack_day_table(
+        perf_run, faults=list(HARDWARE_FAULTS), include_mu=True,
+    )
+
+    def fit():
+        return MultiFactorModel.from_formula(
+            MF_FORMULA, table,
+            params=TreeParams(max_depth=7, min_split=200, min_bucket=80,
+                              cp=3e-4),
+        )
+
+    model = benchmark.pedantic(fit, rounds=3, iterations=1)
+    assert model.tree.n_leaves >= 2

@@ -1,0 +1,31 @@
+"""§VI-Q2 TCO scenarios: S4-vs-S2 procurement at 1X and 1.5X prices."""
+
+from conftest import run_once
+
+from repro.decisions import procurement_scenarios
+from repro.reporting.figures import fig14_fig15_sku
+
+
+def test_q2_tco_scenarios(benchmark, paper_context, record):
+    comparison = fig14_fig15_sku(paper_context)
+    scenarios = run_once(benchmark, procurement_scenarios, comparison)
+
+    lines = []
+    for scenario in scenarios:
+        lines.append(
+            f"price(S4) = {scenario.price_ratio}X price(S2): "
+            f"SF savings {scenario.sf_savings * 100:+.1f}%  "
+            f"MF savings {scenario.mf_savings * 100:+.1f}%"
+        )
+    lines.append("paper: 1.0X -> both > 21%, diff 3.9pp; "
+                 "1.5X -> SF +2.3%, MF -3.2%")
+    record("q2_tco_scenarios", "\n".join(lines))
+
+    equal, premium = scenarios
+    # Equal prices: both approaches favour S4 and agree in sign.
+    assert equal.sf_savings > 0.10
+    assert equal.mf_savings > 0.05
+    # 1.5X premium: SF still (mistakenly) endorses the premium while MF
+    # flags it as not cost-effective — the paper's reversal.
+    assert premium.sf_savings > premium.mf_savings + 0.03
+    assert premium.mf_savings < 0.02

@@ -1,0 +1,31 @@
+"""Robustness sweep: headline conclusions hold across seeds."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.reporting.sweeps import render_sweep, run_sweep
+
+
+def test_robustness_sweep(benchmark, record):
+    seeds = [11, 22, 33]
+    summaries = run_once(benchmark, run_sweep, seeds, scale=0.3, n_days=540)
+    record("robustness_sweep", render_sweep(summaries, seeds))
+
+    by_name = {summary.name: summary for summary in summaries}
+    sf = by_name["Q2 SF S2/S4 average-rate ratio"]
+    mf = by_name["Q2 MF S2/S4 average-rate ratio"]
+    # Every seed: SF inflated well above the intrinsic 4X, MF closer.
+    assert np.all(sf.values > 6.0)
+    assert mf.mean < sf.mean - 1.5
+    assert np.all(np.abs(mf.values - 4.0) < np.abs(sf.values - 4.0))
+
+    sf_spares = by_name["Q1 SF over-provision W6@100% (%)"]
+    mf_spares = by_name["Q1 MF over-provision W6@100% (%)"]
+    assert np.all(mf_spares.values < sf_spares.values)
+
+    threshold = by_name["Q3 DC1 temperature split (F)"]
+    assert threshold.n_computable == len(seeds)
+    assert np.all(np.abs(threshold.values - 78.0) < 6.0)
+
+    hot_cool = by_name["Q3 DC1 hot/cool disk-rate ratio"]
+    assert np.all(hot_cool.values > 1.3)

@@ -1,0 +1,23 @@
+"""Table I: DC properties (packaging / availability / cooling)."""
+
+from conftest import run_once
+
+from repro.datacenter.topology import CoolingKind, PackagingKind
+from repro.reporting import table_i
+
+
+def test_table1_dc_properties(benchmark, paper_run, record):
+    text = run_once(benchmark, table_i, paper_run)
+    record("table1_dc_properties", text)
+
+    dc1, dc2 = paper_run.fleet.datacenters
+    assert dc1.spec.packaging is PackagingKind.CONTAINER
+    assert dc1.spec.availability_nines == 3
+    assert dc1.spec.cooling is CoolingKind.ADIABATIC
+    assert dc2.spec.packaging is PackagingKind.COLOCATED
+    assert dc2.spec.availability_nines == 5
+    assert dc2.spec.cooling is CoolingKind.CHILLED_WATER
+    # Paper scale: 331 + 290 racks, tens of thousands of servers.
+    assert dc1.n_racks == 331
+    assert dc2.n_racks == 290
+    assert paper_run.fleet.n_servers > 15_000

@@ -1,0 +1,35 @@
+"""Table II: classification of failure tickets, measured vs paper."""
+
+from conftest import run_once
+
+from repro.failures.tickets import FaultType
+from repro.reporting import table_ii, ticket_mix
+
+
+def test_table2_ticket_mix(benchmark, paper_run, record):
+    mix = run_once(benchmark, ticket_mix, paper_run)
+    record("table2_ticket_mix", table_ii(paper_run))
+
+    for dc in ("DC1", "DC2"):
+        # Category bands reported in §IV.
+        assert 38.0 < mix.category_share(dc, "Software") < 60.0
+        assert 8.0 < mix.category_share(dc, "Boot") < 18.0
+        assert 18.0 < mix.category_share(dc, "Hardware") < 36.0
+        assert 5.0 < mix.category_share(dc, "Others") < 15.0
+        # Timeout is the single leading type; disk leads hardware.
+        percentages = mix.percentages[dc]
+        assert max(percentages, key=percentages.get) is FaultType.TIMEOUT
+        hardware = {fault: percentages[fault] for fault in (
+            FaultType.DISK, FaultType.MEMORY, FaultType.POWER,
+            FaultType.SERVER, FaultType.NETWORK,
+        )}
+        assert max(hardware, key=hardware.get) is FaultType.DISK
+
+    dc1, dc2 = mix.percentages["DC1"], mix.percentages["DC2"]
+    # Table II's DC contrasts.
+    assert dc1[FaultType.DISK] > dc2[FaultType.DISK]
+    assert dc1[FaultType.MEMORY] > dc2[FaultType.MEMORY]
+    assert dc1[FaultType.NETWORK] > 2.0 * dc2[FaultType.NETWORK]
+    assert dc1[FaultType.REBOOT] > 2.0 * dc2[FaultType.REBOOT]
+    assert dc2[FaultType.POWER] > dc1[FaultType.POWER]
+    assert dc2[FaultType.TIMEOUT] > dc1[FaultType.TIMEOUT]

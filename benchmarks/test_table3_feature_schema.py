@@ -1,0 +1,37 @@
+"""Table III: candidate features, types and observed ranges."""
+
+from conftest import run_once
+
+from repro.reporting import table_iii
+from repro.telemetry import FeatureKind, fleet_schema
+
+
+def test_table3_feature_schema(benchmark, paper_run, paper_context, record):
+    text = run_once(benchmark, table_iii, paper_run)
+    record("table3_feature_schema", text)
+
+    schema = fleet_schema(paper_run)
+    kinds = {feature.name: feature.kind for feature in schema}
+    # Table III's type assignments.
+    assert kinds["sku"] is FeatureKind.NOMINAL
+    assert kinds["workload"] is FeatureKind.NOMINAL
+    assert kinds["dc"] is FeatureKind.NOMINAL
+    assert kinds["age_months"] is FeatureKind.CONTINUOUS
+    assert kinds["rated_power_kw"] is FeatureKind.CONTINUOUS
+    assert kinds["temp_f"] is FeatureKind.CONTINUOUS
+    assert kinds["rh"] is FeatureKind.CONTINUOUS
+    assert kinds["day_of_week"] is FeatureKind.ORDINAL
+    assert kinds["month"] is FeatureKind.ORDINAL
+
+    table = paper_context.all_failures
+    # Table III's observed ranges: T 56-90 F, RH 5-87%, age 0-5 years,
+    # power 4-15 kW.
+    temp = table.column("temp_f")
+    rh = table.column("rh")
+    assert 50.0 < temp.min() < 66.0
+    assert 78.0 < temp.max() < 98.0
+    assert rh.min() < 12.0
+    assert rh.max() > 60.0
+    assert table.column("age_months").max() > 48.0
+    rated = table.column("rated_power_kw")
+    assert rated.min() >= 4.0 and rated.max() <= 15.0

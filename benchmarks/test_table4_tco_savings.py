@@ -1,0 +1,36 @@
+"""Table IV: relative TCO savings of MF over SF provisioning."""
+
+from conftest import run_once
+
+from repro.reporting import table_iv
+from repro.reporting.tables import table_iv_savings
+
+
+def test_table4_tco_savings(benchmark, paper_context, record):
+    cells = run_once(benchmark, table_iv_savings, paper_context)
+    record("table4_tco_savings", table_iv(paper_context))
+
+    by_key = {(c.sla_level, c.granularity, c.workload): c for c in cells}
+    # MF saves over SF in every configuration.
+    for cell in cells:
+        assert cell.savings_percent > 0.0, (cell.granularity, cell.workload)
+        assert cell.mf_fraction <= cell.sf_fraction
+
+    # The storage workload's spare requirement — and hence the capacity
+    # MF releases — dwarfs the compute workload's (the paper's Table IV
+    # peaks at 35.7% for W6 vs 14.6% for W1 at the 100% daily SLA).
+    # Relative-savings *percentages* can order either way (even the
+    # paper's hourly 90/95% rows have W1 above W6), so the ordering is
+    # asserted on the released capacity fractions.
+    for granularity in ("daily", "hourly"):
+        for level in (0.90, 0.95, 1.00):
+            w1 = by_key[(level, granularity, "W1")]
+            w6 = by_key[(level, granularity, "W6")]
+            assert w6.sf_fraction > 2.0 * w1.sf_fraction
+            released_w6 = w6.sf_fraction - w6.mf_fraction
+            released_w1 = w1.sf_fraction - w1.mf_fraction
+            assert released_w6 > released_w1
+
+    # Savings are material at the strict SLA (paper: 14.6-36.4%).
+    assert by_key[(1.00, "daily", "W6")].savings_percent > 8.0
+    assert by_key[(1.00, "daily", "W1")].savings_percent > 3.0

@@ -1,0 +1,80 @@
+"""Q3 walkthrough: how much can we relax temperature/humidity control?
+
+Reproduces §VI-Q3: the flat single-factor view of temperature vs all
+failures (Fig 16), the disk-failure trend (Fig 17), and the MF
+classification that finds per-DC operating envelopes (Fig 18) — with
+the split thresholds *discovered* by the CART rather than assumed.
+
+Usage::
+
+    python examples/climate_control.py [--paper-scale]
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.decisions import climate_group_rates, discover_climate_thresholds
+from repro.reporting import AnalysisContext
+from repro.reporting.figures import (
+    fig16_temperature_all,
+    fig17_temperature_disk,
+    fig18_climate_mf,
+)
+
+
+def main(paper_scale: bool = False) -> None:
+    if paper_scale:
+        config = repro.SimulationConfig.paper_scale(seed=0)
+    else:
+        config = repro.SimulationConfig.small(seed=2, scale=0.3, n_days=540)
+    result = repro.simulate(config)
+    print(result.summary(), "\n")
+    context = AnalysisContext(result)
+
+    print(fig16_temperature_all(context).render(), "\n")
+    print(fig17_temperature_disk(context).render(), "\n")
+    print(fig18_climate_mf(context).render(), "\n")
+
+    print("Thresholds the MF tree discovers (paper: 78 F, 25.5% RH):")
+    for dc in ("DC1", "DC2"):
+        found = discover_climate_thresholds(
+            result, dc, table=context.disk_failures,
+        )
+        if found.temp_threshold_f is None:
+            print(f"  {dc}: no significant environmental split "
+                  f"(gain share {found.temp_gain_share:.4f}) — its plant "
+                  "never exposes the drives to the harmful regime")
+            continue
+        rh_text = (f", RH sub-split at {found.rh_threshold:.1f}%"
+                   if found.rh_threshold is not None else "")
+        print(f"  {dc}: temperature split at {found.temp_threshold_f:.1f} F"
+              f"{rh_text} (gain share {found.temp_gain_share:.4f})")
+
+    print("\nExtension (§VI-Q3's follow-up): setpoint choice as TCO.")
+    from repro.decisions import ClimateCostParams, climate_tco_curve
+
+    tco_curve = climate_tco_curve(result, table=context.disk_failures)
+    print(tco_curve.render())
+    pricey = climate_tco_curve(
+        result, table=context.disk_failures,
+        params=ClimateCostParams(trim_cost_per_rack_degree_day=0.5),
+    )
+    print(f"(with far pricier trim cooling the optimum rises to "
+          f"{pricey.optimal.cap_f:.0f} F — run hotter, absorb the failures)")
+
+    print("\nOperator guidance derived from the MF view:")
+    group = climate_group_rates(result, "DC1", table=context.disk_failures)
+    hot_penalty = group.hot / group.cool
+    dry_penalty = group.hot_dry / group.hot if np.isfinite(group.hot_dry) else float("nan")
+    print(f"  DC1 may run up to ~78 F without penalty; above it disk failure")
+    print(f"  rates rise {hot_penalty - 1:.0%}, and letting RH drop below ~25%")
+    print(f"  at those temperatures costs another {dry_penalty - 1:.0%}.")
+    print("  DC2's envelope is not binding: its containment decouples drive")
+    print("  temperature from room excursions, so chasing tighter setpoints")
+    print("  there buys no reliability.")
+
+
+if __name__ == "__main__":
+    main("--paper-scale" in sys.argv[1:])

@@ -1,0 +1,84 @@
+"""Ground-truth audit: does the MF framework recover what we planted?
+
+This is the one study the paper could not run: its authors never knew
+the true generative process behind their production data.  Our
+substrate is a simulator, so we can compare every MF conclusion against
+the hazard model that actually produced the tickets.
+
+Usage::
+
+    python examples/ground_truth_audit.py [--paper-scale]
+"""
+
+import sys
+
+import repro
+from repro.datacenter.sku import default_catalog
+from repro.decisions import compare_skus, discover_climate_thresholds
+from repro.failures import hazards
+from repro.reporting import AnalysisContext
+
+
+def check(name: str, recovered: float, truth: float, tolerance: float) -> None:
+    gap = abs(recovered - truth)
+    verdict = "OK " if gap <= tolerance else "OFF"
+    print(f"  [{verdict}] {name:42s} recovered {recovered:7.2f} "
+          f"truth {truth:7.2f} (tol {tolerance:g})")
+
+
+def main(paper_scale: bool = False) -> None:
+    if paper_scale:
+        config = repro.SimulationConfig.paper_scale(seed=0)
+    else:
+        config = repro.SimulationConfig.small(seed=2, scale=0.3, n_days=540)
+    result = repro.simulate(config)
+    print(result.summary(), "\n")
+    context = AnalysisContext(result)
+    catalog = default_catalog()
+
+    print("Q2 — SKU intrinsic hazards (confounded in the raw data):")
+    comparison = compare_skus(result, table=context.hardware_failures)
+    truth_ratio = (catalog.get("S2").intrinsic_hazard
+                   / catalog.get("S4").intrinsic_hazard)
+    check("S2/S4 intrinsic ratio via MF", comparison.mf_ratio("S2", "S4"),
+          truth_ratio, tolerance=2.0)
+    sf_ratio = comparison.sf_ratio("S2", "S4")
+    print(f"        (SF's confounded estimate was {sf_ratio:.2f} — "
+          f"{sf_ratio / truth_ratio:.1f}X the truth)\n")
+
+    print("Q3 — environmental thresholds planted in the disk hazard:")
+    found = discover_climate_thresholds(result, "DC1",
+                                        table=context.disk_failures)
+    if found.temp_threshold_f is not None:
+        check("DC1 temperature step location (F)", found.temp_threshold_f,
+              78.0, tolerance=5.0)
+    else:
+        print("  [OFF] DC1 temperature step not found")
+    if found.rh_threshold is not None:
+        check("DC1 RH gate location (%)", found.rh_threshold, 25.0,
+              tolerance=10.0)
+    found_dc2 = discover_climate_thresholds(result, "DC2",
+                                            table=context.disk_failures)
+    status = "OK " if found_dc2.temp_threshold_f is None else "OFF"
+    print(f"  [{status}] DC2 correctly shows no thermal response "
+          f"(coupling suppressed by containment)\n")
+
+    print("Hazard-shape spot checks against the planted curves:")
+    import numpy as np
+
+    step = (hazards.thermal_disk_multiplier(np.array([84.0]))[0]
+            - hazards.thermal_disk_multiplier(np.array([72.0]))[0])
+    print(f"  planted thermal step (72->84 F): +{step:.2f} "
+          "(the paper reports a 50% increase above 78 F)")
+    interaction = hazards.humidity_interaction_multiplier(
+        np.array([85.0]), np.array([15.0])
+    )[0]
+    print(f"  planted hot-and-dry interaction: x{interaction:.2f} "
+          "(the paper reports +25% below 25% RH)")
+    bathtub = hazards.bathtub_age_multiplier(np.array([0.0, 24.0]))
+    print(f"  planted infant-mortality edge: {bathtub[0] / bathtub[1]:.1f}X "
+          "the mature rate (Fig 9's 'new equipment fails more')")
+
+
+if __name__ == "__main__":
+    main("--paper-scale" in sys.argv[1:])

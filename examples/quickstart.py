@@ -1,0 +1,51 @@
+"""Quickstart: simulate a small fleet and run a first multi-factor analysis.
+
+Runs in a few seconds.  Usage::
+
+    python examples/quickstart.py [seed]
+"""
+
+import sys
+
+import repro
+from repro.reporting import AnalysisContext, table_i, table_ii
+
+
+def main(seed: int = 1) -> None:
+    # 1. Simulate six months of a ~12%-scale two-DC fleet.
+    config = repro.SimulationConfig.small(seed=seed, scale=0.12, n_days=180)
+    result = repro.simulate(config)
+    print(result.summary())
+    print()
+
+    # 2. The facility properties and the RMA ticket mix (Tables I-II).
+    print(table_i(result))
+    print()
+    print(table_ii(result))
+    print()
+
+    # 3. Build the rack-day analysis table and fit a multi-factor CART.
+    table = repro.build_rack_day_table(result)
+    model = repro.MultiFactorModel.from_formula(
+        "failures ~ workload, sku, dc, age_months, rated_power_kw, temp_f, rh",
+        table,
+        params=repro.TreeParams(max_depth=4, min_split=500, min_bucket=200,
+                                cp=2e-3),
+    )
+    print("Fitted CART over the Table III features:")
+    print(model.render(max_depth=3))
+    print()
+    print("Relative factor importance:")
+    for name, share in model.importance().items():
+        print(f"  {name:16s} {share:6.1%}")
+
+    # 4. One single-factor view for comparison (Fig 6's workload bars).
+    context = AnalysisContext(result)
+    from repro.reporting.figures import fig06_workload
+
+    print()
+    print(fig06_workload(context).render())
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1)

@@ -1,0 +1,67 @@
+"""Q1 walkthrough: how many spares does each workload need?
+
+Reproduces the paper's §VI-Q1 study — server-level spares (Fig 10/12),
+MF rack clusters (Fig 11), component-level spares (Fig 13) and the TCO
+savings of MF over SF (Table IV) — on a freshly simulated fleet.
+
+Usage::
+
+    python examples/spare_provisioning.py [--paper-scale]
+"""
+
+import sys
+
+import repro
+from repro.decisions import AvailabilitySla
+from repro.reporting import AnalysisContext, table_iv
+from repro.reporting.figures import (
+    fig10_overprovision,
+    fig11_cluster_cdfs,
+    fig13_component_spares,
+)
+
+
+def main(paper_scale: bool = False) -> None:
+    if paper_scale:
+        config = repro.SimulationConfig.paper_scale(seed=0)
+    else:
+        config = repro.SimulationConfig.small(seed=2, scale=0.3, n_days=540)
+    result = repro.simulate(config)
+    print(result.summary(), "\n")
+    context = AnalysisContext(result)
+
+    # -- Q1-A: server spares at daily and hourly granularity ------------
+    print(fig10_overprovision(context, 24.0).render(), "\n")
+    print(fig10_overprovision(context, 1.0).render(), "\n")
+
+    # -- The clusters behind MF's advantage (Fig 11) ---------------------
+    provisioner = context.provisioner(24.0)
+    for workload in ("W1", "W6"):
+        plan = provisioner.multi_factor(workload, AvailabilitySla(1.0))
+        assert plan.clusters is not None
+        print(f"{workload}: {len(plan.clusters)} MF clusters "
+              f"(overall over-provision {plan.overprovision:.1%})")
+        for cluster in sorted(plan.clusters, key=lambda c: c.fraction):
+            print(f"  {cluster.fraction:6.1%}  n={cluster.n_racks:3d}  "
+                  f"{cluster.description}")
+        cdfs = fig11_cluster_cdfs(context, workload)
+        print(f"  (pooled SF sample: n={len(cdfs['SF'])}, "
+              f"max={cdfs['SF'].max():.1f}%)\n")
+
+    # -- Q1-B: component-level vs server-level spares (Fig 13) -----------
+    print(fig13_component_spares(context).render(), "\n")
+
+    # -- Table IV: what MF saves in TCO terms ----------------------------
+    print(table_iv(context))
+
+    # -- Extension (§II's open question): shared vs dedicated pools -------
+    from repro.decisions import pooling_analysis
+
+    print()
+    for dc in ("DC1", "DC2"):
+        print(pooling_analysis(result, dc, AvailabilitySla(1.0)).render())
+        print()
+
+
+if __name__ == "__main__":
+    main("--paper-scale" in sys.argv[1:])

@@ -1,0 +1,17 @@
+"""Legacy setup shim so `pip install -e .` works without the `wheel`
+package (this environment has an older setuptools and no network)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Multi-factor datacenter reliability analysis — reproduction of "
+        "'Rain or Shine? Making Sense of Cloudy Reliability Data' (ICDCS 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,88 @@
+"""repro — reproduction of "Rain or Shine? Making Sense of Cloudy
+Reliability Data" (ICDCS 2017).
+
+A synthetic datacenter-fleet simulator (topology, environment, RMA
+ticket generation) plus the paper's multi-factor analysis framework
+(CART, partial dependence) and its three decision studies: spare
+provisioning (Q1), SKU/vendor ranking (Q2) and environmental operating
+ranges (Q3).
+
+Quickstart::
+
+    import repro
+
+    result = repro.simulate(repro.SimulationConfig.small(seed=1))
+    print(result.summary())
+"""
+
+from .analysis import (
+    FailurePredictor,
+    MultiFactorModel,
+    RegressionTree,
+    SingleFactorModel,
+    TreeParams,
+    parse_formula,
+    partial_dependence,
+    render_tree,
+)
+from .config import PAPER_OBSERVATION_DAYS, SimulationConfig
+from .decisions import (
+    AvailabilitySla,
+    ComponentProvisioner,
+    SpareProvisioner,
+    TcoModel,
+    compare_skus,
+    procurement_scenarios,
+)
+from .errors import (
+    ConfigError,
+    DataError,
+    FitError,
+    FormulaError,
+    ReproError,
+    SchemaError,
+    SimulationError,
+)
+from .failures.engine import SimulationResult, simulate
+from .reporting import AnalysisContext, EXPERIMENTS, get_experiment
+from .rng import RngRegistry
+from .telemetry import Table, build_rack_day_table, lambda_matrix, mu_matrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EXPERIMENTS",
+    "PAPER_OBSERVATION_DAYS",
+    "AnalysisContext",
+    "AvailabilitySla",
+    "ComponentProvisioner",
+    "ConfigError",
+    "DataError",
+    "FailurePredictor",
+    "FitError",
+    "FormulaError",
+    "MultiFactorModel",
+    "RegressionTree",
+    "ReproError",
+    "RngRegistry",
+    "SchemaError",
+    "SimulationConfig",
+    "SimulationError",
+    "SimulationResult",
+    "SingleFactorModel",
+    "SpareProvisioner",
+    "Table",
+    "TcoModel",
+    "TreeParams",
+    "build_rack_day_table",
+    "compare_skus",
+    "get_experiment",
+    "lambda_matrix",
+    "mu_matrix",
+    "parse_formula",
+    "partial_dependence",
+    "procurement_scenarios",
+    "render_tree",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,56 @@
+"""Textual rendering of fitted trees (rpart-style print)."""
+
+from __future__ import annotations
+
+from ...errors import FitError
+from ...telemetry.schema import Schema
+from .tree import Node, RegressionTree
+
+
+def render_tree(tree: RegressionTree, max_depth: int | None = None) -> str:
+    """Indented text rendering of a fitted tree.
+
+    Each line shows the branch condition taken to reach the node, the
+    node's row count and its mean response; leaves are starred, as in
+    rpart's ``print.rpart``.
+    """
+    if tree.root is None or tree.schema is None:
+        raise FitError("cannot render an unfitted tree")
+    lines: list[str] = []
+    _render_node(tree.root, tree.schema, "root", 0, max_depth, lines)
+    return "\n".join(lines)
+
+
+def _render_node(
+    node: Node,
+    schema: Schema,
+    condition: str,
+    depth: int,
+    max_depth: int | None,
+    lines: list[str],
+) -> None:
+    marker = " *" if node.is_leaf else ""
+    lines.append(
+        f"{'  ' * depth}{condition}  (n={node.n}, mean={node.prediction:.4g})"
+        f"{marker}"
+    )
+    if node.is_leaf or (max_depth is not None and depth >= max_depth):
+        return
+    assert node.split is not None and node.left is not None and node.right is not None
+    spec = schema.get(node.split.feature_name) if node.split.feature_name in schema else None
+    left_condition = node.split.describe(spec)
+    right_condition = f"not [{left_condition}]"
+    _render_node(node.left, schema, left_condition, depth + 1, max_depth, lines)
+    _render_node(node.right, schema, right_condition, depth + 1, max_depth, lines)
+
+
+def describe_path(tree: RegressionTree, leaf_id: int) -> str:
+    """Human-readable conjunction of conditions leading to a leaf."""
+    if tree.schema is None:
+        raise FitError("cannot describe paths of an unfitted tree")
+    parts: list[str] = []
+    for split, went_left in tree.decision_path(leaf_id):
+        spec = tree.schema.get(split.feature_name) if split.feature_name in tree.schema else None
+        condition = split.describe(spec)
+        parts.append(condition if went_left else f"not [{condition}]")
+    return " and ".join(parts) if parts else "root"

@@ -1,0 +1,66 @@
+"""Variable-importance measures beyond split-gain shares.
+
+The paper's footnote 3 warns that with "redundant/correlated factors
+... the redundant/correlated factors are also included in computing the
+relative importance of factors" — the classic weakness of gain-based
+importance (what :meth:`RegressionTree.importance` reports).
+Permutation importance measures each feature's *predictive* necessity
+instead: shuffle one column, measure how much the fit degrades.  A
+factor whose signal is fully duplicated by a correlated twin scores near
+zero, because the tree can route around it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import DataError, FitError
+from .tree import RegressionTree
+
+
+def permutation_importance(
+    tree: RegressionTree,
+    matrix: np.ndarray,
+    y: np.ndarray,
+    n_repeats: int = 5,
+    rng: np.random.Generator | None = None,
+) -> dict[str, float]:
+    """Mean SSE increase when each feature column is shuffled.
+
+    Args:
+        tree: a fitted tree.
+        matrix: evaluation feature matrix (training or held-out).
+        y: evaluation responses.
+        n_repeats: shuffles per feature (averaged).
+        rng: randomness source (seeded default).
+
+    Returns:
+        feature name → mean SSE increase relative to the baseline SSE,
+        sorted descending.  Values near zero mean the feature is
+        unnecessary *given the others*.
+    """
+    if tree.root is None or tree.schema is None:
+        raise FitError("tree is not fitted")
+    matrix = np.asarray(matrix, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if matrix.shape[0] != len(y):
+        raise DataError("matrix and y must be aligned")
+    if matrix.shape[1] != len(tree.schema):
+        raise DataError("matrix width must match the tree's schema")
+    if n_repeats < 1:
+        raise DataError(f"n_repeats must be >= 1, got {n_repeats}")
+    rng = rng or np.random.default_rng(0)
+
+    baseline_sse = float(((y - tree.predict(matrix)) ** 2).sum())
+    reference = max(baseline_sse, 1e-12)
+
+    importance: dict[str, float] = {}
+    for index, feature in enumerate(tree.schema.names):
+        increases = []
+        for _ in range(n_repeats):
+            shuffled = matrix.copy()
+            shuffled[:, index] = rng.permutation(shuffled[:, index])
+            sse = float(((y - tree.predict(shuffled)) ** 2).sum())
+            increases.append((sse - baseline_sse) / reference)
+        importance[feature] = float(np.mean(increases))
+    return dict(sorted(importance.items(), key=lambda kv: -kv[1]))

@@ -1,0 +1,153 @@
+"""Cost-complexity pruning (Breiman et al., ch. 3; rpart's cp table).
+
+A fully-grown tree overfits; pruning trades leaves against fit via the
+penalized risk  R_α(T) = R(T) + α·|leaves(T)|.  The *weakest link* of a
+tree is the internal node t minimizing
+
+    g(t) = (R(t) − R(T_t)) / (|leaves(T_t)| − 1)
+
+where R is the SSE.  Collapsing weakest links in increasing g order
+yields the nested sequence of optimal subtrees; α (or rpart-style cp)
+then selects one — directly, or by k-fold cross-validation.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import DataError, FitError
+from ...telemetry.schema import Schema
+from .tree import Node, RegressionTree, TreeParams
+
+
+@dataclass(frozen=True)
+class PruneStep:
+    """One entry of the pruning sequence.
+
+    Attributes:
+        alpha: penalty at which this subtree becomes optimal.
+        n_leaves: leaf count of the subtree.
+        risk: total leaf SSE of the subtree.
+    """
+
+    alpha: float
+    n_leaves: int
+    risk: float
+
+
+def _weakest_link(root: Node) -> tuple[Node | None, float]:
+    """The internal node with minimal g(t), and its g value."""
+    best_node: Node | None = None
+    best_g = np.inf
+    for node in root.internal_nodes():
+        n_sub_leaves = len(node.leaves())
+        if n_sub_leaves < 2:
+            continue
+        g = (node.sse - node.subtree_sse()) / (n_sub_leaves - 1)
+        if g < best_g:
+            best_g = g
+            best_node = node
+    return best_node, best_g
+
+
+def _collapse(node: Node) -> None:
+    """Turn an internal node into a leaf in place."""
+    node.split = None
+    node.left = None
+    node.right = None
+
+
+def prune_sequence(tree: RegressionTree) -> list[tuple[PruneStep, RegressionTree]]:
+    """The full nested subtree sequence, smallest alpha first.
+
+    Returns a list of (step, pruned-tree) pairs starting with the
+    unpruned tree at alpha 0 and ending at the root-only stump.  Trees
+    are deep copies; the input tree is untouched.
+    """
+    if tree.root is None:
+        raise FitError("cannot prune an unfitted tree")
+    current = copy.deepcopy(tree)
+    sequence: list[tuple[PruneStep, RegressionTree]] = [(
+        PruneStep(alpha=0.0, n_leaves=current.n_leaves,
+                  risk=current.root.subtree_sse()),
+        copy.deepcopy(current),
+    )]
+    while current.root is not None and not current.root.is_leaf:
+        weakest, g = _weakest_link(current.root)
+        if weakest is None:
+            break
+        _collapse(weakest)
+        current.rebuild_importance()
+        sequence.append((
+            PruneStep(alpha=float(g), n_leaves=current.n_leaves,
+                      risk=current.root.subtree_sse()),
+            copy.deepcopy(current),
+        ))
+    return sequence
+
+
+def prune(tree: RegressionTree, alpha: float) -> RegressionTree:
+    """The smallest subtree optimal at penalty ``alpha``."""
+    if alpha < 0:
+        raise DataError(f"alpha must be >= 0, got {alpha}")
+    sequence = prune_sequence(tree)
+    chosen = sequence[0][1]
+    for step, subtree in sequence:
+        if step.alpha <= alpha:
+            chosen = subtree
+        else:
+            break
+    return chosen
+
+
+def cross_validated_alpha(
+    matrix: np.ndarray,
+    y: np.ndarray,
+    schema: Schema,
+    params: TreeParams,
+    n_folds: int = 5,
+    rng: np.random.Generator | None = None,
+    sample_weight: np.ndarray | None = None,
+) -> float:
+    """Pick alpha by k-fold cross-validation (1-SE-free, min-risk rule).
+
+    Grows a reference tree on all data to obtain the candidate alpha
+    grid (geometric midpoints of its pruning sequence, as in rpart),
+    then scores each candidate by held-out SSE.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if n_folds < 2:
+        raise DataError(f"need at least 2 folds, got {n_folds}")
+    if len(y) < n_folds:
+        raise DataError(f"{len(y)} rows cannot fill {n_folds} folds")
+    rng = rng or np.random.default_rng(0)
+    weights = np.ones(len(y)) if sample_weight is None else np.asarray(sample_weight)
+
+    reference = RegressionTree(params).fit(matrix, y, schema, weights)
+    steps = [step for step, _ in prune_sequence(reference)]
+    if len(steps) <= 1:
+        return 0.0
+    alphas = [steps[0].alpha]
+    for a, b in zip(steps[:-1], steps[1:]):
+        low = max(a.alpha, 1e-12)
+        high = max(b.alpha, 1e-12)
+        alphas.append(float(np.sqrt(low * high)))
+
+    fold_of = rng.integers(0, n_folds, size=len(y))
+    cv_risk = np.zeros(len(alphas))
+    for fold in range(n_folds):
+        hold = fold_of == fold
+        if hold.all() or not hold.any():
+            continue
+        fold_tree = RegressionTree(params).fit(
+            matrix[~hold], y[~hold], schema, weights[~hold]
+        )
+        for i, alpha in enumerate(alphas):
+            pruned = prune(fold_tree, alpha)
+            residual = y[hold] - pruned.predict(matrix[hold])
+            cv_risk[i] += float((weights[hold] * residual**2).sum())
+    return float(alphas[int(np.argmin(cv_risk))])

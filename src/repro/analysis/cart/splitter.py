@@ -1,0 +1,287 @@
+"""Best-split search over mixed-type features.
+
+CART's split language differs by feature kind (Table III's C/N/O):
+
+* **continuous / ordinal** — threshold splits ``x <= t``; candidates lie
+  between consecutive distinct values in sort order.
+* **nominal** — category-subset splits ``x ∈ S``.  Searching all 2^k
+  subsets is exponential, but for a one-dimensional response the optimal
+  binary partition orders categories by their mean response and scans
+  that ordering (Fisher 1958; Breiman et al. 1984, thm 4.5) — O(k log k)
+  instead of O(2^k).
+
+All scans are weighted-SSE based (regression CART, as the paper uses
+for λ/μ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import DataError
+from ...telemetry.schema import FeatureKind, FeatureSpec
+from .criteria import node_sse, sse_split_scan
+
+
+@dataclass(frozen=True)
+class Split:
+    """A fitted binary split.
+
+    Attributes:
+        feature_index: column index into the fitted feature matrix.
+        feature_name: column name (for rendering and PD traversal).
+        kind: the feature's kind, which fixes the split semantics.
+        threshold: for continuous/ordinal — rows go left iff
+            ``x <= threshold``.
+        left_categories: for nominal — rows go left iff their code is in
+            this frozenset.
+        gain: SSE reduction achieved by the split.
+        n_left / n_right: row counts sent each way at fit time.
+        nan_goes_left: learned default direction for missing values —
+            rows with NaN in this feature follow it (chosen at fit time
+            as the direction that reduced SSE more, as in gradient-
+            boosting trees).
+    """
+
+    feature_index: int
+    feature_name: str
+    kind: FeatureKind
+    gain: float
+    n_left: int
+    n_right: int
+    threshold: float | None = None
+    left_categories: frozenset[int] | None = None
+    nan_goes_left: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind == FeatureKind.NOMINAL:
+            if self.left_categories is None:
+                raise DataError(f"nominal split on {self.feature_name} needs categories")
+        elif self.threshold is None:
+            raise DataError(f"threshold split on {self.feature_name} needs a threshold")
+
+    def goes_left(self, values: np.ndarray) -> np.ndarray:
+        """Boolean routing mask for a column of feature values.
+
+        Missing values (NaN) follow the learned default direction.
+        """
+        values = np.asarray(values, dtype=float)
+        missing = np.isnan(values)
+        if self.kind == FeatureKind.NOMINAL:
+            assert self.left_categories is not None
+            filled = np.where(missing, 0.0, values)
+            routed = np.isin(filled.astype(np.int64), list(self.left_categories))
+        else:
+            assert self.threshold is not None
+            with np.errstate(invalid="ignore"):
+                routed = values <= self.threshold
+        if missing.any():
+            routed = np.where(missing, self.nan_goes_left, routed)
+        return routed.astype(bool)
+
+    def describe(self, spec: FeatureSpec | None = None) -> str:
+        """Human-readable left-branch condition."""
+        if self.kind == FeatureKind.NOMINAL:
+            assert self.left_categories is not None
+            codes = sorted(self.left_categories)
+            if spec is not None and spec.categories is not None:
+                labels = [spec.decode(code) for code in codes]
+            else:
+                labels = [str(code) for code in codes]
+            return f"{self.feature_name} in {{{', '.join(labels)}}}"
+        assert self.threshold is not None
+        if spec is not None and spec.categories is not None:
+            # Ordinal: render the threshold as its category label.
+            code = int(np.floor(self.threshold))
+            code = max(0, min(code, len(spec.categories) - 1))
+            return f"{self.feature_name} <= {spec.decode(code)}"
+        return f"{self.feature_name} <= {self.threshold:.4g}"
+
+
+def _scan_ordered(
+    order_values: np.ndarray,
+    y: np.ndarray,
+    weights: np.ndarray,
+    min_bucket: int,
+) -> tuple[float, float, int] | None:
+    """Best threshold over pre-encoded ordered values.
+
+    Returns (gain_sse_drop, threshold, split_position) or None when no
+    legal split exists.  ``threshold`` is the midpoint between the two
+    straddling distinct values.
+    """
+    order = np.argsort(order_values, kind="stable")
+    x_sorted = order_values[order]
+    y_sorted = y[order]
+    w_sorted = weights[order]
+    n = len(y_sorted)
+    if n < 2 * min_bucket:
+        return None
+
+    left_sse, right_sse = sse_split_scan(y_sorted, w_sorted)
+    split_sse = left_sse + right_sse
+
+    positions = np.arange(1, n)  # split after index position-1
+    valid = (positions >= min_bucket) & (n - positions >= min_bucket)
+    # A threshold must separate distinct values.
+    valid &= x_sorted[1:] != x_sorted[:-1]
+    if not valid.any():
+        return None
+
+    candidate_sse = np.where(valid, split_sse, np.inf)
+    best = int(np.argmin(candidate_sse))
+    parent_sse = node_sse(y_sorted, w_sorted)
+    gain = parent_sse - float(candidate_sse[best])
+    if not np.isfinite(gain) or gain <= 0:
+        return None
+    threshold = float((x_sorted[best] + x_sorted[best + 1]) / 2.0)
+    return gain, threshold, best + 1
+
+
+def best_split_for_feature(
+    values: np.ndarray,
+    y: np.ndarray,
+    weights: np.ndarray,
+    spec: FeatureSpec,
+    feature_index: int,
+    min_bucket: int,
+) -> Split | None:
+    """Best SSE-reducing split on one feature, or None.
+
+    Args:
+        values: the feature column (codes for categorical features).
+        y: response.
+        weights: sample weights.
+        spec: the feature's schema entry (drives split semantics).
+        feature_index: position of this column in the feature matrix.
+        min_bucket: minimum rows per child (rpart's ``minbucket``).
+    """
+    values = np.asarray(values, dtype=float)
+    y = np.asarray(y, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if not (len(values) == len(y) == len(weights)):
+        raise DataError("values/y/weights must be aligned")
+    if min_bucket < 1:
+        raise DataError(f"min_bucket must be >= 1, got {min_bucket}")
+
+    # Missing values: search the split on the observed rows, then learn
+    # the default direction that reduces SSE more (see Split docstring).
+    missing = np.isnan(values)
+    if missing.any():
+        observed = ~missing
+        if observed.sum() < 2 * min_bucket:
+            return None
+        split = best_split_for_feature(
+            values[observed], y[observed], weights[observed],
+            spec, feature_index, min_bucket,
+        )
+        if split is None:
+            return None
+        return _with_nan_direction(split, values, y, weights)
+
+    if spec.kind in (FeatureKind.CONTINUOUS, FeatureKind.ORDINAL):
+        scanned = _scan_ordered(values, y, weights, min_bucket)
+        if scanned is None:
+            return None
+        gain, threshold, position = scanned
+        return Split(
+            feature_index=feature_index,
+            feature_name=spec.name,
+            kind=spec.kind,
+            gain=gain,
+            threshold=threshold,
+            n_left=position,
+            n_right=len(y) - position,
+        )
+
+    # Nominal: order categories by weighted mean response, then treat the
+    # rank as an ordered variable (optimal for binary SSE partitions).
+    codes = values.astype(np.int64)
+    unique = np.unique(codes)
+    if len(unique) < 2:
+        return None
+    means = np.empty(len(unique))
+    for i, code in enumerate(unique):
+        mask = codes == code
+        w = weights[mask]
+        means[i] = (w * y[mask]).sum() / w.sum()
+    category_rank = {int(code): float(rank)
+                     for rank, code in zip(np.argsort(np.argsort(means)), unique)}
+    ranked = np.array([category_rank[int(code)] for code in codes])
+
+    scanned = _scan_ordered(ranked, y, weights, min_bucket)
+    if scanned is None:
+        return None
+    gain, threshold, position = scanned
+    left_codes = frozenset(
+        int(code) for code in unique if category_rank[int(code)] <= threshold
+    )
+    return Split(
+        feature_index=feature_index,
+        feature_name=spec.name,
+        kind=spec.kind,
+        gain=gain,
+        left_categories=left_codes,
+        n_left=position,
+        n_right=len(y) - position,
+    )
+
+
+def _with_nan_direction(
+    split: Split,
+    values: np.ndarray,
+    y: np.ndarray,
+    weights: np.ndarray,
+) -> Split:
+    """Pick the NaN default direction and restate the split's full-node gain."""
+    from dataclasses import replace
+
+    parent = node_sse(y, weights)
+    best: Split | None = None
+    best_total = np.inf
+    for nan_left in (True, False):
+        candidate = replace(split, nan_goes_left=nan_left)
+        go_left = candidate.goes_left(values)
+        if go_left.all() or not go_left.any():
+            continue
+        total = (node_sse(y[go_left], weights[go_left])
+                 + node_sse(y[~go_left], weights[~go_left]))
+        if total < best_total:
+            best_total = total
+            best = replace(
+                candidate,
+                gain=parent - total,
+                n_left=int(go_left.sum()),
+                n_right=int((~go_left).sum()),
+            )
+    if best is None or best.gain <= 0:
+        return replace(split, gain=0.0)
+    return best
+
+
+def best_split(
+    matrix: np.ndarray,
+    y: np.ndarray,
+    weights: np.ndarray,
+    specs: list[FeatureSpec],
+    min_bucket: int,
+) -> Split | None:
+    """Best split across all features (the CART greedy step)."""
+    if matrix.ndim != 2:
+        raise DataError(f"feature matrix must be 2-D, got shape {matrix.shape}")
+    if matrix.shape[1] != len(specs):
+        raise DataError(
+            f"{matrix.shape[1]} columns but {len(specs)} feature specs"
+        )
+    best: Split | None = None
+    for index, spec in enumerate(specs):
+        candidate = best_split_for_feature(
+            matrix[:, index], y, weights, spec, index, min_bucket
+        )
+        if candidate is None:
+            continue
+        if best is None or candidate.gain > best.gain:
+            best = candidate
+    return best

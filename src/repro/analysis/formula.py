@@ -1,0 +1,122 @@
+"""Formula mini-language: ``Metric ~ X1, N(X2), ..., N(Xn)``.
+
+§V-C introduces two procedure notations:
+
+* ``Metric ~ X1, X2, ..., Xn`` — Cat. 1: fit a CART on all features
+  and read groups/importances off the tree.
+* ``Metric ~ X1, N(X2), ..., N(Xn)`` — Cat. 2: quantify the influence
+  of X1 with the other (``N(·)``-wrapped) factors normalized out via
+  partial dependence.
+
+This module parses those strings into a structured :class:`Formula`.
+Both comma and ``+`` separators are accepted.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import FormulaError
+
+_TERM_RE = re.compile(r"^(?:(N)\(\s*([A-Za-z_][A-Za-z0-9_]*)\s*\)|([A-Za-z_][A-Za-z0-9_]*))$")
+
+
+@dataclass(frozen=True)
+class Term:
+    """One right-hand-side term.
+
+    Attributes:
+        name: feature name.
+        normalized: True when written ``N(name)`` — the factor is to be
+            integrated out (partial dependence) rather than studied.
+    """
+
+    name: str
+    normalized: bool
+
+    def __str__(self) -> str:
+        return f"N({self.name})" if self.normalized else self.name
+
+
+@dataclass(frozen=True)
+class Formula:
+    """A parsed analysis formula.
+
+    Attributes:
+        metric: left-hand-side response column (λ, μ, ...).
+        terms: right-hand-side terms in written order.
+    """
+
+    metric: str
+    terms: tuple[Term, ...]
+
+    @property
+    def feature_names(self) -> list[str]:
+        """All feature names, studied and normalized alike."""
+        return [term.name for term in self.terms]
+
+    @property
+    def studied(self) -> list[str]:
+        """Features of interest (un-normalized terms)."""
+        return [term.name for term in self.terms if not term.normalized]
+
+    @property
+    def normalized(self) -> list[str]:
+        """Features to integrate out (``N(·)`` terms)."""
+        return [term.name for term in self.terms if term.normalized]
+
+    @property
+    def is_partial_dependence(self) -> bool:
+        """True for Cat. 2 formulas (at least one ``N(·)`` term)."""
+        return any(term.normalized for term in self.terms)
+
+    def __str__(self) -> str:
+        return f"{self.metric} ~ {', '.join(str(t) for t in self.terms)}"
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a formula string.
+
+    Examples::
+
+        parse_formula("mu ~ sku, age_months, rated_power_kw")
+        parse_formula("lambda ~ sku, N(dc), N(workload), N(age_months)")
+
+    Raises:
+        FormulaError: on malformed input (missing ``~``, empty sides,
+            bad term syntax, duplicate features).
+    """
+    if not isinstance(text, str):
+        raise FormulaError(f"formula must be a string, got {type(text).__name__}")
+    if text.count("~") != 1:
+        raise FormulaError(f"formula needs exactly one '~': {text!r}")
+    left, right = (side.strip() for side in text.split("~"))
+    if not left:
+        raise FormulaError(f"missing metric on the left of '~': {text!r}")
+    if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", left):
+        raise FormulaError(f"invalid metric name {left!r}")
+    if not right:
+        raise FormulaError(f"missing features on the right of '~': {text!r}")
+
+    raw_terms = [part.strip() for part in re.split(r"[,+]", right)]
+    terms: list[Term] = []
+    for raw in raw_terms:
+        if not raw:
+            raise FormulaError(f"empty term in formula: {text!r}")
+        match = _TERM_RE.match(raw)
+        if match is None:
+            raise FormulaError(f"malformed term {raw!r} in formula {text!r}")
+        wrapped, wrapped_name, bare_name = match.groups()
+        if wrapped:
+            terms.append(Term(name=wrapped_name, normalized=True))
+        else:
+            terms.append(Term(name=bare_name, normalized=False))
+
+    names = [term.name for term in terms]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise FormulaError(f"duplicate features {sorted(duplicates)} in {text!r}")
+    if left in names:
+        raise FormulaError(f"metric {left!r} also appears as a feature")
+    return Formula(metric=left, terms=tuple(terms))

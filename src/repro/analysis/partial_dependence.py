@@ -1,0 +1,164 @@
+"""Partial dependence through a fitted CART tree.
+
+The paper's Cat. 2 procedure ``Metric ~ X1, N(X2), ..., N(Xn)``
+quantifies the marginal influence of X1 with the other observed factors
+normalized out (§V-C, following Hastie et al. [18]).  For tree models
+partial dependence has Friedman's exact weighted-traversal form: descend
+the tree; at a split on the feature of interest follow the branch the
+grid value selects, at any other split average both children weighted by
+their training share.
+
+The result is the model's expected response at each value of X1 with
+all other features integrated over their joint training distribution —
+the "normalized" SKU/temperature effects of Figs 15 and 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError, FitError
+from ..telemetry.schema import FeatureKind
+from .cart.tree import Node, RegressionTree
+
+
+@dataclass(frozen=True)
+class PartialDependence:
+    """A computed partial-dependence curve.
+
+    Attributes:
+        feature: the feature of interest (X1).
+        grid: evaluation points (category codes for categorical X1).
+        values: model-average response at each grid point.
+        labels: decoded category labels where applicable, else string
+            renderings of the grid.
+    """
+
+    feature: str
+    grid: np.ndarray
+    values: np.ndarray
+    labels: tuple[str, ...]
+
+    def as_dict(self) -> dict[str, float]:
+        """label → PD value mapping."""
+        return {label: float(value) for label, value in zip(self.labels, self.values)}
+
+
+def _pd_traverse(node: Node, feature: str, value: float) -> float:
+    """Friedman's weighted traversal for one grid value."""
+    if node.is_leaf:
+        return node.prediction
+    assert node.split is not None and node.left is not None and node.right is not None
+    split = node.split
+    if split.feature_name == feature:
+        goes_left = bool(split.goes_left(np.array([value]))[0])
+        child = node.left if goes_left else node.right
+        return _pd_traverse(child, feature, value)
+    total = node.left.weight + node.right.weight
+    if total <= 0:
+        raise DataError(f"node {node.node_id} has non-positive child weight")
+    return (
+        node.left.weight / total * _pd_traverse(node.left, feature, value)
+        + node.right.weight / total * _pd_traverse(node.right, feature, value)
+    )
+
+
+def partial_dependence(
+    tree: RegressionTree,
+    feature: str,
+    grid: np.ndarray | None = None,
+    n_grid: int = 25,
+    training_matrix: np.ndarray | None = None,
+) -> PartialDependence:
+    """Partial dependence of the tree's response on one feature.
+
+    Args:
+        tree: a fitted :class:`RegressionTree`.
+        feature: feature name (must be in the tree's schema).
+        grid: explicit evaluation points; defaults to all categories for
+            categorical features, or an evenly spaced grid over the
+            training range (requires ``training_matrix``) otherwise.
+        n_grid: grid size for the automatic continuous grid.
+        training_matrix: fit-time matrix, used only to derive the
+            automatic continuous grid.
+    """
+    if tree.root is None or tree.schema is None:
+        raise FitError("tree is not fitted")
+    spec = tree.schema.get(feature)
+
+    if grid is None:
+        if spec.is_categorical:
+            assert spec.categories is not None
+            grid = np.arange(len(spec.categories), dtype=float)
+        else:
+            if training_matrix is None:
+                raise DataError(
+                    f"continuous feature {feature!r} needs an explicit grid "
+                    "or the training matrix"
+                )
+            column = np.asarray(training_matrix, dtype=float)[
+                :, tree.schema.names.index(feature)
+            ]
+            grid = np.linspace(column.min(), column.max(), n_grid)
+    grid = np.asarray(grid, dtype=float)
+    if grid.size == 0:
+        raise DataError("empty partial-dependence grid")
+
+    values = np.array([_pd_traverse(tree.root, feature, v) for v in grid])
+    if spec.is_categorical:
+        assert spec.categories is not None
+        labels = tuple(spec.decode(int(v)) for v in grid)
+    else:
+        labels = tuple(f"{v:.4g}" for v in grid)
+    return PartialDependence(feature=feature, grid=grid, values=values, labels=labels)
+
+
+def _pd_traverse_pair(
+    node: Node, features: tuple[str, str], values: tuple[float, float]
+) -> float:
+    """Two-feature weighted traversal (for T × RH interaction maps)."""
+    if node.is_leaf:
+        return node.prediction
+    assert node.split is not None and node.left is not None and node.right is not None
+    split = node.split
+    if split.feature_name in features:
+        value = values[features.index(split.feature_name)]
+        goes_left = bool(split.goes_left(np.array([value]))[0])
+        child = node.left if goes_left else node.right
+        return _pd_traverse_pair(child, features, values)
+    total = node.left.weight + node.right.weight
+    return (
+        node.left.weight / total * _pd_traverse_pair(node.left, features, values)
+        + node.right.weight / total * _pd_traverse_pair(node.right, features, values)
+    )
+
+
+def partial_dependence_2d(
+    tree: RegressionTree,
+    feature_x: str,
+    feature_y: str,
+    grid_x: np.ndarray,
+    grid_y: np.ndarray,
+) -> np.ndarray:
+    """Joint partial dependence on two features.
+
+    Returns a (len(grid_x), len(grid_y)) matrix — the temperature ×
+    humidity response surface behind Fig 18.
+    """
+    if tree.root is None or tree.schema is None:
+        raise FitError("tree is not fitted")
+    tree.schema.get(feature_x)
+    tree.schema.get(feature_y)
+    if feature_x == feature_y:
+        raise DataError("the two PD features must differ")
+    grid_x = np.asarray(grid_x, dtype=float)
+    grid_y = np.asarray(grid_y, dtype=float)
+    surface = np.empty((grid_x.size, grid_y.size))
+    for i, vx in enumerate(grid_x):
+        for j, vy in enumerate(grid_y):
+            surface[i, j] = _pd_traverse_pair(
+                tree.root, (feature_x, feature_y), (float(vx), float(vy))
+            )
+    return surface

@@ -1,0 +1,234 @@
+"""Failure prediction — the paper's declared future work (§VII).
+
+§V-C sketches why plain CART is not enough for prediction: "failed
+devices are a minority when compared to non-failed devices over the
+entire observation period, one may need pre-processing to balance these
+two sets".  This module implements exactly that extension:
+
+1. :func:`build_prediction_dataset` turns a simulation run into a
+   supervised problem — for each rack-day, *will this rack file a
+   hardware RMA within the next horizon?* — with deployment-time
+   features (Table III) plus short operational history (trailing
+   failure counts, the strongest practical predictor in the
+   disk-failure-prediction literature the paper cites [6, 25]).
+2. :class:`FailurePredictor` fits the library's own CART on the binary
+   target with **balanced sample weights** (the re-balancing
+   pre-processing) and scores rack-days by leaf positive rates.
+3. :func:`roc_auc` / :meth:`FailurePredictor.evaluate` quantify the
+   ranking quality with a time-ordered train/test split (no leakage
+   from the future into training).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError, FitError
+from ..failures.engine import SimulationResult
+from ..failures.tickets import FaultType, HARDWARE_FAULTS
+from ..telemetry.aggregate import build_rack_day_table, lambda_matrix
+from ..telemetry.schema import FeatureKind, FeatureSpec
+from ..telemetry.table import Table
+from .cart.tree import RegressionTree, TreeParams
+
+PREDICTION_FEATURES = (
+    "sku", "workload", "dc", "region", "age_months", "rated_power_kw",
+    "temp_f", "rh", "trailing_failures", "trailing_batchiness",
+)
+
+
+def _trailing_sum(matrix: np.ndarray, window: int) -> np.ndarray:
+    """Per-rack trailing sum over the previous ``window`` days.
+
+    Entry (r, d) sums days d-window .. d-1 (never the current day —
+    that would leak the label into the features).
+    """
+    if window < 1:
+        raise DataError(f"window must be >= 1, got {window}")
+    cumulative = np.cumsum(matrix, axis=1)
+    padded = np.concatenate(
+        [np.zeros((matrix.shape[0], 1)), cumulative], axis=1
+    )
+    upper = padded[:, :-1]                     # sum of days 0..d-1
+    lower = np.zeros_like(upper)
+    if matrix.shape[1] > window:
+        lower[:, window:] = padded[:, :-window - 1][:, : matrix.shape[1] - window]
+    return upper - lower
+
+
+def _future_any(matrix: np.ndarray, horizon: int) -> np.ndarray:
+    """Entry (r, d) is 1 when days d+1 .. d+horizon contain any event."""
+    if horizon < 1:
+        raise DataError(f"horizon must be >= 1, got {horizon}")
+    cumulative = np.cumsum(matrix, axis=1)
+    padded = np.concatenate(
+        [np.zeros((matrix.shape[0], 1)), cumulative], axis=1
+    )
+    n_days = matrix.shape[1]
+    future_end = np.minimum(np.arange(n_days) + 1 + horizon, n_days)
+    future = padded[:, future_end] - padded[:, np.arange(n_days) + 1]
+    return (future > 0).astype(float)
+
+
+def build_prediction_dataset(
+    result: SimulationResult,
+    horizon_days: int = 3,
+    trailing_window: int = 14,
+    faults: list[FaultType] | None = None,
+) -> Table:
+    """Supervised dataset: features per rack-day, binary future label.
+
+    Columns: every Table III feature, two trailing-history features
+    (``trailing_failures``: hardware RMAs in the previous window;
+    ``trailing_batchiness``: batch-deduped vs raw ticket gap, a proxy
+    for correlated-failure exposure), and the label ``will_fail``.
+
+    Rack-days within ``horizon_days`` of the window end are dropped
+    (their label would be censored).
+    """
+    faults = faults if faults is not None else list(HARDWARE_FAULTS)
+    table = build_rack_day_table(result, faults=faults)
+
+    hardware = lambda_matrix(result, faults, dedupe_batches=False)
+    deduped = lambda_matrix(result, faults, dedupe_batches=True)
+    trailing = _trailing_sum(hardware, trailing_window)
+    batchiness = _trailing_sum(hardware - deduped, trailing_window)
+    label = _future_any(deduped, horizon_days)
+
+    racks = table.column("rack_index").astype(np.int64)
+    days = table.column("day_index").astype(np.int64)
+
+    table = table.with_column(
+        "trailing_failures", trailing[racks, days],
+        spec=FeatureSpec("trailing_failures", FeatureKind.CONTINUOUS),
+    ).with_column(
+        "trailing_batchiness", batchiness[racks, days],
+        spec=FeatureSpec("trailing_batchiness", FeatureKind.CONTINUOUS),
+    ).with_column("will_fail", label[racks, days])
+
+    observable = days < result.n_days - horizon_days
+    dataset = table.filter(np.asarray(observable))
+    if dataset.n_rows == 0:
+        raise DataError("no observable rack-days; run too short for the horizon")
+    return dataset
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve (Mann-Whitney U form, ties averaged)."""
+    scores = np.asarray(scores, dtype=float)
+    labels = np.asarray(labels, dtype=float)
+    if scores.shape != labels.shape:
+        raise DataError("scores and labels must be aligned")
+    positives = labels > 0.5
+    n_pos = int(positives.sum())
+    n_neg = len(labels) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise DataError("AUC needs both classes present")
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(len(scores))
+    ranks[order] = np.arange(1, len(scores) + 1)
+    # Average ranks over tied scores.
+    sorted_scores = scores[order]
+    boundaries = np.flatnonzero(np.diff(sorted_scores) != 0)
+    starts = np.concatenate(([0], boundaries + 1))
+    ends = np.concatenate((boundaries + 1, [len(scores)]))
+    for start, end in zip(starts.tolist(), ends.tolist()):
+        if end - start > 1:
+            ranks[order[start:end]] = (start + 1 + end) / 2.0
+    rank_sum = ranks[positives].sum()
+    u_statistic = rank_sum - n_pos * (n_pos + 1) / 2.0
+    return float(u_statistic / (n_pos * n_neg))
+
+
+@dataclass(frozen=True)
+class PredictionMetrics:
+    """Held-out evaluation of a failure predictor.
+
+    Attributes:
+        auc: ranking quality (0.5 = chance).
+        precision_at_decile: precision among the top-10%-scored rack-days.
+        recall_at_decile: share of failures caught in that top decile.
+        base_rate: positive share in the test period.
+        n_test: test rows.
+    """
+
+    auc: float
+    precision_at_decile: float
+    recall_at_decile: float
+    base_rate: float
+    n_test: int
+
+
+class FailurePredictor:
+    """CART-based will-it-fail predictor with class re-balancing.
+
+    Args:
+        params: tree growth parameters.
+        rebalance: weight the minority (failure) class up so both
+            classes carry equal total weight — §V-C's pre-processing.
+    """
+
+    def __init__(self, params: TreeParams | None = None, rebalance: bool = True):
+        self.params = params or TreeParams(
+            max_depth=7, min_split=400, min_bucket=150, cp=2e-4,
+        )
+        self.rebalance = rebalance
+        self.tree: RegressionTree | None = None
+        self._features: list[str] = list(PREDICTION_FEATURES)
+
+    def fit(self, dataset: Table) -> "FailurePredictor":
+        """Fit on a prediction dataset (see :func:`build_prediction_dataset`)."""
+        if "will_fail" not in dataset:
+            raise DataError("dataset lacks the 'will_fail' label column")
+        matrix, schema = dataset.feature_matrix(self._features)
+        labels = dataset.column("will_fail").astype(float)
+        if self.rebalance:
+            positive = labels > 0.5
+            n_pos = int(positive.sum())
+            n_neg = len(labels) - n_pos
+            if n_pos == 0 or n_neg == 0:
+                raise FitError("cannot rebalance: one class is empty")
+            weights = np.where(positive, 0.5 / n_pos, 0.5 / n_neg) * len(labels)
+        else:
+            weights = np.ones(len(labels))
+        self.tree = RegressionTree(self.params).fit(matrix, labels, schema, weights)
+        return self
+
+    def score(self, dataset: Table) -> np.ndarray:
+        """Failure propensity score per row (leaf positive rate)."""
+        if self.tree is None:
+            raise FitError("predictor is not fitted")
+        matrix, _ = dataset.feature_matrix(self._features)
+        return self.tree.predict(matrix)
+
+    def evaluate(self, dataset: Table) -> PredictionMetrics:
+        """Score a held-out dataset and compute ranking metrics."""
+        scores = self.score(dataset)
+        labels = dataset.column("will_fail").astype(float)
+        auc = roc_auc(scores, labels)
+        k = max(1, len(scores) // 10)
+        top = np.argsort(scores)[::-1][:k]
+        hits = float(labels[top].sum())
+        total_pos = float(labels.sum())
+        return PredictionMetrics(
+            auc=auc,
+            precision_at_decile=hits / k,
+            recall_at_decile=hits / total_pos if total_pos else 0.0,
+            base_rate=float(labels.mean()),
+            n_test=len(scores),
+        )
+
+
+def time_split(dataset: Table, train_fraction: float = 0.7) -> tuple[Table, Table]:
+    """Chronological train/test split on the ``day_index`` column."""
+    if not 0.0 < train_fraction < 1.0:
+        raise DataError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    days = dataset.column("day_index").astype(np.int64)
+    cutoff = np.quantile(days, train_fraction)
+    train = dataset.filter(days <= cutoff)
+    test = dataset.filter(days > cutoff)
+    if train.n_rows == 0 or test.n_rows == 0:
+        raise DataError("degenerate time split; adjust train_fraction")
+    return train, test

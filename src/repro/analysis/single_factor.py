@@ -1,0 +1,110 @@
+"""Single-factor (SF) baselines.
+
+§V-A: "We define a single factor (SF) approach to failure analysis as
+one which uses only the characteristics of failure metrics and their
+relationship with a decision variable, without considering the numerous
+factors that impact failure occurrences."
+
+These baselines are what the paper shows to be insufficient; our
+benchmarks run them side-by-side with the MF framework to reproduce the
+SF-vs-MF contrasts (Figs 10-18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+from ..telemetry.stats import Ecdf, ecdf
+from ..telemetry.table import Table
+
+
+@dataclass(frozen=True)
+class FactorLevelStats:
+    """Aggregate failure statistics for one level of a factor.
+
+    Attributes:
+        label: the factor level (e.g. ``"S2"`` or ``"W6"``).
+        mean: mean of the metric across observations at this level.
+        sd: standard deviation (the error bars of Figs 2-9, 14).
+        peak: high quantile of the metric (``peak_quantile`` below) —
+            the paper's μmax-style peak failure rate.
+        count: number of observations.
+    """
+
+    label: str
+    mean: float
+    sd: float
+    peak: float
+    count: int
+
+
+class SingleFactorModel:
+    """Aggregate a metric by one factor, ignoring everything else.
+
+    Args:
+        table: observation table (e.g. rack-days).
+        metric: response column name.
+        peak_quantile: quantile used as the "peak" statistic.  The
+            paper's peak failure rate is the worst observed window; a
+            slightly sub-1.0 default makes the statistic robust to the
+            single most extreme simulated event while preserving the
+            "peak" semantics.
+    """
+
+    def __init__(self, table: Table, metric: str, peak_quantile: float = 0.999):
+        if metric not in table:
+            raise DataError(f"metric column {metric!r} missing from table")
+        if not 0.0 < peak_quantile <= 1.0:
+            raise DataError(f"peak_quantile must be in (0, 1], got {peak_quantile}")
+        self.table = table
+        self.metric = metric
+        self.peak_quantile = peak_quantile
+
+    def by_factor(self, factor: str) -> dict[str, FactorLevelStats]:
+        """Per-level statistics of the metric for one factor."""
+        values = self.table.column(self.metric).astype(float)
+        stats: dict[str, FactorLevelStats] = {}
+        for key, indices in self.table.group_indices([factor]):
+            label = key[0] if isinstance(key[0], str) else f"{key[0]:g}"
+            group = values[indices]
+            stats[label] = FactorLevelStats(
+                label=label,
+                mean=float(group.mean()),
+                sd=float(group.std()),
+                peak=float(np.quantile(group, self.peak_quantile)),
+                count=len(group),
+            )
+        if not stats:
+            raise DataError(f"factor {factor!r} produced no groups")
+        return stats
+
+    def cdf_for_level(self, factor: str, label: str) -> Ecdf:
+        """Empirical CDF of the metric at one factor level.
+
+        This is the pooled distribution SF provisioning reads its
+        uniform spare fraction from (Fig 1's solid curve).
+        """
+        decoded = self.table.decoded(factor)
+        mask = decoded == label
+        if not mask.any():
+            raise DataError(f"no rows with {factor} == {label!r}")
+        return ecdf(self.table.column(self.metric).astype(float)[np.asarray(mask)])
+
+    def pooled_cdf(self) -> Ecdf:
+        """Empirical CDF of the metric over all observations."""
+        return ecdf(self.table.column(self.metric).astype(float))
+
+    def ranking(self, factor: str, by: str = "mean") -> list[FactorLevelStats]:
+        """Factor levels sorted ascending by ``mean``/``peak``/``sd``.
+
+        The SF vendor-selection procedure of §VI-Q2: "histogram the
+        number of failures for each SKU and use that to base vendor
+        selection".
+        """
+        if by not in ("mean", "peak", "sd"):
+            raise DataError(f"unknown ranking statistic {by!r}")
+        stats = self.by_factor(factor)
+        return sorted(stats.values(), key=lambda level: getattr(level, by))

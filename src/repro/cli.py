@@ -1,0 +1,140 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate`` — run a simulation and export tickets/inventory CSVs.
+* ``report``   — regenerate one (or all) of the paper's tables/figures.
+* ``list``     — list the registered experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .config import SimulationConfig
+from .datacenter.builder import FleetConfig
+from .failures.engine import simulate
+from .reporting import AnalysisContext, EXPERIMENTS, get_experiment
+from .telemetry.io import export_inventory_csv, export_tickets_csv
+
+
+def _build_config(args: argparse.Namespace) -> SimulationConfig:
+    return SimulationConfig(
+        seed=args.seed,
+        n_days=args.days,
+        fleet=FleetConfig(scale=args.scale, observation_days=args.days),
+    )
+
+
+def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master RNG seed (default 0)")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="fraction of the paper's 331+290 racks "
+                             "(default 0.25; 1.0 = paper scale)")
+    parser.add_argument("--days", type=int, default=365,
+                        help="observation window in days (default 365; "
+                             "paper: 910)")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    result = simulate(config)
+    print(result.summary())
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    n_tickets = export_tickets_csv(result, out_dir / "tickets.csv")
+    n_racks = export_inventory_csv(result, out_dir / "inventory.csv")
+    print(f"wrote {n_tickets} tickets to {out_dir / 'tickets.csv'}")
+    print(f"wrote {n_racks} racks to {out_dir / 'inventory.csv'}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    wanted = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in wanted:
+        get_experiment(experiment_id)  # validate before simulating
+    config = _build_config(args)
+    result = simulate(config)
+    print(result.summary(), "\n", file=sys.stderr)
+    context = AnalysisContext(result)
+    if args.out is not None:
+        from .reporting.report import write_report
+
+        path = write_report(context, args.out, experiment_ids=wanted)
+        print(f"wrote {path}")
+        return 0
+    for experiment_id in wanted:
+        print(get_experiment(experiment_id).render(context))
+        print()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .reporting.sweeps import render_sweep, run_sweep
+
+    seeds = args.seeds
+    summaries = run_sweep(seeds, scale=args.scale, n_days=args.days)
+    print(render_sweep(summaries, seeds))
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for experiment_id in sorted(EXPERIMENTS):
+        print(f"{experiment_id:8s} {EXPERIMENTS[experiment_id].description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Rain or Shine?' (ICDCS 2017): "
+                    "datacenter reliability simulation and multi-factor "
+                    "analysis.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sim = commands.add_parser("simulate", help="simulate and export CSVs")
+    _add_sim_arguments(sim)
+    sim.add_argument("--out", default="simdata",
+                     help="output directory (default ./simdata)")
+    sim.set_defaults(func=_cmd_simulate)
+
+    report = commands.add_parser(
+        "report", help="regenerate a paper table/figure (or 'all')",
+    )
+    report.add_argument("experiment",
+                        help="experiment id, e.g. table2 or fig10 or all")
+    _add_sim_arguments(report)
+    report.add_argument("--out", default=None,
+                        help="write a markdown report here instead of stdout")
+    report.set_defaults(func=_cmd_report)
+
+    sweep = commands.add_parser(
+        "sweep", help="robustness sweep of the headline conclusions",
+    )
+    sweep.add_argument("--seeds", type=int, nargs="+", default=[11, 22, 33],
+                       help="seeds to re-run (default: 11 22 33)")
+    sweep.add_argument("--scale", type=float, default=0.3,
+                       help="fleet scale per seed (default 0.3)")
+    sweep.add_argument("--days", type=int, default=540,
+                       help="window length per seed (default 540)")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    lister = commands.add_parser("list", help="list registered experiments")
+    lister.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Top-level simulation configuration.
+
+One :class:`SimulationConfig` fully determines a run: fleet construction,
+observation-window length and calendar alignment, fault base rates and
+the master seed.  Two runs with equal configs produce identical tickets,
+sensor readings and downstream analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .datacenter.builder import FleetConfig
+from .errors import ConfigError
+from .failures.faultmodel import FaultRateConfig
+from .units import DAYS_PER_WEEK, DAYS_PER_YEAR
+
+# The paper's observation window: "data spans a period of more than
+# 2.5 years" (§IV).
+PAPER_OBSERVATION_DAYS = 910
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """All knobs of one simulation run.
+
+    Attributes:
+        seed: master RNG seed; every subsystem derives named streams
+            from it (see :class:`repro.rng.RngRegistry`).
+        n_days: observation-window length in days.
+        fleet: fleet-construction knobs (scale, SKU mixes, confounds).
+        rates: fault base rates (Table II calibration).
+        start_day_of_week: weekday of day 0 (0=Sunday).
+        start_day_of_year: day-of-year of day 0 (0=Jan 1); the paper's
+            month-of-year effect needs runs spanning whole years.
+    """
+
+    seed: int = 0
+    n_days: int = PAPER_OBSERVATION_DAYS
+    fleet: FleetConfig = field(default_factory=FleetConfig)
+    rates: FaultRateConfig = field(default_factory=FaultRateConfig)
+    start_day_of_week: int = 0
+    start_day_of_year: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_days < 1:
+            raise ConfigError(f"n_days must be >= 1, got {self.n_days}")
+        if not 0 <= self.start_day_of_week < DAYS_PER_WEEK:
+            raise ConfigError(f"start_day_of_week out of range: {self.start_day_of_week}")
+        if not 0 <= self.start_day_of_year < DAYS_PER_YEAR:
+            raise ConfigError(f"start_day_of_year out of range: {self.start_day_of_year}")
+        if self.fleet.observation_days != self.n_days:
+            raise ConfigError(
+                "fleet.observation_days must equal n_days "
+                f"({self.fleet.observation_days} != {self.n_days}); "
+                "use SimulationConfig.small()/paper_scale() or build the "
+                "FleetConfig with matching observation_days"
+            )
+
+    @staticmethod
+    def paper_scale(seed: int = 0) -> "SimulationConfig":
+        """Full paper-scale run: 331+290 racks over 910 days."""
+        return SimulationConfig(
+            seed=seed,
+            n_days=PAPER_OBSERVATION_DAYS,
+            fleet=FleetConfig(scale=1.0, observation_days=PAPER_OBSERVATION_DAYS),
+        )
+
+    @staticmethod
+    def small(seed: int = 0, scale: float = 0.12, n_days: int = 240) -> "SimulationConfig":
+        """A miniature run for tests and quick exploration."""
+        return SimulationConfig(
+            seed=seed,
+            n_days=n_days,
+            fleet=FleetConfig(scale=scale, observation_days=n_days),
+        )

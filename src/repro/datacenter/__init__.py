@@ -1,0 +1,81 @@
+"""Datacenter topology substrate: SKUs, workloads, racks, power, fleets.
+
+Public API re-exports the pieces most users need; submodules hold the
+full detail.
+"""
+
+from .builder import (
+    DC1_RACKS_FULL,
+    DC2_RACKS_FULL,
+    FleetConfig,
+    SkuMix,
+    build_fleet,
+    dc1_spec,
+    dc2_spec,
+)
+from .inventory import CommissionCohort, DeviceIdAllocator, default_cohorts
+from .power import (
+    DENSITY_KNEE_KW,
+    RATING_LEVELS_KW,
+    density_stress_multiplier,
+    power_infrastructure_rate,
+    provision_rating,
+    quantize_rating,
+)
+from .sku import SkuCatalog, SkuCategory, SkuSpec
+from .sku import default_catalog as default_sku_catalog
+from .topology import (
+    CoolingKind,
+    DataCenter,
+    DataCenterSpec,
+    Fleet,
+    FleetArrays,
+    PackagingKind,
+    Rack,
+    RegionSpec,
+)
+from .workload import (
+    WorkloadCatalog,
+    WorkloadCategory,
+    WorkloadSpec,
+    assign_workload,
+    eligible_workloads,
+)
+from .workload import default_catalog as default_workload_catalog
+
+__all__ = [
+    "DC1_RACKS_FULL",
+    "DC2_RACKS_FULL",
+    "DENSITY_KNEE_KW",
+    "RATING_LEVELS_KW",
+    "CommissionCohort",
+    "CoolingKind",
+    "DataCenter",
+    "DataCenterSpec",
+    "DeviceIdAllocator",
+    "Fleet",
+    "FleetArrays",
+    "FleetConfig",
+    "PackagingKind",
+    "Rack",
+    "RegionSpec",
+    "SkuCatalog",
+    "SkuCategory",
+    "SkuMix",
+    "SkuSpec",
+    "WorkloadCatalog",
+    "WorkloadCategory",
+    "WorkloadSpec",
+    "assign_workload",
+    "build_fleet",
+    "dc1_spec",
+    "dc2_spec",
+    "default_cohorts",
+    "default_sku_catalog",
+    "default_workload_catalog",
+    "density_stress_multiplier",
+    "eligible_workloads",
+    "power_infrastructure_rate",
+    "provision_rating",
+    "quantize_rating",
+]

@@ -1,0 +1,293 @@
+"""Fleet builder: assembles DC1 and DC2 per the paper's Tables I & III.
+
+DC1 is container-packaged, adiabatically cooled and designed for 3-nines
+power availability, with 18 rows and up to 331 racks in 4 regions; DC2 is
+colocated, chilled-water cooled, 5-nines, with 32 rows and up to 290
+racks in 3 regions.
+
+The builder also plants the *confounds* that make single-factor analysis
+fail in the paper:
+
+* SKU ↔ placement: S2 racks are biased into DC1's hottest regions.
+* SKU ↔ workload: S2 racks are biased onto the stressful W2 workload
+  (see :func:`repro.datacenter.workload.assign_workload`).
+* DC ↔ climate: all adiabatic-cooling climate exposure lands on DC1.
+
+A ``scale`` parameter shrinks the rack counts proportionally so tests
+can build a miniature fleet in milliseconds while benchmarks use the
+paper-scale one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..rng import RngRegistry
+from . import sku as sku_mod
+from . import workload as workload_mod
+from .inventory import DeviceIdAllocator, default_cohorts, sample_commission_days
+from .power import provision_rating
+from .topology import (
+    CoolingKind,
+    DataCenter,
+    DataCenterSpec,
+    Fleet,
+    PackagingKind,
+    Rack,
+    RegionSpec,
+)
+
+# Paper-scale rack counts (Table III: DC1 racks R1-331, DC2 racks R1-290).
+DC1_RACKS_FULL = 331
+DC2_RACKS_FULL = 290
+DC1_ROWS = 18
+DC2_ROWS = 32
+
+
+@dataclass(frozen=True)
+class SkuMix:
+    """Per-DC SKU composition: name → fraction of racks."""
+
+    fractions: dict[str, float]
+
+    def __post_init__(self) -> None:
+        total = sum(self.fractions.values())
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ConfigError(f"SKU mix fractions must sum to 1, got {total}")
+        for name, fraction in self.fractions.items():
+            if fraction < 0:
+                raise ConfigError(f"SKU mix fraction for {name} is negative")
+
+    def counts(self, n_racks: int) -> dict[str, int]:
+        """Integer rack counts per SKU (largest-remainder apportionment)."""
+        if n_racks <= 0:
+            raise ConfigError(f"n_racks must be positive, got {n_racks}")
+        raw = {name: fraction * n_racks for name, fraction in self.fractions.items()}
+        floors = {name: int(value) for name, value in raw.items()}
+        remainder = n_racks - sum(floors.values())
+        by_frac = sorted(raw, key=lambda name: raw[name] - floors[name], reverse=True)
+        for name in by_frac[:remainder]:
+            floors[name] += 1
+        return {name: count for name, count in floors.items() if count > 0}
+
+
+# DC1 skews compute-heavy (it hosts the S2 estate); DC2 skews storage.
+DC1_SKU_MIX = SkuMix({
+    "S1": 0.10, "S2": 0.28, "S3": 0.12, "S4": 0.22,
+    "S5": 0.10, "S6": 0.08, "S7": 0.10,
+})
+DC2_SKU_MIX = SkuMix({
+    "S1": 0.14, "S2": 0.06, "S3": 0.12, "S4": 0.30,
+    "S5": 0.14, "S6": 0.16, "S7": 0.08,
+})
+
+
+def dc1_spec() -> DataCenterSpec:
+    """DC1: container packaging, adiabatic cooling, 3-nines power.
+
+    Regions DC1-1/DC1-2 are the hot-aisle-adjacent container blocks
+    (positive thermal offsets); DC1-4 is the coolest.  The extra
+    region-level hazard on DC1-1 models its tighter airflow.
+    """
+    return DataCenterSpec(
+        name="DC1",
+        packaging=PackagingKind.CONTAINER,
+        availability_nines=3,
+        cooling=CoolingKind.ADIABATIC,
+        n_rows=DC1_ROWS,
+        regions=(
+            RegionSpec("DC1-1", thermal_offset_f=5.0, humidity_offset=-4.0,
+                       hazard_multiplier=1.50),
+            RegionSpec("DC1-2", thermal_offset_f=3.0, humidity_offset=-2.0,
+                       hazard_multiplier=1.30),
+            RegionSpec("DC1-3", thermal_offset_f=0.0, humidity_offset=0.0,
+                       hazard_multiplier=1.00),
+            RegionSpec("DC1-4", thermal_offset_f=-2.0, humidity_offset=2.0,
+                       hazard_multiplier=0.92),
+        ),
+    )
+
+
+def dc2_spec() -> DataCenterSpec:
+    """DC2: colocated packaging, chilled-water cooling, 5-nines power.
+
+    Chilled-water plants hold inlet conditions tightly, so the regions
+    differ little thermally; the mild hazard spread reflects airflow and
+    maintenance-access differences.
+    """
+    return DataCenterSpec(
+        name="DC2",
+        packaging=PackagingKind.COLOCATED,
+        availability_nines=5,
+        cooling=CoolingKind.CHILLED_WATER,
+        n_rows=DC2_ROWS,
+        regions=(
+            RegionSpec("DC2-1", thermal_offset_f=1.0, humidity_offset=0.0,
+                       hazard_multiplier=1.05),
+            RegionSpec("DC2-2", thermal_offset_f=0.0, humidity_offset=0.0,
+                       hazard_multiplier=0.95),
+            RegionSpec("DC2-3", thermal_offset_f=-1.0, humidity_offset=0.0,
+                       hazard_multiplier=0.88),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs controlling fleet construction.
+
+    Attributes:
+        scale: multiplier on the paper-scale rack counts (1.0 builds
+            331+290 racks; tests typically use 0.05-0.2).
+        observation_days: length of the simulated window; used to place
+            commissioning cohorts.
+        dc1_mix / dc2_mix: per-DC SKU composition.
+        s2_hot_bias: probability that an S2 rack is placed in one of
+            DC1's two hottest regions (the planted placement confound);
+            0.5 would be unbiased for a 4-region DC.
+        plant_confounds: master switch for the Q2 confounds (S2→W2 /
+            S4→W1 workload bias, S2-hot placement, S2-young/S4-mature
+            commissioning).  Disabling it yields a fleet where the
+            observed SKU failure gap equals the intrinsic hardware gap —
+            the ablation that shows the confounds are what break the
+            single-factor analysis.
+    """
+
+    scale: float = 1.0
+    observation_days: int = 910
+    dc1_mix: SkuMix = field(default_factory=lambda: DC1_SKU_MIX)
+    dc2_mix: SkuMix = field(default_factory=lambda: DC2_SKU_MIX)
+    s2_hot_bias: float = 0.95
+    plant_confounds: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale <= 4.0:
+            raise ConfigError(f"scale out of range (0, 4]: {self.scale}")
+        if self.observation_days < 30:
+            raise ConfigError(f"observation_days too small: {self.observation_days}")
+        if not 0.0 <= self.s2_hot_bias <= 1.0:
+            raise ConfigError(f"s2_hot_bias must be in [0,1]: {self.s2_hot_bias}")
+
+    def rack_counts(self) -> tuple[int, int]:
+        """Scaled (DC1, DC2) rack counts, at least one rack each."""
+        dc1 = max(1, round(DC1_RACKS_FULL * self.scale))
+        dc2 = max(1, round(DC2_RACKS_FULL * self.scale))
+        return dc1, dc2
+
+
+def _pick_region(
+    dc_spec: DataCenterSpec,
+    sku_name: str,
+    s2_hot_bias: float | None,
+    rng: np.random.Generator,
+) -> str:
+    """Choose a region for a new rack, applying the S2 placement confound.
+
+    ``s2_hot_bias=None`` disables the confound (uniform placement).
+    """
+    region_names = [region.name for region in dc_spec.regions]
+    if (s2_hot_bias is not None and sku_name == "S2"
+            and dc_spec.name == "DC1" and len(region_names) >= 2):
+        hot = sorted(
+            dc_spec.regions, key=lambda region: region.thermal_offset_f, reverse=True
+        )[:2]
+        if rng.random() < s2_hot_bias:
+            return str(rng.choice([region.name for region in hot]))
+        cool_names = [name for name in region_names if name not in {r.name for r in hot}]
+        return str(rng.choice(cool_names))
+    return str(rng.choice(region_names))
+
+
+def _build_datacenter(
+    dc_spec: DataCenterSpec,
+    n_racks: int,
+    mix: SkuMix,
+    config: FleetConfig,
+    skus: sku_mod.SkuCatalog,
+    rng: np.random.Generator,
+) -> DataCenter:
+    """Populate one datacenter with racks per the SKU mix."""
+    counts = mix.counts(n_racks)
+    for name in counts:
+        skus.get(name)  # validate every mix entry against the catalog
+
+    sku_sequence: list[str] = []
+    for name, count in sorted(counts.items()):
+        sku_sequence.extend([name] * count)
+    rng.shuffle(sku_sequence)
+
+    cohorts = default_cohorts(config.observation_days)
+    commission_days = sample_commission_days(len(sku_sequence), cohorts, rng)
+    if config.plant_confounds:
+        # Age confound: S2 is a recent procurement line (young racks,
+        # deep in the infant-mortality regime), S4 a mature one.
+        # Resample those two SKUs' commission days with tilted weights.
+        sku_array = np.array(sku_sequence)
+        for biased_sku, bias in (("S2", 5.0), ("S4", -5.0)):
+            members = np.flatnonzero(sku_array == biased_sku)
+            if len(members):
+                commission_days[members] = sample_commission_days(
+                    len(members), cohorts, rng, recency_bias=bias,
+                )
+
+    racks: list[Rack] = []
+    racks_per_row = max(1, -(-len(sku_sequence) // dc_spec.n_rows))  # ceil division
+    for index, sku_name in enumerate(sku_sequence):
+        spec = skus.get(sku_name)
+        effective_bias = config.s2_hot_bias if config.plant_confounds else None
+        region = _pick_region(dc_spec, sku_name, effective_bias, rng)
+        workload = workload_mod.assign_workload(
+            spec.category, sku_name, rng,
+            biased=config.plant_confounds,
+        )
+        racks.append(Rack(
+            rack_id=f"{dc_spec.name}-R{index + 1:03d}",
+            dc_name=dc_spec.name,
+            region_name=region,
+            row=index // racks_per_row + 1,
+            slot=index % racks_per_row,
+            sku=spec,
+            workload=workload,
+            rated_power_kw=provision_rating(spec.rated_power_kw, rng),
+            commission_day=int(commission_days[index]),
+        ))
+    return DataCenter(spec=dc_spec, racks=racks)
+
+
+def build_fleet(
+    config: FleetConfig | None = None,
+    rngs: RngRegistry | None = None,
+    skus: sku_mod.SkuCatalog | None = None,
+    workloads: workload_mod.WorkloadCatalog | None = None,
+) -> Fleet:
+    """Build the two-DC fleet the paper studies.
+
+    Args:
+        config: construction knobs; defaults to paper scale.
+        rngs: RNG registry (the builder uses its ``"fleet"`` stream);
+            a fresh seed-0 registry is created if omitted.
+        skus: SKU catalog; defaults to :func:`repro.datacenter.sku.default_catalog`.
+        workloads: workload catalog; defaults likewise.
+
+    Returns:
+        A fully populated :class:`~repro.datacenter.topology.Fleet`.
+    """
+    config = config or FleetConfig()
+    rngs = rngs or RngRegistry(seed=0)
+    skus = skus or sku_mod.default_catalog()
+    workloads = workloads or workload_mod.default_catalog()
+    rng = rngs.stream("fleet")
+
+    n_dc1, n_dc2 = config.rack_counts()
+    dc1 = _build_datacenter(dc1_spec(), n_dc1, config.dc1_mix, config, skus, rng)
+    dc2 = _build_datacenter(dc2_spec(), n_dc2, config.dc2_mix, config, skus, rng)
+
+    allocator = DeviceIdAllocator()
+    for dc in (dc1, dc2):
+        for rack in dc.racks:
+            allocator.allocate(rack.n_servers)
+
+    return Fleet(datacenters=[dc1, dc2], skus=skus, workloads=workloads)

@@ -1,0 +1,203 @@
+"""Workload catalog and rack-level assignment policy.
+
+Table III lists seven workload types: W1 & W2 are compute, W3 is HPC,
+W4 & W7 are storage-compute, and W5 & W6 are storage-data.  In the
+paper's facilities "infrastructure provisioning for a workload is done at
+the rack level" (§IV) — every rack is wholly owned by one workload — and
+our builder follows the same policy.
+
+Ground truth planted here (verified by the Fig 3/6 benches):
+
+* W2 carries the highest stress multiplier and W3 (HPC) the lowest, with
+  storage-data workloads (W5, W6) below storage-compute ones (W4, W7).
+* Utilization follows a weekday/weekend swing; the failure engine couples
+  hazard to utilization, producing the day-of-week effect of Fig 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..errors import ConfigError
+from .sku import SkuCategory
+
+
+class WorkloadCategory(Enum):
+    """Broad workload families from Table III."""
+
+    COMPUTE = "compute"
+    HPC = "hpc"
+    STORAGE_COMPUTE = "storage-compute"
+    STORAGE_DATA = "storage-data"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Static description of one workload type.
+
+    Attributes:
+        name: workload identifier ``W1`` .. ``W7``.
+        category: broad family per Table III.
+        stress_multiplier: ground-truth multiplier on hardware hazard
+            attributable to how hard the workload drives the machines.
+        disk_stress: extra multiplier applied to *disk* hazards only
+            (I/O-heavy workloads wear disks faster).
+        weekday_utilization: mean utilization (0..1) on weekdays.
+        weekend_utilization: mean utilization (0..1) on weekends.
+        software_churn: relative rate of deployments/config pushes; drives
+            software-failure ticket volume, which peaks on weekdays.
+    """
+
+    name: str
+    category: WorkloadCategory
+    stress_multiplier: float
+    disk_stress: float
+    weekday_utilization: float
+    weekend_utilization: float
+    software_churn: float
+
+    def __post_init__(self) -> None:
+        if self.stress_multiplier <= 0 or self.disk_stress <= 0:
+            raise ConfigError(f"{self.name}: stress multipliers must be positive")
+        for util in (self.weekday_utilization, self.weekend_utilization):
+            if not 0.0 < util <= 1.0:
+                raise ConfigError(f"{self.name}: utilization {util} outside (0, 1]")
+        if self.software_churn < 0:
+            raise ConfigError(f"{self.name}: software_churn must be >= 0")
+
+    def utilization(self, is_weekend: bool) -> float:
+        """Mean utilization for a weekday/weekend day."""
+        return self.weekend_utilization if is_weekend else self.weekday_utilization
+
+
+class WorkloadCatalog:
+    """Ordered, name-addressable collection of :class:`WorkloadSpec`."""
+
+    def __init__(self, workloads: list[WorkloadSpec]):
+        if not workloads:
+            raise ConfigError("workload catalog cannot be empty")
+        names = [workload.name for workload in workloads]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate workload names: {names}")
+        self._workloads = list(workloads)
+        self._by_name = {workload.name: workload for workload in workloads}
+
+    def __len__(self) -> int:
+        return len(self._workloads)
+
+    def __iter__(self):
+        return iter(self._workloads)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> WorkloadSpec:
+        """Return the workload named ``name``; ConfigError if unknown."""
+        if name not in self._by_name:
+            raise ConfigError(f"unknown workload {name!r}; have {sorted(self._by_name)}")
+        return self._by_name[name]
+
+    @property
+    def names(self) -> list[str]:
+        """Workload names in catalog order."""
+        return [workload.name for workload in self._workloads]
+
+    def index_of(self, name: str) -> int:
+        """Positional index of workload ``name`` within the catalog."""
+        self.get(name)
+        return self.names.index(name)
+
+
+def default_catalog() -> WorkloadCatalog:
+    """The seven-workload catalog matching Table III and Fig 6."""
+    return WorkloadCatalog([
+        WorkloadSpec(
+            name="W1", category=WorkloadCategory.COMPUTE,
+            stress_multiplier=1.5, disk_stress=1.0,
+            weekday_utilization=0.75, weekend_utilization=0.45,
+            software_churn=1.2,
+        ),
+        WorkloadSpec(
+            name="W2", category=WorkloadCategory.COMPUTE,
+            stress_multiplier=2.2, disk_stress=1.1,
+            weekday_utilization=0.85, weekend_utilization=0.50,
+            software_churn=1.5,
+        ),
+        WorkloadSpec(
+            name="W3", category=WorkloadCategory.HPC,
+            stress_multiplier=0.5, disk_stress=0.7,
+            weekday_utilization=0.90, weekend_utilization=0.88,
+            software_churn=0.3,
+        ),
+        WorkloadSpec(
+            name="W4", category=WorkloadCategory.STORAGE_COMPUTE,
+            stress_multiplier=1.6, disk_stress=1.7,
+            weekday_utilization=0.70, weekend_utilization=0.50,
+            software_churn=1.0,
+        ),
+        WorkloadSpec(
+            name="W5", category=WorkloadCategory.STORAGE_DATA,
+            stress_multiplier=0.9, disk_stress=1.3,
+            weekday_utilization=0.55, weekend_utilization=0.45,
+            software_churn=0.6,
+        ),
+        WorkloadSpec(
+            name="W6", category=WorkloadCategory.STORAGE_DATA,
+            stress_multiplier=1.0, disk_stress=1.4,
+            weekday_utilization=0.60, weekend_utilization=0.48,
+            software_churn=0.7,
+        ),
+        WorkloadSpec(
+            name="W7", category=WorkloadCategory.STORAGE_COMPUTE,
+            stress_multiplier=1.4, disk_stress=1.6,
+            weekday_utilization=0.72, weekend_utilization=0.52,
+            software_churn=1.1,
+        ),
+    ])
+
+
+# Which workloads a rack of a given SKU category may host.  The coupling
+# is deliberate: it is one of the confounds that breaks single-factor SKU
+# comparisons (a compute SKU's racks see compute workloads' stress).
+_CATEGORY_AFFINITY: dict[SkuCategory, list[str]] = {
+    SkuCategory.COMPUTE: ["W1", "W2"],
+    SkuCategory.STORAGE: ["W5", "W6"],
+    SkuCategory.MIXED: ["W4", "W7"],
+    SkuCategory.HPC: ["W3"],
+}
+
+
+def eligible_workloads(category: SkuCategory) -> list[str]:
+    """Workload names a rack of SKU ``category`` may be assigned."""
+    return list(_CATEGORY_AFFINITY[category])
+
+
+def assign_workload(
+    category: SkuCategory,
+    sku_name: str,
+    rng: np.random.Generator,
+    biased: bool = True,
+) -> str:
+    """Pick a workload for a new rack.
+
+    The assignment is affinity-based with a planted confound pair: racks
+    of SKU ``S2`` are biased towards the stressful compute workload
+    ``W2`` (90/10) while ``S4`` racks are biased towards the milder
+    ``W1`` (80/20).  Together with S2's hot-region placement and young
+    age profile this inflates S2's *observed* failure rate to ≈10X S4's
+    while its intrinsic hardware hazard is only 4X — the core of the
+    paper's Q2 SF-vs-MF contrast (Figs 14-15).
+    """
+    options = eligible_workloads(category)
+    if len(options) == 1:
+        return options[0]
+    weights = None
+    if biased and options == ["W1", "W2"]:
+        if sku_name == "S2":
+            weights = np.array([0.05, 0.95])
+        elif sku_name == "S4":
+            weights = np.array([0.8, 0.2])
+    return str(rng.choice(options, p=weights))

@@ -1,0 +1,270 @@
+"""Q3: how do environmental settings affect failures?
+
+§VI-Q3 studies temperature (and relative humidity) against failure
+rates three ways:
+
+* **Fig 16** — SF: all failures binned by operating temperature; the
+  bin means barely move but within-bin variation is large.
+* **Fig 17** — hard-disk failures binned by temperature: a clear rising
+  trend.
+* **Fig 18** — the MF classification: per-DC groups [T ≤ 78 °F],
+  [T ≥ 78.8 °F], [T ≥ 78.8 °F ∧ RH ≤ 25.5%] and [All], normalized to
+  the hot-dry group.  DC1 shows a ≈50% disk-failure increase above
+  78 °F and a further ≈25% when also dry; DC2 is flat (its chilled-
+  water plant never reaches the regime).
+
+The module also lets the CART *discover* the split thresholds from the
+data (rather than hard-coding 78/25), reproducing how the paper's tree
+"identifies temperature at 78 °F as a splitting criteria".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.cart.splitter import best_split_for_feature
+from ..analysis.cart.tree import RegressionTree, TreeParams
+from ..errors import DataError
+from ..failures.engine import SimulationResult
+from ..failures.tickets import FaultType, HARDWARE_FAULTS
+from ..telemetry.aggregate import build_rack_day_table
+from ..telemetry.stats import BinSpec, binned_mean_sd
+from ..telemetry.table import Table
+
+# Fig 16/17's temperature bins: <60, 60-65, 65-70, 70-75, >75 °F.
+FIG16_TEMP_BINS = BinSpec(
+    edges=(60.0, 65.0, 70.0, 75.0),
+    labels=("<60", "60-65", "65-70", "70-75", ">75"),
+)
+
+# Fig 18's split values as the paper reports them.
+PAPER_TEMP_SPLIT_F = 78.0
+PAPER_TEMP_SPLIT_HIGH_F = 78.8
+PAPER_RH_SPLIT = 25.5
+
+
+@dataclass(frozen=True)
+class BinnedRates:
+    """Mean/sd failure rate per temperature bin (Figs 16-17)."""
+
+    bins: BinSpec
+    means: np.ndarray
+    sds: np.ndarray
+    counts: np.ndarray
+
+    def as_rows(self) -> list[tuple[str, float, float, int]]:
+        """(label, mean, sd, count) rows in bin order."""
+        return [
+            (label, float(mean), float(sd), int(count))
+            for label, mean, sd, count in zip(
+                self.bins.labels, self.means, self.sds, self.counts
+            )
+        ]
+
+
+def temperature_binned_rates(
+    result: SimulationResult,
+    faults: list[FaultType] | None = None,
+    bins: BinSpec = FIG16_TEMP_BINS,
+    table: Table | None = None,
+) -> BinnedRates:
+    """Failure rate by operating-temperature bin.
+
+    ``faults=None`` reproduces Fig 16 (all failures); pass
+    ``[FaultType.DISK]`` for Fig 17.
+    """
+    if table is None:
+        table = build_rack_day_table(result, faults=faults)
+    temp = table.column("temp_f").astype(float)
+    failures = table.column("failures").astype(float)
+    bin_index = bins.assign(temp)
+    means, sds, counts = binned_mean_sd(bin_index, failures, bins.n_bins)
+    return BinnedRates(bins=bins, means=means, sds=sds, counts=counts)
+
+
+@dataclass(frozen=True)
+class ClimateGroupRates:
+    """Fig 18's four groups for one DC, plus discovered thresholds.
+
+    Attributes:
+        dc: datacenter name.
+        cool: mean disk failure rate for T <= 78 °F rack-days.
+        hot: mean rate for T >= 78.8 °F rack-days.
+        hot_dry: mean rate for T >= 78.8 °F and RH <= 25.5%.
+        overall: mean rate over all rack-days.
+        counts: rack-day counts per group, same order.
+    """
+
+    dc: str
+    cool: float
+    hot: float
+    hot_dry: float
+    overall: float
+    counts: tuple[int, int, int, int]
+
+    def normalized_to(self, reference: float) -> tuple[float, float, float, float]:
+        """(cool, hot, hot_dry, overall) scaled by ``reference``.
+
+        Fig 18 normalizes every bar to the mean rate of the
+        T>78 ∧ RH<=25% sub-group (of DC1).
+        """
+        if reference <= 0:
+            raise DataError("reference rate must be positive")
+        return (
+            self.cool / reference,
+            self.hot / reference,
+            self.hot_dry / reference,
+            self.overall / reference,
+        )
+
+
+def climate_group_rates(
+    result: SimulationResult,
+    dc_name: str,
+    temp_split: float = PAPER_TEMP_SPLIT_F,
+    temp_split_high: float = PAPER_TEMP_SPLIT_HIGH_F,
+    rh_split: float = PAPER_RH_SPLIT,
+    table: Table | None = None,
+    within_rack_normalized: bool = True,
+) -> ClimateGroupRates:
+    """Disk failure rates for Fig 18's temperature/RH groups in one DC.
+
+    With ``within_rack_normalized`` (the MF view) each rack-day's count
+    is divided by its rack's own mean rate before grouping, so static
+    confounds — hot racks also being high-hazard racks — cancel and the
+    groups isolate the *temperature/RH* effect, as the paper's
+    normalization of "other factors such as age, SKU, workload, power
+    rating" does.  Groups with no rack-days report a NaN mean.
+    """
+    if table is None:
+        table = build_rack_day_table(result, faults=[FaultType.DISK])
+    dc_labels = table.decoded("dc")
+    in_dc = np.asarray(dc_labels == dc_name)
+    if not in_dc.any():
+        raise DataError(f"no rack-days for datacenter {dc_name!r}")
+    temp = table.column("temp_f").astype(float)[in_dc]
+    rh = table.column("rh").astype(float)[in_dc]
+    failures = table.column("failures").astype(float)[in_dc]
+    if within_rack_normalized:
+        racks = table.column("rack_index").astype(np.int64)[in_dc]
+        rack_mean = np.zeros(int(racks.max()) + 1)
+        for rack in np.unique(racks):
+            rack_mean[rack] = failures[racks == rack].mean()
+        keep = rack_mean[racks] > 0
+        failures = failures[keep] / rack_mean[racks[keep]]
+        temp = temp[keep]
+        rh = rh[keep]
+
+    cool_mask = temp <= temp_split
+    hot_mask = temp >= temp_split_high
+    hot_dry_mask = hot_mask & (rh <= rh_split)
+
+    def mean_or_nan(mask: np.ndarray) -> float:
+        return float(failures[mask].mean()) if mask.any() else float("nan")
+
+    return ClimateGroupRates(
+        dc=dc_name,
+        cool=mean_or_nan(cool_mask),
+        hot=mean_or_nan(hot_mask),
+        hot_dry=mean_or_nan(hot_dry_mask),
+        overall=float(failures.mean()),
+        counts=(
+            int(cool_mask.sum()), int(hot_mask.sum()),
+            int(hot_dry_mask.sum()), int(in_dc.sum()),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class DiscoveredThresholds:
+    """Split points the CART finds for one DC's disk failures.
+
+    Attributes:
+        dc: datacenter name.
+        temp_threshold_f: best temperature split (None if no split
+            clears the gain floor — the DC2 case).
+        rh_threshold: best RH split *within the hot side* of the
+            temperature split (None likewise).
+        temp_gain_share: the temperature split's SSE gain as a share of
+            the DC's total response SSE (significance proxy).
+    """
+
+    dc: str
+    temp_threshold_f: float | None
+    rh_threshold: float | None
+    temp_gain_share: float
+
+
+def discover_climate_thresholds(
+    result: SimulationResult,
+    dc_name: str,
+    min_gain_share: float = 0.002,
+    table: Table | None = None,
+    normalize_features: tuple[str, ...] = (
+        "age_months", "sku", "workload", "rated_power_kw", "region",
+    ),
+) -> DiscoveredThresholds:
+    """Let the tree find the 78 °F / 25% RH split points from data.
+
+    Following §VI-Q3 ("normalizing other factors such as age, SKU,
+    workload, power rating"), the non-environmental factors are first
+    fitted by a CART and removed as residuals — without this the
+    infant-mortality wave of racks commissioned in (cold) early months
+    masquerades as a low-temperature effect.  The residual disk-failure
+    response is then split on (temp, rh) within one DC; the function
+    reports the root temperature threshold and the RH sub-split on the
+    hot branch, mirroring how the paper reads its classification tree.
+    """
+    if table is None:
+        table = build_rack_day_table(result, faults=[FaultType.DISK])
+    in_dc = np.asarray(table.decoded("dc") == dc_name)
+    if not in_dc.any():
+        raise DataError(f"no rack-days for datacenter {dc_name!r}")
+    sub = table.filter(in_dc)
+    matrix, schema = sub.feature_matrix(["temp_f", "rh"])
+    y = sub.column("failures").astype(float)
+
+    if normalize_features:
+        matrix_n, schema_n = sub.feature_matrix(list(normalize_features))
+        normalizer = RegressionTree(TreeParams(
+            max_depth=6, min_split=400, min_bucket=150, cp=5e-4,
+        )).fit(matrix_n, y, schema_n)
+        y = y - normalizer.predict(matrix_n)
+
+    from ..analysis.cart.criteria import node_sse
+
+    total_sse = node_sse(y)
+    if total_sse <= 0:
+        return DiscoveredThresholds(dc=dc_name, temp_threshold_f=None,
+                                    rh_threshold=None, temp_gain_share=0.0)
+
+    temp_split = best_split_for_feature(
+        matrix[:, 0], y, np.ones(len(y)), schema.get("temp_f"), 0,
+        min_bucket=max(50, len(y) // 200),
+    )
+    if temp_split is None or temp_split.gain / total_sse < min_gain_share:
+        return DiscoveredThresholds(dc=dc_name, temp_threshold_f=None,
+                                    rh_threshold=None,
+                                    temp_gain_share=0.0 if temp_split is None
+                                    else temp_split.gain / total_sse)
+
+    assert temp_split.threshold is not None
+    hot = matrix[:, 0] > temp_split.threshold
+    rh_threshold: float | None = None
+    if hot.sum() >= 100:
+        rh_split = best_split_for_feature(
+            matrix[hot, 1], y[hot], np.ones(int(hot.sum())),
+            schema.get("rh"), 1, min_bucket=max(25, int(hot.sum()) // 50),
+        )
+        hot_sse = node_sse(y[hot])
+        if (rh_split is not None and hot_sse > 0
+                and rh_split.gain / hot_sse >= min_gain_share):
+            rh_threshold = rh_split.threshold
+    return DiscoveredThresholds(
+        dc=dc_name,
+        temp_threshold_f=float(temp_split.threshold),
+        rh_threshold=rh_threshold,
+        temp_gain_share=float(temp_split.gain / total_sse),
+    )

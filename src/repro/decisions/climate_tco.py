@@ -1,0 +1,253 @@
+"""Climate-control TCO: how hot may a DC run before failures outweigh
+the cooling savings?
+
+§VI-Q3 closes with: "while DC operators can leverage the MF to identify
+the control knob settings for achieving desired availability targets, a
+more extensive analysis (considering cost of environment control) is
+required to minimize overall TCO."  This module is that analysis:
+
+1. estimate the disk-failure-rate response to temperature from the
+   observed rack-days (an empirical rate curve, no ground-truth access);
+2. for each candidate temperature cap, predict the failures avoided by
+   mechanically trimming all hotter days down to the cap;
+3. price both sides — mechanical trim cooling (per rack-degree-day) vs
+   failure handling (repair OpEx + amortized spare CapEx) — and find
+   the cap minimizing the total.
+
+With the planted ≈50% step at 78 °F, the optimum lands just below the
+step for any trim price that is cheap relative to failure handling, and
+drifts upward (run hotter, eat the failures) as trim energy gets more
+expensive — the cost-reliability trade-off curve the paper asks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, DataError
+from ..failures.engine import SimulationResult
+from ..failures.tickets import FaultType
+from ..telemetry.aggregate import build_rack_day_table
+from ..telemetry.table import Table
+
+
+@dataclass(frozen=True)
+class ClimateCostParams:
+    """Prices for the trade-off (server-cost units, as in TcoModel).
+
+    Attributes:
+        trim_cost_per_rack_degree_day: mechanical cooling energy+capex
+            to hold one rack one degree Fahrenheit below its free-cooled
+            supply for one day.
+        failure_cost_per_event: repair OpEx plus amortized spare CapEx
+            consumed by one disk RMA.
+    """
+
+    trim_cost_per_rack_degree_day: float = 0.002
+    failure_cost_per_event: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.trim_cost_per_rack_degree_day < 0:
+            raise ConfigError("trim cost must be >= 0")
+        if self.failure_cost_per_event < 0:
+            raise ConfigError("failure cost must be >= 0")
+
+
+@dataclass(frozen=True)
+class TemperatureRateCurve:
+    """Empirical disk-failure rate vs inlet temperature.
+
+    Attributes:
+        bin_edges: temperature bin boundaries (1-degree bins).
+        rates: mean rack-day disk-failure rate per bin (NaN = no data;
+            evaluation clamps into the observed range).
+    """
+
+    bin_edges: np.ndarray
+    rates: np.ndarray
+
+    def evaluate(self, temp_f: np.ndarray) -> np.ndarray:
+        """Rate at given temperatures (clamped to the observed range)."""
+        temp = np.asarray(temp_f, dtype=float)
+        index = np.clip(
+            np.searchsorted(self.bin_edges, temp, side="right") - 1,
+            0, len(self.rates) - 1,
+        )
+        return self.rates[index]
+
+
+def fit_rate_curve(
+    table: Table,
+    dc_name: str,
+    bin_width_f: float = 1.0,
+    min_bin_rows: int = 50,
+    normalize_features: tuple[str, ...] = (
+        "age_months", "sku", "workload", "rated_power_kw", "region", "rh",
+    ),
+) -> tuple[TemperatureRateCurve, np.ndarray]:
+    """Fit the disk-rate-vs-temperature response for one DC.
+
+    Raw temperature-binned rates are confounded — cold days are early-
+    window days when infant-mortality racks dominate, and hot days are
+    also dry days — so, as in
+    :func:`~repro.decisions.climate.discover_climate_thresholds`, a CART
+    on the non-temperature factors (humidity included: it is a separate
+    control knob) is fitted first and the curve is estimated on the
+    *relative residual* (observed / expected).  The
+    returned curve is a relative multiplier; the per-row baseline
+    expectations come back alongside it so callers can price absolute
+    failure counts.
+
+    Returns:
+        (relative-rate curve, per-row baseline expectations) — both
+        restricted to the DC's rows in table order.
+    """
+    in_dc = np.asarray(table.decoded("dc") == dc_name)
+    if not in_dc.any():
+        raise DataError(f"no rack-days for {dc_name!r}")
+    sub = table.filter(in_dc)
+    temp = sub.column("temp_f").astype(float)
+    failures = sub.column("failures").astype(float)
+
+    from ..analysis.cart.tree import RegressionTree, TreeParams
+
+    matrix_n, schema_n = sub.feature_matrix(list(normalize_features))
+    normalizer = RegressionTree(TreeParams(
+        max_depth=6, min_split=400, min_bucket=150, cp=5e-4,
+    )).fit(matrix_n, failures, schema_n)
+    baseline = np.maximum(normalizer.predict(matrix_n), 1e-9)
+    relative = failures / baseline
+
+    low = np.floor(temp.min())
+    high = np.ceil(temp.max()) + bin_width_f
+    edges = np.arange(low, high, bin_width_f)
+    rates = np.full(len(edges), np.nan)
+    index = np.clip(np.searchsorted(edges, temp, side="right") - 1,
+                    0, len(edges) - 1)
+    for b in range(len(edges)):
+        members = index == b
+        if members.sum() >= min_bin_rows:
+            rates[b] = relative[members].mean()
+    if np.isnan(rates).all():
+        raise DataError("no temperature bin has enough rows")
+    counts = np.bincount(index, minlength=len(edges)).astype(float)
+    # Fill sparse bins from the nearest populated one.
+    populated = np.flatnonzero(np.isfinite(rates))
+    for b in np.flatnonzero(np.isnan(rates)):
+        nearest = populated[np.argmin(np.abs(populated - b))]
+        rates[b] = rates[nearest]
+        counts[b] = max(counts[b], 1.0)
+    # Physical prior: heat never helps disks (Fig 17's monotone trend) —
+    # isotonic regression removes binned sampling noise.
+    rates = _isotonic_nondecreasing(rates, np.maximum(counts, 1.0))
+    return TemperatureRateCurve(bin_edges=edges, rates=rates), baseline
+
+
+def _isotonic_nondecreasing(values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Weighted pool-adjacent-violators: closest non-decreasing sequence."""
+    blocks = [[float(v), float(w)] for v, w in zip(values, weights)]
+    merged: list[list[float]] = []  # [mean, weight, length]
+    for value, weight in blocks:
+        merged.append([value, weight, 1.0])
+        while len(merged) > 1 and merged[-2][0] > merged[-1][0]:
+            mean_b, weight_b, len_b = merged.pop()
+            mean_a, weight_a, len_a = merged.pop()
+            total = weight_a + weight_b
+            merged.append([
+                (mean_a * weight_a + mean_b * weight_b) / total,
+                total, len_a + len_b,
+            ])
+    output = np.empty(len(values))
+    position = 0
+    for mean, _, length in merged:
+        output[position:position + int(length)] = mean
+        position += int(length)
+    return output
+
+
+@dataclass(frozen=True)
+class SetpointEvaluation:
+    """Costs of enforcing one temperature cap over the observed window."""
+
+    cap_f: float
+    trim_degree_days: float
+    expected_failures: float
+    cooling_cost: float
+    failure_cost: float
+
+    @property
+    def total_cost(self) -> float:
+        """Cooling plus failure handling."""
+        return self.cooling_cost + self.failure_cost
+
+
+@dataclass(frozen=True)
+class ClimateTcoCurve:
+    """The full trade-off curve and its optimum."""
+
+    dc: str
+    evaluations: tuple[SetpointEvaluation, ...]
+
+    @property
+    def optimal(self) -> SetpointEvaluation:
+        """The cap minimizing total cost."""
+        return min(self.evaluations, key=lambda e: e.total_cost)
+
+    def render(self) -> str:
+        """Text table of the curve."""
+        lines = [f"Climate-control TCO curve for {self.dc} "
+                 "(costs in server-cost units over the window):"]
+        for evaluation in self.evaluations:
+            marker = "  <-- optimal" if evaluation is self.optimal else ""
+            lines.append(
+                f"  cap {evaluation.cap_f:5.1f} F: cooling "
+                f"{evaluation.cooling_cost:10.1f}  failures "
+                f"{evaluation.failure_cost:10.1f}  total "
+                f"{evaluation.total_cost:10.1f}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def climate_tco_curve(
+    result: SimulationResult,
+    dc_name: str = "DC1",
+    caps_f: np.ndarray | None = None,
+    params: ClimateCostParams | None = None,
+    table: Table | None = None,
+) -> ClimateTcoCurve:
+    """Evaluate temperature caps for one DC and find the TCO optimum.
+
+    Args:
+        result: simulation run.
+        dc_name: facility to optimize (DC1 is the interesting one).
+        caps_f: candidate caps; defaults to 70..88 °F.
+        params: prices.
+        table: pre-built disk rack-day table (built if omitted).
+    """
+    params = params or ClimateCostParams()
+    if caps_f is None:
+        caps_f = np.arange(70.0, 89.0, 2.0)
+    if len(caps_f) == 0:
+        raise DataError("need at least one candidate cap")
+    if table is None:
+        table = build_rack_day_table(result, faults=[FaultType.DISK])
+
+    curve, baseline = fit_rate_curve(table, dc_name)
+    in_dc = np.asarray(table.decoded("dc") == dc_name)
+    temp = table.column("temp_f").astype(float)[in_dc]
+
+    evaluations = []
+    for cap in np.asarray(caps_f, dtype=float):
+        trimmed = np.minimum(temp, cap)
+        degree_days = float(np.maximum(0.0, temp - cap).sum())
+        expected = float((baseline * curve.evaluate(trimmed)).sum())
+        evaluations.append(SetpointEvaluation(
+            cap_f=float(cap),
+            trim_degree_days=degree_days,
+            expected_failures=expected,
+            cooling_cost=degree_days * params.trim_cost_per_rack_degree_day,
+            failure_cost=expected * params.failure_cost_per_event,
+        ))
+    return ClimateTcoCurve(dc=dc_name, evaluations=tuple(evaluations))

@@ -1,0 +1,181 @@
+"""Total-cost-of-ownership model.
+
+The paper quantifies its decisions in TCO terms: spare provisioning
+savings (Table IV, "using [24]"), component-vs-server spare costs
+(§VI-Q1-B, with a server : disk : DIMM cost ratio of 100 : 2 : 10 from a
+commercial estimator [4]), and SKU procurement scenarios (§VI-Q2).
+
+The model is deliberately parametric and linear, matching how the paper
+uses it: a per-server CapEx, a facility overhead proportional to
+provisioned capacity, spares priced at the hardware they duplicate, and
+maintenance OpEx proportional to failure rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+# The paper's cost ratio from the server-cost estimator tool [4].
+SERVER_COST_UNITS = 100.0
+DISK_COST_UNITS = 2.0
+DIMM_COST_UNITS = 10.0
+
+
+@dataclass(frozen=True)
+class TcoParams:
+    """TCO model coefficients (all in server-cost units).
+
+    Attributes:
+        server_cost: CapEx of one server.
+        disk_cost: CapEx of one spare HDD (1 TB granularity).
+        dimm_cost: CapEx of one spare DIMM (16 GB granularity).
+        facility_overhead: non-IT CapEx+OpEx per provisioned server slot
+            (power distribution, cooling, space) over the horizon —
+            spares occupy slots too.
+        maintenance_cost_per_event: labor+logistics OpEx per hardware
+            RMA resolution.
+        horizon_days: planning horizon over which OpEx accrues.
+    """
+
+    server_cost: float = SERVER_COST_UNITS
+    disk_cost: float = DISK_COST_UNITS
+    dimm_cost: float = DIMM_COST_UNITS
+    facility_overhead: float = 25.0
+    maintenance_cost_per_event: float = 6.0
+    horizon_days: float = 3.0 * 365.0
+
+    def __post_init__(self) -> None:
+        for name in ("server_cost", "disk_cost", "dimm_cost"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"TcoParams.{name} must be positive")
+        if self.facility_overhead < 0 or self.maintenance_cost_per_event < 0:
+            raise ConfigError("overhead/maintenance costs must be >= 0")
+        if self.horizon_days <= 0:
+            raise ConfigError("horizon_days must be positive")
+
+
+class TcoModel:
+    """Evaluates deployment TCO under different spare/procurement plans."""
+
+    def __init__(self, params: TcoParams | None = None):
+        self.params = params or TcoParams()
+
+    # -- Q1: spare-provisioning TCO (Table IV) ---------------------------
+
+    def deployment_tco(
+        self,
+        n_servers: int,
+        spare_fraction: float,
+        failure_rate_per_server_day: float = 0.0,
+    ) -> float:
+        """TCO of a deployment carrying ``spare_fraction`` server spares.
+
+        TCO = (base + spare) servers × (server cost + facility overhead)
+            + maintenance OpEx over the horizon.
+        """
+        if n_servers <= 0:
+            raise ConfigError(f"n_servers must be positive, got {n_servers}")
+        if spare_fraction < 0:
+            raise ConfigError(f"spare_fraction must be >= 0, got {spare_fraction}")
+        p = self.params
+        provisioned = n_servers * (1.0 + spare_fraction)
+        capex = provisioned * (p.server_cost + p.facility_overhead)
+        opex = (n_servers * failure_rate_per_server_day * p.horizon_days
+                * p.maintenance_cost_per_event)
+        return float(capex + opex)
+
+    def relative_savings(
+        self,
+        n_servers: int,
+        spare_fraction_baseline: float,
+        spare_fraction_improved: float,
+        failure_rate_per_server_day: float = 0.0,
+    ) -> float:
+        """Relative TCO savings of the improved plan over the baseline.
+
+        This is Table IV's statistic: (TCO_SF − TCO_MF) / TCO_SF.
+        """
+        baseline = self.deployment_tco(
+            n_servers, spare_fraction_baseline, failure_rate_per_server_day
+        )
+        improved = self.deployment_tco(
+            n_servers, spare_fraction_improved, failure_rate_per_server_day
+        )
+        return (baseline - improved) / baseline
+
+    # -- Q1-B: component-level spare cost (Fig 13) -----------------------
+
+    def component_spare_cost(
+        self,
+        n_servers: int,
+        n_disks: int,
+        n_dimms: int,
+        disk_fraction: float,
+        dimm_fraction: float,
+        server_fraction: float,
+    ) -> float:
+        """CapEx of a mixed spare pool (disk + DIMM + server spares)."""
+        for name, value in (("disk_fraction", disk_fraction),
+                            ("dimm_fraction", dimm_fraction),
+                            ("server_fraction", server_fraction)):
+            if value < 0:
+                raise ConfigError(f"{name} must be >= 0, got {value}")
+        p = self.params
+        return float(
+            disk_fraction * n_disks * p.disk_cost
+            + dimm_fraction * n_dimms * p.dimm_cost
+            + server_fraction * n_servers * p.server_cost
+        )
+
+    def server_spare_cost(self, n_servers: int, server_fraction: float) -> float:
+        """CapEx of an all-server spare pool."""
+        if server_fraction < 0:
+            raise ConfigError(f"server_fraction must be >= 0, got {server_fraction}")
+        return float(server_fraction * n_servers * self.params.server_cost)
+
+    # -- Q2: SKU procurement scenarios (§VI-Q2) ---------------------------
+
+    def sku_procurement_tco(
+        self,
+        n_servers: int,
+        price_per_server: float,
+        peak_rate_fraction: float,
+        avg_rate_per_server_day: float,
+    ) -> float:
+        """TCO of procuring one SKU for a deployment.
+
+        Spares are sized by the SKU's peak failure rate (CapEx) and
+        maintenance accrues with its average rate (OpEx) — the paper's
+        two Q2 metrics.
+        """
+        if price_per_server <= 0:
+            raise ConfigError("price_per_server must be positive")
+        if peak_rate_fraction < 0 or avg_rate_per_server_day < 0:
+            raise ConfigError("rates must be >= 0")
+        p = self.params
+        provisioned = n_servers * (1.0 + peak_rate_fraction)
+        capex = provisioned * (price_per_server + p.facility_overhead)
+        opex = (n_servers * avg_rate_per_server_day * p.horizon_days
+                * p.maintenance_cost_per_event)
+        return float(capex + opex)
+
+    def sku_choice_savings(
+        self,
+        n_servers: int,
+        price_a: float,
+        peak_a: float,
+        avg_a: float,
+        price_b: float,
+        peak_b: float,
+        avg_b: float,
+    ) -> float:
+        """Relative savings of procuring SKU A instead of SKU B.
+
+        Positive = A is cheaper in TCO terms.  Used for the paper's
+        "S4 at 1X vs 1.5X the price of S2" scenarios.
+        """
+        tco_a = self.sku_procurement_tco(n_servers, price_a, peak_a, avg_a)
+        tco_b = self.sku_procurement_tco(n_servers, price_b, peak_b, avg_b)
+        return (tco_b - tco_a) / tco_b

@@ -1,0 +1,169 @@
+"""Air-handler units: pressure and airflow telemetry.
+
+§IV: "pressure is monitored at the level of individual Air Handler
+Units (AHUs)" and sensors also track air-flow.  Neither quantity drives
+any planted hazard — deliberately.  They serve as **null factors**: a
+sound multi-factor analysis must find *no* significant influence of
+pressure or airflow on failures, and the ``test_ext_null_factor`` bench
+verifies exactly that (the framework's false-positive check, the
+counterpart to recovering the real 78 °F threshold).
+
+Each DC operates several AHUs; every rack row is served by one AHU, so
+rack-day telemetry can carry the serving AHU's readings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datacenter.topology import Fleet
+from ..errors import ConfigError
+from ..rng import RngRegistry
+
+# Differential pressure across the supply plenum, in Pascals.
+NOMINAL_PRESSURE_PA = 12.0
+# Per-rack design airflow, in CFM.
+NOMINAL_AIRFLOW_CFM = 1600.0
+
+
+@dataclass(frozen=True)
+class AhuSpec:
+    """One air-handler unit.
+
+    Attributes:
+        ahu_id: label, e.g. ``DC1/AHU2``.
+        dc_name: facility served.
+        rows: rack-row numbers this AHU supplies.
+        pressure_bias_pa: persistent offset from the nominal setpoint
+            (duct geometry, filter loading).
+        airflow_bias_cfm: persistent airflow offset.
+    """
+
+    ahu_id: str
+    dc_name: str
+    rows: tuple[int, ...]
+    pressure_bias_pa: float
+    airflow_bias_cfm: float
+
+    def __post_init__(self) -> None:
+        if not self.rows:
+            raise ConfigError(f"{self.ahu_id}: must serve at least one row")
+
+
+class AhuSystem:
+    """The fleet's air handlers and their daily telemetry.
+
+    Args:
+        fleet: the fleet (one AHU per ~6 rows per DC).
+        n_days: observation-window length.
+        rngs: RNG registry (uses the ``"ahu"`` stream).
+        rows_per_ahu: how many rack rows one AHU supplies.
+
+    Attributes:
+        ahus: all AHU specs, DC-major.
+        pressure_pa: (n_days, n_ahus) daily mean plenum pressures.
+        airflow_cfm: (n_days, n_ahus) daily mean per-rack airflow.
+    """
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        n_days: int,
+        rngs: RngRegistry,
+        rows_per_ahu: int = 6,
+    ):
+        if n_days < 1:
+            raise ConfigError(f"n_days must be >= 1, got {n_days}")
+        if rows_per_ahu < 1:
+            raise ConfigError(f"rows_per_ahu must be >= 1, got {rows_per_ahu}")
+        rng = rngs.stream("ahu")
+
+        self.ahus: list[AhuSpec] = []
+        for dc in fleet.datacenters:
+            n_rows = dc.spec.n_rows
+            for index, start in enumerate(range(1, n_rows + 1, rows_per_ahu)):
+                rows = tuple(range(start, min(start + rows_per_ahu, n_rows + 1)))
+                self.ahus.append(AhuSpec(
+                    ahu_id=f"{dc.name}/AHU{index}",
+                    dc_name=dc.name,
+                    rows=rows,
+                    pressure_bias_pa=float(rng.normal(0.0, 1.5)),
+                    airflow_bias_cfm=float(rng.normal(0.0, 120.0)),
+                ))
+        n_ahus = len(self.ahus)
+
+        # AR(1) daily wander around the setpoint (filter loading builds
+        # up, then maintenance resets it) — realistic structure, but by
+        # construction uncoupled from every hazard.
+        self.pressure_pa = np.empty((n_days, n_ahus))
+        self.airflow_cfm = np.empty((n_days, n_ahus))
+        pressure_state = rng.normal(0.0, 1.0, size=n_ahus)
+        airflow_state = rng.normal(0.0, 60.0, size=n_ahus)
+        biases_p = np.array([ahu.pressure_bias_pa for ahu in self.ahus])
+        biases_a = np.array([ahu.airflow_bias_cfm for ahu in self.ahus])
+        for day in range(n_days):
+            pressure_state = 0.9 * pressure_state + rng.normal(0.0, 0.4, n_ahus)
+            airflow_state = 0.9 * airflow_state + rng.normal(0.0, 25.0, n_ahus)
+            self.pressure_pa[day] = (NOMINAL_PRESSURE_PA + biases_p
+                                     + pressure_state)
+            self.airflow_cfm[day] = (NOMINAL_AIRFLOW_CFM + biases_a
+                                     + airflow_state)
+
+        self._rack_to_ahu = self._map_racks(fleet)
+
+    def _map_racks(self, fleet: Fleet) -> np.ndarray:
+        arrays = fleet.arrays()
+        lookup: dict[tuple[str, int], int] = {}
+        for index, ahu in enumerate(self.ahus):
+            for row in ahu.rows:
+                lookup[(ahu.dc_name, row)] = index
+        mapping = np.empty(arrays.n_racks, dtype=np.int64)
+        for rack_index in range(arrays.n_racks):
+            dc_name = arrays.dc_names[int(arrays.dc_code[rack_index])]
+            row = int(arrays.row[rack_index])
+            if (dc_name, row) not in lookup:
+                raise ConfigError(f"rack row {row} of {dc_name} has no AHU")
+            mapping[rack_index] = lookup[(dc_name, row)]
+        return mapping
+
+    @property
+    def n_ahus(self) -> int:
+        """Number of air handlers across the fleet."""
+        return len(self.ahus)
+
+    def ahu_of_rack(self, rack_index: int) -> AhuSpec:
+        """The AHU serving a given rack."""
+        return self.ahus[int(self._rack_to_ahu[rack_index])]
+
+    def rack_pressure(self) -> np.ndarray:
+        """(n_days, n_racks): each rack's serving-AHU pressure."""
+        return self.pressure_pa[:, self._rack_to_ahu]
+
+    def rack_airflow(self) -> np.ndarray:
+        """(n_days, n_racks): each rack's serving-AHU airflow."""
+        return self.airflow_cfm[:, self._rack_to_ahu]
+
+
+def attach_ahu_telemetry(table, result, rngs: RngRegistry | None = None):
+    """Add ``pressure_pa`` and ``airflow_cfm`` columns to a rack-day table.
+
+    Uses the same seed stream as the run so repeated calls attach
+    identical telemetry.  Returns a new table.
+    """
+    from ..telemetry.schema import FeatureKind, FeatureSpec
+
+    rngs = rngs or RngRegistry(result.config.seed)
+    system = AhuSystem(result.fleet, result.n_days, rngs)
+    racks = table.column("rack_index").astype(np.int64)
+    days = table.column("day_index").astype(np.int64)
+    pressure = system.rack_pressure()[days, racks]
+    airflow = system.rack_airflow()[days, racks]
+    return table.with_column(
+        "pressure_pa", pressure,
+        spec=FeatureSpec("pressure_pa", FeatureKind.CONTINUOUS),
+    ).with_column(
+        "airflow_cfm", airflow,
+        spec=FeatureSpec("airflow_cfm", FeatureKind.CONTINUOUS),
+    )

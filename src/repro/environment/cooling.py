@@ -1,0 +1,163 @@
+"""Cooling-plant models: adiabatic (DC1) and chilled-water HVAC (DC2).
+
+Table I gives the two plants; the paper's §IV footnote describes the
+trade-off: adiabatic cooling is energy-efficient and "effective in warm,
+dry climates, but has a major drawback of the need for a large amount of
+water"; chilled-water HVAC holds conditions tightly at higher OpEx.
+
+The key reproduction target is Fig 18's regime: DC1 racks sometimes see
+inlet air **above 78 °F with RH below 25%**, while DC2 essentially never
+leaves its setpoint band.  In an adiabatic plant that hot-and-dry regime
+occurs exactly when the site is hot and dry *and* the plant limits
+evaporation to conserve water — so we model a water-conservation mode
+that throttles evaporative effectiveness on the driest days.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..units import clamp
+from .weather import WeatherDay, wet_bulb_estimate_f
+
+
+@dataclass(frozen=True)
+class SupplyAir:
+    """Conditions of the air a cooling plant delivers to the IT space."""
+
+    temp_f: float
+    rh: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rh <= 100.0:
+            raise ConfigError(f"supply RH {self.rh} outside [0, 100]")
+
+
+class CoolingPlant:
+    """Interface: turn outdoor weather into supply-air conditions."""
+
+    def supply_air(self, weather: WeatherDay) -> SupplyAir:
+        """Supply-air conditions for the day's outdoor weather."""
+        raise NotImplementedError
+
+
+class AdiabaticCoolingPlant(CoolingPlant):
+    """Evaporative (adiabatic) cooling, as in DC1.
+
+    Supply temperature approaches the outdoor wet-bulb temperature with
+    some effectiveness < 1; evaporation raises supply RH.  On very dry
+    days the plant enters water-conservation mode and throttles
+    effectiveness, letting supply air run hot *and* dry — the regime the
+    paper's MF model flags as detrimental to disks.
+
+    Args:
+        effectiveness: fraction of the dry-bulb→wet-bulb gap removed at
+            full water flow (typical media: 0.7-0.9).
+        conservation_rh_threshold: outdoor RH (%) below which water
+            conservation starts throttling evaporation.
+        min_effectiveness: effectiveness floor in full conservation mode.
+        min_supply_f / max_supply_f: mechanical trim limits; the plant
+            mixes return air on cold days and concedes on extreme days
+            (Table III observes 56-90 °F at the racks).
+    """
+
+    def __init__(
+        self,
+        effectiveness: float = 0.80,
+        conservation_rh_threshold: float = 30.0,
+        min_effectiveness: float = 0.18,
+        min_supply_f: float = 58.0,
+        max_supply_f: float = 88.0,
+    ):
+        if not 0.0 < effectiveness <= 1.0:
+            raise ConfigError(f"effectiveness must be in (0, 1], got {effectiveness}")
+        if not 0.0 <= min_effectiveness <= effectiveness:
+            raise ConfigError("min_effectiveness must be in [0, effectiveness]")
+        if min_supply_f >= max_supply_f:
+            raise ConfigError("min_supply_f must be below max_supply_f")
+        self.effectiveness = effectiveness
+        self.conservation_rh_threshold = conservation_rh_threshold
+        self.min_effectiveness = min_effectiveness
+        self.min_supply_f = min_supply_f
+        self.max_supply_f = max_supply_f
+
+    def effective_effectiveness(self, outdoor_rh: float) -> float:
+        """Evaporative effectiveness after water-conservation throttling."""
+        if outdoor_rh >= self.conservation_rh_threshold:
+            return self.effectiveness
+        # Linear throttle: at 0% outdoor RH the plant runs at the floor.
+        fraction = outdoor_rh / self.conservation_rh_threshold
+        return self.min_effectiveness + fraction * (
+            self.effectiveness - self.min_effectiveness
+        )
+
+    def supply_air(self, weather: WeatherDay) -> SupplyAir:
+        """Evaporatively cooled supply air for the day."""
+        eff = self.effective_effectiveness(weather.rh)
+        wet_bulb = wet_bulb_estimate_f(weather.temp_f, max(weather.rh, 1.0))
+        raw_temp = weather.temp_f - eff * (weather.temp_f - wet_bulb)
+        temp = clamp(raw_temp, self.min_supply_f, self.max_supply_f)
+
+        # Evaporation adds moisture roughly in proportion to the cooling
+        # achieved; throttled days add little moisture.
+        cooling_achieved = max(0.0, weather.temp_f - raw_temp)
+        rh = clamp(weather.rh + 2.4 * cooling_achieved * (eff / self.effectiveness),
+                   3.0, 95.0)
+        return SupplyAir(temp_f=temp, rh=rh)
+
+
+class ChilledWaterPlant(CoolingPlant):
+    """Traditional chilled-water HVAC, as in DC2.
+
+    Holds supply air at a setpoint with a small regulation error that
+    grows mildly with outdoor heat load; humidity is actively managed
+    into a band.  DC2's racks therefore never see the hot-dry regime.
+    """
+
+    def __init__(
+        self,
+        setpoint_f: float = 66.0,
+        regulation_sd_f: float = 1.2,
+        heat_load_slope: float = 0.04,
+        rh_setpoint: float = 45.0,
+        rh_band: float = 6.0,
+    ):
+        if not 40.0 <= setpoint_f <= 90.0:
+            raise ConfigError(f"implausible setpoint {setpoint_f} °F")
+        if regulation_sd_f < 0 or rh_band < 0:
+            raise ConfigError("regulation spreads must be >= 0")
+        self.setpoint_f = setpoint_f
+        self.regulation_sd_f = regulation_sd_f
+        self.heat_load_slope = heat_load_slope
+        self.rh_setpoint = rh_setpoint
+        self.rh_band = rh_band
+
+    def supply_air(self, weather: WeatherDay) -> SupplyAir:
+        """Tightly regulated supply air; drifts slightly on hot days."""
+        heat_excess = max(0.0, weather.temp_f - 80.0)
+        temp = self.setpoint_f + self.heat_load_slope * heat_excess
+        # Deterministic daily value; per-rack noise is added by sensors
+        # and region offsets.  RH nudges toward outdoor moisture within
+        # the managed band.
+        rh_nudge = clamp((weather.rh - 50.0) / 50.0, -1.0, 1.0) * self.rh_band
+        return SupplyAir(
+            temp_f=clamp(temp, self.setpoint_f - 2.0, self.setpoint_f + 6.0),
+            rh=clamp(self.rh_setpoint + rh_nudge, 25.0, 65.0),
+        )
+
+
+def plant_for(cooling_kind: "CoolingKindLike") -> CoolingPlant:
+    """Instantiate the default plant model for a Table I cooling kind."""
+    from ..datacenter.topology import CoolingKind
+
+    if cooling_kind == CoolingKind.ADIABATIC:
+        return AdiabaticCoolingPlant()
+    if cooling_kind == CoolingKind.CHILLED_WATER:
+        return ChilledWaterPlant()
+    raise ConfigError(f"unknown cooling kind: {cooling_kind!r}")
+
+
+CoolingKindLike = object  # documentation alias; see plant_for

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything from this package with a single handler
+while still distinguishing configuration mistakes from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """A scenario or model configuration is invalid or inconsistent."""
+
+
+class SchemaError(ReproError):
+    """A telemetry table or feature schema is malformed or mismatched."""
+
+
+class DataError(ReproError):
+    """Input data violates an invariant (empty table, NaNs, bad dtype)."""
+
+
+class FitError(ReproError):
+    """A statistical model could not be fitted to the given data."""
+
+
+class FormulaError(ReproError):
+    """A ``Metric ~ X1, N(X2), ...`` formula string could not be parsed."""
+
+
+class SimulationError(ReproError):
+    """The failure engine reached an invalid internal state."""

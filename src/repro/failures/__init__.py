@@ -1,0 +1,68 @@
+"""Failure substrate: hazards, fault model, repair, tickets, engine."""
+
+from .diurnal import (
+    DiurnalProfiles,
+    business_hours_profile,
+    load_following_profile,
+    uniform_profile,
+)
+from .engine import SimulationResult, simulate
+from .faultmodel import FaultModel, FaultRateConfig, RackContext
+from .hazards import (
+    bathtub_age_multiplier,
+    humidity_interaction_multiplier,
+    low_humidity_multiplier,
+    seasonal_software_multiplier,
+    thermal_disk_multiplier,
+    utilization_multiplier,
+    weekday_churn_multiplier,
+)
+from .queueing import (
+    QueueingOutcome,
+    apply_technician_queue,
+    staffing_curve,
+)
+from .repair import DEFAULT_REPAIR, RepairDistribution, RepairModel
+from .tickets import (
+    FAULT_CATEGORY,
+    FAULT_CODE,
+    FAULT_TYPES,
+    HARDWARE_FAULTS,
+    FaultType,
+    RmaTicket,
+    TicketCategory,
+    TicketLog,
+)
+
+__all__ = [
+    "DEFAULT_REPAIR",
+    "FAULT_CATEGORY",
+    "FAULT_CODE",
+    "FAULT_TYPES",
+    "HARDWARE_FAULTS",
+    "DiurnalProfiles",
+    "FaultModel",
+    "FaultRateConfig",
+    "FaultType",
+    "QueueingOutcome",
+    "RackContext",
+    "RepairDistribution",
+    "RepairModel",
+    "RmaTicket",
+    "SimulationResult",
+    "TicketCategory",
+    "TicketLog",
+    "bathtub_age_multiplier",
+    "business_hours_profile",
+    "humidity_interaction_multiplier",
+    "load_following_profile",
+    "low_humidity_multiplier",
+    "seasonal_software_multiplier",
+    "apply_technician_queue",
+    "simulate",
+    "staffing_curve",
+    "thermal_disk_multiplier",
+    "uniform_profile",
+    "utilization_multiplier",
+    "weekday_churn_multiplier",
+]

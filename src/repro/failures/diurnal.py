@@ -1,0 +1,105 @@
+"""Intra-day (diurnal) failure arrival profiles.
+
+The engine samples each ticket's detection hour from a per-category
+hour-of-day profile instead of uniformly:
+
+* **software/boot** tickets track the deployment and traffic day —
+  concentrated in business hours (the within-day analogue of Fig 3's
+  weekday effect);
+* **hardware** tickets are mildly load-following (afternoon peak, when
+  utilization and inlet temperature top out);
+* **correlated events** keep their own cascade timing in the engine.
+
+Profiles are 24-bin densities sampled by inverse CDF; each draw gets
+uniform jitter within its hour so timestamps stay continuous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .tickets import FAULT_CATEGORY, FaultType, TicketCategory
+
+
+def _normalized(profile: np.ndarray) -> np.ndarray:
+    profile = np.asarray(profile, dtype=float)
+    if profile.shape != (24,):
+        raise ConfigError(f"profile must have 24 bins, got {profile.shape}")
+    if (profile < 0).any() or profile.sum() <= 0:
+        raise ConfigError("profile must be non-negative with positive mass")
+    return profile / profile.sum()
+
+
+def business_hours_profile(
+    peak_hour: float = 14.0,
+    day_night_ratio: float = 4.0,
+) -> np.ndarray:
+    """Bell-shaped daytime profile: heavy 9-18h, light overnight."""
+    if day_night_ratio < 1.0:
+        raise ConfigError("day_night_ratio must be >= 1")
+    hours = np.arange(24)
+    # Circular distance to the peak hour.
+    distance = np.minimum(np.abs(hours - peak_hour),
+                          24.0 - np.abs(hours - peak_hour))
+    base = 1.0 + (day_night_ratio - 1.0) * np.exp(-(distance / 5.0) ** 2)
+    return _normalized(base)
+
+
+def load_following_profile(amplitude: float = 0.35) -> np.ndarray:
+    """Mild sinusoid peaking mid-afternoon (thermal + utilization load)."""
+    if not 0.0 <= amplitude < 1.0:
+        raise ConfigError("amplitude must be in [0, 1)")
+    hours = np.arange(24)
+    base = 1.0 + amplitude * np.cos(2.0 * np.pi * (hours - 15) / 24.0)
+    return _normalized(base)
+
+
+def uniform_profile() -> np.ndarray:
+    """Flat profile (random component wear-out has no clock)."""
+    return _normalized(np.ones(24))
+
+
+class DiurnalProfiles:
+    """Per-fault-type hour-of-day arrival densities."""
+
+    def __init__(self) -> None:
+        software = business_hours_profile(peak_hour=14.0, day_night_ratio=4.0)
+        boot = business_hours_profile(peak_hour=11.0, day_night_ratio=3.0)
+        hardware = load_following_profile(amplitude=0.35)
+        other = uniform_profile()
+        self._profiles: dict[FaultType, np.ndarray] = {}
+        for fault in FaultType:
+            category = FAULT_CATEGORY[fault]
+            if category is TicketCategory.SOFTWARE:
+                self._profiles[fault] = software
+            elif category is TicketCategory.BOOT:
+                self._profiles[fault] = boot
+            elif category is TicketCategory.HARDWARE:
+                self._profiles[fault] = hardware
+            else:
+                self._profiles[fault] = other
+        self._cdfs = {
+            fault: np.cumsum(profile)
+            for fault, profile in self._profiles.items()
+        }
+
+    def profile(self, fault: FaultType) -> np.ndarray:
+        """The 24-bin density for one fault type."""
+        return self._profiles[fault]
+
+    def sample_hours(
+        self,
+        fault: FaultType,
+        size: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Draw ``size`` intra-day hours (floats in [0, 24))."""
+        if size < 0:
+            raise ConfigError(f"size must be >= 0, got {size}")
+        if size == 0:
+            return np.empty(0)
+        cdf = self._cdfs[fault]
+        bins = np.searchsorted(cdf, rng.random(size), side="right")
+        bins = np.minimum(bins, 23)
+        return bins + rng.random(size)

@@ -1,0 +1,272 @@
+"""Per-fault-type hazard composition.
+
+For every fault type of Table II this module computes, vectorized over
+racks, the expected number of tickets per rack-day.  Rates are composed
+as  ``base rate × device count × ∏ multipliers``  where the multiplier
+set differs per fault type — e.g. only disk hazards react to the
+hot/dry regime, only software/boot rates follow deployment churn.
+
+Base rates are collected in :class:`FaultRateConfig` so the Table II
+ticket mix can be calibrated in one place (see the calibration test in
+``tests/test_engine_calibration.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datacenter.power import density_stress_multiplier, power_infrastructure_rate
+from ..datacenter.topology import Fleet, FleetArrays
+from ..errors import ConfigError
+from ..units import CalendarDay
+from . import hazards
+from .tickets import FaultType
+
+
+@dataclass(frozen=True)
+class FaultRateConfig:
+    """Base rates (per device-day or per rack-day) for every fault type.
+
+    Hardware rates are per *component*-day (disk, DIMM) or per
+    server/rack-day; software and boot rates are per server-day.  The
+    defaults are calibrated so the overall ticket mix lands in Table II's
+    bands (software 45-55%, boot 12-14%, hardware 20-30% disk-led).
+    """
+
+    disk_per_disk_day: float = 6.0e-5
+    memory_per_dimm_day: float = 0.8e-5
+    server_per_server_day: float = 4.5e-5
+    network_per_rack_day: float = 3.0e-3
+    timeout_per_server_day: float = 2.6e-3
+    deployment_per_server_day: float = 1.5e-3
+    crash_per_server_day: float = 2.4e-4
+    pxe_per_server_day: float = 9.5e-4
+    reboot_per_server_day: float = 7.0e-5
+    other_per_server_day: float = 9.5e-4
+    false_positive_rate: float = 0.07
+    rack_outage_per_rack_day: float = 8.0e-6
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise ConfigError(f"FaultRateConfig.{name} must be >= 0, got {value}")
+        if self.false_positive_rate >= 1.0:
+            raise ConfigError("false_positive_rate must be < 1")
+
+
+class RackContext:
+    """Static per-rack hazard inputs, precomputed once per simulation.
+
+    Everything here is constant over the run: workload stress vectors,
+    SKU intrinsic hazards, power-density stress, region residual hazard
+    and per-DC power-infrastructure base rates.
+    """
+
+    def __init__(self, fleet: Fleet):
+        arrays = fleet.arrays()
+        self.arrays = arrays
+        workloads = [fleet.workloads.get(name) for name in arrays.workload_names]
+
+        stress = np.array([w.stress_multiplier for w in workloads])
+        disk_stress = np.array([w.disk_stress for w in workloads])
+        churn = np.array([w.software_churn for w in workloads])
+        weekday_util = np.array([w.weekday_utilization for w in workloads])
+        weekend_util = np.array([w.weekend_utilization for w in workloads])
+
+        code = arrays.workload_code
+        self.stress = stress[code]
+        self.disk_stress = disk_stress[code]
+        self.churn = churn[code]
+        self.weekday_util = weekday_util[code]
+        self.weekend_util = weekend_util[code]
+
+        self.density_stress = density_stress_multiplier(arrays.rated_power_kw)
+        self.region_hazard = arrays.region_hazard
+        self.sku_intrinsic = arrays.sku_intrinsic
+
+        # Facility-design factors (Table I contrasts).  Container
+        # packaging concentrates network gear and boot infrastructure
+        # inside each container (more network/reboot tickets); a
+        # chilled-water plant puts chillers and pumps on the electrical
+        # chain (more routine power tickets).
+        from ..datacenter.topology import CoolingKind, PackagingKind
+
+        specs = {dc.name: dc.spec for dc in fleet.datacenters}
+        per_dc_power = np.array([
+            power_infrastructure_rate(specs[name].availability_nines)
+            * (2.5 if specs[name].cooling == CoolingKind.CHILLED_WATER else 1.0)
+            for name in arrays.dc_names
+        ])
+        per_dc_network = np.array([
+            2.8 if specs[name].packaging == PackagingKind.CONTAINER else 0.55
+            for name in arrays.dc_names
+        ])
+        per_dc_reboot = np.array([
+            2.2 if specs[name].packaging == PackagingKind.CONTAINER else 0.35
+            for name in arrays.dc_names
+        ])
+        # Thermal coupling: how strongly the rack-inlet reading drives
+        # the actual drive temperature.  Container packaging (DC1)
+        # couples tightly; ducted colocated containment (DC2) decouples
+        # the drives from room-sensor excursions — which is why DC2's
+        # disks are "relatively unaffected with temperature and RH
+        # variations" (§VI-Q3) even when its sensors read hot.
+        per_dc_outage_design = np.array([
+            power_infrastructure_rate(specs[name].availability_nines)
+            / power_infrastructure_rate(3)
+            for name in arrays.dc_names
+        ])
+        per_dc_coupling = np.array([
+            1.0 if specs[name].packaging == PackagingKind.CONTAINER else 0.12
+            for name in arrays.dc_names
+        ])
+        self.power_base_rate = per_dc_power[arrays.dc_code]
+        self.network_packaging = per_dc_network[arrays.dc_code]
+        self.reboot_packaging = per_dc_reboot[arrays.dc_code]
+        self.thermal_coupling = per_dc_coupling[arrays.dc_code]
+        self.outage_design = per_dc_outage_design[arrays.dc_code]
+
+    def utilization(self, is_weekend: bool) -> np.ndarray:
+        """Per-rack mean utilization for the given day kind."""
+        return self.weekend_util if is_weekend else self.weekday_util
+
+
+class FaultModel:
+    """Computes expected per-rack ticket counts for each fault type.
+
+    Args:
+        fleet: the simulated fleet.
+        rates: base-rate configuration.
+    """
+
+    def __init__(self, fleet: Fleet, rates: FaultRateConfig | None = None):
+        self.rates = rates or FaultRateConfig()
+        self.context = RackContext(fleet)
+        self.arrays: FleetArrays = fleet.arrays()
+
+    def expected_counts(
+        self,
+        calendar_day: CalendarDay,
+        temp_f: np.ndarray,
+        rh: np.ndarray,
+        commissioned: np.ndarray,
+    ) -> dict[FaultType, np.ndarray]:
+        """Expected ticket count per rack for every fault type, one day.
+
+        Args:
+            calendar_day: calendar features of the simulated day.
+            temp_f: true per-rack inlet temperature (°F).
+            rh: true per-rack relative humidity (%).
+            commissioned: boolean mask of racks already in service.
+
+        Returns:
+            Mapping fault type → per-rack expected count array; entries
+            for un-commissioned racks are zero.
+        """
+        arrays = self.arrays
+        context = self.context
+        rates = self.rates
+        is_weekend = calendar_day.is_weekend
+
+        age = arrays.age_months(calendar_day.day_index)
+        bathtub = hazards.bathtub_age_multiplier(age)
+        util = hazards.utilization_multiplier(context.utilization(is_weekend))
+        low_rh = hazards.low_humidity_multiplier(rh)
+        coupling = context.thermal_coupling
+        thermal_disk = 1.0 + coupling * (hazards.thermal_disk_multiplier(temp_f) - 1.0)
+        hot_dry = 1.0 + coupling * (
+            hazards.humidity_interaction_multiplier(temp_f, rh) - 1.0
+        )
+        churn_day = hazards.weekday_churn_multiplier(is_weekend)
+        seasonal_sw = hazards.seasonal_software_multiplier(calendar_day.month)
+
+        # Shared hardware composition: intrinsic SKU quality, residual
+        # spatial hazard, age bathtub and how hard the workload drives
+        # the machines.
+        hardware_common = (
+            context.sku_intrinsic * context.region_hazard * bathtub
+            * context.stress * util
+        )
+
+        disks = arrays.n_servers * arrays.hdds_per_server
+        dimms = arrays.n_servers * arrays.dimms_per_server
+        servers = arrays.n_servers.astype(float)
+
+        counts: dict[FaultType, np.ndarray] = {
+            FaultType.DISK: (
+                rates.disk_per_disk_day * disks * hardware_common
+                * context.disk_stress * thermal_disk * hot_dry * low_rh
+            ),
+            FaultType.MEMORY: (
+                rates.memory_per_dimm_day * dimms * hardware_common * low_rh
+            ),
+            FaultType.SERVER: (
+                rates.server_per_server_day * servers * hardware_common
+                * context.density_stress * low_rh
+            ),
+            FaultType.POWER: (
+                context.power_base_rate * context.density_stress
+                * context.region_hazard * bathtub
+            ),
+            FaultType.NETWORK: (
+                rates.network_per_rack_day * context.network_packaging
+                * context.region_hazard * bathtub
+            ),
+            FaultType.TIMEOUT: (
+                rates.timeout_per_server_day * servers * util
+                * (0.6 + 0.4 * context.churn) * seasonal_sw
+            ),
+            FaultType.DEPLOYMENT: (
+                rates.deployment_per_server_day * servers * context.churn
+                * churn_day * seasonal_sw
+            ),
+            FaultType.CRASH: (
+                rates.crash_per_server_day * servers * util * seasonal_sw
+            ),
+            FaultType.PXE_BOOT: (
+                rates.pxe_per_server_day * servers
+                * (0.7 + 0.3 * churn_day) * bathtub
+            ),
+            FaultType.REBOOT: (
+                rates.reboot_per_server_day * servers
+                * context.reboot_packaging * bathtub
+            ),
+            FaultType.OTHER: (
+                rates.other_per_server_day * servers * context.region_hazard
+            ),
+        }
+        not_commissioned = ~commissioned
+        for fault in counts:
+            counts[fault] = np.where(not_commissioned, 0.0, counts[fault])
+        return counts
+
+    def batch_event_rate(self, calendar_day: CalendarDay, commissioned: np.ndarray) -> np.ndarray:
+        """Per-rack daily probability of a correlated batch failure.
+
+        Batch propensity is a SKU property (bad component lots, shared
+        backplanes) amplified for very young and very old equipment —
+        the mechanism behind the large μ spread across the paper's
+        storage clusters (Fig 11b).
+        """
+        age = self.arrays.age_months(calendar_day.day_index)
+        bathtub = hazards.bathtub_age_multiplier(age)
+        rate = self.arrays.batch_rate * bathtub
+        return np.where(commissioned, rate, 0.0)
+
+    def rack_outage_rate(self, calendar_day: CalendarDay, commissioned: np.ndarray) -> np.ndarray:
+        """Per-rack daily probability of a rack-scale outage event.
+
+        Whole-rack events (failed power strip, ToR switch meltdown) take
+        down a large fraction of the rack at once.  They are rarer in
+        the 5-nines facility and more likely for dense, aging racks.
+        """
+        context = self.context
+        age = self.arrays.age_months(calendar_day.day_index)
+        bathtub = hazards.bathtub_age_multiplier(age)
+        rate = (
+            self.rates.rack_outage_per_rack_day
+            * context.outage_design * context.density_stress * bathtub
+        )
+        return np.where(commissioned, rate, 0.0)

@@ -1,0 +1,139 @@
+"""Ground-truth hazard multipliers used by the failure engine.
+
+Each function maps a per-rack array of conditions to a multiplicative
+hazard factor.  The engine composes them per fault type (see
+:mod:`repro.failures.faultmodel`); the analysis layer never imports this
+module — it must *recover* these shapes from the generated tickets.
+
+Planted shapes and the figures they reproduce:
+
+* :func:`bathtub_age_multiplier` — elevated infant mortality decaying
+  over ~8 months, mild wear-out after 4 years (Fig 9: "new equipment
+  tends to have higher failures"; no visible tail within 2.5 years).
+* :func:`thermal_disk_multiplier` — gentle rise with temperature plus a
+  ≈50% step above 78 °F (Figs 16-18).
+* :func:`humidity_interaction_multiplier` — additional ≈25% when hot
+  (>78 °F) air is also dry (<25% RH) (Fig 18).
+* :func:`low_humidity_multiplier` — electrostatic-discharge regime:
+  general hardware hazard rises at low RH (Fig 5).
+* :func:`utilization_multiplier` — harder-driven machines fail more;
+  weekday/weekend utilization swings yield Fig 3's day-of-week effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bathtub_age_multiplier(
+    age_months: np.ndarray,
+    infant_excess: float = 2.6,
+    infant_tau_months: float = 8.0,
+    wearout_onset_months: float = 48.0,
+    wearout_slope_per_month: float = 0.010,
+) -> np.ndarray:
+    """Bathtub-curve age effect.
+
+    ``1 + infant_excess * exp(-age/tau)`` for the infant-mortality edge,
+    plus a linear wear-out ramp beyond ``wearout_onset_months``.  Ages
+    below zero (not yet commissioned) are clipped to zero; the engine
+    independently masks un-commissioned racks out of the hazard.
+    """
+    age = np.maximum(0.0, np.asarray(age_months, dtype=float))
+    infant = infant_excess * np.exp(-age / infant_tau_months)
+    wearout = wearout_slope_per_month * np.maximum(0.0, age - wearout_onset_months)
+    return 1.0 + infant + wearout
+
+
+def thermal_disk_multiplier(
+    temp_f: np.ndarray,
+    baseline_f: float = 62.0,
+    trend_per_f: float = 0.004,
+    step_at_f: float = 78.0,
+    step_size: float = 0.50,
+    step_width_f: float = 1.2,
+) -> np.ndarray:
+    """Disk hazard vs inlet temperature.
+
+    A mild linear trend above ``baseline_f`` (Fig 17's monotone rise)
+    plus a sigmoid step of ``step_size`` centred at ``step_at_f`` — the
+    paper's MF tree finds the 78 °F split with a 50% rate increase.
+    """
+    temp = np.asarray(temp_f, dtype=float)
+    trend = trend_per_f * np.maximum(0.0, temp - baseline_f)
+    step = step_size / (1.0 + np.exp(-(temp - step_at_f) / step_width_f))
+    return 1.0 + trend + step
+
+
+def humidity_interaction_multiplier(
+    temp_f: np.ndarray,
+    rh: np.ndarray,
+    temp_gate_f: float = 78.0,
+    rh_gate: float = 25.0,
+    excess: float = 0.18,
+    width: float = 2.0,
+) -> np.ndarray:
+    """Hot-AND-dry interaction on disk hazard.
+
+    Smoothly gated product of "above 78 °F" and "below 25% RH"; at full
+    activation the multiplier is ``1 + excess`` (the paper's additional
+    25% increase when operating hot *and* below 25% RH).
+    """
+    temp = np.asarray(temp_f, dtype=float)
+    humidity = np.asarray(rh, dtype=float)
+    hot = 1.0 / (1.0 + np.exp(-(temp - temp_gate_f) / width))
+    dry = 1.0 / (1.0 + np.exp((humidity - rh_gate) / width))
+    return 1.0 + excess * hot * dry
+
+
+def low_humidity_multiplier(
+    rh: np.ndarray,
+    knee_rh: float = 25.0,
+    excess: float = 0.6,
+    width: float = 3.5,
+) -> np.ndarray:
+    """General hardware hazard at low relative humidity (ESD regime).
+
+    Fig 5 shows "notable variation in failure rates for lower humidity
+    operating points"; dry air increases electrostatic-discharge events
+    during servicing and airflow.
+    """
+    humidity = np.asarray(rh, dtype=float)
+    return 1.0 + excess / (1.0 + np.exp((humidity - knee_rh) / width))
+
+
+def utilization_multiplier(
+    utilization: np.ndarray,
+    floor: float = 0.55,
+    slope: float = 0.75,
+) -> np.ndarray:
+    """Hazard vs utilization: ``floor + slope * u``.
+
+    Normalized so a fully-loaded machine (u=1) sees 1.3X the hazard of a
+    ~60%-loaded one; idle machines still fail (floor > 0).
+    """
+    util = np.asarray(utilization, dtype=float)
+    return floor + slope * util
+
+
+def seasonal_software_multiplier(month: int, second_half_boost: float = 0.12) -> float:
+    """Mild second-half-of-year boost to software churn.
+
+    Service release cycles concentrate feature pushes in H2 (Fig 4's
+    bump is partly weather, partly operational cadence).
+    """
+    if not 1 <= month <= 12:
+        raise ValueError(f"month must be 1..12, got {month}")
+    return 1.0 + (second_half_boost if month >= 7 else 0.0)
+
+
+def weekday_churn_multiplier(is_weekend: bool, weekend_fraction: float = 0.35) -> float:
+    """Deployment/config churn happens on weekdays.
+
+    Weekend churn drops to ``weekend_fraction`` of the weekday level —
+    the dominant mechanism behind Fig 3's weekday failure excess for
+    software/boot tickets.
+    """
+    if not 0.0 <= weekend_fraction <= 1.0:
+        raise ValueError(f"weekend_fraction must be in [0,1], got {weekend_fraction}")
+    return weekend_fraction if is_weekend else 1.0

@@ -1,0 +1,145 @@
+"""Technician queueing: repair capacity as an operational knob.
+
+§II's OpEx questions include planning "for repair/service".  The base
+engine samples each ticket's time-to-resolution independently — an
+infinite-technician idealization.  This module re-plays a run's
+hardware tickets through a finite per-DC technician pool (an M/G/c-style
+queue): when every technician is busy, repairs wait, downtime stretches,
+and the concurrent-failure metric μ — hence spare provisioning — gets
+worse.  Correlated bursts hurt doubly: they are exactly the moments the
+queue saturates.
+
+The replay is counterfactual post-processing: it never changes failure
+*occurrence*, only resolution timing, so any provisioning analysis can
+be re-run on the adjusted log to answer "how many technicians per DC do
+my spares assume?".
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..failures.engine import SimulationResult
+from ..failures.tickets import TicketLog
+
+
+@dataclass(frozen=True)
+class QueueingOutcome:
+    """Result of replaying repairs through finite technician pools.
+
+    Attributes:
+        adjusted_log: ticket log with stretched ``repair_hours``
+            (detection times unchanged; resolution = wait + service).
+        waiting_hours: per-ticket queueing delay (0 where a technician
+            was free immediately).
+        technicians_per_dc: the evaluated staffing.
+    """
+
+    adjusted_log: TicketLog
+    waiting_hours: np.ndarray
+    technicians_per_dc: dict[str, int]
+
+    @property
+    def mean_wait_hours(self) -> float:
+        """Average queueing delay across hardware tickets."""
+        return float(self.waiting_hours.mean()) if self.waiting_hours.size else 0.0
+
+    @property
+    def delayed_fraction(self) -> float:
+        """Share of hardware tickets that had to wait."""
+        if self.waiting_hours.size == 0:
+            return 0.0
+        return float((self.waiting_hours > 1e-9).mean())
+
+
+def apply_technician_queue(
+    result: SimulationResult,
+    technicians_per_dc: dict[str, int] | int,
+) -> QueueingOutcome:
+    """Replay hardware repairs through per-DC technician pools.
+
+    Args:
+        result: simulation run (its log is not modified).
+        technicians_per_dc: pool size per DC name, or one size for all.
+
+    Service discipline is first-come-first-served per DC on hardware
+    tickets only (software/boot resolutions are remote/automated and
+    keep their original timing).
+    """
+    arrays = result.fleet.arrays()
+    if isinstance(technicians_per_dc, int):
+        technicians_per_dc = {
+            name: technicians_per_dc for name in arrays.dc_names
+        }
+    for name in arrays.dc_names:
+        if name not in technicians_per_dc:
+            raise ConfigError(f"no technician count for {name}")
+        if technicians_per_dc[name] < 1:
+            raise ConfigError(f"{name}: need at least one technician")
+
+    log = result.tickets
+    hardware = log.hardware_mask() & log.true_positive_mask()
+    dc_of_ticket = arrays.dc_code[log.rack_index]
+
+    new_repair = log.repair_hours.copy()
+    waiting = np.zeros(int(hardware.sum()))
+    wait_cursor = 0
+
+    for dc_index, dc_name in enumerate(arrays.dc_names):
+        members = np.flatnonzero(hardware & (dc_of_ticket == dc_index))
+        if members.size == 0:
+            continue
+        order = members[np.argsort(log.start_hour_abs[members], kind="stable")]
+        # Heap of technician-free times; every technician starts idle.
+        free_at = [0.0] * technicians_per_dc[dc_name]
+        heapq.heapify(free_at)
+        for ticket in order.tolist():
+            arrival = float(log.start_hour_abs[ticket])
+            service = float(log.repair_hours[ticket])
+            earliest = heapq.heappop(free_at)
+            start = max(arrival, earliest)
+            finish = start + service
+            heapq.heappush(free_at, finish)
+            wait = start - arrival
+            new_repair[ticket] = wait + service
+            waiting[wait_cursor] = wait
+            wait_cursor += 1
+
+    adjusted = TicketLog()
+    adjusted.append_chunk(
+        day_index=log.day_index,
+        start_hour_abs=log.start_hour_abs,
+        rack_index=log.rack_index,
+        server_offset=log.server_offset,
+        fault_code=log.fault_code,
+        false_positive=log.false_positive,
+        repair_hours=new_repair,
+        batch_id=log.batch_id,
+    )
+    adjusted.finalize()
+    return QueueingOutcome(
+        adjusted_log=adjusted,
+        waiting_hours=waiting[:wait_cursor],
+        technicians_per_dc=dict(technicians_per_dc),
+    )
+
+
+def staffing_curve(
+    result: SimulationResult,
+    pool_sizes: tuple[int, ...] = (1, 2, 4, 8, 16),
+) -> dict[int, float]:
+    """Mean queueing delay as a function of per-DC technician count.
+
+    The curve answers the staffing question directly: the knee is where
+    extra technicians stop buying availability.
+    """
+    if not pool_sizes:
+        raise ConfigError("need at least one pool size")
+    return {
+        size: apply_technician_queue(result, size).mean_wait_hours
+        for size in pool_sizes
+    }

@@ -1,0 +1,107 @@
+"""Repair/replacement model: time-to-resolution per fault type.
+
+§IV: "An operating engineer investigates the root cause of this RMA
+ticket, and if it is a hardware fault, the ticket is resolved by
+replacing the faulty component."  Hardware resolutions take hours to
+days (spare logistics, rebuild time); software and boot tickets resolve
+in minutes to hours (re-image, re-deploy).
+
+Repair durations are what turn point failures into *downtime intervals*,
+and downtime intervals are what the concurrent-failure metric μ (and
+hence all of Q1's spare provisioning) is computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .tickets import FaultType
+
+
+@dataclass(frozen=True)
+class RepairDistribution:
+    """Lognormal time-to-resolution for one fault type.
+
+    Attributes:
+        median_hours: distribution median.
+        sigma: lognormal shape (spread) parameter.
+        replace_probability: chance resolution is a full replacement
+            rather than an in-place repair (drives OpEx in the TCO
+            model: replacements consume a spare, repairs consume labor).
+    """
+
+    median_hours: float
+    sigma: float
+    replace_probability: float
+
+    def __post_init__(self) -> None:
+        if self.median_hours <= 0:
+            raise ConfigError(f"median_hours must be positive, got {self.median_hours}")
+        if self.sigma < 0:
+            raise ConfigError(f"sigma must be >= 0, got {self.sigma}")
+        if not 0.0 <= self.replace_probability <= 1.0:
+            raise ConfigError("replace_probability must be a probability")
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``size`` resolution times in hours."""
+        if size < 0:
+            raise ConfigError(f"size must be >= 0, got {size}")
+        if size == 0:
+            return np.empty(0)
+        return rng.lognormal(mean=np.log(self.median_hours), sigma=self.sigma, size=size)
+
+    @property
+    def mean_hours(self) -> float:
+        """Analytic mean of the lognormal resolution time."""
+        return float(self.median_hours * np.exp(self.sigma**2 / 2.0))
+
+
+DEFAULT_REPAIR: dict[FaultType, RepairDistribution] = {
+    FaultType.DISK: RepairDistribution(median_hours=10.0, sigma=0.6, replace_probability=0.95),
+    FaultType.MEMORY: RepairDistribution(median_hours=14.0, sigma=0.6, replace_probability=0.90),
+    FaultType.POWER: RepairDistribution(median_hours=10.0, sigma=0.7, replace_probability=0.60),
+    FaultType.SERVER: RepairDistribution(median_hours=8.0, sigma=0.7, replace_probability=0.55),
+    FaultType.NETWORK: RepairDistribution(median_hours=12.0, sigma=0.7, replace_probability=0.40),
+    FaultType.TIMEOUT: RepairDistribution(median_hours=1.5, sigma=0.8, replace_probability=0.0),
+    FaultType.DEPLOYMENT: RepairDistribution(median_hours=2.5, sigma=0.8, replace_probability=0.0),
+    FaultType.CRASH: RepairDistribution(median_hours=1.0, sigma=0.7, replace_probability=0.0),
+    FaultType.PXE_BOOT: RepairDistribution(median_hours=3.0, sigma=0.7, replace_probability=0.02),
+    FaultType.REBOOT: RepairDistribution(median_hours=2.0, sigma=0.6, replace_probability=0.02),
+    FaultType.OTHER: RepairDistribution(median_hours=6.0, sigma=0.9, replace_probability=0.10),
+}
+
+
+class RepairModel:
+    """Samples resolution times and replace-vs-repair outcomes.
+
+    Args:
+        distributions: per-fault overrides; unspecified faults use
+            :data:`DEFAULT_REPAIR`.
+    """
+
+    def __init__(self, distributions: dict[FaultType, RepairDistribution] | None = None):
+        merged = dict(DEFAULT_REPAIR)
+        if distributions:
+            merged.update(distributions)
+        missing = [fault for fault in FaultType if fault not in merged]
+        if missing:
+            raise ConfigError(f"repair model missing fault types: {missing}")
+        self.distributions = merged
+
+    def sample_hours(self, fault: FaultType, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``size`` resolution durations for ``fault``."""
+        return self.distributions[fault].sample(size, rng)
+
+    def sample_replacement(self, fault: FaultType, size: int,
+                           rng: np.random.Generator) -> np.ndarray:
+        """Boolean array: True where resolution replaced the device."""
+        if size == 0:
+            return np.empty(0, dtype=bool)
+        return rng.random(size) < self.distributions[fault].replace_probability
+
+    def mean_hours(self, fault: FaultType) -> float:
+        """Mean resolution time for ``fault``."""
+        return self.distributions[fault].mean_hours

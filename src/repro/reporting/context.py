@@ -1,0 +1,70 @@
+"""Shared analysis context: caches the expensive intermediate products.
+
+Reproducing all 18 figures needs the same handful of derived datasets
+(rack-day tables, μ matrices, provisioners) over and over; the context
+builds each once per simulation run.
+"""
+
+from __future__ import annotations
+
+from ..failures.engine import SimulationResult
+from ..failures.tickets import FaultType, HARDWARE_FAULTS
+from ..telemetry.aggregate import build_rack_day_table
+from ..telemetry.table import Table
+
+
+class AnalysisContext:
+    """Caches derived datasets for one simulation run."""
+
+    def __init__(self, result: SimulationResult):
+        self.result = result
+        self._all_table: Table | None = None
+        self._hardware_table: Table | None = None
+        self._disk_table: Table | None = None
+        self._provisioners: dict[float, object] = {}
+        self._component_provisioners: dict[float, object] = {}
+
+    @property
+    def all_failures(self) -> Table:
+        """Rack-day table over all fault types (Figs 2-9, 16)."""
+        if self._all_table is None:
+            self._all_table = build_rack_day_table(self.result)
+        return self._all_table
+
+    @property
+    def hardware_failures(self) -> Table:
+        """Rack-day table over hardware faults, with μ columns (Q2)."""
+        if self._hardware_table is None:
+            self._hardware_table = build_rack_day_table(
+                self.result, faults=list(HARDWARE_FAULTS), include_mu=True,
+            )
+        return self._hardware_table
+
+    @property
+    def disk_failures(self) -> Table:
+        """Rack-day table over disk faults only (Figs 17-18)."""
+        if self._disk_table is None:
+            self._disk_table = build_rack_day_table(
+                self.result, faults=[FaultType.DISK],
+            )
+        return self._disk_table
+
+    def provisioner(self, window_hours: float = 24.0):
+        """Cached :class:`~repro.decisions.spares.SpareProvisioner`."""
+        from ..decisions.spares import SpareProvisioner
+
+        if window_hours not in self._provisioners:
+            self._provisioners[window_hours] = SpareProvisioner(
+                self.result, window_hours=window_hours,
+            )
+        return self._provisioners[window_hours]
+
+    def component_provisioner(self, window_hours: float = 24.0):
+        """Cached :class:`~repro.decisions.component_spares.ComponentProvisioner`."""
+        from ..decisions.component_spares import ComponentProvisioner
+
+        if window_hours not in self._component_provisioners:
+            self._component_provisioners[window_hours] = ComponentProvisioner(
+                self.result, window_hours=window_hours,
+            )
+        return self._component_provisioners[window_hours]

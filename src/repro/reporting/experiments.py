@@ -1,0 +1,108 @@
+"""Experiment registry: every table and figure, addressable by id.
+
+Maps each of the paper's evaluation artifacts to the function that
+regenerates it, so examples, tests and the benchmark harness can iterate
+over the full set uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..errors import DataError
+from . import figures, tables
+from .context import AnalysisContext
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact.
+
+    Attributes:
+        experiment_id: e.g. ``"table2"`` or ``"fig10"``.
+        description: what the artifact shows.
+        produce: callable mapping an AnalysisContext to a renderable
+            result (a str, FigureSeries, or object with ``render()``).
+    """
+
+    experiment_id: str
+    description: str
+    produce: Callable[[AnalysisContext], object]
+
+    def render(self, context: AnalysisContext) -> str:
+        """Produce and render the artifact as text."""
+        output = self.produce(context)
+        if isinstance(output, str):
+            return output
+        render = getattr(output, "render", None)
+        if callable(render):
+            return render()
+        raise DataError(f"{self.experiment_id}: result is not renderable")
+
+
+def _registry() -> list[Experiment]:
+    return [
+        Experiment("table1", "DC properties",
+                   lambda ctx: tables.table_i(ctx.result)),
+        Experiment("table2", "Classification of failure tickets",
+                   lambda ctx: tables.table_ii(ctx.result)),
+        Experiment("table3", "Candidate features",
+                   lambda ctx: tables.table_iii(ctx.result)),
+        Experiment("table4", "TCO savings of MF over SF",
+                   tables.table_iv),
+        Experiment("fig01", "Aggregate vs group requirement CDFs",
+                   lambda ctx: figures.render_fig01(figures.fig01_cdf_concept(ctx))),
+        Experiment("fig02", "Failure rate by DC region", figures.fig02_spatial),
+        Experiment("fig03", "Failure rate by day of week", figures.fig03_day_of_week),
+        Experiment("fig04", "Failure rate by month", figures.fig04_month),
+        Experiment("fig05", "Failure rate by relative humidity", figures.fig05_humidity),
+        Experiment("fig06", "Failure rate by workload", figures.fig06_workload),
+        Experiment("fig07", "Failure rate by SKU", figures.fig07_sku),
+        Experiment("fig08", "Failure rate by rack power rating", figures.fig08_power),
+        Experiment("fig09", "Failure rate by equipment age", figures.fig09_age),
+        Experiment("fig10", "Over-provisioning, daily",
+                   lambda ctx: figures.fig10_overprovision(ctx, 24.0)),
+        Experiment("fig11", "Per-cluster requirement CDFs (W1, W6)",
+                   lambda ctx: "\n\n".join(
+                       f"[{workload}]\n" + "\n".join(
+                           f"  {name}: n={len(sample)}, max={sample.max():.1f}%"
+                           for name, sample in
+                           figures.fig11_cluster_cdfs(ctx, workload).items()
+                       )
+                       for workload in ("W1", "W6")
+                   )),
+        Experiment("fig12", "Over-provisioning, hourly",
+                   lambda ctx: figures.fig10_overprovision(ctx, 1.0)),
+        Experiment("fig13", "Component vs server-level spare cost",
+                   figures.fig13_component_spares),
+        Experiment("fig14", "SKU comparison, single factor",
+                   lambda ctx: figures.render_fig14(figures.fig14_fig15_sku(ctx))),
+        Experiment("fig15", "SKU comparison, multi factor",
+                   lambda ctx: figures.render_fig15(figures.fig14_fig15_sku(ctx))),
+        Experiment("fig16", "All failures vs temperature", figures.fig16_temperature_all),
+        Experiment("fig17", "Disk failures vs temperature", figures.fig17_temperature_disk),
+        Experiment("fig18", "Disk failures vs T/RH groups per DC", figures.fig18_climate_mf),
+    ]
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    experiment.experiment_id: experiment for experiment in _registry()
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id (raises DataError for unknown ids)."""
+    if experiment_id not in EXPERIMENTS:
+        raise DataError(
+            f"unknown experiment {experiment_id!r}; have {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id]
+
+
+def run_all(context: AnalysisContext) -> dict[str, str]:
+    """Render every registered experiment (expensive at paper scale)."""
+    return {
+        experiment_id: experiment.render(context)
+        for experiment_id, experiment in EXPERIMENTS.items()
+    }

@@ -1,0 +1,82 @@
+"""Plain-text rendering helpers for tables and bar series.
+
+Every figure in the paper is a bar chart or CDF; these helpers render
+the reproduced series as aligned text so benchmarks and examples can
+print something a human can compare against the paper directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+
+
+def render_table(
+    headers: list[str],
+    rows: list[list[str]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table."""
+    if not rows:
+        raise DataError("cannot render an empty table")
+    for row in rows:
+        if len(row) != len(headers):
+            raise DataError(f"row width {len(row)} != header width {len(headers)}")
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: list[str],
+    values: list[float] | np.ndarray,
+    title: str | None = None,
+    width: int = 40,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Horizontal ASCII bar chart, scaled to the maximum value."""
+    values = np.asarray(values, dtype=float)
+    if len(labels) != len(values):
+        raise DataError("labels and values must be aligned")
+    if len(values) == 0:
+        raise DataError("cannot render an empty bar chart")
+    finite = values[np.isfinite(values)]
+    peak = finite.max() if finite.size and finite.max() > 0 else 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        if not np.isfinite(value):
+            lines.append(f"{label.ljust(label_width)} | (no data)")
+            continue
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def render_cdf(
+    values: np.ndarray,
+    title: str | None = None,
+    n_points: int = 11,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Textual CDF summary: value at evenly spaced probability levels."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise DataError("cannot summarize an empty sample")
+    lines = [title] if title else []
+    for q in np.linspace(0.0, 1.0, n_points):
+        lines.append(f"  p{q * 100:5.1f}: " + value_format.format(np.quantile(values, q)))
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Multi-seed robustness sweeps over the headline conclusions.
+
+Everything the paper measures is one realization of a stochastic
+process; conclusions drawn from a single dataset (as the paper
+necessarily did) carry sampling variance.  Because our substrate can be
+re-simulated, this module quantifies that variance: it re-runs the
+headline analyses over several seeds and reports the spread of each
+metric — the reproduction analogue of error bars the paper could not
+have.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..datacenter.builder import FleetConfig
+from ..decisions.availability import AvailabilitySla
+from ..decisions.climate import climate_group_rates, discover_climate_thresholds
+from ..decisions.sku_ranking import compare_skus
+from ..decisions.spares import SpareProvisioner
+from ..errors import DataError, ReproError
+from ..failures.engine import SimulationResult, simulate
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Distribution of one headline metric across seeds.
+
+    Attributes:
+        name: metric label.
+        values: one value per completed seed (NaN = not computable).
+        paper_value: the paper's reported number, when it has one.
+    """
+
+    name: str
+    values: np.ndarray
+    paper_value: float | None = None
+
+    @property
+    def mean(self) -> float:
+        """Mean over computable seeds (NaN if none)."""
+        if self.n_computable == 0:
+            return float("nan")
+        return float(np.nanmean(self.values))
+
+    @property
+    def spread(self) -> float:
+        """Standard deviation over computable seeds (NaN if none)."""
+        if self.n_computable == 0:
+            return float("nan")
+        return float(np.nanstd(self.values))
+
+    @property
+    def n_computable(self) -> int:
+        """Seeds for which the metric could be computed."""
+        return int(np.isfinite(self.values).sum())
+
+    def render(self) -> str:
+        """One summary line."""
+        paper = f"  (paper: {self.paper_value:g})" if self.paper_value is not None else ""
+        return (f"{self.name:38s} {self.mean:8.3f} ± {self.spread:.3f} "
+                f"[n={self.n_computable}]{paper}")
+
+
+# Metric extractors: name → (callable(result) -> float, paper value).
+def _sf_sku_ratio(result: SimulationResult) -> float:
+    return compare_skus(result).sf_ratio("S2", "S4", "mean")
+
+
+def _mf_sku_ratio(result: SimulationResult) -> float:
+    return compare_skus(result).mf_ratio("S2", "S4", "mean")
+
+
+def _mf_overprovision_w6(result: SimulationResult) -> float:
+    provisioner = SpareProvisioner(result, window_hours=24.0)
+    return 100.0 * provisioner.multi_factor("W6", AvailabilitySla(1.0)).overprovision
+
+
+def _sf_overprovision_w6(result: SimulationResult) -> float:
+    provisioner = SpareProvisioner(result, window_hours=24.0)
+    return 100.0 * provisioner.single_factor("W6", AvailabilitySla(1.0)).overprovision
+
+
+def _dc1_temp_threshold(result: SimulationResult) -> float:
+    found = discover_climate_thresholds(result, "DC1")
+    if found.temp_threshold_f is None:
+        raise DataError("no significant DC1 temperature split")
+    return found.temp_threshold_f
+
+
+def _dc1_hot_cool_ratio(result: SimulationResult) -> float:
+    group = climate_group_rates(result, "DC1")
+    return group.hot / group.cool
+
+
+HEADLINE_METRICS: dict[str, tuple[Callable[[SimulationResult], float], float | None]] = {
+    "Q2 SF S2/S4 average-rate ratio": (_sf_sku_ratio, 10.0),
+    "Q2 MF S2/S4 average-rate ratio": (_mf_sku_ratio, 4.0),
+    "Q1 SF over-provision W6@100% (%)": (_sf_overprovision_w6, None),
+    "Q1 MF over-provision W6@100% (%)": (_mf_overprovision_w6, None),
+    "Q3 DC1 temperature split (F)": (_dc1_temp_threshold, 78.0),
+    "Q3 DC1 hot/cool disk-rate ratio": (_dc1_hot_cool_ratio, 1.5),
+}
+
+
+def run_sweep(
+    seeds: list[int],
+    scale: float = 0.3,
+    n_days: int = 540,
+    metrics: dict[str, tuple[Callable[[SimulationResult], float], float | None]]
+        | None = None,
+) -> list[MetricSummary]:
+    """Re-run the headline analyses over several seeds.
+
+    Metrics that a particular realization cannot support (e.g. no
+    significant climate split) record NaN for that seed rather than
+    failing the sweep.
+    """
+    if not seeds:
+        raise DataError("need at least one seed")
+    metrics = metrics or HEADLINE_METRICS
+    collected: dict[str, list[float]] = {name: [] for name in metrics}
+    for seed in seeds:
+        config = SimulationConfig(
+            seed=seed, n_days=n_days,
+            fleet=FleetConfig(scale=scale, observation_days=n_days),
+        )
+        result = simulate(config)
+        for name, (extractor, _) in metrics.items():
+            try:
+                collected[name].append(float(extractor(result)))
+            except ReproError:
+                collected[name].append(float("nan"))
+    return [
+        MetricSummary(
+            name=name,
+            values=np.array(collected[name]),
+            paper_value=metrics[name][1],
+        )
+        for name in metrics
+    ]
+
+
+def render_sweep(summaries: list[MetricSummary], seeds: list[int]) -> str:
+    """Text report of a sweep."""
+    lines = [f"Robustness sweep over seeds {seeds}:"]
+    lines.extend(summary.render() for summary in summaries)
+    return "\n".join(lines)

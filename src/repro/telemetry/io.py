@@ -1,0 +1,139 @@
+"""CSV import/export for tickets, inventory and analysis tables.
+
+Lets downstream users pull the simulated "field data" into their own
+tooling (pandas, R, spreadsheets) and, conversely, lets the analysis
+layer run on externally produced ticket CSVs with the same layout.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+
+import numpy as np
+
+from ..errors import DataError
+from ..failures.engine import SimulationResult
+from ..failures.tickets import FAULT_CATEGORY, FAULT_TYPES
+from .table import Table
+
+TICKET_COLUMNS = (
+    "ticket_id", "day_index", "start_hour_abs", "dc", "rack_id",
+    "server_offset", "fault_type", "category", "false_positive",
+    "repair_hours", "batch_id",
+)
+
+
+def export_tickets_csv(result: SimulationResult, path: str | pathlib.Path) -> int:
+    """Write the run's RMA ticket log as CSV; returns the row count."""
+    log = result.tickets
+    arrays = result.fleet.arrays()
+    path = pathlib.Path(path)
+
+    day = log.day_index
+    start = log.start_hour_abs
+    rack = log.rack_index
+    offset = log.server_offset
+    fault = log.fault_code
+    fp = log.false_positive
+    repair = log.repair_hours
+    batch = log.batch_id
+
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(TICKET_COLUMNS)
+        for i in range(len(log)):
+            fault_type = FAULT_TYPES[int(fault[i])]
+            writer.writerow([
+                i,
+                int(day[i]),
+                f"{float(start[i]):.3f}",
+                arrays.dc_names[int(arrays.dc_code[rack[i]])],
+                arrays.rack_ids[rack[i]],
+                int(offset[i]),
+                fault_type.value,
+                FAULT_CATEGORY[fault_type].value,
+                int(fp[i]),
+                f"{float(repair[i]):.3f}",
+                int(batch[i]),
+            ])
+    return len(log)
+
+
+def export_inventory_csv(result: SimulationResult, path: str | pathlib.Path) -> int:
+    """Write the rack inventory (deployment-time features) as CSV."""
+    path = pathlib.Path(path)
+    racks = result.fleet.racks
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "rack_id", "dc", "region", "row", "sku", "vendor", "workload",
+            "rated_power_kw", "commission_day", "n_servers",
+            "hdds_per_server", "dimms_per_server",
+        ])
+        for rack in racks:
+            writer.writerow([
+                rack.rack_id, rack.dc_name, rack.region_name, rack.row,
+                rack.sku.name, rack.sku.vendor, rack.workload,
+                rack.rated_power_kw, rack.commission_day, rack.n_servers,
+                rack.sku.hdds_per_server, rack.sku.dimms_per_server,
+            ])
+    return len(racks)
+
+
+def export_table_csv(table: Table, path: str | pathlib.Path,
+                     decode_categories: bool = True) -> int:
+    """Write any analysis :class:`Table` as CSV; returns the row count.
+
+    Categorical columns are written as labels by default (codes
+    otherwise).
+    """
+    path = pathlib.Path(path)
+    names = table.column_names
+    columns = []
+    for name in names:
+        if decode_categories and table.spec(name).is_categorical:
+            columns.append(table.decoded(name))
+        else:
+            columns.append(table.column(name))
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row in range(table.n_rows):
+            writer.writerow([
+                column[row] if isinstance(column[row], str)
+                else _format_cell(column[row])
+                for column in columns
+            ])
+    return table.n_rows
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, (float, np.floating)):
+        return f"{float(value):.6g}"
+    return str(value)
+
+
+def read_csv_table(path: str | pathlib.Path) -> dict[str, list[str]]:
+    """Read a CSV into column lists (header-keyed); raw strings.
+
+    A deliberately small reader for round-trip checks and external-data
+    ingestion experiments; converting to a typed :class:`Table` is the
+    caller's job (schemas are domain knowledge).
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise DataError(f"no such file: {path}")
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path} is empty") from None
+        columns: dict[str, list[str]] = {name: [] for name in header}
+        for row in reader:
+            if len(row) != len(header):
+                raise DataError(f"{path}: ragged row {row!r}")
+            for name, cell in zip(header, row):
+                columns[name].append(cell)
+    return columns

@@ -1,0 +1,152 @@
+"""Classic reliability diagnostics: MTBF, inter-arrival times, burstiness.
+
+The field-data literature the paper builds on (Schroeder & Gibson's
+MTTF studies, BlueGene/L failure analysis) characterizes failure
+streams through inter-failure-time distributions and burstiness; the
+paper's own μ metric exists because "correlations become important in
+many decisions" (§V).  These helpers quantify that correlation
+structure per rack or per group:
+
+* :func:`inter_arrival_hours` — gaps between consecutive failures.
+* :func:`mtbf_hours` — mean time between failures over the in-service
+  window (exposure-based, not just gap means).
+* :func:`fano_factor` — variance/mean of daily counts; 1 = Poisson,
+  >1 = bursty (correlated) failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+from ..failures.engine import SimulationResult
+from ..failures.tickets import FaultType, HARDWARE_FAULTS
+from .aggregate import lambda_matrix, ticket_mask
+
+
+def inter_arrival_hours(
+    result: SimulationResult,
+    rack_index: int | None = None,
+    faults: list[FaultType] | None = None,
+) -> np.ndarray:
+    """Gaps (hours) between consecutive hardware failures.
+
+    Args:
+        rack_index: restrict to one rack (None = fleet-wide stream).
+        faults: fault set (default: hardware).
+    """
+    faults = faults if faults is not None else list(HARDWARE_FAULTS)
+    mask = ticket_mask(result, faults, true_positives_only=True)
+    log = result.tickets
+    starts = log.start_hour_abs[mask]
+    if rack_index is not None:
+        racks = log.rack_index[mask]
+        if rack_index < 0 or rack_index >= result.fleet.arrays().n_racks:
+            raise DataError(f"rack_index {rack_index} out of range")
+        starts = starts[racks == rack_index]
+    if len(starts) < 2:
+        raise DataError("need at least two failures for inter-arrival gaps")
+    return np.diff(np.sort(starts))
+
+
+def mtbf_hours(
+    result: SimulationResult,
+    faults: list[FaultType] | None = None,
+) -> np.ndarray:
+    """Per-rack mean time between failures (NaN for failure-free racks).
+
+    Exposure-based: in-service hours divided by failure count, the
+    standard fleet MTBF estimator (not the mean of observed gaps, which
+    is biased for censored windows).
+    """
+    faults = faults if faults is not None else list(HARDWARE_FAULTS)
+    counts = lambda_matrix(result, faults, dedupe_batches=False).sum(axis=1)
+    arrays = result.fleet.arrays()
+    in_service_days = np.maximum(
+        0, result.n_days - np.maximum(arrays.commission_day, 0)
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        mtbf = np.where(counts > 0, in_service_days * 24.0 / counts, np.nan)
+    return mtbf
+
+
+@dataclass(frozen=True)
+class BurstinessSummary:
+    """Fano-factor summary of a failure stream.
+
+    Attributes:
+        fano: variance/mean of daily counts (1 = Poisson).
+        mean_daily: mean daily failure count.
+        n_days: days measured.
+    """
+
+    fano: float
+    mean_daily: float
+    n_days: int
+
+    @property
+    def is_bursty(self) -> bool:
+        """Over-dispersed relative to Poisson."""
+        return self.fano > 1.2
+
+
+def fano_factor(
+    result: SimulationResult,
+    rack_index: int | None = None,
+    faults: list[FaultType] | None = None,
+) -> BurstinessSummary:
+    """Daily-count Fano factor for a rack (or the whole fleet).
+
+    Correlated batch/outage events push the Fano factor above 1; a
+    memoryless failure process sits at 1.  This is the quantitative
+    version of the paper's "how correlated are failures?" question.
+    """
+    faults = faults if faults is not None else list(HARDWARE_FAULTS)
+    counts = lambda_matrix(result, faults, dedupe_batches=False)
+    arrays = result.fleet.arrays()
+    if rack_index is not None:
+        if rack_index < 0 or rack_index >= arrays.n_racks:
+            raise DataError(f"rack_index {rack_index} out of range")
+        start = max(int(arrays.commission_day[rack_index]), 0)
+        daily = counts[rack_index, start:]
+    else:
+        daily = counts.sum(axis=0)
+    if daily.size == 0:
+        raise DataError("no in-service days to measure")
+    mean = float(daily.mean())
+    if mean <= 0:
+        raise DataError("no failures observed; Fano factor undefined")
+    return BurstinessSummary(
+        fano=float(daily.var() / mean),
+        mean_daily=mean,
+        n_days=int(daily.size),
+    )
+
+
+def burstiness_by_sku(result: SimulationResult) -> dict[str, float]:
+    """Capacity-normalized burstiness per SKU.
+
+    Pools the daily counts of all racks of each SKU and reports their
+    Fano factor — the data-side signature of the per-SKU batch-failure
+    propensity the generator plants (S3 ≫ S4).
+    """
+    counts = lambda_matrix(result, list(HARDWARE_FAULTS), dedupe_batches=False)
+    arrays = result.fleet.arrays()
+    output: dict[str, float] = {}
+    for code, name in enumerate(arrays.sku_names):
+        members = np.flatnonzero(arrays.sku_code == code)
+        if members.size == 0:
+            continue
+        pooled = []
+        for rack in members.tolist():
+            start = max(int(arrays.commission_day[rack]), 0)
+            pooled.append(counts[rack, start:])
+        daily = np.concatenate(pooled)
+        mean = float(daily.mean())
+        if mean > 0:
+            output[name] = float(daily.var() / mean)
+    if not output:
+        raise DataError("no SKU had any failures")
+    return output

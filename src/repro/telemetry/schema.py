@@ -1,0 +1,169 @@
+"""Feature schema: typed column descriptions for telemetry tables.
+
+Table III classifies every candidate feature as continuous (C), nominal
+(N) or ordinal (O).  The distinction matters downstream: the CART
+splitter searches threshold splits for continuous/ordinal features but
+category-subset splits for nominal ones, and partial dependence grids
+are built differently per kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import SchemaError
+
+
+class FeatureKind(Enum):
+    """Statistical type of a feature (Table III's C/N/O)."""
+
+    CONTINUOUS = "continuous"
+    NOMINAL = "nominal"
+    ORDINAL = "ordinal"
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """One feature's description.
+
+    Attributes:
+        name: column name.
+        kind: statistical type.
+        categories: label list for nominal/ordinal features; column
+            values are integer codes indexing into this list.  Ordinal
+            categories must be listed in their natural order.
+        description: human-readable meaning (used in reports).
+    """
+
+    name: str
+    kind: FeatureKind
+    categories: tuple[str, ...] | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("feature name cannot be empty")
+        if self.kind == FeatureKind.CONTINUOUS and self.categories is not None:
+            raise SchemaError(f"{self.name}: continuous features take no categories")
+        if self.kind == FeatureKind.NOMINAL and not self.categories:
+            raise SchemaError(f"{self.name}: nominal features need categories")
+        if self.categories is not None and len(set(self.categories)) != len(self.categories):
+            raise SchemaError(f"{self.name}: duplicate categories")
+
+    @property
+    def is_categorical(self) -> bool:
+        """True for nominal and ordinal (code-valued) features."""
+        return self.kind != FeatureKind.CONTINUOUS
+
+    def decode(self, code: int) -> str:
+        """Category label for an integer code."""
+        if self.categories is None:
+            raise SchemaError(f"{self.name}: not a categorical feature")
+        if not 0 <= code < len(self.categories):
+            raise SchemaError(
+                f"{self.name}: code {code} outside [0, {len(self.categories)})"
+            )
+        return self.categories[code]
+
+    def encode(self, label: str) -> int:
+        """Integer code for a category label."""
+        if self.categories is None:
+            raise SchemaError(f"{self.name}: not a categorical feature")
+        try:
+            return self.categories.index(label)
+        except ValueError:
+            raise SchemaError(
+                f"{self.name}: unknown category {label!r}; have {self.categories}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of feature specs."""
+
+    features: tuple[FeatureSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [feature.name for feature in self.features]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate feature names: {names}")
+
+    def __iter__(self):
+        return iter(self.features)
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def __contains__(self, name: str) -> bool:
+        return any(feature.name == name for feature in self.features)
+
+    @property
+    def names(self) -> list[str]:
+        """Feature names in schema order."""
+        return [feature.name for feature in self.features]
+
+    def get(self, name: str) -> FeatureSpec:
+        """Look up a feature spec by name."""
+        for feature in self.features:
+            if feature.name == name:
+                return feature
+        raise SchemaError(f"unknown feature {name!r}; have {self.names}")
+
+    def with_feature(self, spec: FeatureSpec) -> "Schema":
+        """Return a new schema with ``spec`` appended."""
+        return Schema(features=self.features + (spec,))
+
+    def subset(self, names: list[str]) -> "Schema":
+        """Return a schema restricted to ``names``, in the given order."""
+        return Schema(features=tuple(self.get(name) for name in names))
+
+
+DAY_CATEGORIES = ("Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat")
+MONTH_CATEGORIES = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+
+
+def table_iii_schema(
+    dc_names: list[str],
+    region_names: list[str],
+    sku_names: list[str],
+    workload_names: list[str],
+) -> Schema:
+    """The paper's candidate-feature list (Table III) for a given fleet.
+
+    Age and rated power are listed as continuous here (the paper marks
+    them "C"); temporal features are ordinal; identity-like features
+    (DC, region, SKU, workload) are nominal.
+    """
+    return Schema(features=(
+        FeatureSpec("sku", FeatureKind.NOMINAL, tuple(sku_names),
+                    "hardware SKU (vendor/model proxy)"),
+        FeatureSpec("age_months", FeatureKind.CONTINUOUS,
+                    description="equipment age in months (0-5 years)"),
+        FeatureSpec("rated_power_kw", FeatureKind.CONTINUOUS,
+                    description="rack rated power, 4-15 kW"),
+        FeatureSpec("workload", FeatureKind.NOMINAL, tuple(workload_names),
+                    "workload owning the rack"),
+        FeatureSpec("temp_f", FeatureKind.CONTINUOUS,
+                    description="rack inlet temperature, 56-90 F"),
+        FeatureSpec("rh", FeatureKind.CONTINUOUS,
+                    description="rack relative humidity, 5-87%"),
+        FeatureSpec("dc", FeatureKind.NOMINAL, tuple(dc_names),
+                    "datacenter"),
+        FeatureSpec("region", FeatureKind.NOMINAL, tuple(region_names),
+                    "region within the datacenter"),
+        FeatureSpec("row", FeatureKind.ORDINAL,
+                    tuple(str(i) for i in range(1, 33)),
+                    "row of racks within the datacenter"),
+        FeatureSpec("day_of_week", FeatureKind.ORDINAL, DAY_CATEGORIES,
+                    "day of week (Sun-Sat)"),
+        FeatureSpec("week_of_year", FeatureKind.CONTINUOUS,
+                    description="week of year, 1-53"),
+        FeatureSpec("month", FeatureKind.ORDINAL, MONTH_CATEGORIES,
+                    "month of year"),
+        FeatureSpec("year", FeatureKind.ORDINAL, ("0", "1", "2"),
+                    "year since observation start"),
+    ))

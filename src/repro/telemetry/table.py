@@ -1,0 +1,231 @@
+"""A small columnar table on numpy arrays.
+
+The analysis layer needs a dataframe-like structure (mixed categorical /
+continuous columns, filtering, group-by) without a pandas dependency.
+:class:`Table` provides exactly the operations the paper's analyses use:
+column access, row filtering, group-by aggregation and conversion to the
+(matrix, schema) pair the CART implementation consumes.
+
+Categorical columns store integer codes; their meaning lives in the
+accompanying :class:`~repro.telemetry.schema.Schema`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+import numpy as np
+
+from ..errors import DataError, SchemaError
+from .schema import FeatureKind, FeatureSpec, Schema
+
+
+class Table:
+    """Immutable-ish columnar table with an attached schema.
+
+    Args:
+        columns: name → 1-D numpy array; all must share one length.
+        schema: feature specs for (at least) the categorical columns.
+            Columns without a spec are treated as continuous.
+    """
+
+    def __init__(self, columns: dict[str, np.ndarray], schema: Schema | None = None):
+        if not columns:
+            raise DataError("table needs at least one column")
+        lengths = {name: len(values) for name, values in columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise DataError(f"column length mismatch: {lengths}")
+        self._columns = {name: np.asarray(values) for name, values in columns.items()}
+        self.schema = schema or Schema()
+        for feature in self.schema:
+            if feature.name not in self._columns:
+                raise SchemaError(f"schema feature {feature.name!r} has no column")
+
+    # -- basic access ---------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def column_names(self) -> list[str]:
+        """All column names (insertion order)."""
+        return list(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def column(self, name: str) -> np.ndarray:
+        """Return one column (the underlying array; treat as read-only)."""
+        if name not in self._columns:
+            raise DataError(f"unknown column {name!r}; have {self.column_names}")
+        return self._columns[name]
+
+    def spec(self, name: str) -> FeatureSpec:
+        """Feature spec for ``name``; synthesizes a continuous spec if absent."""
+        if name in self.schema:
+            return self.schema.get(name)
+        self.column(name)
+        return FeatureSpec(name, FeatureKind.CONTINUOUS)
+
+    def decoded(self, name: str) -> np.ndarray:
+        """Categorical column as label strings (continuous pass through)."""
+        spec = self.spec(name)
+        values = self.column(name)
+        if not spec.is_categorical:
+            return values
+        assert spec.categories is not None
+        labels = np.asarray(spec.categories, dtype=object)
+        codes = values.astype(np.int64)
+        if codes.size and (codes.min() < 0 or codes.max() >= len(labels)):
+            raise DataError(f"{name}: codes outside category range")
+        return labels[codes]
+
+    # -- construction of derived tables ---------------------------------
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Rows where ``mask`` is True, as a new table."""
+        mask = np.asarray(mask)
+        if mask.dtype != bool or len(mask) != self.n_rows:
+            raise DataError("mask must be a boolean array matching n_rows")
+        return Table(
+            {name: values[mask] for name, values in self._columns.items()},
+            schema=self.schema,
+        )
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Rows at ``indices`` (gather), as a new table."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Table(
+            {name: values[indices] for name, values in self._columns.items()},
+            schema=self.schema,
+        )
+
+    def select(self, names: list[str]) -> "Table":
+        """Only the given columns, as a new table."""
+        for name in names:
+            self.column(name)
+        schema = Schema(tuple(
+            self.schema.get(name) for name in names if name in self.schema
+        ))
+        return Table({name: self._columns[name] for name in names}, schema=schema)
+
+    def with_column(self, name: str, values: np.ndarray,
+                    spec: FeatureSpec | None = None) -> "Table":
+        """A new table with ``name`` added (or replaced)."""
+        values = np.asarray(values)
+        if len(values) != self.n_rows:
+            raise DataError(
+                f"new column {name!r} has {len(values)} rows, table has {self.n_rows}"
+            )
+        columns = dict(self._columns)
+        columns[name] = values
+        schema = self.schema
+        if spec is not None:
+            if spec.name != name:
+                raise SchemaError(f"spec name {spec.name!r} != column name {name!r}")
+            features = tuple(f for f in schema if f.name != name) + (spec,)
+            schema = Schema(features)
+        return Table(columns, schema=schema)
+
+    # -- group-by --------------------------------------------------------
+
+    def group_indices(self, keys: list[str]) -> Iterator[tuple[tuple, np.ndarray]]:
+        """Yield (key-tuple, row-indices) for each distinct key combination.
+
+        Key tuples contain decoded labels for categorical keys and raw
+        values otherwise; groups are yielded in sorted key order.
+        """
+        if not keys:
+            raise DataError("need at least one group key")
+        key_arrays = [self.column(name) for name in keys]
+        stacked = np.stack([np.asarray(arr, dtype=float) for arr in key_arrays], axis=1)
+        order = np.lexsort(tuple(stacked[:, i] for i in range(stacked.shape[1] - 1, -1, -1)))
+        sorted_keys = stacked[order]
+        boundaries = np.ones(len(order), dtype=bool)
+        if len(order) > 1:
+            boundaries[1:] = np.any(sorted_keys[1:] != sorted_keys[:-1], axis=1)
+        starts = np.flatnonzero(boundaries)
+        ends = np.append(starts[1:], len(order))
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            indices = order[start:end]
+            key_values = []
+            for key_name, raw in zip(keys, sorted_keys[start]):
+                spec = self.spec(key_name)
+                if spec.is_categorical:
+                    key_values.append(spec.decode(int(raw)))
+                else:
+                    key_values.append(raw)
+            yield tuple(key_values), indices
+
+    def group_reduce(
+        self,
+        keys: list[str],
+        value: str,
+        reducers: dict[str, Callable[[np.ndarray], float]],
+    ) -> dict[tuple, dict[str, float]]:
+        """Aggregate ``value`` per key group through named reducers.
+
+        Example::
+
+            table.group_reduce(["workload"], "failures",
+                               {"mean": np.mean, "sd": np.std})
+        """
+        values = self.column(value).astype(float)
+        result: dict[tuple, dict[str, float]] = {}
+        for key, indices in self.group_indices(keys):
+            group = values[indices]
+            result[key] = {name: float(fn(group)) for name, fn in reducers.items()}
+        return result
+
+    # -- CART bridge ------------------------------------------------------
+
+    def feature_matrix(self, names: list[str]) -> tuple[np.ndarray, Schema]:
+        """(n_rows × n_features float matrix, schema) for the CART fitter.
+
+        Categorical columns keep their integer codes (as floats); the
+        schema tells the splitter how to treat each column.
+        """
+        for name in names:
+            self.column(name)
+        matrix = np.column_stack([
+            self.column(name).astype(float) for name in names
+        ]) if names else np.empty((self.n_rows, 0))
+        schema = Schema(tuple(self.spec(name) for name in names))
+        return matrix, schema
+
+    # -- misc --------------------------------------------------------------
+
+    def head(self, n: int = 5) -> str:
+        """A small textual preview (for examples and debugging)."""
+        n = min(n, self.n_rows)
+        names = self.column_names
+        lines = ["\t".join(names)]
+        for row in range(n):
+            cells = []
+            for name in names:
+                spec = self.spec(name)
+                value = self._columns[name][row]
+                if spec.is_categorical:
+                    cells.append(str(spec.decode(int(value))))
+                else:
+                    cells.append(f"{value:.4g}" if isinstance(value, (float, np.floating))
+                                 else str(value))
+            lines.append("\t".join(cells))
+        return "\n".join(lines)
+
+    def concat(self, other: "Table") -> "Table":
+        """Row-wise concatenation; both tables must share columns."""
+        if set(self.column_names) != set(other.column_names):
+            raise DataError(
+                f"column mismatch: {self.column_names} vs {other.column_names}"
+            )
+        return Table(
+            {name: np.concatenate([self._columns[name], other.column(name)])
+             for name in self.column_names},
+            schema=self.schema,
+        )

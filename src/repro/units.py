@@ -1,0 +1,138 @@
+"""Physical units and simulation-calendar helpers.
+
+The paper reports temperatures in Fahrenheit (its MF model finds a 78 °F
+split point), humidity in percent relative humidity, rack power in kW and
+device age in months.  All internal models in this library use the same
+units so that reproduced numbers can be compared to the paper directly.
+
+The simulation calendar is deliberately simple: a run starts on a
+configurable weekday and month and advances in whole days (with optional
+hourly sub-steps).  The paper's temporal features (Table III) — day of
+week, week of year, month, year — are all derivable from a day index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+HOURS_PER_DAY = 24
+DAYS_PER_WEEK = 7
+DAYS_PER_YEAR = 365
+DAYS_PER_MONTH = 30.4375  # average Gregorian month length
+MONTHS_PER_YEAR = 12
+
+DAY_NAMES = ("Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat")
+MONTH_NAMES = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+
+# Cumulative day-of-year at which each month starts (non-leap year).
+_MONTH_START_DOY = (0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334)
+
+
+def fahrenheit_to_celsius(deg_f: float) -> float:
+    """Convert a temperature from °F to °C."""
+    return (deg_f - 32.0) * 5.0 / 9.0
+
+
+def celsius_to_fahrenheit(deg_c: float) -> float:
+    """Convert a temperature from °C to °F."""
+    return deg_c * 9.0 / 5.0 + 32.0
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval [low, high]."""
+    if low > high:
+        raise ValueError(f"empty clamp interval: [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def months_between_days(start_day: int, end_day: int) -> float:
+    """Elapsed months between two absolute day indices (fractional)."""
+    return (end_day - start_day) / DAYS_PER_MONTH
+
+
+@dataclass(frozen=True)
+class CalendarDay:
+    """Calendar attributes of one simulated day.
+
+    Attributes:
+        day_index: absolute day since the start of the simulation (0-based).
+        day_of_week: 0=Sunday .. 6=Saturday, matching Fig 3's axis.
+        week_of_year: 1..53, matching Table III's ``Week`` feature.
+        month: 1..12 (Jan..Dec), matching Fig 4's axis.
+        year: 0-based year since simulation start (Table III: ``Year 0-2``).
+        day_of_year: 0..364 position within the current simulated year.
+    """
+
+    day_index: int
+    day_of_week: int
+    week_of_year: int
+    month: int
+    year: int
+    day_of_year: int
+
+    @property
+    def day_name(self) -> str:
+        """Short English weekday name (``Sun`` .. ``Sat``)."""
+        return DAY_NAMES[self.day_of_week]
+
+    @property
+    def month_name(self) -> str:
+        """Short English month name (``Jan`` .. ``Dec``)."""
+        return MONTH_NAMES[self.month - 1]
+
+    @property
+    def is_weekend(self) -> bool:
+        """True on Saturday and Sunday."""
+        return self.day_of_week in (0, 6)
+
+
+class SimCalendar:
+    """Maps absolute day indices to calendar features.
+
+    Args:
+        start_day_of_week: weekday of day 0 (0=Sunday .. 6=Saturday).
+        start_day_of_year: day-of-year of day 0 (0=Jan 1 .. 364=Dec 31).
+
+    The calendar ignores leap years; the paper's analyses bin by
+    day-of-week and month, for which a fixed 365-day year is sufficient.
+    """
+
+    def __init__(self, start_day_of_week: int = 0, start_day_of_year: int = 0):
+        if not 0 <= start_day_of_week < DAYS_PER_WEEK:
+            raise ValueError(f"start_day_of_week out of range: {start_day_of_week}")
+        if not 0 <= start_day_of_year < DAYS_PER_YEAR:
+            raise ValueError(f"start_day_of_year out of range: {start_day_of_year}")
+        self.start_day_of_week = start_day_of_week
+        self.start_day_of_year = start_day_of_year
+
+    def day(self, day_index: int) -> CalendarDay:
+        """Return the :class:`CalendarDay` for an absolute day index."""
+        if day_index < 0:
+            raise ValueError(f"day_index must be >= 0, got {day_index}")
+        absolute_doy = self.start_day_of_year + day_index
+        year = absolute_doy // DAYS_PER_YEAR
+        day_of_year = absolute_doy % DAYS_PER_YEAR
+        month = self.month_of_day_of_year(day_of_year)
+        day_of_week = (self.start_day_of_week + day_index) % DAYS_PER_WEEK
+        week_of_year = day_of_year // DAYS_PER_WEEK + 1
+        return CalendarDay(
+            day_index=day_index,
+            day_of_week=day_of_week,
+            week_of_year=week_of_year,
+            month=month,
+            year=year,
+            day_of_year=day_of_year,
+        )
+
+    @staticmethod
+    def month_of_day_of_year(day_of_year: int) -> int:
+        """Return the 1-based month containing ``day_of_year`` (0..364)."""
+        if not 0 <= day_of_year < DAYS_PER_YEAR:
+            raise ValueError(f"day_of_year out of range: {day_of_year}")
+        for month_index in range(MONTHS_PER_YEAR - 1, -1, -1):
+            if day_of_year >= _MONTH_START_DOY[month_index]:
+                return month_index + 1
+        raise AssertionError("unreachable: day_of_year matched no month")

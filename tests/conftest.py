@@ -1,0 +1,35 @@
+"""Shared fixtures: session-scoped simulation runs.
+
+Most behavioural tests need a realistic ticket stream; simulating one
+per test would dominate runtime, so two canonical runs are built once
+per session:
+
+* ``tiny_run`` — a few racks, four months; fast, for structural tests.
+* ``small_run`` — quarter scale, eighteen months; statistically stable
+  enough for calibration and ground-truth-recovery assertions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.reporting import AnalysisContext
+
+
+@pytest.fixture(scope="session")
+def tiny_run() -> repro.SimulationResult:
+    """A minimal but non-degenerate simulation."""
+    return repro.simulate(repro.SimulationConfig.small(seed=11, scale=0.05, n_days=120))
+
+
+@pytest.fixture(scope="session")
+def small_run() -> repro.SimulationResult:
+    """A statistically meaningful simulation (shared, do not mutate)."""
+    return repro.simulate(repro.SimulationConfig.small(seed=3, scale=0.25, n_days=540))
+
+
+@pytest.fixture(scope="session")
+def small_context(small_run) -> AnalysisContext:
+    """Cached analysis context over ``small_run``."""
+    return AnalysisContext(small_run)

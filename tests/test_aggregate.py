@@ -1,0 +1,187 @@
+"""Aggregation-layer tests: λ/μ matrices and the rack-day table."""
+
+import numpy as np
+import pytest
+
+from repro.failures.tickets import FaultType, HARDWARE_FAULTS
+from repro.telemetry.aggregate import (
+    build_rack_day_table,
+    commissioned_mask_matrix,
+    day_feature_arrays,
+    lambda_matrix,
+    mean_rate_by,
+    merge_per_server_intervals,
+    mu_matrix,
+    rack_static_table,
+    ticket_mask,
+)
+
+
+class TestTicketMask:
+    def test_true_positives_filtered(self, tiny_run):
+        mask = ticket_mask(tiny_run)
+        assert mask.sum() == tiny_run.tickets.true_positive_mask().sum()
+
+    def test_fault_filter(self, tiny_run):
+        mask = ticket_mask(tiny_run, faults=[FaultType.DISK])
+        codes = tiny_run.tickets.fault_code[mask]
+        from repro.failures.tickets import FAULT_CODE
+
+        assert set(np.unique(codes)) <= {FAULT_CODE[FaultType.DISK]}
+
+    def test_dedupe_reduces_count(self, small_run):
+        plain = ticket_mask(small_run).sum()
+        deduped = ticket_mask(small_run, dedupe_batches=True).sum()
+        assert deduped < plain
+
+
+class TestLambdaMatrix:
+    def test_shape(self, tiny_run):
+        counts = lambda_matrix(tiny_run)
+        arrays = tiny_run.fleet.arrays()
+        assert counts.shape == (arrays.n_racks, tiny_run.n_days)
+
+    def test_total_matches_ticket_count(self, tiny_run):
+        counts = lambda_matrix(tiny_run, dedupe_batches=False)
+        expected = ticket_mask(tiny_run).sum()
+        assert counts.sum() == expected
+
+    def test_dedupe_counts_batches_once(self, small_run):
+        with_dedupe = lambda_matrix(small_run).sum()
+        without = lambda_matrix(small_run, dedupe_batches=False).sum()
+        assert with_dedupe < without
+
+
+class TestMuMatrix:
+    def test_mu_nonnegative_and_bounded(self, small_run):
+        mu = mu_matrix(small_run, 24.0)
+        arrays = small_run.fleet.arrays()
+        assert mu.min() >= 0
+        # Per-server merging caps μ by rack capacity.
+        assert np.all(mu.max(axis=1) <= arrays.n_servers)
+
+    def test_hourly_windows_leq_daily(self, small_run):
+        daily = mu_matrix(small_run, 24.0)
+        hourly = mu_matrix(small_run, 1.0)
+        # Each daily window's μ dominates any of its hourly windows'.
+        n_days = daily.shape[1]
+        hourly_by_day = hourly[:, :n_days * 24].reshape(daily.shape[0], n_days, 24)
+        assert np.all(hourly_by_day.max(axis=2) <= daily)
+
+    def test_raw_device_mu_exceeds_merged(self, small_run):
+        merged = mu_matrix(small_run, 24.0, per_server=True)
+        raw = mu_matrix(small_run, 24.0, per_server=False)
+        assert raw.sum() >= merged.sum()
+
+    def test_disk_only_mu_smaller(self, small_run):
+        all_mu = mu_matrix(small_run, 24.0, per_server=False)
+        disk_mu = mu_matrix(small_run, 24.0, faults=[FaultType.DISK], per_server=False)
+        assert disk_mu.sum() < all_mu.sum()
+
+
+class TestMergeIntervals:
+    def test_overlapping_same_server_merged(self):
+        gid, start, end = merge_per_server_intervals(
+            np.array([7, 7]), np.array([0.0, 5.0]), np.array([10.0, 20.0])
+        )
+        assert gid.tolist() == [7]
+        assert start.tolist() == [0.0]
+        assert end.tolist() == [20.0]
+
+    def test_disjoint_same_server_kept_separate(self):
+        gid, start, end = merge_per_server_intervals(
+            np.array([7, 7]), np.array([0.0, 50.0]), np.array([10.0, 60.0])
+        )
+        assert len(gid) == 2
+
+    def test_different_servers_never_merged(self):
+        gid, _, _ = merge_per_server_intervals(
+            np.array([1, 2]), np.array([0.0, 0.0]), np.array([10.0, 10.0])
+        )
+        assert sorted(gid.tolist()) == [1, 2]
+
+    def test_empty_input(self):
+        gid, start, end = merge_per_server_intervals(
+            np.array([], dtype=int), np.array([]), np.array([])
+        )
+        assert len(gid) == 0
+
+
+class TestRackDayTable:
+    def test_row_count_is_commissioned_rack_days(self, tiny_run):
+        table = build_rack_day_table(tiny_run)
+        expected = commissioned_mask_matrix(tiny_run).sum()
+        assert table.n_rows == expected
+
+    def test_failures_sum_matches_lambda(self, tiny_run):
+        table = build_rack_day_table(tiny_run)
+        assert table.column("failures").sum() == lambda_matrix(tiny_run).sum()
+
+    def test_environment_columns_filled(self, tiny_run):
+        table = build_rack_day_table(tiny_run)
+        assert not np.isnan(table.column("temp_f")).any()
+        assert not np.isnan(table.column("rh")).any()
+
+    def test_ground_truth_environment_option(self, tiny_run):
+        observed = build_rack_day_table(tiny_run)
+        truth = build_rack_day_table(tiny_run, use_observed_environment=False)
+        # Sensor noise makes them differ, but only slightly.
+        diff = observed.column("temp_f") - truth.column("temp_f")
+        assert 0.0 < np.abs(diff).mean() < 1.0
+
+    def test_extra_fault_columns(self, tiny_run):
+        table = build_rack_day_table(
+            tiny_run, extra_fault_columns={"disk_failures": [FaultType.DISK]}
+        )
+        assert "disk_failures" in table
+        assert table.column("disk_failures").sum() <= table.column("failures").sum()
+
+    def test_mu_columns(self, tiny_run):
+        table = build_rack_day_table(tiny_run, include_mu=True)
+        assert "mu" in table and "mu_fraction" in table
+        assert np.all(table.column("mu_fraction") <= 1.0 + 1e-9)
+
+    def test_age_never_negative(self, tiny_run):
+        table = build_rack_day_table(tiny_run)
+        assert table.column("age_months").min() >= 0.0
+
+    def test_categorical_columns_decodable(self, tiny_run):
+        table = build_rack_day_table(tiny_run)
+        assert set(np.unique(table.decoded("dc"))) <= {"DC1", "DC2"}
+        assert all(w.startswith("W") for w in np.unique(table.decoded("workload")))
+
+
+class TestRackStaticTable:
+    def test_one_row_per_rack(self, tiny_run):
+        static = rack_static_table(tiny_run)
+        assert static.n_rows == tiny_run.fleet.n_racks
+
+    def test_component_counts(self, tiny_run):
+        static = rack_static_table(tiny_run)
+        arrays = tiny_run.fleet.arrays()
+        assert np.array_equal(static.column("n_servers"), arrays.n_servers)
+        assert np.array_equal(
+            static.column("n_hdds"), arrays.n_servers * arrays.hdds_per_server
+        )
+
+
+class TestDayFeatures:
+    def test_arrays_have_run_length(self, tiny_run):
+        features = day_feature_arrays(tiny_run)
+        for values in features.values():
+            assert len(values) == tiny_run.n_days
+
+    def test_day_of_week_cycles(self, tiny_run):
+        dow = day_feature_arrays(tiny_run)["day_of_week"]
+        assert np.array_equal(dow[:7], np.arange(7))
+        assert dow[7] == dow[0]
+
+
+class TestMeanRateBy:
+    def test_matches_manual_grouping(self, tiny_run):
+        table = build_rack_day_table(tiny_run)
+        stats = mean_rate_by(table, "dc")
+        failures = table.column("failures").astype(float)
+        dc1_mask = table.decoded("dc") == "DC1"
+        assert stats["DC1"][0] == pytest.approx(failures[np.asarray(dc1_mask)].mean())
+        assert stats["DC1"][2] == int(np.asarray(dc1_mask).sum())

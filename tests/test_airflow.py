@@ -1,0 +1,93 @@
+"""AHU pressure/airflow (null-factor) tests."""
+
+import numpy as np
+import pytest
+
+from repro.environment.airflow import (
+    AhuSpec,
+    AhuSystem,
+    NOMINAL_PRESSURE_PA,
+    attach_ahu_telemetry,
+)
+from repro.errors import ConfigError
+from repro.rng import RngRegistry
+from repro.telemetry.aggregate import build_rack_day_table
+
+
+@pytest.fixture(scope="module")
+def system(small_run):
+    return AhuSystem(small_run.fleet, small_run.n_days, RngRegistry(5))
+
+
+class TestAhuSystem:
+    def test_every_rack_has_an_ahu(self, small_run, system):
+        for rack_index in range(small_run.fleet.n_racks):
+            ahu = system.ahu_of_rack(rack_index)
+            rack = small_run.fleet.racks[rack_index]
+            assert ahu.dc_name == rack.dc_name
+            assert rack.row in ahu.rows
+
+    def test_telemetry_shapes(self, small_run, system):
+        assert system.pressure_pa.shape == (small_run.n_days, system.n_ahus)
+        assert system.rack_pressure().shape == (
+            small_run.n_days, small_run.fleet.n_racks
+        )
+
+    def test_pressure_wanders_around_nominal(self, system):
+        assert abs(system.pressure_pa.mean() - NOMINAL_PRESSURE_PA) < 2.0
+        assert system.pressure_pa.std() > 0.5
+
+    def test_ahu_biases_persist(self, system):
+        per_ahu_mean = system.pressure_pa.mean(axis=0)
+        assert per_ahu_mean.std() > 0.5  # distinct duct geometries
+
+    def test_validation(self, small_run):
+        with pytest.raises(ConfigError):
+            AhuSystem(small_run.fleet, 0, RngRegistry(1))
+        with pytest.raises(ConfigError):
+            AhuSpec("x", "DC1", rows=(), pressure_bias_pa=0.0,
+                    airflow_bias_cfm=0.0)
+
+
+class TestAttachTelemetry:
+    def test_columns_added(self, small_run):
+        table = build_rack_day_table(small_run)
+        extended = attach_ahu_telemetry(table, small_run)
+        assert "pressure_pa" in extended
+        assert "airflow_cfm" in extended
+        assert extended.n_rows == table.n_rows
+
+    def test_deterministic_per_run(self, small_run):
+        table = build_rack_day_table(small_run)
+        a = attach_ahu_telemetry(table, small_run)
+        b = attach_ahu_telemetry(table, small_run)
+        assert np.allclose(a.column("pressure_pa"), b.column("pressure_pa"))
+
+
+class TestNullFactor:
+    def test_pressure_uncorrelated_with_failures(self, small_run):
+        """The planted hazards ignore pressure; the data must agree."""
+        table = attach_ahu_telemetry(
+            build_rack_day_table(small_run), small_run,
+        )
+        pressure = table.column("pressure_pa").astype(float)
+        failures = table.column("failures").astype(float)
+        correlation = np.corrcoef(pressure, failures)[0, 1]
+        assert abs(correlation) < 0.03
+
+    def test_mf_assigns_null_factors_no_importance(self, small_run):
+        from repro.analysis import MultiFactorModel, TreeParams
+
+        table = attach_ahu_telemetry(
+            build_rack_day_table(small_run), small_run,
+        )
+        model = MultiFactorModel.from_formula(
+            "failures ~ pressure_pa, airflow_cfm, sku, workload, age_months",
+            table,
+            params=TreeParams(max_depth=5, min_split=400, min_bucket=150,
+                              cp=1e-3),
+        )
+        importance = model.importance()
+        assert importance.get("pressure_pa", 0.0) < 0.08
+        assert importance.get("airflow_cfm", 0.0) < 0.08
+        assert importance.get("sku", 0.0) > 0.3

@@ -1,0 +1,71 @@
+"""The field-data boundary, enforced.
+
+docs/architecture.md promises that the analysis side (`analysis/`,
+`decisions/`, `reporting/`, `telemetry/`) never touches simulator
+ground truth: neither the hazard functions nor the FleetArrays columns
+that carry planted SKU/region hazards.  These tests parse the source to
+keep that promise true as the code evolves.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+ANALYSIS_PACKAGES = ("analysis", "decisions", "reporting", "telemetry")
+
+# Ground-truth surfaces the analysis side must never read.
+FORBIDDEN_IMPORT = "hazards"
+FORBIDDEN_ATTRIBUTES = (
+    "sku_intrinsic", "batch_rate", "batch_mean_size", "region_hazard",
+    "region_thermal_offset", "region_humidity_offset", "intrinsic_hazard",
+    "batch_failure_rate", "stress_multiplier", "thermal_coupling",
+)
+
+
+def analysis_modules():
+    for package in ANALYSIS_PACKAGES:
+        yield from (SRC / package).rglob("*.py")
+
+
+class TestFieldDataBoundary:
+    def test_no_hazard_imports(self):
+        offenders = []
+        for module in analysis_modules():
+            tree = ast.parse(module.read_text())
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ImportFrom):
+                    if node.module and FORBIDDEN_IMPORT in node.module.split("."):
+                        offenders.append(str(module))
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if FORBIDDEN_IMPORT in alias.name.split("."):
+                            offenders.append(str(module))
+        assert not offenders, (
+            f"analysis-side modules import the hazard ground truth: {offenders}"
+        )
+
+    def test_no_ground_truth_attribute_reads(self):
+        offenders = []
+        for module in analysis_modules():
+            tree = ast.parse(module.read_text())
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Attribute):
+                    if node.attr in FORBIDDEN_ATTRIBUTES:
+                        offenders.append(f"{module}:{node.attr}")
+        assert not offenders, (
+            f"analysis-side modules read planted ground truth: {offenders}"
+        )
+
+    def test_generation_side_owns_the_hazards(self):
+        """Sanity: the forbidden names do exist on the generation side."""
+        failures_src = (SRC / "failures" / "faultmodel.py").read_text()
+        assert "sku_intrinsic" in failures_src
+        assert "hazards" in failures_src
+
+    def test_environment_truth_not_used_by_default(self):
+        """Analyses default to BMS observations, not simulator truth."""
+        aggregate = (SRC / "telemetry" / "aggregate.py").read_text()
+        assert "use_observed_environment: bool = True" in aggregate

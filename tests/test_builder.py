@@ -1,0 +1,139 @@
+"""Fleet builder tests: Table I structure, mixes and planted confounds."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.builder import (
+    DC1_RACKS_FULL,
+    DC2_RACKS_FULL,
+    FleetConfig,
+    SkuMix,
+    build_fleet,
+    dc1_spec,
+    dc2_spec,
+)
+from repro.datacenter.topology import CoolingKind, PackagingKind
+from repro.errors import ConfigError
+from repro.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return build_fleet(FleetConfig(scale=0.3, observation_days=540), RngRegistry(seed=5))
+
+
+class TestSkuMix:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            SkuMix({"S1": 0.5, "S2": 0.4})
+
+    def test_counts_apportion_exactly(self):
+        mix = SkuMix({"S1": 0.5, "S2": 0.3, "S3": 0.2})
+        counts = mix.counts(10)
+        assert sum(counts.values()) == 10
+        assert counts["S1"] == 5
+
+    def test_counts_drop_zero_entries(self):
+        mix = SkuMix({"S1": 0.99, "S2": 0.01})
+        assert "S2" not in mix.counts(10)
+
+    def test_nonpositive_rack_count_rejected(self):
+        with pytest.raises(ConfigError):
+            SkuMix({"S1": 1.0}).counts(0)
+
+
+class TestTableIStructure:
+    def test_dc1_properties(self):
+        spec = dc1_spec()
+        assert spec.packaging is PackagingKind.CONTAINER
+        assert spec.availability_nines == 3
+        assert spec.cooling is CoolingKind.ADIABATIC
+        assert spec.n_rows == 18
+        assert len(spec.regions) == 4
+
+    def test_dc2_properties(self):
+        spec = dc2_spec()
+        assert spec.packaging is PackagingKind.COLOCATED
+        assert spec.availability_nines == 5
+        assert spec.cooling is CoolingKind.CHILLED_WATER
+        assert spec.n_rows == 32
+        assert len(spec.regions) == 3
+
+    def test_dc1_has_hot_regions(self):
+        offsets = [region.thermal_offset_f for region in dc1_spec().regions]
+        assert max(offsets) >= 4.0
+        assert min(offsets) < 0.0
+
+    def test_dc2_is_thermally_tight(self):
+        offsets = [abs(region.thermal_offset_f) for region in dc2_spec().regions]
+        assert max(offsets) <= 2.0
+
+
+class TestFleetConstruction:
+    def test_scaled_rack_counts(self, fleet):
+        dc1, dc2 = fleet.datacenters
+        assert dc1.n_racks == round(DC1_RACKS_FULL * 0.3)
+        assert dc2.n_racks == round(DC2_RACKS_FULL * 0.3)
+
+    def test_rack_ids_unique(self, fleet):
+        ids = [rack.rack_id for rack in fleet.racks]
+        assert len(set(ids)) == len(ids)
+
+    def test_rows_within_spec(self, fleet):
+        for dc in fleet.datacenters:
+            assert max(rack.row for rack in dc.racks) <= dc.spec.n_rows
+
+    def test_workloads_respect_sku_affinity(self, fleet):
+        from repro.datacenter.workload import eligible_workloads
+
+        for rack in fleet.racks:
+            assert rack.workload in eligible_workloads(rack.sku.category)
+
+    def test_deterministic_given_seed(self):
+        config = FleetConfig(scale=0.05, observation_days=120)
+        a = build_fleet(config, RngRegistry(seed=9))
+        b = build_fleet(config, RngRegistry(seed=9))
+        assert [r.rack_id for r in a.racks] == [r.rack_id for r in b.racks]
+        assert [r.workload for r in a.racks] == [r.workload for r in b.racks]
+        assert [r.commission_day for r in a.racks] == [r.commission_day for r in b.racks]
+
+    def test_different_seed_differs(self):
+        config = FleetConfig(scale=0.05, observation_days=120)
+        a = build_fleet(config, RngRegistry(seed=9))
+        b = build_fleet(config, RngRegistry(seed=10))
+        assert ([r.workload for r in a.racks] != [r.workload for r in b.racks]
+                or [r.commission_day for r in a.racks]
+                != [r.commission_day for r in b.racks])
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            FleetConfig(scale=0.0)
+
+    def test_invalid_bias_rejected(self):
+        with pytest.raises(ConfigError):
+            FleetConfig(s2_hot_bias=1.5)
+
+
+class TestPlantedConfounds:
+    def test_s2_placed_in_hot_dc1_regions(self, fleet):
+        dc1 = fleet.datacenter("DC1")
+        s2_racks = [rack for rack in dc1.racks if rack.sku.name == "S2"]
+        assert len(s2_racks) >= 10
+        hot_share = np.mean([
+            rack.region_name in ("DC1-1", "DC1-2") for rack in s2_racks
+        ])
+        assert hot_share > 0.8
+
+    def test_s2_is_young_s4_is_mature(self, fleet):
+        midpoint = 540 / 2
+        def mean_age(sku):
+            ages = [midpoint - rack.commission_day
+                    for rack in fleet.racks if rack.sku.name == sku]
+            return np.mean(ages)
+        assert mean_age("S2") < mean_age("S4") / 2
+
+    def test_dc1_skews_compute_dc2_less_s2(self, fleet):
+        def s2_share(dc_name):
+            racks = fleet.datacenter(dc_name).racks
+            return np.mean([rack.sku.name == "S2" for rack in racks])
+        assert s2_share("DC1") > 3 * s2_share("DC2")

@@ -1,0 +1,123 @@
+"""Cost-complexity pruning tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cart.prune import (
+    cross_validated_alpha,
+    prune,
+    prune_sequence,
+)
+from repro.analysis.cart.tree import RegressionTree, TreeParams
+from repro.errors import DataError, FitError
+from repro.telemetry.schema import FeatureKind, FeatureSpec, Schema
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(3)
+    n = 500
+    x = rng.uniform(0, 1, (n, 2))
+    y = (np.where(x[:, 0] <= 0.5, 0.0, 3.0)
+         + np.where(x[:, 1] <= 0.3, 0.0, 1.0)
+         + rng.normal(0, 0.3, n))
+    schema = Schema((
+        FeatureSpec("a", FeatureKind.CONTINUOUS),
+        FeatureSpec("b", FeatureKind.CONTINUOUS),
+    ))
+    tree = RegressionTree(TreeParams(max_depth=6, cp=0.0005, min_bucket=5)).fit(
+        x, y, schema
+    )
+    return tree, x, y, schema
+
+
+class TestPruneSequence:
+    def test_sequence_shrinks_to_stump(self, fitted):
+        tree, *_ = fitted
+        sequence = prune_sequence(tree)
+        leaves = [step.n_leaves for step, _ in sequence]
+        assert leaves[0] == tree.n_leaves
+        assert leaves[-1] == 1
+        assert all(a > b for a, b in zip(leaves, leaves[1:]))
+
+    def test_alphas_nondecreasing(self, fitted):
+        tree, *_ = fitted
+        alphas = [step.alpha for step, _ in prune_sequence(tree)]
+        assert all(a <= b + 1e-9 for a, b in zip(alphas, alphas[1:]))
+
+    def test_risk_nondecreasing_as_tree_shrinks(self, fitted):
+        tree, *_ = fitted
+        risks = [step.risk for step, _ in prune_sequence(tree)]
+        assert all(a <= b + 1e-6 for a, b in zip(risks, risks[1:]))
+
+    def test_original_tree_untouched(self, fitted):
+        tree, *_ = fitted
+        before = tree.n_leaves
+        prune_sequence(tree)
+        assert tree.n_leaves == before
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(FitError):
+            prune_sequence(RegressionTree())
+
+
+class TestPrune:
+    def test_zero_alpha_keeps_full_tree(self, fitted):
+        tree, *_ = fitted
+        assert prune(tree, 0.0).n_leaves == tree.n_leaves
+
+    def test_huge_alpha_gives_stump(self, fitted):
+        tree, *_ = fitted
+        assert prune(tree, 1e12).n_leaves == 1
+
+    def test_intermediate_alpha_intermediate_size(self, fitted):
+        tree, *_ = fitted
+        sequence = prune_sequence(tree)
+        middle_alpha = sequence[len(sequence) // 2][0].alpha
+        pruned = prune(tree, middle_alpha)
+        assert 1 <= pruned.n_leaves <= tree.n_leaves
+
+    def test_negative_alpha_rejected(self, fitted):
+        tree, *_ = fitted
+        with pytest.raises(DataError):
+            prune(tree, -1.0)
+
+    def test_pruned_tree_still_predicts(self, fitted):
+        tree, x, y, _ = fitted
+        pruned = prune(tree, prune_sequence(tree)[1][0].alpha)
+        predictions = pruned.predict(x)
+        assert predictions.shape == y.shape
+        assert np.isfinite(predictions).all()
+
+    def test_pruned_importance_rebuilt(self, fitted):
+        tree, *_ = fitted
+        stump = prune(tree, 1e12)
+        assert stump.importance() == {}
+
+
+class TestCrossValidation:
+    def test_cv_alpha_keeps_real_structure(self, fitted):
+        tree, x, y, schema = fitted
+        alpha = cross_validated_alpha(
+            x, y, schema, TreeParams(max_depth=6, cp=0.0005, min_bucket=5),
+            n_folds=4,
+        )
+        pruned = prune(tree, alpha)
+        # The planted structure has 3-4 distinct means; CV should keep
+        # at least that much and not collapse to a stump.
+        assert pruned.n_leaves >= 3
+
+    def test_cv_prunes_pure_noise_to_stump(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(size=(300, 1))
+        y = rng.normal(size=300)
+        schema = Schema((FeatureSpec("x", FeatureKind.CONTINUOUS),))
+        params = TreeParams(max_depth=5, cp=0.001, min_bucket=5)
+        alpha = cross_validated_alpha(x, y, schema, params, n_folds=4)
+        pruned = prune(RegressionTree(params).fit(x, y, schema), alpha)
+        assert pruned.n_leaves <= 4
+
+    def test_too_few_folds_rejected(self, fitted):
+        _, x, y, schema = fitted
+        with pytest.raises(DataError):
+            cross_validated_alpha(x, y, schema, TreeParams(), n_folds=1)

@@ -1,0 +1,247 @@
+"""Regression-tree tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cart.export import describe_path, render_tree
+from repro.analysis.cart.tree import Node, RegressionTree, TreeParams
+from repro.errors import DataError, FitError
+from repro.telemetry.schema import FeatureKind, FeatureSpec, Schema
+
+
+def piecewise_data(n=600, seed=0):
+    """y depends on a threshold of x0 and the category of x1."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.uniform(0, 10, n)
+    x1 = rng.integers(0, 3, n).astype(float)
+    y = (np.where(x0 <= 5.0, 1.0, 4.0)
+         + np.where(x1 == 2, 3.0, 0.0)
+         + rng.normal(0, 0.2, n))
+    matrix = np.column_stack([x0, x1])
+    schema = Schema((
+        FeatureSpec("x0", FeatureKind.CONTINUOUS),
+        FeatureSpec("x1", FeatureKind.NOMINAL, ("a", "b", "c")),
+    ))
+    return matrix, y, schema
+
+
+class TestParamsValidation:
+    def test_bad_cp_rejected(self):
+        with pytest.raises(DataError):
+            TreeParams(cp=1.5)
+
+    def test_bad_min_split_rejected(self):
+        with pytest.raises(DataError):
+            TreeParams(min_split=1)
+
+    def test_bad_max_leaves_rejected(self):
+        with pytest.raises(DataError):
+            TreeParams(max_leaves=0)
+
+
+class TestFitting:
+    def test_learns_piecewise_structure(self):
+        matrix, y, schema = piecewise_data()
+        tree = RegressionTree(TreeParams(max_depth=4, cp=0.01)).fit(matrix, y, schema)
+        predictions = tree.predict(matrix)
+        residual = y - predictions
+        assert np.var(residual) < 0.15 * np.var(y)
+        assert 3 <= tree.n_leaves <= 8
+
+    def test_prediction_constant_within_leaf(self):
+        matrix, y, schema = piecewise_data()
+        tree = RegressionTree().fit(matrix, y, schema)
+        leaf_ids = tree.apply(matrix)
+        predictions = tree.predict(matrix)
+        for leaf in np.unique(leaf_ids):
+            assert len(np.unique(predictions[leaf_ids == leaf])) == 1
+
+    def test_leaf_predictions_are_leaf_means(self):
+        matrix, y, schema = piecewise_data()
+        tree = RegressionTree().fit(matrix, y, schema)
+        leaf_ids = tree.apply(matrix)
+        for leaf in tree.leaves():
+            members = leaf_ids == leaf.node_id
+            assert leaf.prediction == pytest.approx(y[members].mean(), abs=1e-9)
+            assert leaf.n == members.sum()
+
+    def test_max_depth_zero_gives_stump(self):
+        matrix, y, schema = piecewise_data(n=100)
+        tree = RegressionTree(TreeParams(max_depth=0)).fit(matrix, y, schema)
+        assert tree.n_leaves == 1
+        assert tree.predict(matrix[:5]) == pytest.approx(np.full(5, y.mean()))
+
+    def test_high_cp_prevents_weak_splits(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.uniform(size=(200, 1))
+        y = rng.normal(size=200)  # pure noise
+        schema = Schema((FeatureSpec("x", FeatureKind.CONTINUOUS),))
+        tree = RegressionTree(TreeParams(cp=0.05)).fit(matrix, y, schema)
+        assert tree.n_leaves <= 3
+
+    def test_max_leaves_caps_growth(self):
+        matrix, y, schema = piecewise_data()
+        tree = RegressionTree(TreeParams(cp=0.0001, max_leaves=4)).fit(matrix, y, schema)
+        assert tree.n_leaves <= 5  # cap checked before each split
+
+    def test_sample_weights_shift_fit(self):
+        x = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = np.where(x[:, 0] <= 0.5, 0.0, 1.0)
+        schema = Schema((FeatureSpec("x", FeatureKind.CONTINUOUS),))
+        weights = np.where(x[:, 0] <= 0.5, 100.0, 1.0)
+        tree = RegressionTree(TreeParams(max_depth=0)).fit(x, y, schema, weights)
+        assert tree.root.prediction < 0.1  # weighted mean near 0
+
+    def test_nan_response_rejected(self):
+        schema = Schema((FeatureSpec("x", FeatureKind.CONTINUOUS),))
+        with pytest.raises(FitError):
+            RegressionTree().fit(np.array([[1.0]]), np.array([np.nan]), schema)
+
+    def test_nan_features_handled_via_default_direction(self):
+        """Rows with missing feature values route with the informative side."""
+        rng = np.random.default_rng(4)
+        n = 600
+        x = rng.uniform(0, 10, n)
+        y = np.where(x <= 5.0, 0.0, 4.0) + rng.normal(0, 0.2, n)
+        # Hide 20% of x, but only among high-x rows — the learned default
+        # direction should send NaNs right.
+        hidden = (rng.random(n) < 0.4) & (x > 5.0)
+        x_obs = np.where(hidden, np.nan, x)
+        schema = Schema((FeatureSpec("x", FeatureKind.CONTINUOUS),))
+        tree = RegressionTree(TreeParams(max_depth=3, cp=0.01)).fit(
+            x_obs.reshape(-1, 1), y, schema,
+        )
+        assert tree.root is not None and tree.root.split is not None
+        assert tree.root.split.nan_goes_left is False
+        predictions = tree.predict(x_obs.reshape(-1, 1))
+        assert np.var(y - predictions) < 0.2 * np.var(y)
+
+    def test_prediction_with_nans_matches_default_direction(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(0, 10, 300)
+        y = np.where(x <= 5.0, 0.0, 4.0)
+        schema = Schema((FeatureSpec("x", FeatureKind.CONTINUOUS),))
+        tree = RegressionTree(TreeParams(max_depth=2, cp=0.01)).fit(
+            x.reshape(-1, 1), y, schema,
+        )
+        nan_prediction = tree.predict(np.array([[np.nan]]))[0]
+        assert tree.root is not None and tree.root.split is not None
+        side = (tree.root.left if tree.root.split.nan_goes_left
+                else tree.root.right)
+        assert side is not None
+        # NaN rows land in the default-direction subtree.
+        subtree_predictions = {leaf.prediction for leaf in side.leaves()}
+        assert any(np.isclose(nan_prediction, p) for p in subtree_predictions)
+
+    def test_empty_fit_rejected(self):
+        schema = Schema((FeatureSpec("x", FeatureKind.CONTINUOUS),))
+        with pytest.raises(FitError):
+            RegressionTree().fit(np.empty((0, 1)), np.empty(0), schema)
+
+    def test_schema_width_mismatch_rejected(self):
+        schema = Schema((FeatureSpec("x", FeatureKind.CONTINUOUS),))
+        with pytest.raises(FitError):
+            RegressionTree().fit(np.zeros((5, 2)), np.zeros(5), schema)
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(FitError):
+            RegressionTree().predict(np.zeros((2, 1)))
+
+
+class TestIntrospection:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        matrix, y, schema = piecewise_data()
+        tree = RegressionTree(TreeParams(max_depth=4, cp=0.005)).fit(matrix, y, schema)
+        return tree, matrix, y
+
+    def test_importance_ranks_both_features(self, fitted):
+        tree, _, _ = fitted
+        importance = tree.importance()
+        assert set(importance) == {"x0", "x1"}
+        assert sum(importance.values()) == pytest.approx(1.0)
+
+    def test_decision_path_reaches_each_leaf(self, fitted):
+        tree, matrix, _ = fitted
+        for leaf in tree.leaves():
+            path = tree.decision_path(leaf.node_id)
+            assert len(path) == leaf.depth
+
+    def test_decision_path_unknown_leaf_rejected(self, fitted):
+        tree, _, _ = fitted
+        with pytest.raises(DataError):
+            tree.decision_path(99999)
+
+    def test_apply_routes_to_real_leaves(self, fitted):
+        tree, matrix, _ = fitted
+        leaf_ids = set(np.unique(tree.apply(matrix)).tolist())
+        assert leaf_ids == {leaf.node_id for leaf in tree.leaves()}
+
+    def test_render_mentions_features(self, fitted):
+        tree, _, _ = fitted
+        text = render_tree(tree)
+        assert "root" in text
+        assert "x0" in text or "x1" in text
+        assert " *" in text  # leaf markers
+
+    def test_describe_path_is_conjunction(self, fitted):
+        tree, _, _ = fitted
+        deepest = max(tree.leaves(), key=lambda leaf: leaf.depth)
+        described = describe_path(tree, deepest.node_id)
+        assert described.count(" and ") == deepest.depth - 1
+
+    def test_node_helpers(self, fitted):
+        tree, _, _ = fitted
+        root = tree.root
+        assert isinstance(root, Node)
+        assert not root.is_leaf
+        assert len(root.internal_nodes()) == tree.n_leaves - 1
+        assert root.subtree_sse() <= root.sse
+
+
+class TestNanEdgeCases:
+    def test_pd_on_tree_fitted_with_nans(self):
+        """Partial dependence works on NaN-fitted trees (finite grid)."""
+        from repro.analysis.partial_dependence import partial_dependence
+
+        rng = np.random.default_rng(6)
+        x = rng.uniform(0, 10, 400)
+        y = np.where(x <= 5.0, 0.0, 4.0)
+        x_obs = np.where(rng.random(400) < 0.2, np.nan, x)
+        schema = Schema((FeatureSpec("x", FeatureKind.CONTINUOUS),))
+        tree = RegressionTree(TreeParams(max_depth=3, cp=0.01)).fit(
+            x_obs.reshape(-1, 1), y, schema,
+        )
+        pd = partial_dependence(tree, "x", grid=np.array([2.0, 8.0]))
+        assert pd.values[1] > pd.values[0] + 2.0
+
+    def test_prune_preserves_nan_routing(self):
+        from repro.analysis.cart.prune import prune
+
+        rng = np.random.default_rng(7)
+        x = rng.uniform(0, 10, 500)
+        y = np.where(x <= 5.0, 0.0, 4.0) + rng.normal(0, 0.1, 500)
+        hidden = (rng.random(500) < 0.3) & (x > 5.0)
+        x_obs = np.where(hidden, np.nan, x)
+        schema = Schema((FeatureSpec("x", FeatureKind.CONTINUOUS),))
+        tree = RegressionTree(TreeParams(max_depth=4, cp=0.005)).fit(
+            x_obs.reshape(-1, 1), y, schema,
+        )
+        pruned = prune(tree, 1e-6)
+        nan_prediction = pruned.predict(np.array([[np.nan]]))[0]
+        assert nan_prediction > 2.0  # NaNs still route to the high side
+
+    def test_all_nan_column_yields_no_split_on_it(self):
+        rng = np.random.default_rng(8)
+        informative = rng.uniform(0, 10, 300)
+        useless = np.full(300, np.nan)
+        y = np.where(informative <= 5.0, 0.0, 4.0)
+        schema = Schema((
+            FeatureSpec("dead", FeatureKind.CONTINUOUS),
+            FeatureSpec("live", FeatureKind.CONTINUOUS),
+        ))
+        tree = RegressionTree(TreeParams(max_depth=3, cp=0.01)).fit(
+            np.column_stack([useless, informative]), y, schema,
+        )
+        assert "dead" not in tree.importance()
+        assert tree.n_leaves >= 2

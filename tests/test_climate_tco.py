@@ -1,0 +1,121 @@
+"""Climate-control TCO extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.decisions.climate_tco import (
+    ClimateCostParams,
+    TemperatureRateCurve,
+    _isotonic_nondecreasing,
+    climate_tco_curve,
+    fit_rate_curve,
+)
+from repro.errors import ConfigError, DataError
+from repro.failures.tickets import FaultType
+from repro.telemetry.aggregate import build_rack_day_table
+
+
+class TestIsotonic:
+    def test_already_monotone_unchanged(self):
+        values = np.array([1.0, 2.0, 3.0])
+        out = _isotonic_nondecreasing(values, np.ones(3))
+        assert np.allclose(out, values)
+
+    def test_violations_pooled(self):
+        out = _isotonic_nondecreasing(np.array([2.0, 1.0]), np.ones(2))
+        assert np.allclose(out, [1.5, 1.5])
+
+    def test_weights_respected(self):
+        out = _isotonic_nondecreasing(np.array([2.0, 1.0]),
+                                      np.array([3.0, 1.0]))
+        assert np.allclose(out, [1.75, 1.75])
+
+    def test_output_nondecreasing(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=50)
+        out = _isotonic_nondecreasing(values, rng.uniform(1, 5, 50))
+        assert np.all(np.diff(out) >= -1e-12)
+
+    def test_weighted_mean_preserved(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=30)
+        weights = rng.uniform(1, 5, 30)
+        out = _isotonic_nondecreasing(values, weights)
+        assert np.average(out, weights=weights) == pytest.approx(
+            np.average(values, weights=weights)
+        )
+
+
+class TestRateCurve:
+    @pytest.fixture(scope="class")
+    def disk_table(self, small_run):
+        return build_rack_day_table(small_run, faults=[FaultType.DISK])
+
+    def test_curve_is_monotone(self, small_run, disk_table):
+        curve, baseline = fit_rate_curve(disk_table, "DC1")
+        assert np.all(np.diff(curve.rates) >= -1e-12)
+        assert len(baseline) == int(
+            np.asarray(disk_table.decoded("dc") == "DC1").sum()
+        )
+
+    def test_hot_relative_rate_elevated(self, small_run, disk_table):
+        curve, _ = fit_rate_curve(disk_table, "DC1")
+        assert curve.evaluate(np.array([84.0]))[0] > \
+            1.2 * curve.evaluate(np.array([66.0]))[0]
+
+    def test_evaluate_clamps(self, small_run, disk_table):
+        curve, _ = fit_rate_curve(disk_table, "DC1")
+        assert curve.evaluate(np.array([-100.0]))[0] == curve.rates[0]
+        assert curve.evaluate(np.array([500.0]))[0] == curve.rates[-1]
+
+    def test_unknown_dc_rejected(self, disk_table):
+        with pytest.raises(DataError):
+            fit_rate_curve(disk_table, "DC9")
+
+
+class TestTcoCurve:
+    @pytest.fixture(scope="class")
+    def curve(self, small_run):
+        return climate_tco_curve(small_run)
+
+    def test_covers_requested_caps(self, small_run):
+        caps = np.array([74.0, 80.0])
+        curve = climate_tco_curve(small_run, caps_f=caps)
+        assert [e.cap_f for e in curve.evaluations] == caps.tolist()
+
+    def test_cooling_cost_decreases_with_cap(self, curve):
+        costs = [e.cooling_cost for e in curve.evaluations]
+        assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_failure_cost_nondecreasing_with_cap(self, curve):
+        costs = [e.failure_cost for e in curve.evaluations]
+        assert all(a <= b + 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_optimal_is_minimum(self, curve):
+        assert curve.optimal.total_cost == min(
+            e.total_cost for e in curve.evaluations
+        )
+
+    def test_pricier_trim_raises_optimal_cap(self, small_run):
+        cheap = climate_tco_curve(
+            small_run, params=ClimateCostParams(
+                trim_cost_per_rack_degree_day=0.001)
+        )
+        pricey = climate_tco_curve(
+            small_run, params=ClimateCostParams(
+                trim_cost_per_rack_degree_day=0.5)
+        )
+        assert pricey.optimal.cap_f >= cheap.optimal.cap_f
+
+    def test_render(self, curve):
+        text = curve.render()
+        assert "optimal" in text
+        assert "DC1" in text
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ConfigError):
+            ClimateCostParams(trim_cost_per_rack_degree_day=-1.0)
+
+    def test_empty_caps_rejected(self, small_run):
+        with pytest.raises(DataError):
+            climate_tco_curve(small_run, caps_f=np.array([]))

@@ -1,0 +1,117 @@
+"""Per-rack environmental-series tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.datacenter.builder import build_fleet
+from repro.environment.conditions import EnvironmentSeries
+from repro.errors import ConfigError
+from repro.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def env_setup():
+    config = repro.SimulationConfig.small(seed=8, scale=0.1, n_days=365)
+    rngs = RngRegistry(config.seed)
+    fleet = build_fleet(config.fleet, rngs)
+    env = EnvironmentSeries(fleet, config.n_days, rngs)
+    return fleet, env
+
+
+class TestShapes:
+    def test_matrix_shapes(self, env_setup):
+        fleet, env = env_setup
+        assert env.temp_f.shape == (365, fleet.n_racks)
+        assert env.rh.shape == (365, fleet.n_racks)
+
+    def test_day_conditions_slices(self, env_setup):
+        _, env = env_setup
+        temp, rh = env.day_conditions(42)
+        assert np.allclose(temp, env.temp_f[42])
+        assert np.allclose(rh, env.rh[42])
+
+    def test_out_of_range_day_rejected(self, env_setup):
+        _, env = env_setup
+        with pytest.raises(ConfigError):
+            env.day_conditions(365)
+
+    def test_zero_days_rejected(self, env_setup):
+        fleet, _ = env_setup
+        with pytest.raises(ConfigError):
+            EnvironmentSeries(fleet, 0, RngRegistry(1))
+
+
+class TestDcContrasts:
+    def test_dc1_sees_wider_temperature_range(self, env_setup):
+        fleet, env = env_setup
+        arrays = fleet.arrays()
+        dc1 = env.temp_f[:, arrays.dc_code == 0]
+        dc2 = env.temp_f[:, arrays.dc_code == 1]
+        assert dc1.std() > 1.5 * dc2.std()
+
+    def test_dc1_reaches_hot_dry_regime(self, env_setup):
+        fleet, env = env_setup
+        arrays = fleet.arrays()
+        dc1_cols = arrays.dc_code == 0
+        hot_dry = (env.temp_f[:, dc1_cols] > 78.0) & (env.rh[:, dc1_cols] < 25.0)
+        assert hot_dry.any()
+
+    def test_dc2_never_hot_and_dry(self, env_setup):
+        fleet, env = env_setup
+        arrays = fleet.arrays()
+        dc2_cols = arrays.dc_code == 1
+        hot_dry = (env.temp_f[:, dc2_cols] > 78.0) & (env.rh[:, dc2_cols] < 25.0)
+        assert not hot_dry.any()
+
+    def test_dc2_has_occasional_hot_excursions(self, env_setup):
+        """Chiller-degradation days: Fig 18 needs DC2 hot rack-days."""
+        fleet, env = env_setup
+        arrays = fleet.arrays()
+        dc2_cols = arrays.dc_code == 1
+        hot_days = (env.temp_f[:, dc2_cols] > 78.0).any(axis=1)
+        share = hot_days.mean()
+        assert 0.0 < share < 0.10
+
+    def test_hot_regions_are_hotter(self, env_setup):
+        fleet, env = env_setup
+        arrays = fleet.arrays()
+        dc1 = arrays.dc_code == 0
+        hot = env.temp_f[:, dc1 & (arrays.region_thermal_offset >= 3.0)].mean()
+        cool = env.temp_f[:, dc1 & (arrays.region_thermal_offset <= 0.0)].mean()
+        assert hot > cool + 2.0
+
+    def test_rack_microclimates_persist(self, env_setup):
+        _, env = env_setup
+        per_rack_mean = env.temp_f.mean(axis=0)
+        # Persistent per-rack offsets spread the long-run means even
+        # within one region; spread must exceed daily noise / sqrt(365).
+        assert per_rack_mean.std() > 0.8
+
+    def test_rh_bounds(self, env_setup):
+        _, env = env_setup
+        assert env.rh.min() >= 2.0
+        assert env.rh.max() <= 99.0
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces(self):
+        config = repro.SimulationConfig.small(seed=13, scale=0.03, n_days=60)
+
+        def build():
+            rngs = RngRegistry(config.seed)
+            fleet = build_fleet(config.fleet, rngs)
+            return EnvironmentSeries(fleet, config.n_days, rngs)
+
+        a, b = build(), build()
+        assert np.allclose(a.temp_f, b.temp_f)
+        assert np.allclose(a.rh, b.rh)
+
+    def test_missing_climate_rejected(self):
+        config = repro.SimulationConfig.small(seed=13, scale=0.03, n_days=60)
+        rngs = RngRegistry(config.seed)
+        fleet = build_fleet(config.fleet, rngs)
+        from repro.environment.weather import dc1_site_climate
+
+        with pytest.raises(ConfigError):
+            EnvironmentSeries(fleet, 60, rngs, climates={"DC1": dc1_site_climate()})

@@ -1,0 +1,72 @@
+"""SimulationConfig tests."""
+
+import pytest
+
+import repro
+from repro.config import PAPER_OBSERVATION_DAYS, SimulationConfig
+from repro.datacenter.builder import FleetConfig
+from repro.errors import ConfigError
+
+
+class TestFactories:
+    def test_paper_scale(self):
+        config = SimulationConfig.paper_scale(seed=7)
+        assert config.seed == 7
+        assert config.n_days == PAPER_OBSERVATION_DAYS == 910
+        assert config.fleet.scale == 1.0
+        assert config.fleet.observation_days == config.n_days
+
+    def test_small(self):
+        config = SimulationConfig.small(seed=1, scale=0.1, n_days=120)
+        assert config.fleet.scale == 0.1
+        assert config.n_days == 120
+
+    def test_defaults_are_paper_window(self):
+        assert SimulationConfig().n_days == PAPER_OBSERVATION_DAYS
+
+
+class TestValidation:
+    def test_calendar_fields_validated(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(
+                start_day_of_week=9,
+                fleet=FleetConfig(scale=0.05, observation_days=910),
+            )
+        with pytest.raises(ConfigError):
+            SimulationConfig(
+                start_day_of_year=400,
+                fleet=FleetConfig(scale=0.05, observation_days=910),
+            )
+
+    def test_fleet_window_must_match(self):
+        with pytest.raises(ConfigError, match="observation_days"):
+            SimulationConfig(
+                n_days=100, fleet=FleetConfig(scale=0.05, observation_days=910),
+            )
+
+    def test_config_is_frozen(self):
+        config = SimulationConfig.small()
+        with pytest.raises(Exception):
+            config.seed = 99  # type: ignore[misc]
+
+
+class TestCalendarAlignment:
+    def test_start_day_of_year_shifts_seasons(self):
+        config = SimulationConfig(
+            seed=17, n_days=180, start_day_of_year=181,  # July 1..December
+            fleet=FleetConfig(scale=0.04, observation_days=180),
+        )
+        result = repro.simulate(config)
+        first_day = result.calendar.day(0)
+        assert first_day.month == 7
+        # The run starts in DC1's hot season and ends in winter.
+        assert result.environment.temp_f[:30].mean() > \
+            result.environment.temp_f[-30:].mean() + 3.0
+
+    def test_start_day_of_week_shifts_weekends(self):
+        config = SimulationConfig(
+            seed=17, n_days=60, start_day_of_week=6,  # start on Saturday
+            fleet=FleetConfig(scale=0.04, observation_days=60),
+        )
+        result = repro.simulate(config)
+        assert result.calendar.day(0).is_weekend

@@ -1,0 +1,107 @@
+"""Cooling-plant model tests."""
+
+import pytest
+
+from repro.datacenter.topology import CoolingKind
+from repro.environment.cooling import (
+    AdiabaticCoolingPlant,
+    ChilledWaterPlant,
+    SupplyAir,
+    plant_for,
+)
+from repro.environment.weather import WeatherDay
+from repro.errors import ConfigError
+
+
+def day(temp_f: float, rh: float) -> WeatherDay:
+    return WeatherDay(day_index=0, temp_f=temp_f, rh=rh)
+
+
+class TestAdiabaticPlant:
+    def test_cools_hot_humid_enough_day(self):
+        plant = AdiabaticCoolingPlant()
+        air = plant.supply_air(day(95.0, 40.0))
+        assert air.temp_f < 95.0 - 10.0
+
+    def test_evaporation_raises_humidity(self):
+        plant = AdiabaticCoolingPlant()
+        air = plant.supply_air(day(90.0, 40.0))
+        assert air.rh > 40.0
+
+    def test_water_conservation_keeps_hot_and_dry(self):
+        """The regime behind Fig 18: hot day + very dry outdoor air."""
+        plant = AdiabaticCoolingPlant()
+        air = plant.supply_air(day(96.0, 10.0))
+        assert air.temp_f > 78.0
+        assert air.rh < 30.0
+
+    def test_effectiveness_throttles_below_threshold(self):
+        plant = AdiabaticCoolingPlant()
+        assert (plant.effective_effectiveness(10.0)
+                < plant.effective_effectiveness(40.0))
+        assert plant.effective_effectiveness(40.0) == plant.effectiveness
+
+    def test_cold_day_trimmed_to_floor(self):
+        plant = AdiabaticCoolingPlant()
+        air = plant.supply_air(day(30.0, 60.0))
+        assert air.temp_f == plant.min_supply_f
+
+    def test_supply_never_exceeds_ceiling(self):
+        plant = AdiabaticCoolingPlant()
+        air = plant.supply_air(day(115.0, 5.0))
+        assert air.temp_f <= plant.max_supply_f
+
+    def test_invalid_effectiveness_rejected(self):
+        with pytest.raises(ConfigError):
+            AdiabaticCoolingPlant(effectiveness=1.5)
+
+    def test_inverted_limits_rejected(self):
+        with pytest.raises(ConfigError):
+            AdiabaticCoolingPlant(min_supply_f=90.0, max_supply_f=60.0)
+
+
+class TestChilledWaterPlant:
+    def test_holds_setpoint_on_mild_day(self):
+        plant = ChilledWaterPlant(setpoint_f=66.0)
+        air = plant.supply_air(day(55.0, 60.0))
+        assert air.temp_f == pytest.approx(66.0, abs=2.5)
+
+    def test_small_drift_on_hot_day(self):
+        plant = ChilledWaterPlant(setpoint_f=66.0)
+        hot = plant.supply_air(day(100.0, 30.0))
+        mild = plant.supply_air(day(60.0, 50.0))
+        assert mild.temp_f <= hot.temp_f <= 72.5
+
+    def test_humidity_managed_into_band(self):
+        plant = ChilledWaterPlant()
+        dry = plant.supply_air(day(70.0, 5.0))
+        humid = plant.supply_air(day(70.0, 95.0))
+        assert 25.0 <= dry.rh < humid.rh <= 65.0
+
+    def test_never_reaches_hot_dry_regime(self):
+        """DC2's plant keeps the paper's detrimental regime unreachable."""
+        plant = ChilledWaterPlant()
+        for temp in (40.0, 60.0, 80.0, 100.0):
+            for rh in (5.0, 30.0, 60.0, 95.0):
+                air = plant.supply_air(day(temp, rh))
+                assert not (air.temp_f > 78.0 and air.rh < 25.0)
+
+    def test_implausible_setpoint_rejected(self):
+        with pytest.raises(ConfigError):
+            ChilledWaterPlant(setpoint_f=120.0)
+
+
+class TestSupplyAir:
+    def test_rh_validated(self):
+        with pytest.raises(ConfigError):
+            SupplyAir(temp_f=70.0, rh=150.0)
+
+
+class TestPlantFactory:
+    def test_maps_cooling_kinds(self):
+        assert isinstance(plant_for(CoolingKind.ADIABATIC), AdiabaticCoolingPlant)
+        assert isinstance(plant_for(CoolingKind.CHILLED_WATER), ChilledWaterPlant)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            plant_for("evaporative")

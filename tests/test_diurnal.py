@@ -1,0 +1,95 @@
+"""Diurnal arrival-profile tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.failures.diurnal import (
+    DiurnalProfiles,
+    business_hours_profile,
+    load_following_profile,
+    uniform_profile,
+)
+from repro.failures.tickets import FaultType
+
+
+class TestProfiles:
+    def test_profiles_are_densities(self):
+        for profile in (business_hours_profile(), load_following_profile(),
+                        uniform_profile()):
+            assert profile.shape == (24,)
+            assert profile.sum() == pytest.approx(1.0)
+            assert (profile >= 0).all()
+
+    def test_business_hours_peak_daytime(self):
+        profile = business_hours_profile()
+        assert profile[9:18].sum() > 2 * profile[np.r_[0:6, 22:24]].sum()
+
+    def test_load_following_peaks_afternoon(self):
+        profile = load_following_profile()
+        assert int(np.argmax(profile)) == 15
+
+    def test_uniform_is_flat(self):
+        profile = uniform_profile()
+        assert np.allclose(profile, 1.0 / 24.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            business_hours_profile(day_night_ratio=0.5)
+        with pytest.raises(ConfigError):
+            load_following_profile(amplitude=1.5)
+
+
+class TestSampling:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return DiurnalProfiles()
+
+    def test_samples_within_day(self, profiles):
+        rng = np.random.default_rng(0)
+        hours = profiles.sample_hours(FaultType.TIMEOUT, 5000, rng)
+        assert hours.min() >= 0.0
+        assert hours.max() < 24.0
+
+    def test_software_concentrates_in_business_hours(self, profiles):
+        rng = np.random.default_rng(0)
+        hours = profiles.sample_hours(FaultType.DEPLOYMENT, 8000, rng)
+        daytime = ((hours >= 9) & (hours < 18)).mean()
+        assert daytime > 0.55  # uniform would give 0.375
+
+    def test_hardware_mildly_diurnal(self, profiles):
+        rng = np.random.default_rng(0)
+        hours = profiles.sample_hours(FaultType.DISK, 8000, rng)
+        daytime = ((hours >= 9) & (hours < 18)).mean()
+        assert 0.40 < daytime < 0.55
+
+    def test_other_category_uniform(self, profiles):
+        rng = np.random.default_rng(0)
+        hours = profiles.sample_hours(FaultType.OTHER, 12000, rng)
+        daytime = ((hours >= 9) & (hours < 18)).mean()
+        assert daytime == pytest.approx(0.375, abs=0.02)
+
+    def test_empirical_distribution_matches_profile(self, profiles):
+        rng = np.random.default_rng(1)
+        hours = profiles.sample_hours(FaultType.TIMEOUT, 40000, rng)
+        empirical, _ = np.histogram(hours, bins=24, range=(0, 24))
+        empirical = empirical / empirical.sum()
+        assert np.abs(empirical - profiles.profile(FaultType.TIMEOUT)).max() < 0.012
+
+    def test_zero_size(self, profiles):
+        assert profiles.sample_hours(
+            FaultType.DISK, 0, np.random.default_rng(0)
+        ).shape == (0,)
+
+    def test_negative_size_rejected(self, profiles):
+        with pytest.raises(ConfigError):
+            profiles.sample_hours(FaultType.DISK, -1, np.random.default_rng(0))
+
+
+class TestEngineIntegration:
+    def test_ticket_hours_follow_profiles(self, small_run):
+        log = small_run.tickets
+        hours = log.start_hour_abs % 24.0
+        software = log.mask_for_faults([FaultType.TIMEOUT, FaultType.DEPLOYMENT])
+        daytime_share = ((hours >= 9) & (hours < 18))[software].mean()
+        assert daytime_share > 0.5

@@ -1,0 +1,137 @@
+"""Failure-engine structural tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConfigError
+from repro.failures.tickets import FAULT_CODE, FaultType
+
+
+class TestDeterminism:
+    def test_same_config_same_tickets(self):
+        config = repro.SimulationConfig.small(seed=21, scale=0.04, n_days=90)
+        a = repro.simulate(config)
+        b = repro.simulate(config)
+        assert len(a.tickets) == len(b.tickets)
+        assert np.array_equal(a.tickets.fault_code, b.tickets.fault_code)
+        assert np.allclose(a.tickets.start_hour_abs, b.tickets.start_hour_abs)
+        assert np.array_equal(a.tickets.rack_index, b.tickets.rack_index)
+
+    def test_different_seed_differs(self):
+        a = repro.simulate(repro.SimulationConfig.small(seed=21, scale=0.04, n_days=90))
+        b = repro.simulate(repro.SimulationConfig.small(seed=22, scale=0.04, n_days=90))
+        assert len(a.tickets) != len(b.tickets)
+
+
+class TestStructuralInvariants:
+    def test_ticket_fields_within_bounds(self, tiny_run):
+        log = tiny_run.tickets
+        arrays = tiny_run.fleet.arrays()
+        assert log.day_index.min() >= 0
+        assert log.day_index.max() < tiny_run.n_days
+        assert log.rack_index.min() >= 0
+        assert log.rack_index.max() < arrays.n_racks
+        assert np.all(log.server_offset < arrays.n_servers[log.rack_index])
+        assert np.all(log.server_offset >= 0)
+        assert np.all(log.repair_hours > 0)
+
+    def test_start_hours_within_emission_day(self, tiny_run):
+        log = tiny_run.tickets
+        day_of_hour = np.floor(log.start_hour_abs / 24.0)
+        # Batch cascades may spill into the next day; independents not.
+        independent = log.batch_id < 0
+        assert np.all(day_of_hour[independent] == log.day_index[independent])
+        assert np.all(day_of_hour >= log.day_index)
+        assert np.all(day_of_hour <= log.day_index + 1)
+
+    def test_no_tickets_before_commissioning(self, tiny_run):
+        log = tiny_run.tickets
+        commission = tiny_run.fleet.arrays().commission_day[log.rack_index]
+        assert np.all(log.day_index >= commission)
+
+    def test_batches_are_same_rack_and_fault(self, tiny_run):
+        log = tiny_run.tickets
+        for batch_id in np.unique(log.batch_id[log.batch_id >= 0])[:20]:
+            members = log.batch_id == batch_id
+            assert len(np.unique(log.rack_index[members])) == 1
+            assert len(np.unique(log.fault_code[members])) == 1
+            assert members.sum() >= 1
+
+    def test_batch_servers_distinct(self, tiny_run):
+        log = tiny_run.tickets
+        for batch_id in np.unique(log.batch_id[log.batch_id >= 0])[:20]:
+            members = log.batch_id == batch_id
+            offsets = log.server_offset[members]
+            assert len(np.unique(offsets)) == len(offsets)
+
+    def test_false_positive_share_near_config(self, small_run):
+        share = small_run.tickets.false_positive.mean()
+        expected = small_run.config.rates.false_positive_rate
+        # Batch/outage tickets are never false positives, so the overall
+        # share sits slightly below the per-ticket rate.
+        assert 0.5 * expected < share <= expected * 1.1
+
+    def test_summary_mentions_counts(self, tiny_run):
+        text = tiny_run.summary()
+        assert "RMA tickets" in text
+        assert str(tiny_run.fleet.n_racks) in text
+
+
+class TestBatchFaultRouting:
+    def test_storage_batches_are_disk_or_server(self, small_run):
+        log = small_run.tickets
+        arrays = small_run.fleet.arrays()
+        in_batch = log.batch_id >= 0
+        storage = arrays.hdds_per_server[log.rack_index] >= 8
+        power = log.fault_code == FAULT_CODE[FaultType.POWER]
+        storage_batch = in_batch & storage & ~power
+        codes = set(np.unique(log.fault_code[storage_batch]).tolist())
+        assert codes <= {FAULT_CODE[FaultType.DISK], FAULT_CODE[FaultType.SERVER]}
+        assert FAULT_CODE[FaultType.DISK] in codes
+
+    def test_compute_batches_are_memory_psu_or_outage(self, small_run):
+        log = small_run.tickets
+        arrays = small_run.fleet.arrays()
+        in_batch = log.batch_id >= 0
+        compute = arrays.hdds_per_server[log.rack_index] < 8
+        codes = log.fault_code[in_batch & compute]
+        allowed = {FAULT_CODE[FaultType.MEMORY], FAULT_CODE[FaultType.SERVER],
+                   FAULT_CODE[FaultType.POWER]}
+        assert set(np.unique(codes).tolist()) <= allowed
+        # DIMM lots dominate (the Fig 13 component-spare mechanism).
+        memory_share = (codes == FAULT_CODE[FaultType.MEMORY]).mean()
+        assert memory_share > 0.5
+
+    def test_outages_take_down_large_fractions(self, small_run):
+        log = small_run.tickets
+        arrays = small_run.fleet.arrays()
+        power_batches = (log.batch_id >= 0) & (
+            log.fault_code == FAULT_CODE[FaultType.POWER]
+        )
+        if not power_batches.any():
+            pytest.skip("no rack outage sampled in this run")
+        sizes = {}
+        for batch_id in np.unique(log.batch_id[power_batches]):
+            members = log.batch_id == batch_id
+            rack = log.rack_index[members][0]
+            sizes[batch_id] = members.sum() / arrays.n_servers[rack]
+        assert max(sizes.values()) >= 0.15
+
+
+class TestConfigValidation:
+    def test_mismatched_observation_days_rejected(self):
+        from repro.datacenter.builder import FleetConfig
+
+        with pytest.raises(ConfigError):
+            repro.SimulationConfig(
+                n_days=100, fleet=FleetConfig(scale=0.05, observation_days=200)
+            )
+
+    def test_zero_days_rejected(self):
+        from repro.datacenter.builder import FleetConfig
+
+        with pytest.raises(ConfigError):
+            repro.SimulationConfig(
+                n_days=0, fleet=FleetConfig(scale=0.05, observation_days=120)
+            )

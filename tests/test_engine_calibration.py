@@ -1,0 +1,124 @@
+"""Engine calibration: the simulated data reproduces §IV/§V-B shapes.
+
+These tests assert the *qualitative* findings (orderings, bands), not
+exact percentages — the same standard the benchmark harness applies at
+paper scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.failures.tickets import HARDWARE_FAULTS
+from repro.reporting.tables import ticket_mix
+from repro.failures.tickets import FaultType, TicketCategory, FAULT_CATEGORY
+from repro.telemetry import build_rack_day_table, mean_rate_by
+
+
+@pytest.fixture(scope="module")
+def mix(small_run):
+    return ticket_mix(small_run)
+
+
+@pytest.fixture(scope="module")
+def rates(small_context):
+    return small_context.all_failures
+
+
+class TestTableIIBands:
+    def test_software_leads(self, mix):
+        for dc in ("DC1", "DC2"):
+            assert 38.0 < mix.category_share(dc, "Software") < 60.0
+
+    def test_boot_band(self, mix):
+        for dc in ("DC1", "DC2"):
+            assert 8.0 < mix.category_share(dc, "Boot") < 18.0
+
+    def test_hardware_band(self, mix):
+        for dc in ("DC1", "DC2"):
+            assert 18.0 < mix.category_share(dc, "Hardware") < 38.0
+
+    def test_timeout_is_single_largest_type(self, mix):
+        for dc in ("DC1", "DC2"):
+            percentages = mix.percentages[dc]
+            assert max(percentages, key=percentages.get) is FaultType.TIMEOUT
+
+    def test_disk_leads_hardware(self, mix):
+        for dc in ("DC1", "DC2"):
+            percentages = mix.percentages[dc]
+            hardware = {f: percentages[f] for f in FaultType
+                        if FAULT_CATEGORY[f] is TicketCategory.HARDWARE}
+            assert max(hardware, key=hardware.get) is FaultType.DISK
+
+    def test_dc_contrasts(self, mix):
+        dc1, dc2 = mix.percentages["DC1"], mix.percentages["DC2"]
+        assert dc1[FaultType.DISK] > dc2[FaultType.DISK]
+        assert dc1[FaultType.MEMORY] > dc2[FaultType.MEMORY]
+        assert dc1[FaultType.NETWORK] > 2 * dc2[FaultType.NETWORK]
+        assert dc1[FaultType.REBOOT] > 2 * dc2[FaultType.REBOOT]
+        assert dc2[FaultType.POWER] > dc1[FaultType.POWER]
+        assert dc2[FaultType.TIMEOUT] > dc1[FaultType.TIMEOUT]
+
+
+class TestSpatialEffects:
+    def test_dc1_fails_more_than_dc2(self, rates):
+        by_dc = mean_rate_by(rates, "dc")
+        assert by_dc["DC1"][0] > 1.1 * by_dc["DC2"][0]
+
+    def test_intra_dc_variation(self, rates):
+        by_region = mean_rate_by(rates, "region")
+        dc1_rates = [v[0] for k, v in by_region.items() if k.startswith("DC1")]
+        assert max(dc1_rates) > 1.3 * min(dc1_rates)
+
+
+class TestTemporalEffects:
+    def test_weekdays_fail_more(self, rates):
+        by_dow = mean_rate_by(rates, "day_of_week")
+        weekday = np.mean([by_dow[d][0] for d in ("Mon", "Tue", "Wed", "Thu", "Fri")])
+        weekend = np.mean([by_dow[d][0] for d in ("Sat", "Sun")])
+        assert weekday > 1.1 * weekend
+
+    def test_second_half_of_year_elevated(self, rates):
+        by_month = mean_rate_by(rates, "month")
+        first_half = np.mean([by_month[m][0] for m in ("Jan", "Feb", "Mar", "Apr")])
+        second_half = np.mean([by_month[m][0] for m in ("Jul", "Aug", "Sep")])
+        assert second_half > first_half
+
+
+class TestWorkloadEffects:
+    def test_fig6_ordering(self, rates):
+        by_wl = {k: v[0] for k, v in mean_rate_by(rates, "workload").items()}
+        assert by_wl["W2"] == max(by_wl.values())
+        # HPC is among the calmest workloads (per-rack rates also scale
+        # with rack density, so W3 can tie with the storage-data pair).
+        assert by_wl["W3"] <= 1.25 * min(by_wl.values())
+        assert by_wl["W5"] < by_wl["W4"]
+        assert by_wl["W6"] < by_wl["W7"]
+
+
+class TestHardwareEffects:
+    def test_low_humidity_elevates_failures(self, rates):
+        rh = rates.column("rh").astype(float)
+        failures = rates.column("failures").astype(float)
+        dry = failures[rh < 25.0].mean()
+        comfortable = failures[(rh > 40.0) & (rh < 60.0)].mean()
+        assert dry > 1.1 * comfortable
+
+    def test_high_power_racks_fail_more(self, rates):
+        rated = rates.column("rated_power_kw").astype(float)
+        failures = rates.column("failures").astype(float)
+        dense = failures[rated > 12.0].mean()
+        light = failures[rated <= 9.0].mean()
+        assert dense > light
+
+    def test_infant_mortality_visible(self, rates):
+        age = rates.column("age_months").astype(float)
+        failures = rates.column("failures").astype(float)
+        young = failures[(age >= 0) & (age < 6)].mean()
+        mature = failures[(age > 18) & (age < 40)].mean()
+        assert young > 1.3 * mature
+
+    def test_sku_hardware_confound(self, small_run):
+        hardware = build_rack_day_table(small_run, faults=list(HARDWARE_FAULTS))
+        by_sku = {k: v[0] for k, v in mean_rate_by(hardware, "sku").items()}
+        assert by_sku["S2"] > 5.0 * by_sku["S4"]  # observed (confounded) gap
+        assert by_sku["S2"] == max(by_sku.values())

@@ -1,0 +1,48 @@
+"""Example-script smoke test (the fastest example, end to end)."""
+
+import subprocess
+import sys
+import pathlib
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestQuickstartRuns:
+    @pytest.fixture(scope="class")
+    def output(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py"), "5"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        return completed.stdout
+
+    def test_prints_run_summary(self, output):
+        assert "RMA tickets" in output
+
+    def test_prints_tables(self, output):
+        assert "Table I" in output
+        assert "Table II" in output
+
+    def test_prints_tree_and_importance(self, output):
+        assert "root" in output
+        assert "importance" in output.lower()
+
+    def test_prints_workload_figure(self, output):
+        assert "fig06" in output
+
+
+def test_all_examples_exist_and_have_mains():
+    expected = {
+        "quickstart.py", "spare_provisioning.py", "vendor_selection.py",
+        "climate_control.py", "ground_truth_audit.py",
+        "failure_prediction.py",
+    }
+    found = {path.name for path in EXAMPLES.glob("*.py")}
+    assert expected <= found
+    for name in expected:
+        source = (EXAMPLES / name).read_text()
+        assert '__name__ == "__main__"' in source
+        assert source.startswith('"""')  # every example is documented

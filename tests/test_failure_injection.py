@@ -1,0 +1,119 @@
+"""Failure injection: corrupted inputs surface clean errors, not garbage.
+
+A library ingesting operational data must fail loudly on malformed
+input.  These tests feed adversarial data into each layer's boundary
+and assert a :class:`~repro.errors.ReproError` subclass — never a bare
+numpy error, silent wrong answer, or crash.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import MultiFactorModel, RegressionTree, TreeParams
+from repro.analysis.prediction import roc_auc
+from repro.errors import DataError, FitError, ReproError, SchemaError
+from repro.failures.tickets import TicketLog
+from repro.telemetry.schema import FeatureKind, FeatureSpec, Schema
+from repro.telemetry.table import Table
+from repro.telemetry.windows import event_day_counts, per_group_window_counts
+
+
+class TestCorruptTicketStreams:
+    def chunk(self, **overrides):
+        base = dict(
+            day_index=np.array([0], dtype=np.int64),
+            start_hour_abs=np.array([1.0]),
+            rack_index=np.array([0], dtype=np.int64),
+            server_offset=np.array([0], dtype=np.int64),
+            fault_code=np.array([5], dtype=np.int64),
+            false_positive=np.array([False]),
+            repair_hours=np.array([4.0]),
+            batch_id=np.array([-1], dtype=np.int64),
+        )
+        base.update(overrides)
+        return base
+
+    def test_out_of_range_rack_rejected_by_aggregation(self):
+        log = TicketLog()
+        log.append_chunk(**self.chunk(rack_index=np.array([999], dtype=np.int64)))
+        log.finalize()
+        with pytest.raises(DataError):
+            event_day_counts(log.rack_index, log.day_index, n_groups=5,
+                             total_days=10)
+
+    def test_negative_day_rejected(self):
+        log = TicketLog()
+        log.append_chunk(**self.chunk(day_index=np.array([-3], dtype=np.int64)))
+        log.finalize()
+        with pytest.raises(DataError):
+            event_day_counts(log.rack_index, log.day_index, n_groups=5,
+                             total_days=10)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(DataError):
+            per_group_window_counts(
+                np.array([0]), np.array([10.0]), np.array([5.0]),
+                n_groups=1, window_hours=24.0, total_windows=2,
+            )
+
+    def test_corrupt_fault_code_rejected_at_materialization(self):
+        log = TicketLog()
+        log.append_chunk(**self.chunk(fault_code=np.array([99], dtype=np.int64)))
+        log.finalize()
+        with pytest.raises(IndexError):
+            log.ticket(0)
+
+
+class TestCorruptTables:
+    def test_label_code_out_of_category_range(self):
+        schema = Schema((FeatureSpec("c", FeatureKind.NOMINAL, ("a", "b")),))
+        table = Table({"c": np.array([0, 7])}, schema=schema)
+        with pytest.raises(DataError):
+            table.decoded("c")
+
+    def test_formula_referencing_missing_column(self):
+        table = Table({"y": np.arange(10.0), "x": np.arange(10.0)})
+        with pytest.raises(DataError):
+            MultiFactorModel.from_formula("y ~ x, N(ghost)", table)
+
+    def test_constant_metric_fits_stump_not_crash(self):
+        table = Table({"y": np.zeros(30), "x": np.arange(30.0)})
+        model = MultiFactorModel.from_formula(
+            "y ~ x", table, params=TreeParams(min_split=5, min_bucket=2),
+        )
+        assert model.tree.n_leaves == 1
+
+    def test_infinite_metric_rejected(self):
+        table = Table({"y": np.array([1.0, np.inf] * 10),
+                       "x": np.arange(20.0)})
+        with pytest.raises(FitError):
+            MultiFactorModel.from_formula(
+                "y ~ x", table, params=TreeParams(min_split=5, min_bucket=2),
+            )
+
+
+class TestDegenerateModelInputs:
+    def test_tree_with_zero_weight_everywhere(self):
+        schema = Schema((FeatureSpec("x", FeatureKind.CONTINUOUS),))
+        with pytest.raises(FitError):
+            RegressionTree().fit(
+                np.arange(10.0).reshape(-1, 1), np.arange(10.0), schema,
+                sample_weight=np.zeros(10),
+            )
+
+    def test_negative_weights_rejected(self):
+        schema = Schema((FeatureSpec("x", FeatureKind.CONTINUOUS),))
+        with pytest.raises(FitError):
+            RegressionTree().fit(
+                np.arange(10.0).reshape(-1, 1), np.arange(10.0), schema,
+                sample_weight=np.full(10, -1.0),
+            )
+
+    def test_auc_with_constant_scores_is_half(self):
+        auc = roc_auc(np.zeros(10), np.array([0, 1] * 5))
+        assert auc == pytest.approx(0.5)
+
+    def test_every_injected_error_is_catchable_as_repro_error(self):
+        assert issubclass(DataError, ReproError)
+        assert issubclass(FitError, ReproError)
+        assert issubclass(SchemaError, ReproError)

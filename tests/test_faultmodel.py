@@ -1,0 +1,137 @@
+"""Fault-model composition tests."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.builder import FleetConfig, build_fleet
+from repro.errors import ConfigError
+from repro.failures.faultmodel import FaultModel, FaultRateConfig, RackContext
+from repro.failures.tickets import FaultType
+from repro.rng import RngRegistry
+from repro.units import SimCalendar
+
+
+@pytest.fixture(scope="module")
+def model_setup():
+    fleet = build_fleet(FleetConfig(scale=0.1, observation_days=365), RngRegistry(4))
+    model = FaultModel(fleet)
+    arrays = fleet.arrays()
+    calendar = SimCalendar()
+    return fleet, model, arrays, calendar
+
+
+def expected_for_day(model_setup, day=180, temp=70.0, rh=40.0):
+    fleet, model, arrays, calendar = model_setup
+    commissioned = arrays.commission_day <= day
+    temp_arr = np.full(arrays.n_racks, temp)
+    rh_arr = np.full(arrays.n_racks, rh)
+    return model.expected_counts(calendar.day(day), temp_arr, rh_arr, commissioned)
+
+
+class TestRateConfig:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultRateConfig(disk_per_disk_day=-1.0)
+
+    def test_fp_rate_must_be_below_one(self):
+        with pytest.raises(ConfigError):
+            FaultRateConfig(false_positive_rate=1.0)
+
+
+class TestExpectedCounts:
+    def test_every_fault_type_present(self, model_setup):
+        counts = expected_for_day(model_setup)
+        assert set(counts) == set(FaultType)
+
+    def test_rates_nonnegative_and_finite(self, model_setup):
+        for values in expected_for_day(model_setup).values():
+            assert np.all(values >= 0)
+            assert np.all(np.isfinite(values))
+
+    def test_uncommissioned_racks_have_zero_rates(self, model_setup):
+        fleet, model, arrays, calendar = model_setup
+        day = int(arrays.commission_day.min())  # some racks not yet live
+        commissioned = arrays.commission_day <= day
+        assert not commissioned.all()
+        counts = model.expected_counts(
+            calendar.day(max(day, 0)),
+            np.full(arrays.n_racks, 70.0),
+            np.full(arrays.n_racks, 40.0),
+            commissioned,
+        )
+        for values in counts.values():
+            assert np.all(values[~commissioned] == 0.0)
+
+    def test_hot_dry_raises_disk_rate_in_dc1_only(self, model_setup):
+        fleet, model, arrays, _ = model_setup
+        cool = expected_for_day(model_setup, temp=68.0, rh=45.0)[FaultType.DISK]
+        hot = expected_for_day(model_setup, temp=84.0, rh=30.0)[FaultType.DISK]
+        dc1 = arrays.dc_code == 0
+        ratio_dc1 = hot[dc1].sum() / cool[dc1].sum()
+        ratio_dc2 = hot[~dc1].sum() / cool[~dc1].sum()
+        assert ratio_dc1 > 1.45
+        assert ratio_dc2 < 1.35  # thermally decoupled packaging
+
+    def test_weekend_lowers_software_rates(self, model_setup):
+        fleet, model, arrays, calendar = model_setup
+        commissioned = arrays.commission_day <= 180
+        temp = np.full(arrays.n_racks, 70.0)
+        rh = np.full(arrays.n_racks, 40.0)
+        weekday = model.expected_counts(calendar.day(180), temp, rh, commissioned)
+        # Day 182 is a Saturday when day 0 is a Sunday (182 % 7 == 0 → Sun).
+        weekend_day = next(
+            d for d in range(180, 190) if calendar.day(d).is_weekend
+        )
+        weekend = model.expected_counts(calendar.day(weekend_day), temp, rh, commissioned)
+        assert (weekend[FaultType.DEPLOYMENT].sum()
+                < 0.6 * weekday[FaultType.DEPLOYMENT].sum())
+
+    def test_compute_racks_have_more_software_tickets(self, model_setup):
+        fleet, model, arrays, _ = model_setup
+        counts = expected_for_day(model_setup)
+        dense = arrays.n_servers >= 40
+        sparse = arrays.n_servers <= 20
+        per_rack_dense = counts[FaultType.TIMEOUT][dense].mean()
+        per_rack_sparse = counts[FaultType.TIMEOUT][sparse].mean()
+        assert per_rack_dense > per_rack_sparse
+
+
+class TestEventRates:
+    def test_batch_rate_positive_for_commissioned(self, model_setup):
+        fleet, model, arrays, calendar = model_setup
+        commissioned = arrays.commission_day <= 200
+        rate = model.batch_event_rate(calendar.day(200), commissioned)
+        assert np.all(rate[commissioned] > 0)
+        assert np.all(rate[~commissioned] == 0)
+
+    def test_storage_skus_batch_more(self, model_setup):
+        fleet, model, arrays, calendar = model_setup
+        commissioned = np.ones(arrays.n_racks, dtype=bool)
+        rate = model.batch_event_rate(calendar.day(400), commissioned)
+        s3 = arrays.sku_code == arrays.sku_names.index("S3")
+        s4 = arrays.sku_code == arrays.sku_names.index("S4")
+        assert rate[s3].mean() > 3 * rate[s4].mean()
+
+    def test_outage_rarer_in_five_nines_dc(self, model_setup):
+        fleet, model, arrays, calendar = model_setup
+        commissioned = np.ones(arrays.n_racks, dtype=bool)
+        rate = model.rack_outage_rate(calendar.day(400), commissioned)
+        dc1 = arrays.dc_code == 0
+        assert rate[dc1].mean() > rate[~dc1].mean()
+
+
+class TestRackContext:
+    def test_packaging_factors(self, model_setup):
+        fleet, model, arrays, _ = model_setup
+        context = model.context
+        dc1 = arrays.dc_code == 0
+        assert context.network_packaging[dc1].min() > context.network_packaging[~dc1].max()
+        assert context.reboot_packaging[dc1].min() > context.reboot_packaging[~dc1].max()
+        assert context.power_base_rate[dc1].max() < context.power_base_rate[~dc1].min()
+        assert np.all(context.thermal_coupling[dc1] == 1.0)
+        assert np.all(context.thermal_coupling[~dc1] < 0.5)
+
+    def test_utilization_by_day_kind(self, model_setup):
+        fleet, model, arrays, _ = model_setup
+        context = model.context
+        assert context.utilization(False).mean() > context.utilization(True).mean()

@@ -1,0 +1,83 @@
+"""Formula-parsing tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.formula import Formula, Term, parse_formula
+from repro.errors import FormulaError
+
+identifier = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,8}", fullmatch=True)
+
+
+class TestParsing:
+    def test_cat1_formula(self):
+        formula = parse_formula("mu ~ sku, age_months, rated_power_kw")
+        assert formula.metric == "mu"
+        assert formula.feature_names == ["sku", "age_months", "rated_power_kw"]
+        assert not formula.is_partial_dependence
+        assert formula.studied == formula.feature_names
+
+    def test_cat2_formula(self):
+        formula = parse_formula("lambda ~ sku, N(dc), N(workload)")
+        assert formula.is_partial_dependence
+        assert formula.studied == ["sku"]
+        assert formula.normalized == ["dc", "workload"]
+
+    def test_plus_separator_accepted(self):
+        formula = parse_formula("y ~ a + N(b) + c")
+        assert formula.feature_names == ["a", "b", "c"]
+
+    def test_whitespace_tolerated(self):
+        formula = parse_formula("  y  ~  a ,  N( b )  ")
+        assert formula.metric == "y"
+        assert formula.normalized == ["b"]
+
+    def test_str_roundtrip(self):
+        text = "y ~ a, N(b)"
+        assert str(parse_formula(text)) == text
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "y ~", "~ x", "y x", "y ~ x ~ z", "y ~ x,,z", "y ~ N()",
+        "y ~ N(x", "y ~ 1x", "y ~ x!", "",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(FormulaError):
+            parse_formula(bad)
+
+    def test_duplicate_feature_rejected(self):
+        with pytest.raises(FormulaError):
+            parse_formula("y ~ x, N(x)")
+
+    def test_metric_as_feature_rejected(self):
+        with pytest.raises(FormulaError):
+            parse_formula("y ~ y, x")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(FormulaError):
+            parse_formula(42)  # type: ignore[arg-type]
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(FormulaError):
+            parse_formula("2fast ~ x")
+
+
+class TestPropertyBased:
+    @given(identifier, st.lists(identifier, min_size=1, max_size=6, unique=True))
+    def test_roundtrip_arbitrary_names(self, metric, features):
+        if metric in features:
+            features = [f for f in features if f != metric]
+            if not features:
+                return
+        text = f"{metric} ~ " + ", ".join(
+            f"N({name})" if i % 2 else name for i, name in enumerate(features)
+        )
+        formula = parse_formula(text)
+        assert formula.metric == metric
+        assert formula.feature_names == features
+
+    @given(identifier)
+    def test_term_str(self, name):
+        assert str(Term(name, normalized=True)) == f"N({name})"
+        assert str(Term(name, normalized=False)) == name

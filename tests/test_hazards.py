@@ -1,0 +1,117 @@
+"""Ground-truth hazard-shape tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.failures.hazards import (
+    bathtub_age_multiplier,
+    humidity_interaction_multiplier,
+    low_humidity_multiplier,
+    seasonal_software_multiplier,
+    thermal_disk_multiplier,
+    utilization_multiplier,
+    weekday_churn_multiplier,
+)
+
+
+class TestBathtub:
+    def test_infant_mortality_elevated(self):
+        young = bathtub_age_multiplier(np.array([0.0]))[0]
+        mature = bathtub_age_multiplier(np.array([24.0]))[0]
+        assert young > 2.0 * mature
+
+    def test_decays_monotonically_before_wearout(self):
+        ages = np.linspace(0, 40, 50)
+        values = bathtub_age_multiplier(ages)
+        assert np.all(np.diff(values) < 0)
+
+    def test_wearout_ramp_after_onset(self):
+        assert (bathtub_age_multiplier(np.array([60.0]))[0]
+                > bathtub_age_multiplier(np.array([48.0]))[0])
+
+    def test_negative_age_clipped_to_infant_peak(self):
+        assert (bathtub_age_multiplier(np.array([-5.0]))[0]
+                == bathtub_age_multiplier(np.array([0.0]))[0])
+
+    @given(st.floats(min_value=-10, max_value=120))
+    def test_multiplier_at_least_one(self, age):
+        assert bathtub_age_multiplier(np.array([age]))[0] >= 1.0
+
+
+class TestThermal:
+    def test_step_near_78f(self):
+        below = thermal_disk_multiplier(np.array([74.0]))[0]
+        above = thermal_disk_multiplier(np.array([82.0]))[0]
+        assert above - below > 0.35  # the planted ≈50% step
+
+    def test_flat_at_cool_temperatures(self):
+        assert thermal_disk_multiplier(np.array([58.0]))[0] == pytest.approx(1.0, abs=0.02)
+
+    @given(st.floats(min_value=40, max_value=110))
+    def test_monotone_nondecreasing(self, temp):
+        lower = thermal_disk_multiplier(np.array([temp]))[0]
+        higher = thermal_disk_multiplier(np.array([temp + 1.0]))[0]
+        assert higher >= lower - 1e-12
+
+
+class TestHumidityInteraction:
+    def test_full_activation_when_hot_and_dry(self):
+        value = humidity_interaction_multiplier(np.array([88.0]), np.array([10.0]))[0]
+        assert value == pytest.approx(1.18, abs=0.02)
+
+    def test_inactive_when_cool(self):
+        value = humidity_interaction_multiplier(np.array([65.0]), np.array([10.0]))[0]
+        assert value == pytest.approx(1.0, abs=0.01)
+
+    def test_inactive_when_humid(self):
+        value = humidity_interaction_multiplier(np.array([88.0]), np.array([60.0]))[0]
+        assert value == pytest.approx(1.0, abs=0.01)
+
+    @given(st.floats(min_value=40, max_value=110),
+           st.floats(min_value=2, max_value=99))
+    def test_bounded(self, temp, rh):
+        value = humidity_interaction_multiplier(np.array([temp]), np.array([rh]))[0]
+        assert 1.0 <= value <= 1.181
+
+
+class TestLowHumidity:
+    def test_dry_air_elevates_hazard(self):
+        dry = low_humidity_multiplier(np.array([10.0]))[0]
+        comfortable = low_humidity_multiplier(np.array([50.0]))[0]
+        assert dry > 1.3
+        assert comfortable == pytest.approx(1.0, abs=0.02)
+
+    @given(st.floats(min_value=2, max_value=99))
+    def test_monotone_decreasing_in_rh(self, rh):
+        assert (low_humidity_multiplier(np.array([rh]))[0]
+                >= low_humidity_multiplier(np.array([rh + 1.0]))[0] - 1e-12)
+
+
+class TestUtilization:
+    def test_idle_machines_still_fail(self):
+        assert utilization_multiplier(np.array([0.0]))[0] > 0.0
+
+    def test_linear_in_utilization(self):
+        low = utilization_multiplier(np.array([0.4]))[0]
+        high = utilization_multiplier(np.array([0.9]))[0]
+        assert high > low
+
+
+class TestTemporal:
+    def test_second_half_boost(self):
+        assert seasonal_software_multiplier(8) > seasonal_software_multiplier(3)
+
+    def test_invalid_month_rejected(self):
+        with pytest.raises(ValueError):
+            seasonal_software_multiplier(0)
+
+    def test_weekend_churn_drops(self):
+        assert weekday_churn_multiplier(True) < weekday_churn_multiplier(False)
+
+    def test_weekday_is_unit(self):
+        assert weekday_churn_multiplier(False) == 1.0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            weekday_churn_multiplier(True, weekend_fraction=2.0)

@@ -1,0 +1,71 @@
+"""End-to-end integration tests across the full pipeline."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.decisions import AvailabilitySla, SpareProvisioner
+from repro.reporting import AnalysisContext
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        for name in ("simulate", "SimulationConfig", "MultiFactorModel",
+                     "SingleFactorModel", "SpareProvisioner", "TcoModel",
+                     "build_rack_day_table", "AnalysisContext", "EXPERIMENTS"):
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_error_hierarchy(self):
+        for error in (repro.ConfigError, repro.DataError, repro.FitError,
+                      repro.FormulaError, repro.SchemaError,
+                      repro.SimulationError):
+            assert issubclass(error, repro.ReproError)
+        assert issubclass(repro.ReproError, Exception)
+
+
+class TestEndToEnd:
+    def test_quickstart_flow(self):
+        """The README quickstart, condensed."""
+        result = repro.simulate(repro.SimulationConfig.small(
+            seed=30, scale=0.05, n_days=150,
+        ))
+        table = repro.build_rack_day_table(result)
+        model = repro.MultiFactorModel.from_formula(
+            "failures ~ workload, dc, age_months",
+            table,
+            params=repro.TreeParams(max_depth=4, min_split=200,
+                                    min_bucket=80, cp=1e-3),
+        )
+        assert model.tree.n_leaves >= 2
+        assert model.render()
+
+    def test_analysis_is_deterministic_given_run(self, tiny_run):
+        provisioner_a = SpareProvisioner(tiny_run, min_service_days=20)
+        provisioner_b = SpareProvisioner(tiny_run, min_service_days=20)
+        sla = AvailabilitySla(1.0)
+        plan_a = provisioner_a.multi_factor("W6", sla)
+        plan_b = provisioner_b.multi_factor("W6", sla)
+        assert np.allclose(plan_a.per_rack_fraction, plan_b.per_rack_fraction)
+        assert plan_a.overprovision == plan_b.overprovision
+
+    def test_context_caches_tables(self, tiny_run):
+        context = AnalysisContext(tiny_run)
+        assert context.all_failures is context.all_failures
+        assert context.hardware_failures is context.hardware_failures
+        assert context.provisioner(24.0) is context.provisioner(24.0)
+
+    def test_different_seeds_change_conclusions_slightly_not_wildly(self):
+        """Sanity: conclusions are stable properties, not seed artifacts."""
+        rates = []
+        for seed in (41, 42):
+            result = repro.simulate(repro.SimulationConfig.small(
+                seed=seed, scale=0.08, n_days=180,
+            ))
+            table = repro.build_rack_day_table(result)
+            failures = table.column("failures").astype(float)
+            rates.append(failures.mean())
+        assert rates[0] != rates[1]
+        assert abs(rates[0] - rates[1]) / max(rates) < 0.2

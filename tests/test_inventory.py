@@ -1,0 +1,92 @@
+"""Inventory (device IDs, commissioning cohorts) tests."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.inventory import (
+    CommissionCohort,
+    DeviceIdAllocator,
+    default_cohorts,
+    sample_commission_days,
+)
+from repro.errors import ConfigError
+
+
+class TestCohorts:
+    def test_default_cohorts_span_past_and_window(self):
+        cohorts = default_cohorts(910)
+        offsets = [cohort.offset_days for cohort in cohorts]
+        assert min(offsets) < -3 * 365
+        assert max(offsets) > 0
+
+    def test_weights_positive(self):
+        assert all(cohort.weight > 0 for cohort in default_cohorts(910))
+
+    def test_short_window_rejected(self):
+        with pytest.raises(ConfigError):
+            default_cohorts(10)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            CommissionCohort(offset_days=0, weight=0.0)
+
+
+class TestSampling:
+    def test_sample_count(self):
+        days = sample_commission_days(
+            100, default_cohorts(910), np.random.default_rng(0)
+        )
+        assert len(days) == 100
+
+    def test_ages_span_up_to_five_years(self):
+        days = sample_commission_days(
+            3000, default_cohorts(910), np.random.default_rng(0)
+        )
+        assert days.min() < -4 * 365
+        assert days.max() > 0.5 * 910
+
+    def test_recency_bias_shifts_distribution(self):
+        cohorts = default_cohorts(910)
+        rng = np.random.default_rng(0)
+        young = sample_commission_days(1000, cohorts, rng, recency_bias=5.0)
+        old = sample_commission_days(1000, cohorts, rng, recency_bias=-5.0)
+        neutral = sample_commission_days(1000, cohorts, rng)
+        assert young.mean() > neutral.mean() > old.mean()
+
+    def test_zero_racks_rejected(self):
+        with pytest.raises(ConfigError):
+            sample_commission_days(0, default_cohorts(910), np.random.default_rng(0))
+
+    def test_empty_cohorts_rejected(self):
+        with pytest.raises(ConfigError):
+            sample_commission_days(5, [], np.random.default_rng(0))
+
+    def test_jitter_stays_within_bounds(self):
+        cohorts = [CommissionCohort(offset_days=100, weight=1.0)]
+        days = sample_commission_days(
+            500, cohorts, np.random.default_rng(0), jitter_days=10
+        )
+        assert days.min() >= 90
+        assert days.max() <= 110
+
+
+class TestDeviceIdAllocator:
+    def test_sequential_unique_ids(self):
+        allocator = DeviceIdAllocator()
+        first = allocator.allocate(3)
+        second = allocator.allocate(2)
+        assert first == ["C00001", "C00002", "C00003"]
+        assert second == ["C00004", "C00005"]
+        assert allocator.allocated == 5
+
+    def test_custom_prefix(self):
+        allocator = DeviceIdAllocator(prefix="D", start=10)
+        assert allocator.allocate()[0] == "D00010"
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigError):
+            DeviceIdAllocator().allocate(0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigError):
+            DeviceIdAllocator(start=-1)

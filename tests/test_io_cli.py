@@ -1,0 +1,122 @@
+"""CSV export/import and CLI tests."""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import DataError
+from repro.telemetry.io import (
+    export_inventory_csv,
+    export_table_csv,
+    export_tickets_csv,
+    read_csv_table,
+)
+from repro.telemetry.aggregate import rack_static_table
+
+
+class TestTicketExport:
+    def test_roundtrip_counts_and_fields(self, tiny_run, tmp_path):
+        path = tmp_path / "tickets.csv"
+        n = export_tickets_csv(tiny_run, path)
+        assert n == len(tiny_run.tickets)
+        columns = read_csv_table(path)
+        assert len(columns["ticket_id"]) == n
+        assert set(columns["dc"]) <= {"DC1", "DC2"}
+        assert set(columns["category"]) <= {"Hardware", "Software", "Boot", "Others"}
+
+    def test_exported_days_match_log(self, tiny_run, tmp_path):
+        path = tmp_path / "tickets.csv"
+        export_tickets_csv(tiny_run, path)
+        columns = read_csv_table(path)
+        days = np.array([int(d) for d in columns["day_index"]])
+        assert np.array_equal(days, tiny_run.tickets.day_index)
+
+
+class TestInventoryExport:
+    def test_one_row_per_rack(self, tiny_run, tmp_path):
+        path = tmp_path / "inventory.csv"
+        n = export_inventory_csv(tiny_run, path)
+        assert n == tiny_run.fleet.n_racks
+        columns = read_csv_table(path)
+        assert len(set(columns["rack_id"])) == n
+        assert set(columns["sku"]) <= {f"S{i}" for i in range(1, 8)}
+
+
+class TestTableExport:
+    def test_decoded_labels(self, tiny_run, tmp_path):
+        table = rack_static_table(tiny_run)
+        path = tmp_path / "racks.csv"
+        n = export_table_csv(table, path)
+        assert n == table.n_rows
+        columns = read_csv_table(path)
+        assert set(columns["dc"]) <= {"DC1", "DC2"}
+
+    def test_codes_when_not_decoding(self, tiny_run, tmp_path):
+        table = rack_static_table(tiny_run)
+        path = tmp_path / "racks_codes.csv"
+        export_table_csv(table, path, decode_categories=False)
+        columns = read_csv_table(path)
+        assert all(value.isdigit() for value in columns["dc"][:10])
+
+
+class TestReadCsv:
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DataError):
+            read_csv_table(tmp_path / "nope.csv")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            read_csv_table(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(DataError):
+            read_csv_table(path)
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig10" in output
+        assert "table2" in output
+
+    def test_simulate_command_writes_csvs(self, tmp_path, capsys):
+        code = main([
+            "simulate", "--seed", "5", "--scale", "0.03", "--days", "60",
+            "--out", str(tmp_path / "out"),
+        ])
+        assert code == 0
+        assert (tmp_path / "out" / "tickets.csv").exists()
+        assert (tmp_path / "out" / "inventory.csv").exists()
+        assert "RMA tickets" in capsys.readouterr().out
+
+    def test_report_command(self, capsys):
+        code = main([
+            "report", "fig03", "--seed", "5", "--scale", "0.03",
+            "--days", "90",
+        ])
+        assert code == 0
+        assert "day of week" in capsys.readouterr().out
+
+    def test_report_unknown_experiment_rejected(self):
+        with pytest.raises(DataError):
+            main(["report", "fig99", "--scale", "0.03", "--days", "60"])
+
+    def test_sweep_command(self, capsys):
+        code = main([
+            "sweep", "--seeds", "9", "--scale", "0.05", "--days", "150",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Robustness sweep" in output
+        assert "Q2 SF S2/S4" in output

@@ -1,0 +1,111 @@
+"""Partial-dependence tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cart.tree import RegressionTree, TreeParams
+from repro.analysis.partial_dependence import (
+    partial_dependence,
+    partial_dependence_2d,
+)
+from repro.errors import DataError, FitError
+from repro.telemetry.schema import FeatureKind, FeatureSpec, Schema
+
+
+@pytest.fixture(scope="module")
+def additive_fit():
+    """y = step(x0) + effect(category), with independent features."""
+    rng = np.random.default_rng(7)
+    n = 2000
+    x0 = rng.uniform(0, 10, n)
+    cat = rng.integers(0, 3, n).astype(float)
+    y = (np.where(x0 <= 5.0, 0.0, 2.0)
+         + np.array([0.0, 1.0, 3.0])[cat.astype(int)]
+         + rng.normal(0, 0.2, n))
+    matrix = np.column_stack([x0, cat])
+    schema = Schema((
+        FeatureSpec("x0", FeatureKind.CONTINUOUS),
+        FeatureSpec("cat", FeatureKind.NOMINAL, ("a", "b", "c")),
+    ))
+    tree = RegressionTree(TreeParams(max_depth=6, cp=0.001, min_bucket=20)).fit(
+        matrix, y, schema
+    )
+    return tree, matrix
+
+
+class TestCategoricalPd:
+    def test_recovers_planted_effects(self, additive_fit):
+        tree, matrix = additive_fit
+        pd = partial_dependence(tree, "cat", training_matrix=matrix)
+        values = pd.as_dict()
+        # Independent features → PD recovers the additive offsets.
+        assert values["b"] - values["a"] == pytest.approx(1.0, abs=0.2)
+        assert values["c"] - values["a"] == pytest.approx(3.0, abs=0.2)
+
+    def test_labels_are_category_names(self, additive_fit):
+        tree, matrix = additive_fit
+        pd = partial_dependence(tree, "cat", training_matrix=matrix)
+        assert pd.labels == ("a", "b", "c")
+
+
+class TestContinuousPd:
+    def test_recovers_step(self, additive_fit):
+        tree, matrix = additive_fit
+        pd = partial_dependence(
+            tree, "x0", grid=np.array([2.0, 8.0]), training_matrix=matrix
+        )
+        assert pd.values[1] - pd.values[0] == pytest.approx(2.0, abs=0.25)
+
+    def test_automatic_grid_spans_training_range(self, additive_fit):
+        tree, matrix = additive_fit
+        pd = partial_dependence(tree, "x0", training_matrix=matrix, n_grid=7)
+        assert len(pd.grid) == 7
+        assert pd.grid[0] == pytest.approx(matrix[:, 0].min())
+        assert pd.grid[-1] == pytest.approx(matrix[:, 0].max())
+
+    def test_continuous_without_matrix_or_grid_rejected(self, additive_fit):
+        tree, _ = additive_fit
+        with pytest.raises(DataError):
+            partial_dependence(tree, "x0")
+
+    def test_empty_grid_rejected(self, additive_fit):
+        tree, matrix = additive_fit
+        with pytest.raises(DataError):
+            partial_dependence(tree, "x0", grid=np.array([]))
+
+
+class TestPd2d:
+    def test_surface_shape(self, additive_fit):
+        tree, _ = additive_fit
+        surface = partial_dependence_2d(
+            tree, "x0", "cat", np.array([2.0, 8.0]), np.array([0.0, 1.0, 2.0])
+        )
+        assert surface.shape == (2, 3)
+
+    def test_additive_structure_recovered(self, additive_fit):
+        tree, _ = additive_fit
+        surface = partial_dependence_2d(
+            tree, "x0", "cat", np.array([2.0, 8.0]), np.array([0.0, 2.0])
+        )
+        # Both the x0 step and the category effect appear in the surface.
+        assert surface[1, 0] - surface[0, 0] == pytest.approx(2.0, abs=0.3)
+        assert surface[0, 1] - surface[0, 0] == pytest.approx(3.0, abs=0.3)
+
+    def test_same_feature_twice_rejected(self, additive_fit):
+        tree, _ = additive_fit
+        with pytest.raises(DataError):
+            partial_dependence_2d(tree, "x0", "x0",
+                                  np.array([1.0]), np.array([2.0]))
+
+
+class TestValidation:
+    def test_unfitted_tree_rejected(self):
+        with pytest.raises(FitError):
+            partial_dependence(RegressionTree(), "x")
+
+    def test_unknown_feature_rejected(self, additive_fit):
+        tree, matrix = additive_fit
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            partial_dependence(tree, "nope", training_matrix=matrix)

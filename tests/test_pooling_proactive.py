@@ -1,0 +1,113 @@
+"""Spare-pooling and proactive-maintenance extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.decisions.availability import AvailabilitySla
+from repro.decisions.pooling import pooling_analysis
+from repro.decisions.proactive import (
+    ProactivePolicy,
+    evaluate_policy,
+    policy_curve,
+)
+from repro.errors import ConfigError, DataError
+
+
+class TestPooling:
+    @pytest.fixture(scope="class")
+    def analysis(self, small_run):
+        return pooling_analysis(small_run, "DC1")
+
+    def test_sharing_never_needs_more(self, small_run):
+        for dc in ("DC1", "DC2"):
+            for level in (0.95, 1.0):
+                analysis = pooling_analysis(small_run, dc, AvailabilitySla(level))
+                assert analysis.shared_spares <= analysis.dedicated_total + 1e-9
+                assert analysis.diversification_benefit >= -1e-9
+
+    def test_benefit_is_material_at_full_sla(self, analysis):
+        """Concurrent failures across workloads rarely align."""
+        assert analysis.benefit_fraction > 0.2
+
+    def test_every_hosted_workload_has_a_pool(self, analysis, small_run):
+        hosted = {rack.workload
+                  for rack in small_run.fleet.datacenter("DC1").racks}
+        assert set(analysis.dedicated_spares) == hosted
+
+    def test_unknown_dc_rejected(self, small_run):
+        with pytest.raises(DataError):
+            pooling_analysis(small_run, "DC9")
+
+    def test_render(self, analysis):
+        text = analysis.render()
+        assert "shared pool" in text
+        assert "DC1" in text
+
+
+class TestProactivePolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ProactivePolicy(act_fraction=0.0)
+        with pytest.raises(ConfigError):
+            ProactivePolicy(prevention_effectiveness=1.5)
+        with pytest.raises(ConfigError):
+            ProactivePolicy(intervention_cost=-1.0)
+
+
+class TestEvaluatePolicy:
+    @pytest.fixture(scope="class")
+    def outcome(self, small_run):
+        return evaluate_policy(small_run, ProactivePolicy(act_fraction=0.05))
+
+    def test_accounting_consistency(self, outcome):
+        assert outcome.failures_prevented <= outcome.failures_in_scope
+        assert outcome.averted_cost == pytest.approx(
+            outcome.failures_prevented * outcome.policy.failure_cost
+        )
+        assert outcome.intervention_cost == pytest.approx(
+            outcome.n_interventions * outcome.policy.intervention_cost
+        )
+        assert outcome.net_savings == pytest.approx(
+            outcome.averted_cost - outcome.intervention_cost
+        )
+
+    def test_predictions_pay_off(self, outcome):
+        """Acting on the model's top 5% beats doing nothing."""
+        assert outcome.net_savings > 0
+        assert outcome.prevention_share > 0.05
+
+    def test_targeting_beats_base_rate(self, outcome):
+        """Prevented-per-intervention beats the random expectation."""
+        per_intervention = outcome.failures_prevented / outcome.n_interventions
+        # Random coverage would avert ~effectiveness × window × mean
+        # per-rack-day rate; the targeted policy must do much better.
+        assert per_intervention > 0.1
+
+    def test_zero_effectiveness_prevents_nothing(self, small_run):
+        outcome = evaluate_policy(
+            small_run,
+            ProactivePolicy(act_fraction=0.05, prevention_effectiveness=0.0),
+        )
+        assert outcome.failures_prevented == 0.0
+        assert outcome.net_savings < 0  # paid for visits, averted nothing
+
+
+class TestPolicyCurve:
+    def test_curve_monotone_in_coverage(self, small_run):
+        outcomes = policy_curve(small_run, act_fractions=(0.02, 0.05, 0.10))
+        prevented = [o.failures_prevented for o in outcomes]
+        assert prevented == sorted(prevented)
+        interventions = [o.n_interventions for o in outcomes]
+        assert interventions == sorted(interventions)
+
+    def test_marginal_yield_declines(self, small_run):
+        """The model ranks well: early interventions avert more each."""
+        outcomes = policy_curve(small_run, act_fractions=(0.02, 0.20))
+        small, large = outcomes
+        yield_small = small.failures_prevented / small.n_interventions
+        yield_large = large.failures_prevented / large.n_interventions
+        assert yield_small > yield_large
+
+    def test_empty_fractions_rejected(self, small_run):
+        with pytest.raises(DataError):
+            policy_curve(small_run, act_fractions=())

@@ -1,0 +1,85 @@
+"""Power provisioning and power-reliability model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datacenter.power import (
+    DENSITY_KNEE_KW,
+    RATING_LEVELS_KW,
+    density_stress_multiplier,
+    power_infrastructure_rate,
+    provision_rating,
+    quantize_rating,
+)
+from repro.errors import ConfigError
+
+
+class TestQuantize:
+    def test_exact_level_kept(self):
+        assert quantize_rating(6.0) == 6.0
+
+    def test_rounds_up_to_next_level(self):
+        assert quantize_rating(6.5) == 7.0
+
+    def test_above_ladder_clamps_to_top(self):
+        assert quantize_rating(99.0) == RATING_LEVELS_KW[-1]
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError):
+            quantize_rating(0.0)
+
+    @given(st.floats(min_value=0.1, max_value=50.0))
+    def test_result_is_a_ladder_level_at_or_above_nominal(self, nominal):
+        rating = quantize_rating(nominal)
+        assert rating in RATING_LEVELS_KW
+        assert rating >= min(nominal, RATING_LEVELS_KW[-1])
+
+
+class TestProvision:
+    def test_headroom_spreads_across_two_levels(self):
+        rng = np.random.default_rng(0)
+        ratings = {provision_rating(6.0, rng) for _ in range(200)}
+        assert ratings == {6.0, 7.0}
+
+    def test_zero_headroom_probability_is_deterministic(self):
+        rng = np.random.default_rng(0)
+        ratings = {provision_rating(6.0, rng, headroom_probability=0.0)
+                   for _ in range(50)}
+        assert ratings == {6.0}
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigError):
+            provision_rating(6.0, np.random.default_rng(0), headroom_probability=1.5)
+
+    def test_top_level_cannot_overflow(self):
+        rng = np.random.default_rng(0)
+        ratings = {provision_rating(15.0, rng) for _ in range(50)}
+        assert ratings == {15.0}
+
+
+class TestDensityStress:
+    def test_unity_at_or_below_knee(self):
+        assert density_stress_multiplier(np.array([4.0, 12.0])).tolist() == [1.0, 1.0]
+
+    def test_rises_above_knee(self):
+        low, high = density_stress_multiplier(np.array([13.0, 15.0]))
+        assert 1.0 < low < high
+
+    def test_knee_matches_fig8(self):
+        assert DENSITY_KNEE_KW == 12.0
+
+
+class TestInfrastructureRate:
+    def test_more_nines_fewer_failures(self):
+        assert (power_infrastructure_rate(3)
+                > power_infrastructure_rate(4)
+                > power_infrastructure_rate(5))
+
+    def test_invalid_nines_rejected(self):
+        with pytest.raises(ConfigError):
+            power_infrastructure_rate(6)
+
+    def test_rates_are_small_probabilities(self):
+        for nines in (3, 4, 5):
+            assert 0.0 < power_infrastructure_rate(nines) < 0.05

@@ -1,0 +1,175 @@
+"""Failure-prediction extension tests (§VII future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.prediction import (
+    FailurePredictor,
+    PREDICTION_FEATURES,
+    _future_any,
+    _trailing_sum,
+    build_prediction_dataset,
+    roc_auc,
+    time_split,
+)
+from repro.errors import DataError, FitError
+
+
+class TestTrailingSum:
+    def test_excludes_current_day(self):
+        matrix = np.array([[1.0, 0.0, 0.0]])
+        trailing = _trailing_sum(matrix, window=2)
+        assert trailing[0].tolist() == [0.0, 1.0, 1.0]
+
+    def test_window_truncates_old_history(self):
+        matrix = np.array([[1.0, 0.0, 0.0, 0.0]])
+        trailing = _trailing_sum(matrix, window=2)
+        assert trailing[0, 3] == 0.0  # day-0 event fell out of the window
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(DataError):
+            _trailing_sum(np.zeros((1, 3)), window=0)
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=3, max_size=30),
+           st.integers(min_value=1, max_value=8))
+    def test_matches_brute_force(self, counts, window):
+        matrix = np.array([counts], dtype=float)
+        trailing = _trailing_sum(matrix, window)
+        for day in range(len(counts)):
+            expected = sum(counts[max(0, day - window):day])
+            assert trailing[0, day] == pytest.approx(expected)
+
+
+class TestFutureAny:
+    def test_sees_only_the_future(self):
+        matrix = np.array([[1.0, 0.0, 0.0, 1.0]])
+        label = _future_any(matrix, horizon=2)
+        assert label[0].tolist() == [0.0, 1.0, 1.0, 0.0]
+
+    def test_horizon_of_one(self):
+        matrix = np.array([[0.0, 1.0, 0.0]])
+        label = _future_any(matrix, horizon=1)
+        assert label[0].tolist() == [1.0, 0.0, 0.0]
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=0, max_value=2), min_size=3, max_size=25),
+           st.integers(min_value=1, max_value=6))
+    def test_matches_brute_force(self, counts, horizon):
+        matrix = np.array([counts], dtype=float)
+        label = _future_any(matrix, horizon)
+        for day in range(len(counts)):
+            expected = float(any(
+                counts[d] > 0
+                for d in range(day + 1, min(day + 1 + horizon, len(counts)))
+            ))
+            assert label[0, day] == expected
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc(np.array([0.1, 0.2, 0.8, 0.9]),
+                       np.array([0, 0, 1, 1])) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc(np.array([0.9, 0.8, 0.2, 0.1]),
+                       np.array([0, 0, 1, 1])) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(4000)
+        labels = rng.random(4000) < 0.3
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_average(self):
+        assert roc_auc(np.array([0.5, 0.5]), np.array([0, 1])) == 0.5
+
+    def test_single_class_rejected(self):
+        with pytest.raises(DataError):
+            roc_auc(np.array([0.1, 0.2]), np.array([1, 1]))
+
+
+@pytest.fixture(scope="module")
+def dataset(small_run):
+    return build_prediction_dataset(small_run)
+
+
+class TestDataset:
+    def test_columns_present(self, dataset):
+        for name in PREDICTION_FEATURES + ("will_fail",):
+            assert name in dataset
+
+    def test_labels_are_binary(self, dataset):
+        labels = np.unique(dataset.column("will_fail"))
+        assert set(labels.tolist()) <= {0.0, 1.0}
+
+    def test_censored_tail_dropped(self, dataset, small_run):
+        days = dataset.column("day_index").astype(int)
+        assert days.max() < small_run.n_days - 3
+
+    def test_base_rate_reasonable(self, dataset):
+        base = dataset.column("will_fail").mean()
+        assert 0.03 < base < 0.6
+
+    def test_history_features_nonnegative(self, dataset):
+        assert dataset.column("trailing_failures").min() >= 0
+        assert dataset.column("trailing_batchiness").min() >= 0
+
+
+class TestTimeSplit:
+    def test_chronological(self, dataset):
+        train, test = time_split(dataset)
+        assert train.column("day_index").max() <= test.column("day_index").min()
+
+    def test_fraction_respected(self, dataset):
+        train, test = time_split(dataset, train_fraction=0.5)
+        assert 0.35 < train.n_rows / dataset.n_rows < 0.65
+
+    def test_invalid_fraction_rejected(self, dataset):
+        with pytest.raises(DataError):
+            time_split(dataset, train_fraction=1.0)
+
+
+class TestPredictor:
+    @pytest.fixture(scope="class")
+    def fitted(self, dataset):
+        train, test = time_split(dataset)
+        predictor = FailurePredictor().fit(train)
+        return predictor, test
+
+    def test_beats_chance_on_holdout(self, fitted):
+        predictor, test = fitted
+        metrics = predictor.evaluate(test)
+        assert metrics.auc > 0.65
+
+    def test_top_decile_concentrates_failures(self, fitted):
+        predictor, test = fitted
+        metrics = predictor.evaluate(test)
+        assert metrics.precision_at_decile > 1.5 * metrics.base_rate
+
+    def test_scores_are_probability_like(self, fitted):
+        predictor, test = fitted
+        scores = predictor.score(test)
+        assert scores.min() >= 0.0
+        assert scores.max() <= 1.0 + 1e-9
+
+    def test_unfitted_rejected(self, dataset):
+        with pytest.raises(FitError):
+            FailurePredictor().score(dataset)
+
+    def test_missing_label_rejected(self, dataset):
+        stripped = dataset.select(list(PREDICTION_FEATURES))
+        with pytest.raises(DataError):
+            FailurePredictor().fit(stripped)
+
+    def test_rebalancing_equalizes_class_weight(self, dataset):
+        """With balanced weights the root prediction sits near 0.5."""
+        train, _ = time_split(dataset)
+        from repro.analysis.cart.tree import TreeParams
+
+        stump = FailurePredictor(
+            params=TreeParams(max_depth=0), rebalance=True,
+        ).fit(train)
+        assert stump.tree is not None
+        assert stump.tree.root.prediction == pytest.approx(0.5, abs=1e-6)

@@ -1,0 +1,138 @@
+"""Cross-cutting property-based invariants over core data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.cart.prune import prune
+from repro.analysis.cart.tree import RegressionTree, TreeParams
+from repro.analysis.partial_dependence import partial_dependence
+from repro.telemetry.schema import FeatureKind, FeatureSpec, Schema
+from repro.telemetry.stats import ecdf
+from repro.telemetry.table import Table
+
+response = st.lists(
+    st.floats(min_value=-50, max_value=50, allow_nan=False),
+    min_size=10, max_size=80,
+)
+
+
+def fit_on(values):
+    y = np.array(values)
+    x = np.arange(len(y), dtype=float).reshape(-1, 1)
+    schema = Schema((FeatureSpec("x", FeatureKind.CONTINUOUS),))
+    tree = RegressionTree(TreeParams(max_depth=4, min_split=4, min_bucket=2,
+                                     cp=0.01)).fit(x, y, schema)
+    return tree, x, y
+
+
+class TestTreeInvariants:
+    @settings(max_examples=30)
+    @given(response)
+    def test_predictions_conserve_mean(self, values):
+        tree, x, y = fit_on(values)
+        assert tree.predict(x).mean() == pytest.approx(y.mean(), abs=1e-6)
+
+    @settings(max_examples=30)
+    @given(response)
+    def test_predictions_within_response_range(self, values):
+        tree, x, y = fit_on(values)
+        predictions = tree.predict(x)
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    @settings(max_examples=30)
+    @given(response)
+    def test_leaf_counts_sum_to_samples(self, values):
+        tree, x, y = fit_on(values)
+        assert sum(leaf.n for leaf in tree.leaves()) == len(y)
+
+    @settings(max_examples=20)
+    @given(response)
+    def test_pruning_never_improves_training_fit(self, values):
+        tree, x, y = fit_on(values)
+        full_sse = float(((y - tree.predict(x)) ** 2).sum())
+        pruned = prune(tree, 1e12)
+        pruned_sse = float(((y - pruned.predict(x)) ** 2).sum())
+        assert pruned_sse >= full_sse - 1e-6
+
+    @settings(max_examples=20)
+    @given(response)
+    def test_pd_of_stump_is_constant(self, values):
+        y = np.array(values)
+        x = np.arange(len(y), dtype=float).reshape(-1, 1)
+        schema = Schema((FeatureSpec("x", FeatureKind.CONTINUOUS),))
+        stump = RegressionTree(TreeParams(max_depth=0)).fit(x, y, schema)
+        pd = partial_dependence(stump, "x", grid=np.array([0.0, 5.0, 50.0]))
+        assert np.allclose(pd.values, y.mean())
+
+    @settings(max_examples=20)
+    @given(response)
+    def test_pd_weighted_by_training_shares_averages_to_mean(self, values):
+        """Averaging PD over the training x recovers the response mean
+        (Friedman's PD is a projection; exact for a single feature)."""
+        tree, x, y = fit_on(values)
+        pd = partial_dependence(tree, "x", grid=x[:, 0])
+        assert pd.values.mean() == pytest.approx(y.mean(), abs=1e-6)
+
+
+class TestEcdfInvariants:
+    @settings(max_examples=40)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    min_size=1, max_size=60),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_evaluate_galois(self, sample, q):
+        cdf = ecdf(np.array(sample))
+        value = cdf.quantile(q)
+        assert cdf.evaluate(value) >= min(q, 1.0) - 1e-9
+
+    @settings(max_examples=40)
+    @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                    min_size=2, max_size=60))
+    def test_quantile_monotone(self, sample):
+        cdf = ecdf(np.array(sample))
+        levels = np.linspace(0.05, 1.0, 8)
+        quantiles = [cdf.quantile(q) for q in levels]
+        assert all(a <= b for a, b in zip(quantiles, quantiles[1:]))
+
+
+codes = st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=50)
+
+
+class TestTableInvariants:
+    @settings(max_examples=40)
+    @given(codes)
+    def test_filter_then_concat_preserves_rows(self, values):
+        schema = Schema((FeatureSpec("k", FeatureKind.NOMINAL,
+                                     ("a", "b", "c", "d")),))
+        table = Table({"k": np.array(values),
+                       "v": np.arange(len(values), dtype=float)}, schema=schema)
+        mask = table.column("v") % 2 == 0
+        split_a = table.filter(mask)
+        split_b = table.filter(~mask)
+        assert split_a.n_rows + split_b.n_rows == table.n_rows
+        rejoined = split_a.concat(split_b)
+        assert sorted(rejoined.column("v").tolist()) == sorted(
+            table.column("v").tolist()
+        )
+
+    @settings(max_examples=40)
+    @given(codes)
+    def test_group_means_weighted_average_is_global_mean(self, values):
+        schema = Schema((FeatureSpec("k", FeatureKind.NOMINAL,
+                                     ("a", "b", "c", "d")),))
+        v = np.arange(len(values), dtype=float)
+        table = Table({"k": np.array(values), "v": v}, schema=schema)
+        stats = table.group_reduce(["k"], "v", {"mean": np.mean, "n": len})
+        weighted = sum(s["mean"] * s["n"] for s in stats.values())
+        assert weighted / len(values) == pytest.approx(v.mean())
+
+    @settings(max_examples=40)
+    @given(codes)
+    def test_decoded_encode_roundtrip(self, values):
+        schema = Schema((FeatureSpec("k", FeatureKind.NOMINAL,
+                                     ("a", "b", "c", "d")),))
+        table = Table({"k": np.array(values)}, schema=schema)
+        labels = table.decoded("k")
+        spec = schema.get("k")
+        assert [spec.encode(label) for label in labels] == list(values)

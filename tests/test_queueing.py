@@ -1,0 +1,93 @@
+"""Technician-queueing extension tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConfigError
+from repro.failures.queueing import apply_technician_queue, staffing_curve
+from repro.telemetry import mu_matrix
+
+
+@pytest.fixture(scope="module")
+def generous(small_run):
+    return apply_technician_queue(small_run, 64)
+
+
+@pytest.fixture(scope="module")
+def scarce(small_run):
+    return apply_technician_queue(small_run, 2)
+
+
+class TestQueueReplay:
+    def test_generous_staffing_adds_no_delay(self, generous):
+        assert generous.mean_wait_hours < 0.5
+        assert generous.delayed_fraction < 0.05
+
+    def test_scarce_staffing_delays_most_repairs(self, scarce):
+        assert scarce.delayed_fraction > 0.5
+        assert scarce.mean_wait_hours > 10.0
+
+    def test_detection_times_unchanged(self, small_run, scarce):
+        assert np.allclose(
+            scarce.adjusted_log.start_hour_abs,
+            small_run.tickets.start_hour_abs,
+        )
+
+    def test_repairs_only_stretch(self, small_run, scarce):
+        assert np.all(
+            scarce.adjusted_log.repair_hours
+            >= small_run.tickets.repair_hours - 1e-9
+        )
+
+    def test_software_tickets_untouched(self, small_run, scarce):
+        software = ~small_run.tickets.hardware_mask()
+        assert np.allclose(
+            scarce.adjusted_log.repair_hours[software],
+            small_run.tickets.repair_hours[software],
+        )
+
+    def test_waiting_array_covers_hardware_tickets(self, small_run, scarce):
+        n_hardware = int((small_run.tickets.hardware_mask()
+                          & small_run.tickets.true_positive_mask()).sum())
+        assert len(scarce.waiting_hours) == n_hardware
+
+    def test_fcfs_conservation(self, small_run, scarce):
+        """Total service time is conserved; only waiting is added."""
+        hardware = (small_run.tickets.hardware_mask()
+                    & small_run.tickets.true_positive_mask())
+        added = (scarce.adjusted_log.repair_hours[hardware]
+                 - small_run.tickets.repair_hours[hardware])
+        assert np.allclose(np.sort(added), np.sort(scarce.waiting_hours))
+
+    def test_validation(self, small_run):
+        with pytest.raises(ConfigError):
+            apply_technician_queue(small_run, 0)
+        with pytest.raises(ConfigError):
+            apply_technician_queue(small_run, {"DC1": 4})  # DC2 missing
+
+
+class TestStaffingCurve:
+    def test_monotone_in_pool_size(self, small_run):
+        curve = staffing_curve(small_run, (2, 4, 16))
+        waits = list(curve.values())
+        assert waits == sorted(waits, reverse=True)
+
+    def test_empty_sizes_rejected(self, small_run):
+        with pytest.raises(ConfigError):
+            staffing_curve(small_run, ())
+
+
+class TestProvisioningCoupling:
+    def test_understaffing_inflates_mu(self, small_run, scarce, generous):
+        """Spares sized under an infinite-technician assumption are
+        wrong when repairs queue — the staffing↔spares coupling."""
+        def mu_total(outcome):
+            adjusted = repro.SimulationResult(
+                config=small_run.config, fleet=small_run.fleet,
+                calendar=small_run.calendar, environment=small_run.environment,
+                bms=small_run.bms, tickets=outcome.adjusted_log,
+            )
+            return mu_matrix(adjusted, 24.0).sum()
+
+        assert mu_total(scarce) > 3 * mu_total(generous)

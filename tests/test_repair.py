@@ -1,0 +1,73 @@
+"""Repair-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.failures.repair import DEFAULT_REPAIR, RepairDistribution, RepairModel
+from repro.failures.tickets import FaultType, HARDWARE_FAULTS, TicketCategory, FAULT_CATEGORY
+
+
+class TestRepairDistribution:
+    def test_samples_cluster_around_median(self):
+        dist = RepairDistribution(median_hours=10.0, sigma=0.5, replace_probability=0.5)
+        samples = dist.sample(4000, np.random.default_rng(0))
+        assert np.median(samples) == pytest.approx(10.0, rel=0.1)
+
+    def test_mean_hours_analytic(self):
+        dist = RepairDistribution(median_hours=10.0, sigma=0.6, replace_probability=0.5)
+        samples = dist.sample(20000, np.random.default_rng(0))
+        assert samples.mean() == pytest.approx(dist.mean_hours, rel=0.05)
+
+    def test_zero_size_sample(self):
+        dist = RepairDistribution(median_hours=10.0, sigma=0.5, replace_probability=0.5)
+        assert dist.sample(0, np.random.default_rng(0)).shape == (0,)
+
+    def test_negative_size_rejected(self):
+        dist = RepairDistribution(median_hours=10.0, sigma=0.5, replace_probability=0.5)
+        with pytest.raises(ConfigError):
+            dist.sample(-1, np.random.default_rng(0))
+
+    def test_invalid_median_rejected(self):
+        with pytest.raises(ConfigError):
+            RepairDistribution(median_hours=0.0, sigma=0.5, replace_probability=0.5)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigError):
+            RepairDistribution(median_hours=1.0, sigma=0.5, replace_probability=1.5)
+
+
+class TestDefaults:
+    def test_all_fault_types_covered(self):
+        assert set(DEFAULT_REPAIR) == set(FaultType)
+
+    def test_hardware_slower_than_software(self):
+        hardware_medians = [DEFAULT_REPAIR[f].median_hours for f in HARDWARE_FAULTS]
+        software_medians = [
+            DEFAULT_REPAIR[f].median_hours for f in FaultType
+            if FAULT_CATEGORY[f] is TicketCategory.SOFTWARE
+        ]
+        assert min(hardware_medians) > max(software_medians)
+
+    def test_hardware_faults_usually_replace(self):
+        assert DEFAULT_REPAIR[FaultType.DISK].replace_probability > 0.8
+        assert DEFAULT_REPAIR[FaultType.TIMEOUT].replace_probability == 0.0
+
+
+class TestRepairModel:
+    def test_override_applies(self):
+        custom = RepairDistribution(median_hours=99.0, sigma=0.1, replace_probability=1.0)
+        model = RepairModel({FaultType.DISK: custom})
+        samples = model.sample_hours(FaultType.DISK, 100, np.random.default_rng(0))
+        assert np.median(samples) == pytest.approx(99.0, rel=0.1)
+        # Other faults keep their defaults.
+        assert model.mean_hours(FaultType.MEMORY) == DEFAULT_REPAIR[FaultType.MEMORY].mean_hours
+
+    def test_replacement_sampling(self):
+        model = RepairModel()
+        flags = model.sample_replacement(FaultType.DISK, 2000, np.random.default_rng(0))
+        assert 0.9 < flags.mean() < 1.0
+
+    def test_zero_size_replacement(self):
+        model = RepairModel()
+        assert model.sample_replacement(FaultType.DISK, 0, np.random.default_rng(0)).shape == (0,)

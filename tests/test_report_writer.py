@@ -1,0 +1,35 @@
+"""Report-writer tests."""
+
+import pytest
+
+from repro.errors import DataError
+from repro.reporting.report import write_report
+
+
+class TestWriteReport:
+    def test_writes_selected_experiments(self, small_context, tmp_path):
+        path = write_report(
+            small_context, tmp_path / "report.md",
+            experiment_ids=["table1", "fig03"],
+        )
+        text = path.read_text()
+        assert text.startswith("# Reproduced evaluation")
+        assert "## table1" in text
+        assert "## fig03" in text
+        assert "## fig10" not in text
+        assert text.count("```") == 4  # one fenced block per experiment
+
+    def test_includes_run_summary(self, small_context, tmp_path):
+        path = write_report(small_context, tmp_path / "r.md",
+                            experiment_ids=["table1"])
+        assert "RMA tickets" in path.read_text()
+
+    def test_unknown_experiment_rejected(self, small_context, tmp_path):
+        with pytest.raises(DataError):
+            write_report(small_context, tmp_path / "r.md",
+                         experiment_ids=["fig99"])
+
+    def test_custom_title(self, small_context, tmp_path):
+        path = write_report(small_context, tmp_path / "r.md",
+                            experiment_ids=["table1"], title="My run")
+        assert path.read_text().startswith("# My run")

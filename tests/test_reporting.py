@@ -1,0 +1,168 @@
+"""Reporting-layer tests: renderers, tables, figures, registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.failures.tickets import FaultType
+from repro.reporting import (
+    EXPERIMENTS,
+    AnalysisContext,
+    get_experiment,
+    render_bars,
+    render_cdf,
+    render_table,
+    table_i,
+    table_ii,
+    table_iii,
+    ticket_mix,
+)
+from repro.reporting.figures import (
+    fig01_cdf_concept,
+    fig02_spatial,
+    fig05_humidity,
+    fig06_workload,
+    fig09_age,
+    fig10_overprovision,
+    fig11_cluster_cdfs,
+    fig13_component_spares,
+    fig16_temperature_all,
+    fig18_climate_mf,
+    render_fig01,
+)
+
+
+class TestRenderers:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in text
+
+    def test_render_table_width_mismatch(self):
+        with pytest.raises(DataError):
+            render_table(["a"], [["1", "2"]])
+
+    def test_render_bars_scales_to_peak(self):
+        text = render_bars(["x", "y"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_render_bars_handles_nan(self):
+        text = render_bars(["x", "y"], [float("nan"), 1.0])
+        assert "(no data)" in text
+
+    def test_render_cdf(self):
+        text = render_cdf(np.arange(100.0), n_points=3)
+        assert "p  0.0" in text
+        assert "p100.0" in text
+
+
+class TestTables:
+    def test_table_i_contains_dc_properties(self, tiny_run):
+        text = table_i(tiny_run)
+        assert "adiabatic" in text
+        assert "chilled-water" in text
+        assert "3 nines" in text and "5 nines" in text
+
+    def test_table_ii_rows_and_paper_columns(self, tiny_run):
+        text = table_ii(tiny_run)
+        assert "Disk failure" in text
+        assert "(paper)" in text
+
+    def test_ticket_mix_sums_to_hundred(self, tiny_run):
+        mix = ticket_mix(tiny_run)
+        for dc, percentages in mix.percentages.items():
+            assert sum(percentages.values()) == pytest.approx(100.0)
+
+    def test_ticket_mix_category_share(self, tiny_run):
+        mix = ticket_mix(tiny_run)
+        categories = ("Software", "Boot", "Hardware", "Others")
+        total = sum(mix.category_share("DC1", c) for c in categories)
+        assert total == pytest.approx(100.0)
+        with pytest.raises(DataError):
+            mix.category_share("DC9", "Software")
+
+    def test_table_iii_lists_features(self, tiny_run):
+        text = table_iii(tiny_run)
+        for feature in ("sku", "temp_f", "day_of_week", "rated_power_kw"):
+            assert feature in text
+
+
+class TestFigures:
+    def test_fig_series_interface(self, small_context):
+        figure = fig06_workload(small_context)
+        assert figure.figure_id == "fig06"
+        assert len(figure.labels) == 7
+        normalized = figure.normalized("mean")
+        assert normalized.max() == pytest.approx(1.0)
+        assert "W2" in figure.render()
+
+    def test_unknown_series_rejected(self, small_context):
+        figure = fig06_workload(small_context)
+        with pytest.raises(DataError):
+            figure.values("nope")
+
+    def test_fig02_covers_all_regions(self, small_context):
+        figure = fig02_spatial(small_context)
+        assert list(figure.labels) == small_context.result.fleet.region_names
+
+    def test_fig05_low_rh_elevated(self, small_context):
+        figure = fig05_humidity(small_context)
+        means = figure.values("mean")
+        assert np.nanargmax(means) <= 1  # driest bins worst
+
+    def test_fig09_infant_mortality(self, small_context):
+        figure = fig09_age(small_context)
+        means = figure.values("mean")
+        assert means[0] > means[4]
+
+    def test_fig01_samples(self, small_context):
+        samples = fig01_cdf_concept(small_context, workload="W6")
+        assert set(samples) == {"all", "group_low", "group_high"}
+        assert samples["group_high"].max() >= samples["group_low"].max()
+        assert "fig01" in render_fig01(samples)
+
+    def test_fig10_ordering(self, small_context):
+        figure = fig10_overprovision(small_context, 24.0)
+        assert np.all(figure.values("LB") <= figure.values("MF") + 1e-9)
+        assert np.all(figure.values("MF") <= figure.values("SF") + 1e-9)
+
+    def test_fig11_clusters(self, small_context):
+        cdfs = fig11_cluster_cdfs(small_context, "W6")
+        assert "SF" in cdfs
+        assert sum(1 for name in cdfs if name.startswith("Cluster")) >= 3
+
+    def test_fig13_normalized_to_hundred(self, small_context):
+        figure = fig13_component_spares(small_context)
+        peak = max(figure.values(name).max() for name in ("LB", "MF", "SF"))
+        assert peak == pytest.approx(100.0)
+
+    def test_fig16_has_counts(self, small_context):
+        figure = fig16_temperature_all(small_context)
+        assert figure.values("count").sum() == small_context.all_failures.n_rows
+
+    def test_fig18_reference_group_is_one(self, small_context):
+        figure = fig18_climate_mf(small_context)
+        rates = dict(zip(figure.labels, figure.values("rate")))
+        assert rates["DC1:T>=78.8+RH<=25.5"] == pytest.approx(1.0)
+
+
+class TestRegistry:
+    def test_all_tables_and_figures_registered(self):
+        expected = {f"table{i}" for i in range(1, 5)} | {
+            f"fig{i:02d}" for i in range(1, 19)
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(DataError):
+            get_experiment("fig99")
+
+    def test_each_experiment_renders(self, small_context):
+        # Spot-check a representative subset (the full set runs in the
+        # benchmark harness at paper scale).
+        for experiment_id in ("table1", "fig03", "fig12", "fig17"):
+            text = get_experiment(experiment_id).render(small_context)
+            assert isinstance(text, str) and text

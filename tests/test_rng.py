@@ -1,0 +1,82 @@
+"""RNG registry tests: determinism and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.rng import RngRegistry
+
+
+class TestStreamIdentity:
+    def test_same_name_returns_same_generator(self):
+        registry = RngRegistry(seed=1)
+        assert registry.stream("weather") is registry.stream("weather")
+
+    def test_different_names_are_different_objects(self):
+        registry = RngRegistry(seed=1)
+        assert registry.stream("weather") is not registry.stream("failures")
+
+    def test_fresh_restarts_the_sequence(self):
+        registry = RngRegistry(seed=1)
+        first = registry.stream("x").random(3)
+        fresh = registry.fresh("x").random(3)
+        assert np.allclose(first, fresh)
+
+    def test_stream_advances_across_calls(self):
+        registry = RngRegistry(seed=1)
+        first = registry.stream("x").random(3)
+        second = registry.stream("x").random(3)
+        assert not np.allclose(first, second)
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = RngRegistry(seed=42).stream("s").random(10)
+        b = RngRegistry(seed=42).stream("s").random(10)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=1).stream("s").random(10)
+        b = RngRegistry(seed=2).stream("s").random(10)
+        assert not np.allclose(a, b)
+
+    def test_streams_are_independent_of_creation_order(self):
+        forward = RngRegistry(seed=7)
+        x1 = forward.stream("x").random(5)
+        forward.stream("y").random(5)
+
+        reverse = RngRegistry(seed=7)
+        reverse.stream("y").random(5)
+        x2 = reverse.stream("x").random(5)
+        assert np.allclose(x1, x2)
+
+    def test_adding_a_stream_does_not_perturb_existing(self):
+        base = RngRegistry(seed=9)
+        expected = base.fresh("main").random(8)
+
+        with_extra = RngRegistry(seed=9)
+        with_extra.stream("newcomer").random(100)
+        assert np.allclose(with_extra.stream("main").random(8), expected)
+
+
+class TestSpawn:
+    def test_spawn_is_deterministic(self):
+        a = RngRegistry(seed=5).spawn("child").stream("s").random(4)
+        b = RngRegistry(seed=5).spawn("child").stream("s").random(4)
+        assert np.allclose(a, b)
+
+    def test_spawn_differs_from_parent(self):
+        parent = RngRegistry(seed=5)
+        child = parent.spawn("child")
+        assert not np.allclose(
+            parent.fresh("s").random(4), child.fresh("s").random(4)
+        )
+
+
+class TestValidation:
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngRegistry(seed="nope")  # type: ignore[arg-type]
+
+    def test_numpy_integer_seed_accepted(self):
+        registry = RngRegistry(seed=np.int64(3))
+        assert registry.seed == 3

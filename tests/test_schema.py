@@ -1,0 +1,105 @@
+"""Feature-schema tests."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.telemetry.schema import (
+    FeatureKind,
+    FeatureSpec,
+    Schema,
+    table_iii_schema,
+)
+
+
+class TestFeatureSpec:
+    def test_continuous_takes_no_categories(self):
+        with pytest.raises(SchemaError):
+            FeatureSpec("x", FeatureKind.CONTINUOUS, categories=("a",))
+
+    def test_nominal_requires_categories(self):
+        with pytest.raises(SchemaError):
+            FeatureSpec("x", FeatureKind.NOMINAL)
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(SchemaError):
+            FeatureSpec("x", FeatureKind.NOMINAL, categories=("a", "a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            FeatureSpec("", FeatureKind.CONTINUOUS)
+
+    def test_encode_decode_roundtrip(self):
+        spec = FeatureSpec("x", FeatureKind.NOMINAL, categories=("a", "b", "c"))
+        for i, label in enumerate(("a", "b", "c")):
+            assert spec.encode(label) == i
+            assert spec.decode(i) == label
+
+    def test_decode_out_of_range(self):
+        spec = FeatureSpec("x", FeatureKind.NOMINAL, categories=("a",))
+        with pytest.raises(SchemaError):
+            spec.decode(1)
+
+    def test_encode_unknown_label(self):
+        spec = FeatureSpec("x", FeatureKind.NOMINAL, categories=("a",))
+        with pytest.raises(SchemaError):
+            spec.encode("z")
+
+    def test_decode_on_continuous_rejected(self):
+        spec = FeatureSpec("x", FeatureKind.CONTINUOUS)
+        with pytest.raises(SchemaError):
+            spec.decode(0)
+
+    def test_is_categorical(self):
+        assert FeatureSpec("x", FeatureKind.ORDINAL, ("a", "b")).is_categorical
+        assert not FeatureSpec("x", FeatureKind.CONTINUOUS).is_categorical
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        spec = FeatureSpec("x", FeatureKind.CONTINUOUS)
+        with pytest.raises(SchemaError):
+            Schema((spec, spec))
+
+    def test_lookup_and_membership(self):
+        schema = Schema((FeatureSpec("x", FeatureKind.CONTINUOUS),))
+        assert "x" in schema
+        assert schema.get("x").name == "x"
+        with pytest.raises(SchemaError):
+            schema.get("y")
+
+    def test_with_feature_appends(self):
+        schema = Schema((FeatureSpec("x", FeatureKind.CONTINUOUS),))
+        bigger = schema.with_feature(FeatureSpec("y", FeatureKind.CONTINUOUS))
+        assert bigger.names == ["x", "y"]
+        assert len(schema) == 1  # original untouched
+
+    def test_subset_preserves_order(self):
+        schema = Schema((
+            FeatureSpec("a", FeatureKind.CONTINUOUS),
+            FeatureSpec("b", FeatureKind.CONTINUOUS),
+            FeatureSpec("c", FeatureKind.CONTINUOUS),
+        ))
+        assert schema.subset(["c", "a"]).names == ["c", "a"]
+
+
+class TestTableIiiSchema:
+    def test_contains_all_paper_features(self):
+        schema = table_iii_schema(["DC1"], ["DC1-1"], ["S1"], ["W1"])
+        expected = {
+            "sku", "age_months", "rated_power_kw", "workload", "temp_f", "rh",
+            "dc", "region", "row", "day_of_week", "week_of_year", "month", "year",
+        }
+        assert set(schema.names) == expected
+
+    def test_kinds_match_table_iii(self):
+        schema = table_iii_schema(["DC1"], ["DC1-1"], ["S1"], ["W1"])
+        assert schema.get("sku").kind is FeatureKind.NOMINAL
+        assert schema.get("age_months").kind is FeatureKind.CONTINUOUS
+        assert schema.get("temp_f").kind is FeatureKind.CONTINUOUS
+        assert schema.get("day_of_week").kind is FeatureKind.ORDINAL
+        assert schema.get("month").kind is FeatureKind.ORDINAL
+
+    def test_category_lists_threaded_through(self):
+        schema = table_iii_schema(["DC1", "DC2"], ["r1"], ["S1", "S2"], ["W1"])
+        assert schema.get("dc").categories == ("DC1", "DC2")
+        assert schema.get("sku").categories == ("S1", "S2")

@@ -1,0 +1,224 @@
+"""Single-factor and multi-factor model tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.multi_factor import MultiFactorModel
+from repro.analysis.single_factor import SingleFactorModel
+from repro.analysis.cart.tree import TreeParams
+from repro.errors import DataError, FitError
+from repro.telemetry.schema import FeatureKind, FeatureSpec, Schema
+from repro.telemetry.table import Table
+
+
+@pytest.fixture(scope="module")
+def confounded_table() -> Table:
+    """Synthetic multiplicative data with a planted confound.
+
+    rate = group_effect[g] * context_effect[c] * noise, where group 1 is
+    over-represented in the high-context cells — SF overestimates group
+    1's effect, a stratified MF should not.
+    """
+    rng = np.random.default_rng(11)
+    n = 12000
+    group = np.empty(n, dtype=int)
+    context = np.empty(n, dtype=int)
+    # context 1 is "harsh" (3x rates); group 1 lives mostly in it.
+    for i in range(n):
+        group[i] = rng.integers(0, 2)
+        if group[i] == 1:
+            context[i] = rng.random() < 0.9
+        else:
+            context[i] = rng.random() < 0.2
+    group_effect = np.array([1.0, 2.0])    # true effect ratio = 2
+    context_effect = np.array([1.0, 3.0])
+    rate = group_effect[group] * context_effect[context]
+    y = rng.poisson(rate).astype(float)
+    schema = Schema((
+        FeatureSpec("group", FeatureKind.NOMINAL, ("g0", "g1")),
+        FeatureSpec("context", FeatureKind.NOMINAL, ("calm", "harsh")),
+    ))
+    return Table({
+        "group": group.astype(float),
+        "context": context.astype(float),
+        "rate": y,
+    }, schema=schema)
+
+
+class TestSingleFactor:
+    def test_by_factor_matches_manual(self, confounded_table):
+        sf = SingleFactorModel(confounded_table, "rate")
+        stats = sf.by_factor("group")
+        values = confounded_table.column("rate")
+        mask = confounded_table.column("group") == 1
+        assert stats["g1"].mean == pytest.approx(values[mask].mean())
+        assert stats["g1"].count == int(mask.sum())
+
+    def test_sf_overestimates_confounded_ratio(self, confounded_table):
+        sf = SingleFactorModel(confounded_table, "rate")
+        stats = sf.by_factor("group")
+        observed_ratio = stats["g1"].mean / stats["g0"].mean
+        assert observed_ratio > 3.0  # true effect is only 2
+
+    def test_ranking(self, confounded_table):
+        sf = SingleFactorModel(confounded_table, "rate")
+        ranked = sf.ranking("group")
+        assert [level.label for level in ranked] == ["g0", "g1"]
+
+    def test_ranking_invalid_statistic(self, confounded_table):
+        with pytest.raises(DataError):
+            SingleFactorModel(confounded_table, "rate").ranking("group", by="mode")
+
+    def test_cdf_for_level(self, confounded_table):
+        sf = SingleFactorModel(confounded_table, "rate")
+        cdf = sf.cdf_for_level("group", "g0")
+        assert cdf.n > 0
+        with pytest.raises(DataError):
+            sf.cdf_for_level("group", "missing")
+
+    def test_missing_metric_rejected(self, confounded_table):
+        with pytest.raises(DataError):
+            SingleFactorModel(confounded_table, "nope")
+
+
+class TestMultiFactorFit:
+    @pytest.fixture(scope="class")
+    def model(self, confounded_table):
+        return MultiFactorModel.from_formula(
+            "rate ~ group, N(context)",
+            confounded_table,
+            params=TreeParams(max_depth=4, min_split=100, min_bucket=50, cp=1e-3),
+        )
+
+    def test_missing_metric_rejected(self, confounded_table):
+        with pytest.raises(DataError):
+            MultiFactorModel.from_formula("nope ~ group", confounded_table)
+
+    def test_missing_feature_rejected(self, confounded_table):
+        with pytest.raises(DataError):
+            MultiFactorModel.from_formula("rate ~ group, N(nope)", confounded_table)
+
+    def test_stratified_effect_recovers_true_ratio(self, model):
+        adjusted = model.stratified_effect("group", min_cell=50)
+        ratio = adjusted["g1"].mean / adjusted["g0"].mean
+        assert ratio == pytest.approx(2.0, abs=0.35)
+
+    def test_stratified_ratio_recovers_true_ratio(self, model):
+        ratio = model.stratified_ratio("group", "g1", "g0", min_cell=50)
+        assert ratio == pytest.approx(2.0, abs=0.3)
+
+    def test_stratified_ratio_inverse_pair(self, model):
+        forward = model.stratified_ratio("group", "g1", "g0", min_cell=50)
+        backward = model.stratified_ratio("group", "g0", "g1", min_cell=50)
+        assert forward * backward == pytest.approx(1.0, abs=0.05)
+
+    def test_stratified_ratio_without_normalized_terms_rejected(self, confounded_table):
+        bare = MultiFactorModel.from_formula("rate ~ group", confounded_table)
+        with pytest.raises(FitError):
+            bare.stratified_ratio("group", "g1", "g0")
+
+    def test_stratified_ratio_continuous_rejected(self, confounded_table):
+        table = confounded_table.with_column(
+            "x", np.arange(confounded_table.n_rows, dtype=float)
+        )
+        model = MultiFactorModel.from_formula("rate ~ x, N(context)", table)
+        with pytest.raises(DataError):
+            model.stratified_ratio("x", "a", "b")
+
+    def test_common_support_effect_recovers_true_ratio(self, model):
+        stats = model.common_support_effect("group", ("g0", "g1"),
+                                            min_cell=50)
+        assert set(stats) == {"g0", "g1"}
+        ratio = stats["g1"].mean / stats["g0"].mean
+        assert ratio == pytest.approx(2.0, abs=0.35)
+        # Both levels are evaluated over the same strata.
+        assert stats["g0"].n_strata == stats["g1"].n_strata
+
+    def test_common_support_single_level_rejected(self, model):
+        with pytest.raises(DataError):
+            model.common_support_effect("group", ("g0",))
+
+    def test_common_support_agrees_with_stratified_ratio(self, model):
+        stats = model.common_support_effect("group", ("g0", "g1"),
+                                            min_cell=50)
+        direct = stats["g1"].mean / stats["g0"].mean
+        geometric = model.stratified_ratio("group", "g1", "g0", min_cell=50)
+        # Different weightings of the same strata: same ballpark.
+        assert direct == pytest.approx(geometric, rel=0.25)
+
+    def test_stratified_effect_on_continuous_rejected(self, confounded_table):
+        table = confounded_table.with_column(
+            "x", np.arange(confounded_table.n_rows, dtype=float)
+        )
+        model = MultiFactorModel.from_formula("rate ~ x, N(context)", table)
+        with pytest.raises(DataError):
+            model.stratified_effect("x")
+
+    def test_normalized_effect_returns_pd(self, model):
+        pd = model.normalized_effect("group")
+        assert set(pd.as_dict()) == {"g0", "g1"}
+
+    def test_effect_ratio(self, model):
+        ratio = model.effect_ratio("group", "g1", "g0")
+        assert ratio > 1.0
+
+    def test_importance_nonempty(self, model):
+        assert model.importance()
+
+    def test_residual_variance_below_raw(self, model, confounded_table):
+        raw = float(np.var(confounded_table.column("rate")))
+        assert model.residual_variance() < raw
+
+    def test_render_smoke(self, model):
+        assert "root" in model.render()
+
+    def test_default_feature_requires_single_studied(self, confounded_table):
+        model = MultiFactorModel.from_formula("rate ~ group, context", confounded_table)
+        with pytest.raises(FitError):
+            model.normalized_effect()
+
+    def test_stratified_requires_normalized_terms(self, confounded_table):
+        model = MultiFactorModel.from_formula("rate ~ group", confounded_table)
+        with pytest.raises(FitError):
+            model.stratified_effect("group")
+
+
+class TestClusters:
+    def test_clusters_partition_rows(self, confounded_table):
+        model = MultiFactorModel.from_formula(
+            "rate ~ group, context", confounded_table,
+            params=TreeParams(max_depth=3, min_split=50, min_bucket=25, cp=1e-3),
+        )
+        clusters = model.clusters()
+        total = sum(cluster.size for cluster in clusters)
+        assert total == confounded_table.n_rows
+        assert len(clusters) >= 2
+
+    def test_clusters_sorted_by_prediction(self, confounded_table):
+        model = MultiFactorModel.from_formula(
+            "rate ~ group, context", confounded_table,
+            params=TreeParams(max_depth=3, min_split=50, min_bucket=25, cp=1e-3),
+        )
+        predictions = [cluster.prediction for cluster in model.clusters()]
+        assert predictions == sorted(predictions)
+
+    def test_cluster_descriptions_reference_features(self, confounded_table):
+        model = MultiFactorModel.from_formula(
+            "rate ~ group, context", confounded_table,
+            params=TreeParams(max_depth=3, min_split=50, min_bucket=25, cp=1e-3),
+        )
+        for cluster in model.clusters():
+            assert ("group" in cluster.description
+                    or "context" in cluster.description
+                    or cluster.description == "root")
+
+
+class TestPruneByCv:
+    def test_cv_pruning_runs(self, confounded_table):
+        model = MultiFactorModel.from_formula(
+            "rate ~ group, context", confounded_table,
+            params=TreeParams(max_depth=5, min_split=50, min_bucket=25, cp=1e-4),
+            prune_by_cv=True, cv_folds=3,
+        )
+        # The planted structure has exactly 4 cells.
+        assert 2 <= model.tree.n_leaves <= 6

@@ -1,0 +1,120 @@
+"""SKU catalog tests."""
+
+import pytest
+
+from repro.datacenter.sku import SkuCatalog, SkuCategory, SkuSpec, default_catalog
+from repro.errors import ConfigError
+
+
+def make_spec(name="S1", **overrides) -> SkuSpec:
+    base = dict(
+        name=name, category=SkuCategory.STORAGE, vendor="V",
+        servers_per_rack=20, hdds_per_server=10, dimms_per_server=8,
+        rated_power_kw=6.0,
+    )
+    base.update(overrides)
+    return SkuSpec(**base)
+
+
+class TestSkuSpecValidation:
+    def test_valid_spec_constructs(self):
+        spec = make_spec()
+        assert spec.hdds_per_rack == 200
+        assert spec.dimms_per_rack == 160
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ConfigError):
+            make_spec(servers_per_rack=0)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ConfigError):
+            make_spec(hdds_per_server=-1)
+
+    def test_implausible_power_rejected(self):
+        with pytest.raises(ConfigError):
+            make_spec(rated_power_kw=500.0)
+
+    def test_nonpositive_intrinsic_hazard_rejected(self):
+        with pytest.raises(ConfigError):
+            make_spec(intrinsic_hazard=0.0)
+
+    def test_batch_rate_must_be_probability(self):
+        with pytest.raises(ConfigError):
+            make_spec(batch_failure_rate=1.5)
+
+    def test_batch_mean_size_at_least_one(self):
+        with pytest.raises(ConfigError):
+            make_spec(batch_failure_mean_size=0.5)
+
+
+class TestSkuCatalog:
+    def test_lookup_by_name(self):
+        catalog = SkuCatalog([make_spec("A"), make_spec("B")])
+        assert catalog.get("B").name == "B"
+
+    def test_unknown_name_raises(self):
+        catalog = SkuCatalog([make_spec("A")])
+        with pytest.raises(ConfigError, match="unknown SKU"):
+            catalog.get("Z")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            SkuCatalog([make_spec("A"), make_spec("A")])
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ConfigError):
+            SkuCatalog([])
+
+    def test_contains_and_len(self):
+        catalog = SkuCatalog([make_spec("A")])
+        assert "A" in catalog
+        assert "B" not in catalog
+        assert len(catalog) == 1
+
+    def test_index_of(self):
+        catalog = SkuCatalog([make_spec("A"), make_spec("B")])
+        assert catalog.index_of("B") == 1
+
+    def test_by_category(self):
+        catalog = SkuCatalog([
+            make_spec("A"),
+            make_spec("B", category=SkuCategory.COMPUTE, servers_per_rack=44),
+        ])
+        storage = catalog.by_category(SkuCategory.STORAGE)
+        assert [s.name for s in storage] == ["A"]
+
+
+class TestDefaultCatalog:
+    def test_has_seven_skus(self):
+        assert default_catalog().names == [f"S{i}" for i in range(1, 8)]
+
+    def test_table_iii_density_structure(self):
+        catalog = default_catalog()
+        for name in ("S2", "S4"):
+            compute = catalog.get(name)
+            assert compute.category is SkuCategory.COMPUTE
+            assert compute.servers_per_rack > 40
+            assert compute.hdds_per_server == 4
+        for name in ("S1", "S3"):
+            storage = catalog.get(name)
+            assert storage.category is SkuCategory.STORAGE
+            assert storage.servers_per_rack == 20
+            assert storage.hdds_per_server > 10
+
+    def test_planted_intrinsic_ratio_is_four(self):
+        catalog = default_catalog()
+        ratio = catalog.get("S2").intrinsic_hazard / catalog.get("S4").intrinsic_hazard
+        assert ratio == pytest.approx(4.0)
+
+    def test_s3_has_highest_batch_propensity(self):
+        catalog = default_catalog()
+        s3_burst = catalog.get("S3").batch_failure_rate
+        assert all(
+            s3_burst >= sku.batch_failure_rate for sku in catalog
+        )
+
+    def test_hpc_sku_is_most_reliable(self):
+        catalog = default_catalog()
+        s7 = catalog.get("S7")
+        assert s7.category is SkuCategory.HPC
+        assert all(s7.intrinsic_hazard <= sku.intrinsic_hazard for sku in catalog)

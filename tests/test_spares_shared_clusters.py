@@ -1,0 +1,59 @@
+"""Shared-cluster provisioning (Fig 12's daily→hourly reuse) tests."""
+
+import numpy as np
+import pytest
+
+from repro.decisions.availability import AvailabilitySla
+from repro.decisions.spares import SpareProvisioner
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def provisioners(small_run):
+    return (SpareProvisioner(small_run, window_hours=24.0),
+            SpareProvisioner(small_run, window_hours=1.0))
+
+
+class TestSharedClusters:
+    def test_hourly_reuses_daily_grouping(self, provisioners):
+        daily, hourly = provisioners
+        sla = AvailabilitySla(1.0)
+        daily_plan = daily.multi_factor("W6", sla)
+        hourly_plan = hourly.multi_factor("W6", sla, clusters_from=daily_plan)
+        assert hourly_plan.clusters is not None and daily_plan.clusters is not None
+        daily_groups = {frozenset(c.rack_indices.tolist())
+                        for c in daily_plan.clusters}
+        hourly_groups = {frozenset(c.rack_indices.tolist())
+                         for c in hourly_plan.clusters}
+        assert hourly_groups == daily_groups
+
+    def test_shared_clusters_expose_multiplexing(self, provisioners):
+        daily, hourly = provisioners
+        sla = AvailabilitySla(1.0)
+        daily_plan = daily.multi_factor("W6", sla)
+        hourly_plan = hourly.multi_factor("W6", sla, clusters_from=daily_plan)
+        assert hourly_plan.overprovision <= daily_plan.overprovision + 1e-9
+
+    def test_plan_without_clusters_rejected(self, provisioners):
+        daily, hourly = provisioners
+        sla = AvailabilitySla(1.0)
+        sf_plan = daily.single_factor("W6", sla)
+        with pytest.raises(DataError):
+            hourly.multi_factor("W6", sla, clusters_from=sf_plan)
+
+    def test_per_rack_fractions_cover_all_racks(self, provisioners):
+        daily, hourly = provisioners
+        sla = AvailabilitySla(0.95)
+        daily_plan = daily.multi_factor("W1", sla)
+        hourly_plan = hourly.multi_factor("W1", sla, clusters_from=daily_plan)
+        assert len(hourly_plan.per_rack_fraction) == len(hourly_plan.rack_indices)
+        assert np.all(hourly_plan.per_rack_fraction >= 0)
+
+    def test_cluster_descriptions_carried_over(self, provisioners):
+        daily, hourly = provisioners
+        sla = AvailabilitySla(1.0)
+        daily_plan = daily.multi_factor("W6", sla)
+        hourly_plan = hourly.multi_factor("W6", sla, clusters_from=daily_plan)
+        assert hourly_plan.clusters is not None and daily_plan.clusters is not None
+        assert ({c.description for c in hourly_plan.clusters}
+                == {c.description for c in daily_plan.clusters})

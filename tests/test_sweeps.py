@@ -1,0 +1,65 @@
+"""Robustness-sweep module tests (fast, restricted metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.failures.engine import SimulationResult
+from repro.reporting.sweeps import MetricSummary, render_sweep, run_sweep
+
+
+def ticket_count(result: SimulationResult) -> float:
+    return float(len(result.tickets))
+
+
+def always_fails(result: SimulationResult) -> float:
+    raise DataError("nope")
+
+
+FAST_METRICS = {
+    "tickets": (ticket_count, None),
+    "impossible": (always_fails, 1.0),
+}
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def summaries(self):
+        return run_sweep([101, 102], scale=0.03, n_days=60,
+                         metrics=FAST_METRICS)
+
+    def test_one_value_per_seed(self, summaries):
+        by_name = {s.name: s for s in summaries}
+        assert len(by_name["tickets"].values) == 2
+        assert by_name["tickets"].n_computable == 2
+
+    def test_seeds_differ(self, summaries):
+        by_name = {s.name: s for s in summaries}
+        values = by_name["tickets"].values
+        assert values[0] != values[1]
+
+    def test_failing_metric_records_nan(self, summaries):
+        by_name = {s.name: s for s in summaries}
+        assert by_name["impossible"].n_computable == 0
+        assert np.isnan(by_name["impossible"].values).all()
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(DataError):
+            run_sweep([], metrics=FAST_METRICS)
+
+    def test_render(self, summaries):
+        text = render_sweep(summaries, [101, 102])
+        assert "tickets" in text
+        assert "(paper: 1)" in text
+
+
+class TestMetricSummary:
+    def test_statistics(self):
+        summary = MetricSummary("m", np.array([1.0, 3.0, np.nan]))
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.spread == pytest.approx(1.0)
+        assert summary.n_computable == 2
+
+    def test_render_without_paper_value(self):
+        summary = MetricSummary("m", np.array([1.0]))
+        assert "paper" not in summary.render()

@@ -1,0 +1,168 @@
+"""Columnar-table tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DataError, SchemaError
+from repro.telemetry.schema import FeatureKind, FeatureSpec, Schema
+from repro.telemetry.table import Table
+
+
+@pytest.fixture
+def table() -> Table:
+    schema = Schema((
+        FeatureSpec("color", FeatureKind.NOMINAL, ("red", "green", "blue")),
+        FeatureSpec("size", FeatureKind.ORDINAL, ("S", "M", "L")),
+    ))
+    return Table({
+        "color": np.array([0, 1, 2, 0, 1]),
+        "size": np.array([0, 0, 1, 2, 2]),
+        "value": np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+    }, schema=schema)
+
+
+class TestConstruction:
+    def test_empty_columns_rejected(self):
+        with pytest.raises(DataError):
+            Table({})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            Table({"a": np.zeros(3), "b": np.zeros(4)})
+
+    def test_schema_feature_without_column_rejected(self):
+        schema = Schema((FeatureSpec("missing", FeatureKind.CONTINUOUS),))
+        with pytest.raises(SchemaError):
+            Table({"a": np.zeros(3)}, schema=schema)
+
+    def test_basic_access(self, table):
+        assert table.n_rows == 5
+        assert len(table) == 5
+        assert "value" in table
+        assert set(table.column_names) == {"color", "size", "value"}
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(DataError):
+            table.column("nope")
+
+
+class TestSpecAndDecode:
+    def test_spec_synthesized_for_unschema_column(self, table):
+        spec = table.spec("value")
+        assert spec.kind is FeatureKind.CONTINUOUS
+
+    def test_decoded_labels(self, table):
+        assert table.decoded("color").tolist() == ["red", "green", "blue", "red", "green"]
+
+    def test_decoded_passthrough_for_continuous(self, table):
+        assert np.allclose(table.decoded("value"), [1, 2, 3, 4, 5])
+
+    def test_decoded_rejects_bad_codes(self):
+        schema = Schema((FeatureSpec("c", FeatureKind.NOMINAL, ("a",)),))
+        bad = Table({"c": np.array([0, 5])}, schema=schema)
+        with pytest.raises(DataError):
+            bad.decoded("c")
+
+
+class TestDerivedTables:
+    def test_filter(self, table):
+        small = table.filter(table.column("value") > 3.0)
+        assert small.n_rows == 2
+        assert small.decoded("color").tolist() == ["red", "green"]
+
+    def test_filter_requires_boolean_mask(self, table):
+        with pytest.raises(DataError):
+            table.filter(np.array([1, 0, 1, 0, 1]))
+
+    def test_take(self, table):
+        picked = table.take(np.array([4, 0]))
+        assert picked.column("value").tolist() == [5.0, 1.0]
+
+    def test_select(self, table):
+        sub = table.select(["value", "color"])
+        assert sub.column_names == ["value", "color"]
+        assert "size" not in sub
+
+    def test_with_column_adds(self, table):
+        doubled = table.with_column("double", table.column("value") * 2)
+        assert "double" in doubled
+        assert "double" not in table  # original untouched
+
+    def test_with_column_replaces_and_respects_spec(self, table):
+        spec = FeatureSpec("flag", FeatureKind.NOMINAL, ("no", "yes"))
+        extended = table.with_column("flag", np.array([0, 1, 0, 1, 0]), spec=spec)
+        assert extended.decoded("flag").tolist() == ["no", "yes", "no", "yes", "no"]
+
+    def test_with_column_length_mismatch_rejected(self, table):
+        with pytest.raises(DataError):
+            table.with_column("bad", np.zeros(3))
+
+    def test_with_column_spec_name_mismatch_rejected(self, table):
+        spec = FeatureSpec("other", FeatureKind.CONTINUOUS)
+        with pytest.raises(SchemaError):
+            table.with_column("bad", np.zeros(5), spec=spec)
+
+    def test_concat(self, table):
+        doubled = table.concat(table)
+        assert doubled.n_rows == 10
+
+    def test_concat_mismatched_columns_rejected(self, table):
+        other = Table({"value": np.zeros(2)})
+        with pytest.raises(DataError):
+            table.concat(other)
+
+
+class TestGroupBy:
+    def test_group_indices_partition_rows(self, table):
+        seen = []
+        for _, indices in table.group_indices(["color"]):
+            seen.extend(indices.tolist())
+        assert sorted(seen) == list(range(5))
+
+    def test_group_keys_decoded(self, table):
+        keys = [key for key, _ in table.group_indices(["color"])]
+        assert ("red",) in keys
+        assert ("blue",) in keys
+
+    def test_multi_key_grouping(self, table):
+        groups = dict(table.group_indices(["color", "size"]))
+        assert ("red", "S") in groups
+        assert len(groups[("red", "S")]) == 1
+
+    def test_group_reduce(self, table):
+        stats = table.group_reduce(["color"], "value", {"mean": np.mean, "n": len})
+        assert stats[("red",)]["mean"] == pytest.approx(2.5)
+        assert stats[("green",)]["n"] == 2
+
+    def test_empty_keys_rejected(self, table):
+        with pytest.raises(DataError):
+            list(table.group_indices([]))
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=60))
+    def test_group_sizes_sum_to_rows(self, codes):
+        schema = Schema((FeatureSpec("k", FeatureKind.NOMINAL, ("a", "b", "c", "d")),))
+        t = Table({"k": np.array(codes), "v": np.arange(len(codes), dtype=float)},
+                  schema=schema)
+        total = sum(len(ix) for _, ix in t.group_indices(["k"]))
+        assert total == len(codes)
+
+
+class TestFeatureMatrix:
+    def test_matrix_shape_and_schema(self, table):
+        matrix, schema = table.feature_matrix(["color", "value"])
+        assert matrix.shape == (5, 2)
+        assert schema.names == ["color", "value"]
+        assert schema.get("color").kind is FeatureKind.NOMINAL
+        assert schema.get("value").kind is FeatureKind.CONTINUOUS
+
+    def test_matrix_values(self, table):
+        matrix, _ = table.feature_matrix(["value"])
+        assert np.allclose(matrix[:, 0], [1, 2, 3, 4, 5])
+
+
+class TestHead:
+    def test_head_renders_labels(self, table):
+        text = table.head(2)
+        assert "red" in text
+        assert "color" in text

@@ -1,0 +1,154 @@
+"""RMA ticket taxonomy and log tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.failures.tickets import (
+    FAULT_CATEGORY,
+    FAULT_CODE,
+    FAULT_TYPES,
+    HARDWARE_FAULTS,
+    FaultType,
+    RmaTicket,
+    TicketCategory,
+    TicketLog,
+)
+
+
+class TestTaxonomy:
+    def test_every_fault_has_a_category(self):
+        assert set(FAULT_CATEGORY) == set(FaultType)
+
+    def test_table_ii_structure(self):
+        software = [f for f, c in FAULT_CATEGORY.items() if c is TicketCategory.SOFTWARE]
+        boot = [f for f, c in FAULT_CATEGORY.items() if c is TicketCategory.BOOT]
+        assert set(software) == {FaultType.TIMEOUT, FaultType.DEPLOYMENT, FaultType.CRASH}
+        assert set(boot) == {FaultType.PXE_BOOT, FaultType.REBOOT}
+        assert set(HARDWARE_FAULTS) == {
+            FaultType.DISK, FaultType.MEMORY, FaultType.POWER,
+            FaultType.SERVER, FaultType.NETWORK,
+        }
+
+    def test_codes_are_dense(self):
+        assert sorted(FAULT_CODE.values()) == list(range(len(FAULT_TYPES)))
+
+
+def chunk(n, day=0, fault=FaultType.DISK, batch=-1, fp=False):
+    return dict(
+        day_index=np.full(n, day, dtype=np.int64),
+        start_hour_abs=day * 24.0 + np.arange(n, dtype=float),
+        rack_index=np.arange(n, dtype=np.int64),
+        server_offset=np.zeros(n, dtype=np.int64),
+        fault_code=np.full(n, FAULT_CODE[fault], dtype=np.int64),
+        false_positive=np.full(n, fp, dtype=bool),
+        repair_hours=np.full(n, 5.0),
+        batch_id=np.full(n, batch, dtype=np.int64),
+    )
+
+
+class TestTicketLog:
+    def test_append_and_len(self):
+        log = TicketLog()
+        log.append_chunk(**chunk(3))
+        log.append_chunk(**chunk(2, day=1))
+        assert len(log) == 5
+
+    def test_empty_chunk_ignored(self):
+        log = TicketLog()
+        log.append_chunk(**chunk(0))
+        assert len(log) == 0
+
+    def test_misaligned_chunk_rejected(self):
+        log = TicketLog()
+        bad = chunk(3)
+        bad["repair_hours"] = np.full(2, 5.0)
+        with pytest.raises(DataError):
+            log.append_chunk(**bad)
+
+    def test_append_after_finalize_rejected(self):
+        log = TicketLog()
+        log.append_chunk(**chunk(1))
+        log.finalize()
+        with pytest.raises(DataError):
+            log.append_chunk(**chunk(1))
+
+    def test_end_hour_is_start_plus_repair(self):
+        log = TicketLog()
+        log.append_chunk(**chunk(2))
+        assert np.allclose(log.end_hour_abs, log.start_hour_abs + 5.0)
+
+    def test_ticket_materialization(self):
+        log = TicketLog()
+        log.append_chunk(**chunk(2, day=3, fault=FaultType.MEMORY))
+        ticket = log.ticket(1)
+        assert isinstance(ticket, RmaTicket)
+        assert ticket.fault is FaultType.MEMORY
+        assert ticket.category is TicketCategory.HARDWARE
+        assert ticket.day_index == 3
+        assert "Memory failure" in ticket.description()
+
+    def test_ticket_index_bounds(self):
+        log = TicketLog()
+        log.append_chunk(**chunk(1))
+        with pytest.raises(DataError):
+            log.ticket(5)
+
+    def test_masks(self):
+        log = TicketLog()
+        log.append_chunk(**chunk(2, fault=FaultType.DISK))
+        log.append_chunk(**chunk(3, fault=FaultType.TIMEOUT, fp=True))
+        assert log.hardware_mask().sum() == 2
+        assert log.true_positive_mask().sum() == 2
+        assert log.mask_for_faults([FaultType.TIMEOUT]).sum() == 3
+
+    def test_category_counts(self):
+        log = TicketLog()
+        log.append_chunk(**chunk(4, fault=FaultType.DISK))
+        log.append_chunk(**chunk(1, fault=FaultType.PXE_BOOT))
+        counts = log.category_counts()
+        assert counts[FaultType.DISK] == 4
+        assert counts[FaultType.PXE_BOOT] == 1
+        assert counts[FaultType.CRASH] == 0
+
+    def test_category_counts_true_positives_only(self):
+        log = TicketLog()
+        log.append_chunk(**chunk(4, fault=FaultType.DISK, fp=True))
+        assert log.category_counts(true_positives_only=True)[FaultType.DISK] == 0
+
+
+class TestBatchDedupe:
+    def test_batches_count_once(self):
+        log = TicketLog()
+        log.append_chunk(**chunk(4, batch=7))
+        log.append_chunk(**chunk(2, batch=-1))
+        keep = log.batch_dedupe_mask()
+        assert keep.sum() == 3  # one per batch 7, plus two independents
+
+    def test_distinct_batches_each_kept(self):
+        log = TicketLog()
+        log.append_chunk(**chunk(2, batch=1))
+        log.append_chunk(**chunk(2, batch=2))
+        assert log.batch_dedupe_mask().sum() == 2
+
+    def test_category_counts_dedupe_by_default(self):
+        log = TicketLog()
+        log.append_chunk(**chunk(5, batch=9))
+        assert log.category_counts()[FaultType.DISK] == 1
+        assert log.category_counts(dedupe_batches=False)[FaultType.DISK] == 5
+
+
+class TestRmaTicket:
+    def test_end_hour(self):
+        ticket = RmaTicket(
+            day_index=0, start_hour_abs=10.0, rack_index=0, server_offset=0,
+            fault=FaultType.DISK, false_positive=False, repair_hours=4.0,
+        )
+        assert ticket.end_hour_abs == 14.0
+
+    def test_false_positive_description(self):
+        ticket = RmaTicket(
+            day_index=0, start_hour_abs=0.0, rack_index=0, server_offset=0,
+            fault=FaultType.DISK, false_positive=True, repair_hours=1.0,
+        )
+        assert "false positive" in ticket.description()

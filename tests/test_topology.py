@@ -1,0 +1,143 @@
+"""Topology and fleet-array tests."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.builder import build_fleet, FleetConfig, dc1_spec, dc2_spec
+from repro.datacenter.sku import default_catalog as default_skus
+from repro.datacenter.topology import (
+    DataCenter,
+    Fleet,
+    FleetArrays,
+    Rack,
+    RegionSpec,
+)
+from repro.datacenter.workload import default_catalog as default_workloads
+from repro.errors import ConfigError
+from repro.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def fleet() -> Fleet:
+    return build_fleet(
+        FleetConfig(scale=0.06, observation_days=120), RngRegistry(seed=2)
+    )
+
+
+def make_rack(**overrides) -> Rack:
+    base = dict(
+        rack_id="DC1-R001", dc_name="DC1", region_name="DC1-1",
+        row=1, slot=0, sku=default_skus().get("S1"), workload="W5",
+        rated_power_kw=6.0, commission_day=0,
+    )
+    base.update(overrides)
+    return Rack(**base)
+
+
+class TestRack:
+    def test_counts_follow_sku(self):
+        rack = make_rack()
+        assert rack.n_servers == 20
+        assert rack.n_hdds == 240
+        assert rack.n_dimms == 160
+
+    def test_age_months(self):
+        rack = make_rack(commission_day=-365)
+        assert rack.age_months(0) == pytest.approx(12.0, rel=0.01)
+
+    def test_invalid_row_rejected(self):
+        with pytest.raises(ConfigError):
+            make_rack(row=0)
+
+    def test_nonpositive_power_rejected(self):
+        with pytest.raises(ConfigError):
+            make_rack(rated_power_kw=0.0)
+
+
+class TestRegionSpec:
+    def test_nonpositive_hazard_rejected(self):
+        with pytest.raises(ConfigError):
+            RegionSpec("R", hazard_multiplier=0.0)
+
+
+class TestDataCenterSpec:
+    def test_invalid_nines_rejected(self):
+        spec = dc1_spec()
+        with pytest.raises(ConfigError):
+            type(spec)(
+                name="X", packaging=spec.packaging, availability_nines=2,
+                cooling=spec.cooling, n_rows=4, regions=spec.regions,
+            )
+
+    def test_region_lookup(self):
+        dc = DataCenter(spec=dc1_spec())
+        assert dc.region("DC1-2").name == "DC1-2"
+        with pytest.raises(ConfigError):
+            dc.region("DC9-1")
+
+
+class TestFleet:
+    def test_counts_are_consistent(self, fleet):
+        assert fleet.n_racks == len(fleet.racks)
+        assert fleet.n_servers == sum(rack.n_servers for rack in fleet.racks)
+
+    def test_two_datacenters(self, fleet):
+        assert [dc.name for dc in fleet.datacenters] == ["DC1", "DC2"]
+
+    def test_datacenter_lookup(self, fleet):
+        assert fleet.datacenter("DC2").name == "DC2"
+        with pytest.raises(ConfigError):
+            fleet.datacenter("DC9")
+
+    def test_region_names_cover_both_dcs(self, fleet):
+        names = fleet.region_names
+        assert any(name.startswith("DC1") for name in names)
+        assert any(name.startswith("DC2") for name in names)
+
+    def test_racks_for_workload(self, fleet):
+        racks = fleet.racks_for_workload("W3")
+        assert racks
+        assert all(rack.workload == "W3" for rack in racks)
+        assert all(rack.sku.name == "S7" for rack in racks)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ConfigError):
+            Fleet([], default_skus(), default_workloads())
+
+
+class TestFleetArrays:
+    def test_arrays_align_with_racks(self, fleet):
+        arrays = fleet.arrays()
+        racks = fleet.racks
+        assert arrays.n_racks == len(racks)
+        for i in (0, len(racks) // 2, len(racks) - 1):
+            rack = racks[i]
+            assert arrays.rack_ids[i] == rack.rack_id
+            assert arrays.dc_names[arrays.dc_code[i]] == rack.dc_name
+            assert arrays.region_names[arrays.region_code[i]] == rack.region_name
+            assert arrays.sku_names[arrays.sku_code[i]] == rack.sku.name
+            assert arrays.workload_names[arrays.workload_code[i]] == rack.workload
+            assert arrays.n_servers[i] == rack.n_servers
+            assert arrays.commission_day[i] == rack.commission_day
+
+    def test_server_base_partitions_servers(self, fleet):
+        arrays = fleet.arrays()
+        assert arrays.server_base[0] == 0
+        assert np.all(np.diff(arrays.server_base) == arrays.n_servers[:-1])
+        assert arrays.n_servers_total == fleet.n_servers
+
+    def test_arrays_cached(self, fleet):
+        assert fleet.arrays() is fleet.arrays()
+
+    def test_age_months_vectorized(self, fleet):
+        arrays = fleet.arrays()
+        ages = arrays.age_months(60)
+        assert ages.shape == (arrays.n_racks,)
+        expected = (60 - arrays.commission_day[0]) / 30.4375
+        assert ages[0] == pytest.approx(expected)
+
+    def test_ground_truth_columns_present(self, fleet):
+        arrays = fleet.arrays()
+        assert np.all(arrays.sku_intrinsic > 0)
+        assert np.all(arrays.region_hazard > 0)
+        assert np.all(arrays.batch_mean_size >= 1.0)

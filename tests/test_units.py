@@ -1,0 +1,135 @@
+"""Units and simulation-calendar tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import (
+    DAYS_PER_WEEK,
+    DAYS_PER_YEAR,
+    CalendarDay,
+    SimCalendar,
+    celsius_to_fahrenheit,
+    clamp,
+    fahrenheit_to_celsius,
+    months_between_days,
+)
+
+
+class TestTemperatureConversion:
+    def test_freezing_point(self):
+        assert fahrenheit_to_celsius(32.0) == pytest.approx(0.0)
+
+    def test_boiling_point(self):
+        assert fahrenheit_to_celsius(212.0) == pytest.approx(100.0)
+
+    def test_celsius_to_fahrenheit_body_temp(self):
+        assert celsius_to_fahrenheit(37.0) == pytest.approx(98.6)
+
+    @given(st.floats(min_value=-200, max_value=200))
+    def test_roundtrip(self, deg_f):
+        assert celsius_to_fahrenheit(fahrenheit_to_celsius(deg_f)) == pytest.approx(
+            deg_f, abs=1e-9
+        )
+
+    @given(st.floats(min_value=-100, max_value=150))
+    def test_conversion_is_monotone(self, deg_f):
+        assert fahrenheit_to_celsius(deg_f + 1.0) > fahrenheit_to_celsius(deg_f)
+
+
+class TestClamp:
+    def test_inside_interval_unchanged(self):
+        assert clamp(5.0, 0.0, 10.0) == 5.0
+
+    def test_below_clamps_to_low(self):
+        assert clamp(-3.0, 0.0, 10.0) == 0.0
+
+    def test_above_clamps_to_high(self):
+        assert clamp(42.0, 0.0, 10.0) == 10.0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            clamp(1.0, 10.0, 0.0)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32),
+           st.floats(min_value=-10, max_value=0),
+           st.floats(min_value=0, max_value=10))
+    def test_result_always_inside(self, value, low, high):
+        assert low <= clamp(value, low, high) <= high
+
+
+class TestMonthsBetween:
+    def test_one_average_month(self):
+        assert months_between_days(0, 30) == pytest.approx(30 / 30.4375)
+
+    def test_negative_for_future_commission(self):
+        assert months_between_days(100, 0) < 0
+
+    def test_one_year_is_twelve_months(self):
+        assert months_between_days(0, DAYS_PER_YEAR) == pytest.approx(12.0, rel=0.01)
+
+
+class TestSimCalendar:
+    def test_day_zero_defaults(self):
+        day = SimCalendar().day(0)
+        assert day.day_of_week == 0
+        assert day.month == 1
+        assert day.year == 0
+        assert day.week_of_year == 1
+
+    def test_weekday_advances_modulo_seven(self):
+        calendar = SimCalendar(start_day_of_week=5)
+        assert calendar.day(2).day_of_week == 0  # Fri -> Sat -> Sun
+
+    def test_year_rolls_over(self):
+        day = SimCalendar().day(DAYS_PER_YEAR)
+        assert day.year == 1
+        assert day.day_of_year == 0
+
+    def test_start_day_of_year_offsets_month(self):
+        calendar = SimCalendar(start_day_of_year=200)  # mid-July
+        assert calendar.day(0).month == 7
+
+    def test_weekend_flag(self):
+        calendar = SimCalendar(start_day_of_week=0)  # Sunday
+        assert calendar.day(0).is_weekend
+        assert calendar.day(6).is_weekend
+        assert not calendar.day(3).is_weekend
+
+    def test_month_boundaries(self):
+        assert SimCalendar.month_of_day_of_year(0) == 1
+        assert SimCalendar.month_of_day_of_year(30) == 1
+        assert SimCalendar.month_of_day_of_year(31) == 2
+        assert SimCalendar.month_of_day_of_year(364) == 12
+
+    def test_negative_day_rejected(self):
+        with pytest.raises(ValueError):
+            SimCalendar().day(-1)
+
+    def test_invalid_start_weekday_rejected(self):
+        with pytest.raises(ValueError):
+            SimCalendar(start_day_of_week=7)
+
+    def test_invalid_start_doy_rejected(self):
+        with pytest.raises(ValueError):
+            SimCalendar(start_day_of_year=365)
+
+    def test_day_names(self):
+        day = SimCalendar(start_day_of_week=1).day(0)
+        assert day.day_name == "Mon"
+        assert SimCalendar().day(40).month_name == "Feb"
+
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_week_of_year_in_range(self, day_index):
+        day = SimCalendar().day(day_index)
+        assert 1 <= day.week_of_year <= 53
+
+    @given(st.integers(min_value=0, max_value=5000),
+           st.integers(min_value=0, max_value=6),
+           st.integers(min_value=0, max_value=364))
+    def test_calendar_fields_consistent(self, day_index, start_dow, start_doy):
+        day = SimCalendar(start_dow, start_doy).day(day_index)
+        assert isinstance(day, CalendarDay)
+        assert 0 <= day.day_of_week < DAYS_PER_WEEK
+        assert 1 <= day.month <= 12
+        assert 0 <= day.day_of_year < DAYS_PER_YEAR
+        assert day.year == (start_doy + day_index) // DAYS_PER_YEAR

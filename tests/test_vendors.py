@@ -1,0 +1,54 @@
+"""Vendor-rollup tests."""
+
+import pytest
+
+from repro.decisions.sku_ranking import (
+    compare_skus,
+    compare_vendors,
+    rank_vendors,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def rollup(small_context):
+    comparison = compare_skus(small_context.result,
+                              table=small_context.hardware_failures)
+    return compare_vendors(small_context.result, comparison)
+
+
+class TestVendorRollup:
+    def test_every_catalog_vendor_present(self, rollup, small_run):
+        catalog_vendors = {sku.vendor for sku in small_run.fleet.skus}
+        assert set(rollup) == catalog_vendors
+
+    def test_multi_sku_vendors_aggregate(self, rollup):
+        assert set(rollup["VendorA"].skus) == {"S1", "S5"}
+        assert set(rollup["VendorB"].skus) == {"S2", "S6"}
+
+    def test_exposure_weighting(self, rollup, small_context):
+        comparison = compare_skus(small_context.result,
+                                  table=small_context.hardware_failures)
+        vendor_b = rollup["VendorB"]
+        s2, s6 = comparison.sf_mean["S2"], comparison.sf_mean["S6"]
+        expected = ((s2.mean * s2.count + s6.mean * s6.count)
+                    / (s2.count + s6.count))
+        assert vendor_b.sf_mean == pytest.approx(expected)
+        assert vendor_b.exposure == s2.count + s6.count
+
+    def test_vendor_b_looks_better_under_mf(self, rollup):
+        """S2's confounds inflate VendorB's SF number; MF corrects it."""
+        vendor_b = rollup["VendorB"]
+        assert vendor_b.mf_mean < 0.8 * vendor_b.sf_mean
+
+    def test_hpc_vendor_most_reliable(self, rollup):
+        ranked = rank_vendors(rollup)
+        assert ranked[0].vendor == "VendorE"
+
+    def test_worst_vendor_is_b_under_both_views(self, rollup):
+        assert rank_vendors(rollup, by="sf_mean")[-1].vendor == "VendorB"
+        assert rank_vendors(rollup, by="mf_mean")[-1].vendor == "VendorB"
+
+    def test_invalid_statistic_rejected(self, rollup):
+        with pytest.raises(DataError):
+            rank_vendors(rollup, by="peak")

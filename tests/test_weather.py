@@ -1,0 +1,117 @@
+"""Weather model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.environment.weather import (
+    SiteClimate,
+    WeatherSeries,
+    dc1_site_climate,
+    dc2_site_climate,
+    wet_bulb_estimate_f,
+)
+from repro.errors import ConfigError
+from repro.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def dc1_series():
+    return WeatherSeries(dc1_site_climate(), 730, RngRegistry(seed=1).stream("w"))
+
+
+class TestSiteClimates:
+    def test_dc1_site_is_warmer_and_drier(self):
+        dc1, dc2 = dc1_site_climate(), dc2_site_climate()
+        assert dc1.mean_temp_f > dc2.mean_temp_f
+        assert dc1.mean_rh < dc2.mean_rh
+
+    def test_invalid_peak_day_rejected(self):
+        with pytest.raises(ConfigError):
+            SiteClimate(
+                name="x", mean_temp_f=60, seasonal_amplitude_f=10,
+                diurnal_amplitude_f=5, peak_day_of_year=400,
+                anomaly_sd_f=3, anomaly_persistence=0.5,
+                mean_rh=50, rh_temp_slope=-1, rh_noise_sd=5,
+            )
+
+    def test_persistence_must_be_below_one(self):
+        with pytest.raises(ConfigError):
+            SiteClimate(
+                name="x", mean_temp_f=60, seasonal_amplitude_f=10,
+                diurnal_amplitude_f=5, peak_day_of_year=200,
+                anomaly_sd_f=3, anomaly_persistence=1.0,
+                mean_rh=50, rh_temp_slope=-1, rh_noise_sd=5,
+            )
+
+
+class TestWeatherSeries:
+    def test_series_length(self, dc1_series):
+        assert dc1_series.temp_f.shape == (730,)
+        assert dc1_series.rh.shape == (730,)
+
+    def test_summer_hotter_than_winter(self, dc1_series):
+        # Simulation starts Jan 1 by default; days 182-243 are midsummer.
+        winter = dc1_series.temp_f[:30].mean()
+        summer = dc1_series.temp_f[195:225].mean()
+        assert summer > winter + 20
+
+    def test_hot_days_are_dry_days(self, dc1_series):
+        correlation = np.corrcoef(dc1_series.temp_f, dc1_series.rh)[0, 1]
+        assert correlation < -0.5
+
+    def test_rh_stays_in_physical_range(self, dc1_series):
+        assert dc1_series.rh.min() >= 2.0
+        assert dc1_series.rh.max() <= 99.0
+
+    def test_anomalies_are_persistent(self, dc1_series):
+        detrended = dc1_series.temp_f - np.convolve(
+            dc1_series.temp_f, np.ones(31) / 31, mode="same"
+        )
+        inner = detrended[30:-30]
+        lag1 = np.corrcoef(inner[:-1], inner[1:])[0, 1]
+        assert lag1 > 0.3
+
+    def test_day_accessor_matches_arrays(self, dc1_series):
+        day = dc1_series.day(100)
+        assert day.temp_f == pytest.approx(float(dc1_series.temp_f[100]))
+        assert day.rh == pytest.approx(float(dc1_series.rh[100]))
+
+    def test_out_of_range_day_rejected(self, dc1_series):
+        with pytest.raises(ConfigError):
+            dc1_series.day(730)
+
+    def test_hourly_profile_peaks_mid_afternoon(self, dc1_series):
+        hourly = dc1_series.hourly_temp_f(10)
+        assert len(hourly) == 24
+        assert int(np.argmax(hourly)) == 15
+
+    def test_determinism(self):
+        a = WeatherSeries(dc1_site_climate(), 100, RngRegistry(seed=4).stream("w"))
+        b = WeatherSeries(dc1_site_climate(), 100, RngRegistry(seed=4).stream("w"))
+        assert np.allclose(a.temp_f, b.temp_f)
+
+    def test_zero_days_rejected(self):
+        with pytest.raises(ConfigError):
+            WeatherSeries(dc1_site_climate(), 0, RngRegistry(seed=1).stream("w"))
+
+
+class TestWetBulb:
+    def test_saturated_air_wet_bulb_equals_dry_bulb(self):
+        assert wet_bulb_estimate_f(80.0, 100.0) == pytest.approx(80.0, abs=1.5)
+
+    def test_dry_air_wet_bulb_well_below_dry_bulb(self):
+        assert wet_bulb_estimate_f(95.0, 10.0) < 75.0
+
+    def test_invalid_rh_rejected(self):
+        with pytest.raises(ConfigError):
+            wet_bulb_estimate_f(80.0, 0.0)
+
+    @given(st.floats(min_value=30, max_value=110),
+           st.floats(min_value=5, max_value=99))
+    def test_wet_bulb_never_exceeds_dry_bulb(self, temp_f, rh):
+        assert wet_bulb_estimate_f(temp_f, rh) <= temp_f + 1e-9
+
+    @given(st.floats(min_value=40, max_value=100))
+    def test_wet_bulb_monotone_in_humidity(self, temp_f):
+        assert wet_bulb_estimate_f(temp_f, 20.0) <= wet_bulb_estimate_f(temp_f, 80.0)

@@ -1,0 +1,125 @@
+"""Workload catalog and assignment-policy tests."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.sku import SkuCategory
+from repro.datacenter.workload import (
+    WorkloadCatalog,
+    WorkloadCategory,
+    WorkloadSpec,
+    assign_workload,
+    default_catalog,
+    eligible_workloads,
+)
+from repro.errors import ConfigError
+
+
+def make_spec(name="W1", **overrides) -> WorkloadSpec:
+    base = dict(
+        name=name, category=WorkloadCategory.COMPUTE,
+        stress_multiplier=1.0, disk_stress=1.0,
+        weekday_utilization=0.7, weekend_utilization=0.5,
+        software_churn=1.0,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestWorkloadSpec:
+    def test_utilization_by_day_kind(self):
+        spec = make_spec()
+        assert spec.utilization(is_weekend=False) == 0.7
+        assert spec.utilization(is_weekend=True) == 0.5
+
+    def test_zero_stress_rejected(self):
+        with pytest.raises(ConfigError):
+            make_spec(stress_multiplier=0.0)
+
+    def test_utilization_above_one_rejected(self):
+        with pytest.raises(ConfigError):
+            make_spec(weekday_utilization=1.2)
+
+    def test_negative_churn_rejected(self):
+        with pytest.raises(ConfigError):
+            make_spec(software_churn=-0.1)
+
+
+class TestCatalog:
+    def test_default_has_seven(self):
+        assert default_catalog().names == [f"W{i}" for i in range(1, 8)]
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkloadCatalog([make_spec("W1"), make_spec("W1")])
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(ConfigError):
+            default_catalog().get("W99")
+
+    def test_index_of(self):
+        assert default_catalog().index_of("W3") == 2
+
+
+class TestPlantedStressOrdering:
+    """The ground-truth workload ordering behind Fig 6."""
+
+    def test_w2_has_highest_stress(self):
+        catalog = default_catalog()
+        w2 = catalog.get("W2").stress_multiplier
+        assert all(w2 >= w.stress_multiplier for w in catalog)
+
+    def test_hpc_w3_has_lowest_stress(self):
+        catalog = default_catalog()
+        w3 = catalog.get("W3").stress_multiplier
+        assert all(w3 <= w.stress_multiplier for w in catalog)
+
+    def test_storage_data_below_storage_compute(self):
+        catalog = default_catalog()
+        for data_wl in ("W5", "W6"):
+            for compute_wl in ("W4", "W7"):
+                assert (catalog.get(data_wl).stress_multiplier
+                        < catalog.get(compute_wl).stress_multiplier)
+
+    def test_weekday_utilization_exceeds_weekend_except_hpc(self):
+        catalog = default_catalog()
+        for workload in catalog:
+            if workload.name == "W3":
+                continue  # HPC batch queues run through weekends
+            assert workload.weekday_utilization > workload.weekend_utilization
+
+
+class TestAssignment:
+    def test_eligibility_respects_sku_category(self):
+        assert eligible_workloads(SkuCategory.HPC) == ["W3"]
+        assert set(eligible_workloads(SkuCategory.COMPUTE)) == {"W1", "W2"}
+        assert set(eligible_workloads(SkuCategory.STORAGE)) == {"W5", "W6"}
+        assert set(eligible_workloads(SkuCategory.MIXED)) == {"W4", "W7"}
+
+    def test_hpc_always_w3(self):
+        rng = np.random.default_rng(0)
+        assert assign_workload(SkuCategory.HPC, "S7", rng) == "W3"
+
+    def test_assignment_only_returns_eligible(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert assign_workload(SkuCategory.STORAGE, "S1", rng) in ("W5", "W6")
+
+    def test_s2_biased_to_w2(self):
+        """The planted Q2 confound: S2 lands on W2 ~95% of the time."""
+        rng = np.random.default_rng(1)
+        picks = [assign_workload(SkuCategory.COMPUTE, "S2", rng) for _ in range(400)]
+        w2_share = picks.count("W2") / len(picks)
+        assert w2_share > 0.85
+
+    def test_s4_biased_to_w1(self):
+        rng = np.random.default_rng(1)
+        picks = [assign_workload(SkuCategory.COMPUTE, "S4", rng) for _ in range(400)]
+        w1_share = picks.count("W1") / len(picks)
+        assert 0.65 < w1_share < 0.95
+
+    def test_other_compute_skus_unbiased(self):
+        rng = np.random.default_rng(1)
+        picks = [assign_workload(SkuCategory.COMPUTE, "S9", rng) for _ in range(600)]
+        w1_share = picks.count("W1") / len(picks)
+        assert 0.4 < w1_share < 0.6
