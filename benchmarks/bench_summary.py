@@ -1,0 +1,54 @@
+"""Summarize BENCH_engine.json as a terminal table.
+
+Usage::
+
+    python benchmarks/bench_summary.py [path/to/BENCH_engine.json]
+
+The JSON is produced by running any ``benchmarks/`` file under pytest
+(see ``pytest_sessionfinish`` in ``benchmarks/conftest.py``); this
+script renders the recorded timings and, where a pre-vectorization
+baseline is known, the speedup against it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+DEFAULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def summarize(path: pathlib.Path) -> str:
+    """Render one line per recorded benchmark, slowest first."""
+    payload = json.loads(path.read_text())
+    entries = payload.get("entries", {})
+    if not entries:
+        return f"{path}: no benchmark entries recorded"
+    lines = [
+        f"{'benchmark':44s} {'mean':>10s} {'min':>10s} {'rounds':>6s} {'speedup':>8s}",
+    ]
+    ordered = sorted(entries.items(), key=lambda kv: -kv[1]["mean_s"])
+    for name, entry in ordered:
+        speedup = entry.get("speedup_vs_baseline")
+        lines.append(
+            f"{name:44s} {entry['mean_s']*1e3:8.1f}ms {entry['min_s']*1e3:8.1f}ms "
+            f"{entry['rounds']:6d} "
+            + (f"{speedup:7.2f}x" if speedup is not None else "       -")
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    path = pathlib.Path(args[0]) if args else DEFAULT_PATH
+    if not path.exists():
+        print(f"{path} not found — run `python -m pytest benchmarks/` first",
+              file=sys.stderr)
+        return 1
+    print(summarize(path))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

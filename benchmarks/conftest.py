@@ -9,7 +9,10 @@ substrate is a simulator rather than the authors' production estate.
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
+import time
 
 import pytest
 
@@ -17,6 +20,15 @@ import repro
 from repro.reporting import AnalysisContext
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+# Mean timings (seconds) measured on the per-day-loop engine at the
+# commit before vectorization, same machine class as CI.  Entries here
+# get a ``speedup_vs_baseline`` field in BENCH_engine.json so the perf
+# trajectory across PRs stays visible.
+SEED_BASELINES = {
+    "test_perf_simulation_quarter_scale": 0.296,
+}
 
 
 @pytest.fixture(scope="session")
@@ -48,3 +60,48 @@ def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark an expensive analysis exactly once (no warmup loops)."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist machine-readable timings to BENCH_engine.json.
+
+    Entries are merged by benchmark name, so partial runs (e.g. only
+    ``test_perf_engine.py``) update their own rows and leave the rest of
+    the trajectory file intact.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+
+    payload = {"schema": 1, "entries": {}}
+    if BENCH_JSON.exists():
+        try:
+            previous = json.loads(BENCH_JSON.read_text())
+            payload["entries"] = dict(previous.get("entries", {}))
+        except (OSError, ValueError):
+            pass
+
+    for bench in bench_session.benchmarks:
+        if not bench.stats:
+            continue
+        stats = bench.stats.as_dict()
+        entry = {
+            "fullname": bench.fullname,
+            "mean_s": stats["mean"],
+            "min_s": stats["min"],
+            "max_s": stats["max"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+        baseline = SEED_BASELINES.get(bench.name)
+        if baseline is not None:
+            entry["baseline_mean_s"] = baseline
+            entry["speedup_vs_baseline"] = baseline / stats["mean"]
+        payload["entries"][bench.name] = entry
+
+    payload["updated"] = time.time()
+    payload["machine"] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -8,7 +8,9 @@ from repro.reporting.sweeps import render_sweep, run_sweep
 
 def test_robustness_sweep(benchmark, record):
     seeds = [11, 22, 33]
-    summaries = run_once(benchmark, run_sweep, seeds, scale=0.3, n_days=540)
+    # jobs=0 → one worker per core; seeds are independent simulations.
+    summaries = run_once(benchmark, run_sweep, seeds, scale=0.3, n_days=540,
+                         jobs=0)
     record("robustness_sweep", render_sweep(summaries, seeds))
 
     by_name = {summary.name: summary for summary in summaries}

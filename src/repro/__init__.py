@@ -43,7 +43,9 @@ from .errors import (
     SchemaError,
     SimulationError,
 )
+from .cache import RunCache, simulate_cached
 from .failures.engine import SimulationResult, simulate
+from .parallel import map_seeds, run_experiments
 from .reporting import AnalysisContext, EXPERIMENTS, get_experiment
 from .rng import RngRegistry
 from .telemetry import Table, build_rack_day_table, lambda_matrix, mu_matrix
@@ -65,6 +67,7 @@ __all__ = [
     "RegressionTree",
     "ReproError",
     "RngRegistry",
+    "RunCache",
     "SchemaError",
     "SimulationConfig",
     "SimulationError",
@@ -78,11 +81,14 @@ __all__ = [
     "compare_skus",
     "get_experiment",
     "lambda_matrix",
+    "map_seeds",
     "mu_matrix",
     "parse_formula",
     "partial_dependence",
     "procurement_scenarios",
     "render_tree",
+    "run_experiments",
     "simulate",
+    "simulate_cached",
     "__version__",
 ]

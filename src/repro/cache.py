@@ -1,0 +1,242 @@
+"""Content-addressed on-disk cache of simulation runs.
+
+A simulation run is fully determined by its :class:`SimulationConfig`
+(see ``tests/test_engine_determinism.py``), so a run can be keyed by a
+stable hash of the config plus the package version.  The cache exploits
+the split inside :mod:`repro.failures.engine`:
+
+* the *fleet and calendar* are cheap and rebuilt deterministically from
+  the config on load;
+* the *ticket log* and the environment/BMS condition matrices — the
+  expensive stochastic parts — are stored as a compressed ``.npz``
+  column bundle next to a ``meta.json`` describing the key, config
+  fingerprint and package version.
+
+A warm :func:`simulate_cached` therefore performs **no ticket
+generation** (``_generate_tickets`` is never called) and returns a
+:class:`~repro.failures.engine.SimulationResult` bit-identical to a
+fresh :func:`~repro.failures.engine.simulate` of the same config.
+
+Entries are invalidated implicitly: a version bump or any config-schema
+change alters the key, and :meth:`RunCache.prune` keeps the store
+bounded (oldest entries evicted first).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+import shutil
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .datacenter.builder import build_fleet
+from .environment.bms import BuildingManagementSystem
+from .environment.conditions import EnvironmentSeries
+from .errors import DataError
+from .failures.engine import SimulationResult, simulate
+from .failures.tickets import TicketLog
+from .rng import RngRegistry
+from .units import SimCalendar
+
+if TYPE_CHECKING:
+    from .config import SimulationConfig
+
+# Bump when the stored column layout changes; keys include it, so old
+# bundles are simply never looked up again.
+CACHE_SCHEMA = 1
+
+# Default bound on the number of cached runs kept by automatic pruning.
+DEFAULT_MAX_ENTRIES = 32
+
+_TICKET_COLUMNS = (
+    "day_index", "start_hour_abs", "rack_index", "server_offset",
+    "fault_code", "false_positive", "repair_hours", "batch_id",
+)
+
+
+def config_fingerprint(config: "SimulationConfig") -> dict:
+    """JSON-serializable, order-stable description of a config.
+
+    Everything that influences the run must appear here: the dataclass
+    tree covers seed, window, fleet knobs (including SKU mixes) and
+    fault base rates.
+    """
+    from . import __version__
+
+    return {
+        "config": dataclasses.asdict(config),
+        "version": __version__,
+        "schema": CACHE_SCHEMA,
+    }
+
+
+def config_key(config: "SimulationConfig") -> str:
+    """Stable content hash addressing one simulation run."""
+    payload = json.dumps(config_fingerprint(config), sort_keys=True,
+                         separators=(",", ":"), default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+class RunCache:
+    """On-disk store of completed simulation runs, keyed by config hash.
+
+    Args:
+        root: cache directory; created on first use.  One subdirectory
+            per entry: ``<root>/<key>/{tickets.npz, meta.json}``.
+    """
+
+    def __init__(self, root: str | pathlib.Path):
+        self.root = pathlib.Path(root)
+
+    def entry_dir(self, key: str) -> pathlib.Path:
+        """Directory holding the bundle for ``key``."""
+        return self.root / key
+
+    def has(self, config: "SimulationConfig") -> bool:
+        """True when a complete bundle exists for ``config``."""
+        entry = self.entry_dir(config_key(config))
+        return (entry / "meta.json").exists() and (entry / "tickets.npz").exists()
+
+    def get(self, config: "SimulationConfig") -> SimulationResult | None:
+        """Load the cached run for ``config``, or None on a miss.
+
+        Fleet and calendar are rebuilt deterministically from the
+        config; tickets and environment/BMS matrices come from disk, so
+        the cached path performs no simulation work (in particular it
+        never calls ``_generate_tickets``).
+        """
+        key = config_key(config)
+        entry = self.entry_dir(key)
+        meta_path = entry / "meta.json"
+        npz_path = entry / "tickets.npz"
+        if not (meta_path.exists() and npz_path.exists()):
+            return None
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, ValueError) as error:
+            raise DataError(f"cache entry {entry} is corrupt: {error}") from error
+        if meta.get("key") != key:
+            raise DataError(
+                f"cache entry {entry} is corrupt: key mismatch "
+                f"({meta.get('key')!r} != {key!r})"
+            )
+        try:
+            with np.load(npz_path) as bundle:
+                columns = {name: bundle[name] for name in _TICKET_COLUMNS}
+                env_temp_f = bundle["env_temp_f"]
+                env_rh = bundle["env_rh"]
+                bms_temp_f = bundle["bms_temp_f"]
+                bms_rh = bundle["bms_rh"]
+        except (OSError, ValueError, KeyError) as error:
+            # Truncated/garbled npz (numpy raises ValueError) or a bundle
+            # missing columns: name the entry instead of leaking numpy's
+            # pickle warning.
+            raise DataError(f"cache entry {entry} is corrupt: {error}") from error
+        log = TicketLog()
+        log.append_chunk(**columns)
+        log.finalize()
+        if len(log) != int(meta.get("n_tickets", -1)):
+            raise DataError(
+                f"cache entry {entry} is corrupt: expected "
+                f"{meta.get('n_tickets')} tickets, loaded {len(log)}"
+            )
+        fleet = build_fleet(config.fleet, RngRegistry(config.seed))
+        calendar = SimCalendar(
+            start_day_of_week=config.start_day_of_week,
+            start_day_of_year=config.start_day_of_year,
+        )
+        environment = EnvironmentSeries.from_arrays(fleet, env_temp_f, env_rh)
+        bms = BuildingManagementSystem(fleet).rebuild_log(bms_temp_f, bms_rh)
+        return SimulationResult(
+            config=config, fleet=fleet, calendar=calendar,
+            environment=environment, bms=bms, tickets=log,
+        )
+
+    def put(self, result: SimulationResult,
+            max_entries: int = DEFAULT_MAX_ENTRIES) -> pathlib.Path:
+        """Store a completed run; prunes the store to ``max_entries``.
+
+        Returns the entry directory.  Writing is atomic per file enough
+        for the single-writer CLI usage; concurrent writers of the
+        *same* key produce identical bytes (determinism), so a race is
+        harmless.
+        """
+        key = config_key(result.config)
+        entry = self.entry_dir(key)
+        entry.mkdir(parents=True, exist_ok=True)
+        log = result.tickets
+        np.savez_compressed(
+            entry / "tickets.npz",
+            env_temp_f=result.environment.temp_f,
+            env_rh=result.environment.rh,
+            bms_temp_f=result.bms.temp_f,
+            bms_rh=result.bms.rh,
+            **{name: getattr(log, name) for name in _TICKET_COLUMNS},
+        )
+        meta = dict(config_fingerprint(result.config))
+        meta.update({
+            "key": key,
+            "n_tickets": len(log),
+            "n_racks": result.fleet.n_racks,
+            "n_days": result.n_days,
+            "created": time.time(),
+        })
+        (entry / "meta.json").write_text(json.dumps(meta, indent=2, default=str))
+        if max_entries:
+            self.prune(max_entries)
+        return entry
+
+    def entries(self) -> list[pathlib.Path]:
+        """All complete entry directories, oldest first."""
+        if not self.root.exists():
+            return []
+        found = [
+            path for path in self.root.iterdir()
+            if (path / "meta.json").exists() and (path / "tickets.npz").exists()
+        ]
+        return sorted(found, key=lambda p: (p / "meta.json").stat().st_mtime)
+
+    def prune(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> int:
+        """Evict oldest entries beyond ``max_entries``; returns #removed."""
+        if max_entries < 0:
+            raise DataError(f"max_entries must be >= 0, got {max_entries}")
+        entries = self.entries()
+        excess = entries[:max(0, len(entries) - max_entries)]
+        for entry in excess:
+            shutil.rmtree(entry, ignore_errors=True)
+        return len(excess)
+
+    def clear(self) -> None:
+        """Remove every cache entry."""
+        if self.root.exists():
+            shutil.rmtree(self.root, ignore_errors=True)
+
+
+def simulate_cached(
+    config: "SimulationConfig",
+    cache: RunCache | None = None,
+) -> tuple[SimulationResult, bool]:
+    """Simulate through the cache: ``(result, was_cache_hit)``.
+
+    With no cache (``cache=None``) this is plain
+    :func:`~repro.failures.engine.simulate`.  On a miss the fresh run is
+    stored before returning, so the next identical call is warm.  A
+    corrupt entry (truncated bundle, key mismatch) counts as a miss and
+    is overwritten by the fresh run — the cache self-heals.
+    """
+    if cache is not None:
+        try:
+            cached = cache.get(config)
+        except DataError:
+            cached = None
+        if cached is not None:
+            return cached, True
+    result = simulate(config)
+    if cache is not None:
+        cache.put(result)
+    return result, False

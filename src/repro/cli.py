@@ -10,19 +10,19 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 
 from .config import SimulationConfig
 from .datacenter.builder import FleetConfig
-from .failures.engine import simulate
 from .reporting import AnalysisContext, EXPERIMENTS, get_experiment
 from .telemetry.io import export_inventory_csv, export_tickets_csv
 
 
-def _build_config(args: argparse.Namespace) -> SimulationConfig:
+def _build_config(args: argparse.Namespace, seed: int | None = None) -> SimulationConfig:
     return SimulationConfig(
-        seed=args.seed,
+        seed=args.seed if seed is None else seed,
         n_days=args.days,
         fleet=FleetConfig(scale=args.scale, observation_days=args.days),
     )
@@ -37,37 +37,103 @@ def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--days", type=int, default=365,
                         help="observation window in days (default 365; "
                              "paper: 910)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for parallel stages "
+                             "(default 1 = serial; 0 = all cores)")
+    parser.add_argument("--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
+                        help="run-cache directory (default: $REPRO_CACHE_DIR "
+                             "if set, else no caching)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the run cache even if --cache-dir / "
+                             "$REPRO_CACHE_DIR is set")
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    config = _build_config(args)
-    result = simulate(config)
-    print(result.summary())
-    out_dir = pathlib.Path(args.out)
+def _resolve_cache(args: argparse.Namespace):
+    """The RunCache implied by --cache-dir/--no-cache, or None."""
+    if args.no_cache or not args.cache_dir:
+        return None
+    from .cache import RunCache
+
+    return RunCache(args.cache_dir)
+
+
+def _cache_dir_for_workers(args: argparse.Namespace) -> str | None:
+    return None if (args.no_cache or not args.cache_dir) else str(args.cache_dir)
+
+
+def _export_run(result, out_dir: pathlib.Path) -> None:
     out_dir.mkdir(parents=True, exist_ok=True)
     n_tickets = export_tickets_csv(result, out_dir / "tickets.csv")
     n_racks = export_inventory_csv(result, out_dir / "inventory.csv")
     print(f"wrote {n_tickets} tickets to {out_dir / 'tickets.csv'}")
     print(f"wrote {n_racks} racks to {out_dir / 'inventory.csv'}")
+
+
+def _simulate_seed_to_dir(seed: int, args: argparse.Namespace) -> str:
+    """Worker for multi-seed export: simulate one seed into out/seed-N/."""
+    from .cache import simulate_cached
+
+    result, _ = simulate_cached(_build_config(args, seed=seed), _resolve_cache(args))
+    out_dir = pathlib.Path(args.out) / f"seed-{seed}"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    export_tickets_csv(result, out_dir / "tickets.csv")
+    export_inventory_csv(result, out_dir / "inventory.csv")
+    return result.summary()
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .cache import simulate_cached
+
+    if args.seeds:
+        import functools
+
+        from .parallel import map_seeds
+
+        summaries = map_seeds(
+            functools.partial(_simulate_seed_to_dir, args=args),
+            args.seeds, jobs=args.jobs,
+        )
+        for seed, summary in zip(args.seeds, summaries):
+            print(f"seed {seed}: {summary}")
+            print(f"  wrote {pathlib.Path(args.out) / f'seed-{seed}'}/"
+                  "{tickets,inventory}.csv")
+        return 0
+    result, was_hit = simulate_cached(_build_config(args), _resolve_cache(args))
+    if was_hit:
+        print("(loaded from run cache)", file=sys.stderr)
+    print(result.summary())
+    _export_run(result, pathlib.Path(args.out))
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    from .cache import simulate_cached
+
     wanted = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for experiment_id in wanted:
         get_experiment(experiment_id)  # validate before simulating
     config = _build_config(args)
-    result = simulate(config)
+    result, was_hit = simulate_cached(config, _resolve_cache(args))
+    if was_hit:
+        print("(loaded from run cache)", file=sys.stderr)
     print(result.summary(), "\n", file=sys.stderr)
     context = AnalysisContext(result)
+    cache_dir = _cache_dir_for_workers(args)
     if args.out is not None:
         from .reporting.report import write_report
 
-        path = write_report(context, args.out, experiment_ids=wanted)
+        path = write_report(context, args.out, experiment_ids=wanted,
+                            jobs=args.jobs, cache_dir=cache_dir)
         print(f"wrote {path}")
         return 0
-    for experiment_id in wanted:
-        print(get_experiment(experiment_id).render(context))
+    from .parallel import run_experiments
+
+    for experiment_id, text, error in run_experiments(
+        wanted, context=context, config=config,
+        jobs=args.jobs, cache_dir=cache_dir,
+    ):
+        print(text if text is not None
+              else f"{experiment_id}: (not computable on this run: {error})")
         print()
     return 0
 
@@ -76,7 +142,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .reporting.sweeps import render_sweep, run_sweep
 
     seeds = args.seeds
-    summaries = run_sweep(seeds, scale=args.scale, n_days=args.days)
+    summaries = run_sweep(seeds, scale=args.scale, n_days=args.days,
+                          jobs=args.jobs)
     print(render_sweep(summaries, seeds))
     return 0
 
@@ -101,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sim_arguments(sim)
     sim.add_argument("--out", default="simdata",
                      help="output directory (default ./simdata)")
+    sim.add_argument("--seeds", type=int, nargs="+", default=None,
+                     help="simulate several seeds (exported to "
+                          "OUT/seed-N/); overrides --seed")
     sim.set_defaults(func=_cmd_simulate)
 
     report = commands.add_parser(
@@ -122,6 +192,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fleet scale per seed (default 0.3)")
     sweep.add_argument("--days", type=int, default=540,
                        help="window length per seed (default 540)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes, one seed each "
+                            "(default 1 = serial; 0 = all cores)")
     sweep.set_defaults(func=_cmd_sweep)
 
     lister = commands.add_parser("list", help="list registered experiments")

@@ -160,6 +160,15 @@ class BuildingManagementSystem:
         alarms = self._scan_alarms(observed_temp, observed_rh)
         return BmsLog(temp_f=observed_temp, rh=observed_rh, alarms=alarms)
 
+    def rebuild_log(self, temp_f: np.ndarray, rh: np.ndarray) -> BmsLog:
+        """Reassemble a :class:`BmsLog` from previously observed readings.
+
+        Used by the run cache: the noisy readings come from disk, and the
+        (deterministic) alarm scan is re-run over them, giving a log
+        identical to the original :meth:`collect` output.
+        """
+        return BmsLog(temp_f=temp_f, rh=rh, alarms=self._scan_alarms(temp_f, rh))
+
     def _scan_alarms(self, temp_f: np.ndarray, rh: np.ndarray) -> list[Alarm]:
         """Threshold scan over all observed readings."""
         thresholds = self.thresholds

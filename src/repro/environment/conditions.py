@@ -120,6 +120,38 @@ class EnvironmentSeries:
             2.0, 99.0,
         )
 
+    @classmethod
+    def from_arrays(
+        cls,
+        fleet: Fleet,
+        temp_f: np.ndarray,
+        rh: np.ndarray,
+        weather: "dict[str, WeatherSeries] | None" = None,
+    ) -> "EnvironmentSeries":
+        """Restore a series from previously computed condition matrices.
+
+        Used by the run cache: conditions are loaded from disk instead of
+        re-deriving them from weather/cooling models.  ``weather`` is
+        optional — cached bundles do not persist the outdoor series.
+        """
+        arrays = fleet.arrays()
+        temp_f = np.asarray(temp_f, dtype=float)
+        rh = np.asarray(rh, dtype=float)
+        if temp_f.shape != rh.shape:
+            raise ConfigError(f"shape mismatch: temp {temp_f.shape} vs rh {rh.shape}")
+        if temp_f.ndim != 2 or temp_f.shape[1] != arrays.n_racks:
+            raise ConfigError(
+                f"condition matrices must be (n_days, {arrays.n_racks}), "
+                f"got {temp_f.shape}"
+            )
+        series = cls.__new__(cls)
+        series.n_days = temp_f.shape[0]
+        series.n_racks = arrays.n_racks
+        series.weather = weather or {}
+        series.temp_f = temp_f
+        series.rh = rh
+        return series
+
     def day_conditions(self, day_index: int) -> tuple[np.ndarray, np.ndarray]:
         """(temp_f, rh) arrays over racks for one day."""
         if not 0 <= day_index < self.n_days:

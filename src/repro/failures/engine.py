@@ -1,16 +1,30 @@
 """The failure engine: turns a configured fleet into 2.5 years of tickets.
 
-Day-by-day, vectorized over racks, the engine
+Generation is vectorized over day-blocks × racks: the engine
 
-1. evaluates every fault type's expected per-rack count through the
-   ground-truth hazard composition (:class:`~repro.failures.faultmodel.FaultModel`),
-2. draws independent Poisson ticket counts and materializes tickets
-   (detection hour, affected server, resolution time, false-positive flag),
-3. draws *correlated* events — SKU batch failures and rack-scale outages —
-   which take several devices down simultaneously and are what give the
-   concurrent-failure metric μ its heavy tail (Figs 11-13), and
+1. evaluates every fault type's expected per-rack-day count matrix
+   through the ground-truth hazard composition
+   (:class:`~repro.failures.faultmodel.FaultModel`), consuming whole
+   :class:`~repro.environment.conditions.EnvironmentSeries` and
+   :class:`~repro.units.SimCalendar` columns at once,
+2. Poisson-samples the full matrix per fault and materializes tickets
+   (detection hour, affected server, resolution time, false-positive
+   flag) in a handful of ``np.repeat``/``np.concatenate`` passes,
+3. draws *correlated* events — SKU batch failures and rack-scale outages
+   — as a sparse post-pass over the rare (day, rack) cells the event
+   draw selects; these take several devices down simultaneously and are
+   what give the concurrent-failure metric μ its heavy tail (Figs 11-13),
 4. records everything in a columnar :class:`~repro.failures.tickets.TicketLog`
-   alongside the BMS's observed environmental telemetry.
+   (sorted by day and detection hour) alongside the BMS's observed
+   environmental telemetry.
+
+Determinism contract: every stochastic consumer draws from its own named
+:class:`~repro.rng.RngRegistry` stream (``failures:<FAULT>`` for the
+independent Poisson path, ``failures:batch`` and ``failures:outage`` for
+the correlated post-passes), so equal configs give bit-identical ticket
+logs and adding a new consumer never perturbs existing streams.  The
+day-block chunking (:data:`CHUNK_DAYS`) bounds peak memory at paper
+scale; it is a fixed constant, so results never depend on it at runtime.
 
 The result object bundles everything an analysis needs; the analysis
 layer must treat it the way the paper treats field data — tickets,
@@ -38,6 +52,12 @@ from .tickets import FAULT_CODE, FaultType, TicketLog
 
 if TYPE_CHECKING:  # avoid a circular import: config depends on faultmodel
     from ..config import SimulationConfig
+
+# Day-block size for chunked matrix generation.  A fixed constant (not a
+# knob): the per-fault draw sequence depends on where block boundaries
+# fall, so changing this value changes the sampled realization — keep it
+# stable to keep golden aggregates stable.
+CHUNK_DAYS = 365
 
 
 @dataclass
@@ -78,14 +98,10 @@ class SimulationResult:
         )
 
 
-class _DayEmitter:
-    """Accumulates one day's tickets before appending them as one chunk."""
+class _TicketColumns:
+    """Accumulates aligned ticket-column chunks across the whole run."""
 
-    def __init__(self, log: TicketLog):
-        self.log = log
-        self.reset()
-
-    def reset(self) -> None:
+    def __init__(self) -> None:
         self.day_index: list[np.ndarray] = []
         self.start_hour: list[np.ndarray] = []
         self.rack_index: list[np.ndarray] = []
@@ -97,7 +113,7 @@ class _DayEmitter:
 
     def emit(
         self,
-        day: int,
+        day_index: np.ndarray,
         start_hour: np.ndarray,
         rack_index: np.ndarray,
         server_offset: np.ndarray,
@@ -109,29 +125,66 @@ class _DayEmitter:
         count = len(rack_index)
         if count == 0:
             return
-        self.day_index.append(np.full(count, day, dtype=np.int64))
-        self.start_hour.append(start_hour)
-        self.rack_index.append(rack_index.astype(np.int64))
-        self.server_offset.append(server_offset.astype(np.int64))
+        self.day_index.append(np.asarray(day_index, dtype=np.int64))
+        self.start_hour.append(np.asarray(start_hour, dtype=float))
+        self.rack_index.append(np.asarray(rack_index, dtype=np.int64))
+        self.server_offset.append(np.asarray(server_offset, dtype=np.int64))
         self.fault_code.append(np.full(count, FAULT_CODE[fault], dtype=np.int64))
-        self.false_positive.append(false_positive.astype(bool))
-        self.repair_hours.append(repair_hours)
-        self.batch_id.append(batch_id.astype(np.int64))
+        self.false_positive.append(np.asarray(false_positive, dtype=bool))
+        self.repair_hours.append(np.asarray(repair_hours, dtype=float))
+        self.batch_id.append(np.asarray(batch_id, dtype=np.int64))
 
-    def flush(self) -> None:
-        if not self.rack_index:
-            return
-        self.log.append_chunk(
-            day_index=np.concatenate(self.day_index),
-            start_hour_abs=np.concatenate(self.start_hour),
-            rack_index=np.concatenate(self.rack_index),
-            server_offset=np.concatenate(self.server_offset),
-            fault_code=np.concatenate(self.fault_code),
-            false_positive=np.concatenate(self.false_positive),
-            repair_hours=np.concatenate(self.repair_hours),
-            batch_id=np.concatenate(self.batch_id),
-        )
-        self.reset()
+    def into_log(self) -> TicketLog:
+        """Concatenate, day/hour-sort, and finalize the columnar log."""
+        log = TicketLog()
+        if self.rack_index:
+            day_index = np.concatenate(self.day_index)
+            start_hour = np.concatenate(self.start_hour)
+            rack_index = np.concatenate(self.rack_index)
+            server_offset = np.concatenate(self.server_offset)
+            fault_code = np.concatenate(self.fault_code)
+            false_positive = np.concatenate(self.false_positive)
+            repair_hours = np.concatenate(self.repair_hours)
+            batch_id = np.concatenate(self.batch_id)
+            # Chronological log order (the per-fault passes produce
+            # fault-major order); ties broken deterministically.
+            order = np.lexsort(
+                (server_offset, rack_index, fault_code, start_hour, day_index)
+            )
+            log.append_chunk(
+                day_index=day_index[order],
+                start_hour_abs=start_hour[order],
+                rack_index=rack_index[order],
+                server_offset=server_offset[order],
+                fault_code=fault_code[order],
+                false_positive=false_positive[order],
+                repair_hours=repair_hours[order],
+                batch_id=batch_id[order],
+            )
+        log.finalize()
+        return log
+
+
+def _build_substrate(
+    config: "SimulationConfig",
+) -> tuple[RngRegistry, Fleet, SimCalendar, EnvironmentSeries, BmsLog]:
+    """Deterministic pre-ticket substrate: fleet, calendar, environment, BMS.
+
+    Shared by :func:`simulate` and the run cache's load path — the cache
+    rebuilds everything cheap from the config and only restores the
+    (expensive, stochastic) ticket log from disk.
+    """
+    rngs = RngRegistry(config.seed)
+    fleet = build_fleet(config.fleet, rngs)
+    calendar = SimCalendar(
+        start_day_of_week=config.start_day_of_week,
+        start_day_of_year=config.start_day_of_year,
+    )
+    environment = EnvironmentSeries(
+        fleet, config.n_days, rngs, start_day_of_year=config.start_day_of_year,
+    )
+    bms = BuildingManagementSystem(fleet).collect(environment, rngs)
+    return rngs, fleet, calendar, environment, bms
 
 
 def simulate(config: "SimulationConfig | None" = None) -> SimulationResult:
@@ -145,16 +198,7 @@ def simulate(config: "SimulationConfig | None" = None) -> SimulationResult:
     from ..config import SimulationConfig
 
     config = config or SimulationConfig.paper_scale()
-    rngs = RngRegistry(config.seed)
-    fleet = build_fleet(config.fleet, rngs)
-    calendar = SimCalendar(
-        start_day_of_week=config.start_day_of_week,
-        start_day_of_year=config.start_day_of_year,
-    )
-    environment = EnvironmentSeries(
-        fleet, config.n_days, rngs, start_day_of_year=config.start_day_of_year,
-    )
-    bms = BuildingManagementSystem(fleet).collect(environment, rngs)
+    rngs, fleet, calendar, environment, bms = _build_substrate(config)
     tickets = _generate_tickets(config, fleet, calendar, environment, rngs)
     return SimulationResult(
         config=config, fleet=fleet, calendar=calendar,
@@ -169,51 +213,57 @@ def _generate_tickets(
     environment: EnvironmentSeries,
     rngs: RngRegistry,
 ) -> TicketLog:
-    """Core generation loop (see module docstring)."""
+    """Chunked vectorized generation (see module docstring)."""
     arrays = fleet.arrays()
     model = FaultModel(fleet, config.rates)
     repair = RepairModel()
     diurnal = DiurnalProfiles()
-    rng = rngs.stream("failures")
     fp_rate = config.rates.false_positive_rate
+    n_racks = arrays.n_racks
+    n_days = config.n_days
 
     # Outage severity depends on the power-delivery design (Table I): a
     # 5-nines facility's redundant feeds contain an outage to a smaller
     # slice of the rack than a 3-nines facility's.
     nines_by_dc = {dc.name: dc.spec.availability_nines for dc in fleet.datacenters}
-    per_dc_outage_bounds = {
-        name: ((0.15, 0.40) if nines <= 3 else (0.08, 0.20))
-        for name, nines in nines_by_dc.items()
+    per_dc_nines = np.array([nines_by_dc[name] for name in arrays.dc_names])
+    rack_nines = per_dc_nines[arrays.dc_code]
+    outage_low = np.where(rack_nines <= 3, 0.15, 0.08)
+    outage_high = np.where(rack_nines <= 3, 0.40, 0.20)
+
+    columns = _TicketColumns()
+    fault_rngs = {
+        fault: rngs.stream(f"failures:{fault.name}") for fault in FaultType
     }
-    rack_outage_bounds = [
-        per_dc_outage_bounds[arrays.dc_names[code]] for code in arrays.dc_code
-    ]
-
-    log = TicketLog()
-    emitter = _DayEmitter(log)
+    batch_rng = rngs.stream("failures:batch")
+    outage_rng = rngs.stream("failures:outage")
     next_batch_id = 0
-    n_racks = arrays.n_racks
 
-    for day in range(config.n_days):
-        calendar_day = calendar.day(day)
-        commissioned = arrays.commission_day <= day
-        if not commissioned.any():
-            continue
-        temp_f, rh = environment.day_conditions(day)
-        expected = model.expected_counts(calendar_day, temp_f, rh, commissioned)
+    for day0 in range(0, n_days, CHUNK_DAYS):
+        block = min(CHUNK_DAYS, n_days - day0)
+        features = calendar.feature_arrays(block, start_day=day0)
+        commissioned = (
+            arrays.commission_day[np.newaxis, :] <= features.day_index[:, np.newaxis]
+        )
+        temp_f = environment.temp_f[day0:day0 + block]
+        rh = environment.rh[day0:day0 + block]
+        expected = model.expected_counts_matrix(features, temp_f, rh, commissioned)
 
-        # Independent failures: Poisson per rack per fault type.
+        # Independent failures: Poisson per (day, rack) cell per fault.
         for fault, mean_counts in expected.items():
-            counts = rng.poisson(mean_counts)
+            rng = fault_rngs[fault]
+            counts = rng.poisson(mean_counts).ravel()
             total = int(counts.sum())
             if total == 0:
                 continue
-            rack_index = np.repeat(np.arange(n_racks), counts)
+            cell = np.repeat(np.arange(counts.size), counts)
+            day_index = day0 + cell // n_racks
+            rack_index = cell % n_racks
             capacity = arrays.n_servers[rack_index]
             server_offset = (rng.random(total) * capacity).astype(np.int64)
-            start_hour = day * 24.0 + diurnal.sample_hours(fault, total, rng)
-            emitter.emit(
-                day=day,
+            start_hour = day_index * 24.0 + diurnal.sample_hours(fault, total, rng)
+            columns.emit(
+                day_index=day_index,
                 start_hour=start_hour,
                 rack_index=rack_index,
                 server_offset=server_offset,
@@ -223,18 +273,16 @@ def _generate_tickets(
                 batch_id=np.full(total, -1, dtype=np.int64),
             )
 
-        # Correlated batch failures (bad component lots, shared planes).
-        batch_hits = np.flatnonzero(
-            rng.random(n_racks) < model.batch_event_rate(calendar_day, commissioned)
-        )
-        for rack in batch_hits.tolist():
-            mean_size = float(arrays.batch_mean_size[rack])
-            size = int(min(
-                arrays.n_servers[rack],
-                1 + rng.geometric(1.0 / mean_size),
-            ))
-            # Storage-heavy SKUs batch-fail disks; dense compute SKUs
-            # batch-fail at server level (backplane/PSU lots).
+        # Correlated batch failures (bad component lots, shared planes):
+        # sparse post-pass over the rare cells the event draw selects.
+        batch_rate = model.batch_event_rate_matrix(features, commissioned)
+        batch_hits = np.argwhere(batch_rng.random(batch_rate.shape) < batch_rate)
+        if len(batch_hits):
+            hit_racks = batch_hits[:, 1]
+            raw_sizes = 1 + batch_rng.geometric(
+                1.0 / arrays.batch_mean_size[hit_racks].astype(float)
+            )
+            sizes = np.minimum(raw_sizes, arrays.n_servers[hit_racks])
             # Storage-heavy SKUs mostly batch-fail disk lots, sometimes
             # a shared backplane (whole servers); dense compute SKUs
             # batch-fail memory lots (bad DIMM batches) with occasional
@@ -242,56 +290,70 @@ def _generate_tickets(
             # component-level spares attractive for the compute workload
             # in Fig 13; the PSU share keeps SF's per-resource peaks
             # conservative (its component plan is not cheaper).
-            if arrays.hdds_per_server[rack] >= 8:
-                fault = (FaultType.DISK if rng.random() < 0.55
-                         else FaultType.SERVER)
-            else:
-                fault = (FaultType.MEMORY if rng.random() < 0.8
-                         else FaultType.SERVER)
-            offsets = rng.choice(arrays.n_servers[rack], size=size, replace=False)
-            # Batch failures cascade through the day (a bad lot trips
-            # device after device), so hourly windows see only part of
-            # the batch concurrently — the temporal-multiplexing effect
-            # behind the daily-vs-hourly provisioning gap (Fig 10 vs 12).
-            start = day * 24.0 + rng.random() * 10.0
-            emitter.emit(
-                day=day,
-                start_hour=np.full(size, start) + rng.random(size) * 14.0,
-                rack_index=np.full(size, rack, dtype=np.int64),
-                server_offset=offsets.astype(np.int64),
-                fault=fault,
-                false_positive=np.zeros(size, dtype=bool),
-                repair_hours=repair.sample_hours(fault, size, rng),
-                batch_id=np.full(size, next_batch_id, dtype=np.int64),
-            )
-            next_batch_id += 1
+            route = batch_rng.random(len(batch_hits))
+            for i, (day_off, rack) in enumerate(batch_hits.tolist()):
+                size = int(sizes[i])
+                if arrays.hdds_per_server[rack] >= 8:
+                    fault = (FaultType.DISK if route[i] < 0.55
+                             else FaultType.SERVER)
+                else:
+                    fault = (FaultType.MEMORY if route[i] < 0.8
+                             else FaultType.SERVER)
+                offsets = batch_rng.choice(
+                    arrays.n_servers[rack], size=size, replace=False,
+                )
+                # Batch failures cascade through the day (a bad lot
+                # trips device after device), so hourly windows see only
+                # part of the batch concurrently — the temporal-
+                # multiplexing effect behind the daily-vs-hourly
+                # provisioning gap (Fig 10 vs 12).
+                start = (day0 + day_off) * 24.0 + batch_rng.random() * 10.0
+                columns.emit(
+                    day_index=np.full(size, day0 + day_off, dtype=np.int64),
+                    start_hour=np.full(size, start) + batch_rng.random(size) * 14.0,
+                    rack_index=np.full(size, rack, dtype=np.int64),
+                    server_offset=offsets.astype(np.int64),
+                    fault=fault,
+                    false_positive=np.zeros(size, dtype=bool),
+                    repair_hours=repair.sample_hours(fault, size, batch_rng),
+                    batch_id=np.full(size, next_batch_id, dtype=np.int64),
+                )
+                next_batch_id += 1
 
         # Rack-scale outages (power strip / ToR failures).
-        outage_hits = np.flatnonzero(
-            rng.random(n_racks) < model.rack_outage_rate(calendar_day, commissioned)
-        )
-        for rack in outage_hits.tolist():
-            low, high = rack_outage_bounds[rack]
-            fraction = rng.uniform(low, high)
-            size = max(2, int(round(fraction * arrays.n_servers[rack])))
-            size = int(min(size, arrays.n_servers[rack]))
-            offsets = rng.choice(arrays.n_servers[rack], size=size, replace=False)
-            start = day * 24.0 + rng.random() * 24.0
-            emitter.emit(
-                day=day,
-                start_hour=np.full(size, start),
-                rack_index=np.full(size, rack, dtype=np.int64),
-                server_offset=offsets.astype(np.int64),
-                fault=FaultType.POWER,
-                false_positive=np.zeros(size, dtype=bool),
-                repair_hours=repair.sample_hours(FaultType.POWER, size, rng),
-                batch_id=np.full(size, next_batch_id, dtype=np.int64),
+        outage_rate = model.rack_outage_rate_matrix(features, commissioned)
+        outage_hits = np.argwhere(outage_rng.random(outage_rate.shape) < outage_rate)
+        if len(outage_hits):
+            hit_racks = outage_hits[:, 1]
+            fractions = outage_rng.uniform(
+                outage_low[hit_racks], outage_high[hit_racks],
             )
-            next_batch_id += 1
+            sizes = np.minimum(
+                np.maximum(2, np.round(fractions * arrays.n_servers[hit_racks])),
+                arrays.n_servers[hit_racks],
+            ).astype(np.int64)
+            starts = (
+                (day0 + outage_hits[:, 0]) * 24.0
+                + outage_rng.random(len(outage_hits)) * 24.0
+            )
+            for i, (day_off, rack) in enumerate(outage_hits.tolist()):
+                size = int(sizes[i])
+                offsets = outage_rng.choice(
+                    arrays.n_servers[rack], size=size, replace=False,
+                )
+                columns.emit(
+                    day_index=np.full(size, day0 + day_off, dtype=np.int64),
+                    start_hour=np.full(size, starts[i]),
+                    rack_index=np.full(size, rack, dtype=np.int64),
+                    server_offset=offsets.astype(np.int64),
+                    fault=FaultType.POWER,
+                    false_positive=np.zeros(size, dtype=bool),
+                    repair_hours=repair.sample_hours(FaultType.POWER, size, outage_rng),
+                    batch_id=np.full(size, next_batch_id, dtype=np.int64),
+                )
+                next_batch_id += 1
 
-        emitter.flush()
-
-    log.finalize()
+    log = columns.into_log()
     if len(log) == 0:
         raise SimulationError(
             "simulation produced zero tickets; check rates and window length"

@@ -20,7 +20,7 @@ import numpy as np
 from ..datacenter.power import density_stress_multiplier, power_infrastructure_rate
 from ..datacenter.topology import Fleet, FleetArrays
 from ..errors import ConfigError
-from ..units import CalendarDay
+from ..units import DAYS_PER_MONTH, CalendarArrays, CalendarDay
 from . import hazards
 from .tickets import FaultType
 
@@ -54,6 +54,18 @@ class FaultRateConfig:
                 raise ConfigError(f"FaultRateConfig.{name} must be >= 0, got {value}")
         if self.false_positive_rate >= 1.0:
             raise ConfigError("false_positive_rate must be < 1")
+
+
+def _single_day_features(calendar_day: CalendarDay) -> CalendarArrays:
+    """Wrap one :class:`CalendarDay` as length-1 calendar columns."""
+    return CalendarArrays(
+        day_index=np.array([calendar_day.day_index], dtype=np.int64),
+        day_of_week=np.array([calendar_day.day_of_week], dtype=np.int64),
+        month=np.array([calendar_day.month], dtype=np.int64),
+        year=np.array([calendar_day.year], dtype=np.int64),
+        day_of_year=np.array([calendar_day.day_of_year], dtype=np.int64),
+        is_weekend=np.array([calendar_day.is_weekend]),
+    )
 
 
 class RackContext:
@@ -165,22 +177,58 @@ class FaultModel:
             Mapping fault type → per-rack expected count array; entries
             for un-commissioned racks are zero.
         """
+        matrices = self.expected_counts_matrix(
+            _single_day_features(calendar_day),
+            np.asarray(temp_f)[np.newaxis, :],
+            np.asarray(rh)[np.newaxis, :],
+            np.asarray(commissioned)[np.newaxis, :],
+        )
+        return {fault: matrix[0] for fault, matrix in matrices.items()}
+
+    def expected_counts_matrix(
+        self,
+        features: CalendarArrays,
+        temp_f: np.ndarray,
+        rh: np.ndarray,
+        commissioned: np.ndarray,
+    ) -> dict[FaultType, np.ndarray]:
+        """Expected ticket counts for a whole block of days at once.
+
+        The batched core behind :meth:`expected_counts`: all inputs are
+        matrices of shape ``(n_days, n_racks)`` (``features`` supplies
+        the aligned per-day calendar columns) and every returned array
+        has that same shape.  The vectorized engine consumes these
+        matrices directly instead of looping over days.
+
+        Args:
+            features: calendar feature columns for the day block.
+            temp_f: true inlet temperature, shape (n_days, n_racks).
+            rh: true relative humidity, shape (n_days, n_racks).
+            commissioned: in-service mask, shape (n_days, n_racks).
+
+        Returns:
+            Mapping fault type → (n_days, n_racks) expected-count matrix.
+        """
         arrays = self.arrays
         context = self.context
         rates = self.rates
-        is_weekend = calendar_day.is_weekend
+        is_weekend = features.is_weekend
 
-        age = arrays.age_months(calendar_day.day_index)
+        age = self._age_months_matrix(features.day_index)
         bathtub = hazards.bathtub_age_multiplier(age)
-        util = hazards.utilization_multiplier(context.utilization(is_weekend))
+        util = hazards.utilization_multiplier(
+            np.where(is_weekend[:, np.newaxis],
+                     context.weekend_util[np.newaxis, :],
+                     context.weekday_util[np.newaxis, :])
+        )
         low_rh = hazards.low_humidity_multiplier(rh)
         coupling = context.thermal_coupling
         thermal_disk = 1.0 + coupling * (hazards.thermal_disk_multiplier(temp_f) - 1.0)
         hot_dry = 1.0 + coupling * (
             hazards.humidity_interaction_multiplier(temp_f, rh) - 1.0
         )
-        churn_day = hazards.weekday_churn_multiplier(is_weekend)
-        seasonal_sw = hazards.seasonal_software_multiplier(calendar_day.month)
+        churn_day = hazards.weekday_churn_multiplier(is_weekend)[:, np.newaxis]
+        seasonal_sw = hazards.seasonal_software_multiplier(features.month)[:, np.newaxis]
 
         # Shared hardware composition: intrinsic SKU quality, residual
         # spatial hazard, age bathtub and how hard the workload drives
@@ -241,6 +289,36 @@ class FaultModel:
         for fault in counts:
             counts[fault] = np.where(not_commissioned, 0.0, counts[fault])
         return counts
+
+    def _age_months_matrix(self, day_index: np.ndarray) -> np.ndarray:
+        """(n_days, n_racks) equipment ages for a block of days."""
+        return (
+            np.asarray(day_index, dtype=float)[:, np.newaxis]
+            - self.arrays.commission_day[np.newaxis, :]
+        ) / DAYS_PER_MONTH
+
+    def batch_event_rate_matrix(
+        self, features: CalendarArrays, commissioned: np.ndarray
+    ) -> np.ndarray:
+        """(n_days, n_racks) daily batch-failure probabilities."""
+        bathtub = hazards.bathtub_age_multiplier(
+            self._age_months_matrix(features.day_index)
+        )
+        return np.where(commissioned, self.arrays.batch_rate * bathtub, 0.0)
+
+    def rack_outage_rate_matrix(
+        self, features: CalendarArrays, commissioned: np.ndarray
+    ) -> np.ndarray:
+        """(n_days, n_racks) daily rack-scale outage probabilities."""
+        context = self.context
+        bathtub = hazards.bathtub_age_multiplier(
+            self._age_months_matrix(features.day_index)
+        )
+        rate = (
+            self.rates.rack_outage_per_rack_day
+            * context.outage_design * context.density_stress * bathtub
+        )
+        return np.where(commissioned, rate, 0.0)
 
     def batch_event_rate(self, calendar_day: CalendarDay, commissioned: np.ndarray) -> np.ndarray:
         """Per-rack daily probability of a correlated batch failure.

@@ -116,24 +116,28 @@ def utilization_multiplier(
     return floor + slope * util
 
 
-def seasonal_software_multiplier(month: int, second_half_boost: float = 0.12) -> float:
+def seasonal_software_multiplier(month, second_half_boost: float = 0.12):
     """Mild second-half-of-year boost to software churn.
 
     Service release cycles concentrate feature pushes in H2 (Fig 4's
-    bump is partly weather, partly operational cadence).
+    bump is partly weather, partly operational cadence).  Accepts a
+    scalar month (1..12) or an array of months.
     """
-    if not 1 <= month <= 12:
+    months = np.asarray(month)
+    if np.any(months < 1) or np.any(months > 12):
         raise ValueError(f"month must be 1..12, got {month}")
-    return 1.0 + (second_half_boost if month >= 7 else 0.0)
+    result = np.where(months >= 7, 1.0 + second_half_boost, 1.0)
+    return float(result) if np.isscalar(month) else result
 
 
-def weekday_churn_multiplier(is_weekend: bool, weekend_fraction: float = 0.35) -> float:
+def weekday_churn_multiplier(is_weekend, weekend_fraction: float = 0.35):
     """Deployment/config churn happens on weekdays.
 
     Weekend churn drops to ``weekend_fraction`` of the weekday level —
     the dominant mechanism behind Fig 3's weekday failure excess for
-    software/boot tickets.
+    software/boot tickets.  Accepts a scalar bool or a boolean array.
     """
     if not 0.0 <= weekend_fraction <= 1.0:
         raise ValueError(f"weekend_fraction must be in [0,1], got {weekend_fraction}")
-    return weekend_fraction if is_weekend else 1.0
+    result = np.where(np.asarray(is_weekend), weekend_fraction, 1.0)
+    return float(result) if isinstance(is_weekend, bool) else result

@@ -1,0 +1,158 @@
+"""Process-parallel execution of embarrassingly parallel runs.
+
+Three workloads in this repository are trivially parallel and worth
+running that way once the engine itself is vectorized:
+
+* multi-seed robustness/ablation sweeps (one process per seed),
+* multi-seed CSV exports from the CLI, and
+* rendering the report's independent experiments (one process pool whose
+  workers share a single simulation via the run cache).
+
+Everything here is deliberately small: a ``ProcessPoolExecutor`` wrapper
+with a serial fast path (``jobs <= 1`` never spawns processes, so tests
+and single-core environments behave exactly as before).  Work functions
+must be picklable (module-level functions or :func:`functools.partial`
+of them).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any
+
+from .errors import ConfigError, ReproError
+
+if TYPE_CHECKING:
+    from .config import SimulationConfig
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: None/0 → all cores, n → n.
+
+    Negative values are rejected; 1 means serial execution.
+    """
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def map_seeds(
+    fn: Callable[[int], Any],
+    seeds: Sequence[int],
+    jobs: int | None = 1,
+) -> list[Any]:
+    """Apply ``fn`` to every seed, optionally across processes.
+
+    Args:
+        fn: picklable callable taking one seed.
+        seeds: seeds to map over (result order matches input order).
+        jobs: worker processes; ``<= 1`` runs serially in-process,
+            ``None``/``0`` uses every core.
+
+    Returns:
+        ``[fn(seed) for seed in seeds]`` — identical to the serial
+        result regardless of ``jobs``, since each seed's work is
+        deterministic and independent.
+    """
+    if not seeds:
+        return []
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(seeds) == 1:
+        return [fn(seed) for seed in seeds]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(seeds))) as pool:
+        return list(pool.map(fn, seeds))
+
+
+# ---------------------------------------------------------------------------
+# Parallel experiment rendering.
+#
+# Each worker process obtains the SimulationResult once (through the run
+# cache when one is configured — the parent warms it before forking, so
+# workers never duplicate the simulation) and renders its share of the
+# report's experiments.
+
+_WORKER_CONTEXT: Any = None
+
+
+def _experiment_worker_init(config: "SimulationConfig", cache_dir: str | None) -> None:
+    global _WORKER_CONTEXT
+    from .cache import RunCache, simulate_cached
+    from .reporting.context import AnalysisContext
+
+    cache = RunCache(cache_dir) if cache_dir else None
+    result, _ = simulate_cached(config, cache)
+    _WORKER_CONTEXT = AnalysisContext(result)
+
+
+def _render_experiment(experiment_id: str) -> tuple[str, str | None, str | None]:
+    from .reporting.experiments import get_experiment
+
+    try:
+        return experiment_id, get_experiment(experiment_id).render(_WORKER_CONTEXT), None
+    except ReproError as error:
+        return experiment_id, None, str(error)
+
+
+def run_experiments(
+    experiment_ids: Sequence[str],
+    *,
+    context: Any = None,
+    config: "SimulationConfig | None" = None,
+    jobs: int | None = 1,
+    cache_dir: str | None = None,
+) -> list[tuple[str, str | None, str | None]]:
+    """Render experiments, in parallel when ``jobs > 1``.
+
+    Args:
+        experiment_ids: experiments to render, in output order.
+        context: an existing :class:`~repro.reporting.context.AnalysisContext`
+            (required for the serial path, optional otherwise).
+        config: simulation config for worker processes to (re)obtain the
+            run; required when ``jobs > 1``.
+        jobs: worker processes; ``<= 1`` renders serially via ``context``.
+        cache_dir: run-cache directory workers load the simulation from;
+            without it each worker re-simulates ``config`` once.
+
+    Returns:
+        ``(experiment_id, rendered_text, error)`` triples in input
+        order; exactly one of ``rendered_text``/``error`` is set per
+        entry (``error`` carries a :class:`~repro.errors.ReproError`
+        message for artifacts this run cannot support).
+    """
+    ids = list(experiment_ids)
+    if not ids:
+        return []
+    jobs = resolve_jobs(jobs)
+    if jobs > 1 and len(ids) > 1:
+        if config is None:
+            raise ConfigError("parallel run_experiments needs the simulation config")
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(ids)),
+            initializer=_experiment_worker_init,
+            initargs=(config, cache_dir),
+        ) as pool:
+            return list(pool.map(_render_experiment, ids))
+    if context is None:
+        if config is None:
+            raise ConfigError("run_experiments needs a context or a config")
+        from .cache import RunCache, simulate_cached
+        from .reporting.context import AnalysisContext
+
+        cache = RunCache(cache_dir) if cache_dir else None
+        result, _ = simulate_cached(config, cache)
+        context = AnalysisContext(result)
+    rendered: list[tuple[str, str | None, str | None]] = []
+    from .reporting.experiments import get_experiment
+
+    for experiment_id in ids:
+        try:
+            rendered.append(
+                (experiment_id, get_experiment(experiment_id).render(context), None)
+            )
+        except ReproError as error:
+            rendered.append((experiment_id, None, str(error)))
+    return rendered

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pathlib
 
-from ..errors import DataError, ReproError
+from ..errors import DataError
 from .context import AnalysisContext
 from .experiments import EXPERIMENTS
 
@@ -14,6 +14,8 @@ def write_report(
     path: str | pathlib.Path,
     experiment_ids: list[str] | None = None,
     title: str = "Reproduced evaluation — Rain or Shine? (ICDCS 2017)",
+    jobs: int | None = 1,
+    cache_dir: str | None = None,
 ) -> pathlib.Path:
     """Render the selected experiments into a markdown report.
 
@@ -22,6 +24,10 @@ def write_report(
         path: output ``.md`` file.
         experiment_ids: subset to include (default: all, sorted).
         title: report heading.
+        jobs: worker processes for rendering experiments (``<= 1`` is
+            serial).  Workers reload the run through the cache when
+            ``cache_dir`` is set, otherwise each re-simulates once.
+        cache_dir: run-cache directory used by parallel workers.
 
     Returns:
         The written path.
@@ -30,6 +36,13 @@ def write_report(
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
         raise DataError(f"unknown experiments: {unknown}")
+
+    from ..parallel import run_experiments
+
+    rendered = run_experiments(
+        ids, context=context, config=context.result.config,
+        jobs=jobs, cache_dir=cache_dir,
+    )
 
     result = context.result
     lines = [
@@ -41,14 +54,14 @@ def write_report(
         "substitution rationale); compare shapes, not absolute numbers.",
         "",
     ]
-    for experiment_id in ids:
+    for experiment_id, text, error in rendered:
         experiment = EXPERIMENTS[experiment_id]
         lines.append(f"## {experiment_id} — {experiment.description}")
         lines.append("")
         lines.append("```")
-        try:
-            lines.append(experiment.render(context))
-        except ReproError as error:
+        if text is not None:
+            lines.append(text)
+        else:
             # Miniature runs can lack the statistics an artifact needs
             # (e.g. too few racks for the Fig 1 cluster construction);
             # report that instead of aborting the whole document.

@@ -11,6 +11,7 @@ have.
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Callable
 from dataclasses import dataclass
 
@@ -107,34 +108,53 @@ HEADLINE_METRICS: dict[str, tuple[Callable[[SimulationResult], float], float | N
 }
 
 
+def _sweep_worker(
+    seed: int,
+    scale: float,
+    n_days: int,
+    metrics: dict[str, tuple[Callable[[SimulationResult], float], float | None]],
+) -> dict[str, float]:
+    """One seed's simulation and metric extraction (picklable for pools)."""
+    config = SimulationConfig(
+        seed=seed, n_days=n_days,
+        fleet=FleetConfig(scale=scale, observation_days=n_days),
+    )
+    result = simulate(config)
+    values: dict[str, float] = {}
+    for name, (extractor, _) in metrics.items():
+        try:
+            values[name] = float(extractor(result))
+        except ReproError:
+            values[name] = float("nan")
+    return values
+
+
 def run_sweep(
     seeds: list[int],
     scale: float = 0.3,
     n_days: int = 540,
     metrics: dict[str, tuple[Callable[[SimulationResult], float], float | None]]
         | None = None,
+    jobs: int | None = 1,
 ) -> list[MetricSummary]:
     """Re-run the headline analyses over several seeds.
 
     Metrics that a particular realization cannot support (e.g. no
     significant climate split) record NaN for that seed rather than
-    failing the sweep.
+    failing the sweep.  ``jobs > 1`` distributes seeds over a process
+    pool (each seed is independent); custom ``metrics`` must then be
+    picklable, i.e. built from module-level extractor functions.
     """
     if not seeds:
         raise DataError("need at least one seed")
     metrics = metrics or HEADLINE_METRICS
-    collected: dict[str, list[float]] = {name: [] for name in metrics}
-    for seed in seeds:
-        config = SimulationConfig(
-            seed=seed, n_days=n_days,
-            fleet=FleetConfig(scale=scale, observation_days=n_days),
-        )
-        result = simulate(config)
-        for name, (extractor, _) in metrics.items():
-            try:
-                collected[name].append(float(extractor(result)))
-            except ReproError:
-                collected[name].append(float("nan"))
+    from ..parallel import map_seeds
+
+    per_seed = map_seeds(
+        functools.partial(_sweep_worker, scale=scale, n_days=n_days, metrics=metrics),
+        seeds, jobs=jobs,
+    )
+    collected = {name: [row[name] for row in per_seed] for name in metrics}
     return [
         MetricSummary(
             name=name,

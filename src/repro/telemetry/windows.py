@@ -41,7 +41,9 @@ def interval_window_counts(
         start_hours: interval start, absolute hours from day 0.
         end_hours: interval end (exclusive), absolute hours.
         window_hours: window length in hours (24 = daily, 1 = hourly).
-        total_windows: output length; intervals clipped to the range.
+        total_windows: output length.  Intervals partially overlapping
+            the range are clipped to it; intervals entirely outside
+            ``[0, total_windows)`` are dropped.
 
     Returns:
         Integer array of length ``total_windows``: the number of given
@@ -61,8 +63,11 @@ def interval_window_counts(
 
     first = np.floor(starts / window_hours).astype(np.int64)
     last = np.floor(ends / window_hours).astype(np.int64)
-    first = np.clip(first, 0, total_windows - 1)
-    last = np.clip(last, 0, total_windows - 1)
+    # Intervals entirely outside [0, total_windows) contribute nothing;
+    # clipping would wrongly fold them into the edge windows.
+    inside = (last >= 0) & (first < total_windows)
+    first = np.clip(first[inside], 0, total_windows - 1)
+    last = np.clip(last[inside], 0, total_windows - 1)
 
     diff = np.zeros(total_windows + 1, dtype=np.int64)
     np.add.at(diff, first, 1)
@@ -95,8 +100,14 @@ def per_group_window_counts(
     if starts.size and np.any(ends < starts):
         raise DataError("interval end before start")
 
-    first = np.clip(np.floor(starts / window_hours).astype(np.int64), 0, total_windows - 1)
-    last = np.clip(np.floor(ends / window_hours).astype(np.int64), 0, total_windows - 1)
+    first = np.floor(starts / window_hours).astype(np.int64)
+    last = np.floor(ends / window_hours).astype(np.int64)
+    # Same out-of-range rule as interval_window_counts: intervals fully
+    # outside the observation are dropped, not clipped into the edges.
+    inside = (last >= 0) & (first < total_windows)
+    group_index = group_index[inside]
+    first = np.clip(first[inside], 0, total_windows - 1)
+    last = np.clip(last[inside], 0, total_windows - 1)
 
     # One flattened difference array over groups × (windows + 1).
     stride = total_windows + 1

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 HOURS_PER_DAY = 24
 DAYS_PER_WEEK = 7
 DAYS_PER_YEAR = 365
@@ -89,6 +91,27 @@ class CalendarDay:
         return self.day_of_week in (0, 6)
 
 
+@dataclass(frozen=True)
+class CalendarArrays:
+    """Columnar calendar features over a contiguous run of days.
+
+    Each attribute is an aligned array of length ``n_days``, matching the
+    per-day fields of :class:`CalendarDay`.
+    """
+
+    day_index: np.ndarray
+    day_of_week: np.ndarray
+    month: np.ndarray
+    year: np.ndarray
+    day_of_year: np.ndarray
+    is_weekend: np.ndarray
+
+    @property
+    def n_days(self) -> int:
+        """Number of days covered."""
+        return len(self.day_index)
+
+
 class SimCalendar:
     """Maps absolute day indices to calendar features.
 
@@ -125,6 +148,32 @@ class SimCalendar:
             month=month,
             year=year,
             day_of_year=day_of_year,
+        )
+
+    def feature_arrays(self, n_days: int, start_day: int = 0) -> "CalendarArrays":
+        """Vectorized calendar features for ``start_day .. start_day+n_days``.
+
+        The batched analogue of calling :meth:`day` once per day; the
+        vectorized failure engine consumes whole columns at a time.
+        """
+        if n_days < 1:
+            raise ValueError(f"n_days must be >= 1, got {n_days}")
+        if start_day < 0:
+            raise ValueError(f"start_day must be >= 0, got {start_day}")
+        day_index = np.arange(start_day, start_day + n_days, dtype=np.int64)
+        absolute_doy = self.start_day_of_year + day_index
+        day_of_year = absolute_doy % DAYS_PER_YEAR
+        day_of_week = (self.start_day_of_week + day_index) % DAYS_PER_WEEK
+        month = np.searchsorted(
+            np.asarray(_MONTH_START_DOY), day_of_year, side="right"
+        ).astype(np.int64)
+        return CalendarArrays(
+            day_index=day_index,
+            day_of_week=day_of_week,
+            month=month,
+            year=absolute_doy // DAYS_PER_YEAR,
+            day_of_year=day_of_year,
+            is_weekend=(day_of_week == 0) | (day_of_week == 6),
         )
 
     @staticmethod

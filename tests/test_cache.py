@@ -1,0 +1,181 @@
+"""Run-cache behaviour: keying, round-trip fidelity, eviction, CLI flags."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cache import (
+    DEFAULT_MAX_ENTRIES,
+    RunCache,
+    config_key,
+    simulate_cached,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture()
+def config():
+    return repro.SimulationConfig.small(seed=9, scale=0.04, n_days=60)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return RunCache(tmp_path / "runcache")
+
+
+class TestKeying:
+    def test_key_is_stable(self, config):
+        assert config_key(config) == config_key(config)
+
+    def test_key_changes_with_seed(self, config):
+        other = repro.SimulationConfig.small(seed=10, scale=0.04, n_days=60)
+        assert config_key(config) != config_key(other)
+
+    def test_key_changes_with_fleet_knobs(self, config):
+        other = repro.SimulationConfig.small(seed=9, scale=0.05, n_days=60)
+        assert config_key(config) != config_key(other)
+
+    def test_key_changes_with_version(self, config, monkeypatch):
+        import repro as package
+
+        before = config_key(config)
+        monkeypatch.setattr(package, "__version__", "999.0.0")
+        assert config_key(config) != before
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, config, cache):
+        assert not cache.has(config)
+        fresh, hit_a = simulate_cached(config, cache)
+        assert not hit_a
+        assert cache.has(config)
+        cached, hit_b = simulate_cached(config, cache)
+        assert hit_b
+
+        for column in ("day_index", "start_hour_abs", "rack_index",
+                       "server_offset", "fault_code", "false_positive",
+                       "repair_hours", "batch_id"):
+            assert np.array_equal(
+                getattr(fresh.tickets, column), getattr(cached.tickets, column)
+            ), column
+        assert np.array_equal(fresh.environment.temp_f, cached.environment.temp_f)
+        assert np.array_equal(fresh.environment.rh, cached.environment.rh)
+        assert np.array_equal(fresh.bms.temp_f, cached.bms.temp_f, equal_nan=True)
+        assert np.array_equal(fresh.bms.rh, cached.bms.rh, equal_nan=True)
+        assert len(fresh.bms.alarms) == len(cached.bms.alarms)
+        assert fresh.fleet.n_racks == cached.fleet.n_racks
+
+    def test_warm_path_performs_no_simulation(self, config, cache, monkeypatch):
+        """A cache hit must never enter the ticket generator."""
+        simulate_cached(config, cache)  # warm
+
+        import repro.failures.engine as engine
+
+        def explode(*args, **kwargs):
+            raise AssertionError("warm cache path called _generate_tickets")
+
+        monkeypatch.setattr(engine, "_generate_tickets", explode)
+        result, was_hit = simulate_cached(config, cache)
+        assert was_hit
+        assert len(result.tickets) > 0
+
+    def test_no_cache_is_plain_simulate(self, config):
+        result, was_hit = simulate_cached(config, None)
+        assert not was_hit
+        assert len(result.tickets) > 0
+
+    def test_corrupt_meta_rejected(self, config, cache):
+        simulate_cached(config, cache)
+        entry = cache.entry_dir(config_key(config))
+        meta = json.loads((entry / "meta.json").read_text())
+        meta["key"] = "not-the-right-key"
+        (entry / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(DataError):
+            cache.get(config)
+
+    def test_corrupt_bundle_named_in_error(self, config, cache):
+        simulate_cached(config, cache)
+        entry = cache.entry_dir(config_key(config))
+        (entry / "tickets.npz").write_bytes(b"garbage")
+        with pytest.raises(DataError, match="corrupt"):
+            cache.get(config)
+
+    def test_simulate_cached_self_heals_corrupt_entry(self, config, cache):
+        fresh, _ = simulate_cached(config, cache)
+        entry = cache.entry_dir(config_key(config))
+        (entry / "tickets.npz").write_bytes(b"garbage")
+        healed, was_hit = simulate_cached(config, cache)
+        assert not was_hit  # corruption counts as a miss...
+        assert np.array_equal(fresh.tickets.day_index, healed.tickets.day_index)
+        repaired, was_hit = simulate_cached(config, cache)
+        assert was_hit  # ...and the entry is rewritten.
+        assert np.array_equal(fresh.tickets.day_index, repaired.tickets.day_index)
+
+
+class TestEviction:
+    def _configs(self, n):
+        return [
+            repro.SimulationConfig.small(seed=s, scale=0.02, n_days=30)
+            for s in range(n)
+        ]
+
+    def test_prune_keeps_newest(self, cache):
+        configs = self._configs(3)
+        for cfg in configs:
+            simulate_cached(cfg, cache)
+        assert len(cache.entries()) == 3
+        removed = cache.prune(max_entries=1)
+        assert removed == 2
+        assert not cache.has(configs[0])
+        assert cache.has(configs[2])
+
+    def test_put_auto_prunes(self, cache, config):
+        result = repro.simulate(config)
+        for _ in range(2):
+            cache.put(result, max_entries=1)
+        assert len(cache.entries()) == 1
+
+    def test_default_bound(self):
+        assert DEFAULT_MAX_ENTRIES >= 1
+
+    def test_clear(self, cache, config):
+        simulate_cached(config, cache)
+        cache.clear()
+        assert cache.entries() == []
+        assert not cache.has(config)
+
+    def test_negative_prune_rejected(self, cache):
+        with pytest.raises(DataError):
+            cache.prune(max_entries=-1)
+
+
+class TestCliIntegration:
+    def test_cache_dir_flag_populates_cache(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_root = tmp_path / "cc"
+        out = tmp_path / "sim"
+        argv = ["simulate", "--scale", "0.02", "--days", "30",
+                "--out", str(out), "--cache-dir", str(cache_root)]
+        assert main(argv) == 0
+        assert len(RunCache(cache_root).entries()) == 1
+        capsys.readouterr()
+
+        # Second run hits the cache and says so.
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "loaded from run cache" in captured.err
+
+    def test_no_cache_flag_bypasses(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_root = tmp_path / "cc"
+        argv = ["simulate", "--scale", "0.02", "--days", "30",
+                "--out", str(tmp_path / "sim"),
+                "--cache-dir", str(cache_root), "--no-cache"]
+        assert main(argv) == 0
+        assert RunCache(cache_root).entries() == []
+        captured = capsys.readouterr()
+        assert "loaded from run cache" not in captured.err

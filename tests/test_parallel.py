@@ -1,0 +1,94 @@
+"""Parallel-runner tests: serial/parallel equivalence and edge cases.
+
+The process-pool paths are exercised with tiny workloads; every
+parallel result must be indistinguishable from its serial counterpart
+(the work is deterministic and per-item independent).
+"""
+
+import pytest
+
+import repro
+from repro.errors import ConfigError
+from repro.parallel import map_seeds, resolve_jobs, run_experiments
+
+
+def _square(seed):
+    return seed * seed
+
+
+def _tiny_summary(seed):
+    config = repro.SimulationConfig.small(seed=seed, scale=0.02, n_days=30)
+    return len(repro.simulate(config).tickets)
+
+
+class TestResolveJobs:
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+
+    def test_one_is_serial(self):
+        assert resolve_jobs(1) == 1
+
+    def test_none_and_zero_mean_all_cores(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) == resolve_jobs(None)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_jobs(-2)
+
+
+class TestMapSeeds:
+    def test_empty(self):
+        assert map_seeds(_square, [], jobs=4) == []
+
+    def test_serial(self):
+        assert map_seeds(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_parallel_matches_serial(self):
+        serial = map_seeds(_square, [2, 4, 6], jobs=1)
+        parallel = map_seeds(_square, [2, 4, 6], jobs=3)
+        assert parallel == serial
+
+    def test_parallel_simulation_matches_serial(self):
+        seeds = [5, 6]
+        assert map_seeds(_tiny_summary, seeds, jobs=2) == [
+            _tiny_summary(seed) for seed in seeds
+        ]
+
+
+class TestRunExperiments:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        config = repro.SimulationConfig.small(seed=4, scale=0.05, n_days=120)
+        context = repro.AnalysisContext(repro.simulate(config))
+        return config, context
+
+    def test_serial_renders_in_order(self, setup):
+        config, context = setup
+        ids = ["table2", "fig10"]
+        rendered = run_experiments(ids, context=context)
+        assert [r[0] for r in rendered] == ids
+        for _, text, error in rendered:
+            assert (text is None) != (error is None)
+
+    def test_parallel_matches_serial(self, setup, tmp_path):
+        config, context = setup
+        ids = ["table2", "fig10", "fig5"]
+        serial = run_experiments(ids, context=context, jobs=1)
+        parallel = run_experiments(
+            ids, config=config, jobs=2, cache_dir=str(tmp_path / "cache")
+        )
+        assert parallel == serial
+
+    def test_parallel_without_config_rejected(self):
+        with pytest.raises(ConfigError):
+            run_experiments(["table2", "fig10"], jobs=2)
+
+    def test_config_only_serial_path(self, setup):
+        config, _ = setup
+        rendered = run_experiments(["fig10"], config=config, jobs=1)
+        assert rendered[0][0] == "fig10"
+        assert rendered[0][1] is not None
+
+    def test_empty(self):
+        assert run_experiments([], jobs=4) == []

@@ -20,10 +20,13 @@ def brute_force_window_counts(starts, ends, window_hours, total):
         lo, hi = w * window_hours, (w + 1) * window_hours
         for s, e in zip(starts, ends):
             # Interval [s, e] intersects window [lo, hi) — matching the
-            # implementation's floor-based assignment (clipped to range).
-            first = min(max(int(np.floor(s / window_hours)), 0), total - 1)
-            last = min(max(int(np.floor(e / window_hours)), 0), total - 1)
-            if first <= w <= last:
+            # implementation's floor-based assignment.  Intervals with no
+            # overlap with [0, total) at all are dropped, not clipped.
+            first = int(np.floor(s / window_hours))
+            last = int(np.floor(e / window_hours))
+            if last < 0 or first >= total:
+                continue
+            if max(first, 0) <= w <= min(last, total - 1):
                 counts[w] += 1
     return counts
 
@@ -59,6 +62,24 @@ class TestIntervalCounts:
     def test_clipping_to_range(self):
         counts = interval_window_counts(np.array([-5.0]), np.array([100.0]), 24.0, 2)
         assert counts.tolist() == [1, 1]
+
+    def test_interval_entirely_after_range_dropped(self):
+        # Regression: these used to be clipped into the last window.
+        counts = interval_window_counts(np.array([120.0]), np.array([150.0]), 24.0, 3)
+        assert counts.tolist() == [0, 0, 0]
+
+    def test_interval_entirely_before_range_dropped(self):
+        # Regression: these used to be clipped into the first window.
+        counts = interval_window_counts(np.array([-30.0]), np.array([-5.0]), 24.0, 3)
+        assert counts.tolist() == [0, 0, 0]
+
+    def test_mixed_inside_and_outside_intervals(self):
+        counts = interval_window_counts(
+            np.array([-40.0, 5.0, 200.0]),
+            np.array([-20.0, 30.0, 300.0]),
+            24.0, 3,
+        )
+        assert counts.tolist() == [1, 1, 0]
 
     def test_end_before_start_rejected(self):
         with pytest.raises(DataError):
@@ -108,6 +129,18 @@ class TestPerGroupCounts:
                 np.array([0, 1]), np.array([0.0]), np.array([1.0]),
                 n_groups=2, window_hours=24.0, total_windows=2,
             )
+
+    def test_out_of_range_intervals_dropped_per_group(self):
+        # Regression: group 1's interval lies wholly beyond the range and
+        # must not be folded into its last window.
+        counts = per_group_window_counts(
+            group_index=np.array([0, 1]),
+            start_hours=np.array([0.0, 90.0]),
+            end_hours=np.array([10.0, 95.0]),
+            n_groups=2, window_hours=24.0, total_windows=3,
+        )
+        assert counts[0].tolist() == [1, 0, 0]
+        assert counts[1].tolist() == [0, 0, 0]
 
     @settings(max_examples=40)
     @given(st.lists(
