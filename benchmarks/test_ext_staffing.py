@@ -1,6 +1,5 @@
 """Extension bench: repair staffing vs spare provisioning coupling."""
 
-import numpy as np
 from conftest import run_once
 
 import repro

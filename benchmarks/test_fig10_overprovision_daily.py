@@ -1,6 +1,5 @@
 """Fig 10: over-provisioning requirement, LB/MF/SF × 3 SLAs, daily."""
 
-import numpy as np
 from conftest import run_once
 
 from repro.reporting.figures import fig10_overprovision

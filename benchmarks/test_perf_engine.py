@@ -70,3 +70,30 @@ def test_perf_cart_fit(benchmark, perf_run):
 
     model = benchmark.pedantic(fit, rounds=3, iterations=1)
     assert model.tree.n_leaves >= 2
+
+
+def test_perf_fielddata_degrade_clean(benchmark, perf_run):
+    """Corrupt + clean throughput over a quarter-scale run's field data."""
+    from repro.fielddata import FieldDataset, clean_dataset, standard_pipeline
+
+    dataset = FieldDataset.from_result(perf_run)
+
+    def degrade_and_clean():
+        corrupted, _ = standard_pipeline(0.6, seed=1).apply(dataset)
+        return clean_dataset(corrupted)[0]
+
+    cleaned = benchmark.pedantic(degrade_and_clean, rounds=3, iterations=1)
+    assert len(cleaned.tickets) > 1000
+
+
+def test_perf_fielddata_ingest(benchmark, perf_run, tmp_path):
+    """Typed CSV + npz load of an exported quarter-scale field dataset."""
+    from repro.fielddata import FieldDataset, export_dataset, load_field_dataset
+
+    dataset = FieldDataset.from_result(perf_run)
+    export_dataset(dataset, tmp_path)
+    loaded = benchmark.pedantic(
+        load_field_dataset, args=(tmp_path, perf_run.config),
+        rounds=3, iterations=1,
+    )
+    assert len(loaded.tickets) == len(dataset.tickets)

@@ -45,6 +45,16 @@ from .errors import (
 )
 from .cache import RunCache, simulate_cached
 from .failures.engine import SimulationResult, simulate
+from .fielddata import (
+    CorruptionPipeline,
+    FieldDataset,
+    clean_dataset,
+    degrade_and_clean,
+    load_field_dataset,
+    load_inventory_csv,
+    load_tickets_csv,
+    standard_pipeline,
+)
 from .parallel import map_seeds, run_experiments
 from .reporting import AnalysisContext, EXPERIMENTS, get_experiment
 from .rng import RngRegistry
@@ -59,8 +69,10 @@ __all__ = [
     "AvailabilitySla",
     "ComponentProvisioner",
     "ConfigError",
+    "CorruptionPipeline",
     "DataError",
     "FailurePredictor",
+    "FieldDataset",
     "FitError",
     "FormulaError",
     "MultiFactorModel",
@@ -78,10 +90,16 @@ __all__ = [
     "TcoModel",
     "TreeParams",
     "build_rack_day_table",
+    "clean_dataset",
     "compare_skus",
+    "degrade_and_clean",
     "get_experiment",
     "lambda_matrix",
+    "load_field_dataset",
+    "load_inventory_csv",
+    "load_tickets_csv",
     "map_seeds",
+    "standard_pipeline",
     "mu_matrix",
     "parse_formula",
     "partial_dependence",

@@ -13,7 +13,7 @@ at least ``cp`` relative — rpart's complexity parameter).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -20,7 +20,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import DataError, FitError
-from ..telemetry.schema import FeatureKind
 from .cart.tree import Node, RegressionTree
 
 

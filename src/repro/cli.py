@@ -4,6 +4,8 @@ Commands:
 
 * ``simulate`` — run a simulation and export tickets/inventory CSVs.
 * ``report``   — regenerate one (or all) of the paper's tables/figures.
+* ``corrupt``  — export a degraded (optionally re-cleaned) field dataset.
+* ``sweep``    — multi-seed robustness sweep (``--noise`` adds severities).
 * ``list``     — list the registered experiments.
 """
 
@@ -138,10 +140,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_corrupt(args: argparse.Namespace) -> int:
+    from .cache import simulate_cached
+    from .fielddata import (
+        FieldDataset, clean_dataset, export_dataset, standard_pipeline,
+    )
+
+    result, was_hit = simulate_cached(_build_config(args), _resolve_cache(args))
+    if was_hit:
+        print("(loaded from run cache)", file=sys.stderr)
+    dataset = FieldDataset.from_result(result)
+    seed = args.corruption_seed if args.corruption_seed is not None else args.seed
+    corrupted, report = standard_pipeline(args.severity, seed=seed).apply(dataset)
+    print(report.render())
+    if args.clean:
+        corrupted, cleaning = clean_dataset(corrupted)
+        print(cleaning.render())
+    paths = export_dataset(corrupted, args.out)
+    for path in paths.values():
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    seeds = args.seeds
+    if args.noise is not None:
+        from .reporting.sweeps import render_noise_sweep, run_noise_sweep
+
+        by_severity = run_noise_sweep(
+            seeds, args.noise, scale=args.scale, n_days=args.days,
+            jobs=args.jobs, cache_dir=_cache_dir_for_workers(args),
+        )
+        print(render_noise_sweep(by_severity, seeds))
+        return 0
     from .reporting.sweeps import render_sweep, run_sweep
 
-    seeds = args.seeds
     summaries = run_sweep(seeds, scale=args.scale, n_days=args.days,
                           jobs=args.jobs)
     print(render_sweep(summaries, seeds))
@@ -162,6 +195,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "datacenter reliability simulation and multi-factor "
                     "analysis.",
     )
+    from . import __version__
+
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
     sim = commands.add_parser("simulate", help="simulate and export CSVs")
@@ -183,6 +220,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a markdown report here instead of stdout")
     report.set_defaults(func=_cmd_report)
 
+    corrupt = commands.add_parser(
+        "corrupt",
+        help="simulate, degrade the field data, and export the result",
+    )
+    _add_sim_arguments(corrupt)
+    corrupt.add_argument("--severity", type=float, default=0.5,
+                         help="corruption severity in [0, 1] for every "
+                              "operator (default 0.5; 0 = untouched)")
+    corrupt.add_argument("--corruption-seed", type=int, default=None,
+                         help="seed for the fielddata:* streams "
+                              "(default: same as --seed)")
+    corrupt.add_argument("--clean", action="store_true",
+                         help="run the cleaning pipeline before exporting")
+    corrupt.add_argument("--out", default="fielddata",
+                         help="output directory (default ./fielddata)")
+    corrupt.set_defaults(func=_cmd_corrupt)
+
     sweep = commands.add_parser(
         "sweep", help="robustness sweep of the headline conclusions",
     )
@@ -195,6 +249,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes, one seed each "
                             "(default 1 = serial; 0 = all cores)")
+    sweep.add_argument("--noise", type=float, nargs="+", default=None,
+                       metavar="LEVEL",
+                       help="corruption severities: degrade+clean each "
+                            "seed's field data at these levels and "
+                            "report metric drift (e.g. --noise 0 0.3 0.6 1)")
+    sweep.add_argument("--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
+                       help="run-cache directory for the base runs "
+                            "(default: $REPRO_CACHE_DIR if set)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="bypass the run cache")
     sweep.set_defaults(func=_cmd_sweep)
 
     lister = commands.add_parser("list", help="list registered experiments")

@@ -28,7 +28,7 @@ from ..analysis.cart.splitter import best_split_for_feature
 from ..analysis.cart.tree import RegressionTree, TreeParams
 from ..errors import DataError
 from ..failures.engine import SimulationResult
-from ..failures.tickets import FaultType, HARDWARE_FAULTS
+from ..failures.tickets import FaultType
 from ..telemetry.aggregate import build_rack_day_table
 from ..telemetry.stats import BinSpec, binned_mean_sd
 from ..telemetry.table import Table

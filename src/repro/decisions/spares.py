@@ -32,7 +32,6 @@ from ..analysis.clustering import Cluster, clusters_from_tree
 from ..errors import DataError
 from ..failures.engine import SimulationResult
 from ..telemetry.aggregate import mu_matrix, rack_static_table
-from ..telemetry.table import Table
 from .availability import (
     AvailabilitySla,
     required_spares,

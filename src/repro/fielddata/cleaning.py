@@ -1,0 +1,325 @@
+"""Cleaning pipeline: make degraded field data analysis-ready again.
+
+Mirrors what the paper's authors had to do before any analysis
+("making sense" of the data): collapse re-filed RMA duplicates, repair
+sensor streams (gaps interpolated, stuck-at runs discarded), drop
+inconsistent tickets, and account for right-censored racks through
+exposure-based rate estimation instead of naive whole-window division.
+
+Idempotence contract: cleaning an already-clean dataset changes no
+ticket (the log round-trips bit-identically) and cleaning twice equals
+cleaning once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, DataError
+from ..failures.tickets import HARDWARE_FAULTS, FaultType, TicketLog
+from .dataset import FieldDataset, log_from_columns, ticket_columns
+
+#: Re-filed duplicates land within this window of the original ticket.
+DEFAULT_DEDUP_WINDOW_HOURS = 2.0
+
+#: Shortest run of bit-equal consecutive readings treated as stuck.
+DEFAULT_MIN_STUCK_RUN = 3
+
+
+@dataclass(frozen=True)
+class CleaningReport:
+    """What the cleaning pass found and repaired.
+
+    Attributes:
+        duplicates_removed: tickets collapsed by the dedup window.
+        orphans_dropped: tickets outside the window or after their
+            rack's decommission day.
+        stuck_cells_discarded: sensor readings in stuck-at runs
+            (replaced by interpolation).
+        cells_imputed: missing sensor readings filled by interpolation.
+        racks_censored: racks decommissioned before trace end.
+        mean_coverage: mean per-rack fraction of in-service sensor
+            readings that were actually observed (not imputed).
+    """
+
+    duplicates_removed: int
+    orphans_dropped: int
+    stuck_cells_discarded: int
+    cells_imputed: int
+    racks_censored: int
+    mean_coverage: float
+
+    @property
+    def touched(self) -> bool:
+        """True when cleaning changed anything at all."""
+        return bool(
+            self.duplicates_removed or self.orphans_dropped
+            or self.stuck_cells_discarded or self.cells_imputed
+        )
+
+    def render(self) -> str:
+        """One-paragraph summary."""
+        return (
+            f"cleaning: {self.duplicates_removed} duplicates collapsed, "
+            f"{self.orphans_dropped} orphan tickets dropped, "
+            f"{self.stuck_cells_discarded} stuck readings discarded, "
+            f"{self.cells_imputed} sensor cells imputed, "
+            f"{self.racks_censored} censored racks "
+            f"(mean sensor coverage {self.mean_coverage:.1%})"
+        )
+
+
+def dedupe_tickets(
+    log: TicketLog,
+    window_hours: float = DEFAULT_DEDUP_WINDOW_HOURS,
+) -> tuple[TicketLog, int]:
+    """Collapse re-filed RMAs: same rack/server/fault/batch within the
+    window keeps only the earliest filing.
+
+    Returns the deduplicated log (canonically sorted) and the number of
+    tickets removed.  "Within the window" chains off the last *kept*
+    ticket, so a burst of re-filings all collapses into the original.
+    """
+    if window_hours <= 0:
+        raise ConfigError(f"window_hours must be > 0, got {window_hours}")
+    n = len(log)
+    if n == 0:
+        return log, 0
+    columns = ticket_columns(log)
+    start = columns["start_hour_abs"]
+    keys = (columns["batch_id"], columns["fault_code"],
+            columns["server_offset"], columns["rack_index"])
+    order = np.lexsort((start,) + keys)
+    same_key = np.ones(n, dtype=bool)
+    same_key[0] = False
+    for key in keys:
+        sorted_key = key[order]
+        same_key[1:] &= sorted_key[1:] == sorted_key[:-1]
+    start_sorted = start[order]
+    gap_ok = np.empty(n, dtype=bool)
+    gap_ok[0] = False
+    gap_ok[1:] = (start_sorted[1:] - start_sorted[:-1]) < window_hours
+    candidate = same_key & gap_ok
+    drop_sorted = np.zeros(n, dtype=bool)
+    for position in np.flatnonzero(candidate).tolist():
+        previous = position - 1
+        while drop_sorted[previous]:
+            previous -= 1
+        if start_sorted[position] - start_sorted[previous] < window_hours:
+            drop_sorted[position] = True
+    if not drop_sorted.any():
+        return log_from_columns(columns, canonical_sort=True), 0
+    keep_rows = order[~drop_sorted]
+    kept = {name: values[keep_rows] for name, values in columns.items()}
+    return log_from_columns(kept, canonical_sort=True), int(drop_sorted.sum())
+
+
+def drop_orphan_tickets(
+    log: TicketLog,
+    decommission_day: np.ndarray,
+    n_days: int,
+) -> tuple[TicketLog, int]:
+    """Drop tickets outside the window or after their rack left service.
+
+    Such rows are internally inconsistent (a decommissioned rack cannot
+    file an RMA) and typically indicate mis-keyed rack ids upstream.
+    """
+    columns = ticket_columns(log)
+    day = columns["day_index"]
+    keep = (day >= 0) & (day < n_days) & (day < decommission_day[columns["rack_index"]])
+    dropped = int((~keep).sum())
+    if dropped == 0:
+        return log, 0
+    kept = {name: values[keep] for name, values in columns.items()}
+    return log_from_columns(kept), dropped
+
+
+def stuck_run_mask(
+    values: np.ndarray,
+    min_run: int = DEFAULT_MIN_STUCK_RUN,
+    boundary_values: tuple[float, ...] = (),
+) -> np.ndarray:
+    """Cells belonging to runs of bit-equal consecutive readings.
+
+    Healthy continuous sensor noise never repeats exactly, so a run of
+    ``min_run``-plus identical readings marks a stuck sensor.  The
+    *first* cell of each run is kept (it was the last true reading);
+    the repeats are flagged.  Values in ``boundary_values`` (physical
+    clip limits like RH 0/100, where honest repeats occur) are exempt.
+
+    Args:
+        values: (n_days, n_racks) readings, NaN allowed.
+        min_run: shortest repeat count treated as stuck.
+        boundary_values: exact values never flagged.
+
+    Returns:
+        Boolean matrix, True where the reading should be discarded.
+    """
+    if min_run < 2:
+        raise ConfigError(f"min_run must be >= 2, got {min_run}")
+    n_days = values.shape[0]
+    flagged = np.zeros_like(values, dtype=bool)
+    if n_days < min_run:
+        return flagged
+    repeat = values[1:] == values[:-1]  # NaN != NaN, so gaps break runs
+    for boundary in boundary_values:
+        repeat &= values[1:] != boundary
+    # Run length ending at each cell: count consecutive repeats upward.
+    run = np.zeros_like(values, dtype=np.int64)
+    for day in range(1, n_days):
+        run[day] = np.where(repeat[day - 1], run[day - 1] + 1, 0)
+    # A cell is stuck when it sits inside a run whose total length
+    # (including cells after it) reaches min_run repeats.
+    longest_ahead = run.copy()
+    for day in range(n_days - 2, -1, -1):
+        extends = run[day + 1] > 0
+        longest_ahead[day] = np.where(extends, longest_ahead[day + 1],
+                                      run[day])
+    flagged = (run > 0) & (longest_ahead >= min_run - 1)
+    return flagged
+
+
+def interpolate_gaps(
+    values: np.ndarray,
+    discard: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fill missing readings per rack by linear interpolation over days.
+
+    Args:
+        values: (n_days, n_racks) readings with NaN gaps.
+        discard: optional extra mask of cells to treat as missing
+            (e.g. stuck runs).
+
+    Returns:
+        (filled matrix, imputed-cell mask).  Edge gaps extend the
+        nearest observed value, matching
+        :meth:`~repro.environment.bms.BmsLog.filled_temp_f`; a rack
+        with no surviving reading at all is rejected.
+    """
+    filled = values.copy()
+    if discard is not None:
+        filled[discard] = np.nan
+    missing = np.isnan(filled)
+    if not missing.any():
+        return filled, missing
+    days = np.arange(values.shape[0])
+    for rack in np.flatnonzero(missing.any(axis=0)).tolist():
+        column = filled[:, rack]
+        hole = missing[:, rack]
+        if hole.all():
+            raise DataError(
+                f"rack column {rack} has no valid readings to interpolate"
+            )
+        column[hole] = np.interp(days[hole], days[~hole], column[~hole])
+    return filled, missing
+
+
+def rack_exposure_days(
+    commission_day: np.ndarray,
+    decommission_day: np.ndarray,
+    n_days: int,
+) -> np.ndarray:
+    """In-service days per rack, censoring-aware.
+
+    Exposure runs from commissioning (clamped into the window) to the
+    decommission day (or trace end).  This is the denominator a λ
+    estimator must use on censored data; dividing by the whole window
+    under-counts every decommissioned rack's rate.
+    """
+    start = np.clip(np.asarray(commission_day, dtype=np.int64), 0, n_days)
+    stop = np.clip(np.asarray(decommission_day, dtype=np.int64), 0, n_days)
+    return np.maximum(stop - start, 0).astype(np.int64)
+
+
+def fleet_lambda(
+    dataset: FieldDataset,
+    faults: list[FaultType] | tuple[FaultType, ...] | None = None,
+    censoring_aware: bool = True,
+) -> float:
+    """Fleet failure rate λ in filed RMAs per rack-day.
+
+    True positives only, batch events counted once (one filed ticket
+    per event), matching the paper's Table II accounting.
+
+    Args:
+        dataset: field dataset (cleaned or raw).
+        faults: fault set (default: hardware).
+        censoring_aware: divide by actual rack exposure; ``False`` uses
+            the naive whole-window denominator to expose the censoring
+            bias.
+    """
+    faults = tuple(faults) if faults is not None else HARDWARE_FAULTS
+    log = dataset.tickets
+    mask = log.true_positive_mask() & log.mask_for_faults(list(faults))
+    mask &= log.batch_dedupe_mask()
+    count = int(mask.sum())
+    commission = dataset.fleet.arrays().commission_day
+    if censoring_aware:
+        exposure = rack_exposure_days(
+            commission, dataset.decommission_day, dataset.n_days,
+        ).sum()
+    else:
+        exposure = rack_exposure_days(
+            commission,
+            np.full(dataset.n_racks, dataset.n_days, dtype=np.int64),
+            dataset.n_days,
+        ).sum()
+    if exposure <= 0:
+        raise DataError("fleet has zero in-service exposure")
+    return count / float(exposure)
+
+
+def clean_dataset(
+    dataset: FieldDataset,
+    dedup_window_hours: float = DEFAULT_DEDUP_WINDOW_HOURS,
+    min_stuck_run: int = DEFAULT_MIN_STUCK_RUN,
+) -> tuple[FieldDataset, CleaningReport]:
+    """Run the full cleaning pipeline over a field dataset.
+
+    Steps, in order: drop orphan tickets (outside the window or past
+    their rack's decommission day), collapse duplicate RMAs, discard
+    stuck-at sensor runs, and interpolate every missing reading (gap
+    cells, discarded stuck cells, censored tails).  Coverage is
+    measured against each rack's in-service exposure only.
+
+    Returns the cleaned dataset and a :class:`CleaningReport`.
+    """
+    log, orphans = drop_orphan_tickets(
+        dataset.tickets, dataset.decommission_day, dataset.n_days,
+    )
+    log, duplicates = dedupe_tickets(log, window_hours=dedup_window_hours)
+
+    stuck_temp = stuck_run_mask(dataset.temp_f, min_run=min_stuck_run)
+    stuck_rh = stuck_run_mask(dataset.rh, min_run=min_stuck_run,
+                              boundary_values=(0.0, 100.0))
+    temp, imputed_temp = interpolate_gaps(dataset.temp_f, discard=stuck_temp)
+    rh, imputed_rh = interpolate_gaps(dataset.rh, discard=stuck_rh)
+
+    commission = dataset.fleet.arrays().commission_day
+    exposure = rack_exposure_days(
+        commission, dataset.decommission_day, dataset.n_days,
+    )
+    days = np.arange(dataset.n_days)[:, np.newaxis]
+    in_service = (
+        (days >= np.maximum(commission, 0)[np.newaxis, :])
+        & (days < dataset.decommission_day[np.newaxis, :])
+    )
+    observed = (~imputed_temp & in_service).sum(axis=0) + (
+        ~imputed_rh & in_service
+    ).sum(axis=0)
+    with np.errstate(invalid="ignore"):
+        coverage = np.where(exposure > 0, observed / (2.0 * np.maximum(exposure, 1)),
+                            np.nan)
+
+    report = CleaningReport(
+        duplicates_removed=duplicates,
+        orphans_dropped=orphans,
+        stuck_cells_discarded=int(stuck_temp.sum() + stuck_rh.sum()),
+        cells_imputed=int(imputed_temp.sum() + imputed_rh.sum()),
+        racks_censored=int(dataset.censored_mask.sum()),
+        mean_coverage=float(np.nanmean(coverage)),
+    )
+    cleaned = dataset.replace(tickets=log, temp_f=temp, rh=rh)
+    return cleaned, report

@@ -1,0 +1,363 @@
+"""Deterministic, composable degradation of clean field data.
+
+Each operator models one documented pathology of operational
+reliability data (duplicated re-opened RMAs, lost tickets, clock
+skew, misattributed fault codes, sensor gaps, stuck-at readings,
+right-censored inventory) behind a single ``severity`` knob in
+``[0, 1]``:
+
+* severity 0 is a **bit-identical identity** — the operator returns the
+  dataset object untouched and draws nothing from its RNG stream;
+* severity 1 is the heaviest corruption the operator models.
+
+Determinism contract: a :class:`CorruptionPipeline` hands every
+operator its own named stream (``fielddata:<op>``) derived from the
+pipeline seed, so equal (dataset, ops, seed) triples produce
+bit-identical corrupted datasets, and adding an operator to a pipeline
+never perturbs the draws of the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..failures.tickets import FAULT_TYPES
+from ..rng import RngRegistry
+from .dataset import FieldDataset, log_from_columns, ticket_columns
+
+
+@dataclass(frozen=True)
+class CorruptionOp:
+    """Base class: one named, severity-scaled corruption operator."""
+
+    severity: float
+
+    #: Stream suffix; the pipeline draws from ``fielddata:<name>``.
+    name: ClassVar[str] = "identity"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.severity <= 1.0:
+            raise ConfigError(
+                f"{type(self).__name__} severity must be in [0, 1], "
+                f"got {self.severity}"
+            )
+
+    @property
+    def stream_name(self) -> str:
+        """The op's named RNG stream."""
+        return f"fielddata:{self.name}"
+
+    def apply(
+        self, dataset: FieldDataset, rng: np.random.Generator,
+    ) -> tuple[FieldDataset, dict[str, int]]:
+        """Transform ``dataset``; returns (new dataset, stat counters).
+
+        Implementations must return ``dataset`` unchanged (same object)
+        at severity 0 and must never mutate its arrays in place.
+        """
+        raise NotImplementedError
+
+
+def _clip_hours(start_hour: np.ndarray, n_days: int) -> np.ndarray:
+    """Keep absolute hours inside the observation window."""
+    return np.clip(start_hour, 0.0, n_days * 24.0 - 1e-6)
+
+
+@dataclass(frozen=True)
+class DuplicateTickets(CorruptionOp):
+    """Re-opened RMAs: a fraction of tickets is re-filed shortly after.
+
+    Duplicates carry the same rack/server/fault/batch identity with a
+    small forward timestamp offset, so a time-window dedup can recover
+    them — the recoverable half of ticket noise.
+    """
+
+    max_fraction: float = 0.15
+    max_gap_hours: float = 1.5
+
+    name: ClassVar[str] = "duplicates"
+
+    def apply(self, dataset, rng):
+        n = len(dataset.tickets)
+        count = int(round(self.severity * self.max_fraction * n))
+        if count == 0:
+            return dataset, {"tickets_duplicated": 0}
+        columns = ticket_columns(dataset.tickets)
+        rows = np.sort(rng.choice(n, size=count, replace=False))
+        gaps = rng.uniform(0.25, self.max_gap_hours, size=count)
+        duplicate = {name: values[rows].copy() for name, values in columns.items()}
+        duplicate["start_hour_abs"] = _clip_hours(
+            duplicate["start_hour_abs"] + gaps, dataset.n_days,
+        )
+        duplicate["day_index"] = (duplicate["start_hour_abs"] // 24.0).astype(np.int64)
+        merged = {
+            name: np.concatenate([columns[name], duplicate[name]])
+            for name in columns
+        }
+        log = log_from_columns(merged, canonical_sort=True)
+        return dataset.replace(tickets=log), {"tickets_duplicated": count}
+
+
+@dataclass(frozen=True)
+class DropTickets(CorruptionOp):
+    """Lost tickets: a fraction of the log simply never reaches the
+    warehouse (unrecoverable under-reporting)."""
+
+    max_fraction: float = 0.10
+
+    name: ClassVar[str] = "drops"
+
+    def apply(self, dataset, rng):
+        n = len(dataset.tickets)
+        count = int(round(self.severity * self.max_fraction * n))
+        if count == 0:
+            return dataset, {"tickets_dropped": 0}
+        keep = np.ones(n, dtype=bool)
+        keep[rng.choice(n, size=count, replace=False)] = False
+        columns = {
+            name: values[keep] for name, values in ticket_columns(dataset.tickets).items()
+        }
+        return (dataset.replace(tickets=log_from_columns(columns)),
+                {"tickets_dropped": count})
+
+
+@dataclass(frozen=True)
+class JitterTimestamps(CorruptionOp):
+    """Clock skew and delayed filing: every detection timestamp moves by
+    Gaussian noise with sd ``severity * max_sd_hours``."""
+
+    max_sd_hours: float = 6.0
+
+    name: ClassVar[str] = "jitter"
+
+    def apply(self, dataset, rng):
+        if self.severity == 0.0:
+            return dataset, {"tickets_jittered": 0}
+        columns = ticket_columns(dataset.tickets)
+        n = len(columns["start_hour_abs"])
+        if n == 0:
+            return dataset, {"tickets_jittered": 0}
+        shifted = dict(columns)
+        shifted["start_hour_abs"] = _clip_hours(
+            columns["start_hour_abs"]
+            + rng.normal(0.0, self.severity * self.max_sd_hours, size=n),
+            dataset.n_days,
+        )
+        shifted["day_index"] = (shifted["start_hour_abs"] // 24.0).astype(np.int64)
+        log = log_from_columns(shifted, canonical_sort=True)
+        return dataset.replace(tickets=log), {"tickets_jittered": n}
+
+
+@dataclass(frozen=True)
+class MisattributeTickets(CorruptionOp):
+    """Wrong labels: a fraction of tickets gets a different fault code
+    and a re-guessed server position within the rack."""
+
+    max_fraction: float = 0.15
+
+    name: ClassVar[str] = "misattribution"
+
+    def apply(self, dataset, rng):
+        n = len(dataset.tickets)
+        count = int(round(self.severity * self.max_fraction * n))
+        if count == 0:
+            return dataset, {"tickets_misattributed": 0}
+        columns = {name: values.copy()
+                   for name, values in ticket_columns(dataset.tickets).items()}
+        rows = rng.choice(n, size=count, replace=False)
+        n_types = len(FAULT_TYPES)
+        # Shift by 1..n_types-1 positions: uniformly some *other* type.
+        offsets = rng.integers(1, n_types, size=count)
+        columns["fault_code"][rows] = (columns["fault_code"][rows] + offsets) % n_types
+        capacity = dataset.fleet.arrays().n_servers[columns["rack_index"][rows]]
+        columns["server_offset"][rows] = (
+            rng.random(count) * capacity
+        ).astype(np.int64)
+        log = log_from_columns(columns, canonical_sort=True)
+        return dataset.replace(tickets=log), {"tickets_misattributed": count}
+
+
+@dataclass(frozen=True)
+class SensorGaps(CorruptionOp):
+    """BMS stream outages: multi-day runs of missing readings on both
+    sensors of affected racks."""
+
+    events_per_rack: float = 1.5
+    mean_gap_days: float = 8.0
+
+    name: ClassVar[str] = "gaps"
+
+    def apply(self, dataset, rng):
+        events = int(round(self.severity * self.events_per_rack * dataset.n_racks))
+        if events == 0:
+            return dataset, {"sensor_cells_gapped": 0}
+        temp = dataset.temp_f.copy()
+        rh = dataset.rh.copy()
+        racks = rng.integers(0, dataset.n_racks, size=events)
+        starts = rng.integers(0, dataset.n_days, size=events)
+        lengths = rng.geometric(1.0 / self.mean_gap_days, size=events)
+        before = int(np.isnan(temp).sum() + np.isnan(rh).sum())
+        for rack, start, length in zip(racks.tolist(), starts.tolist(),
+                                       lengths.tolist()):
+            stop = min(start + length, dataset.n_days)
+            temp[start:stop, rack] = np.nan
+            rh[start:stop, rack] = np.nan
+        after = int(np.isnan(temp).sum() + np.isnan(rh).sum())
+        return (dataset.replace(temp_f=temp, rh=rh),
+                {"sensor_cells_gapped": after - before})
+
+
+@dataclass(frozen=True)
+class StuckSensors(CorruptionOp):
+    """Stuck-at sensors: a reading freezes and repeats verbatim for a
+    span of days (classic BMS failure mode — the stream looks healthy
+    but carries no information)."""
+
+    events_per_rack: float = 0.25
+    min_run_days: int = 5
+    max_run_days: int = 30
+
+    name: ClassVar[str] = "stuck"
+
+    def apply(self, dataset, rng):
+        events = int(round(self.severity * self.events_per_rack * dataset.n_racks))
+        if events == 0:
+            return dataset, {"sensor_cells_stuck": 0}
+        temp = dataset.temp_f.copy()
+        rh = dataset.rh.copy()
+        racks = rng.integers(0, dataset.n_racks, size=events)
+        starts = rng.integers(0, max(1, dataset.n_days - self.min_run_days),
+                              size=events)
+        lengths = rng.integers(self.min_run_days, self.max_run_days + 1,
+                               size=events)
+        use_temp = rng.random(events) < 0.5
+        stuck_cells = 0
+        for i in range(events):
+            matrix = temp if use_temp[i] else rh
+            rack, start = int(racks[i]), int(starts[i])
+            value = matrix[start, rack]
+            if np.isnan(value):
+                continue  # a gap ate the anchor reading; nothing to freeze
+            stop = min(start + int(lengths[i]), dataset.n_days)
+            matrix[start:stop, rack] = value
+            stuck_cells += stop - start - 1
+        return (dataset.replace(temp_f=temp, rh=rh),
+                {"sensor_cells_stuck": stuck_cells})
+
+
+@dataclass(frozen=True)
+class CensorInventory(CorruptionOp):
+    """Right-censoring: racks decommissioned mid-trace stop producing
+    tickets and sensor readings; the inventory records their exit day.
+
+    Naive whole-window rate estimators silently under-count these racks;
+    the cleaning side's exposure accounting corrects for it.
+    """
+
+    max_fraction: float = 0.15
+    earliest_fraction: float = 0.5
+
+    name: ClassVar[str] = "censoring"
+
+    def apply(self, dataset, rng):
+        count = int(round(self.severity * self.max_fraction * dataset.n_racks))
+        if count == 0:
+            return dataset, {"racks_censored": 0, "tickets_censored": 0}
+        n_days = dataset.n_days
+        racks = rng.choice(dataset.n_racks, size=count, replace=False)
+        exit_days = rng.integers(
+            int(self.earliest_fraction * n_days),
+            max(int(self.earliest_fraction * n_days) + 1, int(0.95 * n_days)),
+            size=count,
+        )
+        decommission = dataset.decommission_day.copy()
+        decommission[racks] = np.minimum(decommission[racks], exit_days)
+
+        columns = ticket_columns(dataset.tickets)
+        keep = columns["day_index"] < decommission[columns["rack_index"]]
+        dropped = int((~keep).sum())
+        columns = {name: values[keep] for name, values in columns.items()}
+
+        temp = dataset.temp_f.copy()
+        rh = dataset.rh.copy()
+        days = np.arange(n_days)[:, np.newaxis]
+        out_of_service = days >= decommission[np.newaxis, :]
+        temp[out_of_service] = np.nan
+        rh[out_of_service] = np.nan
+        return (
+            dataset.replace(
+                tickets=log_from_columns(columns), temp_f=temp, rh=rh,
+                decommission_day=decommission,
+            ),
+            {"racks_censored": count, "tickets_censored": dropped},
+        )
+
+
+@dataclass(frozen=True)
+class CorruptionReport:
+    """What a pipeline did: per-op severity and stat counters."""
+
+    seed: int
+    ops: tuple[tuple[str, float, dict[str, int]], ...] = field(default_factory=tuple)
+
+    def stat(self, name: str) -> int:
+        """Sum of one counter across all ops (0 when never reported)."""
+        return sum(stats.get(name, 0) for _, _, stats in self.ops)
+
+    def render(self) -> str:
+        """One line per operator."""
+        lines = [f"corruption pipeline (seed {self.seed}):"]
+        for name, severity, stats in self.ops:
+            detail = ", ".join(f"{key}={value}" for key, value in stats.items())
+            lines.append(f"  {name:16s} severity={severity:.2f}  {detail}")
+        return "\n".join(lines)
+
+
+class CorruptionPipeline:
+    """Ordered composition of corruption operators.
+
+    Args:
+        ops: operators, applied in sequence.
+        seed: master seed for the ``fielddata:*`` streams (independent
+            of the simulation's own streams even when numerically equal,
+            because stream names never collide).
+    """
+
+    def __init__(self, ops: Sequence[CorruptionOp], seed: int = 0):
+        self.ops = tuple(ops)
+        self.seed = int(seed)
+
+    def apply(self, dataset: FieldDataset) -> tuple[FieldDataset, CorruptionReport]:
+        """Run every operator; returns (corrupted dataset, report)."""
+        rngs = RngRegistry(self.seed)
+        applied: list[tuple[str, float, dict[str, int]]] = []
+        for op in self.ops:
+            dataset, stats = op.apply(dataset, rngs.stream(op.stream_name))
+            applied.append((op.name, op.severity, stats))
+        return dataset, CorruptionReport(seed=self.seed, ops=tuple(applied))
+
+
+def standard_pipeline(severity: float, seed: int = 0) -> CorruptionPipeline:
+    """The default all-pathologies pipeline at one shared severity.
+
+    At severity 0 every operator is the identity, so the pipeline output
+    is bit-identical to its input.
+    """
+    if not 0.0 <= severity <= 1.0:
+        raise ConfigError(f"severity must be in [0, 1], got {severity}")
+    return CorruptionPipeline(
+        ops=(
+            DuplicateTickets(severity),
+            DropTickets(severity),
+            JitterTimestamps(severity),
+            MisattributeTickets(severity),
+            SensorGaps(severity),
+            StuckSensors(severity),
+            CensorInventory(severity),
+        ),
+        seed=seed,
+    )

@@ -1,0 +1,174 @@
+"""The field dataset: exactly what an operator has, nothing more.
+
+A :class:`FieldDataset` bundles the three artifacts a real reliability
+study starts from — the RMA ticket log, the BMS sensor streams and the
+rack inventory (with commission and, when censored, decommission
+dates).  It deliberately excludes simulator ground truth; corruption
+operators transform it, the cleaning pipeline repairs it, and
+:meth:`FieldDataset.to_result` reconstitutes an analysis-ready
+:class:`~repro.failures.engine.SimulationResult` so every existing
+analysis runs unchanged on degraded data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..datacenter.topology import Fleet
+from ..environment.bms import BuildingManagementSystem
+from ..errors import DataError
+from ..failures.engine import SimulationResult
+from ..failures.tickets import TicketLog
+
+if TYPE_CHECKING:
+    from ..config import SimulationConfig
+
+#: Canonical column order of the columnar ticket log.
+TICKET_COLUMN_NAMES = (
+    "day_index", "start_hour_abs", "rack_index", "server_offset",
+    "fault_code", "false_positive", "repair_hours", "batch_id",
+)
+
+
+def ticket_columns(log: TicketLog) -> dict[str, np.ndarray]:
+    """The log's columns as a name → array dict (shared, do not mutate)."""
+    return {name: getattr(log, name) for name in TICKET_COLUMN_NAMES}
+
+
+def log_from_columns(
+    columns: dict[str, np.ndarray],
+    canonical_sort: bool = False,
+) -> TicketLog:
+    """Build a finalized :class:`TicketLog` from column arrays.
+
+    Args:
+        columns: the eight ticket columns (see ``TICKET_COLUMN_NAMES``).
+        canonical_sort: re-sort into the engine's chronological order
+            (day, hour, fault, rack, server) — stable, so an
+            already-canonical log round-trips bit-identically.
+    """
+    missing = [name for name in TICKET_COLUMN_NAMES if name not in columns]
+    if missing:
+        raise DataError(f"ticket columns missing {missing}")
+    columns = {name: np.asarray(columns[name]) for name in TICKET_COLUMN_NAMES}
+    if canonical_sort and len(columns["day_index"]):
+        order = np.lexsort((
+            columns["server_offset"], columns["rack_index"],
+            columns["fault_code"], columns["start_hour_abs"],
+            columns["day_index"],
+        ))
+        columns = {name: values[order] for name, values in columns.items()}
+    log = TicketLog()
+    log.append_chunk(**columns)
+    log.finalize()
+    return log
+
+
+@dataclass(frozen=True)
+class FieldDataset:
+    """One run's worth of operator-visible field data.
+
+    Attributes:
+        config: the simulation configuration the data came from (used to
+            rebuild the deterministic substrate on reconstruction).
+        fleet: the rack inventory/topology.
+        tickets: the RMA ticket log.
+        temp_f: (n_days, n_racks) observed inlet temperature; NaN where
+            the reading is missing.
+        rh: (n_days, n_racks) observed relative humidity; NaN likewise.
+        decommission_day: (n_racks,) day each rack left service;
+            ``n_days`` for racks still in service at trace end.
+    """
+
+    config: "SimulationConfig"
+    fleet: Fleet
+    tickets: TicketLog
+    temp_f: np.ndarray
+    rh: np.ndarray
+    decommission_day: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.temp_f.shape != self.rh.shape:
+            raise DataError(
+                f"sensor shape mismatch: temp {self.temp_f.shape} vs rh {self.rh.shape}"
+            )
+        if self.temp_f.shape != (self.config.n_days, self.fleet.n_racks):
+            raise DataError(
+                f"sensor matrices are {self.temp_f.shape}, expected "
+                f"({self.config.n_days}, {self.fleet.n_racks})"
+            )
+        if self.decommission_day.shape != (self.fleet.n_racks,):
+            raise DataError(
+                f"decommission_day has shape {self.decommission_day.shape}, "
+                f"expected ({self.fleet.n_racks},)"
+            )
+
+    @property
+    def n_days(self) -> int:
+        """Observation-window length in days."""
+        return self.config.n_days
+
+    @property
+    def n_racks(self) -> int:
+        """Number of racks in the inventory."""
+        return self.fleet.n_racks
+
+    @property
+    def censored_mask(self) -> np.ndarray:
+        """Boolean per-rack mask: decommissioned before trace end."""
+        return self.decommission_day < self.n_days
+
+    @staticmethod
+    def from_result(result: SimulationResult) -> "FieldDataset":
+        """Capture a run's operator-visible outputs (arrays are shared;
+        corruption/cleaning operators copy before modifying)."""
+        n_days = result.n_days
+        return FieldDataset(
+            config=result.config,
+            fleet=result.fleet,
+            tickets=result.tickets,
+            temp_f=result.bms.temp_f,
+            rh=result.bms.rh,
+            decommission_day=np.full(result.fleet.n_racks, n_days, dtype=np.int64),
+        )
+
+    def replace(self, **changes) -> "FieldDataset":
+        """A copy with the given fields swapped out."""
+        return dataclasses.replace(self, **changes)
+
+    def to_result(self, base: SimulationResult | None = None) -> SimulationResult:
+        """Reconstitute an analysis-ready :class:`SimulationResult`.
+
+        The deterministic substrate (calendar, true environment) is
+        taken from ``base`` when provided — it only depends on the
+        config, so sharing it avoids regeneration — and rebuilt from the
+        config otherwise.  Tickets and BMS telemetry come from *this*
+        dataset, so analyses see the (possibly degraded or cleaned)
+        field data.
+        """
+        from ..environment.conditions import EnvironmentSeries
+        from ..rng import RngRegistry
+        from ..units import SimCalendar
+
+        config = self.config
+        if base is not None:
+            calendar, environment = base.calendar, base.environment
+        else:
+            rngs = RngRegistry(config.seed)
+            calendar = SimCalendar(
+                start_day_of_week=config.start_day_of_week,
+                start_day_of_year=config.start_day_of_year,
+            )
+            environment = EnvironmentSeries(
+                self.fleet, config.n_days, rngs,
+                start_day_of_year=config.start_day_of_year,
+            )
+        bms = BuildingManagementSystem(self.fleet).rebuild_log(self.temp_f, self.rh)
+        return SimulationResult(
+            config=config, fleet=self.fleet, calendar=calendar,
+            environment=environment, bms=bms, tickets=self.tickets,
+        )

@@ -41,6 +41,13 @@ class Experiment:
         raise DataError(f"{self.experiment_id}: result is not renderable")
 
 
+def _fielddata_robustness(context: AnalysisContext) -> str:
+    # Imported lazily: fielddata sits above reporting in the layering.
+    from ..fielddata.robustness import fielddata_experiment
+
+    return fielddata_experiment(context)
+
+
 def _registry() -> list[Experiment]:
     return [
         Experiment("table1", "DC properties",
@@ -83,6 +90,8 @@ def _registry() -> list[Experiment]:
         Experiment("fig16", "All failures vs temperature", figures.fig16_temperature_all),
         Experiment("fig17", "Disk failures vs temperature", figures.fig17_temperature_disk),
         Experiment("fig18", "Disk failures vs T/RH groups per DC", figures.fig18_climate_mf),
+        Experiment("fielddata", "Headline metrics vs field-data corruption severity",
+                   _fielddata_robustness),
     ]
 
 

@@ -12,7 +12,7 @@ have.
 from __future__ import annotations
 
 import functools
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -169,4 +169,100 @@ def render_sweep(summaries: list[MetricSummary], seeds: list[int]) -> str:
     """Text report of a sweep."""
     lines = [f"Robustness sweep over seeds {seeds}:"]
     lines.extend(summary.render() for summary in summaries)
+    return "\n".join(lines)
+
+
+def _noise_sweep_worker(
+    seed: int,
+    scale: float,
+    n_days: int,
+    severities: tuple[float, ...],
+    cache_dir: str | None,
+) -> dict[float, dict[str, float]]:
+    """One seed's degrade→clean→re-analyze chain (picklable for pools)."""
+    from ..fielddata.robustness import degrade_and_clean, headline_metrics
+
+    config = SimulationConfig(
+        seed=seed, n_days=n_days,
+        fleet=FleetConfig(scale=scale, observation_days=n_days),
+    )
+    if cache_dir is not None:
+        from ..cache import RunCache, simulate_cached
+
+        result, _ = simulate_cached(config, RunCache(cache_dir))
+    else:
+        result = simulate(config)
+    values: dict[float, dict[str, float]] = {}
+    for severity in severities:
+        if severity == 0.0:
+            # Identity by construction; skip the corrupt/clean machinery.
+            values[severity] = headline_metrics(result)
+        else:
+            values[severity] = degrade_and_clean(result, severity)[1].metrics
+    return values
+
+
+def run_noise_sweep(
+    seeds: list[int],
+    severities: Sequence[float],
+    scale: float = 0.3,
+    n_days: int = 540,
+    jobs: int | None = 1,
+    cache_dir: str | None = None,
+) -> dict[float, list[MetricSummary]]:
+    """Noise-robustness sweep: seeds × corruption severities.
+
+    For every seed, the run's field data is degraded through
+    :func:`repro.fielddata.corruption.standard_pipeline` at each
+    severity, cleaned, and re-analyzed; the result maps severity →
+    per-metric summaries across seeds.  Severity 0 reproduces
+    :func:`run_sweep`'s numbers exactly.
+    """
+    if not seeds:
+        raise DataError("need at least one seed")
+    severities = tuple(dict.fromkeys(float(level) for level in severities))
+    for level in severities:
+        if not 0.0 <= level <= 1.0:
+            raise DataError(f"severity must be in [0, 1], got {level}")
+    if not severities:
+        raise DataError("need at least one severity level")
+    from ..parallel import map_seeds
+
+    per_seed = map_seeds(
+        functools.partial(_noise_sweep_worker, scale=scale, n_days=n_days,
+                          severities=severities, cache_dir=cache_dir),
+        seeds, jobs=jobs,
+    )
+    return {
+        severity: [
+            MetricSummary(
+                name=name,
+                values=np.array([row[severity][name] for row in per_seed]),
+                paper_value=paper_value,
+            )
+            for name, (_, paper_value) in HEADLINE_METRICS.items()
+        ]
+        for severity in severities
+    }
+
+
+def render_noise_sweep(
+    by_severity: dict[float, list[MetricSummary]],
+    seeds: list[int],
+) -> str:
+    """Text table of a noise sweep: metrics × severities, mean ± sd."""
+    severities = sorted(by_severity)
+    lines = [
+        f"Noise-robustness sweep over seeds {seeds} "
+        f"(mean ± sd across seeds, after cleaning):",
+        f"{'metric':38s}" + "".join(f"  {'sev=' + format(s, '.2f'):>16s}"
+                                    for s in severities),
+    ]
+    names = [summary.name for summary in by_severity[severities[0]]]
+    for index, name in enumerate(names):
+        cells = []
+        for severity in severities:
+            summary = by_severity[severity][index]
+            cells.append(f"  {summary.mean:8.3f} ±{summary.spread:6.3f}")
+        lines.append(f"{name:38s}" + "".join(cells))
     return "\n".join(lines)

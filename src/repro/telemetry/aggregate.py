@@ -24,7 +24,7 @@ import numpy as np
 
 from ..errors import DataError
 from ..failures.engine import SimulationResult
-from ..failures.tickets import FAULT_CODE, FaultType, HARDWARE_FAULTS
+from ..failures.tickets import FaultType, HARDWARE_FAULTS
 from .schema import FeatureKind, FeatureSpec, Schema, table_iii_schema
 from .table import Table
 from .windows import (

@@ -12,9 +12,10 @@ import pathlib
 
 import numpy as np
 
+from ..datacenter.topology import Fleet
 from ..errors import DataError
 from ..failures.engine import SimulationResult
-from ..failures.tickets import FAULT_CATEGORY, FAULT_TYPES
+from ..failures.tickets import FAULT_CATEGORY, FAULT_TYPES, TicketLog
 from .table import Table
 
 TICKET_COLUMNS = (
@@ -23,11 +24,24 @@ TICKET_COLUMNS = (
     "repair_hours", "batch_id",
 )
 
+INVENTORY_COLUMNS = (
+    "rack_id", "dc", "region", "row", "sku", "vendor", "workload",
+    "rated_power_kw", "commission_day", "n_servers",
+    "hdds_per_server", "dimms_per_server",
+)
+
 
 def export_tickets_csv(result: SimulationResult, path: str | pathlib.Path) -> int:
     """Write the run's RMA ticket log as CSV; returns the row count."""
-    log = result.tickets
-    arrays = result.fleet.arrays()
+    return export_ticket_log_csv(result.tickets, result.fleet, path)
+
+
+def export_ticket_log_csv(
+    log: TicketLog, fleet: Fleet, path: str | pathlib.Path,
+) -> int:
+    """Write any :class:`TicketLog` as CSV (same layout as
+    :func:`export_tickets_csv`); returns the row count."""
+    arrays = fleet.arrays()
     path = pathlib.Path(path)
 
     day = log.day_index
@@ -62,22 +76,45 @@ def export_tickets_csv(result: SimulationResult, path: str | pathlib.Path) -> in
 
 def export_inventory_csv(result: SimulationResult, path: str | pathlib.Path) -> int:
     """Write the rack inventory (deployment-time features) as CSV."""
+    return export_fleet_inventory_csv(result.fleet, path)
+
+
+def export_fleet_inventory_csv(
+    fleet: Fleet,
+    path: str | pathlib.Path,
+    decommission_day: np.ndarray | None = None,
+) -> int:
+    """Write a fleet's rack inventory as CSV; returns the row count.
+
+    Args:
+        fleet: the inventory to write, one row per rack.
+        decommission_day: optional per-rack exit days; when given, a
+            ``decommission_day`` column is appended (field datasets with
+            right-censored racks carry it; plain exports do not).
+    """
     path = pathlib.Path(path)
-    racks = result.fleet.racks
+    racks = fleet.racks
+    if decommission_day is not None and len(decommission_day) != len(racks):
+        raise DataError(
+            f"decommission_day has {len(decommission_day)} entries "
+            f"for {len(racks)} racks"
+        )
+    header = list(INVENTORY_COLUMNS)
+    if decommission_day is not None:
+        header.append("decommission_day")
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow([
-            "rack_id", "dc", "region", "row", "sku", "vendor", "workload",
-            "rated_power_kw", "commission_day", "n_servers",
-            "hdds_per_server", "dimms_per_server",
-        ])
-        for rack in racks:
-            writer.writerow([
+        writer.writerow(header)
+        for index, rack in enumerate(racks):
+            row = [
                 rack.rack_id, rack.dc_name, rack.region_name, rack.row,
                 rack.sku.name, rack.sku.vendor, rack.workload,
                 rack.rated_power_kw, rack.commission_day, rack.n_servers,
                 rack.sku.hdds_per_server, rack.sku.dimms_per_server,
-            ])
+            ]
+            if decommission_day is not None:
+                row.append(int(decommission_day[index]))
+            writer.writerow(row)
     return len(racks)
 
 

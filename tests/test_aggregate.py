@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.failures.tickets import FaultType, HARDWARE_FAULTS
+from repro.failures.tickets import FaultType
 from repro.telemetry.aggregate import (
     build_rack_day_table,
     commissioned_mask_matrix,

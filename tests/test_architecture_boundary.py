@@ -10,7 +10,6 @@ keep that promise true as the code evolves.
 import ast
 import pathlib
 
-import pytest
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 

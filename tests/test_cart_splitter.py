@@ -9,7 +9,7 @@ from repro.analysis.cart.splitter import (
     best_split_for_feature,
 )
 from repro.errors import DataError
-from repro.telemetry.schema import FeatureKind, FeatureSpec, Schema
+from repro.telemetry.schema import FeatureKind, FeatureSpec
 
 
 def continuous(name="x"):

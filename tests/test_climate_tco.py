@@ -5,7 +5,6 @@ import pytest
 
 from repro.decisions.climate_tco import (
     ClimateCostParams,
-    TemperatureRateCurve,
     _isotonic_nondecreasing,
     climate_tco_curve,
     fit_rate_curve,

@@ -15,7 +15,6 @@ from repro.decisions.sku_ranking import (
 )
 from repro.decisions.tco import TcoModel, TcoParams
 from repro.errors import ConfigError, DataError
-from repro.failures.tickets import FaultType
 
 
 @pytest.fixture(scope="module")

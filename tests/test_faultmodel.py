@@ -5,7 +5,7 @@ import pytest
 
 from repro.datacenter.builder import FleetConfig, build_fleet
 from repro.errors import ConfigError
-from repro.failures.faultmodel import FaultModel, FaultRateConfig, RackContext
+from repro.failures.faultmodel import FaultModel, FaultRateConfig
 from repro.failures.tickets import FaultType
 from repro.rng import RngRegistry
 from repro.units import SimCalendar

@@ -1,0 +1,153 @@
+"""Cleaning pipeline: idempotence, recovery, exposure accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DataError
+from repro.fielddata import (
+    DuplicateTickets,
+    FieldDataset,
+    clean_dataset,
+    fleet_lambda,
+    rack_exposure_days,
+    standard_pipeline,
+)
+from repro.fielddata.cleaning import (
+    dedupe_tickets,
+    drop_orphan_tickets,
+    interpolate_gaps,
+    stuck_run_mask,
+)
+from repro.fielddata.dataset import TICKET_COLUMN_NAMES
+from repro.rng import RngRegistry
+
+
+def _logs_equal(a, b) -> bool:
+    return all(
+        np.array_equal(getattr(a, name), getattr(b, name))
+        for name in TICKET_COLUMN_NAMES
+    )
+
+
+class TestCleanIsNoOp:
+    def test_clean_log_survives_untouched(self, tiny_run):
+        dataset = FieldDataset.from_result(tiny_run)
+        cleaned, report = clean_dataset(dataset)
+        assert report.duplicates_removed == 0
+        assert report.orphans_dropped == 0
+        assert report.stuck_cells_discarded == 0
+        assert _logs_equal(cleaned.tickets, dataset.tickets)
+
+    def test_idempotence(self, tiny_run):
+        dataset = FieldDataset.from_result(tiny_run)
+        corrupted, _ = standard_pipeline(0.7, seed=4).apply(dataset)
+        once, _ = clean_dataset(corrupted)
+        twice, second_report = clean_dataset(once)
+        assert second_report.duplicates_removed == 0
+        assert second_report.orphans_dropped == 0
+        assert _logs_equal(once.tickets, twice.tickets)
+        assert np.array_equal(once.temp_f, twice.temp_f)
+        assert np.array_equal(once.rh, twice.rh)
+
+    def test_severity_zero_filled_sensors_match_bms(self, tiny_run):
+        dataset = FieldDataset.from_result(tiny_run)
+        cleaned, _ = clean_dataset(dataset)
+        assert np.array_equal(cleaned.temp_f, tiny_run.bms.filled_temp_f())
+        assert np.array_equal(cleaned.rh, tiny_run.bms.filled_rh())
+
+
+class TestDedup:
+    def test_recovers_injected_duplicates(self, tiny_run):
+        dataset = FieldDataset.from_result(tiny_run)
+        rng = RngRegistry(0).stream("fielddata:duplicates")
+        corrupted, stats = DuplicateTickets(1.0).apply(dataset, rng)
+        deduped, removed = dedupe_tickets(corrupted.tickets)
+        # Every injected duplicate shares rack/server/fault/batch with its
+        # original and lands within the window, so all must collapse.
+        assert removed >= stats["tickets_duplicated"]
+        assert len(deduped) == len(corrupted.tickets) - removed
+
+    def test_window_must_be_positive(self, tiny_run):
+        with pytest.raises(ConfigError):
+            dedupe_tickets(tiny_run.tickets, window_hours=0.0)
+
+    def test_clean_log_round_trips(self, tiny_run):
+        deduped, removed = dedupe_tickets(tiny_run.tickets)
+        assert removed == 0
+        assert _logs_equal(deduped, tiny_run.tickets)
+
+
+class TestOrphans:
+    def test_post_decommission_tickets_dropped(self, tiny_run):
+        log = tiny_run.tickets
+        n_days = tiny_run.n_days
+        decommission = np.full(tiny_run.fleet.n_racks, n_days, dtype=np.int64)
+        hot_rack = int(log.rack_index[0])
+        decommission[hot_rack] = 0  # rack never in service
+        kept, dropped = drop_orphan_tickets(log, decommission, n_days)
+        assert dropped == int((log.rack_index == hot_rack).sum())
+        assert not (kept.rack_index == hot_rack).any()
+
+
+class TestStuckRuns:
+    def test_flags_repeats_keeps_first(self):
+        column = np.array([70.0, 71.0, 71.0, 71.0, 71.0, 72.0])[:, np.newaxis]
+        mask = stuck_run_mask(column, min_run=3)
+        assert mask[:, 0].tolist() == [False, False, True, True, True, False]
+
+    def test_short_runs_untouched(self):
+        column = np.array([70.0, 71.0, 71.0, 72.0])[:, np.newaxis]
+        mask = stuck_run_mask(column, min_run=3)
+        assert not mask.any()
+
+    def test_boundary_values_exempt(self):
+        column = np.array([99.0, 100.0, 100.0, 100.0, 100.0])[:, np.newaxis]
+        assert not stuck_run_mask(column, min_run=3,
+                                  boundary_values=(0.0, 100.0)).any()
+        assert stuck_run_mask(column, min_run=3).any()
+
+    def test_nan_breaks_runs(self):
+        column = np.array([71.0, 71.0, np.nan, 71.0, 71.0])[:, np.newaxis]
+        assert not stuck_run_mask(column, min_run=3).any()
+
+
+class TestInterpolation:
+    def test_fills_interior_gap_linearly(self):
+        values = np.array([70.0, np.nan, np.nan, 76.0])[:, np.newaxis]
+        filled, imputed = interpolate_gaps(values)
+        assert filled[:, 0].tolist() == [70.0, 72.0, 74.0, 76.0]
+        assert imputed[:, 0].tolist() == [False, True, True, False]
+
+    def test_edge_gap_extends_nearest(self):
+        values = np.array([np.nan, 70.0, 72.0, np.nan])[:, np.newaxis]
+        filled, _ = interpolate_gaps(values)
+        assert filled[0, 0] == 70.0
+        assert filled[3, 0] == 72.0
+
+    def test_all_nan_column_rejected(self):
+        values = np.full((4, 1), np.nan)
+        with pytest.raises(DataError):
+            interpolate_gaps(values)
+
+
+class TestExposure:
+    def test_exposure_days(self):
+        commission = np.array([0, -30, 50], dtype=np.int64)
+        decommission = np.array([100, 100, 80], dtype=np.int64)
+        exposure = rack_exposure_days(commission, decommission, 100)
+        assert exposure.tolist() == [100, 100, 30]
+
+    def test_censoring_aware_lambda_exceeds_naive(self, tiny_run):
+        dataset = FieldDataset.from_result(tiny_run)
+        corrupted, _ = standard_pipeline(1.0, seed=6).apply(dataset)
+        cleaned, report = clean_dataset(corrupted)
+        assert report.racks_censored > 0
+        naive = fleet_lambda(cleaned, censoring_aware=False)
+        aware = fleet_lambda(cleaned, censoring_aware=True)
+        # same ticket count over a smaller (true) exposure
+        assert aware > naive
+
+    def test_lambdas_agree_without_censoring(self, tiny_run):
+        dataset = FieldDataset.from_result(tiny_run)
+        assert fleet_lambda(dataset, censoring_aware=True) == pytest.approx(
+            fleet_lambda(dataset, censoring_aware=False))

@@ -1,0 +1,167 @@
+"""Corruption operators: determinism, severity-0 identity, semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fielddata import (
+    CensorInventory,
+    CorruptionPipeline,
+    DropTickets,
+    DuplicateTickets,
+    FieldDataset,
+    JitterTimestamps,
+    MisattributeTickets,
+    SensorGaps,
+    StuckSensors,
+    standard_pipeline,
+)
+from repro.fielddata.dataset import TICKET_COLUMN_NAMES
+from repro.rng import RngRegistry
+
+ALL_OPS = (DuplicateTickets, DropTickets, JitterTimestamps,
+           MisattributeTickets, SensorGaps, StuckSensors, CensorInventory)
+
+
+def _dataset(run):
+    return FieldDataset.from_result(run)
+
+
+def _logs_equal(a, b) -> bool:
+    return all(
+        np.array_equal(getattr(a, name), getattr(b, name))
+        for name in TICKET_COLUMN_NAMES
+    )
+
+
+def _datasets_equal(a, b) -> bool:
+    return (
+        _logs_equal(a.tickets, b.tickets)
+        and np.array_equal(a.temp_f, b.temp_f, equal_nan=True)
+        and np.array_equal(a.rh, b.rh, equal_nan=True)
+        and np.array_equal(a.decommission_day, b.decommission_day)
+    )
+
+
+class TestSeverityZeroIdentity:
+    @pytest.mark.parametrize("op_class", ALL_OPS)
+    def test_each_op_returns_same_object(self, tiny_run, op_class):
+        dataset = _dataset(tiny_run)
+        rng = RngRegistry(0).stream("fielddata:test")
+        out, _ = op_class(0.0).apply(dataset, rng)
+        assert out is dataset
+
+    def test_standard_pipeline_is_identity(self, tiny_run):
+        dataset = _dataset(tiny_run)
+        out, report = standard_pipeline(0.0, seed=7).apply(dataset)
+        assert out is dataset
+        assert all(not any(stats.values()) for _, _, stats in report.ops)
+
+    @pytest.mark.parametrize("op_class", ALL_OPS)
+    def test_zero_severity_draws_nothing(self, tiny_run, op_class):
+        """Adding a severity-0 op never perturbs a shared stream."""
+        dataset = _dataset(tiny_run)
+        rng = RngRegistry(3).stream("fielddata:test")
+        op_class(0.0).apply(dataset, rng)
+        untouched = RngRegistry(3).stream("fielddata:test")
+        assert rng.random() == untouched.random()
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self, tiny_run):
+        dataset = _dataset(tiny_run)
+        first, _ = standard_pipeline(0.8, seed=42).apply(dataset)
+        second, _ = standard_pipeline(0.8, seed=42).apply(dataset)
+        assert _datasets_equal(first, second)
+
+    def test_different_seeds_differ(self, tiny_run):
+        dataset = _dataset(tiny_run)
+        first, _ = standard_pipeline(0.8, seed=1).apply(dataset)
+        second, _ = standard_pipeline(0.8, seed=2).apply(dataset)
+        assert not _datasets_equal(first, second)
+
+    def test_input_never_mutated(self, tiny_run):
+        dataset = _dataset(tiny_run)
+        frozen = {
+            name: getattr(dataset.tickets, name).copy()
+            for name in TICKET_COLUMN_NAMES
+        }
+        temp = dataset.temp_f.copy()
+        standard_pipeline(1.0, seed=9).apply(dataset)
+        for name in TICKET_COLUMN_NAMES:
+            assert np.array_equal(getattr(dataset.tickets, name), frozen[name])
+        assert np.array_equal(dataset.temp_f, temp, equal_nan=True)
+
+    def test_op_order_independent_streams(self, tiny_run):
+        """Dropping one op leaves the draws of the others unchanged."""
+        dataset = _dataset(tiny_run)
+        with_gaps = CorruptionPipeline(
+            (SensorGaps(0.5), CensorInventory(0.5)), seed=5,
+        ).apply(dataset)[0]
+        without_gaps = CorruptionPipeline(
+            (CensorInventory(0.5),), seed=5,
+        ).apply(dataset)[0]
+        assert np.array_equal(with_gaps.decommission_day,
+                              without_gaps.decommission_day)
+
+
+class TestOperatorSemantics:
+    def test_duplicates_add_tickets(self, tiny_run):
+        dataset = _dataset(tiny_run)
+        rng = RngRegistry(0).stream("fielddata:duplicates")
+        out, stats = DuplicateTickets(1.0).apply(dataset, rng)
+        assert stats["tickets_duplicated"] > 0
+        assert len(out.tickets) == len(dataset.tickets) + stats["tickets_duplicated"]
+
+    def test_drops_remove_tickets(self, tiny_run):
+        dataset = _dataset(tiny_run)
+        rng = RngRegistry(0).stream("fielddata:drops")
+        out, stats = DropTickets(1.0).apply(dataset, rng)
+        assert len(out.tickets) == len(dataset.tickets) - stats["tickets_dropped"]
+
+    def test_jitter_keeps_hours_in_window(self, tiny_run):
+        dataset = _dataset(tiny_run)
+        rng = RngRegistry(0).stream("fielddata:jitter")
+        out, _ = JitterTimestamps(1.0).apply(dataset, rng)
+        start = out.tickets.start_hour_abs
+        assert start.min() >= 0.0
+        assert start.max() < dataset.n_days * 24.0
+        assert np.array_equal(out.tickets.day_index,
+                              (start // 24.0).astype(np.int64))
+
+    def test_misattribution_respects_rack_capacity(self, tiny_run):
+        dataset = _dataset(tiny_run)
+        rng = RngRegistry(0).stream("fielddata:misattribution")
+        out, _ = MisattributeTickets(1.0).apply(dataset, rng)
+        capacity = dataset.fleet.arrays().n_servers[out.tickets.rack_index]
+        assert (out.tickets.server_offset < capacity).all()
+        assert (out.tickets.server_offset >= 0).all()
+
+    def test_censoring_is_consistent(self, tiny_run):
+        dataset = _dataset(tiny_run)
+        rng = RngRegistry(0).stream("fielddata:censoring")
+        out, stats = CensorInventory(1.0).apply(dataset, rng)
+        assert stats["racks_censored"] == out.censored_mask.sum()
+        # no ticket survives past its rack's decommission day
+        decommission = out.decommission_day[out.tickets.rack_index]
+        assert (out.tickets.day_index < decommission).all()
+        # sensor tails are blanked
+        for rack in np.flatnonzero(out.censored_mask).tolist():
+            day = int(out.decommission_day[rack])
+            assert np.isnan(out.temp_f[day:, rack]).all()
+            assert np.isnan(out.rh[day:, rack]).all()
+
+    def test_severity_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            DropTickets(1.5)
+        with pytest.raises(ConfigError):
+            standard_pipeline(-0.1)
+
+    def test_report_totals(self, tiny_run):
+        dataset = _dataset(tiny_run)
+        _, report = standard_pipeline(1.0, seed=3).apply(dataset)
+        assert report.stat("tickets_duplicated") > 0
+        assert report.stat("racks_censored") > 0
+        rendered = report.render()
+        assert "duplicates" in rendered
+        assert "censoring" in rendered

@@ -5,7 +5,6 @@ because we *planted* the factor structure, we can check the analysis
 layer actually recovers it from tickets + sensors + inventory alone.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import MultiFactorModel, TreeParams
@@ -14,7 +13,6 @@ from repro.decisions import (
     discover_climate_thresholds,
     procurement_scenarios,
 )
-from repro.failures.tickets import HARDWARE_FAULTS
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """CSV export/import and CLI tests."""
 
-import pathlib
 
 import numpy as np
 import pytest
@@ -120,3 +119,53 @@ class TestCli:
         output = capsys.readouterr().out
         assert "Robustness sweep" in output
         assert "Q2 SF S2/S4" in output
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_corrupt_command_writes_dataset(self, tmp_path, capsys):
+        code = main([
+            "corrupt", "--seed", "5", "--scale", "0.03", "--days", "60",
+            "--severity", "0.5", "--clean", "--out", str(tmp_path / "fd"),
+        ])
+        assert code == 0
+        for name in ("tickets.csv", "inventory.csv", "sensors.npz"):
+            assert (tmp_path / "fd" / name).exists()
+        output = capsys.readouterr().out
+        assert "corruption pipeline" in output
+        assert "cleaning:" in output
+
+    def test_corrupt_severity_zero_matches_simulate(self, tmp_path):
+        main([
+            "simulate", "--seed", "5", "--scale", "0.03", "--days", "60",
+            "--out", str(tmp_path / "plain"),
+        ])
+        main([
+            "corrupt", "--seed", "5", "--scale", "0.03", "--days", "60",
+            "--severity", "0", "--out", str(tmp_path / "fd"),
+        ])
+        plain = (tmp_path / "plain" / "tickets.csv").read_text()
+        corrupted = (tmp_path / "fd" / "tickets.csv").read_text()
+        assert plain == corrupted
+
+    def test_sweep_noise_command(self, capsys):
+        code = main([
+            "sweep", "--seeds", "9", "--scale", "0.05", "--days", "150",
+            "--noise", "0", "1",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Noise-robustness sweep" in output
+        assert "sev=1.00" in output
+
+    def test_sweep_noise_rejects_bad_severity(self):
+        with pytest.raises(DataError):
+            main([
+                "sweep", "--seeds", "9", "--scale", "0.05", "--days", "150",
+                "--noise", "2.0",
+            ])

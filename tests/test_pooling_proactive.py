@@ -1,6 +1,5 @@
 """Spare-pooling and proactive-maintenance extension tests."""
 
-import numpy as np
 import pytest
 
 from repro.decisions.availability import AvailabilitySla

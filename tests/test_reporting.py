@@ -4,10 +4,8 @@ import numpy as np
 import pytest
 
 from repro.errors import DataError
-from repro.failures.tickets import FaultType
 from repro.reporting import (
     EXPERIMENTS,
-    AnalysisContext,
     get_experiment,
     render_bars,
     render_cdf,
@@ -153,7 +151,7 @@ class TestRegistry:
     def test_all_tables_and_figures_registered(self):
         expected = {f"table{i}" for i in range(1, 5)} | {
             f"fig{i:02d}" for i in range(1, 19)
-        }
+        } | {"fielddata"}
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment_rejected(self):

@@ -3,12 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.datacenter.builder import build_fleet, FleetConfig, dc1_spec, dc2_spec
+from repro.datacenter.builder import build_fleet, FleetConfig, dc1_spec
 from repro.datacenter.sku import default_catalog as default_skus
 from repro.datacenter.topology import (
     DataCenter,
     Fleet,
-    FleetArrays,
     Rack,
     RegionSpec,
 )
