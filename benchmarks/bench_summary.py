@@ -26,15 +26,19 @@ def summarize(path: pathlib.Path) -> str:
     if not entries:
         return f"{path}: no benchmark entries recorded"
     lines = [
-        f"{'benchmark':44s} {'mean':>10s} {'min':>10s} {'rounds':>6s} {'speedup':>8s}",
+        f"{'benchmark':44s} {'mean':>10s} {'min':>10s} {'rounds':>6s} "
+        f"{'speedup':>8s} {'throughput':>12s}",
     ]
     ordered = sorted(entries.items(), key=lambda kv: -kv[1]["mean_s"])
     for name, entry in ordered:
         speedup = entry.get("speedup_vs_baseline")
+        events_per_sec = entry.get("events_per_sec")
         lines.append(
             f"{name:44s} {entry['mean_s']*1e3:8.1f}ms {entry['min_s']*1e3:8.1f}ms "
             f"{entry['rounds']:6d} "
             + (f"{speedup:7.2f}x" if speedup is not None else "       -")
+            + (f" {events_per_sec:9.0f}/s" if events_per_sec is not None
+               else "            -")
         )
     return "\n".join(lines)
 

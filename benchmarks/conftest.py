@@ -97,6 +97,11 @@ def pytest_sessionfinish(session, exitstatus):
         if baseline is not None:
             entry["baseline_mean_s"] = baseline
             entry["speedup_vs_baseline"] = baseline / stats["mean"]
+        if bench.extra_info:
+            entry["extra"] = dict(bench.extra_info)
+            events = bench.extra_info.get("events")
+            if events and stats["mean"] > 0:
+                entry["events_per_sec"] = events / stats["mean"]
         payload["entries"][bench.name] = entry
 
     payload["updated"] = time.time()

@@ -1,0 +1,97 @@
+"""Streaming subsystem benches: throughput and memory vs the batch path.
+
+Timing benchmarks for ``repro.stream`` on a quarter-scale year:
+flattening a run into the event stream, single-pass analysis
+throughput (events/sec lands in ``BENCH_engine.json`` via
+``extra_info``), and peak traced memory of the streaming pass next to
+the batch λ/μ computation it provably reproduces.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+import repro
+from repro.decisions.availability import AvailabilitySla
+from repro.stream import StreamAnalyzer, StreamInventory, flatten_result
+from repro.stream.experiment import _KINDS
+from repro.telemetry import lambda_matrix, mu_matrix
+
+
+@pytest.fixture(scope="module")
+def stream_run():
+    return repro.simulate(
+        repro.SimulationConfig.small(seed=50, scale=0.25, n_days=365)
+    )
+
+
+@pytest.fixture(scope="module")
+def stream_events(stream_run):
+    """Pre-flattened ticket + inventory events (analysis-bench input)."""
+    return list(flatten_result(stream_run, kinds=_KINDS))
+
+
+def test_perf_stream_flatten(benchmark, stream_run):
+    """Flattening a run into the full event stream (sensors included)."""
+    n_events = benchmark.pedantic(
+        lambda: sum(1 for _ in flatten_result(stream_run)),
+        rounds=3, iterations=1,
+    )
+    assert n_events > 10_000
+    benchmark.extra_info["events"] = n_events
+
+
+def test_perf_stream_analyze(benchmark, stream_run, stream_events):
+    """Single-pass analysis: estimators + triggers over every event."""
+    inventory = StreamInventory.from_result(stream_run)
+
+    def consume():
+        analyzer = StreamAnalyzer(
+            inventory, sla=AvailabilitySla(1.0), spare_fraction=0.05,
+        )
+        analyzer.consume(iter(stream_events))
+        analyzer.finish()
+        return analyzer
+
+    analyzer = benchmark.pedantic(consume, rounds=3, iterations=1)
+    assert analyzer.events_seen == len(stream_events)
+    benchmark.extra_info["events"] = len(stream_events)
+
+
+def test_perf_stream_memory_vs_batch(benchmark, stream_run):
+    """Peak traced memory: O(state) streaming vs the batch matrices.
+
+    The streaming pass never materializes the event list (generator in,
+    fixed estimator state held), so its peak stays near the μ difference
+    array.  Both peaks are recorded in BENCH_engine.json for the
+    trajectory; the pass also re-proves bit-identical λ at this scale.
+    """
+    inventory = StreamInventory.from_result(stream_run)
+
+    def streamed():
+        tracemalloc.start()
+        analyzer = StreamAnalyzer(inventory, spare_fraction=0.05)
+        analyzer.consume(flatten_result(stream_run, kinds=_KINDS))
+        analyzer.finish()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return analyzer, peak
+
+    analyzer, stream_peak = benchmark.pedantic(
+        streamed, rounds=1, iterations=1,
+    )
+
+    tracemalloc.start()
+    batch_lambda = lambda_matrix(stream_run)
+    batch_mu = mu_matrix(stream_run, 24.0)
+    _, batch_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert np.array_equal(analyzer.lambda_matrix(), batch_lambda)
+    assert np.array_equal(analyzer.mu_matrix(), batch_mu)
+    assert stream_peak > 0 and batch_peak > 0
+    benchmark.extra_info["stream_peak_bytes"] = stream_peak
+    benchmark.extra_info["batch_peak_bytes"] = batch_peak

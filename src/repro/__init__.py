@@ -58,6 +58,18 @@ from .fielddata import (
 from .parallel import map_seeds, run_experiments
 from .reporting import AnalysisContext, EXPERIMENTS, get_experiment
 from .rng import RngRegistry
+from .stream import (
+    Alert,
+    AlertKind,
+    Event,
+    EventKind,
+    StreamAnalyzer,
+    StreamInventory,
+    flatten_field_dataset,
+    flatten_result,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .telemetry import Table, build_rack_day_table, lambda_matrix, mu_matrix
 
 __version__ = "1.0.0"
@@ -65,8 +77,12 @@ __version__ = "1.0.0"
 __all__ = [
     "EXPERIMENTS",
     "PAPER_OBSERVATION_DAYS",
+    "Alert",
+    "AlertKind",
     "AnalysisContext",
     "AvailabilitySla",
+    "Event",
+    "EventKind",
     "ComponentProvisioner",
     "ConfigError",
     "CorruptionPipeline",
@@ -86,6 +102,8 @@ __all__ = [
     "SimulationResult",
     "SingleFactorModel",
     "SpareProvisioner",
+    "StreamAnalyzer",
+    "StreamInventory",
     "Table",
     "TcoModel",
     "TreeParams",
@@ -93,12 +111,16 @@ __all__ = [
     "clean_dataset",
     "compare_skus",
     "degrade_and_clean",
+    "flatten_field_dataset",
+    "flatten_result",
     "get_experiment",
     "lambda_matrix",
+    "load_checkpoint",
     "load_field_dataset",
     "load_inventory_csv",
     "load_tickets_csv",
     "map_seeds",
+    "save_checkpoint",
     "standard_pipeline",
     "mu_matrix",
     "parse_formula",

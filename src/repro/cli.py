@@ -6,6 +6,9 @@ Commands:
 * ``report``   — regenerate one (or all) of the paper's tables/figures.
 * ``corrupt``  — export a degraded (optionally re-cleaned) field dataset.
 * ``sweep``    — multi-seed robustness sweep (``--noise`` adds severities).
+* ``stream``   — replay an exported directory through the online
+  streaming analyzers (windowed λ/μ, SLA-risk and drift alerts,
+  checkpoint/resume, ``--follow`` for growing exports).
 * ``list``     — list the registered experiments.
 """
 
@@ -22,6 +25,30 @@ from .reporting import AnalysisContext, EXPERIMENTS, get_experiment
 from .telemetry.io import export_inventory_csv, export_tickets_csv
 
 
+def _jobs_arg(text: str) -> int:
+    """``--jobs`` values: positive worker counts, or 0 for all cores."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be >= 1 (or 0 for all cores), got {value}"
+        )
+    return value
+
+
+def _seed_arg(text: str) -> int:
+    """Seed values: non-negative (the RNG rejects negatives downstream)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"seeds must be >= 0, got {value}")
+    return value
+
+
 def _build_config(args: argparse.Namespace, seed: int | None = None) -> SimulationConfig:
     return SimulationConfig(
         seed=args.seed if seed is None else seed,
@@ -31,7 +58,7 @@ def _build_config(args: argparse.Namespace, seed: int | None = None) -> Simulati
 
 
 def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--seed", type=int, default=0,
+    parser.add_argument("--seed", type=_seed_arg, default=0,
                         help="master RNG seed (default 0)")
     parser.add_argument("--scale", type=float, default=0.25,
                         help="fraction of the paper's 331+290 racks "
@@ -39,7 +66,7 @@ def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--days", type=int, default=365,
                         help="observation window in days (default 365; "
                              "paper: 910)")
-    parser.add_argument("--jobs", type=int, default=1,
+    parser.add_argument("--jobs", type=_jobs_arg, default=1,
                         help="worker processes for parallel stages "
                              "(default 1 = serial; 0 = all cores)")
     parser.add_argument("--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
@@ -181,6 +208,100 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_stream_summary(summary: dict) -> str:
+    lines = [
+        f"events seen        : {summary['events_seen']}",
+        f"stream time        : {summary['last_time_hours']:.1f} h",
+        f"racks in service   : {summary['racks_in_service']}",
+        f"tickets counted (λ): {summary['tickets_counted']}",
+        f"μmax ({summary['window_hours']:g}h windows) : {summary['mu_max']}",
+        "per-SKU totals     : " + ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(summary["per_sku_total"].items())
+        ),
+        "per-DC totals      : " + ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(summary["per_dc_total"].items())
+        ),
+        f"alerts             : {len(summary['alerts'])}",
+    ]
+    for alert in summary["alerts"]:
+        lines.append(
+            f"  [{alert['kind']}] t={alert['time_hours']:.1f}h "
+            f"{alert['message']}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .decisions.availability import AvailabilitySla
+    from .stream import (
+        EventKind,
+        StreamAnalyzer,
+        StreamingMu,
+        calibrated_spare_fraction,
+        directory_inventory,
+        flatten_directory,
+        follow_directory,
+        load_checkpoint,
+        save_checkpoint,
+    )
+
+    config = _build_config(args)
+    in_dir = pathlib.Path(args.in_dir)
+    inventory = directory_inventory(in_dir, config)
+    sla = AvailabilitySla(args.sla)
+
+    if args.resume:
+        analyzer = load_checkpoint(args.resume, inventory)
+        print(f"(resumed at event {analyzer.events_seen})", file=sys.stderr)
+    else:
+        fraction = args.spare_fraction
+        if fraction is None:
+            # Calibrate from the export's own μ history so a pristine
+            # replay is provably alert-free; stressed provisioning is
+            # an explicit --spare-fraction choice.
+            mu = StreamingMu(
+                inventory.n_servers, inventory.server_base,
+                inventory.n_days, window_hours=args.window_hours,
+            )
+            if (in_dir / "tickets.csv").exists():
+                for event in flatten_directory(
+                    in_dir, config, kinds={EventKind.TICKET_OPEN},
+                ):
+                    mu.update(event)
+                fraction = calibrated_spare_fraction(
+                    mu.matrix(), inventory.n_servers, sla,
+                )
+            else:
+                fraction = 0.0
+            print(f"(calibrated spare fraction {fraction:.4f})",
+                  file=sys.stderr)
+        analyzer = StreamAnalyzer(
+            inventory, window_hours=args.window_hours, sla=sla,
+            spare_fraction=fraction, drift_ratio=args.drift_ratio,
+        )
+
+    if args.follow:
+        events = follow_directory(
+            in_dir, config, poll_interval=args.poll_interval,
+            max_idle_polls=args.max_idle_polls, skip=analyzer.events_seen,
+        )
+    else:
+        events = flatten_directory(in_dir, config, skip=analyzer.events_seen)
+    processed = analyzer.consume(events, max_events=args.max_events)
+    truncated = args.max_events is not None and processed >= args.max_events
+
+    if args.checkpoint:
+        path = save_checkpoint(analyzer, args.checkpoint)
+        print(f"wrote checkpoint {path} at event {analyzer.events_seen}",
+              file=sys.stderr)
+    if not truncated:
+        analyzer.finish()
+    print(_render_stream_summary(analyzer.summary()))
+    return 0
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     for experiment_id in sorted(EXPERIMENTS):
         print(f"{experiment_id:8s} {EXPERIMENTS[experiment_id].description}")
@@ -205,7 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sim_arguments(sim)
     sim.add_argument("--out", default="simdata",
                      help="output directory (default ./simdata)")
-    sim.add_argument("--seeds", type=int, nargs="+", default=None,
+    sim.add_argument("--seeds", type=_seed_arg, nargs="+", default=None,
                      help="simulate several seeds (exported to "
                           "OUT/seed-N/); overrides --seed")
     sim.set_defaults(func=_cmd_simulate)
@@ -240,13 +361,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = commands.add_parser(
         "sweep", help="robustness sweep of the headline conclusions",
     )
-    sweep.add_argument("--seeds", type=int, nargs="+", default=[11, 22, 33],
+    sweep.add_argument("--seeds", type=_seed_arg, nargs="+", default=[11, 22, 33],
                        help="seeds to re-run (default: 11 22 33)")
     sweep.add_argument("--scale", type=float, default=0.3,
                        help="fleet scale per seed (default 0.3)")
     sweep.add_argument("--days", type=int, default=540,
                        help="window length per seed (default 540)")
-    sweep.add_argument("--jobs", type=int, default=1,
+    sweep.add_argument("--jobs", type=_jobs_arg, default=1,
                        help="worker processes, one seed each "
                             "(default 1 = serial; 0 = all cores)")
     sweep.add_argument("--noise", type=float, nargs="+", default=None,
@@ -260,6 +381,43 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-cache", action="store_true",
                        help="bypass the run cache")
     sweep.set_defaults(func=_cmd_sweep)
+
+    stream = commands.add_parser(
+        "stream",
+        help="replay an exported directory through the online analyzers",
+    )
+    _add_sim_arguments(stream)
+    stream.add_argument("--from", dest="in_dir", default="simdata",
+                        help="exported run/field directory with tickets.csv "
+                             "+ inventory.csv (default ./simdata); --seed/"
+                             "--scale/--days must match how it was produced")
+    stream.add_argument("--window-hours", type=float, default=24.0,
+                        help="μ window length (default 24; 1 = hourly)")
+    stream.add_argument("--sla", type=float, default=1.0,
+                        help="availability SLA level in (0, 1] "
+                             "(default 1.0)")
+    stream.add_argument("--spare-fraction", type=float, default=None,
+                        help="provisioned spare fraction for the SLA-risk "
+                             "monitor (default: calibrate from the export's "
+                             "own μ history — alert-free on pristine data)")
+    stream.add_argument("--drift-ratio", type=float, default=2.0,
+                        help="λ drift departure factor (default 2.0)")
+    stream.add_argument("--max-events", type=int, default=None,
+                        help="stop after N events (pair with --checkpoint)")
+    stream.add_argument("--checkpoint", default=None,
+                        help="write the analyzer state here after streaming")
+    stream.add_argument("--resume", default=None,
+                        help="resume from a --checkpoint bundle (skips the "
+                             "already-processed prefix)")
+    stream.add_argument("--follow", action="store_true",
+                        help="poll the directory for appended tickets "
+                             "(ticket events only) instead of one pass")
+    stream.add_argument("--poll-interval", type=float, default=1.0,
+                        help="--follow poll period in seconds (default 1)")
+    stream.add_argument("--max-idle-polls", type=int, default=3,
+                        help="--follow exits after this many polls with no "
+                             "growth (default 3)")
+    stream.set_defaults(func=_cmd_stream)
 
     lister = commands.add_parser("list", help="list registered experiments")
     lister.set_defaults(func=_cmd_list)

@@ -48,6 +48,13 @@ def _fielddata_robustness(context: AnalysisContext) -> str:
     return fielddata_experiment(context)
 
 
+def _streaming(context: AnalysisContext) -> str:
+    # Imported lazily: stream sits above reporting in the layering.
+    from ..stream.experiment import streaming_experiment
+
+    return streaming_experiment(context)
+
+
 def _registry() -> list[Experiment]:
     return [
         Experiment("table1", "DC properties",
@@ -92,6 +99,9 @@ def _registry() -> list[Experiment]:
         Experiment("fig18", "Disk failures vs T/RH groups per DC", figures.fig18_climate_mf),
         Experiment("fielddata", "Headline metrics vs field-data corruption severity",
                    _fielddata_robustness),
+        Experiment("streaming", "Online streaming vs batch: equivalence, "
+                   "checkpoint/resume, live SLA triggers",
+                   _streaming),
     ]
 
 

@@ -1,0 +1,64 @@
+"""Online streaming analysis: event sourcing, incremental estimators,
+live decision triggers, checkpoint/resume.
+
+The batch pipeline (:mod:`repro.telemetry`, :mod:`repro.decisions`)
+answers the paper's questions over a completed trace; this package
+answers them *while the trace is still arriving*, with a verified
+contract that both answers are bit-identical.
+"""
+
+from .analyzer import StreamAnalyzer
+from .checkpoint import (
+    STREAM_CHECKPOINT_SCHEMA,
+    checkpoint_meta,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .estimators import StreamingGroupCounts, StreamingLambda, StreamingMu
+from .events import (
+    ALL_KINDS,
+    Event,
+    EventKind,
+    StreamInventory,
+    directory_inventory,
+    flatten_cached,
+    flatten_directory,
+    flatten_field_dataset,
+    flatten_parts,
+    flatten_result,
+    follow_directory,
+)
+from .triggers import (
+    Alert,
+    AlertKind,
+    RateDriftDetector,
+    SlaRiskMonitor,
+    calibrated_spare_fraction,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "Alert",
+    "AlertKind",
+    "Event",
+    "EventKind",
+    "RateDriftDetector",
+    "STREAM_CHECKPOINT_SCHEMA",
+    "SlaRiskMonitor",
+    "StreamAnalyzer",
+    "StreamInventory",
+    "StreamingGroupCounts",
+    "StreamingLambda",
+    "StreamingMu",
+    "calibrated_spare_fraction",
+    "checkpoint_meta",
+    "directory_inventory",
+    "flatten_cached",
+    "flatten_directory",
+    "flatten_field_dataset",
+    "flatten_parts",
+    "flatten_result",
+    "follow_directory",
+    "load_checkpoint",
+    "save_checkpoint",
+]

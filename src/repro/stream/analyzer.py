@@ -1,0 +1,208 @@
+"""StreamAnalyzer: the one-object consumer wiring estimators + triggers.
+
+Feed it events (from any :mod:`repro.stream.events` flattener) and it
+maintains the full live picture — rolling λ and μ matrices, per-SKU and
+per-DC counters, the SLA-risk gauge and the drift detector — emitting
+typed alerts as they fire.  It tracks its absolute stream position, so
+:mod:`repro.stream.checkpoint` can serialize it mid-trace and a resumed
+analyzer (fed the stream suffix via ``skip=events_seen``) produces
+bit-identical matrices, summaries and alerts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..decisions.availability import AvailabilitySla
+from ..errors import DataError
+from .estimators import StreamingGroupCounts, StreamingLambda, StreamingMu
+from .events import Event, EventKind, StreamInventory
+from .triggers import Alert, RateDriftDetector, SlaRiskMonitor
+
+
+class StreamAnalyzer:
+    """Incremental analysis state over one event stream.
+
+    Args:
+        inventory: the stream's rack geometry.
+        window_hours: μ window length (24 = daily, 1 = hourly).
+        sla: availability target for the SLA-risk monitor.
+        spare_fraction: provisioned spare fraction (scalar or per-rack);
+            ``None`` disables the SLA-risk monitor.
+        drift: enable the λ drift detector.
+        drift_ratio / drift_min_excess: its sensitivity (see
+            :class:`~repro.stream.triggers.RateDriftDetector`).
+    """
+
+    def __init__(
+        self,
+        inventory: StreamInventory,
+        window_hours: float = 24.0,
+        sla: AvailabilitySla | None = None,
+        spare_fraction: float | np.ndarray | None = None,
+        drift: bool = True,
+        drift_ratio: float = 2.0,
+        drift_min_excess: float = 5.0,
+    ):
+        if sla is None:
+            sla = AvailabilitySla(1.0)
+        self.inventory = inventory
+        self.window_hours = float(window_hours)
+        self.sla = sla
+        self.lam = StreamingLambda(inventory.n_racks, inventory.n_days)
+        self.mu = StreamingMu(
+            inventory.n_servers, inventory.server_base, inventory.n_days,
+            window_hours=window_hours,
+        )
+        self.sku_counts = StreamingGroupCounts(
+            inventory.sku_code, inventory.sku_names,
+        )
+        self.dc_counts = StreamingGroupCounts(
+            inventory.dc_code, inventory.dc_names,
+        )
+        self.monitor: SlaRiskMonitor | None = None
+        if spare_fraction is not None:
+            self.monitor = SlaRiskMonitor(inventory, sla, spare_fraction)
+        self.drift: RateDriftDetector | None = None
+        if drift:
+            self.drift = RateDriftDetector(
+                inventory.n_days, ratio=drift_ratio,
+                min_excess=drift_min_excess,
+            )
+        self.events_seen = 0
+        self.last_time_hours = 0.0
+        self.racks_in_service = 0
+        self.sensor_samples = 0
+        self.alerts: list[Alert] = []
+        self.finished = False
+
+    def process(self, event: Event) -> list[Alert]:
+        """Fold one event in; returns (and records) any new alerts.
+
+        Events must arrive in stream order: ``event.seq`` has to equal
+        the analyzer's current position, which is what makes a mid-trace
+        resume provably seamless (a gap or replay raises
+        :class:`~repro.errors.DataError` instead of silently skewing
+        results).
+        """
+        if event.seq != self.events_seen:
+            raise DataError(
+                f"stream position mismatch: analyzer at {self.events_seen}, "
+                f"event seq {event.seq} (resume with skip=events_seen)"
+            )
+        if self.finished:
+            raise DataError("analyzer already finished")
+        alerts: list[Alert] = []
+        if event.kind is EventKind.INVENTORY_CHANGE:
+            self.racks_in_service += int(event.value)
+        elif event.kind is EventKind.SENSOR_SAMPLE:
+            self.sensor_samples += 1
+        else:
+            self.lam.update(event)
+            self.mu.update(event)
+            self.sku_counts.update(event)
+            self.dc_counts.update(event)
+            if self.drift is not None:
+                alerts.extend(self.drift.update(event))
+            if self.monitor is not None:
+                alerts.extend(self.monitor.update(event))
+        self.events_seen = event.seq + 1
+        self.last_time_hours = max(self.last_time_hours, event.time_hours)
+        self.alerts.extend(alerts)
+        return alerts
+
+    def consume(
+        self,
+        events: Iterable[Event],
+        max_events: int | None = None,
+    ) -> int:
+        """Process events until exhaustion (or ``max_events``); returns
+        how many were processed this call."""
+        processed = 0
+        for event in events:
+            if max_events is not None and processed >= max_events:
+                break
+            self.process(event)
+            processed += 1
+        return processed
+
+    def finish(self) -> list[Alert]:
+        """Mark end-of-stream: evaluates the drift detector's trailing
+        days.  Call exactly once, only when the stream is truly over —
+        a checkpointed mid-trace analyzer must *not* be finished, or the
+        resumed run would double-evaluate.  Returns the new alerts.
+        """
+        if self.finished:
+            raise DataError("analyzer already finished")
+        self.finished = True
+        alerts: list[Alert] = []
+        if self.drift is not None:
+            alerts = self.drift.finish()
+        self.alerts.extend(alerts)
+        return alerts
+
+    # -- read-back ----------------------------------------------------------
+
+    def lambda_matrix(self) -> np.ndarray:
+        """Per-rack per-day filed-RMA counts so far (batch-identical)."""
+        return self.lam.matrix()
+
+    def mu_matrix(self) -> np.ndarray:
+        """Per-rack per-window concurrent-failure counts so far
+        (batch-identical)."""
+        return self.mu.matrix()
+
+    def mu_max(self) -> int:
+        """The worst concurrent-failure count observed in any window."""
+        matrix = self.mu.matrix()
+        return int(matrix.max()) if matrix.size else 0
+
+    def summary(self) -> dict:
+        """JSON-friendly snapshot of the live picture."""
+        lam = self.lambda_matrix()
+        mu = self.mu_matrix()
+        sku_trailing = self.sku_counts.trailing_counts()
+        dc_trailing = self.dc_counts.trailing_counts()
+        return {
+            "events_seen": self.events_seen,
+            "last_time_hours": round(self.last_time_hours, 3),
+            "racks_in_service": self.racks_in_service,
+            "sensor_samples": self.sensor_samples,
+            "window_hours": self.window_hours,
+            "tickets_counted": int(lam.sum()),
+            "lambda_mean_per_rack_day": float(lam.mean()),
+            "mu_max": int(mu.max()) if mu.size else 0,
+            "per_sku_total": {
+                name: int(count)
+                for name, count in zip(
+                    self.inventory.sku_names, self.sku_counts.totals,
+                )
+            },
+            "per_sku_trailing": {
+                name: int(count)
+                for name, count in zip(self.inventory.sku_names, sku_trailing)
+            },
+            "per_dc_total": {
+                name: int(count)
+                for name, count in zip(
+                    self.inventory.dc_names, self.dc_counts.totals,
+                )
+            },
+            "per_dc_trailing": {
+                name: int(count)
+                for name, count in zip(self.inventory.dc_names, dc_trailing)
+            },
+            "alerts": [
+                {
+                    "kind": alert.kind.value,
+                    "time_hours": round(alert.time_hours, 3),
+                    "rack_index": alert.rack_index,
+                    "value": alert.value,
+                    "threshold": alert.threshold,
+                    "message": alert.message,
+                }
+                for alert in self.alerts
+            ],
+        }

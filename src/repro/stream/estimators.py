@@ -1,0 +1,391 @@
+"""Incremental estimators: batch-identical λ and μ, one event at a time.
+
+Each estimator consumes :class:`~repro.stream.events.Event` objects in
+stream order and maintains O(1)-amortized-per-event state from which the
+batch matrices can be read back **bit-identically**:
+
+* :class:`StreamingLambda` reproduces
+  :func:`repro.telemetry.aggregate.lambda_matrix` — including the batch
+  dedupe rule, which the batch path defines in *log order*: the counted
+  row of a correlated batch is the one with the smallest log ordinal,
+  regardless of arrival order, so the estimator keeps a per-batch
+  winner and re-points the count when an earlier-ordinal row arrives.
+* :class:`StreamingMu` reproduces
+  :func:`repro.telemetry.aggregate.mu_matrix` — per-server downtime
+  intervals merged greedily (the stream is start-ordered, so greedy
+  merging equals the batch sort-and-merge), accumulated into the same
+  difference array the batch path uses, capped at rack capacity.
+
+Because the state is small and explicit, every estimator serializes to
+flat arrays (see :mod:`repro.stream.checkpoint`) and resumes exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import DataError
+from ..failures.tickets import FAULT_CODE, FAULT_TYPES, HARDWARE_FAULTS, FaultType
+from ..telemetry.windows import n_windows
+from .events import Event, EventKind
+
+_NO_WINNER = -1
+
+
+def _fault_codes(
+    faults: list[FaultType] | tuple[FaultType, ...] | None,
+) -> frozenset[int] | None:
+    if faults is None:
+        return None
+    return frozenset(FAULT_CODE[fault] for fault in faults)
+
+
+def codes_to_faults(codes: list[int] | None) -> tuple[FaultType, ...] | None:
+    """Inverse of the code-set serialization used by checkpoints."""
+    if codes is None:
+        return None
+    return tuple(FAULT_TYPES[code] for code in codes)
+
+
+class StreamingLambda:
+    """Rolling per-rack per-day filed-RMA counts (the paper's λ).
+
+    Bit-identical to :func:`~repro.telemetry.aggregate.lambda_matrix`
+    with the same ``faults``/``true_positives_only``/``dedupe_batches``
+    arguments, on any event order of the same ticket log.
+    """
+
+    def __init__(
+        self,
+        n_racks: int,
+        n_days: int,
+        faults: list[FaultType] | tuple[FaultType, ...] | None = None,
+        true_positives_only: bool = True,
+        dedupe_batches: bool = True,
+    ):
+        if n_racks < 1 or n_days < 1:
+            raise DataError("n_racks and n_days must be >= 1")
+        self.n_racks = n_racks
+        self.n_days = n_days
+        self.true_positives_only = true_positives_only
+        self.dedupe_batches = dedupe_batches
+        self._codes = _fault_codes(faults)
+        self._counts = np.zeros((n_racks, n_days), dtype=np.int64)
+        # batch_id -> [log ordinal, rack, day, passes-filters flag] of the
+        # current winner (the smallest-ordinal row seen so far).
+        self._winner: dict[int, list[int]] = {}
+        self.events_counted = 0
+
+    def _passes(self, event: Event) -> bool:
+        if self.true_positives_only and event.false_positive:
+            return False
+        if self._codes is not None and event.fault_code not in self._codes:
+            return False
+        return True
+
+    def _count(self, rack: int, day: int, delta: int) -> None:
+        if not 0 <= day < self.n_days:
+            raise DataError(f"day_index outside [0, {self.n_days})")
+        if not 0 <= rack < self.n_racks:
+            raise DataError(f"group_index outside [0, {self.n_racks})")
+        self._counts[rack, day] += delta
+        self.events_counted += delta
+
+    def update(self, event: Event) -> None:
+        """Fold one event into the counts (non-ticket kinds ignored)."""
+        if event.kind is not EventKind.TICKET_OPEN:
+            return
+        if self.dedupe_batches and event.batch_id >= 0:
+            passes = int(self._passes(event))
+            row = [event.ticket_ordinal, event.rack_index, event.day_index, passes]
+            current = self._winner.get(event.batch_id)
+            if current is not None and current[0] <= event.ticket_ordinal:
+                return
+            if current is not None and current[3]:
+                self._count(current[1], current[2], -1)
+            self._winner[event.batch_id] = row
+            if passes:
+                self._count(event.rack_index, event.day_index, +1)
+            return
+        if self._passes(event):
+            self._count(event.rack_index, event.day_index, +1)
+
+    def matrix(self) -> np.ndarray:
+        """The (n_racks, n_days) count matrix accumulated so far."""
+        return self._counts.copy()
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Flat-array serialization of the estimator state."""
+        winners = np.array(
+            [[batch_id, *row] for batch_id, row in sorted(self._winner.items())],
+            dtype=np.int64,
+        ).reshape(-1, 5)
+        return {"counts": self._counts.copy(), "winners": winners}
+
+    def meta(self) -> dict:
+        """JSON-serializable configuration + scalars."""
+        return {
+            "n_racks": self.n_racks,
+            "n_days": self.n_days,
+            "faults": None if self._codes is None else sorted(self._codes),
+            "true_positives_only": self.true_positives_only,
+            "dedupe_batches": self.dedupe_batches,
+            "events_counted": self.events_counted,
+        }
+
+    @staticmethod
+    def from_state(arrays: dict[str, np.ndarray], meta: dict) -> "StreamingLambda":
+        """Rebuild an estimator from :meth:`state_arrays` + :meth:`meta`."""
+        estimator = StreamingLambda(
+            n_racks=int(meta["n_racks"]),
+            n_days=int(meta["n_days"]),
+            faults=codes_to_faults(meta["faults"]),
+            true_positives_only=bool(meta["true_positives_only"]),
+            dedupe_batches=bool(meta["dedupe_batches"]),
+        )
+        estimator._counts = np.asarray(arrays["counts"], dtype=np.int64).copy()
+        estimator._winner = {
+            int(row[0]): [int(v) for v in row[1:]]
+            for row in np.asarray(arrays["winners"], dtype=np.int64)
+        }
+        estimator.events_counted = int(meta["events_counted"])
+        return estimator
+
+
+class StreamingMu:
+    """Rolling concurrent-unavailability counts (the paper's μ).
+
+    Bit-identical to :func:`~repro.telemetry.aggregate.mu_matrix` with
+    the same ``window_hours``/``faults``/``per_server`` arguments.  Open
+    per-server merged intervals are kept until a later, non-overlapping
+    interval for the same server closes them (or :meth:`matrix`
+    provisionally flushes into a copy), so the matrix can be read at
+    any stream position.
+    """
+
+    def __init__(
+        self,
+        n_servers: np.ndarray,
+        server_base: np.ndarray,
+        n_days: int,
+        window_hours: float = 24.0,
+        faults: list[FaultType] | tuple[FaultType, ...] | None = None,
+        per_server: bool = True,
+    ):
+        if faults is None:
+            faults = list(HARDWARE_FAULTS)
+        self.n_servers = np.asarray(n_servers, dtype=np.int64)
+        self.server_base = np.asarray(server_base, dtype=np.int64)
+        self.n_days = n_days
+        self.window_hours = float(window_hours)
+        self.per_server = per_server
+        self.total_windows = n_windows(n_days, window_hours)
+        self._codes = _fault_codes(faults)
+        self.n_racks = len(self.n_servers)
+        self._diff = np.zeros(
+            (self.n_racks, self.total_windows + 1), dtype=np.int64
+        )
+        # server gid -> [merged start, merged end] of the still-open
+        # merged interval (bounded by the number of distinct servers).
+        self._open: dict[int, list[float]] = {}
+
+    def _rack_of_gid(self, gid: int) -> int:
+        # Same derivation as the batch path: tolerant of corrupted
+        # server offsets that spill past rack boundaries.
+        rack = int(np.searchsorted(self.server_base, gid, side="right")) - 1
+        if not 0 <= rack < self.n_racks:
+            raise DataError(f"group_index outside [0, {self.n_racks})")
+        return rack
+
+    def _add_interval(
+        self, diff: np.ndarray, rack: int, start: float, end: float,
+    ) -> None:
+        # Mirrors per_group_window_counts: intervals entirely outside
+        # [0, total_windows) are dropped, partial overlaps clipped.
+        first = int(math.floor(start / self.window_hours))
+        last = int(math.floor(end / self.window_hours))
+        if last < 0 or first >= self.total_windows:
+            return
+        first = max(first, 0)
+        last = min(last, self.total_windows - 1)
+        diff[rack, first] += 1
+        diff[rack, last + 1] -= 1
+
+    def update(self, event: Event) -> None:
+        """Fold one event into the μ state (non-open kinds ignored)."""
+        if event.kind is not EventKind.TICKET_OPEN:
+            return
+        if event.false_positive:
+            return
+        if self._codes is not None and event.fault_code not in self._codes:
+            return
+        if event.repair_hours < 0:
+            raise DataError("interval end before start")
+        start = event.time_hours
+        end = start + event.repair_hours
+        if not self.per_server:
+            if not 0 <= event.rack_index < self.n_racks:
+                raise DataError(f"group_index outside [0, {self.n_racks})")
+            self._add_interval(self._diff, event.rack_index, start, end)
+            return
+        if not 0 <= event.rack_index < self.n_racks:
+            raise DataError(f"group_index outside [0, {self.n_racks})")
+        gid = int(self.server_base[event.rack_index]) + event.server_offset
+        current = self._open.get(gid)
+        if current is not None and start <= current[1]:
+            # The stream is start-ordered per server, so greedy extension
+            # reproduces the batch sort-and-merge exactly.
+            if end > current[1]:
+                current[1] = end
+            return
+        if current is not None:
+            self._add_interval(
+                self._diff, self._rack_of_gid(gid), current[0], current[1],
+            )
+        self._open[gid] = [start, end]
+
+    def matrix(self) -> np.ndarray:
+        """The (n_racks, total_windows) μ matrix as of this position.
+
+        Pure: pending open intervals are flushed into a copy, so the
+        stream can keep advancing afterwards.
+        """
+        diff = self._diff.copy()
+        for gid in sorted(self._open):
+            start, end = self._open[gid]
+            self._add_interval(diff, self._rack_of_gid(gid), start, end)
+        counts = np.cumsum(diff[:, :-1], axis=1)
+        if self.per_server:
+            counts = np.minimum(counts, self.n_servers[:, np.newaxis])
+        return counts
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Flat-array serialization of the estimator state."""
+        gids = np.array(sorted(self._open), dtype=np.int64)
+        bounds = np.array(
+            [self._open[int(gid)] for gid in gids], dtype=float,
+        ).reshape(-1, 2)
+        return {
+            "diff": self._diff.copy(),
+            "open_gids": gids,
+            "open_bounds": bounds,
+        }
+
+    def meta(self) -> dict:
+        """JSON-serializable configuration."""
+        return {
+            "n_days": self.n_days,
+            "window_hours": self.window_hours,
+            "faults": None if self._codes is None else sorted(self._codes),
+            "per_server": self.per_server,
+        }
+
+    @staticmethod
+    def from_state(
+        n_servers: np.ndarray,
+        server_base: np.ndarray,
+        arrays: dict[str, np.ndarray],
+        meta: dict,
+    ) -> "StreamingMu":
+        """Rebuild an estimator from :meth:`state_arrays` + :meth:`meta`."""
+        estimator = StreamingMu(
+            n_servers=n_servers,
+            server_base=server_base,
+            n_days=int(meta["n_days"]),
+            window_hours=float(meta["window_hours"]),
+            faults=codes_to_faults(meta["faults"]),
+            per_server=bool(meta["per_server"]),
+        )
+        estimator._diff = np.asarray(arrays["diff"], dtype=np.int64).copy()
+        estimator._open = {
+            int(gid): [float(start), float(end)]
+            for gid, (start, end) in zip(
+                np.asarray(arrays["open_gids"], dtype=np.int64),
+                np.asarray(arrays["open_bounds"], dtype=float).reshape(-1, 2),
+            )
+        }
+        return estimator
+
+
+class StreamingGroupCounts:
+    """Per-group ticket counters (per-SKU, per-DC) with a trailing window.
+
+    Counts true-positive filed tickets (one per correlated batch, first
+    row seen) cumulatively and over a trailing ``trailing_days`` ring
+    buffer — the live "which SKU is hurting this month" gauge.
+    """
+
+    def __init__(
+        self,
+        group_code: np.ndarray,
+        group_names: tuple[str, ...],
+        trailing_days: int = 28,
+    ):
+        if trailing_days < 1:
+            raise DataError(f"trailing_days must be >= 1, got {trailing_days}")
+        self.group_code = np.asarray(group_code, dtype=np.int64)
+        self.group_names = tuple(group_names)
+        self.trailing_days = trailing_days
+        n_groups = len(group_names)
+        self.totals = np.zeros(n_groups, dtype=np.int64)
+        self._ring = np.zeros((n_groups, trailing_days), dtype=np.int64)
+        self._current_day = 0
+        self._seen_batches: set[int] = set()
+
+    def update(self, event: Event) -> None:
+        """Fold one event into the group counters."""
+        if event.kind is not EventKind.TICKET_OPEN or event.false_positive:
+            return
+        if event.batch_id >= 0:
+            if event.batch_id in self._seen_batches:
+                return
+            self._seen_batches.add(event.batch_id)
+        if not 0 <= event.rack_index < len(self.group_code):
+            return
+        day = max(int(event.time_hours // 24.0), 0)
+        self._advance(day)
+        group = int(self.group_code[event.rack_index])
+        self.totals[group] += 1
+        self._ring[group, day % self.trailing_days] += 1
+
+    def _advance(self, day: int) -> None:
+        if day <= self._current_day:
+            return
+        steps = min(self.trailing_days, day - self._current_day)
+        for offset in range(1, steps + 1):
+            self._ring[:, (self._current_day + offset) % self.trailing_days] = 0
+        self._current_day = day
+
+    def trailing_counts(self) -> np.ndarray:
+        """Per-group counts over the trailing window."""
+        return self._ring.sum(axis=1)
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Flat-array serialization of the counter state."""
+        return {
+            "totals": self.totals.copy(),
+            "ring": self._ring.copy(),
+            "seen": np.array(sorted(self._seen_batches), dtype=np.int64),
+        }
+
+    def meta(self) -> dict:
+        """JSON-serializable scalars."""
+        return {
+            "trailing_days": self.trailing_days,
+            "current_day": self._current_day,
+        }
+
+    def restore(self, arrays: dict[str, np.ndarray], meta: dict) -> None:
+        """Load :meth:`state_arrays` + :meth:`meta` back into this counter."""
+        self.totals = np.asarray(arrays["totals"], dtype=np.int64).copy()
+        self._ring = np.asarray(arrays["ring"], dtype=np.int64).copy()
+        self._seen_batches = {int(b) for b in np.asarray(arrays["seen"])}
+        self._current_day = int(meta["current_day"])

@@ -1,0 +1,642 @@
+"""Event model: one run's field data as a time-ordered event stream.
+
+Batch analyses consume a *completed* trace; a real operator consumes
+RMA tickets and BMS readings as they arrive.  This module flattens a
+simulation run, a :class:`~repro.fielddata.dataset.FieldDataset`, or an
+exported CSV directory into a single chronologically ordered stream of
+four event kinds:
+
+* ``inventory-change`` — a rack entering (or, for censored field
+  datasets, leaving) service,
+* ``sensor-sample``    — one rack-day BMS reading (temperature + RH),
+* ``ticket-open``      — an RMA ticket filed, carrying the full ticket
+  payload including its eventual repair duration,
+* ``ticket-close``     — the same ticket resolved (device back up).
+
+Everything is generator-based: sources yield lazily, the merge is a
+heap merge, and ticket-close events are synthesized from a bounded
+pending heap, so a full trace never needs to be resident as event
+objects.  The total order — ``(time_hours, kind rank, source order)``
+— is deterministic, which is what makes checkpoint/resume exact: a
+consumer that processed the first *k* events and resumes at ``skip=k``
+sees exactly the suffix it would have seen in one pass.
+"""
+
+from __future__ import annotations
+
+import heapq
+import pathlib
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+import numpy as np
+
+from ..errors import DataError
+from ..failures.tickets import TicketLog
+
+if TYPE_CHECKING:
+    from ..config import SimulationConfig
+    from ..datacenter.topology import Fleet
+    from ..failures.engine import SimulationResult
+    from ..fielddata.dataset import FieldDataset
+
+
+class EventKind(Enum):
+    """The four event kinds of the operator-visible stream."""
+
+    INVENTORY_CHANGE = "inventory-change"
+    SENSOR_SAMPLE = "sensor-sample"
+    TICKET_OPEN = "ticket-open"
+    TICKET_CLOSE = "ticket-close"
+
+
+#: Tie-break rank at equal timestamps.  Inventory changes land first (a
+#: rack exists before it can fail), then sensor samples, then ticket
+#: opens, then closes — open-before-close at equal instants keeps the
+#: live down-gauge consistent with the batch path's touching-interval
+#: merge.
+KIND_RANK: dict[EventKind, int] = {
+    EventKind.INVENTORY_CHANGE: 0,
+    EventKind.SENSOR_SAMPLE: 1,
+    EventKind.TICKET_OPEN: 2,
+    EventKind.TICKET_CLOSE: 3,
+}
+
+ALL_KINDS: frozenset[EventKind] = frozenset(EventKind)
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class Event:
+    """One element of the flattened stream.
+
+    Attributes:
+        seq: global position in the stream (assigned by the merger;
+            checkpoint/resume skips by it).
+        time_hours: absolute event time, hours from day 0.
+        kind: event kind.
+        rack_index: flat rack index (all kinds).
+        server_offset: within-rack server position (ticket kinds).
+        day_index: the ticket's recorded detection day (ticket kinds;
+            carried separately from ``time_hours`` because degraded
+            field data can have the two disagree, and the batch λ path
+            counts by the recorded day).
+        fault_code: fault-type code (ticket kinds).
+        false_positive: ticket resolved as "no fault found".
+        repair_hours: open-to-close duration (ticket kinds).
+        batch_id: correlated-batch id, -1 for independent tickets.
+        ticket_ordinal: the ticket's row position in the source log —
+            the batch path's batch-dedupe rule is defined in log order,
+            so streaming consumers need it to reproduce that rule
+            bit-for-bit on arbitrarily ordered data.
+        value: kind-specific reading — temperature °F for sensor
+            samples, +1/-1 service delta for inventory changes (0.0 for
+            kinds that carry none; NaN marks a *missing* BMS reading).
+        value2: second reading (relative humidity for sensor samples).
+    """
+
+    seq: int
+    time_hours: float
+    kind: EventKind
+    rack_index: int = -1
+    server_offset: int = -1
+    day_index: int = -1
+    fault_code: int = -1
+    false_positive: bool = False
+    repair_hours: float = 0.0
+    batch_id: int = -1
+    ticket_ordinal: int = -1
+    value: float = 0.0
+    value2: float = 0.0
+
+    @property
+    def end_hour_abs(self) -> float:
+        """Resolution time of a ticket-open event."""
+        return self.time_hours + self.repair_hours
+
+    def _identity(self) -> tuple:
+        # NaN sensor readings (missing BMS samples) must compare equal
+        # across passes, so normalize them to a sentinel.
+        value = None if self.value != self.value else self.value
+        value2 = None if self.value2 != self.value2 else self.value2
+        return (
+            self.seq, self.time_hours, self.kind, self.rack_index,
+            self.server_offset, self.day_index, self.fault_code,
+            self.false_positive, self.repair_hours, self.batch_id,
+            self.ticket_ordinal, value, value2,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._identity() == other._identity()
+
+    def __hash__(self) -> int:
+        return hash(self._identity())
+
+
+@dataclass(frozen=True)
+class StreamInventory:
+    """The static substrate a stream consumer needs: rack geometry only.
+
+    A deliberately small projection of the fleet — capacities, service
+    dates and grouping labels, nothing the simulator knows that an
+    operator would not.  Built from a run, a field dataset, or a bare
+    inventory CSV, so the streaming layer never requires the simulator.
+    """
+
+    rack_ids: tuple[str, ...]
+    n_servers: np.ndarray
+    server_base: np.ndarray
+    commission_day: np.ndarray
+    decommission_day: np.ndarray
+    sku_code: np.ndarray
+    sku_names: tuple[str, ...]
+    dc_code: np.ndarray
+    dc_names: tuple[str, ...]
+    n_days: int
+
+    @property
+    def n_racks(self) -> int:
+        """Number of racks."""
+        return len(self.rack_ids)
+
+    def fingerprint(self) -> str:
+        """Stable digest for checkpoint compatibility checks."""
+        import hashlib
+
+        payload = "|".join([
+            ",".join(self.rack_ids),
+            ",".join(str(int(n)) for n in self.n_servers),
+            str(self.n_days),
+        ])
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    @staticmethod
+    def from_fleet(
+        fleet: "Fleet",
+        n_days: int,
+        decommission_day: np.ndarray | None = None,
+    ) -> "StreamInventory":
+        """Project a fleet's arrays (decommission defaults to none)."""
+        arrays = fleet.arrays()
+        if decommission_day is None:
+            decommission_day = np.full(arrays.n_racks, n_days, dtype=np.int64)
+        return StreamInventory(
+            rack_ids=tuple(arrays.rack_ids),
+            n_servers=arrays.n_servers.astype(np.int64),
+            server_base=arrays.server_base.astype(np.int64),
+            commission_day=arrays.commission_day.astype(np.int64),
+            decommission_day=np.asarray(decommission_day, dtype=np.int64),
+            sku_code=arrays.sku_code.astype(np.int64),
+            sku_names=tuple(arrays.sku_names),
+            dc_code=arrays.dc_code.astype(np.int64),
+            dc_names=tuple(arrays.dc_names),
+            n_days=n_days,
+        )
+
+    @staticmethod
+    def from_result(result: "SimulationResult") -> "StreamInventory":
+        """Project a simulation run."""
+        return StreamInventory.from_fleet(result.fleet, result.n_days)
+
+    @staticmethod
+    def from_field_dataset(dataset: "FieldDataset") -> "StreamInventory":
+        """Project a field dataset (keeps its censoring dates)."""
+        return StreamInventory.from_fleet(
+            dataset.fleet, dataset.n_days,
+            decommission_day=dataset.decommission_day,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sources: per-kind generators, each yielding in (time, rank, ordinal) order.
+
+
+def _inventory_events(inventory: StreamInventory) -> Iterator[Event]:
+    entries = [
+        (float(day) * 24.0, rack, +1.0)
+        for rack, day in enumerate(inventory.commission_day.tolist())
+    ]
+    entries += [
+        (float(day) * 24.0, rack, -1.0)
+        for rack, day in enumerate(inventory.decommission_day.tolist())
+        if day < inventory.n_days
+    ]
+    entries.sort()
+    for time_hours, rack, delta in entries:
+        yield Event(
+            seq=-1, time_hours=time_hours, kind=EventKind.INVENTORY_CHANGE,
+            rack_index=rack, value=delta,
+        )
+
+
+def _sensor_events(temp_f: np.ndarray, rh: np.ndarray) -> Iterator[Event]:
+    n_days, n_racks = temp_f.shape
+    for day in range(n_days):
+        time_hours = day * 24.0
+        temp_row = temp_f[day]
+        rh_row = rh[day]
+        for rack in range(n_racks):
+            yield Event(
+                seq=-1, time_hours=time_hours, kind=EventKind.SENSOR_SAMPLE,
+                rack_index=rack, day_index=day,
+                value=float(temp_row[rack]), value2=float(rh_row[rack]),
+            )
+
+
+def _ticket_open_events(log: TicketLog) -> Iterator[Event]:
+    """Ticket-open events in start-time order (stable by log position).
+
+    The log columns stay as compact numpy arrays; events materialize one
+    at a time.
+    """
+    if len(log) == 0:
+        return
+    start = log.start_hour_abs
+    day = log.day_index
+    rack = log.rack_index
+    offset = log.server_offset
+    fault = log.fault_code
+    fp = log.false_positive
+    repair = log.repair_hours
+    batch = log.batch_id
+    order = np.argsort(start, kind="stable")
+    for ordinal in order.tolist():
+        yield Event(
+            seq=-1,
+            time_hours=float(start[ordinal]),
+            kind=EventKind.TICKET_OPEN,
+            rack_index=int(rack[ordinal]),
+            server_offset=int(offset[ordinal]),
+            day_index=int(day[ordinal]),
+            fault_code=int(fault[ordinal]),
+            false_positive=bool(fp[ordinal]),
+            repair_hours=float(repair[ordinal]),
+            batch_id=int(batch[ordinal]),
+            ticket_ordinal=int(ordinal),
+        )
+
+
+def _close_of(open_event: Event) -> Event:
+    return replace(
+        open_event,
+        kind=EventKind.TICKET_CLOSE,
+        time_hours=open_event.end_hour_abs,
+    )
+
+
+class _CloseHeap:
+    """Pending ticket-close events, synthesized from opens.
+
+    Bounded by the number of concurrently open tickets, so the merge
+    stays memory-light even on unbounded streams (the property follow
+    mode relies on).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, open_event: Event) -> None:
+        close = _close_of(open_event)
+        heapq.heappush(
+            self._heap, (close.time_hours, open_event.ticket_ordinal, close)
+        )
+
+    def pop_due(self, time_hours: float, rank: int) -> Iterator[Event]:
+        """Closes strictly ordered before a ``(time, rank)`` key."""
+        close_rank = KIND_RANK[EventKind.TICKET_CLOSE]
+        while self._heap and (self._heap[0][0], close_rank) < (time_hours, rank):
+            yield heapq.heappop(self._heap)[2]
+
+    def drain(self) -> Iterator[Event]:
+        """All remaining closes, in order."""
+        while self._heap:
+            yield heapq.heappop(self._heap)[2]
+
+    def snapshot(self) -> list[Event]:
+        """The pending opens' close events, heap-ordered (for state)."""
+        return [item[2] for item in sorted(self._heap, key=lambda i: i[:2])]
+
+
+def _merge_events(
+    sources: list[Iterator[Event]],
+    kinds: frozenset[EventKind],
+    skip: int = 0,
+) -> Iterator[Event]:
+    """Heap-merge sources, synthesize closes, assign global seq numbers.
+
+    ``skip`` drops the first *n* stream positions (after kind
+    filtering), preserving the global numbering — the resume primitive.
+    """
+    emit_closes = EventKind.TICKET_CLOSE in kinds
+    merged = heapq.merge(
+        *sources, key=lambda e: (e.time_hours, KIND_RANK[e.kind])
+    )
+    closes = _CloseHeap()
+    seq = 0
+
+    def numbered(event: Event) -> Iterator[Event]:
+        nonlocal seq
+        if seq >= skip:
+            yield replace(event, seq=seq)
+        seq += 1
+
+    for event in merged:
+        if emit_closes:
+            for close in closes.pop_due(event.time_hours, KIND_RANK[event.kind]):
+                yield from numbered(close)
+        if event.kind is EventKind.TICKET_OPEN and emit_closes:
+            closes.push(event)
+        if event.kind in kinds:
+            yield from numbered(event)
+    if emit_closes:
+        for close in closes.drain():
+            yield from numbered(close)
+
+
+def _normalize_kinds(
+    kinds: Iterable[EventKind] | None,
+) -> frozenset[EventKind]:
+    if kinds is None:
+        return ALL_KINDS
+    normalized = frozenset(kinds)
+    if not normalized:
+        raise DataError("kinds must not be empty")
+    unknown = normalized - ALL_KINDS
+    if unknown:
+        raise DataError(f"unknown event kinds: {sorted(k.value for k in unknown)!r}")
+    return normalized
+
+
+def flatten_parts(
+    inventory: StreamInventory,
+    tickets: TicketLog,
+    temp_f: np.ndarray | None = None,
+    rh: np.ndarray | None = None,
+    kinds: Iterable[EventKind] | None = None,
+    skip: int = 0,
+) -> Iterator[Event]:
+    """Flatten inventory + tickets (+ optional sensor matrices).
+
+    The shared engine behind the ``flatten_*`` entry points.  Sources
+    whose kind is filtered out are never built; ticket-open sources are
+    still consumed internally when only closes are requested (a close
+    exists because an open did).
+    """
+    wanted = _normalize_kinds(kinds)
+    sources: list[Iterator[Event]] = []
+    if EventKind.INVENTORY_CHANGE in wanted:
+        sources.append(_inventory_events(inventory))
+    if EventKind.SENSOR_SAMPLE in wanted and temp_f is not None:
+        if rh is None or temp_f.shape != rh.shape:
+            raise DataError("sensor matrices must be aligned")
+        sources.append(_sensor_events(temp_f, rh))
+    if wanted & {EventKind.TICKET_OPEN, EventKind.TICKET_CLOSE}:
+        sources.append(_ticket_open_events(tickets))
+    return _merge_events(sources, wanted, skip=skip)
+
+
+def flatten_result(
+    result: "SimulationResult",
+    kinds: Iterable[EventKind] | None = None,
+    skip: int = 0,
+) -> Iterator[Event]:
+    """Flatten a simulation run into the event stream.
+
+    Sensor samples come from the BMS (the operator-visible readings,
+    NaN where missing), never from simulator ground truth.
+    """
+    return flatten_parts(
+        StreamInventory.from_result(result),
+        tickets=result.tickets,
+        temp_f=result.bms.temp_f,
+        rh=result.bms.rh,
+        kinds=kinds,
+        skip=skip,
+    )
+
+
+def flatten_cached(
+    config: "SimulationConfig",
+    cache=None,
+    kinds: Iterable[EventKind] | None = None,
+    skip: int = 0,
+) -> Iterator[Event]:
+    """Flatten the run for ``config``, reusing the keyed run cache.
+
+    ``simulate → flatten`` with the simulation step served from
+    :func:`repro.cache.simulate_cached` when a :class:`~repro.cache.RunCache`
+    (or cache directory path) is given — repeated streaming passes over
+    the same configuration (calibration, resume, benchmarks) then skip
+    the simulation entirely.
+    """
+    from ..cache import RunCache, simulate_cached
+
+    if isinstance(cache, (str, pathlib.Path)):
+        cache = RunCache(cache)
+    result, _ = simulate_cached(config, cache)
+    return flatten_result(result, kinds=kinds, skip=skip)
+
+
+def flatten_field_dataset(
+    dataset: "FieldDataset",
+    kinds: Iterable[EventKind] | None = None,
+    skip: int = 0,
+) -> Iterator[Event]:
+    """Flatten a (possibly degraded) field dataset, censoring included."""
+    return flatten_parts(
+        StreamInventory.from_field_dataset(dataset),
+        tickets=dataset.tickets,
+        temp_f=dataset.temp_f,
+        rh=dataset.rh,
+        kinds=kinds,
+        skip=skip,
+    )
+
+
+def _load_directory(
+    in_dir: pathlib.Path, config: "SimulationConfig",
+) -> tuple[StreamInventory, "Fleet"]:
+    from ..datacenter.builder import build_fleet
+    from ..fielddata.ingest import load_inventory_csv
+    from ..rng import RngRegistry
+
+    fleet = build_fleet(config.fleet, RngRegistry(config.seed))
+    inventory = load_inventory_csv(in_dir / "inventory.csv")
+    inventory.validate_against(fleet)
+    stream_inventory = StreamInventory.from_fleet(
+        fleet, config.n_days, decommission_day=inventory.decommission_day,
+    )
+    return stream_inventory, fleet
+
+
+def directory_inventory(
+    in_dir: str | pathlib.Path, config: "SimulationConfig",
+) -> StreamInventory:
+    """The :class:`StreamInventory` of an exported run/field directory.
+
+    The fleet is rebuilt deterministically from ``config`` and checked
+    against ``inventory.csv`` (same contract as
+    :func:`repro.fielddata.ingest.load_field_dataset`); censoring dates
+    are honored when the export carries them.
+    """
+    return _load_directory(pathlib.Path(in_dir), config)[0]
+
+
+def flatten_directory(
+    in_dir: str | pathlib.Path,
+    config: "SimulationConfig",
+    kinds: Iterable[EventKind] | None = None,
+    skip: int = 0,
+) -> Iterator[Event]:
+    """Flatten an exported directory (``repro simulate``/``corrupt`` output).
+
+    ``tickets.csv`` and ``inventory.csv`` are required; the
+    ``sensors.npz`` bundle is optional (plain ``simulate`` exports do
+    not carry one — sensor-sample events are simply absent then).
+    """
+    from ..fielddata.ingest import load_tickets_csv
+
+    in_dir = pathlib.Path(in_dir)
+    inventory, fleet = _load_directory(in_dir, config)
+    tickets = load_tickets_csv(in_dir / "tickets.csv", fleet)
+    temp_f = rh = None
+    bundle_path = in_dir / "sensors.npz"
+    if bundle_path.exists():
+        with np.load(bundle_path) as bundle:
+            temp_f = bundle["temp_f"]
+            rh = bundle["rh"]
+    return flatten_parts(
+        inventory, tickets, temp_f=temp_f, rh=rh, kinds=kinds, skip=skip,
+    )
+
+
+def _ticket_row_event(
+    row: list[str],
+    positions: dict[str, int],
+    ordinal: int,
+    rack_index_by_id: dict[str, int],
+    fault_code_by_label: dict[str, int],
+    path: pathlib.Path,
+) -> Event:
+    """Parse one exported ticket row into a ticket-open event."""
+    def cell(name: str) -> str:
+        return row[positions[name]]
+
+    try:
+        return Event(
+            seq=-1,
+            time_hours=float(cell("start_hour_abs")),
+            kind=EventKind.TICKET_OPEN,
+            rack_index=rack_index_by_id[cell("rack_id")],
+            server_offset=int(cell("server_offset")),
+            day_index=int(cell("day_index")),
+            fault_code=fault_code_by_label[cell("fault_type")],
+            false_positive=cell("false_positive") == "1",
+            repair_hours=float(cell("repair_hours")),
+            batch_id=int(cell("batch_id")),
+            ticket_ordinal=ordinal,
+        )
+    except (ValueError, KeyError) as error:
+        raise DataError(
+            f"{path}: row {ordinal + 2}: cannot parse ticket ({error})"
+        ) from None
+
+
+def follow_directory(
+    in_dir: str | pathlib.Path,
+    config: "SimulationConfig",
+    poll_interval: float = 1.0,
+    max_idle_polls: int = 3,
+    sleep=None,
+    skip: int = 0,
+) -> Iterator[Event]:
+    """Incrementally stream a *growing* export directory's ticket events.
+
+    Re-reads ``tickets.csv`` through the chunked
+    :func:`~repro.telemetry.io.iter_csv_rows` reader, parsing only rows
+    appended since the previous poll, and yields ticket-open plus
+    synthesized ticket-close events in the same global order
+    :func:`flatten_directory` would produce (the producer must append
+    rows in non-decreasing ``start_hour_abs`` order — the exporters'
+    canonical order — else a :class:`~repro.errors.DataError` is
+    raised).  Sensor and inventory events are not followed; use the
+    one-shot flatteners for those.
+
+    The generator ends after ``max_idle_polls`` consecutive polls with
+    no growth, draining pending closes.  ``sleep`` is injectable for
+    tests (defaults to :func:`time.sleep`).
+    """
+    import time
+
+    from ..fielddata.ingest import FAULT_CODE_BY_LABEL
+    from ..telemetry.io import TICKET_COLUMNS, iter_csv_rows
+
+    if max_idle_polls < 1:
+        raise DataError(f"max_idle_polls must be >= 1, got {max_idle_polls}")
+    if sleep is None:
+        sleep = time.sleep
+    in_dir = pathlib.Path(in_dir)
+    inventory, _ = _load_directory(in_dir, config)
+    rack_index_by_id = {
+        rack_id: index for index, rack_id in enumerate(inventory.rack_ids)
+    }
+    tickets_path = in_dir / "tickets.csv"
+    open_rank = KIND_RANK[EventKind.TICKET_OPEN]
+    closes = _CloseHeap()
+    rows_seen = 0
+    last_open_hour = float("-inf")
+    idle_polls = 0
+    seq = 0
+
+    def numbered(event: Event) -> Iterator[Event]:
+        nonlocal seq
+        if seq >= skip:
+            yield replace(event, seq=seq)
+        seq += 1
+
+    while idle_polls < max_idle_polls:
+        new_rows = 0
+        if tickets_path.exists():
+            ordinal = 0
+            for header, rows in iter_csv_rows(tickets_path):
+                positions = {name: header.index(name) for name in TICKET_COLUMNS
+                             if name in header}
+                missing = [name for name in (
+                    "start_hour_abs", "rack_id", "server_offset", "day_index",
+                    "fault_type", "false_positive", "repair_hours", "batch_id",
+                ) if name not in positions]
+                if missing:
+                    raise DataError(f"{tickets_path}: missing columns {missing}")
+                for row in rows:
+                    if ordinal >= rows_seen:
+                        event = _ticket_row_event(
+                            row, positions, ordinal, rack_index_by_id,
+                            FAULT_CODE_BY_LABEL, tickets_path,
+                        )
+                        if event.time_hours < last_open_hour:
+                            raise DataError(
+                                f"{tickets_path}: row {ordinal + 2}: tickets "
+                                "must be appended in start-time order for "
+                                "--follow"
+                            )
+                        last_open_hour = event.time_hours
+                        for close in closes.pop_due(event.time_hours, open_rank):
+                            yield from numbered(close)
+                        yield from numbered(event)
+                        closes.push(event)
+                        new_rows += 1
+                    ordinal += 1
+            rows_seen = max(rows_seen, ordinal)
+        if new_rows == 0:
+            idle_polls += 1
+        else:
+            idle_polls = 0
+        if idle_polls < max_idle_polls:
+            sleep(poll_interval)
+    for close in closes.drain():
+        yield from numbered(close)

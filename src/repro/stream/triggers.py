@@ -1,0 +1,407 @@
+"""Online decision triggers: SLA-risk monitoring and λ drift detection.
+
+The batch pipeline answers Q1 ("how many spares?") once, over a
+completed trace.  These triggers re-ask it continuously:
+
+* :class:`SlaRiskMonitor` keeps a live per-rack down-server gauge from
+  ticket-open/close events and emits a typed :class:`Alert` the moment
+  a rack's provisioned spare pool can no longer cover its concurrent
+  failures at the availability target — the same
+  ``k ≥ μ − (1 − s) · C`` inequality :mod:`repro.decisions.availability`
+  provisions by, evaluated on the instantaneous μ instead of the
+  historical quantile.
+* :class:`RateDriftDetector` tracks the fleet-wide daily filed-RMA
+  arrival rate and flags regime changes: a trailing-mean baseline vs a
+  recent window, with both a ratio threshold and an absolute event
+  margin so quiet fleets don't alarm on shot noise.
+
+Both are deterministic, O(1) per event, and expose flat-array state for
+:mod:`repro.stream.checkpoint`.
+
+A monitor calibrated with :func:`calibrated_spare_fraction` on the very
+μ history it then streams is *provably* silent: the instantaneous down
+count never exceeds the window μ, whose pooled maximum is exactly what
+the calibration covers.  That is the "zero spurious alerts at severity
+0" contract — alerts only fire when provisioning is genuinely below
+what the observed stream demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..decisions.availability import AvailabilitySla, uniform_fraction_for_pool
+from ..errors import DataError
+from ..failures.tickets import HARDWARE_FAULTS
+from .estimators import _fault_codes
+from .events import Event, EventKind, StreamInventory
+
+
+class AlertKind(Enum):
+    """Typed trigger outcomes."""
+
+    SLA_RISK = "sla-risk"
+    RATE_DRIFT = "rate-drift"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One trigger firing.
+
+    Attributes:
+        kind: which trigger fired.
+        time_hours: stream time of the firing event.
+        message: human-readable one-liner (CLI prints it verbatim).
+        rack_index: affected rack (-1 for fleet-wide alerts).
+        value: the observed quantity (down servers / recent daily rate).
+        threshold: the level it crossed.
+    """
+
+    kind: AlertKind
+    time_hours: float
+    message: str
+    rack_index: int = -1
+    value: float = 0.0
+    threshold: float = 0.0
+
+
+def calibrated_spare_fraction(
+    mu_counts: np.ndarray,
+    n_servers: np.ndarray,
+    sla: AvailabilitySla,
+) -> float:
+    """The SF spare fraction that exactly covers a μ history.
+
+    Pools every rack's μ/capacity samples and applies the same rule as
+    :func:`~repro.decisions.availability.uniform_fraction_for_pool`.  A
+    :class:`SlaRiskMonitor` provisioned with this fraction is silent on
+    the stream the history came from (the zero-spurious-alert contract).
+    """
+    mu_counts = np.asarray(mu_counts, dtype=float)
+    n_servers = np.asarray(n_servers, dtype=float)
+    if mu_counts.ndim != 2 or mu_counts.shape[0] != len(n_servers):
+        raise DataError("mu_counts must be (n_racks, n_windows)")
+    fractions = (mu_counts / n_servers[:, np.newaxis]).ravel()
+    return uniform_fraction_for_pool(fractions, sla)
+
+
+class SlaRiskMonitor:
+    """Live Q1 re-evaluation: does the spare pool still cover failures?
+
+    Maintains the instantaneous count of distinct down servers per rack
+    (multiple concurrent tickets on one server count once, mirroring the
+    batch per-server interval merge) and fires when
+
+        down  >  spares + (1 − sla) · capacity
+
+    i.e. when available capacity net of spares drops below the SLA
+    level.  One alert per breach episode: the rack must recover below
+    the threshold before it can alert again.
+
+    Args:
+        inventory: rack geometry.
+        sla: availability target.
+        spare_fraction: provisioned spares as a fraction of each rack's
+            capacity — a scalar (SF-style uniform) or per-rack array
+            (MF-style).
+        faults: fault types that count as a down server (default: the
+            hardware faults, matching batch μ).
+    """
+
+    def __init__(
+        self,
+        inventory: StreamInventory,
+        sla: AvailabilitySla,
+        spare_fraction: float | np.ndarray,
+        faults=None,
+    ):
+        if faults is None:
+            faults = list(HARDWARE_FAULTS)
+        self.inventory = inventory
+        self.sla = sla
+        fraction = np.broadcast_to(
+            np.asarray(spare_fraction, dtype=float), (inventory.n_racks,)
+        ).copy()
+        if (fraction < 0).any():
+            raise DataError("spare_fraction must be >= 0")
+        self.spare_fraction = fraction
+        self._codes = _fault_codes(faults)
+        capacity = inventory.n_servers.astype(float)
+        # Breach when down > allowed; allowed = spares + tolerated shortfall.
+        self.allowed = fraction * capacity + sla.shortfall * capacity
+        self._active: dict[int, int] = {}
+        self.down = np.zeros(inventory.n_racks, dtype=np.int64)
+        self.breached = np.zeros(inventory.n_racks, dtype=bool)
+        self.alerts_emitted = 0
+
+    def _tracks(self, event: Event) -> bool:
+        if event.false_positive:
+            return False
+        if self._codes is not None and event.fault_code not in self._codes:
+            return False
+        return 0 <= event.rack_index < self.inventory.n_racks
+
+    def update(self, event: Event) -> list[Alert]:
+        """Fold one event into the gauge; returns any new alerts."""
+        if event.kind is EventKind.TICKET_OPEN and self._tracks(event):
+            gid = (
+                int(self.inventory.server_base[event.rack_index])
+                + event.server_offset
+            )
+            count = self._active.get(gid, 0)
+            self._active[gid] = count + 1
+            if count == 0:
+                self.down[event.rack_index] += 1
+            return self._check(event.rack_index, event.time_hours)
+        if event.kind is EventKind.TICKET_CLOSE and self._tracks(event):
+            gid = (
+                int(self.inventory.server_base[event.rack_index])
+                + event.server_offset
+            )
+            count = self._active.get(gid, 0)
+            if count <= 1:
+                self._active.pop(gid, None)
+                if count == 1:
+                    self.down[event.rack_index] -= 1
+            else:
+                self._active[gid] = count - 1
+            return self._check(event.rack_index, event.time_hours)
+        return []
+
+    #: Breach comparisons tolerate float fuzz in ``fraction * capacity``
+    #: (e.g. ``(1 - 0.9) * 10`` lands an epsilon under 1.0): a rack is
+    #: only in breach when it is down by materially more than allowed.
+    _EPSILON = 1e-9
+
+    def _check(self, rack: int, time_hours: float) -> list[Alert]:
+        capacity = int(self.inventory.n_servers[rack])
+        down = min(int(self.down[rack]), capacity)
+        if down > self.allowed[rack] + self._EPSILON * max(capacity, 1):
+            if self.breached[rack]:
+                return []
+            self.breached[rack] = True
+            self.alerts_emitted += 1
+            return [Alert(
+                kind=AlertKind.SLA_RISK,
+                time_hours=time_hours,
+                rack_index=rack,
+                value=float(down),
+                threshold=float(self.allowed[rack]),
+                message=(
+                    f"rack {self.inventory.rack_ids[rack]}: {down} servers "
+                    f"down exceeds spares + shortfall "
+                    f"({self.allowed[rack]:.2f}) at SLA "
+                    f"{self.sla.percent_label}"
+                ),
+            )]
+        self.breached[rack] = False
+        return []
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Flat-array serialization of the gauge state."""
+        gids = np.array(sorted(self._active), dtype=np.int64)
+        counts = np.array(
+            [self._active[int(gid)] for gid in gids], dtype=np.int64,
+        )
+        return {
+            "active_gids": gids,
+            "active_counts": counts,
+            "down": self.down.copy(),
+            "breached": self.breached.copy(),
+            "spare_fraction": self.spare_fraction.copy(),
+        }
+
+    def meta(self) -> dict:
+        """JSON-serializable configuration + scalars."""
+        return {
+            "sla_level": self.sla.level,
+            "faults": None if self._codes is None else sorted(self._codes),
+            "alerts_emitted": self.alerts_emitted,
+        }
+
+    @staticmethod
+    def from_state(
+        inventory: StreamInventory,
+        arrays: dict[str, np.ndarray],
+        meta: dict,
+    ) -> "SlaRiskMonitor":
+        """Rebuild a monitor from :meth:`state_arrays` + :meth:`meta`."""
+        from .estimators import codes_to_faults
+
+        monitor = SlaRiskMonitor(
+            inventory=inventory,
+            sla=AvailabilitySla(float(meta["sla_level"])),
+            spare_fraction=np.asarray(arrays["spare_fraction"], dtype=float),
+            faults=codes_to_faults(meta["faults"]),
+        )
+        monitor._active = {
+            int(gid): int(count)
+            for gid, count in zip(arrays["active_gids"], arrays["active_counts"])
+        }
+        monitor.down = np.asarray(arrays["down"], dtype=np.int64).copy()
+        monitor.breached = np.asarray(arrays["breached"], dtype=bool).copy()
+        monitor.alerts_emitted = int(meta["alerts_emitted"])
+        return monitor
+
+
+class RateDriftDetector:
+    """Fleet-wide λ regime-change detection.
+
+    Counts filed tickets (true positives, one per correlated batch) per
+    *arrival* day and, as each day completes, compares the mean rate of
+    the last ``recent_days`` against the mean of the ``baseline_days``
+    immediately before them.  Fires when the recent rate departs by more
+    than ``ratio`` in either direction *and* the recent window carries at
+    least ``min_excess`` events more (or fewer) than the baseline
+    predicts — the absolute guard keeps near-zero baselines from
+    alarming on single tickets.  One alert per drift episode.
+
+    Args:
+        n_days: trace length (bounds the daily-count history).
+        baseline_days: trailing baseline window length.
+        recent_days: recent comparison window length.
+        ratio: departure factor (2.0 = double / half the baseline rate).
+        min_excess: minimum absolute event-count departure over the
+            recent window.
+    """
+
+    def __init__(
+        self,
+        n_days: int,
+        baseline_days: int = 28,
+        recent_days: int = 7,
+        ratio: float = 2.0,
+        min_excess: float = 5.0,
+    ):
+        if n_days < 1:
+            raise DataError(f"n_days must be >= 1, got {n_days}")
+        if baseline_days < 1 or recent_days < 1:
+            raise DataError("baseline_days and recent_days must be >= 1")
+        if ratio <= 1.0:
+            raise DataError(f"ratio must be > 1, got {ratio}")
+        self.n_days = n_days
+        self.baseline_days = baseline_days
+        self.recent_days = recent_days
+        self.ratio = ratio
+        self.min_excess = min_excess
+        self.day_counts = np.zeros(n_days, dtype=np.int64)
+        self._current_day = 0
+        self._in_drift = False
+        self._seen_batches: set[int] = set()
+        self.alerts_emitted = 0
+
+    def _counts(self, event: Event) -> bool:
+        if event.kind is not EventKind.TICKET_OPEN or event.false_positive:
+            return False
+        if event.batch_id >= 0:
+            if event.batch_id in self._seen_batches:
+                return False
+            self._seen_batches.add(event.batch_id)
+        return True
+
+    def update(self, event: Event) -> list[Alert]:
+        """Fold one event in; returns alerts for any days it completes."""
+        alerts: list[Alert] = []
+        if event.kind is EventKind.TICKET_OPEN:
+            day = int(event.time_hours // 24.0)
+            if day > self._current_day:
+                alerts = self._roll_to(day, event.time_hours)
+            if self._counts(event) and 0 <= day < self.n_days:
+                self.day_counts[day] += 1
+        return alerts
+
+    def finish(self, time_hours: float | None = None) -> list[Alert]:
+        """Evaluate the remaining completed days at end of stream."""
+        if time_hours is None:
+            time_hours = self.n_days * 24.0
+        final_day = min(int(time_hours // 24.0), self.n_days)
+        return self._roll_to(final_day, time_hours)
+
+    def _roll_to(self, day: int, time_hours: float) -> list[Alert]:
+        alerts: list[Alert] = []
+        for completed in range(self._current_day, min(day, self.n_days)):
+            alert = self._evaluate(completed, time_hours)
+            if alert is not None:
+                alerts.append(alert)
+        self._current_day = max(self._current_day, day)
+        return alerts
+
+    def _evaluate(self, day: int, time_hours: float) -> Alert | None:
+        recent_start = day - self.recent_days + 1
+        baseline_start = recent_start - self.baseline_days
+        if baseline_start < 0:
+            return None
+        recent = float(self.day_counts[recent_start:day + 1].mean())
+        baseline = float(
+            self.day_counts[baseline_start:recent_start].mean()
+        )
+        excess = abs(recent - baseline) * self.recent_days
+        drifted = excess >= self.min_excess and (
+            recent > self.ratio * baseline or recent * self.ratio < baseline
+        )
+        if not drifted:
+            self._in_drift = False
+            return None
+        if self._in_drift:
+            return None
+        self._in_drift = True
+        self.alerts_emitted += 1
+        direction = "above" if recent > baseline else "below"
+        return Alert(
+            kind=AlertKind.RATE_DRIFT,
+            time_hours=time_hours,
+            value=recent,
+            threshold=baseline,
+            message=(
+                f"day {day}: filed-RMA rate {recent:.2f}/day is {direction} "
+                f"{self.ratio:g}x the trailing baseline {baseline:.2f}/day"
+            ),
+        )
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Flat-array serialization of the detector state."""
+        return {
+            "day_counts": self.day_counts.copy(),
+            "seen": np.array(sorted(self._seen_batches), dtype=np.int64),
+        }
+
+    def meta(self) -> dict:
+        """JSON-serializable configuration + scalars."""
+        return {
+            "n_days": self.n_days,
+            "baseline_days": self.baseline_days,
+            "recent_days": self.recent_days,
+            "ratio": self.ratio,
+            "min_excess": self.min_excess,
+            "current_day": self._current_day,
+            "in_drift": self._in_drift,
+            "alerts_emitted": self.alerts_emitted,
+        }
+
+    @staticmethod
+    def from_state(
+        arrays: dict[str, np.ndarray], meta: dict,
+    ) -> "RateDriftDetector":
+        """Rebuild a detector from :meth:`state_arrays` + :meth:`meta`."""
+        detector = RateDriftDetector(
+            n_days=int(meta["n_days"]),
+            baseline_days=int(meta["baseline_days"]),
+            recent_days=int(meta["recent_days"]),
+            ratio=float(meta["ratio"]),
+            min_excess=float(meta["min_excess"]),
+        )
+        detector.day_counts = np.asarray(
+            arrays["day_counts"], dtype=np.int64,
+        ).copy()
+        detector._seen_batches = {int(b) for b in np.asarray(arrays["seen"])}
+        detector._current_day = int(meta["current_day"])
+        detector._in_drift = bool(meta["in_drift"])
+        detector.alerts_emitted = int(meta["alerts_emitted"])
+        return detector

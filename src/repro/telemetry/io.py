@@ -151,14 +151,31 @@ def _format_cell(value) -> str:
     return str(value)
 
 
-def read_csv_table(path: str | pathlib.Path) -> dict[str, list[str]]:
-    """Read a CSV into column lists (header-keyed); raw strings.
+#: Default data-row chunk size of :func:`iter_csv_rows`.
+CSV_CHUNK_ROWS = 8192
 
-    A deliberately small reader for round-trip checks and external-data
-    ingestion experiments; converting to a typed :class:`Table` is the
-    caller's job (schemas are domain knowledge).
+
+def iter_csv_rows(
+    path: str | pathlib.Path,
+    chunk_rows: int = CSV_CHUNK_ROWS,
+):
+    """Stream a CSV as ``(header, rows)`` chunks of raw string cells.
+
+    The incremental counterpart of :func:`read_csv_table`: at most
+    ``chunk_rows`` data rows are resident at a time, so arbitrarily
+    large ticket logs can be consumed without materializing the file
+    (``repro.stream`` flattens growing exports through this, and
+    :func:`read_csv_table` itself is a thin accumulation over it).
+
+    Yields:
+        ``(header, rows)`` pairs, the header repeated with every chunk
+        so consumers can stay stateless.  A header-only file yields a
+        single ``(header, [])`` pair.  Ragged rows raise
+        :class:`~repro.errors.DataError` naming the file.
     """
     path = pathlib.Path(path)
+    if chunk_rows < 1:
+        raise DataError(f"chunk_rows must be >= 1, got {chunk_rows}")
     if not path.exists():
         raise DataError(f"no such file: {path}")
     with path.open(newline="") as handle:
@@ -167,10 +184,34 @@ def read_csv_table(path: str | pathlib.Path) -> dict[str, list[str]]:
             header = next(reader)
         except StopIteration:
             raise DataError(f"{path} is empty") from None
-        columns: dict[str, list[str]] = {name: [] for name in header}
+        rows: list[list[str]] = []
+        yielded = False
         for row in reader:
             if len(row) != len(header):
                 raise DataError(f"{path}: ragged row {row!r}")
+            rows.append(row)
+            if len(rows) >= chunk_rows:
+                yield header, rows
+                yielded = True
+                rows = []
+        if rows or not yielded:
+            yield header, rows
+
+
+def read_csv_table(path: str | pathlib.Path) -> dict[str, list[str]]:
+    """Read a CSV into column lists (header-keyed); raw strings.
+
+    A deliberately small reader for round-trip checks and external-data
+    ingestion experiments; converting to a typed :class:`Table` is the
+    caller's job (schemas are domain knowledge).  Implemented as an
+    accumulation over :func:`iter_csv_rows`.
+    """
+    columns: dict[str, list[str]] | None = None
+    for header, rows in iter_csv_rows(path):
+        if columns is None:
+            columns = {name: [] for name in header}
+        for row in rows:
             for name, cell in zip(header, row):
                 columns[name].append(cell)
+    assert columns is not None  # iter_csv_rows raises on empty files
     return columns

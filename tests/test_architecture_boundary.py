@@ -13,7 +13,7 @@ import pathlib
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 
-ANALYSIS_PACKAGES = ("analysis", "decisions", "reporting", "telemetry")
+ANALYSIS_PACKAGES = ("analysis", "decisions", "reporting", "stream", "telemetry")
 
 # Ground-truth surfaces the analysis side must never read.
 FORBIDDEN_IMPORT = "hazards"

@@ -10,6 +10,7 @@ from repro.telemetry.io import (
     export_inventory_csv,
     export_table_csv,
     export_tickets_csv,
+    iter_csv_rows,
     read_csv_table,
 )
 from repro.telemetry.aggregate import rack_static_table
@@ -76,6 +77,86 @@ class TestReadCsv:
         path.write_text("a,b\n1,2\n3\n")
         with pytest.raises(DataError):
             read_csv_table(path)
+
+
+class TestIterCsvRows:
+    def _write(self, tmp_path, n_rows):
+        path = tmp_path / "data.csv"
+        path.write_text(
+            "a,b\n" + "".join(f"{i},{i * 2}\n" for i in range(n_rows))
+        )
+        return path
+
+    def test_chunks_bounded_and_complete(self, tmp_path):
+        path = self._write(tmp_path, 10)
+        chunks = list(iter_csv_rows(path, chunk_rows=4))
+        assert [len(rows) for _, rows in chunks] == [4, 4, 2]
+        assert all(header == ["a", "b"] for header, _ in chunks)
+        flat = [row for _, rows in chunks for row in rows]
+        assert flat == [[str(i), str(i * 2)] for i in range(10)]
+
+    def test_header_only_file_yields_empty_chunk(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        assert list(iter_csv_rows(path)) == [(["a", "b"], [])]
+
+    def test_exact_multiple_of_chunk_size(self, tmp_path):
+        path = self._write(tmp_path, 8)
+        chunks = list(iter_csv_rows(path, chunk_rows=4))
+        assert [len(rows) for _, rows in chunks] == [4, 4]
+
+    def test_bad_chunk_rows_rejected(self, tmp_path):
+        path = self._write(tmp_path, 2)
+        with pytest.raises(DataError, match="chunk_rows"):
+            list(iter_csv_rows(path, chunk_rows=0))
+
+    def test_read_csv_table_matches_chunked_reader(self, tiny_run, tmp_path):
+        path = tmp_path / "tickets.csv"
+        export_tickets_csv(tiny_run, path)
+        table = read_csv_table(path)
+        rebuilt: dict[str, list[str]] = {}
+        for header, rows in iter_csv_rows(path, chunk_rows=7):
+            for name in header:
+                rebuilt.setdefault(name, [])
+            for row in rows:
+                for name, cell in zip(header, row):
+                    rebuilt[name].append(cell)
+        assert rebuilt == table
+
+
+class TestArgumentValidation:
+    def test_negative_jobs_rejected_with_clear_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["simulate", "--jobs", "-2"]
+            )
+        assert excinfo.value.code == 2
+        assert "jobs must be >= 1" in capsys.readouterr().err
+
+    def test_zero_jobs_means_all_cores_still_allowed(self):
+        args = build_parser().parse_args(["simulate", "--jobs", "0"])
+        assert args.jobs == 0
+
+    def test_non_integer_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--jobs", "many"])
+        assert "invalid" in capsys.readouterr().err
+
+    def test_empty_seeds_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["simulate", "--seeds"])
+        assert excinfo.value.code == 2
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_negative_seed_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--seeds", "1", "-3"])
+        assert "seeds must be >= 0" in capsys.readouterr().err
+
+    def test_sweep_empty_seeds_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--seeds"])
+        assert "--seeds" in capsys.readouterr().err
 
 
 class TestCli:

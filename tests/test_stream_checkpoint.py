@@ -1,0 +1,129 @@
+"""Checkpoint bundle format: integrity, refusals, metadata."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.decisions.availability import AvailabilitySla
+from repro.errors import DataError
+from repro.stream import (
+    STREAM_CHECKPOINT_SCHEMA,
+    StreamAnalyzer,
+    StreamInventory,
+    checkpoint_meta,
+    flatten_result,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+@pytest.fixture(scope="module")
+def half_streamed(tiny_run):
+    inventory = StreamInventory.from_result(tiny_run)
+    analyzer = StreamAnalyzer(
+        inventory, window_hours=6.0, sla=AvailabilitySla(0.95),
+        spare_fraction=0.02, drift=True,
+    )
+    events = list(flatten_result(tiny_run))
+    analyzer.consume(iter(events), max_events=len(events) // 2)
+    return inventory, analyzer
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_everything(self, half_streamed, tmp_path):
+        inventory, analyzer = half_streamed
+        path = save_checkpoint(analyzer, tmp_path / "c.npz")
+        clone = load_checkpoint(path, inventory)
+        assert clone.events_seen == analyzer.events_seen
+        assert clone.last_time_hours == analyzer.last_time_hours
+        assert clone.racks_in_service == analyzer.racks_in_service
+        assert clone.sensor_samples == analyzer.sensor_samples
+        assert clone.window_hours == analyzer.window_hours
+        assert clone.sla == analyzer.sla
+        assert clone.alerts == analyzer.alerts
+        assert np.array_equal(clone.lambda_matrix(),
+                              analyzer.lambda_matrix())
+        assert np.array_equal(clone.mu_matrix(), analyzer.mu_matrix())
+        assert clone.monitor is not None and clone.drift is not None
+        assert np.array_equal(clone.monitor.down, analyzer.monitor.down)
+        assert np.array_equal(clone.drift.day_counts,
+                              analyzer.drift.day_counts)
+        assert clone.summary() == analyzer.summary()
+
+    def test_monitorless_analyzer_roundtrips(self, tiny_run, tmp_path):
+        inventory = StreamInventory.from_result(tiny_run)
+        analyzer = StreamAnalyzer(inventory, spare_fraction=None,
+                                  drift=False)
+        analyzer.consume(flatten_result(tiny_run), max_events=100)
+        clone = load_checkpoint(
+            save_checkpoint(analyzer, tmp_path / "m.npz"), inventory,
+        )
+        assert clone.monitor is None and clone.drift is None
+        assert clone.summary() == analyzer.summary()
+
+    def test_meta_readable_without_inventory(self, half_streamed, tmp_path):
+        _, analyzer = half_streamed
+        path = save_checkpoint(analyzer, tmp_path / "c.npz")
+        meta = checkpoint_meta(path)
+        assert meta["schema"] == STREAM_CHECKPOINT_SCHEMA
+        assert meta["events_seen"] == analyzer.events_seen
+        assert set(meta["parts"]) == {"lambda", "mu", "sku", "dc",
+                                      "monitor", "drift"}
+
+
+class TestRefusals:
+    def test_finished_analyzer_refused(self, tiny_run, tmp_path):
+        analyzer = StreamAnalyzer(StreamInventory.from_result(tiny_run))
+        analyzer.consume(flatten_result(tiny_run))
+        analyzer.finish()
+        with pytest.raises(DataError, match="finished"):
+            save_checkpoint(analyzer, tmp_path / "f.npz")
+
+    def test_wrong_inventory_refused(self, half_streamed, tmp_path):
+        import dataclasses
+
+        inventory, analyzer = half_streamed
+        path = save_checkpoint(analyzer, tmp_path / "c.npz")
+        other = dataclasses.replace(inventory, n_days=inventory.n_days + 1)
+        with pytest.raises(DataError, match="different inventory"):
+            load_checkpoint(path, other)
+
+    def test_missing_file_refused(self, half_streamed, tmp_path):
+        inventory, _ = half_streamed
+        with pytest.raises(DataError, match="no such checkpoint"):
+            load_checkpoint(tmp_path / "absent.npz", inventory)
+
+    def test_non_checkpoint_npz_refused(self, half_streamed, tmp_path):
+        inventory, _ = half_streamed
+        path = tmp_path / "other.npz"
+        np.savez(path, data=np.arange(3))
+        with pytest.raises(DataError, match="not a stream checkpoint"):
+            load_checkpoint(path, inventory)
+
+    def test_schema_mismatch_refused(self, half_streamed, tmp_path):
+        inventory, analyzer = half_streamed
+        path = save_checkpoint(analyzer, tmp_path / "c.npz")
+        with np.load(path) as bundle:
+            arrays = {key: bundle[key] for key in bundle.files}
+        meta = json.loads(bytes(arrays["meta_json"].tobytes()).decode())
+        meta["schema"] = STREAM_CHECKPOINT_SCHEMA + 1
+        arrays["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8,
+        )
+        tampered = tmp_path / "tampered.npz"
+        with tampered.open("wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(DataError, match="schema"):
+            load_checkpoint(tampered, inventory)
+
+    def test_position_enforced_after_resume(self, half_streamed,
+                                            tiny_run, tmp_path):
+        inventory, analyzer = half_streamed
+        path = save_checkpoint(analyzer, tmp_path / "c.npz")
+        clone = load_checkpoint(path, inventory)
+        wrong_offset = flatten_result(tiny_run)  # starts at seq 0
+        with pytest.raises(DataError, match="position"):
+            clone.process(next(wrong_offset))

@@ -1,0 +1,102 @@
+"""`repro stream` end-to-end and the `streaming` experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.reporting import EXPERIMENTS, get_experiment
+
+SIM = ["--seed", "9", "--scale", "0.05", "--days", "60"]
+
+
+@pytest.fixture(scope="module")
+def export_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli-stream") / "run"
+    assert main(["simulate", *SIM, "--out", str(out)]) == 0
+    return out
+
+
+@pytest.fixture(scope="module")
+def corrupt_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli-stream-fd") / "fd"
+    assert main(["corrupt", *SIM, "--severity", "0.5", "--out", str(out)]) == 0
+    return out
+
+
+class TestStreamCommand:
+    def test_pristine_export_calibrated_zero_alerts(self, export_dir, capsys):
+        assert main(["stream", *SIM, "--from", str(export_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "alerts             : 0" in captured.out
+        assert "calibrated spare fraction" in captured.err
+
+    def test_stressed_spares_emit_alerts(self, export_dir, capsys):
+        assert main(["stream", *SIM, "--from", str(export_dir),
+                     "--spare-fraction", "0.0"]) == 0
+        out = capsys.readouterr().out
+        assert "[sla-risk]" in out
+
+    def test_corrupt_bundle_streams(self, corrupt_dir, capsys):
+        assert main(["stream", *SIM, "--from", str(corrupt_dir),
+                     "--spare-fraction", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "events seen" in out and "tickets counted" in out
+
+    def test_checkpoint_resume_matches_one_shot(self, export_dir, tmp_path,
+                                                capsys):
+        ckpt = tmp_path / "stream.npz"
+        assert main(["stream", *SIM, "--from", str(export_dir),
+                     "--spare-fraction", "0.01",
+                     "--max-events", "500", "--checkpoint", str(ckpt)]) == 0
+        first = capsys.readouterr()
+        assert "wrote checkpoint" in first.err
+        assert ckpt.exists()
+
+        assert main(["stream", *SIM, "--from", str(export_dir),
+                     "--resume", str(ckpt)]) == 0
+        resumed = capsys.readouterr()
+        assert "(resumed at event 500)" in resumed.err
+
+        assert main(["stream", *SIM, "--from", str(export_dir),
+                     "--spare-fraction", "0.01"]) == 0
+        one_shot = capsys.readouterr()
+        assert resumed.out == one_shot.out
+
+    def test_follow_mode_on_static_directory(self, export_dir, capsys):
+        assert main(["stream", *SIM, "--from", str(export_dir),
+                     "--spare-fraction", "0.01", "--follow",
+                     "--poll-interval", "0.01", "--max-idle-polls", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "events seen" in out
+
+    def test_window_hours_flag(self, export_dir, capsys):
+        assert main(["stream", *SIM, "--from", str(export_dir),
+                     "--spare-fraction", "0.5",
+                     "--window-hours", "6"]) == 0
+        assert "6h windows" in capsys.readouterr().out
+
+    def test_mismatched_config_rejected(self, export_dir):
+        from repro.errors import DataError
+
+        with pytest.raises(DataError):
+            main(["stream", "--seed", "9", "--scale", "0.1", "--days", "60",
+                  "--from", str(export_dir)])
+
+
+class TestStreamingExperiment:
+    def test_registered(self):
+        assert "streaming" in EXPERIMENTS
+
+    def test_renders_and_verifies_contracts(self, tiny_run):
+        from repro.reporting import AnalysisContext
+
+        text = get_experiment("streaming").render(AnalysisContext(tiny_run))
+        assert "λ bit-identical to batch : yes" in text
+        assert "μ bit-identical to batch : yes" in text
+        assert "checkpoint/resume exact  : yes" in text
+        assert "alerts at calibration    : 0" in text
+
+    def test_listed_by_cli(self, capsys):
+        assert main(["list"]) == 0
+        assert "streaming" in capsys.readouterr().out
