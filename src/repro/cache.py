@@ -30,7 +30,7 @@ import json
 import pathlib
 import shutil
 import time
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -41,6 +41,7 @@ from .errors import DataError
 from .failures.engine import SimulationResult, simulate
 from .failures.tickets import TicketLog
 from .rng import RngRegistry
+from .telemetry.schema import TICKET_LOG_COLUMNS
 from .units import SimCalendar
 
 if TYPE_CHECKING:
@@ -53,10 +54,9 @@ CACHE_SCHEMA = 1
 # Default bound on the number of cached runs kept by automatic pruning.
 DEFAULT_MAX_ENTRIES = 32
 
-_TICKET_COLUMNS = (
-    "day_index", "start_hour_abs", "rack_index", "server_offset",
-    "fault_code", "false_positive", "repair_hours", "batch_id",
-)
+# The columnar ticket layout persisted in each bundle — the declared
+# TicketLog schema, not a private copy of it.
+_TICKET_COLUMNS = TICKET_LOG_COLUMNS
 
 
 def config_fingerprint(config: "SimulationConfig") -> dict:
@@ -88,10 +88,15 @@ class RunCache:
     Args:
         root: cache directory; created on first use.  One subdirectory
             per entry: ``<root>/<key>/{tickets.npz, meta.json}``.
+        clock: source of the ``created`` timestamps written to entry
+            metadata.  Defaults to wall-clock time; tests inject a fake
+            so eviction order is replayable.
     """
 
-    def __init__(self, root: str | pathlib.Path):
+    def __init__(self, root: str | pathlib.Path,
+                 clock: Callable[[], float] = time.time):
         self.root = pathlib.Path(root)
+        self._clock = clock
 
     def entry_dir(self, key: str) -> pathlib.Path:
         """Directory holding the bundle for ``key``."""
@@ -184,7 +189,7 @@ class RunCache:
             "n_tickets": len(log),
             "n_racks": result.fleet.n_racks,
             "n_days": result.n_days,
-            "created": time.time(),
+            "created": self._clock(),
         })
         (entry / "meta.json").write_text(json.dumps(meta, indent=2, default=str))
         if max_entries:

@@ -9,6 +9,8 @@ Commands:
 * ``stream``   — replay an exported directory through the online
   streaming analyzers (windowed λ/μ, SLA-risk and drift alerts,
   checkpoint/resume, ``--follow`` for growing exports).
+* ``lint``     — run the domain-aware static checks (``repro.staticcheck``)
+  over the package (or given paths); exit 1 on new findings.
 * ``list``     — list the registered experiments.
 """
 
@@ -302,6 +304,41 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .staticcheck import (
+        all_rules, get_rule, lint_paths, load_baseline, render_json,
+        render_text, write_baseline,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:15s} {rule.title}")
+            print(f"{'':15s} {rule.rationale}")
+        return 0
+    rules = None
+    if args.rules:
+        rules = [get_rule(rule_id) for rule_id in args.rules]
+    if (args.baseline and args.write_baseline
+            and not pathlib.Path(args.baseline).exists()):
+        baseline = None  # creating a brand-new baseline file
+    else:
+        baseline = load_baseline(args.baseline)
+    paths = [pathlib.Path(p) for p in args.paths] or None
+    report = lint_paths(paths, rules=rules, baseline=baseline)
+    if args.write_baseline:
+        from .staticcheck.baselines import DEFAULT_BASELINE_PATH
+
+        target = args.baseline or DEFAULT_BASELINE_PATH
+        path = write_baseline(target, report.all_findings, previous=baseline)
+        print(f"wrote baseline {path} ({len(report.all_findings)} entries)")
+        return 0
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose_rules=args.verbose))
+    return 0 if report.ok else 1
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     for experiment_id in sorted(EXPERIMENTS):
         print(f"{experiment_id:8s} {EXPERIMENTS[experiment_id].description}")
@@ -418,6 +455,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="--follow exits after this many polls with no "
                              "growth (default 3)")
     stream.set_defaults(func=_cmd_stream)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the repro.staticcheck domain rules (exit 1 on findings)",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or package directories to lint "
+                           "(default: the installed repro package)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default text; json is the CI "
+                           "contract)")
+    lint.add_argument("--rules", nargs="+", default=None, metavar="RULE-ID",
+                      help="run only these rule ids (default: all)")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline file of grandfathered findings "
+                           "(default: the committed package baseline)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write all current findings to the baseline "
+                           "(to --baseline, or the committed default) "
+                           "instead of reporting")
+    lint.add_argument("--verbose", action="store_true",
+                      help="append rule rationales to the text report")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     lister = commands.add_parser("list", help="list registered experiments")
     lister.set_defaults(func=_cmd_list)

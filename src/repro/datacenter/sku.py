@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from ..errors import ConfigError
+from ..groundtruth import GROUND_TRUTH
 
 
 class SkuCategory(Enum):
@@ -67,9 +68,12 @@ class SkuSpec:
     dimms_per_server: int
     rated_power_kw: float
     server_cost_units: float = 100.0
-    intrinsic_hazard: float = 1.0
-    batch_failure_rate: float = 0.001
-    batch_failure_mean_size: float = 2.0
+    # ``ground_truth`` metadata marks planted-hazard inputs the analysis
+    # layer must never read; repro.staticcheck derives its GT-leak
+    # forbidden-attribute list from these marks.
+    intrinsic_hazard: float = field(default=1.0, metadata=GROUND_TRUTH)
+    batch_failure_rate: float = field(default=0.001, metadata=GROUND_TRUTH)
+    batch_failure_mean_size: float = field(default=2.0, metadata=GROUND_TRUTH)
 
     def __post_init__(self) -> None:
         if self.servers_per_rack <= 0:

@@ -22,8 +22,17 @@ from enum import Enum
 import numpy as np
 
 from ..errors import ConfigError
+from ..groundtruth import GROUND_TRUTH
 from .sku import SkuCatalog, SkuSpec
 from .workload import WorkloadCatalog
+
+#: ``FleetArrays`` attributes that carry planted hazard inputs.  The
+#: GT-leak rule folds these into its forbidden-attribute set; keep the
+#: tuple next to the class so adding an array updates the lint too.
+GROUND_TRUTH_ARRAY_FIELDS: tuple[str, ...] = (
+    "sku_intrinsic", "batch_rate", "batch_mean_size",
+    "region_thermal_offset", "region_humidity_offset", "region_hazard",
+)
 
 
 class CoolingKind(Enum):
@@ -64,9 +73,11 @@ class RegionSpec:
     """
 
     name: str
-    thermal_offset_f: float = 0.0
-    humidity_offset: float = 0.0
-    hazard_multiplier: float = 1.0
+    # Planted spatial ground truth (see repro.groundtruth): Fig 2's
+    # intra-DC variation must be recovered, never read.
+    thermal_offset_f: float = field(default=0.0, metadata=GROUND_TRUTH)
+    humidity_offset: float = field(default=0.0, metadata=GROUND_TRUTH)
+    hazard_multiplier: float = field(default=1.0, metadata=GROUND_TRUTH)
 
     def __post_init__(self) -> None:
         if self.hazard_multiplier <= 0:

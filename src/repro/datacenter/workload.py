@@ -16,12 +16,13 @@ Ground truth planted here (verified by the Fig 3/6 benches):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 
 import numpy as np
 
 from ..errors import ConfigError
+from ..groundtruth import GROUND_TRUTH
 from .sku import SkuCategory
 
 
@@ -53,8 +54,10 @@ class WorkloadSpec:
 
     name: str
     category: WorkloadCategory
-    stress_multiplier: float
-    disk_stress: float
+    # Planted hazard inputs (see repro.groundtruth): the analysis layer
+    # must infer workload stress from tickets, never read it.
+    stress_multiplier: float = field(metadata=GROUND_TRUTH)
+    disk_stress: float = field(metadata=GROUND_TRUTH)
     weekday_utilization: float
     weekend_utilization: float
     software_churn: float

@@ -26,6 +26,7 @@ Reproduction targets:
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -157,7 +158,8 @@ def compare_skus(
     common_support = {}
     mf_pair = None
     mf_pair_peak = None
-    try:
+    # Miniature fleets may lack overlapping strata; leave the defaults.
+    with contextlib.suppress(DataError):
         common_support[("S2", "S4")] = mf_mean_model.stratified_ratio(
             "sku", "S2", "S4",
         )
@@ -167,8 +169,6 @@ def compare_skus(
         mf_pair_peak = mf_peak_model.common_support_effect(
             "sku", ("S2", "S4"), peak_quantile=peak_quantile,
         )
-    except DataError:
-        pass  # miniature fleets may lack overlapping strata
     return SkuComparison(
         sf_mean=sf_mean,
         sf_peak=sf_peak,

@@ -24,6 +24,13 @@ from ..units import DAYS_PER_MONTH, CalendarArrays, CalendarDay
 from . import hazards
 from .tickets import FaultType
 
+#: :class:`RackContext` attributes that carry planted hazard inputs
+#: (beyond the FleetArrays/spec fields they are derived from).  Folded
+#: into the GT-leak forbidden-attribute set by ``repro.groundtruth``.
+GROUND_TRUTH_CONTEXT_FIELDS: tuple[str, ...] = (
+    "thermal_coupling", "density_stress",
+)
+
 
 @dataclass(frozen=True)
 class FaultRateConfig:

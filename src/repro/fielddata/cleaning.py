@@ -19,6 +19,7 @@ import numpy as np
 
 from ..errors import ConfigError, DataError
 from ..failures.tickets import HARDWARE_FAULTS, FaultType, TicketLog
+from ..telemetry.schema import TICKET_LOG
 from .dataset import FieldDataset, log_from_columns, ticket_columns
 
 #: Re-filed duplicates land within this window of the original ticket.
@@ -88,9 +89,9 @@ def dedupe_tickets(
     if n == 0:
         return log, 0
     columns = ticket_columns(log)
-    start = columns["start_hour_abs"]
-    keys = (columns["batch_id"], columns["fault_code"],
-            columns["server_offset"], columns["rack_index"])
+    start = columns[TICKET_LOG.start_hour_abs]
+    keys = (columns[TICKET_LOG.batch_id], columns[TICKET_LOG.fault_code],
+            columns[TICKET_LOG.server_offset], columns[TICKET_LOG.rack_index])
     order = np.lexsort((start,) + keys)
     same_key = np.ones(n, dtype=bool)
     same_key[0] = False
@@ -127,8 +128,9 @@ def drop_orphan_tickets(
     file an RMA) and typically indicate mis-keyed rack ids upstream.
     """
     columns = ticket_columns(log)
-    day = columns["day_index"]
-    keep = (day >= 0) & (day < n_days) & (day < decommission_day[columns["rack_index"]])
+    day = columns[TICKET_LOG.day_index]
+    keep = ((day >= 0) & (day < n_days)
+            & (day < decommission_day[columns[TICKET_LOG.rack_index]]))
     dropped = int((~keep).sum())
     if dropped == 0:
         return log, 0

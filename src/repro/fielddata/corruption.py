@@ -27,6 +27,7 @@ import numpy as np
 from ..errors import ConfigError
 from ..failures.tickets import FAULT_TYPES
 from ..rng import RngRegistry
+from ..telemetry.schema import TICKET_LOG
 from .dataset import FieldDataset, log_from_columns, ticket_columns
 
 
@@ -90,10 +91,12 @@ class DuplicateTickets(CorruptionOp):
         rows = np.sort(rng.choice(n, size=count, replace=False))
         gaps = rng.uniform(0.25, self.max_gap_hours, size=count)
         duplicate = {name: values[rows].copy() for name, values in columns.items()}
-        duplicate["start_hour_abs"] = _clip_hours(
-            duplicate["start_hour_abs"] + gaps, dataset.n_days,
+        duplicate[TICKET_LOG.start_hour_abs] = _clip_hours(
+            duplicate[TICKET_LOG.start_hour_abs] + gaps, dataset.n_days,
         )
-        duplicate["day_index"] = (duplicate["start_hour_abs"] // 24.0).astype(np.int64)
+        duplicate[TICKET_LOG.day_index] = (
+            duplicate[TICKET_LOG.start_hour_abs] // 24.0
+        ).astype(np.int64)
         merged = {
             name: np.concatenate([columns[name], duplicate[name]])
             for name in columns
@@ -138,16 +141,18 @@ class JitterTimestamps(CorruptionOp):
         if self.severity == 0.0:
             return dataset, {"tickets_jittered": 0}
         columns = ticket_columns(dataset.tickets)
-        n = len(columns["start_hour_abs"])
+        n = len(columns[TICKET_LOG.start_hour_abs])
         if n == 0:
             return dataset, {"tickets_jittered": 0}
         shifted = dict(columns)
-        shifted["start_hour_abs"] = _clip_hours(
-            columns["start_hour_abs"]
+        shifted[TICKET_LOG.start_hour_abs] = _clip_hours(
+            columns[TICKET_LOG.start_hour_abs]
             + rng.normal(0.0, self.severity * self.max_sd_hours, size=n),
             dataset.n_days,
         )
-        shifted["day_index"] = (shifted["start_hour_abs"] // 24.0).astype(np.int64)
+        shifted[TICKET_LOG.day_index] = (
+            shifted[TICKET_LOG.start_hour_abs] // 24.0
+        ).astype(np.int64)
         log = log_from_columns(shifted, canonical_sort=True)
         return dataset.replace(tickets=log), {"tickets_jittered": n}
 
@@ -172,9 +177,13 @@ class MisattributeTickets(CorruptionOp):
         n_types = len(FAULT_TYPES)
         # Shift by 1..n_types-1 positions: uniformly some *other* type.
         offsets = rng.integers(1, n_types, size=count)
-        columns["fault_code"][rows] = (columns["fault_code"][rows] + offsets) % n_types
-        capacity = dataset.fleet.arrays().n_servers[columns["rack_index"][rows]]
-        columns["server_offset"][rows] = (
+        columns[TICKET_LOG.fault_code][rows] = (
+            columns[TICKET_LOG.fault_code][rows] + offsets
+        ) % n_types
+        capacity = dataset.fleet.arrays().n_servers[
+            columns[TICKET_LOG.rack_index][rows]
+        ]
+        columns[TICKET_LOG.server_offset][rows] = (
             rng.random(count) * capacity
         ).astype(np.int64)
         log = log_from_columns(columns, canonical_sort=True)
@@ -278,7 +287,8 @@ class CensorInventory(CorruptionOp):
         decommission[racks] = np.minimum(decommission[racks], exit_days)
 
         columns = ticket_columns(dataset.tickets)
-        keep = columns["day_index"] < decommission[columns["rack_index"]]
+        keep = (columns[TICKET_LOG.day_index]
+                < decommission[columns[TICKET_LOG.rack_index]])
         dropped = int((~keep).sum())
         columns = {name: values[keep] for name, values in columns.items()}
 

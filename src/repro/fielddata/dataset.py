@@ -23,15 +23,14 @@ from ..environment.bms import BuildingManagementSystem
 from ..errors import DataError
 from ..failures.engine import SimulationResult
 from ..failures.tickets import TicketLog
+from ..telemetry.schema import TICKET_LOG, TICKET_LOG_COLUMNS
 
 if TYPE_CHECKING:
     from ..config import SimulationConfig
 
-#: Canonical column order of the columnar ticket log.
-TICKET_COLUMN_NAMES = (
-    "day_index", "start_hour_abs", "rack_index", "server_offset",
-    "fault_code", "false_positive", "repair_hours", "batch_id",
-)
+#: Canonical column order of the columnar ticket log (the declared
+#: TicketLog schema re-exported under the historical local name).
+TICKET_COLUMN_NAMES = TICKET_LOG_COLUMNS
 
 
 def ticket_columns(log: TicketLog) -> dict[str, np.ndarray]:
@@ -55,11 +54,11 @@ def log_from_columns(
     if missing:
         raise DataError(f"ticket columns missing {missing}")
     columns = {name: np.asarray(columns[name]) for name in TICKET_COLUMN_NAMES}
-    if canonical_sort and len(columns["day_index"]):
+    if canonical_sort and len(columns[TICKET_LOG.day_index]):
         order = np.lexsort((
-            columns["server_offset"], columns["rack_index"],
-            columns["fault_code"], columns["start_hour_abs"],
-            columns["day_index"],
+            columns[TICKET_LOG.server_offset], columns[TICKET_LOG.rack_index],
+            columns[TICKET_LOG.fault_code], columns[TICKET_LOG.start_hour_abs],
+            columns[TICKET_LOG.day_index],
         ))
         columns = {name: values[order] for name, values in columns.items()}
     log = TicketLog()

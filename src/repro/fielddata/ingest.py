@@ -28,6 +28,7 @@ from ..telemetry.io import (
     export_ticket_log_csv,
     read_csv_table,
 )
+from ..telemetry.schema import INVENTORY_CSV, TICKET_CSV, TICKET_LOG
 from .dataset import FieldDataset, log_from_columns
 
 if TYPE_CHECKING:
@@ -98,37 +99,44 @@ def load_tickets_csv(path: str | pathlib.Path, fleet: Fleet) -> TicketLog:
     }
 
     rack_index = _parse_column(
-        columns["rack_id"], rack_index_by_id.__getitem__, "rack_id", path,
-        np.int64,
+        columns[TICKET_CSV.rack_id], rack_index_by_id.__getitem__,
+        TICKET_CSV.rack_id, path, np.int64,
     )
     fault_code = _parse_column(
-        columns["fault_type"], FAULT_CODE_BY_LABEL.__getitem__, "fault_type",
-        path, np.int64,
+        columns[TICKET_CSV.fault_type], FAULT_CODE_BY_LABEL.__getitem__,
+        TICKET_CSV.fault_type, path, np.int64,
     )
     loaded = {
-        "day_index": _parse_column(columns["day_index"], int, "day_index",
-                                   path, np.int64),
-        "start_hour_abs": _parse_column(columns["start_hour_abs"], float,
-                                        "start_hour_abs", path, float),
-        "rack_index": rack_index,
-        "server_offset": _parse_column(columns["server_offset"], int,
-                                       "server_offset", path, np.int64),
-        "fault_code": fault_code,
-        "false_positive": _parse_column(columns["false_positive"], _parse_bool,
-                                        "false_positive", path, bool),
-        "repair_hours": _parse_column(columns["repair_hours"], float,
-                                      "repair_hours", path, float),
-        "batch_id": _parse_column(columns["batch_id"], int, "batch_id",
-                                  path, np.int64),
+        TICKET_LOG.day_index: _parse_column(
+            columns[TICKET_CSV.day_index], int, TICKET_CSV.day_index,
+            path, np.int64),
+        TICKET_LOG.start_hour_abs: _parse_column(
+            columns[TICKET_CSV.start_hour_abs], float,
+            TICKET_CSV.start_hour_abs, path, float),
+        TICKET_LOG.rack_index: rack_index,
+        TICKET_LOG.server_offset: _parse_column(
+            columns[TICKET_CSV.server_offset], int, TICKET_CSV.server_offset,
+            path, np.int64),
+        TICKET_LOG.fault_code: fault_code,
+        TICKET_LOG.false_positive: _parse_column(
+            columns[TICKET_CSV.false_positive], _parse_bool,
+            TICKET_CSV.false_positive, path, bool),
+        TICKET_LOG.repair_hours: _parse_column(
+            columns[TICKET_CSV.repair_hours], float, TICKET_CSV.repair_hours,
+            path, float),
+        TICKET_LOG.batch_id: _parse_column(
+            columns[TICKET_CSV.batch_id], int, TICKET_CSV.batch_id,
+            path, np.int64),
     }
-    for row, (dc, rack_id) in enumerate(zip(columns["dc"], columns["rack_id"])):
+    for row, (dc, rack_id) in enumerate(zip(columns[TICKET_CSV.dc],
+                                            columns[TICKET_CSV.rack_id])):
         if dc_of_rack[rack_id] != dc:
             raise DataError(
                 f"{path}: row {row + 2}: rack {rack_id!r} belongs to "
                 f"{dc_of_rack[rack_id]!r}, not {dc!r}"
             )
-    for row, (label, category) in enumerate(zip(columns["fault_type"],
-                                                columns["category"])):
+    for row, (label, category) in enumerate(zip(columns[TICKET_CSV.fault_type],
+                                                columns[TICKET_CSV.category])):
         expected = FAULT_CATEGORY[FAULT_TYPES[FAULT_CODE_BY_LABEL[label]]].value
         if category != expected:
             raise DataError(
@@ -192,28 +200,29 @@ def load_inventory_csv(path: str | pathlib.Path) -> InventoryTable:
     columns = read_csv_table(path)
     for name in INVENTORY_COLUMNS:
         _column(columns, name, path)
+    inv = INVENTORY_CSV
     decommission = None
-    if "decommission_day" in columns:
-        decommission = _parse_column(columns["decommission_day"], int,
-                                     "decommission_day", path, np.int64)
+    if inv.decommission_day in columns:
+        decommission = _parse_column(columns[inv.decommission_day], int,
+                                     inv.decommission_day, path, np.int64)
     return InventoryTable(
-        rack_id=tuple(columns["rack_id"]),
-        dc=tuple(columns["dc"]),
-        region=tuple(columns["region"]),
-        row=_parse_column(columns["row"], int, "row", path, np.int64),
-        sku=tuple(columns["sku"]),
-        vendor=tuple(columns["vendor"]),
-        workload=tuple(columns["workload"]),
-        rated_power_kw=_parse_column(columns["rated_power_kw"], float,
-                                     "rated_power_kw", path, float),
-        commission_day=_parse_column(columns["commission_day"], int,
-                                     "commission_day", path, np.int64),
-        n_servers=_parse_column(columns["n_servers"], int, "n_servers",
+        rack_id=tuple(columns[inv.rack_id]),
+        dc=tuple(columns[inv.dc]),
+        region=tuple(columns[inv.region]),
+        row=_parse_column(columns[inv.row], int, inv.row, path, np.int64),
+        sku=tuple(columns[inv.sku]),
+        vendor=tuple(columns[inv.vendor]),
+        workload=tuple(columns[inv.workload]),
+        rated_power_kw=_parse_column(columns[inv.rated_power_kw], float,
+                                     inv.rated_power_kw, path, float),
+        commission_day=_parse_column(columns[inv.commission_day], int,
+                                     inv.commission_day, path, np.int64),
+        n_servers=_parse_column(columns[inv.n_servers], int, inv.n_servers,
                                 path, np.int64),
-        hdds_per_server=_parse_column(columns["hdds_per_server"], int,
-                                      "hdds_per_server", path, np.int64),
-        dimms_per_server=_parse_column(columns["dimms_per_server"], int,
-                                       "dimms_per_server", path, np.int64),
+        hdds_per_server=_parse_column(columns[inv.hdds_per_server], int,
+                                      inv.hdds_per_server, path, np.int64),
+        dimms_per_server=_parse_column(columns[inv.dimms_per_server], int,
+                                       inv.dimms_per_server, path, np.int64),
         decommission_day=decommission,
     )
 

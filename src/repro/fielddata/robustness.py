@@ -12,6 +12,7 @@ loop is bit-identical to analyzing the pristine run directly.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
@@ -53,31 +54,25 @@ def headline_metrics(result: SimulationResult) -> dict[str, float]:
     Metrics a realization cannot support record NaN.
     """
     values = dict.fromkeys(METRIC_NAMES, float("nan"))
-    try:
+    with contextlib.suppress(ReproError):
         comparison = compare_skus(result)
         values["Q2 SF S2/S4 average-rate ratio"] = float(
             comparison.sf_ratio("S2", "S4", "mean"))
         values["Q2 MF S2/S4 average-rate ratio"] = float(
             comparison.mf_ratio("S2", "S4", "mean"))
-    except ReproError:
-        pass
-    try:
+    with contextlib.suppress(ReproError):
         provisioner = SpareProvisioner(result, window_hours=24.0)
         sla = AvailabilitySla(1.0)
         values["Q1 SF over-provision W6@100% (%)"] = 100.0 * float(
             provisioner.single_factor("W6", sla).overprovision)
         values["Q1 MF over-provision W6@100% (%)"] = 100.0 * float(
             provisioner.multi_factor("W6", sla).overprovision)
-    except ReproError:
-        pass
-    try:
+    with contextlib.suppress(ReproError):
         found = discover_climate_thresholds(result, "DC1")
         if found.temp_threshold_f is not None:
             values["Q3 DC1 temperature split (F)"] = float(found.temp_threshold_f)
         group = climate_group_rates(result, "DC1")
         values["Q3 DC1 hot/cool disk-rate ratio"] = float(group.hot / group.cool)
-    except ReproError:
-        pass
     return values
 
 

@@ -1,0 +1,53 @@
+"""Marking and enumerating planted-ground-truth surfaces.
+
+The whole reproduction rests on one contract: the analysis layer must
+*recover* the planted hazard structure from operator-visible telemetry,
+never read it directly.  Generation-side dataclasses tag their planted
+fields with :data:`GROUND_TRUTH` metadata, and array containers declare
+ground-truth attributes in module-level tuples; this module collects
+both into the single forbidden-name set that the ``GT-leak`` rule in
+:mod:`repro.staticcheck` (and the architecture-boundary tests) enforce.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: ``field(metadata=GROUND_TRUTH)`` marks a dataclass field as planted
+#: hazard ground truth, invisible to the analysis layer.
+GROUND_TRUTH: dict[str, bool] = {"ground_truth": True}
+
+
+def ground_truth_fields(cls) -> frozenset[str]:
+    """Names of the dataclass fields marked with :data:`GROUND_TRUTH`."""
+    return frozenset(
+        f.name for f in dataclasses.fields(cls)
+        if f.metadata.get("ground_truth", False)
+    )
+
+
+def ground_truth_attributes() -> frozenset[str]:
+    """Every attribute name that carries planted hazard ground truth.
+
+    Generated, not hand-maintained: the union of
+
+    * dataclass fields tagged ``GROUND_TRUTH`` on the SKU / workload /
+      region specs, and
+    * the declared ground-truth array blocks of ``FleetArrays``
+      (:data:`~repro.datacenter.topology.GROUND_TRUTH_ARRAY_FIELDS`)
+      and the fault-model context
+      (:data:`~repro.failures.faultmodel.GROUND_TRUTH_CONTEXT_FIELDS`).
+
+    Imported lazily so that this module stays dependency-free for the
+    analysis side (the callers are lint tooling and boundary tests).
+    """
+    from .datacenter.sku import SkuSpec
+    from .datacenter.topology import GROUND_TRUTH_ARRAY_FIELDS, RegionSpec
+    from .datacenter.workload import WorkloadSpec
+    from .failures.faultmodel import GROUND_TRUTH_CONTEXT_FIELDS
+
+    names: set[str] = set(GROUND_TRUTH_ARRAY_FIELDS)
+    names.update(GROUND_TRUTH_CONTEXT_FIELDS)
+    for spec in (SkuSpec, WorkloadSpec, RegionSpec):
+        names.update(ground_truth_fields(spec))
+    return frozenset(names)

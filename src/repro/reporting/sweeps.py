@@ -194,8 +194,9 @@ def _noise_sweep_worker(
         result = simulate(config)
     values: dict[float, dict[str, float]] = {}
     for severity in severities:
-        if severity == 0.0:
-            # Identity by construction; skip the corrupt/clean machinery.
+        # Exact sentinel: severity 0.0 is the caller-spelled identity
+        # level, never the result of arithmetic.
+        if severity == 0.0:  # repro: noqa[float-eq]
             values[severity] = headline_metrics(result)
         else:
             values[severity] = degrade_and_clean(result, severity)[1].metrics

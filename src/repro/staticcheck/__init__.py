@@ -1,0 +1,46 @@
+"""Domain-aware static analysis for the simulator/analysis contract.
+
+The repo's correctness argument rests on invariants no general-purpose
+linter knows about: the analysis layer must never read planted hazard
+ground truth, randomness must flow through named streams, simulation
+paths must not read wall clocks, analysis code must not compare floats
+with ``==``, and telemetry dict keys must come from schema constants.
+This package makes those invariants first-class lint rules:
+
+* :mod:`~repro.staticcheck.framework` — single-walk AST driver, rule
+  registry, ``# repro: noqa[RULE-ID]`` suppressions;
+* :mod:`~repro.staticcheck.graph` — module-level import graph of the
+  package (relative imports resolved);
+* :mod:`~repro.staticcheck.rules` — the shipped rule pack;
+* :mod:`~repro.staticcheck.baselines` — committed-baseline store for
+  grandfathered findings;
+* :mod:`~repro.staticcheck.reporters` — text / JSON output;
+* :mod:`~repro.staticcheck.runner` — high-level entry points used by
+  the ``repro lint`` CLI and the tier-1 tests.
+
+Run it with ``python -m repro lint`` (see ``docs/static_analysis.md``).
+"""
+
+from .baselines import Baseline, load_baseline, write_baseline
+from .framework import Finding, ModuleInfo, Rule, all_rules, get_rule
+from .graph import ImportGraph
+from .reporters import render_json, render_text
+from .runner import LintReport, default_target, lint_paths, lint_source
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "ImportGraph",
+    "LintReport",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "default_target",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]

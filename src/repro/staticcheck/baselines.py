@@ -1,0 +1,139 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline entry pins one *known and accepted* finding so ``repro
+lint`` stays green while the debt is visible and reviewed.  Entries
+match by fingerprint — a hash of (file, rule, normalized source line,
+occurrence index) — so findings keep matching when unrelated edits move
+line numbers, and stop matching (forcing a re-review) the moment the
+offending line itself changes.
+
+The shipped baseline lives at ``src/repro/staticcheck/baseline.json``
+(package data, so the default is found no matter the working
+directory); regenerate it with ``repro lint --write-baseline`` after
+consciously accepting new findings, and keep each entry's ``rationale``
+honest — it is the review record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from ..errors import DataError
+from .framework import Finding
+
+BASELINE_SCHEMA = 1
+
+#: The committed, package-shipped baseline used by default.
+DEFAULT_BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "baseline.json"
+
+
+def fingerprint(finding: Finding, occurrence: int = 0) -> str:
+    """Stable id of a finding, robust to pure line-number drift."""
+    normalized = " ".join(finding.source_line.split())
+    payload = f"{finding.path}|{finding.rule}|{normalized}|{occurrence}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def fingerprint_findings(findings: list[Finding]) -> dict[str, Finding]:
+    """Fingerprint → finding, disambiguating identical lines by order."""
+    out: dict[str, Finding] = {}
+    seen: dict[tuple[str, str, str], int] = {}
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        key = (finding.path, finding.rule, " ".join(finding.source_line.split()))
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out[fingerprint(finding, occurrence)] = finding
+    return out
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Accepted findings: fingerprint → rationale."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+    path: pathlib.Path | None = None
+
+    def __contains__(self, fp: str) -> bool:
+        return fp in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def rationale(self, fp: str) -> str:
+        """The recorded acceptance rationale for one entry."""
+        return self.entries.get(fp, {}).get("rationale", "")
+
+
+def load_baseline(path: str | pathlib.Path | None = None) -> Baseline:
+    """Load a baseline file (the shipped default when ``path`` is None).
+
+    A missing default baseline is an empty baseline; a missing explicit
+    path is an error.
+    """
+    explicit = path is not None
+    path = pathlib.Path(path) if explicit else DEFAULT_BASELINE_PATH
+    if not path.exists():
+        if explicit:
+            raise DataError(f"no such baseline file: {path}")
+        return Baseline(path=path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise DataError(f"baseline {path} is corrupt: {error}") from error
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise DataError(
+            f"baseline {path}: schema {payload.get('schema')!r} != {BASELINE_SCHEMA}"
+        )
+    entries: dict[str, dict] = {}
+    for entry in payload.get("entries", []):
+        fp = entry.get("fingerprint")
+        if not fp:
+            raise DataError(f"baseline {path}: entry without fingerprint: {entry}")
+        entries[fp] = entry
+    return Baseline(entries=entries, path=path)
+
+
+def write_baseline(
+    path: str | pathlib.Path,
+    findings: list[Finding],
+    previous: Baseline | None = None,
+) -> pathlib.Path:
+    """Write ``findings`` as the new baseline, keeping old rationales.
+
+    New entries get a placeholder rationale to be filled in by the
+    author before committing.
+    """
+    path = pathlib.Path(path)
+    fingerprinted = fingerprint_findings(findings)
+    entries = []
+    for fp, finding in sorted(
+        fingerprinted.items(), key=lambda kv: (kv[1].path, kv[1].line, kv[0]),
+    ):
+        rationale = previous.rationale(fp) if previous else ""
+        entries.append({
+            "fingerprint": fp,
+            "rule": finding.rule,
+            "file": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+            "source_line": finding.source_line,
+            "rationale": rationale or "TODO: justify grandfathering this finding",
+        })
+    payload = {"schema": BASELINE_SCHEMA, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def partition(
+    findings: list[Finding], baseline: Baseline,
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, baselined)."""
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for fp, finding in fingerprint_findings(findings).items():
+        (grandfathered if fp in baseline else new).append(finding)
+    key = lambda f: (f.path, f.line, f.col, f.rule)  # noqa: E731
+    return sorted(new, key=key), sorted(grandfathered, key=key)

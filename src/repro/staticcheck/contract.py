@@ -1,0 +1,56 @@
+"""The repo's architectural contract, as data the rules consume.
+
+Everything here is *derived* from the domain modules at lint time —
+the forbidden ground-truth attributes come from the hazard schema marks
+(:mod:`repro.groundtruth`) and the telemetry key set from
+:mod:`repro.telemetry.schema` — so extending the simulator extends the
+lint without touching the checker.
+"""
+
+from __future__ import annotations
+
+import functools
+
+#: Packages on the operator-visible side of the field-data boundary.
+#: They may consume simulator *outputs* (tickets, sensor streams,
+#: inventory) but never the planted hazard model.
+ANALYSIS_PACKAGES: frozenset[str] = frozenset(
+    {"analysis", "decisions", "reporting", "stream", "telemetry"}
+)
+
+#: Packages whose dict keys for tickets/inventory must come from
+#: ``telemetry.schema`` constants (the analysis side plus the field-data
+#: ingestion/degradation layer, which round-trips the same artifacts).
+SCHEMA_KEYED_PACKAGES: frozenset[str] = ANALYSIS_PACKAGES | {"fielddata"}
+
+#: Modules holding the planted hazard model; the analysis side must not
+#: import them (directly or via `import repro.failures.hazards as h`).
+FORBIDDEN_GROUND_TRUTH_MODULES: tuple[str, ...] = (
+    "repro.failures.hazards",
+    "repro.failures.faultmodel",
+)
+
+#: The named-stream helper module exempt from RNG discipline.
+RNG_HELPER_MODULES: frozenset[str] = frozenset({"repro.rng"})
+
+
+@functools.lru_cache(maxsize=1)
+def ground_truth_attributes() -> frozenset[str]:
+    """Attribute names the analysis side must never read (generated)."""
+    from ..groundtruth import ground_truth_attributes as generate
+
+    return generate()
+
+
+@functools.lru_cache(maxsize=1)
+def telemetry_field_names() -> frozenset[str]:
+    """Ticket/inventory field names that must be spelled via constants."""
+    from ..telemetry.schema import telemetry_field_names as generate
+
+    return generate()
+
+
+def is_analysis_module(module_name: str) -> bool:
+    """True for modules inside the analysis-side packages."""
+    parts = module_name.split(".")
+    return len(parts) > 2 and parts[1] in ANALYSIS_PACKAGES

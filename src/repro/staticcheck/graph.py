@@ -1,0 +1,82 @@
+"""Module-level import graph of a Python package tree.
+
+Built once per lint run from the same :class:`~repro.staticcheck.framework.ModuleInfo`
+objects the rules walk, so the GT-leak boundary check reasons over
+*resolved* module names (relative imports included) instead of matching
+substrings in import statements.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable
+
+from .framework import ModuleInfo, read_source
+
+
+def module_name_for(path: pathlib.Path, root: pathlib.Path) -> str:
+    """Dotted module name of ``path`` inside package root ``root``.
+
+    ``root`` is the directory of the top-level package (e.g.
+    ``.../src/repro``); ``__init__.py`` maps to its package name.
+    """
+    relative = path.relative_to(root.parent)
+    parts = list(relative.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def collect_modules(root: pathlib.Path) -> list[ModuleInfo]:
+    """Parse every ``*.py`` under package root ``root``, sorted by name."""
+    paths = sorted(root.rglob("*.py"))
+    known = frozenset(module_name_for(path, root) for path in paths)
+    return [
+        ModuleInfo(
+            source=read_source(path),
+            name=module_name_for(path, root),
+            path=path,
+            known_modules=known,
+        )
+        for path in paths
+    ]
+
+
+class ImportGraph:
+    """Directed module → imported-modules graph."""
+
+    def __init__(self, modules: Iterable[ModuleInfo]):
+        self.edges: dict[str, set[str]] = {}
+        for module in modules:
+            self.edges.setdefault(module.name, set()).update(
+                target for target, _ in module.import_edges
+            )
+
+    def imports_of(self, name: str) -> frozenset[str]:
+        """Direct imports of module ``name``."""
+        return frozenset(self.edges.get(name, ()))
+
+    def importers_of(self, name: str) -> frozenset[str]:
+        """Modules that directly import ``name`` (or a submodule of it)."""
+        prefix = name + "."
+        return frozenset(
+            source for source, targets in self.edges.items()
+            if any(t == name or t.startswith(prefix) for t in targets)
+        )
+
+    def reaches(self, start: str, target: str) -> bool:
+        """True when ``target`` is transitively imported from ``start``
+        (within the modules this graph was built from)."""
+        prefix = target + "."
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for nxt in self.edges.get(current, ()):
+                if nxt == target or nxt.startswith(prefix):
+                    return True
+                stack.append(nxt)
+        return False

@@ -1,0 +1,79 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON layout is part of the CI contract (the ``staticcheck`` job
+parses it and asserts rule ids are present); bump ``REPORT_SCHEMA`` on
+incompatible changes.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .baselines import fingerprint_findings
+from .runner import LintReport
+
+REPORT_SCHEMA = 1
+
+
+def render_text(report: LintReport, verbose_rules: bool = False) -> str:
+    """Human-readable report, one ``path:line:col: rule: message`` per
+    finding, followed by a summary line."""
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(f"{finding.location()}: {finding.rule}: {finding.message}")
+        if finding.source_line:
+            lines.append(f"    {finding.source_line}")
+    if verbose_rules and report.findings:
+        lines.append("")
+        for rule in sorted({f.rule for f in report.findings}):
+            doc = report.rule_docs.get(rule, "")
+            lines.append(f"[{rule}] {doc}")
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.n_modules} module(s)"
+        f" ({len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed)"
+    )
+    lines.append(summary if not lines else "")
+    lines[-1] = summary
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (stable key order)."""
+    fingerprints = {
+        id(finding): fp
+        for fp, finding in fingerprint_findings(
+            report.findings + report.baselined
+        ).items()
+    }
+
+    def encode(finding, baselined: bool) -> dict:
+        return {
+            "rule": finding.rule,
+            "file": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "message": finding.message,
+            "source_line": finding.source_line,
+            "fingerprint": fingerprints.get(id(finding), ""),
+            "baselined": baselined,
+        }
+
+    payload = {
+        "schema": REPORT_SCHEMA,
+        "rules": {
+            rule_id: {"title": title, "rationale": rationale}
+            for rule_id, (title, rationale) in sorted(report.rule_catalog.items())
+        },
+        "findings": (
+            [encode(f, False) for f in report.findings]
+            + [encode(f, True) for f in report.baselined]
+        ),
+        "counts": {
+            "new": len(report.findings),
+            "baselined": len(report.baselined),
+            "suppressed": len(report.suppressed),
+            "modules": report.n_modules,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,20 @@
+"""The shipped rule pack.
+
+Importing this package registers every rule with the framework
+registry; ``framework.all_rules()`` does so lazily.  Rule catalogue and
+suppression workflow: ``docs/static_analysis.md``.
+"""
+
+from .float_eq import FloatEqRule
+from .gt_leak import GtLeakRule
+from .rng_discipline import RngDisciplineRule
+from .schema_fields import SchemaFieldsRule
+from .wallclock import WallclockRule
+
+__all__ = [
+    "FloatEqRule",
+    "GtLeakRule",
+    "RngDisciplineRule",
+    "SchemaFieldsRule",
+    "WallclockRule",
+]

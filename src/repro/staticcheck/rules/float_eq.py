@@ -1,0 +1,62 @@
+"""float-eq: no ``==``/``!=`` between float expressions in analysis code.
+
+Rate estimates, thresholds and availability levels are all floats that
+pass through arithmetic; exact equality against them is almost always a
+latent bug (the 78 °F split works because the tree compares with ``<=``).
+The rule is deliberately heuristic — it flags comparisons where either
+side is *syntactically* float-valued (a float literal, a ``float(...)``
+call, or arithmetic over one); deliberate sentinel comparisons carry a
+``# repro: noqa[float-eq]`` with their rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterable
+
+from ..contract import is_analysis_module
+from ..framework import Finding, ModuleInfo, Rule, register
+
+
+def _is_floatish(node: ast.AST, depth: int = 3) -> bool:
+    """Syntactically float-valued: literal, float() call, or arithmetic
+    over one (bounded recursion)."""
+    if depth <= 0:
+        return False
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id == "float"
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand, depth - 1)
+    if isinstance(node, ast.BinOp):
+        return (_is_floatish(node.left, depth - 1)
+                or _is_floatish(node.right, depth - 1))
+    return False
+
+
+@register
+class FloatEqRule(Rule):
+    id: ClassVar[str] = "float-eq"
+    title: ClassVar[str] = "exact float equality in analysis code"
+    rationale: ClassVar[str] = (
+        "Float expressions that went through arithmetic rarely compare "
+        "exactly equal; use an ordered comparison, math.isclose, or "
+        "suppress with a rationale when the value is an exact sentinel."
+    )
+    node_types: ClassVar[tuple[type, ...]] = (ast.Compare,)
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return is_analysis_module(module.name)
+
+    def check_node(self, node: ast.AST, module: ModuleInfo) -> Iterable[Finding]:
+        assert isinstance(node, ast.Compare)
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        operands = [node.left, *node.comparators]
+        if any(_is_floatish(operand) for operand in operands):
+            yield self.finding(
+                module, node,
+                "float equality comparison; use an ordered comparison or "
+                "an explicit tolerance",
+            )

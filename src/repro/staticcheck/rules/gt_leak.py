@@ -1,0 +1,75 @@
+"""GT-leak: the analysis layer must not touch planted ground truth.
+
+The paper's "MF beats SF" result is only meaningful if the analysis
+side (CART, partial dependence, the Q1–Q3 decisions, reporting,
+streaming, telemetry) works from operator-visible data alone.  This
+rule forbids, inside those packages:
+
+* importing the hazard model modules (``failures.hazards``,
+  ``failures.faultmodel``) — checked over the resolved import graph, so
+  relative imports and ``from repro.failures import hazards`` spellings
+  are all caught;
+* reading any planted-hazard attribute (``arrays.sku_intrinsic``,
+  ``spec.stress_multiplier``, ...) — the forbidden-name set is
+  generated from the hazard schema marks in :mod:`repro.groundtruth`,
+  including ``getattr(x, "name")`` spellings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterable
+
+from ..contract import (
+    FORBIDDEN_GROUND_TRUTH_MODULES,
+    is_analysis_module,
+    ground_truth_attributes,
+)
+from ..framework import Finding, ModuleInfo, Rule, register
+
+
+@register
+class GtLeakRule(Rule):
+    id: ClassVar[str] = "GT-leak"
+    title: ClassVar[str] = "analysis side reads planted hazard ground truth"
+    rationale: ClassVar[str] = (
+        "The analysis layer must recover the planted hazard structure from "
+        "operator-visible telemetry; reading it directly makes the paper's "
+        "headline comparison circular."
+    )
+    node_types: ClassVar[tuple[type, ...]] = (ast.Attribute, ast.Call)
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return is_analysis_module(module.name)
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        for target, lineno in module.import_edges:
+            for forbidden in FORBIDDEN_GROUND_TRUTH_MODULES:
+                if target == forbidden or target.startswith(forbidden + "."):
+                    yield self.finding(
+                        module, lineno,
+                        f"imports the hazard ground truth module {forbidden!r}",
+                    )
+
+    def check_node(self, node: ast.AST, module: ModuleInfo) -> Iterable[Finding]:
+        forbidden = ground_truth_attributes()
+        if isinstance(node, ast.Attribute) and node.attr in forbidden:
+            yield self.finding(
+                module, node,
+                f"reads planted ground-truth attribute {node.attr!r}",
+            )
+        elif isinstance(node, ast.Call):
+            # getattr(x, "sku_intrinsic") is the same read, spelled late.
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "getattr"
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+                and node.args[1].value in forbidden
+            ):
+                yield self.finding(
+                    module, node,
+                    "reads planted ground-truth attribute "
+                    f"{node.args[1].value!r} via getattr",
+                )

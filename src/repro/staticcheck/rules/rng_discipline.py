@@ -1,0 +1,113 @@
+"""RNG-discipline: all randomness flows through named streams.
+
+Determinism is carried by :class:`repro.rng.RngRegistry`'s named
+streams: equal configs give bit-identical runs, and adding a consumer
+never perturbs existing draws.  A single ``np.random.shuffle`` or
+module-global generator silently breaks both properties, so outside
+the helper module this rule forbids:
+
+* any call into the legacy global numpy RNG (``np.random.rand``,
+  ``np.random.seed``, ...);
+* ``default_rng()`` with no seed argument (nondeterministic entropy);
+* stdlib ``random`` module functions;
+* binding a generator at module scope (generators must be parameters).
+
+``np.random.default_rng(seed)`` with an explicit seed inside a
+function is allowed — it is how named streams and test fixtures are
+built — and ``np.random.Generator`` remains usable in annotations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterable
+
+from ..contract import RNG_HELPER_MODULES
+from ..framework import Finding, ModuleInfo, Rule, register
+
+#: Attributes of numpy.random that are fine to reference anywhere.
+_ALLOWED_NUMPY_RANDOM = frozenset({"Generator", "BitGenerator", "SeedSequence", "PCG64"})
+
+
+@register
+class RngDisciplineRule(Rule):
+    id: ClassVar[str] = "RNG-discipline"
+    title: ClassVar[str] = "randomness outside the named-stream helpers"
+    rationale: ClassVar[str] = (
+        "Runs must be bit-reproducible from (config, seed); global or "
+        "unseeded RNGs make draws depend on import order and entropy. "
+        "Take a Generator parameter or ask RngRegistry for a named stream."
+    )
+    node_types: ClassVar[tuple[type, ...]] = (ast.Call, ast.Assign)
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.name not in RNG_HELPER_MODULES
+
+    def check_node(self, node: ast.AST, module: ModuleInfo) -> Iterable[Finding]:
+        if isinstance(node, ast.Call):
+            yield from self._check_call(node, module)
+        elif isinstance(node, ast.Assign):
+            yield from self._check_module_global(node, module)
+
+    def _check_call(self, node: ast.Call, module: ModuleInfo) -> Iterable[Finding]:
+        full = module.resolve(node.func)
+        if full is None:
+            return
+        if full.startswith("numpy.random."):
+            leaf = full.removeprefix("numpy.random.")
+            if leaf == "default_rng":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module, node,
+                        "unseeded default_rng(): draws depend on OS entropy; "
+                        "pass an explicit seed or use a named stream",
+                    )
+            elif leaf not in _ALLOWED_NUMPY_RANDOM:
+                yield self.finding(
+                    module, node,
+                    f"call into the global numpy RNG ({full}); use a "
+                    "Generator parameter or RngRegistry stream",
+                )
+        elif full.startswith("random."):
+            root_origin = module.bindings.get(full.split(".")[0])
+            if root_origin == "random" or full.split(".")[0] == "random":
+                yield self.finding(
+                    module, node,
+                    f"stdlib random call ({full}); use a numpy Generator "
+                    "from a named stream",
+                )
+        else:
+            # "from random import shuffle" binds the bare name.
+            origin = module.bindings.get(full.split(".")[0], "")
+            if origin.startswith("random."):
+                yield self.finding(
+                    module, node,
+                    f"stdlib random call ({origin}); use a numpy Generator "
+                    "from a named stream",
+                )
+            elif origin == "numpy.random.default_rng" and not node.args \
+                    and not node.keywords:
+                yield self.finding(
+                    module, node,
+                    "unseeded default_rng(): draws depend on OS entropy; "
+                    "pass an explicit seed or use a named stream",
+                )
+
+    def _check_module_global(
+        self, node: ast.Assign, module: ModuleInfo,
+    ) -> Iterable[Finding]:
+        # Only flag assignments at module scope (direct children of the
+        # Module body), where a shared generator would leak state across
+        # every caller.
+        if node not in module.tree.body:
+            return
+        value = node.value
+        if not isinstance(value, ast.Call):
+            return
+        full = module.resolve(value.func) or ""
+        if full.endswith("default_rng") or full == "numpy.random.Generator":
+            yield self.finding(
+                module, node,
+                "module-global Generator: generators must be parameters "
+                "(or RngRegistry streams), not shared module state",
+            )

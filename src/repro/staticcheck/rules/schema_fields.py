@@ -1,0 +1,63 @@
+"""schema-fields: telemetry dict keys come from schema constants.
+
+Ticket and inventory artifacts round-trip through several layers
+(export, ingestion, corruption, streaming, checkpointing); a typo'd
+string key fails silently as a miss, not loudly as an error.  Inside
+the consumer packages, any string-literal dict subscript or dict-literal
+key that *names a declared ticket/inventory field* must be spelled via
+the :mod:`repro.telemetry.schema` constants (``TICKET_LOG``,
+``TICKET_CSV``, ``INVENTORY_CSV``) instead.  The key set is generated
+from those declarations at lint time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterable
+
+from ..contract import SCHEMA_KEYED_PACKAGES, telemetry_field_names
+from ..framework import Finding, ModuleInfo, Rule, register
+
+#: The module that declares the constants (and so may spell them out).
+_DECLARING_MODULE = "repro.telemetry.schema"
+
+
+@register
+class SchemaFieldsRule(Rule):
+    id: ClassVar[str] = "schema-fields"
+    title: ClassVar[str] = "string-literal telemetry field key"
+    rationale: ClassVar[str] = (
+        "Ticket/inventory keys must come from telemetry.schema constants "
+        "(TICKET_LOG / TICKET_CSV / INVENTORY_CSV) so typos fail at "
+        "import time, not as silent data mismatches."
+    )
+    node_types: ClassVar[tuple[type, ...]] = (ast.Subscript, ast.Dict)
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        parts = module.name.split(".")
+        return (
+            module.name != _DECLARING_MODULE
+            and len(parts) > 2
+            and parts[1] in SCHEMA_KEYED_PACKAGES
+        )
+
+    def check_node(self, node: ast.AST, module: ModuleInfo) -> Iterable[Finding]:
+        fields = telemetry_field_names()
+        if isinstance(node, ast.Subscript):
+            key = node.slice
+            if (isinstance(key, ast.Constant) and isinstance(key.value, str)
+                    and key.value in fields):
+                yield self.finding(
+                    module, key,
+                    f"string-literal field key {key.value!r}; use the "
+                    "telemetry.schema constant",
+                )
+        elif isinstance(node, ast.Dict):
+            for key in node.keys:
+                if (isinstance(key, ast.Constant) and isinstance(key.value, str)
+                        and key.value in fields):
+                    yield self.finding(
+                        module, key,
+                        f"string-literal field key {key.value!r}; use the "
+                        "telemetry.schema constant",
+                    )

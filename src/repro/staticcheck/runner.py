@@ -1,0 +1,162 @@
+"""High-level lint entry points for the CLI, CI job and tests.
+
+:func:`lint_paths` walks package trees on disk; :func:`lint_source`
+lints a snippet string as if it lived at a chosen module path, which is
+how the fixture tests feed known-bad code through individual rules.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from ..errors import DataError
+from .baselines import Baseline, partition
+from .framework import Finding, ModuleInfo, Rule, all_rules, check_modules
+from .graph import ImportGraph, collect_modules, module_name_for
+
+
+def default_target() -> pathlib.Path:
+    """The installed ``repro`` package tree (self-lint target)."""
+    return pathlib.Path(__file__).resolve().parent.parent
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run.
+
+    ``findings`` are actionable (not suppressed, not baselined);
+    ``ok`` is the CI gate.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    n_modules: int = 0
+    rule_catalog: dict[str, tuple[str, str]] = field(default_factory=dict)
+    graph: ImportGraph | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing actionable was found."""
+        return not self.findings
+
+    @property
+    def rule_docs(self) -> dict[str, str]:
+        """Rule id → rationale (for verbose text output)."""
+        return {rid: doc for rid, (_, doc) in self.rule_catalog.items()}
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        """New + baselined findings (excludes suppressed)."""
+        return sorted(
+            self.findings + self.baselined,
+            key=lambda f: (f.path, f.line, f.col, f.rule),
+        )
+
+
+def _catalog(rules: list[Rule]) -> dict[str, tuple[str, str]]:
+    return {rule.id: (rule.title, rule.rationale) for rule in rules}
+
+
+def lint_modules(
+    modules: list[ModuleInfo],
+    rules: list[Rule] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Run rules over pre-parsed modules; apply baseline if given."""
+    rules = rules if rules is not None else all_rules()
+    walk = check_modules(modules, rules)
+    if baseline is not None and len(baseline):
+        new, grandfathered = partition(walk.findings, baseline)
+    else:
+        new, grandfathered = walk.findings, []
+    return LintReport(
+        findings=new,
+        baselined=grandfathered,
+        suppressed=walk.suppressed,
+        n_modules=walk.n_modules,
+        rule_catalog=_catalog(rules),
+        graph=ImportGraph(modules),
+    )
+
+
+def lint_paths(
+    paths: list[pathlib.Path] | None = None,
+    rules: list[Rule] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Lint one or more package trees (default: the repro package)."""
+    targets = [pathlib.Path(p) for p in (paths or [default_target()])]
+    modules: list[ModuleInfo] = []
+    for target in targets:
+        if not target.exists():
+            raise DataError(f"no such lint target: {target}")
+        if target.is_file():
+            root = _package_root(target)
+            known = frozenset(
+                module_name_for(p, root) for p in sorted(root.rglob("*.py"))
+            )
+            from .framework import read_source
+
+            modules.append(ModuleInfo(
+                source=read_source(target),
+                name=module_name_for(target, root),
+                path=target,
+                known_modules=known,
+            ))
+        else:
+            root = _package_root(target)
+            collected = collect_modules(root)
+            if target.resolve() != root.resolve():
+                # A subpackage target lints only its own modules; the
+                # whole package still provides import resolution.
+                subtree = target.resolve()
+                collected = [
+                    m for m in collected
+                    if m.path.resolve().is_relative_to(subtree)
+                ]
+            modules.extend(collected)
+    return lint_modules(modules, rules=rules, baseline=baseline)
+
+
+def _package_root(path: pathlib.Path) -> pathlib.Path:
+    """Top-most directory containing ``__init__.py`` above ``path``."""
+    current = path if path.is_dir() else path.parent
+    root = current
+    while (current / "__init__.py").exists():
+        root = current
+        current = current.parent
+    if not (root / "__init__.py").exists():
+        raise DataError(f"{path} is not inside a Python package")
+    return root
+
+
+def lint_source(
+    source: str,
+    module: str = "repro.analysis.fixture",
+    rules: list[Rule] | None = None,
+    known_modules: frozenset[str] | None = None,
+) -> list[Finding]:
+    """Lint a snippet as if it were the module named ``module``.
+
+    The fixture-test entry point: choose the virtual module path to
+    place the snippet inside (or outside) the packages a rule guards.
+    ``known_modules`` defaults to the real package's module set so
+    ``from repro.failures import hazards`` resolves as it would in the
+    tree.
+    """
+    if known_modules is None:
+        root = default_target()
+        known_modules = frozenset(
+            module_name_for(p, root) for p in sorted(root.rglob("*.py"))
+        )
+        known_modules |= {module}
+    info = ModuleInfo(
+        source=source,
+        name=module,
+        path=pathlib.Path("<fixture>") / (module.replace(".", "/") + ".py"),
+        known_modules=known_modules,
+    )
+    report = lint_modules([info], rules=rules)
+    return report.all_findings

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..decisions.availability import AvailabilitySla
 from ..errors import DataError
+from ..telemetry.schema import TICKET_LOG
 from .estimators import StreamingGroupCounts, StreamingLambda, StreamingMu
 from .events import Event, EventKind, StreamInventory
 from .triggers import Alert, RateDriftDetector, SlaRiskMonitor
@@ -198,7 +199,7 @@ class StreamAnalyzer:
                 {
                     "kind": alert.kind.value,
                     "time_hours": round(alert.time_hours, 3),
-                    "rack_index": alert.rack_index,
+                    TICKET_LOG.rack_index: alert.rack_index,
                     "value": alert.value,
                     "threshold": alert.threshold,
                     "message": alert.message,

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..decisions.availability import AvailabilitySla
 from ..errors import DataError
+from ..telemetry.schema import TICKET_LOG
 from .analyzer import StreamAnalyzer
 from .estimators import StreamingLambda, StreamingMu
 from .events import StreamInventory
@@ -40,7 +41,7 @@ def _alert_to_json(alert: Alert) -> dict:
         "kind": alert.kind.value,
         "time_hours": alert.time_hours,
         "message": alert.message,
-        "rack_index": alert.rack_index,
+        TICKET_LOG.rack_index: alert.rack_index,
         "value": alert.value,
         "threshold": alert.threshold,
     }
@@ -51,7 +52,7 @@ def _alert_from_json(payload: dict) -> Alert:
         kind=AlertKind(payload["kind"]),
         time_hours=float(payload["time_hours"]),
         message=str(payload["message"]),
-        rack_index=int(payload["rack_index"]),
+        rack_index=int(payload[TICKET_LOG.rack_index]),
         value=float(payload["value"]),
         threshold=float(payload["threshold"]),
     )
@@ -167,8 +168,10 @@ def load_checkpoint(
         inventory.n_servers, inventory.server_base,
         arrays["mu"], parts["mu"],
     )
-    analyzer.sku_counts.restore(arrays["sku"], parts["sku"])
-    analyzer.dc_counts.restore(arrays["dc"], parts["dc"])
+    # "sku"/"dc" here are checkpoint part prefixes (_PARTS), not
+    # telemetry column names.
+    analyzer.sku_counts.restore(arrays["sku"], parts["sku"])  # repro: noqa[schema-fields]
+    analyzer.dc_counts.restore(arrays["dc"], parts["dc"])  # repro: noqa[schema-fields]
     if "monitor" in parts:
         analyzer.monitor = SlaRiskMonitor.from_state(
             inventory, arrays["monitor"], parts["monitor"],

@@ -20,6 +20,10 @@ Main products:
 
 from __future__ import annotations
 
+# repro: noqa-file[schema-fields] — dict keys in this module name Table
+# features (table_iii_schema), which deliberately share spellings with
+# inventory columns; they are not ticket/inventory artifact keys.
+
 import numpy as np
 
 from ..errors import DataError

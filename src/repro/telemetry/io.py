@@ -16,19 +16,13 @@ from ..datacenter.topology import Fleet
 from ..errors import DataError
 from ..failures.engine import SimulationResult
 from ..failures.tickets import FAULT_CATEGORY, FAULT_TYPES, TicketLog
+from .schema import INVENTORY_CSV, INVENTORY_CSV_COLUMNS, TICKET_CSV_COLUMNS
 from .table import Table
 
-TICKET_COLUMNS = (
-    "ticket_id", "day_index", "start_hour_abs", "dc", "rack_id",
-    "server_offset", "fault_type", "category", "false_positive",
-    "repair_hours", "batch_id",
-)
-
-INVENTORY_COLUMNS = (
-    "rack_id", "dc", "region", "row", "sku", "vendor", "workload",
-    "rated_power_kw", "commission_day", "n_servers",
-    "hdds_per_server", "dimms_per_server",
-)
+#: CSV headers (the declared schema orders, re-exported under the names
+#: this module has always published).
+TICKET_COLUMNS = TICKET_CSV_COLUMNS
+INVENTORY_COLUMNS = INVENTORY_CSV_COLUMNS
 
 
 def export_tickets_csv(result: SimulationResult, path: str | pathlib.Path) -> int:
@@ -101,7 +95,7 @@ def export_fleet_inventory_csv(
         )
     header = list(INVENTORY_COLUMNS)
     if decommission_day is not None:
-        header.append("decommission_day")
+        header.append(INVENTORY_CSV.decommission_day)
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(header)

@@ -9,6 +9,7 @@ are built differently per kind.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -117,6 +118,102 @@ class Schema:
     def subset(self, names: list[str]) -> "Schema":
         """Return a schema restricted to ``names``, in the given order."""
         return Schema(features=tuple(self.get(name) for name in names))
+
+
+# ---------------------------------------------------------------------------
+# Field-name constants for the operator-visible artifacts.
+#
+# Every dict key or CSV column that names a ticket/inventory field must
+# come from these namespaces, never from an inline string literal — the
+# ``schema-fields`` rule in :mod:`repro.staticcheck` enforces it.  The
+# rule derives its key set from these dataclasses at lint time, so
+# adding a field here automatically extends the check.
+
+
+@dataclass(frozen=True)
+class _TicketLogFields:
+    """Columnar array names of an in-memory ``TicketLog``."""
+
+    day_index: str = "day_index"
+    start_hour_abs: str = "start_hour_abs"
+    rack_index: str = "rack_index"
+    server_offset: str = "server_offset"
+    fault_code: str = "fault_code"
+    false_positive: str = "false_positive"
+    repair_hours: str = "repair_hours"
+    batch_id: str = "batch_id"
+
+
+@dataclass(frozen=True)
+class _TicketCsvFields:
+    """Column names of an exported ``tickets.csv``."""
+
+    ticket_id: str = "ticket_id"
+    day_index: str = "day_index"
+    start_hour_abs: str = "start_hour_abs"
+    dc: str = "dc"
+    rack_id: str = "rack_id"
+    server_offset: str = "server_offset"
+    fault_type: str = "fault_type"
+    category: str = "category"
+    false_positive: str = "false_positive"
+    repair_hours: str = "repair_hours"
+    batch_id: str = "batch_id"
+
+
+@dataclass(frozen=True)
+class _InventoryCsvFields:
+    """Column names of an exported ``inventory.csv``.
+
+    ``decommission_day`` only appears in censored field datasets; it is
+    not part of :data:`INVENTORY_CSV_COLUMNS`.
+    """
+
+    rack_id: str = "rack_id"
+    dc: str = "dc"
+    region: str = "region"
+    row: str = "row"
+    sku: str = "sku"
+    vendor: str = "vendor"
+    workload: str = "workload"
+    rated_power_kw: str = "rated_power_kw"
+    commission_day: str = "commission_day"
+    n_servers: str = "n_servers"
+    hdds_per_server: str = "hdds_per_server"
+    dimms_per_server: str = "dimms_per_server"
+    decommission_day: str = "decommission_day"
+
+
+#: Singleton namespaces; use e.g. ``columns[TICKET_LOG.day_index]``.
+TICKET_LOG = _TicketLogFields()
+TICKET_CSV = _TicketCsvFields()
+INVENTORY_CSV = _InventoryCsvFields()
+
+#: Canonical column orders (CSV headers / columnar layouts).
+TICKET_LOG_COLUMNS: tuple[str, ...] = tuple(
+    getattr(TICKET_LOG, f.name) for f in dataclasses.fields(TICKET_LOG)
+)
+TICKET_CSV_COLUMNS: tuple[str, ...] = tuple(
+    getattr(TICKET_CSV, f.name) for f in dataclasses.fields(TICKET_CSV)
+)
+INVENTORY_CSV_COLUMNS: tuple[str, ...] = tuple(
+    getattr(INVENTORY_CSV, f.name) for f in dataclasses.fields(INVENTORY_CSV)
+    if f.name != "decommission_day"
+)
+
+
+def telemetry_field_names() -> frozenset[str]:
+    """Every declared ticket/inventory field name.
+
+    This is the single source of truth the ``schema-fields`` lint rule
+    checks string literals against.
+    """
+    names: set[str] = set()
+    for namespace in (TICKET_LOG, TICKET_CSV, INVENTORY_CSV):
+        names.update(
+            getattr(namespace, f.name) for f in dataclasses.fields(namespace)
+        )
+    return frozenset(names)
 
 
 DAY_CATEGORIES = ("Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat")

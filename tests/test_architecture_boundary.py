@@ -1,22 +1,28 @@
 """The field-data boundary, enforced.
 
 docs/architecture.md promises that the analysis side (`analysis/`,
-`decisions/`, `reporting/`, `telemetry/`) never touches simulator
-ground truth: neither the hazard functions nor the FleetArrays columns
-that carry planted SKU/region hazards.  These tests parse the source to
-keep that promise true as the code evolves.
+`decisions/`, `reporting/`, `stream/`, `telemetry/`) never touches
+simulator ground truth: neither the hazard modules nor the attributes
+that carry planted SKU/region hazards.  Since the ``GT-leak`` rule in
+:mod:`repro.staticcheck` enforces exactly this contract — with a
+generated forbidden set and a real import graph — these tests are thin
+wrappers over the rule rather than a second hand-rolled walker.
 """
 
-import ast
 import pathlib
 
+from repro.staticcheck import lint_paths
+from repro.staticcheck.contract import (
+    ANALYSIS_PACKAGES,
+    FORBIDDEN_GROUND_TRUTH_MODULES,
+    ground_truth_attributes,
+)
+from repro.staticcheck.framework import get_rule
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 
-ANALYSIS_PACKAGES = ("analysis", "decisions", "reporting", "stream", "telemetry")
-
-# Ground-truth surfaces the analysis side must never read.
-FORBIDDEN_IMPORT = "hazards"
+# The historical hand-maintained forbidden set; the generated one must
+# keep covering it so the contract can only get stricter.
 FORBIDDEN_ATTRIBUTES = (
     "sku_intrinsic", "batch_rate", "batch_mean_size", "region_hazard",
     "region_thermal_offset", "region_humidity_offset", "intrinsic_hazard",
@@ -24,47 +30,53 @@ FORBIDDEN_ATTRIBUTES = (
 )
 
 
-def analysis_modules():
-    for package in ANALYSIS_PACKAGES:
-        yield from (SRC / package).rglob("*.py")
+def gt_leak_findings():
+    report = lint_paths([SRC], rules=[get_rule("GT-leak")])
+    return report.all_findings
 
 
 class TestFieldDataBoundary:
     def test_no_hazard_imports(self):
-        offenders = []
-        for module in analysis_modules():
-            tree = ast.parse(module.read_text())
-            for node in ast.walk(tree):
-                if isinstance(node, ast.ImportFrom):
-                    if node.module and FORBIDDEN_IMPORT in node.module.split("."):
-                        offenders.append(str(module))
-                if isinstance(node, ast.Import):
-                    for alias in node.names:
-                        if FORBIDDEN_IMPORT in alias.name.split("."):
-                            offenders.append(str(module))
+        offenders = [
+            finding.location() for finding in gt_leak_findings()
+            if "import" in finding.message
+        ]
         assert not offenders, (
             f"analysis-side modules import the hazard ground truth: {offenders}"
         )
 
     def test_no_ground_truth_attribute_reads(self):
-        offenders = []
-        for module in analysis_modules():
-            tree = ast.parse(module.read_text())
-            for node in ast.walk(tree):
-                if isinstance(node, ast.Attribute):
-                    if node.attr in FORBIDDEN_ATTRIBUTES:
-                        offenders.append(f"{module}:{node.attr}")
+        offenders = [
+            f"{finding.location()}: {finding.message}"
+            for finding in gt_leak_findings()
+            if "import" not in finding.message
+        ]
         assert not offenders, (
             f"analysis-side modules read planted ground truth: {offenders}"
         )
 
     def test_generation_side_owns_the_hazards(self):
-        """Sanity: the forbidden names do exist on the generation side."""
+        """Sanity: the forbidden surfaces do exist on the generation side."""
         failures_src = (SRC / "failures" / "faultmodel.py").read_text()
         assert "sku_intrinsic" in failures_src
         assert "hazards" in failures_src
+        assert "repro.failures.hazards" in FORBIDDEN_GROUND_TRUTH_MODULES
 
     def test_environment_truth_not_used_by_default(self):
         """Analyses default to BMS observations, not simulator truth."""
         aggregate = (SRC / "telemetry" / "aggregate.py").read_text()
         assert "use_observed_environment: bool = True" in aggregate
+
+    def test_generated_forbidden_set_covers_historical_list(self):
+        """The metadata-derived set must keep covering the old tuple."""
+        generated = ground_truth_attributes()
+        missing = set(FORBIDDEN_ATTRIBUTES) - generated
+        assert not missing, (
+            f"ground-truth marks lost attributes the boundary used to "
+            f"protect: {sorted(missing)}"
+        )
+
+    def test_analysis_packages_unchanged(self):
+        """The rule guards at least the packages this test always did."""
+        assert {"analysis", "decisions", "reporting", "stream",
+                "telemetry"} <= set(ANALYSIS_PACKAGES)

@@ -151,6 +151,30 @@ class TestEviction:
             cache.prune(max_entries=-1)
 
 
+class TestClockInjection:
+    def test_default_clock_is_wall_time(self, tmp_path):
+        import time
+
+        assert RunCache(tmp_path)._clock is time.time
+
+    def test_injected_clock_stamps_metadata(self, tmp_path, config):
+        ticks = iter([1000.0, 2000.0])
+        cache = RunCache(tmp_path / "runcache", clock=lambda: next(ticks))
+        result = repro.simulate(config)
+        entry = cache.put(result)
+        meta = json.loads((entry / "meta.json").read_text())
+        assert meta["created"] == 1000.0
+
+    def test_fake_clock_makes_put_replayable(self, tmp_path, config):
+        """Two caches fed the same fake clock write identical metadata."""
+        stamps = []
+        for name in ("a", "b"):
+            cache = RunCache(tmp_path / name, clock=lambda: 42.5)
+            entry = cache.put(repro.simulate(config))
+            stamps.append(json.loads((entry / "meta.json").read_text())["created"])
+        assert stamps == [42.5, 42.5]
+
+
 class TestCliIntegration:
     def test_cache_dir_flag_populates_cache(self, tmp_path, capsys):
         from repro.cli import main

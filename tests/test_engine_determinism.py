@@ -32,58 +32,58 @@ from repro.telemetry import mu_matrix
 # per-day engine at the commit before vectorization (tolerance-checked).
 
 CONFIGS = {
-    "seed101": dict(seed=101, scale=0.10, n_days=180),
-    "seed7": dict(seed=7, scale=0.20, n_days=365),
+    "seed101": {"seed": 101, "scale": 0.10, "n_days": 180},
+    "seed7": {"seed": 7, "scale": 0.20, "n_days": 365},
 }
 
 NEW_GOLDEN = {
-    "seed101": dict(
-        total=3921,
-        per_fault={
+    "seed101": {
+        "total": 3921,
+        "per_fault": {
             "TIMEOUT": 967, "DEPLOYMENT": 469, "CRASH": 92, "PXE_BOOT": 484,
             "REBOOT": 58, "DISK": 831, "MEMORY": 235, "POWER": 73,
             "SERVER": 227, "NETWORK": 107, "OTHER": 378,
         },
-        mu_q=[11.0, 20.0, 27.0],
-        batch_tickets=341,
-    ),
-    "seed7": dict(
-        total=15654,
-        per_fault={
+        "mu_q": [11.0, 20.0, 27.0],
+        "batch_tickets": 341,
+    },
+    "seed7": {
+        "total": 15654,
+        "per_fault": {
             "TIMEOUT": 3975, "DEPLOYMENT": 1906, "CRASH": 396, "PXE_BOOT": 1882,
             "REBOOT": 198, "DISK": 3109, "MEMORY": 1254, "POWER": 384,
             "SERVER": 786, "NETWORK": 395, "OTHER": 1369,
         },
-        mu_q=[23.0, 36.6, 49.72],
-        batch_tickets=1238,
-    ),
+        "mu_q": [23.0, 36.6, 49.72],
+        "batch_tickets": 1238,
+    },
 }
 
 OLD_GOLDEN = {
-    "seed101": dict(
-        total=3962,
-        per_fault={
+    "seed101": {
+        "total": 3962,
+        "per_fault": {
             "TIMEOUT": 973, "DEPLOYMENT": 476, "CRASH": 97, "PXE_BOOT": 534,
             "REBOOT": 41, "DISK": 792, "MEMORY": 298, "POWER": 87,
             "SERVER": 208, "NETWORK": 93, "OTHER": 363,
         },
-        mu_q=[11.0, 21.0, 28.21],
-        lam=0.3550,
-        batch_tickets=298,
-        fp_share=0.0626,
-    ),
-    "seed7": dict(
-        total=15752,
-        per_fault={
+        "mu_q": [11.0, 21.0, 28.21],
+        "lam": 0.3550,
+        "batch_tickets": 298,
+        "fp_share": 0.0626,
+    },
+    "seed7": {
+        "total": 15752,
+        "per_fault": {
             "TIMEOUT": 4176, "DEPLOYMENT": 1951, "CRASH": 353, "PXE_BOOT": 1892,
             "REBOOT": 194, "DISK": 3164, "MEMORY": 1160, "POWER": 365,
             "SERVER": 718, "NETWORK": 375, "OTHER": 1404,
         },
-        mu_q=[23.0, 36.0, 46.36],
-        lam=0.3480,
-        batch_tickets=1113,
-        fp_share=0.0677,
-    ),
+        "mu_q": [23.0, 36.0, 46.36],
+        "lam": 0.3480,
+        "batch_tickets": 1113,
+        "fp_share": 0.0677,
+    },
 }
 
 

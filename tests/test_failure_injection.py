@@ -20,16 +20,16 @@ from repro.telemetry.windows import event_day_counts, per_group_window_counts
 
 class TestCorruptTicketStreams:
     def chunk(self, **overrides):
-        base = dict(
-            day_index=np.array([0], dtype=np.int64),
-            start_hour_abs=np.array([1.0]),
-            rack_index=np.array([0], dtype=np.int64),
-            server_offset=np.array([0], dtype=np.int64),
-            fault_code=np.array([5], dtype=np.int64),
-            false_positive=np.array([False]),
-            repair_hours=np.array([4.0]),
-            batch_id=np.array([-1], dtype=np.int64),
-        )
+        base = {
+            "day_index": np.array([0], dtype=np.int64),
+            "start_hour_abs": np.array([1.0]),
+            "rack_index": np.array([0], dtype=np.int64),
+            "server_offset": np.array([0], dtype=np.int64),
+            "fault_code": np.array([5], dtype=np.int64),
+            "false_positive": np.array([False]),
+            "repair_hours": np.array([4.0]),
+            "batch_id": np.array([-1], dtype=np.int64),
+        }
         base.update(overrides)
         return base
 

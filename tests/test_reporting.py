@@ -71,7 +71,7 @@ class TestTables:
 
     def test_ticket_mix_sums_to_hundred(self, tiny_run):
         mix = ticket_mix(tiny_run)
-        for dc, percentages in mix.percentages.items():
+        for percentages in mix.percentages.values():
             assert sum(percentages.values()) == pytest.approx(100.0)
 
     def test_ticket_mix_category_share(self, tiny_run):

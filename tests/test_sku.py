@@ -7,11 +7,11 @@ from repro.errors import ConfigError
 
 
 def make_spec(name="S1", **overrides) -> SkuSpec:
-    base = dict(
-        name=name, category=SkuCategory.STORAGE, vendor="V",
-        servers_per_rack=20, hdds_per_server=10, dimms_per_server=8,
-        rated_power_kw=6.0,
-    )
+    base = {
+        "name": name, "category": SkuCategory.STORAGE, "vendor": "V",
+        "servers_per_rack": 20, "hdds_per_server": 10, "dimms_per_server": 8,
+        "rated_power_kw": 6.0,
+    }
     base.update(overrides)
     return SkuSpec(**base)
 

@@ -59,7 +59,7 @@ class TestFisherOptimality:
         codes = np.array([c for c, _ in rows], dtype=float)
         y = np.array([v for _, v in rows])
         y = y + np.arange(len(y)) * 1e-7  # break mean ties
-        categories = sorted(set(int(c) for c in codes))
+        categories = sorted({int(c) for c in codes})
         if len(categories) < 2:
             return
         spec = FeatureSpec("c", FeatureKind.NOMINAL,

@@ -1,0 +1,108 @@
+"""``repro lint``: exit codes, formats, baselines and rule selection."""
+
+import contextlib
+import io
+import json
+import pathlib
+
+from repro.cli import main
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+VIOLATION = "import time\n\ndef created():\n    return time.time()\n"
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = main(argv)
+    return code, out.getvalue()
+
+
+def fixture_package(tmp_path, source=VIOLATION):
+    """A tiny on-disk package whose one module carries a violation."""
+    package = tmp_path / "fixturepkg"
+    package.mkdir()
+    (package / "__init__.py").write_text("")
+    (package / "clock.py").write_text(source)
+    return package
+
+
+class TestLintCommand:
+    def test_repo_is_clean_exit_zero(self):
+        code, out = run_cli(["lint"])
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_fixture_violation_exit_one(self, tmp_path):
+        package = fixture_package(tmp_path)
+        code, out = run_cli(["lint", str(package)])
+        assert code == 1
+        assert "wallclock" in out
+        assert "clock.py:4" in out
+
+    def test_clean_fixture_exit_zero(self, tmp_path):
+        package = fixture_package(tmp_path, source="x = 1\n")
+        code, _ = run_cli(["lint", str(package)])
+        assert code == 0
+
+    def test_json_format_is_machine_readable(self, tmp_path):
+        package = fixture_package(tmp_path)
+        code, out = run_cli(["lint", "--format", "json", str(package)])
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["counts"]["new"] == 1
+        assert payload["findings"][0]["rule"] == "wallclock"
+
+    def test_repo_json_counts_match_contract(self):
+        code, out = run_cli(["lint", "--format", "json"])
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["counts"]["new"] == 0
+        assert payload["counts"]["baselined"] == 1
+        assert set(payload["rules"]) == {
+            "GT-leak", "RNG-discipline", "wallclock", "float-eq",
+            "schema-fields",
+        }
+
+    def test_rule_selection(self, tmp_path):
+        package = fixture_package(tmp_path)
+        code, _ = run_cli(["lint", str(package), "--rules", "float-eq"])
+        assert code == 0  # wallclock violation invisible to float-eq
+
+    def test_list_rules(self):
+        code, out = run_cli(["lint", "--list-rules"])
+        assert code == 0
+        for rule_id in ("GT-leak", "RNG-discipline", "wallclock",
+                        "float-eq", "schema-fields"):
+            assert rule_id in out
+
+    def test_write_and_reuse_baseline(self, tmp_path):
+        package = fixture_package(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        code, out = run_cli(["lint", str(package),
+                             "--baseline", str(baseline), "--write-baseline"])
+        assert code == 0
+        assert baseline.exists()
+        code, out = run_cli(["lint", str(package),
+                             "--baseline", str(baseline)])
+        assert code == 0
+        assert "1 baselined" in out
+
+    def test_baselined_finding_resurfaces_when_line_changes(self, tmp_path):
+        package = fixture_package(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        run_cli(["lint", str(package), "--baseline", str(baseline),
+                 "--write-baseline"])
+        (package / "clock.py").write_text(
+            "import time\n\ndef created():\n    return time.time() + 1\n"
+        )
+        code, _ = run_cli(["lint", str(package), "--baseline", str(baseline)])
+        assert code == 1
+
+    def test_single_file_target(self):
+        # The committed baseline applies by path+line fingerprint, so a
+        # single-file lint of stats.py still comes out clean.
+        code, out = run_cli(["lint", str(SRC / "telemetry" / "stats.py")])
+        assert code == 0
+        assert "1 baselined" in out

@@ -1,0 +1,176 @@
+"""Per-rule fixtures: each rule has a triggering and a clean case.
+
+Snippets are linted via :func:`repro.staticcheck.lint_source`, which
+places them at a chosen virtual module path — so the same snippet can be
+put inside or outside the packages a rule guards.
+"""
+
+from repro.staticcheck import lint_source
+from repro.staticcheck.contract import ground_truth_attributes, telemetry_field_names
+from repro.staticcheck.framework import get_rule
+
+
+def rules_hit(source, module="repro.analysis.fixture", rule=None):
+    rules = [get_rule(rule)] if rule else None
+    return [f.rule for f in lint_source(source, module=module, rules=rules)]
+
+
+class TestGtLeak:
+    def test_absolute_hazard_import_flagged(self):
+        assert rules_hit("from repro.failures import hazards\n",
+                         rule="GT-leak") == ["GT-leak"]
+
+    def test_relative_hazard_import_flagged(self):
+        assert rules_hit("from ..failures import hazards\n",
+                         rule="GT-leak") == ["GT-leak"]
+
+    def test_plain_import_hazards_flagged(self):
+        assert rules_hit("import repro.failures.hazards\n",
+                         rule="GT-leak") == ["GT-leak"]
+
+    def test_ground_truth_attribute_flagged(self):
+        assert rules_hit("def f(arrays):\n    return arrays.sku_intrinsic\n",
+                         rule="GT-leak") == ["GT-leak"]
+
+    def test_getattr_string_flagged(self):
+        assert rules_hit("def f(a):\n    return getattr(a, 'region_hazard')\n",
+                         rule="GT-leak") == ["GT-leak"]
+
+    def test_generation_side_may_touch_hazards(self):
+        source = ("from repro.failures import hazards\n"
+                  "def f(arrays):\n    return arrays.sku_intrinsic\n")
+        assert not rules_hit(source, module="repro.failures.fixture",
+                             rule="GT-leak")
+
+    def test_clean_analysis_module(self):
+        source = ("from repro.telemetry.aggregate import lambda_matrix\n"
+                  "def f(arrays):\n    return arrays.n_servers\n")
+        assert not rules_hit(source, rule="GT-leak")
+
+    def test_forbidden_set_is_generated_not_empty(self):
+        attributes = ground_truth_attributes()
+        assert {"sku_intrinsic", "region_hazard", "stress_multiplier"} <= attributes
+
+
+class TestRngDiscipline:
+    def test_global_numpy_random_flagged(self):
+        assert rules_hit("import numpy as np\nx = np.random.rand(3)\n",
+                         rule="RNG-discipline") == ["RNG-discipline"]
+
+    def test_unseeded_default_rng_flagged(self):
+        source = ("import numpy as np\n"
+                  "def f():\n    return np.random.default_rng()\n")
+        assert rules_hit(source, rule="RNG-discipline") == ["RNG-discipline"]
+
+    def test_stdlib_random_flagged(self):
+        assert rules_hit("import random\nx = random.random()\n",
+                         rule="RNG-discipline") == ["RNG-discipline"]
+
+    def test_from_import_stdlib_random_flagged(self):
+        assert rules_hit("from random import shuffle\nshuffle([1, 2])\n",
+                         rule="RNG-discipline") == ["RNG-discipline"]
+
+    def test_module_global_generator_flagged(self):
+        source = "import numpy as np\nRNG = np.random.default_rng(7)\n"
+        assert "RNG-discipline" in rules_hit(source, rule="RNG-discipline")
+
+    def test_seeded_local_default_rng_allowed(self):
+        source = ("import numpy as np\n"
+                  "def f(seed):\n    return np.random.default_rng(seed)\n")
+        assert not rules_hit(source, rule="RNG-discipline")
+
+    def test_generator_parameter_draws_allowed(self):
+        source = "def f(rng):\n    return rng.normal(size=3)\n"
+        assert not rules_hit(source, rule="RNG-discipline")
+
+    def test_rng_helper_module_exempt(self):
+        source = ("import numpy as np\n"
+                  "def stream():\n    return np.random.default_rng()\n")
+        assert not rules_hit(source, module="repro.rng",
+                             rule="RNG-discipline")
+
+
+class TestWallclock:
+    def test_time_time_call_flagged(self):
+        assert rules_hit("import time\ndef f():\n    return time.time()\n",
+                         rule="wallclock") == ["wallclock"]
+
+    def test_datetime_now_flagged(self):
+        source = ("from datetime import datetime\n"
+                  "def f():\n    return datetime.now()\n")
+        assert rules_hit(source, rule="wallclock") == ["wallclock"]
+
+    def test_clock_reference_as_default_allowed(self):
+        source = ("import time\n"
+                  "def f(clock=time.time):\n    return clock()\n")
+        assert not rules_hit(source, rule="wallclock")
+
+    def test_applies_outside_analysis_packages_too(self):
+        assert rules_hit("import time\ndef f():\n    return time.time()\n",
+                         module="repro.cachelike", rule="wallclock") == ["wallclock"]
+
+
+class TestFloatEq:
+    def test_float_literal_equality_flagged(self):
+        assert rules_hit("def f(x):\n    return x == 0.5\n",
+                         rule="float-eq") == ["float-eq"]
+
+    def test_float_call_equality_flagged(self):
+        assert rules_hit("def f(x, y):\n    return float(x) != y\n",
+                         rule="float-eq") == ["float-eq"]
+
+    def test_arithmetic_operand_flagged(self):
+        assert rules_hit("def f(x, y):\n    return x == y * 2.0\n",
+                         rule="float-eq") == ["float-eq"]
+
+    def test_int_equality_allowed(self):
+        assert not rules_hit("def f(x):\n    return x == 3\n", rule="float-eq")
+
+    def test_ordered_float_comparison_allowed(self):
+        assert not rules_hit("def f(x):\n    return x <= 78.0\n",
+                             rule="float-eq")
+
+    def test_generation_side_not_in_scope(self):
+        assert not rules_hit("def f(x):\n    return x == 0.5\n",
+                             module="repro.failures.fixture", rule="float-eq")
+
+    def test_noqa_with_rationale_suppresses(self):
+        source = ("def f(severity):\n"
+                  "    return severity == 0.0  # repro: noqa[float-eq]\n")
+        assert not rules_hit(source, rule="float-eq")
+
+
+class TestSchemaFields:
+    def test_subscript_key_flagged(self):
+        assert rules_hit("def f(c):\n    return c['day_index']\n",
+                         rule="schema-fields") == ["schema-fields"]
+
+    def test_dict_literal_key_flagged(self):
+        assert rules_hit("d = {'rack_id': 1}\n",
+                         module="repro.fielddata.fixture",
+                         rule="schema-fields") == ["schema-fields"]
+
+    def test_constant_spelled_key_allowed(self):
+        source = ("from repro.telemetry.schema import TICKET_LOG\n"
+                  "def f(c):\n    return c[TICKET_LOG.day_index]\n")
+        assert not rules_hit(source, rule="schema-fields")
+
+    def test_non_field_string_key_allowed(self):
+        assert not rules_hit("def f(c):\n    return c['alerts']\n",
+                             rule="schema-fields")
+
+    def test_generation_side_not_in_scope(self):
+        assert not rules_hit("def f(c):\n    return c['day_index']\n",
+                             module="repro.failures.fixture",
+                             rule="schema-fields")
+
+    def test_declaring_module_exempt(self):
+        assert not rules_hit("day_index = 'day_index'\nd = {'day_index': 1}\n",
+                             module="repro.telemetry.schema",
+                             rule="schema-fields")
+
+    def test_key_set_is_generated_from_schema(self):
+        fields = telemetry_field_names()
+        assert {"day_index", "rack_id", "n_servers",
+                "decommission_day"} <= fields
+        assert "alerts" not in fields

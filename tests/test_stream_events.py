@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import contextlib
+
 import pytest
 
 import repro
@@ -204,10 +206,8 @@ class TestFollowDirectory:
         grows = iter(schedule[1:])
 
         def grow(_interval):
-            try:
+            with contextlib.suppress(StopIteration):
                 self._write_prefix(lines, tmp_path, next(grows))
-            except StopIteration:
-                pass
 
         followed = list(follow_directory(
             tmp_path, tiny_run.config,

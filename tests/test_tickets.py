@@ -35,16 +35,16 @@ class TestTaxonomy:
 
 
 def chunk(n, day=0, fault=FaultType.DISK, batch=-1, fp=False):
-    return dict(
-        day_index=np.full(n, day, dtype=np.int64),
-        start_hour_abs=day * 24.0 + np.arange(n, dtype=float),
-        rack_index=np.arange(n, dtype=np.int64),
-        server_offset=np.zeros(n, dtype=np.int64),
-        fault_code=np.full(n, FAULT_CODE[fault], dtype=np.int64),
-        false_positive=np.full(n, fp, dtype=bool),
-        repair_hours=np.full(n, 5.0),
-        batch_id=np.full(n, batch, dtype=np.int64),
-    )
+    return {
+        "day_index": np.full(n, day, dtype=np.int64),
+        "start_hour_abs": day * 24.0 + np.arange(n, dtype=float),
+        "rack_index": np.arange(n, dtype=np.int64),
+        "server_offset": np.zeros(n, dtype=np.int64),
+        "fault_code": np.full(n, FAULT_CODE[fault], dtype=np.int64),
+        "false_positive": np.full(n, fp, dtype=bool),
+        "repair_hours": np.full(n, 5.0),
+        "batch_id": np.full(n, batch, dtype=np.int64),
+    }
 
 
 class TestTicketLog:

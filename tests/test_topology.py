@@ -24,11 +24,11 @@ def fleet() -> Fleet:
 
 
 def make_rack(**overrides) -> Rack:
-    base = dict(
-        rack_id="DC1-R001", dc_name="DC1", region_name="DC1-1",
-        row=1, slot=0, sku=default_skus().get("S1"), workload="W5",
-        rated_power_kw=6.0, commission_day=0,
-    )
+    base = {
+        "rack_id": "DC1-R001", "dc_name": "DC1", "region_name": "DC1-1",
+        "row": 1, "slot": 0, "sku": default_skus().get("S1"), "workload": "W5",
+        "rated_power_kw": 6.0, "commission_day": 0,
+    }
     base.update(overrides)
     return Rack(**base)
 

@@ -16,12 +16,12 @@ from repro.errors import ConfigError
 
 
 def make_spec(name="W1", **overrides) -> WorkloadSpec:
-    base = dict(
-        name=name, category=WorkloadCategory.COMPUTE,
-        stress_multiplier=1.0, disk_stress=1.0,
-        weekday_utilization=0.7, weekend_utilization=0.5,
-        software_churn=1.0,
-    )
+    base = {
+        "name": name, "category": WorkloadCategory.COMPUTE,
+        "stress_multiplier": 1.0, "disk_stress": 1.0,
+        "weekday_utilization": 0.7, "weekend_utilization": 0.5,
+        "software_churn": 1.0,
+    }
     base.update(overrides)
     return WorkloadSpec(**base)
 
