@@ -40,6 +40,18 @@ def summarize(path: pathlib.Path) -> str:
             + (f" {events_per_sec:9.0f}/s" if events_per_sec is not None
                else "            -")
         )
+        extra = entry.get("extra", {})
+        if "warm_s" in extra:
+            # Pipeline benches record the warm-store and one-module-touched
+            # re-runs of the same workload alongside the cold timing.
+            cold = entry["mean_s"]
+            warm, incremental = extra["warm_s"], extra.get("incremental_s")
+            sub = (f"{'':4s}cold {cold*1e3:.1f}ms -> warm {warm*1e3:.1f}ms "
+                   f"({cold/warm:.0f}x)" if warm else "")
+            if incremental:
+                sub += (f" -> incremental {incremental*1e3:.1f}ms "
+                        f"({cold/incremental:.0f}x)")
+            lines.append(sub)
     return "\n".join(lines)
 
 

@@ -1,0 +1,79 @@
+"""Pipeline benches: cold vs warm vs incremental report generation.
+
+The tentpole claim of the artifact DAG is that recompute cost scales
+with what actually changed: a warm store serves the whole report from
+per-stage artifacts, and touching one analysis module re-runs only its
+downstream stages.  This bench records all three regimes in one
+``BENCH_engine.json`` entry (warm/incremental land in ``extra``);
+``bench_summary.py`` renders them as a sub-row.
+"""
+
+import time
+
+import pytest
+
+import repro
+import repro.pipeline.core as pipeline_core
+from repro.errors import ReproError
+from repro.pipeline import ArtifactStore, build_report_pipeline, render_stage_name
+from repro.reporting.experiments import EXPERIMENTS
+
+
+def _render_report(config, root):
+    """One full `repro report all` pass against the store at ``root``."""
+    pipeline = build_report_pipeline(
+        config, store=ArtifactStore(root), experiment_ids=sorted(EXPERIMENTS),
+    )
+    rendered = 0
+    for experiment_id in sorted(EXPERIMENTS):
+        try:
+            pipeline.get(render_stage_name(experiment_id))
+            rendered += 1
+        except ReproError:
+            pass
+    return pipeline, rendered
+
+
+def test_perf_report_pipeline_cold_warm_incremental(
+        benchmark, tmp_path, monkeypatch):
+    """Quarter-scale year: cold build, then warm and one-module-touched."""
+    config = repro.SimulationConfig.small(seed=50, scale=0.25, n_days=365)
+    root = tmp_path / "store"
+
+    pipeline, rendered = benchmark.pedantic(
+        _render_report, args=(config, root), rounds=1, iterations=1,
+    )
+    assert rendered == len(EXPERIMENTS)
+    outcomes = {e.stage: e.outcome for e in pipeline.executions}
+    assert outcomes["simulate"] == "computed"
+
+    start = time.perf_counter()
+    warm_pipeline, _ = _render_report(config, root)
+    warm_s = time.perf_counter() - start
+    assert not any(e.outcome == "computed" for e in warm_pipeline.executions)
+
+    real = pipeline_core.source_fingerprint
+    monkeypatch.setattr(
+        pipeline_core, "source_fingerprint",
+        lambda name: ("touched" if name == "repro.decisions.spares"
+                      else real(name)),
+    )
+    start = time.perf_counter()
+    touched_pipeline, _ = _render_report(config, root)
+    incremental_s = time.perf_counter() - start
+    touched = {e.stage: e.outcome for e in touched_pipeline.executions}
+    assert touched["simulate"] == "disk"  # never re-simulated
+    assert touched["provisioner:24h"] == "computed"
+
+    benchmark.extra_info["warm_s"] = warm_s
+    benchmark.extra_info["incremental_s"] = incremental_s
+    benchmark.extra_info["experiments"] = rendered
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fingerprints():
+    from repro.pipeline import clear_source_fingerprints
+
+    clear_source_fingerprints()
+    yield
+    clear_source_fingerprints()

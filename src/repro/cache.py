@@ -82,6 +82,88 @@ def config_key(config: "SimulationConfig") -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
 
 
+def save_run_bundle(
+    entry: pathlib.Path,
+    result: SimulationResult,
+    meta: dict,
+    clock: Callable[[], float] = time.time,
+) -> pathlib.Path:
+    """Persist one run's stochastic columns under ``entry``.
+
+    Writes ``tickets.npz`` (ticket columns plus environment/BMS
+    matrices) and ``meta.json`` (the caller's ``meta`` extended with
+    ticket/fleet counts and a ``created`` stamp from ``clock``).  Shared
+    by :class:`RunCache` and the pipeline :class:`~repro.pipeline.core.ArtifactStore`
+    so both stores speak one bundle format.
+    """
+    entry.mkdir(parents=True, exist_ok=True)
+    log = result.tickets
+    np.savez_compressed(
+        entry / "tickets.npz",
+        env_temp_f=result.environment.temp_f,
+        env_rh=result.environment.rh,
+        bms_temp_f=result.bms.temp_f,
+        bms_rh=result.bms.rh,
+        **{name: getattr(log, name) for name in _TICKET_COLUMNS},
+    )
+    full_meta = dict(meta)
+    full_meta.update({
+        "n_tickets": len(log),
+        "n_racks": result.fleet.n_racks,
+        "n_days": result.n_days,
+        "created": clock(),
+    })
+    (entry / "meta.json").write_text(json.dumps(full_meta, indent=2, default=str))
+    return entry
+
+
+def load_run_bundle(
+    entry: pathlib.Path,
+    config: "SimulationConfig",
+    meta: dict,
+) -> SimulationResult:
+    """Reconstitute a run from a bundle written by :func:`save_run_bundle`.
+
+    Fleet and calendar are rebuilt deterministically from ``config``;
+    tickets and environment/BMS matrices come from disk, so the loaded
+    path performs no simulation work (in particular it never calls
+    ``_generate_tickets``).  Raises :class:`DataError` when the bundle
+    is truncated, garbled or inconsistent with its metadata.
+    """
+    npz_path = entry / "tickets.npz"
+    try:
+        with np.load(npz_path) as bundle:
+            columns = {name: bundle[name] for name in _TICKET_COLUMNS}
+            env_temp_f = bundle["env_temp_f"]
+            env_rh = bundle["env_rh"]
+            bms_temp_f = bundle["bms_temp_f"]
+            bms_rh = bundle["bms_rh"]
+    except (OSError, ValueError, KeyError) as error:
+        # Truncated/garbled npz (numpy raises ValueError) or a bundle
+        # missing columns: name the entry instead of leaking numpy's
+        # pickle warning.
+        raise DataError(f"cache entry {entry} is corrupt: {error}") from error
+    log = TicketLog()
+    log.append_chunk(**columns)
+    log.finalize()
+    if len(log) != int(meta.get("n_tickets", -1)):
+        raise DataError(
+            f"cache entry {entry} is corrupt: expected "
+            f"{meta.get('n_tickets')} tickets, loaded {len(log)}"
+        )
+    fleet = build_fleet(config.fleet, RngRegistry(config.seed))
+    calendar = SimCalendar(
+        start_day_of_week=config.start_day_of_week,
+        start_day_of_year=config.start_day_of_year,
+    )
+    environment = EnvironmentSeries.from_arrays(fleet, env_temp_f, env_rh)
+    bms = BuildingManagementSystem(fleet).rebuild_log(bms_temp_f, bms_rh)
+    return SimulationResult(
+        config=config, fleet=fleet, calendar=calendar,
+        environment=environment, bms=bms, tickets=log,
+    )
+
+
 class RunCache:
     """On-disk store of completed simulation runs, keyed by config hash.
 
@@ -107,60 +189,48 @@ class RunCache:
         entry = self.entry_dir(config_key(config))
         return (entry / "meta.json").exists() and (entry / "tickets.npz").exists()
 
-    def get(self, config: "SimulationConfig") -> SimulationResult | None:
-        """Load the cached run for ``config``, or None on a miss.
+    def _read_meta(self, entry: pathlib.Path) -> dict | None:
+        """Metadata of a complete entry, or None (evicting wreckage).
 
-        Fleet and calendar are rebuilt deterministically from the
-        config; tickets and environment/BMS matrices come from disk, so
-        the cached path performs no simulation work (in particular it
-        never calls ``_generate_tickets``).
+        A missing or truncated ``meta.json`` — the signature of a
+        writer that crashed mid-``put`` — is not an error worth
+        aborting an analysis over: the entry is evicted so the caller
+        re-simulates and the next ``put`` rewrites it cleanly.
         """
-        key = config_key(config)
-        entry = self.entry_dir(key)
         meta_path = entry / "meta.json"
-        npz_path = entry / "tickets.npz"
-        if not (meta_path.exists() and npz_path.exists()):
+        if not (meta_path.exists() and (entry / "tickets.npz").exists()):
+            if entry.exists():
+                shutil.rmtree(entry, ignore_errors=True)
             return None
         try:
             meta = json.loads(meta_path.read_text())
-        except (OSError, ValueError) as error:
-            raise DataError(f"cache entry {entry} is corrupt: {error}") from error
+        except (OSError, ValueError):
+            shutil.rmtree(entry, ignore_errors=True)
+            return None
+        if not isinstance(meta, dict):
+            shutil.rmtree(entry, ignore_errors=True)
+            return None
+        return meta
+
+    def get(self, config: "SimulationConfig") -> SimulationResult | None:
+        """Load the cached run for ``config``, or None on a miss.
+
+        A missing or truncated ``meta.json`` (crashed writer) counts as
+        a miss and evicts the entry; a *complete but wrong* entry (key
+        mismatch, garbled bundle) still raises :class:`DataError`, since
+        that points at a real bug rather than an interrupted write.
+        """
+        key = config_key(config)
+        entry = self.entry_dir(key)
+        meta = self._read_meta(entry)
+        if meta is None:
+            return None
         if meta.get("key") != key:
             raise DataError(
                 f"cache entry {entry} is corrupt: key mismatch "
                 f"({meta.get('key')!r} != {key!r})"
             )
-        try:
-            with np.load(npz_path) as bundle:
-                columns = {name: bundle[name] for name in _TICKET_COLUMNS}
-                env_temp_f = bundle["env_temp_f"]
-                env_rh = bundle["env_rh"]
-                bms_temp_f = bundle["bms_temp_f"]
-                bms_rh = bundle["bms_rh"]
-        except (OSError, ValueError, KeyError) as error:
-            # Truncated/garbled npz (numpy raises ValueError) or a bundle
-            # missing columns: name the entry instead of leaking numpy's
-            # pickle warning.
-            raise DataError(f"cache entry {entry} is corrupt: {error}") from error
-        log = TicketLog()
-        log.append_chunk(**columns)
-        log.finalize()
-        if len(log) != int(meta.get("n_tickets", -1)):
-            raise DataError(
-                f"cache entry {entry} is corrupt: expected "
-                f"{meta.get('n_tickets')} tickets, loaded {len(log)}"
-            )
-        fleet = build_fleet(config.fleet, RngRegistry(config.seed))
-        calendar = SimCalendar(
-            start_day_of_week=config.start_day_of_week,
-            start_day_of_year=config.start_day_of_year,
-        )
-        environment = EnvironmentSeries.from_arrays(fleet, env_temp_f, env_rh)
-        bms = BuildingManagementSystem(fleet).rebuild_log(bms_temp_f, bms_rh)
-        return SimulationResult(
-            config=config, fleet=fleet, calendar=calendar,
-            environment=environment, bms=bms, tickets=log,
-        )
+        return load_run_bundle(entry, config, meta)
 
     def put(self, result: SimulationResult,
             max_entries: int = DEFAULT_MAX_ENTRIES) -> pathlib.Path:
@@ -173,25 +243,9 @@ class RunCache:
         """
         key = config_key(result.config)
         entry = self.entry_dir(key)
-        entry.mkdir(parents=True, exist_ok=True)
-        log = result.tickets
-        np.savez_compressed(
-            entry / "tickets.npz",
-            env_temp_f=result.environment.temp_f,
-            env_rh=result.environment.rh,
-            bms_temp_f=result.bms.temp_f,
-            bms_rh=result.bms.rh,
-            **{name: getattr(log, name) for name in _TICKET_COLUMNS},
-        )
         meta = dict(config_fingerprint(result.config))
-        meta.update({
-            "key": key,
-            "n_tickets": len(log),
-            "n_racks": result.fleet.n_racks,
-            "n_days": result.n_days,
-            "created": self._clock(),
-        })
-        (entry / "meta.json").write_text(json.dumps(meta, indent=2, default=str))
+        meta["key"] = key
+        save_run_bundle(entry, result, meta, clock=self._clock)
         if max_entries:
             self.prune(max_entries)
         return entry
@@ -206,12 +260,37 @@ class RunCache:
         ]
         return sorted(found, key=lambda p: (p / "meta.json").stat().st_mtime)
 
+    def _incomplete_entries(self) -> list[pathlib.Path]:
+        """Key-shaped directories missing one of the two bundle files.
+
+        Only directories whose name looks like a content key (32 hex
+        chars) qualify — anything else under the root (for instance a
+        pipeline artifact store sharing the directory) is left alone.
+        """
+        if not self.root.exists():
+            return []
+        return [
+            path for path in self.root.iterdir()
+            if path.is_dir()
+            and len(path.name) == 32
+            and all(c in "0123456789abcdef" for c in path.name)
+            and not ((path / "meta.json").exists()
+                     and (path / "tickets.npz").exists())
+        ]
+
     def prune(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> int:
-        """Evict oldest entries beyond ``max_entries``; returns #removed."""
+        """Evict oldest entries beyond ``max_entries``; returns #removed.
+
+        Also sweeps out half-written entries left by a crashed writer
+        (key-shaped directories missing ``meta.json`` or the bundle),
+        which would otherwise leak disk forever since :meth:`entries`
+        never lists them.
+        """
         if max_entries < 0:
             raise DataError(f"max_entries must be >= 0, got {max_entries}")
         entries = self.entries()
         excess = entries[:max(0, len(entries) - max_entries)]
+        excess.extend(self._incomplete_entries())
         for entry in excess:
             shutil.rmtree(entry, ignore_errors=True)
         return len(excess)

@@ -11,7 +11,11 @@ Commands:
   checkpoint/resume, ``--follow`` for growing exports).
 * ``lint``     — run the domain-aware static checks (``repro.staticcheck``)
   over the package (or given paths); exit 1 on new findings.
-* ``list``     — list the registered experiments.
+* ``list``     — list the registered experiments (``--format json`` adds
+  each experiment's declared pipeline stage dependencies).
+* ``pipeline`` — inspect the artifact pipeline: ``dag`` (stage catalogue
+  with content keys), ``manifest`` (provenance of the last report run),
+  ``prune`` (bound the artifact store).
 """
 
 from __future__ import annotations
@@ -138,34 +142,52 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from .cache import simulate_cached
+    from .pipeline import ArtifactStore, build_report_pipeline
+    from .reporting.context import SIMULATE_STAGE, SUMMARY_STAGE
 
     wanted = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for experiment_id in wanted:
         get_experiment(experiment_id)  # validate before simulating
     config = _build_config(args)
-    result, was_hit = simulate_cached(config, _resolve_cache(args))
-    if was_hit:
-        print("(loaded from run cache)", file=sys.stderr)
-    print(result.summary(), "\n", file=sys.stderr)
-    context = AnalysisContext(result)
     cache_dir = _cache_dir_for_workers(args)
+    store = ArtifactStore(cache_dir) if cache_dir else ArtifactStore()
+    pipeline = build_report_pipeline(config, store=store, experiment_ids=wanted)
+
+    # The summary stage is cached text, so a warm store serves the
+    # header — and the whole report — without materializing the run.
+    summary = pipeline.get(SUMMARY_STAGE)
+    worker_executions: list = []
     if args.out is not None:
         from .reporting.report import write_report
 
-        path = write_report(context, args.out, experiment_ids=wanted,
-                            jobs=args.jobs, cache_dir=cache_dir)
-        print(f"wrote {path}")
-        return 0
-    from .parallel import run_experiments
+        path = write_report(None, args.out, experiment_ids=wanted,
+                            jobs=args.jobs, cache_dir=cache_dir,
+                            pipeline=pipeline,
+                            executions_sink=worker_executions.extend,
+                            summary=summary)
+    else:
+        from .parallel import run_experiments
 
-    for experiment_id, text, error in run_experiments(
-        wanted, context=context, config=config,
-        jobs=args.jobs, cache_dir=cache_dir,
-    ):
-        print(text if text is not None
-              else f"{experiment_id}: (not computable on this run: {error})")
-        print()
+        rendered = run_experiments(
+            wanted, config=config, jobs=args.jobs, cache_dir=cache_dir,
+            pipeline=pipeline, executions_sink=worker_executions.extend,
+        )
+    simulated = any(
+        execution.stage == SIMULATE_STAGE and execution.outcome == "computed"
+        for execution in list(pipeline.executions) + worker_executions
+    )
+    if not simulated:
+        print("(loaded from run cache)", file=sys.stderr)
+    print(summary, "\n", file=sys.stderr)
+    if args.out is not None:
+        print(f"wrote {path}")
+    else:
+        for experiment_id, text, error in rendered:
+            print(text if text is not None
+                  else f"{experiment_id}: (not computable on this run: {error})")
+            print()
+    if store.root is not None:
+        pipeline.write_manifest(extra_executions=worker_executions)
     return 0
 
 
@@ -205,7 +227,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .reporting.sweeps import render_sweep, run_sweep
 
     summaries = run_sweep(seeds, scale=args.scale, n_days=args.days,
-                          jobs=args.jobs)
+                          jobs=args.jobs,
+                          cache_dir=_cache_dir_for_workers(args))
     print(render_sweep(summaries, seeds))
     return 0
 
@@ -339,9 +362,81 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _cmd_list(_: argparse.Namespace) -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
+    if getattr(args, "format", "text") == "json":
+        import json
+
+        payload = {
+            "schema": 1,
+            "experiments": [
+                {
+                    "id": experiment_id,
+                    "description": experiment.description,
+                    "stages": list(experiment.stages),
+                    "code": list(experiment.code),
+                }
+                for experiment_id, experiment in sorted(EXPERIMENTS.items())
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     for experiment_id in sorted(EXPERIMENTS):
         print(f"{experiment_id:8s} {EXPERIMENTS[experiment_id].description}")
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    import json
+
+    from .pipeline import ArtifactStore, build_report_pipeline
+
+    cache_dir = _cache_dir_for_workers(args)
+    if args.action == "dag":
+        pipeline = build_report_pipeline(_build_config(args))
+        stages = pipeline.manifest()["stages"]
+        if args.format == "json":
+            print(json.dumps({"schema": 1, "stages": stages}, indent=2,
+                             sort_keys=True))
+            return 0
+        for name in pipeline.order:
+            stage = stages[name]
+            deps = ", ".join(stage["deps"]) if stage["deps"] else "-"
+            codec = stage["codec"] or "memory"
+            print(f"{name:28s} key={stage['key']}  codec={codec:6s}  <- {deps}")
+        return 0
+    if args.action == "prune":
+        if not cache_dir:
+            print("pipeline prune needs --cache-dir (or $REPRO_CACHE_DIR)",
+                  file=sys.stderr)
+            return 1
+        from .cache import DEFAULT_MAX_ENTRIES
+
+        bound = (args.max_entries if args.max_entries is not None
+                 else DEFAULT_MAX_ENTRIES)
+        removed = ArtifactStore(cache_dir).prune(bound)
+        print(f"pruned {removed} artifact entries under {cache_dir}")
+        return 0
+    # manifest: read back the provenance written by the last report run.
+    if not cache_dir:
+        print("pipeline manifest needs --cache-dir (or $REPRO_CACHE_DIR)",
+              file=sys.stderr)
+        return 1
+    manifest_path = pathlib.Path(cache_dir) / "manifest.json"
+    if not manifest_path.exists():
+        print(f"no manifest at {manifest_path} (run `repro report` with "
+              "this --cache-dir first)", file=sys.stderr)
+        return 1
+    payload = json.loads(manifest_path.read_text())
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    executions = payload.get("executions", [])
+    print(f"pipeline manifest (schema {payload.get('schema')}, "
+          f"version {payload.get('version')}): "
+          f"{len(executions)} stage executions")
+    for execution in executions:
+        print(f"  [{execution['outcome']:8s}] {execution['stage']:28s} "
+              f"key={execution['key']}  {execution['wall_s']*1000:9.2f} ms")
     return 0
 
 
@@ -482,7 +577,27 @@ def build_parser() -> argparse.ArgumentParser:
     lint.set_defaults(func=_cmd_lint)
 
     lister = commands.add_parser("list", help="list registered experiments")
+    lister.add_argument("--format", choices=("text", "json"), default="text",
+                        help="json includes each experiment's declared "
+                             "pipeline stage dependencies (for DAG diffing)")
     lister.set_defaults(func=_cmd_list)
+
+    pipe = commands.add_parser(
+        "pipeline",
+        help="inspect the artifact pipeline (DAG, provenance, pruning)",
+    )
+    pipe.add_argument("action", choices=("dag", "manifest", "prune"),
+                      help="dag: print the stage catalogue with content "
+                           "keys; manifest: show the provenance of the "
+                           "last report run in --cache-dir; prune: bound "
+                           "the artifact store")
+    _add_sim_arguments(pipe)
+    pipe.add_argument("--format", choices=("text", "json"), default="text",
+                      help="output format (default text)")
+    pipe.add_argument("--max-entries", type=int, default=None,
+                      help="per-stage entry bound for prune (default: "
+                           "the store's standard bound)")
+    pipe.set_defaults(func=_cmd_pipeline)
     return parser
 
 

@@ -22,6 +22,7 @@ from ..decisions.sku_ranking import compare_skus
 from ..decisions.spares import SpareProvisioner
 from ..errors import ConfigError, ReproError
 from ..failures.engine import SimulationResult
+from ..reporting.context import fielddata_stage as stage_name
 from .cleaning import CleaningReport, clean_dataset, fleet_lambda
 from .corruption import CorruptionReport, standard_pipeline
 from .dataset import FieldDataset
@@ -136,9 +137,31 @@ def noise_sweep_result(
     return [degrade_and_clean(result, severity)[1] for severity in severities]
 
 
-def _survival_verdict(points: list[NoisePoint]) -> list[str]:
+def noise_point_payload(result: SimulationResult, severity: float) -> dict:
+    """One severity's :class:`NoisePoint`, as a JSON-serializable dict.
+
+    This is the artifact behind the pipeline's ``fielddata:sev=…``
+    stages (see :func:`stage_name`): everything the rendering needs —
+    metrics, the two λ estimates and the cleaning summary text — and
+    nothing process-bound, so it round-trips through the artifact
+    store's ``json`` codec bit-identically.
+    """
+    return _point_payload(degrade_and_clean(result, severity)[1])
+
+
+def _point_payload(point: NoisePoint) -> dict:
+    return {
+        "severity": point.severity,
+        "metrics": dict(point.metrics),
+        "lambda_naive": point.lambda_naive,
+        "lambda_exposure": point.lambda_exposure,
+        "cleaning_text": point.cleaning.render(),
+    }
+
+
+def _survival_verdict(payloads: list[dict]) -> list[str]:
     """SF-vs-MF survival lines for the two paired conclusions."""
-    baseline = points[0].metrics
+    baseline = payloads[0]["metrics"]
     lines = []
     for question, sf_name, mf_name in (
         ("Q2 SKU ranking", "Q2 SF S2/S4 average-rate ratio",
@@ -149,8 +172,8 @@ def _survival_verdict(points: list[NoisePoint]) -> list[str]:
         for label, name in (("SF", sf_name), ("MF", mf_name)):
             base = baseline[name]
             worst = max(
-                abs(point.metrics[name] - base)
-                for point in points
+                abs(payload["metrics"][name] - base)
+                for payload in payloads
             )
             relative = worst / abs(base) if base else float("inf")
             lines.append(
@@ -160,9 +183,9 @@ def _survival_verdict(points: list[NoisePoint]) -> list[str]:
     return lines
 
 
-def render_noise_points(points: list[NoisePoint]) -> str:
+def render_noise_payloads(payloads: list[dict]) -> str:
     """The degradation table: metrics in rows, severities in columns."""
-    severities = [point.severity for point in points]
+    severities = [payload["severity"] for payload in payloads]
     header = f"{'metric':38s}" + "".join(
         f"  sev={severity:4.2f}" for severity in severities
     )
@@ -174,28 +197,48 @@ def render_noise_points(points: list[NoisePoint]) -> str:
     ]
     for name in METRIC_NAMES:
         row = f"{name:38s}" + "".join(
-            f"  {point.metrics[name]:8.3f}" for point in points
+            f"  {payload['metrics'][name]:8.3f}" for payload in payloads
         )
         lines.append(row)
     lines.append(
         f"{'fleet HW lambda (naive, /rack-day)':38s}" + "".join(
-            f"  {point.lambda_naive:8.5f}" for point in points
+            f"  {payload['lambda_naive']:8.5f}" for payload in payloads
         )
     )
     lines.append(
         f"{'fleet HW lambda (exposure-aware)':38s}" + "".join(
-            f"  {point.lambda_exposure:8.5f}" for point in points
+            f"  {payload['lambda_exposure']:8.5f}" for payload in payloads
         )
     )
     lines.append("")
-    lines.extend(_survival_verdict(points))
+    lines.extend(_survival_verdict(payloads))
     lines.append("")
-    for point in points:
-        lines.append(f"severity {point.severity:.2f}: {point.cleaning.render()}")
+    for payload in payloads:
+        lines.append(
+            f"severity {payload['severity']:.2f}: {payload['cleaning_text']}"
+        )
     return "\n".join(lines)
 
 
+def render_noise_points(points: list[NoisePoint]) -> str:
+    """Render :class:`NoisePoint` objects (payload-form convenience)."""
+    return render_noise_payloads([_point_payload(point) for point in points])
+
+
 def fielddata_experiment(context: "AnalysisContext") -> str:
-    """Registered experiment: noise sweep on the context's run."""
-    points = noise_sweep_result(context.result, DEFAULT_SEVERITIES)
-    return render_noise_points(points)
+    """Registered experiment: noise sweep on the context's run.
+
+    When the context is a view over a pipeline, each severity's payload
+    is sourced from its ``fielddata:sev=…`` stage — cached and shared
+    with the noise-sweep driver — and only computed here otherwise.
+    """
+    artifacts = getattr(context, "artifacts", None)
+    payloads = []
+    for severity in DEFAULT_SEVERITIES:
+        payload = None
+        if artifacts is not None and artifacts.has_stage(stage_name(severity)):
+            payload = artifacts.get(stage_name(severity))
+        if payload is None:
+            payload = noise_point_payload(context.result, severity)
+        payloads.append(payload)
+    return render_noise_payloads(payloads)

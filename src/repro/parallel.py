@@ -70,31 +70,60 @@ def map_seeds(
 # ---------------------------------------------------------------------------
 # Parallel experiment rendering.
 #
-# Each worker process obtains the SimulationResult once (through the run
-# cache when one is configured — the parent warms it before forking, so
-# workers never duplicate the simulation) and renders its share of the
-# report's experiments.
+# Experiments are scheduled over the pool at *stage* granularity: ids
+# with identical declared stage signatures (see
+# repro.reporting.experiments.Experiment.stages) form one work group, so
+# a shared intermediate — say the all-faults rack-day table behind Figs
+# 2-9/16 — is built once per group instead of once per experiment.  Each
+# worker holds one report pipeline; with a shared artifact store the
+# simulation itself is computed by whichever worker gets there first and
+# disk-loaded by the rest.
 
-_WORKER_CONTEXT: Any = None
-
-
-def _experiment_worker_init(config: "SimulationConfig", cache_dir: str | None) -> None:
-    global _WORKER_CONTEXT
-    from .cache import RunCache, simulate_cached
-    from .reporting.context import AnalysisContext
-
-    cache = RunCache(cache_dir) if cache_dir else None
-    result, _ = simulate_cached(config, cache)
-    _WORKER_CONTEXT = AnalysisContext(result)
+_WORKER_PIPELINE: Any = None
 
 
-def _render_experiment(experiment_id: str) -> tuple[str, str | None, str | None]:
+def _pipeline_worker_init(config: "SimulationConfig", store_dir: str | None) -> None:
+    global _WORKER_PIPELINE
+    from .pipeline import ArtifactStore, build_report_pipeline
+
+    store = ArtifactStore(store_dir) if store_dir else None
+    _WORKER_PIPELINE = build_report_pipeline(config, store=store)
+
+
+def _render_group(
+    experiment_ids: Sequence[str],
+) -> tuple[list[tuple[str, str | None, str | None]], list[dict]]:
+    """Render one stage-signature group; returns triples + provenance."""
+    from .pipeline import render_stage_name
     from .reporting.experiments import get_experiment
 
-    try:
-        return experiment_id, get_experiment(experiment_id).render(_WORKER_CONTEXT), None
-    except ReproError as error:
-        return experiment_id, None, str(error)
+    pipeline = _WORKER_PIPELINE
+    before = len(pipeline.executions)
+    rendered: list[tuple[str, str | None, str | None]] = []
+    for experiment_id in experiment_ids:
+        try:
+            get_experiment(experiment_id)  # registry error for unknown ids
+            text = pipeline.get(render_stage_name(experiment_id))
+            rendered.append((experiment_id, text, None))
+        except ReproError as error:
+            rendered.append((experiment_id, None, str(error)))
+    executions = [e.to_json() for e in pipeline.executions[before:]]
+    return rendered, executions
+
+
+def _group_by_stages(ids: Sequence[str]) -> list[list[str]]:
+    """Group ids by declared stage signature (unknown ids stay alone)."""
+    from .reporting.experiments import EXPERIMENTS
+
+    groups: dict[tuple, list[str]] = {}
+    for experiment_id in ids:
+        experiment = EXPERIMENTS.get(experiment_id)
+        signature: tuple = (
+            experiment.stages if experiment is not None
+            else ("?unknown?", experiment_id)
+        )
+        groups.setdefault(signature, []).append(experiment_id)
+    return list(groups.values())
 
 
 def run_experiments(
@@ -104,18 +133,29 @@ def run_experiments(
     config: "SimulationConfig | None" = None,
     jobs: int | None = 1,
     cache_dir: str | None = None,
+    pipeline: Any = None,
+    executions_sink: Callable[[list], None] | None = None,
 ) -> list[tuple[str, str | None, str | None]]:
     """Render experiments, in parallel when ``jobs > 1``.
 
     Args:
         experiment_ids: experiments to render, in output order.
         context: an existing :class:`~repro.reporting.context.AnalysisContext`
-            (required for the serial path, optional otherwise).
+            (required for the serial path when no ``pipeline`` is given,
+            optional otherwise).
         config: simulation config for worker processes to (re)obtain the
             run; required when ``jobs > 1``.
-        jobs: worker processes; ``<= 1`` renders serially via ``context``.
-        cache_dir: run-cache directory workers load the simulation from;
-            without it each worker re-simulates ``config`` once.
+        jobs: worker processes; ``<= 1`` renders serially.
+        cache_dir: artifact-store directory workers share; without it
+            each worker re-simulates ``config`` once.
+        pipeline: a :class:`~repro.pipeline.core.Pipeline` carrying the
+            render stages; the serial path resolves render artifacts
+            through it (provenance lands in ``pipeline.executions``)
+            instead of rendering directly off the context.
+        executions_sink: called with the list of
+            :class:`~repro.pipeline.core.StageExecution` records
+            produced by worker processes (parallel path only — the
+            caller's own ``pipeline`` already accumulates serial ones).
 
     Returns:
         ``(experiment_id, rendered_text, error)`` triples in input
@@ -130,29 +170,48 @@ def run_experiments(
     if jobs > 1 and len(ids) > 1:
         if config is None:
             raise ConfigError("parallel run_experiments needs the simulation config")
+        groups = _group_by_stages(ids)
+        by_id: dict[str, tuple[str, str | None, str | None]] = {}
+        worker_executions: list = []
         with ProcessPoolExecutor(
-            max_workers=min(jobs, len(ids)),
-            initializer=_experiment_worker_init,
+            max_workers=min(jobs, len(groups)),
+            initializer=_pipeline_worker_init,
             initargs=(config, cache_dir),
         ) as pool:
-            return list(pool.map(_render_experiment, ids))
-    if context is None:
+            for rendered, executions in pool.map(_render_group, groups):
+                for triple in rendered:
+                    by_id[triple[0]] = triple
+                worker_executions.extend(executions)
+        if executions_sink is not None and worker_executions:
+            from .pipeline import execution_from_json
+
+            executions_sink(
+                [execution_from_json(e) for e in worker_executions]
+            )
+        return [by_id[experiment_id] for experiment_id in ids]
+    if pipeline is None and context is None:
         if config is None:
             raise ConfigError("run_experiments needs a context or a config")
-        from .cache import RunCache, simulate_cached
-        from .reporting.context import AnalysisContext
+        from .pipeline import ArtifactStore, build_report_pipeline
 
-        cache = RunCache(cache_dir) if cache_dir else None
-        result, _ = simulate_cached(config, cache)
-        context = AnalysisContext(result)
-    rendered: list[tuple[str, str | None, str | None]] = []
+        store = ArtifactStore(cache_dir) if cache_dir else None
+        pipeline = build_report_pipeline(config, store=store)
+    rendered_list: list[tuple[str, str | None, str | None]] = []
     from .reporting.experiments import get_experiment
 
     for experiment_id in ids:
         try:
-            rendered.append(
+            if pipeline is not None:
+                from .pipeline import render_stage_name
+
+                stage = render_stage_name(experiment_id)
+                if pipeline.has_stage(stage):
+                    rendered_list.append(
+                        (experiment_id, pipeline.get(stage), None))
+                    continue
+            rendered_list.append(
                 (experiment_id, get_experiment(experiment_id).render(context), None)
             )
         except ReproError as error:
-            rendered.append((experiment_id, None, str(error)))
-    return rendered
+            rendered_list.append((experiment_id, None, str(error)))
+    return rendered_list

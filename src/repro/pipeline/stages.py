@@ -1,0 +1,224 @@
+"""The report pipeline's stage catalogue.
+
+One declarative place where ``simulate → aggregate → decisions →
+render`` is spelled out as :class:`~repro.pipeline.core.Stage` objects:
+
+* ``simulate`` — the run itself, persisted with the run-cache bundle
+  format (``codec="run"``), keyed by the config fingerprint and the
+  engine source;
+* ``summary`` — the run's one-line summary (lets ``repro report`` print
+  its header on a warm store without materializing the run);
+* ``rack_day:{all,hardware,disk}`` — the flattened λ/μ rack-day tables
+  (memory-only: cheap to rebuild, expensive to serialize);
+* ``provisioner:{W}h`` / ``component_provisioner:{W}h`` — the Q1
+  decision models;
+* ``fielddata:sev=S`` — the degradation payloads behind the
+  ``fielddata`` experiment and the noise sweep (``codec="json"``);
+* ``render:{experiment}`` — one text artifact per registry entry, with
+  dependencies taken from the experiment's declared ``stages``.
+
+Every stage declares the source modules that should invalidate it via
+``code=``; see ``docs/pipeline.md`` for the keying rules.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
+
+from ..cache import config_fingerprint
+from ..decisions.component_spares import ComponentProvisioner
+from ..decisions.spares import SpareProvisioner
+from ..errors import ConfigError
+from ..failures.engine import simulate
+from ..failures.tickets import FaultType, HARDWARE_FAULTS
+from ..fielddata.robustness import DEFAULT_SEVERITIES, noise_point_payload
+from ..reporting.context import (
+    SIMULATE_STAGE,
+    SUMMARY_STAGE,
+    AnalysisContext,
+    component_provisioner_stage,
+    fielddata_stage,
+    provisioner_stage,
+    rack_day_stage,
+)
+from ..reporting.experiments import Experiment, get_experiment, EXPERIMENTS
+from ..telemetry.aggregate import build_rack_day_table
+from .core import ArtifactStore, Pipeline, Stage, StageContext, StageExecution
+
+if TYPE_CHECKING:
+    from ..config import SimulationConfig
+
+#: Prefix of per-experiment rendering stages.
+RENDER_PREFIX = "render:"
+
+#: Spare-provisioning windows the catalogue always carries (daily and
+#: hourly — the two the paper's Q1 artifacts use).
+PROVISIONER_WINDOWS = (24.0, 1.0)
+
+
+def render_stage_name(experiment_id: str) -> str:
+    """Stage name of one experiment's rendered text."""
+    return RENDER_PREFIX + experiment_id
+
+
+def simulate_stage(config: "SimulationConfig") -> Stage:
+    """The root stage: run (or load) the simulation for ``config``."""
+    def run(inputs: dict, ctx: StageContext) -> Any:
+        return simulate(ctx.runtime["config"])
+
+    return Stage(
+        name=SIMULATE_STAGE,
+        run=run,
+        fingerprint_inputs={"config": config_fingerprint(config)},
+        runtime={"config": config},
+        code=("repro.failures.engine",),
+        codec="run",
+    )
+
+
+def summary_stage() -> Stage:
+    """The run's one-line summary, cached as text."""
+    def run(inputs: dict, ctx: StageContext) -> str:
+        return inputs[SIMULATE_STAGE].summary()
+
+    return Stage(
+        name=SUMMARY_STAGE,
+        run=run,
+        deps=(SIMULATE_STAGE,),
+        codec="text",
+    )
+
+
+def _rack_day_stages() -> Iterable[Stage]:
+    code = ("repro.telemetry.aggregate",)
+
+    def run_all(inputs: dict, ctx: StageContext) -> Any:
+        return build_rack_day_table(inputs[SIMULATE_STAGE])
+
+    def run_hardware(inputs: dict, ctx: StageContext) -> Any:
+        return build_rack_day_table(
+            inputs[SIMULATE_STAGE], faults=list(HARDWARE_FAULTS), include_mu=True,
+        )
+
+    def run_disk(inputs: dict, ctx: StageContext) -> Any:
+        return build_rack_day_table(
+            inputs[SIMULATE_STAGE], faults=[FaultType.DISK],
+        )
+
+    yield Stage(rack_day_stage("all"), run_all,
+                deps=(SIMULATE_STAGE,), code=code)
+    yield Stage(rack_day_stage("hardware"), run_hardware,
+                deps=(SIMULATE_STAGE,), code=code)
+    yield Stage(rack_day_stage("disk"), run_disk,
+                deps=(SIMULATE_STAGE,), code=code)
+
+
+def _provisioner_stage(window_hours: float) -> Stage:
+    def run(inputs: dict, ctx: StageContext) -> Any:
+        return SpareProvisioner(inputs[SIMULATE_STAGE],
+                                window_hours=window_hours)
+
+    return Stage(
+        provisioner_stage(window_hours), run,
+        deps=(SIMULATE_STAGE,),
+        fingerprint_inputs={"window_hours": window_hours},
+        code=("repro.decisions.spares",),
+    )
+
+
+def _component_provisioner_stage(window_hours: float) -> Stage:
+    def run(inputs: dict, ctx: StageContext) -> Any:
+        return ComponentProvisioner(inputs[SIMULATE_STAGE],
+                                    window_hours=window_hours)
+
+    return Stage(
+        component_provisioner_stage(window_hours), run,
+        deps=(SIMULATE_STAGE,),
+        fingerprint_inputs={"window_hours": window_hours},
+        code=("repro.decisions.component_spares",),
+    )
+
+
+def fielddata_payload_stage(severity: float) -> Stage:
+    """One field-data degradation payload (shared with the noise sweep)."""
+    def run(inputs: dict, ctx: StageContext) -> dict:
+        return noise_point_payload(inputs[SIMULATE_STAGE], severity)
+
+    return Stage(
+        fielddata_stage(severity), run,
+        deps=(SIMULATE_STAGE,),
+        fingerprint_inputs={"severity": severity},
+        code=(
+            "repro.fielddata.corruption",
+            "repro.fielddata.cleaning",
+            "repro.fielddata.robustness",
+        ),
+        codec="json",
+    )
+
+
+def _render_stage(experiment: Experiment,
+                  render_params: Mapping[str, Any] | None) -> Stage:
+    def run(inputs: dict, ctx: StageContext) -> str:
+        context = AnalysisContext(inputs[SIMULATE_STAGE],
+                                  artifacts=ctx.pipeline)
+        return experiment.render(context)
+
+    return Stage(
+        render_stage_name(experiment.experiment_id), run,
+        deps=(SIMULATE_STAGE,) + experiment.stages,
+        fingerprint_inputs={
+            "experiment": experiment.experiment_id,
+            "params": dict(render_params or {}),
+        },
+        code=experiment.code,
+        codec="text",
+    )
+
+
+def analysis_stages(config: "SimulationConfig") -> list[Stage]:
+    """Every non-render stage: simulation, summary, tables, decisions."""
+    stages: list[Stage] = [simulate_stage(config), summary_stage()]
+    stages.extend(_rack_day_stages())
+    stages.extend(_provisioner_stage(w) for w in PROVISIONER_WINDOWS)
+    stages.append(_component_provisioner_stage(24.0))
+    stages.extend(fielddata_payload_stage(s) for s in DEFAULT_SEVERITIES)
+    return stages
+
+
+def build_report_pipeline(
+    config: "SimulationConfig",
+    store: ArtifactStore | None = None,
+    experiment_ids: Iterable[str] | None = None,
+    render_params: Mapping[str, Any] | None = None,
+    observer: Callable[[StageExecution], None] | None = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> Pipeline:
+    """The full report DAG for ``config``.
+
+    Args:
+        config: simulation configuration keying the root stage.
+        store: artifact store (default: fresh memory-only).
+        experiment_ids: registry ids to build render stages for
+            (default: all); unknown ids raise
+            :class:`~repro.errors.DataError`.
+        render_params: extra rendering parameters mixed into every
+            render stage's key (a render-only knob: changing it re-runs
+            render stages and nothing upstream).
+        observer: forwarded to :class:`~repro.pipeline.core.Pipeline`.
+        clock: wall-time source for execution records.
+    """
+    ids = sorted(EXPERIMENTS) if experiment_ids is None else list(experiment_ids)
+    stages = analysis_stages(config)
+    catalogue = {stage.name for stage in stages}
+    for experiment_id in ids:
+        experiment = get_experiment(experiment_id)
+        missing = [dep for dep in experiment.stages if dep not in catalogue]
+        if missing:
+            raise ConfigError(
+                f"experiment {experiment_id!r} declares stage deps "
+                f"{missing} absent from the analysis catalogue"
+            )
+        stages.append(_render_stage(experiment, render_params))
+    return Pipeline(stages, store=store, observer=observer, clock=clock)

@@ -3,31 +3,43 @@
 from __future__ import annotations
 
 import pathlib
+from typing import Any, Callable
 
-from ..errors import DataError
+from ..errors import ConfigError, DataError
 from .context import AnalysisContext
 from .experiments import EXPERIMENTS
 
 
 def write_report(
-    context: AnalysisContext,
+    context: AnalysisContext | None,
     path: str | pathlib.Path,
     experiment_ids: list[str] | None = None,
     title: str = "Reproduced evaluation — Rain or Shine? (ICDCS 2017)",
     jobs: int | None = 1,
     cache_dir: str | None = None,
+    pipeline: Any = None,
+    executions_sink: Callable[[list], None] | None = None,
+    summary: str | None = None,
 ) -> pathlib.Path:
     """Render the selected experiments into a markdown report.
 
     Args:
-        context: analysis context over a simulation run.
+        context: analysis context over a simulation run; may be None
+            when ``pipeline`` (plus ``summary``) covers everything, in
+            which case a fully warm artifact store renders the report
+            without ever materializing the run.
         path: output ``.md`` file.
         experiment_ids: subset to include (default: all, sorted).
         title: report heading.
         jobs: worker processes for rendering experiments (``<= 1`` is
-            serial).  Workers reload the run through the cache when
+            serial).  Workers share the artifact store when
             ``cache_dir`` is set, otherwise each re-simulates once.
-        cache_dir: run-cache directory used by parallel workers.
+        cache_dir: artifact-store directory used by parallel workers.
+        pipeline: report pipeline to resolve render artifacts through
+            (see :func:`repro.parallel.run_experiments`).
+        executions_sink: receives worker-process provenance records.
+        summary: the run's one-line summary for the header (default:
+            ``context.result.summary()``).
 
     Returns:
         The written path.
@@ -36,19 +48,27 @@ def write_report(
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
         raise DataError(f"unknown experiments: {unknown}")
+    if summary is None:
+        if context is None:
+            raise ConfigError("write_report needs a context or a summary")
+        summary = context.result.summary()
+    config = context.result.config if context is not None else (
+        pipeline.stage("simulate").runtime.get("config")
+        if pipeline is not None else None
+    )
 
     from ..parallel import run_experiments
 
     rendered = run_experiments(
-        ids, context=context, config=context.result.config,
+        ids, context=context, config=config,
         jobs=jobs, cache_dir=cache_dir,
+        pipeline=pipeline, executions_sink=executions_sink,
     )
 
-    result = context.result
     lines = [
         f"# {title}",
         "",
-        f"Run: {result.summary()}",
+        f"Run: {summary}",
         "",
         "All values come from the simulated fleet (see DESIGN.md for the",
         "substitution rationale); compare shapes, not absolute numbers.",

@@ -24,7 +24,7 @@ from ..decisions.climate import climate_group_rates, discover_climate_thresholds
 from ..decisions.sku_ranking import compare_skus
 from ..decisions.spares import SpareProvisioner
 from ..errors import DataError, ReproError
-from ..failures.engine import SimulationResult, simulate
+from ..failures.engine import SimulationResult
 
 
 @dataclass(frozen=True)
@@ -108,25 +108,65 @@ HEADLINE_METRICS: dict[str, tuple[Callable[[SimulationResult], float], float | N
 }
 
 
+def _seed_config(seed: int, scale: float, n_days: int) -> SimulationConfig:
+    return SimulationConfig(
+        seed=seed, n_days=n_days,
+        fleet=FleetConfig(scale=scale, observation_days=n_days),
+    )
+
+
+def _metrics_stage(
+    metrics: dict[str, tuple[Callable[[SimulationResult], float], float | None]],
+):
+    """The ``sweep:metrics`` stage: every extractor over one run.
+
+    Keyed by the extractors' qualified names plus this module's source
+    fingerprint, so editing an extractor re-runs the metrics (but not
+    the simulation) for every cached seed.
+    """
+    # Function-level import of a higher layer, allowed by the explicit
+    # exception list in staticcheck.contract.LAYERING_EXCEPTIONS.
+    from ..pipeline import Stage
+
+    def run(inputs: dict, ctx) -> dict[str, float]:
+        result = inputs["simulate"]
+        values: dict[str, float] = {}
+        for name, (extractor, _) in metrics.items():
+            try:
+                values[name] = float(extractor(result))
+            except ReproError:
+                values[name] = float("nan")
+        return values
+
+    qualnames = {
+        name: f"{extractor.__module__}.{extractor.__qualname__}"
+        for name, (extractor, _) in metrics.items()
+    }
+    return Stage(
+        "sweep:metrics", run,
+        deps=("simulate",),
+        fingerprint_inputs={"metrics": qualnames},
+        code=("repro.reporting.sweeps",),
+        codec="json",
+    )
+
+
 def _sweep_worker(
     seed: int,
     scale: float,
     n_days: int,
     metrics: dict[str, tuple[Callable[[SimulationResult], float], float | None]],
+    cache_dir: str | None = None,
 ) -> dict[str, float]:
     """One seed's simulation and metric extraction (picklable for pools)."""
-    config = SimulationConfig(
-        seed=seed, n_days=n_days,
-        fleet=FleetConfig(scale=scale, observation_days=n_days),
+    from ..pipeline import ArtifactStore, Pipeline, simulate_stage
+
+    config = _seed_config(seed, scale, n_days)
+    store = ArtifactStore(cache_dir) if cache_dir else None
+    pipeline = Pipeline(
+        [simulate_stage(config), _metrics_stage(metrics)], store=store,
     )
-    result = simulate(config)
-    values: dict[str, float] = {}
-    for name, (extractor, _) in metrics.items():
-        try:
-            values[name] = float(extractor(result))
-        except ReproError:
-            values[name] = float("nan")
-    return values
+    return pipeline.get("sweep:metrics")
 
 
 def run_sweep(
@@ -136,6 +176,7 @@ def run_sweep(
     metrics: dict[str, tuple[Callable[[SimulationResult], float], float | None]]
         | None = None,
     jobs: int | None = 1,
+    cache_dir: str | None = None,
 ) -> list[MetricSummary]:
     """Re-run the headline analyses over several seeds.
 
@@ -143,7 +184,10 @@ def run_sweep(
     significant climate split) record NaN for that seed rather than
     failing the sweep.  ``jobs > 1`` distributes seeds over a process
     pool (each seed is independent); custom ``metrics`` must then be
-    picklable, i.e. built from module-level extractor functions.
+    picklable, i.e. built from module-level extractor functions.  With
+    ``cache_dir`` each seed becomes a small sub-DAG over a shared
+    artifact store, so repeated sweeps (and the noise sweep, and
+    ``repro report`` for the same config) reuse the simulate artifacts.
     """
     if not seeds:
         raise DataError("need at least one seed")
@@ -151,7 +195,8 @@ def run_sweep(
     from ..parallel import map_seeds
 
     per_seed = map_seeds(
-        functools.partial(_sweep_worker, scale=scale, n_days=n_days, metrics=metrics),
+        functools.partial(_sweep_worker, scale=scale, n_days=n_days,
+                          metrics=metrics, cache_dir=cache_dir),
         seeds, jobs=jobs,
     )
     collected = {name: [row[name] for row in per_seed] for name in metrics}
@@ -179,28 +224,31 @@ def _noise_sweep_worker(
     severities: tuple[float, ...],
     cache_dir: str | None,
 ) -> dict[float, dict[str, float]]:
-    """One seed's degrade→clean→re-analyze chain (picklable for pools)."""
-    from ..fielddata.robustness import degrade_and_clean, headline_metrics
+    """One seed's degrade→clean→re-analyze chain (picklable for pools).
 
-    config = SimulationConfig(
-        seed=seed, n_days=n_days,
-        fleet=FleetConfig(scale=scale, observation_days=n_days),
+    Each seed is a sub-DAG: one simulate stage shared by one
+    ``fielddata:sev=…`` payload stage per severity — the same stages the
+    report's ``fielddata`` experiment resolves, so with a shared
+    ``cache_dir`` the two drivers reuse each other's artifacts.
+    (Severity 0's degrade→clean loop is bit-identical to analyzing the
+    pristine run directly; see :mod:`repro.fielddata.robustness`.)
+    """
+    # Function-level import of a higher layer, allowed by the explicit
+    # exception list in staticcheck.contract.LAYERING_EXCEPTIONS.
+    from ..pipeline import (
+        ArtifactStore, Pipeline, fielddata_payload_stage, simulate_stage,
     )
-    if cache_dir is not None:
-        from ..cache import RunCache, simulate_cached
+    from .context import fielddata_stage
 
-        result, _ = simulate_cached(config, RunCache(cache_dir))
-    else:
-        result = simulate(config)
-    values: dict[float, dict[str, float]] = {}
-    for severity in severities:
-        # Exact sentinel: severity 0.0 is the caller-spelled identity
-        # level, never the result of arithmetic.
-        if severity == 0.0:  # repro: noqa[float-eq]
-            values[severity] = headline_metrics(result)
-        else:
-            values[severity] = degrade_and_clean(result, severity)[1].metrics
-    return values
+    config = _seed_config(seed, scale, n_days)
+    store = ArtifactStore(cache_dir) if cache_dir else None
+    stages = [simulate_stage(config)]
+    stages.extend(fielddata_payload_stage(severity) for severity in severities)
+    pipeline = Pipeline(stages, store=store)
+    return {
+        severity: pipeline.get(fielddata_stage(severity))["metrics"]
+        for severity in severities
+    }
 
 
 def run_noise_sweep(

@@ -33,6 +33,48 @@ FORBIDDEN_GROUND_TRUTH_MODULES: tuple[str, ...] = (
 #: The named-stream helper module exempt from RNG discipline.
 RNG_HELPER_MODULES: frozenset[str] = frozenset({"repro.rng"})
 
+#: Declared package layering, lowest first.  A module may import from
+#: its own layer or below; importing *upward* is a ``layering`` finding
+#: unless the (module, package) pair is listed in
+#: :data:`LAYERING_EXCEPTIONS`.  Top-level modules (``repro.cache``,
+#: ``repro.cli``, …) sit outside the order and are exempt on both ends.
+PACKAGE_LAYER_ORDER: tuple[str, ...] = (
+    "datacenter",
+    "environment",
+    "failures",
+    "telemetry",
+    "analysis",
+    "decisions",
+    "reporting",
+    "fielddata",
+    "stream",
+    "pipeline",
+    "staticcheck",
+)
+
+#: Baselined upward imports: ``(importer module, imported package)``
+#: pairs the layering rule accepts.  Each is a deliberate, documented
+#: inversion — the experiment registry reaches up to the fielddata and
+#: stream experiments it federates, and the sweep workers build
+#: pipeline sub-DAGs — performed via function-level imports so module
+#: import time stays layered.
+LAYERING_EXCEPTIONS: frozenset[tuple[str, str]] = frozenset({
+    ("repro.reporting.experiments", "fielddata"),
+    ("repro.reporting.experiments", "stream"),
+    ("repro.reporting.sweeps", "pipeline"),
+    # airflow's feature marks come from telemetry.schema, a leaf
+    # declarations module with no further repro imports.
+    ("repro.environment.airflow", "telemetry"),
+})
+
+
+def layer_rank(package: str) -> int | None:
+    """Position of a package in the layer order (None = unranked)."""
+    try:
+        return PACKAGE_LAYER_ORDER.index(package)
+    except ValueError:
+        return None
+
 
 @functools.lru_cache(maxsize=1)
 def ground_truth_attributes() -> frozenset[str]:

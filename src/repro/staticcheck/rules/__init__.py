@@ -7,6 +7,7 @@ suppression workflow: ``docs/static_analysis.md``.
 
 from .float_eq import FloatEqRule
 from .gt_leak import GtLeakRule
+from .layering import LayeringRule
 from .rng_discipline import RngDisciplineRule
 from .schema_fields import SchemaFieldsRule
 from .wallclock import WallclockRule
@@ -14,6 +15,7 @@ from .wallclock import WallclockRule
 __all__ = [
     "FloatEqRule",
     "GtLeakRule",
+    "LayeringRule",
     "RngDisciplineRule",
     "SchemaFieldsRule",
     "WallclockRule",

@@ -1,0 +1,65 @@
+"""layering: package imports must respect the declared layer order.
+
+The repo's packages form a strict stack (see
+:data:`repro.staticcheck.contract.PACKAGE_LAYER_ORDER`): simulation
+substrate at the bottom, analysis above it, drivers (reporting,
+fielddata, stream, pipeline) on top.  An import that reaches *upward*
+couples a lower layer to its consumers — the kind of cycle-in-waiting
+that previously hid behind ad-hoc "imported lazily" comments.  This
+rule checks every resolved import edge (including function-level
+imports) against the order; the deliberate inversions live in one
+explicit, reviewable exception list
+(:data:`repro.staticcheck.contract.LAYERING_EXCEPTIONS`) instead of
+scattered comments.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterable
+
+from ..contract import LAYERING_EXCEPTIONS, layer_rank
+from ..framework import Finding, ModuleInfo, Rule, register
+
+
+def _imported_package(target: str) -> str | None:
+    """First package segment of an imported ``repro`` module, or None."""
+    parts = target.split(".")
+    if parts[0] != "repro" or len(parts) < 3:
+        return None
+    return parts[1]
+
+
+@register
+class LayeringRule(Rule):
+    id: ClassVar[str] = "layering"
+    title: ClassVar[str] = "import reaches upward through the package layers"
+    rationale: ClassVar[str] = (
+        "Packages form a declared stack (substrate → analysis → drivers); "
+        "upward imports create hidden cycles and make lower layers "
+        "untestable in isolation.  Deliberate inversions belong in "
+        "staticcheck.contract.LAYERING_EXCEPTIONS, not in lazy-import "
+        "comments."
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        # Top-level modules (cache, cli, parallel, …) orchestrate across
+        # layers by design and sit outside the order.
+        return layer_rank(module.package) is not None
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        own_rank = layer_rank(module.package)
+        for target, lineno in module.import_edges:
+            package = _imported_package(target)
+            if package is None or package == module.package:
+                continue
+            target_rank = layer_rank(package)
+            if target_rank is None or target_rank <= own_rank:
+                continue
+            if (module.name, package) in LAYERING_EXCEPTIONS:
+                continue
+            yield self.finding(
+                module, lineno,
+                f"imports {target!r} ({package!r}, layer {target_rank}) from "
+                f"the lower {module.package!r} layer ({own_rank}); add the "
+                "pair to LAYERING_EXCEPTIONS if the inversion is deliberate",
+            )

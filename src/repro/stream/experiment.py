@@ -27,6 +27,17 @@ from .checkpoint import load_checkpoint, save_checkpoint
 from .events import EventKind, StreamInventory, flatten_result
 from .triggers import calibrated_spare_fraction
 
+#: Pipeline stage dependencies of the registered ``streaming``
+#: experiment: none beyond the simulation itself — the experiment
+#: re-derives its batch baselines in-process on purpose, since its whole
+#: point is verifying the online analyzers against them.  Cross-checked
+#: against the experiment registry's declaration by tests.
+STAGE_DEPS: tuple[str, ...] = ()
+
+#: Modules whose source content invalidates a cached rendering of the
+#: ``streaming`` experiment (cross-checked likewise).
+CODE_MODULES: tuple[str, ...] = ("repro.stream.experiment",)
+
 #: Event kinds the experiment streams (sensor samples carry no λ/μ
 #: signal and would dominate the event count at paper scale).
 _KINDS = frozenset({

@@ -203,3 +203,73 @@ class TestCliIntegration:
         assert RunCache(cache_root).entries() == []
         captured = capsys.readouterr()
         assert "loaded from run cache" not in captured.err
+
+
+class TestCrashedWriterHardening:
+    """A writer killed mid-``put`` must read back as a miss, not a crash."""
+
+    def test_missing_meta_is_a_miss_and_evicts(self, config, cache):
+        simulate_cached(config, cache)
+        entry = cache.entry_dir(config_key(config))
+        (entry / "meta.json").unlink()
+        assert cache.get(config) is None
+        assert not entry.exists()
+
+    def test_truncated_meta_is_a_miss_and_evicts(self, config, cache):
+        simulate_cached(config, cache)
+        entry = cache.entry_dir(config_key(config))
+        (entry / "meta.json").write_text('{"key": "abc123')  # cut mid-write
+        assert cache.get(config) is None
+        assert not entry.exists()
+
+    def test_non_dict_meta_is_a_miss_and_evicts(self, config, cache):
+        simulate_cached(config, cache)
+        entry = cache.entry_dir(config_key(config))
+        (entry / "meta.json").write_text('["not", "a", "dict"]')
+        assert cache.get(config) is None
+        assert not entry.exists()
+
+    def test_missing_bundle_is_a_miss_and_evicts(self, config, cache):
+        simulate_cached(config, cache)
+        entry = cache.entry_dir(config_key(config))
+        (entry / "tickets.npz").unlink()
+        assert cache.get(config) is None
+        assert not entry.exists()
+
+    def test_simulate_cached_recovers_after_crash(self, config, cache):
+        fresh, _ = simulate_cached(config, cache)
+        (cache.entry_dir(config_key(config)) / "meta.json").unlink()
+        healed, was_hit = simulate_cached(config, cache)
+        assert not was_hit  # wreckage counted as a miss...
+        assert np.array_equal(fresh.tickets.day_index, healed.tickets.day_index)
+        again, was_hit = simulate_cached(config, cache)
+        assert was_hit  # ...and the entry was rewritten cleanly.
+
+    def test_prune_sweeps_half_written_entries(self, config, cache):
+        simulate_cached(config, cache)
+        wreck = cache.entry_dir("0" * 32)
+        wreck.mkdir(parents=True)
+        (wreck / "tickets.npz").write_bytes(b"partial")  # no meta.json
+        assert cache.prune(max_entries=8) == 1
+        assert not wreck.exists()
+        assert len(cache.entries()) == 1  # the good entry survives
+
+    def test_prune_leaves_foreign_directories_alone(self, config, cache):
+        """Non-key-shaped dirs (e.g. a co-located artifact store) stay."""
+        simulate_cached(config, cache)
+        foreign = cache.root / "provisioner-24h"
+        foreign.mkdir(parents=True)
+        (foreign / "data.json").write_text("{}")
+        assert cache.prune(max_entries=8) == 0
+        assert foreign.exists()
+
+    def test_complete_but_wrong_entry_still_raises(self, config, cache):
+        """Hardening must not swallow real corruption: a parseable meta
+        with the wrong key stays a DataError (see TestRoundTrip)."""
+        simulate_cached(config, cache)
+        entry = cache.entry_dir(config_key(config))
+        meta = json.loads((entry / "meta.json").read_text())
+        meta["key"] = "f" * 32
+        (entry / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(DataError, match="key mismatch"):
+            cache.get(config)

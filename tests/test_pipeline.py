@@ -1,0 +1,425 @@
+"""Pipeline core: stage keying, the artifact store, DAG execution.
+
+These are fast structural tests over synthetic stages; the
+simulation-backed catalogue and its invalidation semantics live in
+``test_pipeline_invalidation.py``.
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.errors import ConfigError
+from repro.pipeline import (
+    CODECS,
+    PIPELINE_SCHEMA,
+    ArtifactStore,
+    Pipeline,
+    Stage,
+    StageExecution,
+    clear_source_fingerprints,
+    execution_from_json,
+    simulate_stage,
+    source_fingerprint,
+)
+
+
+def constant(value):
+    """A run callable returning a fixed value."""
+    return lambda inputs, ctx: value
+
+
+def adder(dep_a, dep_b):
+    return lambda inputs, ctx: inputs[dep_a] + inputs[dep_b]
+
+
+@pytest.fixture()
+def diamond():
+    """a → (b, c) → d, all memory-only."""
+    return [
+        Stage("a", constant(1)),
+        Stage("b", lambda i, c: i["a"] + 10, deps=("a",)),
+        Stage("c", lambda i, c: i["a"] + 100, deps=("a",)),
+        Stage("d", adder("b", "c"), deps=("b", "c")),
+    ]
+
+
+class TestStage:
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ConfigError, match="codec"):
+            Stage("x", constant(1), codec="pickle")
+
+    def test_known_codecs_accepted(self):
+        for codec in CODECS:
+            Stage("x", constant(1), codec=codec)
+        Stage("x", constant(1), codec=None)
+
+
+class TestValidation:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            Pipeline([Stage("a", constant(1)), Stage("a", constant(2))])
+
+    def test_unknown_dep_rejected(self):
+        with pytest.raises(ConfigError, match="unknown stage"):
+            Pipeline([Stage("a", constant(1), deps=("ghost",))])
+
+    def test_cycle_rejected(self):
+        stages = [
+            Stage("a", constant(1), deps=("b",)),
+            Stage("b", constant(2), deps=("a",)),
+        ]
+        with pytest.raises(ConfigError, match="cycle"):
+            Pipeline(stages)
+
+    def test_unknown_stage_lookup(self, diamond):
+        pipeline = Pipeline(diamond)
+        with pytest.raises(ConfigError, match="unknown stage"):
+            pipeline.stage("ghost")
+
+    def test_order_is_topological(self, diamond):
+        order = Pipeline(diamond).order
+        assert order.index("a") < order.index("b")
+        assert order.index("a") < order.index("c")
+        assert order.index("b") < order.index("d")
+        assert order.index("c") < order.index("d")
+
+    def test_sinks(self, diamond):
+        assert Pipeline(diamond).sinks() == ["d"]
+
+
+class TestKeying:
+    def test_key_is_stable_across_pipelines(self, diamond):
+        assert Pipeline(diamond).key("d") == Pipeline(diamond).key("d")
+
+    def test_key_changes_with_fingerprint_inputs(self):
+        def build(value):
+            return Pipeline([
+                Stage("a", constant(1), fingerprint_inputs={"v": value}),
+            ])
+
+        assert build(1).key("a") != build(2).key("a")
+
+    def test_parent_change_propagates_downstream(self):
+        def build(value):
+            return Pipeline([
+                Stage("a", constant(1), fingerprint_inputs={"v": value}),
+                Stage("b", lambda i, c: i["a"], deps=("a",)),
+            ])
+
+        one, two = build(1), build(2)
+        assert one.key("b") != two.key("b")
+
+    def test_sibling_key_unaffected_by_other_branch(self):
+        def build(value):
+            return Pipeline([
+                Stage("a", constant(1)),
+                Stage("b", lambda i, c: i["a"], deps=("a",),
+                      fingerprint_inputs={"v": value}),
+                Stage("c", lambda i, c: i["a"], deps=("a",)),
+            ])
+
+        one, two = build(1), build(2)
+        assert one.key("b") != two.key("b")
+        assert one.key("c") == two.key("c")
+
+    def test_code_fingerprint_participates(self, monkeypatch):
+        stages = [Stage("a", constant(1), code=("repro.decisions.spares",))]
+        before = Pipeline(stages).key("a")
+        monkeypatch.setattr(
+            "repro.pipeline.core.source_fingerprint", lambda m: "edited"
+        )
+        assert Pipeline(stages).key("a") != before
+
+    def test_key_never_materializes_artifacts(self, diamond):
+        """Keys are recursive hashes, not artifact hashes."""
+        def explode(inputs, ctx):
+            raise AssertionError("key() ran a stage")
+
+        stages = [Stage(s.name, explode, deps=s.deps) for s in diamond]
+        pipeline = Pipeline(stages)
+        assert len(pipeline.key("d")) == 32
+        assert pipeline.executions == []
+
+
+class TestSourceFingerprint:
+    def test_cached_per_process(self, monkeypatch):
+        clear_source_fingerprints()
+        first = source_fingerprint("repro.failures.engine")
+        # A cached module is not re-read from disk.
+        monkeypatch.setattr(
+            "pathlib.Path.read_bytes",
+            lambda self: (_ for _ in ()).throw(AssertionError("re-read")),
+        )
+        assert source_fingerprint("repro.failures.engine") == first
+
+    def test_clear_forces_reread(self):
+        first = source_fingerprint("repro.failures.engine")
+        clear_source_fingerprints()
+        assert source_fingerprint("repro.failures.engine") == first
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(ConfigError, match="fingerprint"):
+            source_fingerprint("repro.no_such_module_anywhere")
+
+    def test_distinct_modules_distinct_hashes(self):
+        assert (source_fingerprint("repro.failures.engine")
+                != source_fingerprint("repro.decisions.spares"))
+
+
+class TestExecutionOutcomes:
+    def test_computed_then_memoized(self, diamond):
+        pipeline = Pipeline(diamond)
+        assert pipeline.get("d") == 112
+        assert [e.outcome for e in pipeline.executions] == ["computed"] * 4
+        # A second get is silent: no new execution records.
+        assert pipeline.get("d") == 112
+        assert len(pipeline.executions) == 4
+
+    def test_memory_hit_in_shared_store(self, diamond):
+        store = ArtifactStore()
+        Pipeline(diamond, store=store).get("d")
+        warm = Pipeline(diamond, store=store)
+        assert warm.get("d") == 112
+        assert [e.outcome for e in warm.executions] == ["memory"]
+
+    def test_disk_hit_in_fresh_process_equivalent(self, tmp_path):
+        stages = lambda: [Stage("j", constant({"x": 1}), codec="json")]  # noqa: E731
+        Pipeline(stages(), store=ArtifactStore(tmp_path)).get("j")
+        warm = Pipeline(stages(), store=ArtifactStore(tmp_path))
+        assert warm.get("j") == {"x": 1}
+        assert warm.executions[0].outcome == "disk"
+
+    def test_run_resolves_all_sinks(self, diamond):
+        artifacts = Pipeline(diamond).run()
+        assert artifacts == {"d": 112}
+
+    def test_observer_sees_every_execution(self, diamond):
+        seen = []
+        Pipeline(diamond, observer=seen.append).get("d")
+        assert [e.stage for e in seen] == ["b", "c", "a", "d"] or len(seen) == 4
+        assert all(isinstance(e, StageExecution) for e in seen)
+
+    def test_injected_clock_times_stage_not_upstream(self):
+        """The second clock read excludes dependency resolution."""
+        ticks = iter(range(100))
+        stages = [
+            Stage("a", constant(1)),
+            Stage("b", lambda i, c: i["a"], deps=("a",)),
+        ]
+        pipeline = Pipeline(stages, clock=lambda: float(next(ticks)))
+        pipeline.get("b")
+        by_stage = {e.stage: e for e in pipeline.executions}
+        # Each record spans exactly one tick: fetch-miss → restart → done.
+        assert by_stage["a"].wall_s == 1.0
+        assert by_stage["b"].wall_s == 1.0
+
+    def test_prime_skips_compute(self, diamond):
+        pipeline = Pipeline(diamond)
+        pipeline.prime("a", 1000)
+        assert pipeline.get("b") == 1010
+        outcomes = {e.stage: e.outcome for e in pipeline.executions}
+        assert outcomes == {"a": "memory", "b": "computed"}
+
+    def test_execution_round_trips_json(self, diamond):
+        pipeline = Pipeline(diamond)
+        pipeline.get("d")
+        for execution in pipeline.executions:
+            assert execution_from_json(execution.to_json()) == execution
+
+
+class TestArtifactStore:
+    def test_memory_only_store_has_no_stage_dir(self):
+        with pytest.raises(ConfigError):
+            ArtifactStore().stage_dir("a")
+
+    def test_codecless_stage_stays_memory_only(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        stage = Stage("mem", constant(1))
+        store.put(stage, "k" * 32, 1)
+        assert not store.stage_dir("mem").exists()
+        assert store.fetch(stage, "k" * 32) == ("memory", 1)
+
+    def test_json_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        stage = Stage("j", constant(None), codec="json")
+        artifact = {"metrics": {"a": 1.5}, "severity": 0.5}
+        store.put(stage, "k" * 32, artifact)
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.fetch(stage, "k" * 32) == ("disk", artifact)
+
+    def test_text_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        stage = Stage("t", constant(None), codec="text")
+        store.put(stage, "k" * 32, "rendered\ntext\n")
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.fetch(stage, "k" * 32) == ("disk", "rendered\ntext\n")
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        stage = Stage("t", constant(None), codec="text")
+        ArtifactStore(tmp_path).put(stage, "k" * 32, "x")
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.fetch(stage, "k" * 32)[0] == "disk"
+        assert fresh.fetch(stage, "k" * 32)[0] == "memory"
+
+    def test_run_codec_round_trips_simulation(self, tmp_path):
+        config = repro.SimulationConfig.small(seed=5, scale=0.02, n_days=30)
+        stage = simulate_stage(config)
+        result = repro.simulate(config)
+        store = ArtifactStore(tmp_path)
+        store.put(stage, "k" * 32, result)
+        tier, loaded = ArtifactStore(tmp_path).fetch(stage, "k" * 32)
+        assert tier == "disk"
+        assert len(loaded.tickets) == len(result.tickets)
+
+    def test_run_codec_needs_runtime_config(self, tmp_path):
+        config = repro.SimulationConfig.small(seed=5, scale=0.02, n_days=30)
+        store = ArtifactStore(tmp_path)
+        store.put(simulate_stage(config), "k" * 32, repro.simulate(config))
+        bare = Stage("simulate", constant(None), codec="run")
+        # Decoding without runtime config is a caller bug, not corruption.
+        with pytest.raises(ConfigError, match="runtime"):
+            ArtifactStore(tmp_path).fetch(bare, "k" * 32)
+
+    def test_corrupt_payload_self_heals(self, tmp_path):
+        stage = Stage("j", constant(None), codec="json")
+        store = ArtifactStore(tmp_path)
+        store.put(stage, "k" * 32, {"x": 1})
+        entry = store.entry_dir("j", "k" * 32)
+        (entry / "artifact.json").write_text("{not json")
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.fetch(stage, "k" * 32) is None
+        assert not entry.exists()
+
+    def test_missing_meta_self_heals(self, tmp_path):
+        stage = Stage("j", constant(None), codec="json")
+        store = ArtifactStore(tmp_path)
+        store.put(stage, "k" * 32, {"x": 1})
+        entry = store.entry_dir("j", "k" * 32)
+        (entry / "meta.json").unlink()
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.fetch(stage, "k" * 32) is None
+        assert not entry.exists()
+
+    def test_truncated_meta_self_heals(self, tmp_path):
+        stage = Stage("j", constant(None), codec="json")
+        store = ArtifactStore(tmp_path)
+        store.put(stage, "k" * 32, {"x": 1})
+        entry = store.entry_dir("j", "k" * 32)
+        (entry / "meta.json").write_text('{"stage": "j", "ke')
+        assert ArtifactStore(tmp_path).fetch(stage, "k" * 32) is None
+        assert not entry.exists()
+
+    def test_key_mismatch_in_meta_is_a_miss(self, tmp_path):
+        stage = Stage("j", constant(None), codec="json")
+        store = ArtifactStore(tmp_path)
+        store.put(stage, "k" * 32, {"x": 1})
+        entry = store.entry_dir("j", "k" * 32)
+        meta = json.loads((entry / "meta.json").read_text())
+        meta["key"] = "z" * 32
+        (entry / "meta.json").write_text(json.dumps(meta))
+        assert ArtifactStore(tmp_path).fetch(stage, "k" * 32) is None
+
+    def test_stage_dirname_sanitized(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        stage = Stage("provisioner:24h", constant(None), codec="json")
+        store.put(stage, "k" * 32, {})
+        assert store.stage_dir("provisioner:24h").name == "provisioner-24h"
+        assert store.stage_dir("provisioner:24h").exists()
+
+    def test_meta_records_schema(self, tmp_path):
+        stage = Stage("j", constant(None), codec="json")
+        store = ArtifactStore(tmp_path)
+        store.put(stage, "k" * 32, {})
+        meta = json.loads(
+            (store.entry_dir("j", "k" * 32) / "meta.json").read_text()
+        )
+        assert meta["schema"] == PIPELINE_SCHEMA
+        assert meta["stage"] == "j"
+
+
+class TestStorePruning:
+    def _fill(self, store, n, max_entries=0):
+        """Write n entries with an advancing clock; no auto-prune."""
+        stage = Stage("j", constant(None), codec="json")
+        for index in range(n):
+            store.put(stage, f"{index:032d}", {"i": index})
+        return stage
+
+    def test_put_auto_prunes_per_stage(self, tmp_path):
+        ticks = iter(range(1000))
+        store = ArtifactStore(tmp_path, clock=lambda: float(next(ticks)),
+                              max_entries=2)
+        self._fill(store, 4)
+        entries = store.stage_entries("j")
+        assert len(entries) == 2
+        assert sorted(p.name for p in entries) == [f"{2:032d}", f"{3:032d}"]
+
+    def test_prune_keeps_newest(self, tmp_path):
+        ticks = iter(range(1000))
+        store = ArtifactStore(tmp_path, clock=lambda: float(next(ticks)),
+                              max_entries=0)
+        self._fill(store, 3)
+        assert store.prune(max_entries=1) == 2
+        assert [p.name for p in store.stage_entries("j")] == [f"{2:032d}"]
+
+    def test_prune_sweeps_half_written_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_entries=0)
+        self._fill(store, 1)
+        wreck = store.stage_dir("j") / ("f" * 32)
+        wreck.mkdir()
+        (wreck / "artifact.json").write_text("{}")  # no meta.json
+        assert store.prune(max_entries=8) == 1
+        assert not wreck.exists()
+        assert len(store.stage_entries("j")) == 1
+
+    def test_negative_bound_rejected(self, tmp_path):
+        from repro.errors import DataError
+
+        with pytest.raises(DataError):
+            ArtifactStore(tmp_path).prune_stage("j", max_entries=-1)
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_entries=0)
+        self._fill(store, 2)
+        store.clear()
+        assert not (tmp_path.exists() and any(tmp_path.iterdir()))
+        stage = Stage("j", constant(None), codec="json")
+        assert store.fetch(stage, f"{0:032d}") is None
+
+
+class TestManifest:
+    def test_manifest_lists_catalogue_and_executions(self, diamond, tmp_path):
+        pipeline = Pipeline(diamond, store=ArtifactStore(tmp_path))
+        pipeline.get("d")
+        manifest = pipeline.manifest()
+        assert manifest["schema"] == PIPELINE_SCHEMA
+        assert set(manifest["stages"]) == {"a", "b", "c", "d"}
+        assert manifest["stages"]["d"]["deps"] == ["b", "c"]
+        assert len(manifest["executions"]) == 4
+        for record in manifest["executions"]:
+            assert record["outcome"] in ("memory", "disk", "computed")
+
+    def test_write_manifest_defaults_to_store_root(self, diamond, tmp_path):
+        pipeline = Pipeline(diamond, store=ArtifactStore(tmp_path))
+        pipeline.get("d")
+        path = pipeline.write_manifest()
+        assert path == tmp_path / "manifest.json"
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == PIPELINE_SCHEMA
+
+    def test_write_manifest_without_root_needs_path(self, diamond, tmp_path):
+        pipeline = Pipeline(diamond)
+        with pytest.raises(ConfigError):
+            pipeline.write_manifest()
+        path = pipeline.write_manifest(tmp_path / "m.json")
+        assert path.exists()
+
+    def test_extra_executions_merge_sorted(self, diamond):
+        pipeline = Pipeline(diamond)
+        pipeline.get("a")
+        foreign = StageExecution(order=1, stage="zz-worker", key="k" * 32,
+                                 parents=(), outcome="computed", wall_s=0.1)
+        manifest = pipeline.manifest(extra_executions=[foreign])
+        assert [e["stage"] for e in manifest["executions"]] == ["a", "zz-worker"]

@@ -1,0 +1,148 @@
+"""CLI surface of the artifact pipeline: report provenance, dag, list.
+
+Everything here drives :func:`repro.cli.main` end to end with a small
+fast config, asserting the contracts CI's smoke job relies on — in
+particular that a warm ``repro report`` performs zero computed
+simulate-stage executions.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.reporting.context import SIMULATE_STAGE
+
+ARGS = ["--scale", "0.05", "--days", "60", "--seed", "21"]
+
+
+def report(tmp_path, *extra):
+    return main(["report", "fig10", *ARGS,
+                 "--cache-dir", str(tmp_path / "store"), *extra])
+
+
+class TestReportProvenance:
+    def test_cold_report_writes_manifest(self, tmp_path, capsys):
+        assert report(tmp_path) == 0
+        captured = capsys.readouterr()
+        assert "loaded from run cache" not in captured.err
+        manifest = json.loads(
+            (tmp_path / "store" / "manifest.json").read_text()
+        )
+        outcomes = {e["stage"]: e["outcome"] for e in manifest["executions"]}
+        assert outcomes[SIMULATE_STAGE] == "computed"
+        assert outcomes["render:fig10"] == "computed"
+
+    def test_warm_report_is_identical_and_never_simulates(
+            self, tmp_path, capsys):
+        assert report(tmp_path) == 0
+        cold = capsys.readouterr()
+        assert report(tmp_path) == 0
+        warm = capsys.readouterr()
+        assert "loaded from run cache" in warm.err
+        assert warm.out == cold.out  # bit-identical rendering
+        manifest = json.loads(
+            (tmp_path / "store" / "manifest.json").read_text()
+        )
+        computed = [e["stage"] for e in manifest["executions"]
+                    if e["outcome"] == "computed"]
+        assert computed == []
+
+    def test_warm_report_to_file_matches_cold(self, tmp_path, capsys):
+        cold_path, warm_path = tmp_path / "cold.md", tmp_path / "warm.md"
+        assert report(tmp_path, "--out", str(cold_path)) == 0
+        assert report(tmp_path, "--out", str(warm_path)) == 0
+        capsys.readouterr()
+        assert warm_path.read_bytes() == cold_path.read_bytes()
+
+    def test_manifest_subcommand_renders_provenance(self, tmp_path, capsys):
+        assert report(tmp_path) == 0
+        capsys.readouterr()
+        assert main(["pipeline", "manifest",
+                     "--cache-dir", str(tmp_path / "store")]) == 0
+        text = capsys.readouterr().out
+        assert "stage executions" in text
+        assert "[computed" in text
+        assert SIMULATE_STAGE in text
+
+    def test_manifest_subcommand_json(self, tmp_path, capsys):
+        assert report(tmp_path) == 0
+        capsys.readouterr()
+        assert main(["pipeline", "manifest", "--format", "json",
+                     "--cache-dir", str(tmp_path / "store")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert SIMULATE_STAGE in payload["stages"]
+
+    def test_manifest_without_cache_dir_fails(self, tmp_path, capsys,
+                                              monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["pipeline", "manifest", "--no-cache"]) == 1
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_manifest_before_any_report_fails(self, tmp_path, capsys):
+        assert main(["pipeline", "manifest",
+                     "--cache-dir", str(tmp_path / "empty")]) == 1
+        assert "no manifest" in capsys.readouterr().err
+
+
+class TestPipelineDag:
+    def test_dag_text_lists_stages_in_dependency_order(self, capsys):
+        assert main(["pipeline", "dag", *ARGS, "--no-cache"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        names = [line.split()[0] for line in lines]
+        assert names.index(SIMULATE_STAGE) < names.index("render:fig10")
+        assert any("codec=run" in line for line in lines)
+
+    def test_dag_json_declares_deps_and_keys(self, capsys):
+        assert main(["pipeline", "dag", *ARGS, "--format", "json",
+                     "--no-cache"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stages = payload["stages"]
+        assert SIMULATE_STAGE in stages["render:fig10"]["deps"]
+        assert "provisioner:24h" in stages["render:fig10"]["deps"]
+        assert len(stages[SIMULATE_STAGE]["key"]) == 32
+        assert stages[SIMULATE_STAGE]["codec"] == "run"
+
+    def test_dag_key_tracks_config(self, capsys):
+        assert main(["pipeline", "dag", *ARGS, "--format", "json",
+                     "--no-cache"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["pipeline", "dag", "--scale", "0.05", "--days", "60",
+                     "--seed", "99", "--format", "json", "--no-cache"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert (first["stages"][SIMULATE_STAGE]["key"]
+                != second["stages"][SIMULATE_STAGE]["key"])
+
+    def test_prune_needs_cache_dir(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["pipeline", "prune", "--no-cache"]) == 1
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_prune_reports_removals(self, tmp_path, capsys):
+        assert report(tmp_path) == 0
+        capsys.readouterr()
+        assert main(["pipeline", "prune", "--max-entries", "0",
+                     "--cache-dir", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        assert "pruned 0" not in out
+
+
+class TestListJson:
+    def test_json_lists_declared_stage_deps(self, capsys):
+        assert main(["list", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        by_id = {e["id"]: e for e in payload["experiments"]}
+        assert by_id["fig10"]["stages"] == ["provisioner:24h"]
+        assert set(by_id["table4"]["stages"]) == {"provisioner:24h",
+                                                  "provisioner:1h"}
+        assert all(e["description"] for e in payload["experiments"])
+
+    def test_text_format_unchanged(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)

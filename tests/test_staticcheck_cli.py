@@ -62,7 +62,7 @@ class TestLintCommand:
         assert payload["counts"]["baselined"] == 1
         assert set(payload["rules"]) == {
             "GT-leak", "RNG-discipline", "wallclock", "float-eq",
-            "schema-fields",
+            "schema-fields", "layering",
         }
 
     def test_rule_selection(self, tmp_path):
@@ -74,7 +74,7 @@ class TestLintCommand:
         code, out = run_cli(["lint", "--list-rules"])
         assert code == 0
         for rule_id in ("GT-leak", "RNG-discipline", "wallclock",
-                        "float-eq", "schema-fields"):
+                        "float-eq", "schema-fields", "layering"):
             assert rule_id in out
 
     def test_write_and_reuse_baseline(self, tmp_path):

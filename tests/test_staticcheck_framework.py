@@ -93,10 +93,10 @@ class TestModuleInfo:
 
 
 class TestRegistry:
-    def test_five_rules_registered(self):
+    def test_shipped_rules_registered(self):
         assert {rule.id for rule in all_rules()} == {
             "GT-leak", "RNG-discipline", "wallclock", "float-eq",
-            "schema-fields",
+            "schema-fields", "layering",
         }
 
     def test_get_rule_unknown_id(self):

@@ -174,3 +174,74 @@ class TestSchemaFields:
         assert {"day_index", "rack_id", "n_servers",
                 "decommission_day"} <= fields
         assert "alerts" not in fields
+
+
+class TestLayering:
+    def test_upward_import_flagged(self):
+        assert rules_hit("from repro.reporting import tables\n",
+                         module="repro.failures.fixture",
+                         rule="layering") == ["layering"]
+
+    def test_function_level_upward_import_flagged(self):
+        source = ("def f():\n"
+                  "    from repro.stream.experiment import streaming_experiment\n"
+                  "    return streaming_experiment\n")
+        assert rules_hit(source, module="repro.telemetry.fixture",
+                         rule="layering") == ["layering"]
+
+    def test_downward_import_allowed(self):
+        assert not rules_hit("from repro.failures import engine\n",
+                             module="repro.reporting.fixture",
+                             rule="layering")
+
+    def test_same_package_import_allowed(self):
+        assert not rules_hit("from repro.failures import tickets\n",
+                             module="repro.failures.fixture",
+                             rule="layering")
+
+    def test_top_level_module_exempt(self):
+        # cache, cli, parallel… orchestrate across layers by design.
+        assert not rules_hit("from repro.reporting import tables\n",
+                             module="repro.cache",
+                             rule="layering")
+
+    def test_top_level_import_target_not_ranked(self):
+        assert not rules_hit("from repro import cache\n",
+                             module="repro.reporting.fixture",
+                             rule="layering")
+
+    def test_baselined_exception_allowed(self):
+        source = ("def f():\n"
+                  "    from repro.fielddata.robustness import fielddata_experiment\n"
+                  "    return fielddata_experiment\n")
+        assert not rules_hit(source, module="repro.reporting.experiments",
+                             rule="layering")
+
+    def test_exception_is_module_specific(self):
+        """The fielddata exception covers experiments, not all of reporting."""
+        source = "from repro.fielddata import robustness\n"
+        assert rules_hit(source, module="repro.reporting.fixture",
+                         rule="layering") == ["layering"]
+
+    def test_layer_order_covers_every_package(self):
+        import pathlib
+
+        import repro
+        from repro.staticcheck.contract import PACKAGE_LAYER_ORDER
+
+        src = pathlib.Path(repro.__file__).parent
+        packages = {p.name for p in src.iterdir()
+                    if p.is_dir() and (p / "__init__.py").exists()}
+        assert packages == set(PACKAGE_LAYER_ORDER)
+
+    def test_repo_is_clean_under_layering(self):
+        """The shipped tree has no non-baselined upward imports."""
+        import pathlib
+
+        import repro
+        from repro.staticcheck import lint_paths
+        from repro.staticcheck.framework import get_rule
+
+        report = lint_paths([pathlib.Path(repro.__file__).parent],
+                            rules=[get_rule("layering")])
+        assert [f.render() for f in report.findings] == []
