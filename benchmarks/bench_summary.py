@@ -27,20 +27,25 @@ def summarize(path: pathlib.Path) -> str:
         return f"{path}: no benchmark entries recorded"
     lines = [
         f"{'benchmark':44s} {'mean':>10s} {'min':>10s} {'rounds':>6s} "
-        f"{'speedup':>8s} {'throughput':>12s}",
+        f"{'speedup':>8s} {'throughput':>12s} {'peak_mb':>8s}",
     ]
     ordered = sorted(entries.items(), key=lambda kv: -kv[1]["mean_s"])
     for name, entry in ordered:
         speedup = entry.get("speedup_vs_baseline")
         events_per_sec = entry.get("events_per_sec")
+        extra = entry.get("extra", {})
+        # Memory benches record traced peaks in bytes; show the
+        # streaming-side peak (the gated one) in MB.
+        peak_bytes = extra.get("stream_peak_bytes") or extra.get("peak_bytes")
         lines.append(
             f"{name:44s} {entry['mean_s']*1e3:8.1f}ms {entry['min_s']*1e3:8.1f}ms "
             f"{entry['rounds']:6d} "
             + (f"{speedup:7.2f}x" if speedup is not None else "       -")
             + (f" {events_per_sec:9.0f}/s" if events_per_sec is not None
                else "            -")
+            + (f" {peak_bytes/1e6:7.2f}" if peak_bytes is not None
+               else "        -")
         )
-        extra = entry.get("extra", {})
         if "warm_s" in extra:
             # Pipeline benches record the warm-store and one-module-touched
             # re-runs of the same workload alongside the cold timing.

@@ -1,0 +1,81 @@
+"""CI scale smoke: flatten + analyze ~1M synthetic events on a budget.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/scale_smoke.py [--events N]
+        [--budget SECONDS]
+
+Simulates paper-scale fleets (331+290 racks, 910 days each, fresh seed
+per shard) until the flattened stream reaches the target event count,
+then runs the columnar flatten plus the full streaming estimator and
+trigger stack over every event.  Exits non-zero if the measured
+wall-clock exceeds the budget — the CI gate that keeps "fleet scale on
+one box" an enforced property rather than a README claim.
+
+Simulation time is excluded from the budget: the smoke gates the
+columnar event core, not the simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import repro
+from repro.stream import StreamAnalyzer, StreamInventory, blocks_from_result
+
+
+def run_smoke(target_events: int, budget_s: float) -> int:
+    runs = []
+    total = 0
+    seed = 0
+    sim_start = time.perf_counter()
+    while total < target_events:
+        run = repro.simulate(repro.SimulationConfig.paper_scale(seed=seed))
+        total += sum(len(block) for block in blocks_from_result(run))
+        runs.append(run)
+        seed += 1
+    sim_s = time.perf_counter() - sim_start
+    inventories = [StreamInventory.from_result(run) for run in runs]
+    print(f"simulated {len(runs)} paper-scale shard(s), "
+          f"{total:,} events, in {sim_s:.1f}s")
+
+    start = time.perf_counter()
+    analyzed = 0
+    for run, inventory in zip(runs, inventories):
+        analyzer = StreamAnalyzer(inventory, spare_fraction=0.05)
+        analyzer.consume_blocks(blocks_from_result(run))
+        analyzer.finish()
+        analyzed += analyzer.events_seen
+    elapsed = time.perf_counter() - start
+
+    rate = analyzed / elapsed if elapsed > 0 else float("inf")
+    print(f"flatten+analyze: {analyzed:,} events in {elapsed:.2f}s "
+          f"({rate:,.0f} events/sec)")
+    if analyzed < target_events:
+        print(f"FAIL: analyzed {analyzed:,} < target {target_events:,}",
+              file=sys.stderr)
+        return 1
+    if elapsed > budget_s:
+        print(f"FAIL: {elapsed:.2f}s exceeds the {budget_s:.0f}s budget",
+              file=sys.stderr)
+        return 1
+    print(f"OK: within the {budget_s:.0f}s budget")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=1_000_000,
+                        help="minimum flattened events (default 1M)")
+    parser.add_argument("--budget", type=float, default=60.0,
+                        help="flatten+analyze wall-clock budget in seconds")
+    args = parser.parse_args(argv)
+    if args.events < 1 or args.budget <= 0:
+        parser.error("--events must be >= 1 and --budget > 0")
+    return run_smoke(args.events, args.budget)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -177,6 +177,20 @@ class TicketLog:
         assert self._final is not None
         return self._final[name]
 
+    def column_view(self, name: str) -> np.ndarray:
+        """Read-only zero-copy view of one column, in storage dtype.
+
+        The typed properties below return a fresh converted copy per
+        access; per-block hot paths (the columnar flatten) gather
+        slices from the same columns many times and need the backing
+        arrays without the per-access copy.
+        """
+        if name not in self._COLUMNS:
+            raise DataError(f"unknown ticket column {name!r}")
+        view = self._column(name).view()
+        view.flags.writeable = False
+        return view
+
     def __len__(self) -> int:
         return len(self._column("day_index"))
 

@@ -45,7 +45,7 @@ PIPELINE_SCHEMA = 1
 
 # Codecs an on-disk stage may declare.  ``None`` (no codec) keeps the
 # artifact memory-only.
-CODECS = ("run", "json", "text")
+CODECS = ("run", "json", "text", "blocks")
 
 _SOURCE_FINGERPRINTS: dict[str, str] = {}
 
@@ -96,7 +96,9 @@ class Stage:
         code: dotted module names whose source content participates in
             the key via :func:`source_fingerprint`.
         codec: on-disk representation — ``"run"`` (simulation bundle),
-            ``"json"``, ``"text"`` — or None for memory-only artifacts.
+            ``"json"``, ``"text"``, ``"blocks"`` (a flattened
+            :class:`~repro.stream.blocks.BlockSegment`, reloaded
+            memory-mapped) — or None for memory-only artifacts.
     """
 
     name: str
@@ -268,6 +270,10 @@ class ArtifactStore:
             return json.loads((entry / "artifact.json").read_text())
         if stage.codec == "text":
             return (entry / "artifact.txt").read_text()
+        if stage.codec == "blocks":
+            from ..stream.blocks import BlockSegment
+
+            return BlockSegment.load(entry / "artifact.npz")
         raise ConfigError(f"stage {stage.name!r}: unknown codec {stage.codec!r}")
 
     # -- storage ------------------------------------------------------
@@ -296,6 +302,8 @@ class ArtifactStore:
                 (entry / "artifact.json").write_text(
                     json.dumps(artifact, indent=2, sort_keys=True, default=str)
                 )
+            elif stage.codec == "blocks":
+                artifact.save(entry / "artifact.npz")
             else:
                 (entry / "artifact.txt").write_text(artifact)
             meta["created"] = self._clock()

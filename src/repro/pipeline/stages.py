@@ -10,6 +10,9 @@ render`` is spelled out as :class:`~repro.pipeline.core.Stage` objects:
   its header on a warm store without materializing the run);
 * ``rack_day:{all,hardware,disk}`` — the flattened λ/μ rack-day tables
   (memory-only: cheap to rebuild, expensive to serialize);
+* ``event_blocks`` — the run's full event trace as one columnar
+  :class:`~repro.stream.blocks.BlockSegment` (``codec="blocks"``: an
+  uncompressed ``.npz`` the store memory-maps back on a warm hit);
 * ``provisioner:{W}h`` / ``component_provisioner:{W}h`` — the Q1
   decision models;
 * ``fielddata:sev=S`` — the degradation payloads behind the
@@ -43,6 +46,7 @@ from ..reporting.context import (
     rack_day_stage,
 )
 from ..reporting.experiments import Experiment, get_experiment, EXPERIMENTS
+from ..stream.blocks import BlockSegment, blocks_from_result
 from ..telemetry.aggregate import build_rack_day_table
 from .core import ArtifactStore, Pipeline, Stage, StageContext, StageExecution
 
@@ -51,6 +55,9 @@ if TYPE_CHECKING:
 
 #: Prefix of per-experiment rendering stages.
 RENDER_PREFIX = "render:"
+
+#: The run's columnar event trace (a memory-mappable block segment).
+EVENT_BLOCKS_STAGE = "event_blocks"
 
 #: Spare-provisioning windows the catalogue always carries (daily and
 #: hourly — the two the paper's Q1 artifacts use).
@@ -87,6 +94,28 @@ def summary_stage() -> Stage:
         run=run,
         deps=(SIMULATE_STAGE,),
         codec="text",
+    )
+
+
+def event_blocks_stage() -> Stage:
+    """The run's events flattened once into a columnar block segment.
+
+    Downstream consumers (streaming replays, the rack-day table's block
+    path, external tooling) iterate the cached segment without
+    re-merging the run's logs; on a warm store the artifact comes back
+    memory-mapped, so a multi-year trace costs no resident memory.
+    """
+    def run(inputs: dict, ctx: StageContext) -> BlockSegment:
+        return BlockSegment.from_blocks(
+            blocks_from_result(inputs[SIMULATE_STAGE]),
+        )
+
+    return Stage(
+        name=EVENT_BLOCKS_STAGE,
+        run=run,
+        deps=(SIMULATE_STAGE,),
+        code=("repro.stream.blocks",),
+        codec="blocks",
     )
 
 
@@ -180,6 +209,7 @@ def _render_stage(experiment: Experiment,
 def analysis_stages(config: "SimulationConfig") -> list[Stage]:
     """Every non-render stage: simulation, summary, tables, decisions."""
     stages: list[Stage] = [simulate_stage(config), summary_stage()]
+    stages.append(event_blocks_stage())
     stages.extend(_rack_day_stages())
     stages.extend(_provisioner_stage(w) for w in PROVISIONER_WINDOWS)
     stages.append(_component_provisioner_stage(24.0))

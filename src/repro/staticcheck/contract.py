@@ -35,9 +35,17 @@ RNG_HELPER_MODULES: frozenset[str] = frozenset({"repro.rng"})
 
 #: Declared package layering, lowest first.  A module may import from
 #: its own layer or below; importing *upward* is a ``layering`` finding
-#: unless the (module, package) pair is listed in
+#: unless the (module, layer) pair is listed in
 #: :data:`LAYERING_EXCEPTIONS`.  Top-level modules (``repro.cache``,
 #: ``repro.cli``, …) sit outside the order and are exempt on both ends.
+#:
+#: Entries may be dotted to rank one module independently of its
+#: package: ``stream.blocks`` (the columnar event core) sits *below*
+#: the rest of ``stream`` so the estimators/analyzer consume it while
+#: it stays importable from anywhere a flattened trace is useful.  A
+#: module resolves to its most-specific dotted prefix in the order
+#: (``repro.stream.blocks`` → ``stream.blocks``,
+#: ``repro.stream.estimators`` → ``stream``); see :func:`resolve_layer`.
 PACKAGE_LAYER_ORDER: tuple[str, ...] = (
     "datacenter",
     "environment",
@@ -47,6 +55,7 @@ PACKAGE_LAYER_ORDER: tuple[str, ...] = (
     "decisions",
     "reporting",
     "fielddata",
+    "stream.blocks",
     "stream",
     "pipeline",
     "staticcheck",
@@ -74,6 +83,21 @@ def layer_rank(package: str) -> int | None:
         return PACKAGE_LAYER_ORDER.index(package)
     except ValueError:
         return None
+
+
+def resolve_layer(dotted: str) -> str | None:
+    """Most-specific layer entry covering a dotted path under ``repro``.
+
+    ``dotted`` omits the leading ``repro.``: ``"stream.estimators"``
+    resolves to ``"stream"``, ``"stream.blocks"`` to itself, and paths
+    with no covering entry (top-level modules) to ``None``.
+    """
+    best: str | None = None
+    for entry in PACKAGE_LAYER_ORDER:
+        if dotted == entry or dotted.startswith(entry + "."):
+            if best is None or len(entry) > len(best):
+                best = entry
+    return best
 
 
 @functools.lru_cache(maxsize=1)

@@ -17,16 +17,35 @@ from __future__ import annotations
 
 from typing import ClassVar, Iterable
 
-from ..contract import LAYERING_EXCEPTIONS, layer_rank
+from ..contract import LAYERING_EXCEPTIONS, layer_rank, resolve_layer
 from ..framework import Finding, ModuleInfo, Rule, register
 
 
-def _imported_package(target: str) -> str | None:
-    """First package segment of an imported ``repro`` module, or None."""
+def _module_layer(name: str) -> str | None:
+    """Layer entry covering a checked module's dotted name, or None.
+
+    Resolution is most-specific-prefix (see
+    :func:`repro.staticcheck.contract.resolve_layer`), so a dotted
+    entry like ``stream.blocks`` ranks that module independently of the
+    rest of its package.
+    """
+    parts = name.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return resolve_layer(".".join(parts[1:]))
+
+
+def _imported_layer(target: str) -> str | None:
+    """Layer entry covering an imported module, or None.
+
+    Imports of a bare package (``repro.stream``) stay exempt — only
+    module-level targets (``repro.stream.blocks``) are ranked — as do
+    top-level modules (``repro.cache``).
+    """
     parts = target.split(".")
     if parts[0] != "repro" or len(parts) < 3:
         return None
-    return parts[1]
+    return resolve_layer(".".join(parts[1:]))
 
 
 @register
@@ -44,22 +63,23 @@ class LayeringRule(Rule):
     def applies_to(self, module: ModuleInfo) -> bool:
         # Top-level modules (cache, cli, parallel, …) orchestrate across
         # layers by design and sit outside the order.
-        return layer_rank(module.package) is not None
+        return _module_layer(module.name) is not None
 
     def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
-        own_rank = layer_rank(module.package)
+        own_layer = _module_layer(module.name)
+        own_rank = layer_rank(own_layer)
         for target, lineno in module.import_edges:
-            package = _imported_package(target)
-            if package is None or package == module.package:
+            layer = _imported_layer(target)
+            if layer is None or layer == own_layer:
                 continue
-            target_rank = layer_rank(package)
+            target_rank = layer_rank(layer)
             if target_rank is None or target_rank <= own_rank:
                 continue
-            if (module.name, package) in LAYERING_EXCEPTIONS:
+            if (module.name, layer) in LAYERING_EXCEPTIONS:
                 continue
             yield self.finding(
                 module, lineno,
-                f"imports {target!r} ({package!r}, layer {target_rank}) from "
-                f"the lower {module.package!r} layer ({own_rank}); add the "
+                f"imports {target!r} ({layer!r}, layer {target_rank}) from "
+                f"the lower {own_layer!r} layer ({own_rank}); add the "
                 "pair to LAYERING_EXCEPTIONS if the inversion is deliberate",
             )

@@ -5,9 +5,26 @@ The batch pipeline (:mod:`repro.telemetry`, :mod:`repro.decisions`)
 answers the paper's questions over a completed trace; this package
 answers them *while the trace is still arriving*, with a verified
 contract that both answers are bit-identical.
+
+Since the columnar rewrite the hot path is :mod:`repro.stream.blocks`:
+flatteners yield :class:`EventBlock` record batches, every consumer
+advances via a vectorized ``update_block``, and the per-:class:`Event`
+view is a thin compatibility layer on top (see ``docs/stream.md``).
 """
 
 from .analyzer import StreamAnalyzer
+from .blocks import (
+    DEFAULT_BLOCK_SIZE,
+    EVENT_DTYPE,
+    BlockSegment,
+    BlockStream,
+    EventBlock,
+    StringPool,
+    blocks_from_directory,
+    blocks_from_field_dataset,
+    blocks_from_parts,
+    blocks_from_result,
+)
 from .checkpoint import (
     STREAM_CHECKPOINT_SCHEMA,
     checkpoint_meta,
@@ -25,8 +42,15 @@ from .events import (
     flatten_directory,
     flatten_field_dataset,
     flatten_parts,
+    flatten_parts_merged,
     flatten_result,
     follow_directory,
+    iter_block_events,
+)
+from .tables import (
+    lambda_matrix_from_blocks,
+    mu_matrix_from_blocks,
+    rack_day_table_from_blocks,
 )
 from .triggers import (
     Alert,
@@ -40,7 +64,12 @@ __all__ = [
     "ALL_KINDS",
     "Alert",
     "AlertKind",
+    "BlockSegment",
+    "BlockStream",
+    "DEFAULT_BLOCK_SIZE",
+    "EVENT_DTYPE",
     "Event",
+    "EventBlock",
     "EventKind",
     "RateDriftDetector",
     "STREAM_CHECKPOINT_SCHEMA",
@@ -50,6 +79,11 @@ __all__ = [
     "StreamingGroupCounts",
     "StreamingLambda",
     "StreamingMu",
+    "StringPool",
+    "blocks_from_directory",
+    "blocks_from_field_dataset",
+    "blocks_from_parts",
+    "blocks_from_result",
     "calibrated_spare_fraction",
     "checkpoint_meta",
     "directory_inventory",
@@ -57,8 +91,13 @@ __all__ = [
     "flatten_directory",
     "flatten_field_dataset",
     "flatten_parts",
+    "flatten_parts_merged",
     "flatten_result",
     "follow_directory",
+    "iter_block_events",
+    "lambda_matrix_from_blocks",
     "load_checkpoint",
+    "mu_matrix_from_blocks",
+    "rack_day_table_from_blocks",
     "save_checkpoint",
 ]

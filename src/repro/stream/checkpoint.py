@@ -90,6 +90,7 @@ def save_checkpoint(
         "schema": STREAM_CHECKPOINT_SCHEMA,
         "inventory_fingerprint": analyzer.inventory.fingerprint(),
         "events_seen": analyzer.events_seen,
+        "blocks_seen": analyzer.blocks_seen,
         "last_time_hours": analyzer.last_time_hours,
         "racks_in_service": analyzer.racks_in_service,
         "sensor_samples": analyzer.sensor_samples,
@@ -181,6 +182,7 @@ def load_checkpoint(
             arrays["drift"], parts["drift"],
         )
     analyzer.events_seen = int(meta["events_seen"])
+    analyzer.blocks_seen = int(meta.get("blocks_seen", 0))
     analyzer.last_time_hours = float(meta["last_time_hours"])
     analyzer.racks_in_service = int(meta["racks_in_service"])
     analyzer.sensor_samples = int(meta["sensor_samples"])

@@ -29,9 +29,17 @@ import numpy as np
 from ..errors import DataError
 from ..failures.tickets import FAULT_CODE, FAULT_TYPES, HARDWARE_FAULTS, FaultType
 from ..telemetry.windows import n_windows
+from .blocks import KIND_RANK, EventBlock, group_start_flags, segmented_scan
 from .events import Event, EventKind
 
 _NO_WINNER = -1
+
+_OPEN_CODE = KIND_RANK[EventKind.TICKET_OPEN]
+
+
+def _open_ticket_columns(block: EventBlock) -> dict[str, np.ndarray] | None:
+    """The block's ticket-open rows as columns (cached on the block)."""
+    return block.open_ticket_columns()
 
 
 def _fault_codes(
@@ -112,6 +120,82 @@ class StreamingLambda:
         if self._passes(event):
             self._count(event.rack_index, event.day_index, +1)
 
+    def _passes_mask(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        passes = np.ones(len(columns["rack"]), dtype=bool)
+        if self.true_positives_only:
+            passes &= ~columns["fp"]
+        if self._codes is not None:
+            codes = np.fromiter(sorted(self._codes), dtype=np.int64)
+            passes &= np.isin(columns["fault"], codes)
+        return passes
+
+    def _validate_counted(self, rack: np.ndarray, day: np.ndarray) -> None:
+        bad_day = (day < 0) | (day >= self.n_days)
+        bad_rack = (rack < 0) | (rack >= self.n_racks)
+        bad = np.nonzero(bad_day | bad_rack)[0]
+        if len(bad):
+            if bad_day[bad[0]]:
+                raise DataError(f"day_index outside [0, {self.n_days})")
+            raise DataError(f"group_index outside [0, {self.n_racks})")
+
+    def update_block(self, block: EventBlock) -> None:
+        """Fold a whole block into the counts, vectorized.
+
+        Bit-identical final state to calling :meth:`update` on each of
+        the block's events in order (non-open kinds are skipped by
+        construction).  On out-of-range data the same
+        :class:`~repro.errors.DataError` is raised, though intermediate
+        state and the choice among multiple bad rows may differ from
+        the scalar path — errors are terminal either way.
+        """
+        columns = _open_ticket_columns(block)
+        if columns is None:
+            return
+        rack, day = columns["rack"], columns["day"]
+        passes = self._passes_mask(columns)
+        batched = self.dedupe_batches & (columns["batch"] >= 0)
+        simple = passes & ~batched
+        if simple.any():
+            self._validate_counted(rack[simple], day[simple])
+            np.add.at(self._counts, (rack[simple], day[simple]), 1)
+            self.events_counted += int(simple.sum())
+        rows = np.nonzero(batched)[0]
+        if not len(rows):
+            return
+        # Batch dedupe is a running argmin over log ordinals: the loop
+        # below is the scalar rule verbatim, but over plain ints (no
+        # Event objects) and with count deltas deferred to two add.at
+        # calls.  Bounded by the block's batch rows, not the stream.
+        winner = self._winner
+        inc: list[tuple[int, int]] = []
+        dec: list[tuple[int, int]] = []
+        for b, o, r, d, p in zip(
+            columns["batch"][rows].tolist(),
+            columns["ordinal"][rows].tolist(),
+            rack[rows].tolist(),
+            day[rows].tolist(),
+            passes[rows].tolist(),
+        ):
+            current = winner.get(b)
+            if current is not None and current[0] <= o:
+                continue
+            if current is not None and current[3]:
+                dec.append((current[1], current[2]))
+            winner[b] = [o, r, d, int(p)]
+            if p:
+                if not 0 <= d < self.n_days:
+                    raise DataError(f"day_index outside [0, {self.n_days})")
+                if not 0 <= r < self.n_racks:
+                    raise DataError(f"group_index outside [0, {self.n_racks})")
+                inc.append((r, d))
+        if dec:
+            pairs = np.array(dec, dtype=np.int64)
+            np.add.at(self._counts, (pairs[:, 0], pairs[:, 1]), -1)
+        if inc:
+            pairs = np.array(inc, dtype=np.int64)
+            np.add.at(self._counts, (pairs[:, 0], pairs[:, 1]), 1)
+        self.events_counted += len(inc) - len(dec)
+
     def matrix(self) -> np.ndarray:
         """The (n_racks, n_days) count matrix accumulated so far."""
         return self._counts.copy()
@@ -189,9 +273,18 @@ class StreamingMu:
         self._diff = np.zeros(
             (self.n_racks, self.total_windows + 1), dtype=np.int64
         )
-        # server gid -> [merged start, merged end] of the still-open
-        # merged interval (bounded by the number of distinct servers).
-        self._open: dict[int, list[float]] = {}
+        # Still-open merged interval per server, dense by gid (NaN =
+        # none open): two float64 columns instead of a dict of lists,
+        # which at fleet scale was the analyzer's largest single
+        # allocation.  Corrupted gids past the fleet (tolerated, like
+        # the batch path) go to the overflow dict.
+        self._gid_span = (
+            int(self.server_base[-1] + self.n_servers[-1])
+            if self.n_racks else 0
+        )
+        self._open_start = np.full(self._gid_span, np.nan)
+        self._open_end = np.full(self._gid_span, np.nan)
+        self._overflow: dict[int, list[float]] = {}
 
     def _rack_of_gid(self, gid: int) -> int:
         # Same derivation as the batch path: tolerant of corrupted
@@ -235,10 +328,24 @@ class StreamingMu:
         if not 0 <= event.rack_index < self.n_racks:
             raise DataError(f"group_index outside [0, {self.n_racks})")
         gid = int(self.server_base[event.rack_index]) + event.server_offset
-        current = self._open.get(gid)
+        if 0 <= gid < self._gid_span:
+            open_end = self._open_end[gid]
+            if not math.isnan(open_end) and start <= open_end:
+                # The stream is start-ordered per server, so greedy
+                # extension reproduces the batch sort-and-merge exactly.
+                if end > open_end:
+                    self._open_end[gid] = end
+                return
+            if not math.isnan(open_end):
+                self._add_interval(
+                    self._diff, self._rack_of_gid(gid),
+                    float(self._open_start[gid]), float(open_end),
+                )
+            self._open_start[gid] = start
+            self._open_end[gid] = end
+            return
+        current = self._overflow.get(gid)
         if current is not None and start <= current[1]:
-            # The stream is start-ordered per server, so greedy extension
-            # reproduces the batch sort-and-merge exactly.
             if end > current[1]:
                 current[1] = end
             return
@@ -246,7 +353,116 @@ class StreamingMu:
             self._add_interval(
                 self._diff, self._rack_of_gid(gid), current[0], current[1],
             )
-        self._open[gid] = [start, end]
+        self._overflow[gid] = [start, end]
+
+    def _add_intervals(
+        self, diff: np.ndarray, racks: np.ndarray,
+        starts: np.ndarray, ends: np.ndarray,
+    ) -> None:
+        """Vectorized :meth:`_add_interval` over parallel arrays."""
+        first = np.floor(starts / self.window_hours).astype(np.int64)
+        last = np.floor(ends / self.window_hours).astype(np.int64)
+        keep = (last >= 0) & (first < self.total_windows)
+        if not keep.any():
+            return
+        racks = racks[keep]
+        first = np.maximum(first[keep], 0)
+        last = np.minimum(last[keep], self.total_windows - 1)
+        np.add.at(diff, (racks, first), 1)
+        np.add.at(diff, (racks, last + 1), -1)
+
+    def update_block(self, block: EventBlock) -> None:
+        """Fold a whole block into the μ state, vectorized.
+
+        Bit-identical final state to per-event :meth:`update` calls:
+        within each server, block rows arrive start-ordered, so a row
+        opens a new merged interval exactly when its start exceeds the
+        running maximum of all earlier ends for that server (carried
+        open intervals included) — a segmented prefix-max, not a dict
+        walk.  All but the last merged interval per server flush into
+        the difference array; the last stays open.
+        """
+        columns = _open_ticket_columns(block)
+        if columns is None:
+            return
+        keep = ~columns["fp"]
+        if self._codes is not None:
+            codes = np.fromiter(sorted(self._codes), dtype=np.int64)
+            keep &= np.isin(columns["fault"], codes)
+        if not keep.any():
+            return
+        rack = columns["rack"][keep]
+        start = columns["time"][keep]
+        repair = columns["repair"][keep]
+        if (repair < 0).any():
+            raise DataError("interval end before start")
+        if ((rack < 0) | (rack >= self.n_racks)).any():
+            raise DataError(f"group_index outside [0, {self.n_racks})")
+        end = start + repair
+        if not self.per_server:
+            self._add_intervals(self._diff, rack, start, end)
+            return
+        gid = self.server_base[rack] + columns["offset"][keep]
+        order = np.argsort(gid, kind="stable")
+        gid, start, end = gid[order], start[order], end[order]
+        flags = group_start_flags(gid)
+        # Splice each server's carried open interval in front of its
+        # first block row (starts stay sorted: it opened earlier).
+        first_rows = np.nonzero(flags)[0]
+        first_gids = gid[first_rows]
+        in_dense = (first_gids >= 0) & (first_gids < self._gid_span)
+        carry_start = np.full(len(first_rows), np.nan)
+        carry_end = np.full(len(first_rows), np.nan)
+        carry_start[in_dense] = self._open_start[first_gids[in_dense]]
+        carry_end[in_dense] = self._open_end[first_gids[in_dense]]
+        if self._overflow:
+            for i in np.nonzero(~in_dense)[0].tolist():
+                bounds = self._overflow.get(int(first_gids[i]))
+                if bounds is not None:
+                    carry_start[i], carry_end[i] = bounds
+        have = ~np.isnan(carry_end)
+        if have.any():
+            pre_rows = first_rows[have]
+            gid = np.insert(gid, pre_rows, gid[pre_rows])
+            start = np.insert(start, pre_rows, carry_start[have])
+            end = np.insert(end, pre_rows, carry_end[have])
+            flags = group_start_flags(gid)
+        running_end = segmented_scan(end, flags, np.maximum)
+        new_segment = flags.copy()
+        if len(start) > 1:
+            new_segment[1:] |= start[1:] > running_end[:-1]
+        segment_first = np.nonzero(new_segment)[0]
+        segment_last = np.append(segment_first[1:] - 1, len(gid) - 1)
+        group_last = np.append(flags[1:], True)
+        flush = ~group_last[segment_last]
+        if flush.any():
+            flush_gid = gid[segment_first[flush]]
+            flush_rack = (
+                np.searchsorted(self.server_base, flush_gid, side="right") - 1
+            )
+            if ((flush_rack < 0) | (flush_rack >= self.n_racks)).any():
+                raise DataError(f"group_index outside [0, {self.n_racks})")
+            self._add_intervals(
+                self._diff,
+                flush_rack,
+                start[segment_first[flush]],
+                running_end[segment_last[flush]],
+            )
+        open_first = segment_first[~flush]
+        open_last = segment_last[~flush]
+        open_gid = gid[open_first]
+        open_lo = start[open_first]
+        open_hi = running_end[open_last]
+        dense = (open_gid >= 0) & (open_gid < self._gid_span)
+        self._open_start[open_gid[dense]] = open_lo[dense]
+        self._open_end[open_gid[dense]] = open_hi[dense]
+        if not dense.all():
+            for g, s, e in zip(
+                open_gid[~dense].tolist(),
+                open_lo[~dense].tolist(),
+                open_hi[~dense].tolist(),
+            ):
+                self._overflow[g] = [s, e]
 
     def matrix(self) -> np.ndarray:
         """The (n_racks, total_windows) μ matrix as of this position.
@@ -255,8 +471,19 @@ class StreamingMu:
         stream can keep advancing afterwards.
         """
         diff = self._diff.copy()
-        for gid in sorted(self._open):
-            start, end = self._open[gid]
+        open_gids = np.nonzero(~np.isnan(self._open_end))[0]
+        if len(open_gids):
+            racks = (
+                np.searchsorted(self.server_base, open_gids, side="right") - 1
+            )
+            if ((racks < 0) | (racks >= self.n_racks)).any():
+                raise DataError(f"group_index outside [0, {self.n_racks})")
+            self._add_intervals(
+                diff, racks,
+                self._open_start[open_gids], self._open_end[open_gids],
+            )
+        for gid in sorted(self._overflow):
+            start, end = self._overflow[gid]
             self._add_interval(diff, self._rack_of_gid(gid), start, end)
         counts = np.cumsum(diff[:, :-1], axis=1)
         if self.per_server:
@@ -267,14 +494,22 @@ class StreamingMu:
 
     def state_arrays(self) -> dict[str, np.ndarray]:
         """Flat-array serialization of the estimator state."""
-        gids = np.array(sorted(self._open), dtype=np.int64)
-        bounds = np.array(
-            [self._open[int(gid)] for gid in gids], dtype=float,
-        ).reshape(-1, 2)
+        dense_gids = np.nonzero(~np.isnan(self._open_end))[0].astype(np.int64)
+        over_gids = np.array(sorted(self._overflow), dtype=np.int64)
+        gids = np.concatenate([dense_gids, over_gids])
+        bounds = np.concatenate([
+            np.column_stack([
+                self._open_start[dense_gids], self._open_end[dense_gids],
+            ]),
+            np.array(
+                [self._overflow[int(gid)] for gid in over_gids], dtype=float,
+            ).reshape(-1, 2),
+        ])
+        order = np.argsort(gids, kind="stable")
         return {
             "diff": self._diff.copy(),
-            "open_gids": gids,
-            "open_bounds": bounds,
+            "open_gids": gids[order],
+            "open_bounds": bounds[order].reshape(-1, 2),
         }
 
     def meta(self) -> dict:
@@ -303,13 +538,15 @@ class StreamingMu:
             per_server=bool(meta["per_server"]),
         )
         estimator._diff = np.asarray(arrays["diff"], dtype=np.int64).copy()
-        estimator._open = {
-            int(gid): [float(start), float(end)]
-            for gid, (start, end) in zip(
-                np.asarray(arrays["open_gids"], dtype=np.int64),
-                np.asarray(arrays["open_bounds"], dtype=float).reshape(-1, 2),
-            )
-        }
+        for gid, (start, end) in zip(
+            np.asarray(arrays["open_gids"], dtype=np.int64),
+            np.asarray(arrays["open_bounds"], dtype=float).reshape(-1, 2),
+        ):
+            if 0 <= gid < estimator._gid_span:
+                estimator._open_start[gid] = float(start)
+                estimator._open_end[gid] = float(end)
+            else:
+                estimator._overflow[int(gid)] = [float(start), float(end)]
         return estimator
 
 
@@ -361,6 +598,56 @@ class StreamingGroupCounts:
         for offset in range(1, steps + 1):
             self._ring[:, (self._current_day + offset) % self.trailing_days] = 0
         self._current_day = day
+
+    def update_block(self, block: EventBlock) -> None:
+        """Fold a whole block into the counters, vectorized.
+
+        Bit-identical final state to per-event :meth:`update` calls.
+        Batch dedupe keeps the first in-stream row of each unseen batch
+        (and marks the batch seen even when that row's rack is out of
+        range, exactly as the scalar path does); arrival days are
+        non-decreasing in stream order, so the ring advances once per
+        distinct day instead of once per event.
+        """
+        columns = _open_ticket_columns(block)
+        if columns is None:
+            return
+        keep = ~columns["fp"]
+        batch = columns["batch"]
+        batched = keep & (batch >= 0)
+        if batched.any():
+            rows = np.nonzero(batched)[0]
+            unique, first = np.unique(batch[rows], return_index=True)
+            new = np.fromiter(
+                (b not in self._seen_batches for b in unique.tolist()),
+                dtype=bool, count=len(unique),
+            )
+            winners = np.zeros(len(rows), dtype=bool)
+            winners[first[new]] = True
+            keep[rows] = winners
+            self._seen_batches.update(unique[new].tolist())
+        rack = columns["rack"]
+        keep &= (rack >= 0) & (rack < len(self.group_code))
+        if not keep.any():
+            return
+        day = np.maximum(
+            (columns["time"][keep] // 24.0).astype(np.int64), 0,
+        )
+        group = self.group_code[rack[keep]]
+        np.add.at(self.totals, group, 1)
+        # One advance straight to the block's last day: the scalar
+        # path's interleaved advances erase exactly the counts whose
+        # day has since left the trailing window, so zeroing the
+        # skipped slots first and then adding only the still-in-window
+        # rows lands on the identical ring state.
+        final = int(day[-1])  # stream order => non-decreasing days
+        self._advance(final)
+        recent = day > final - self.trailing_days
+        np.add.at(
+            self._ring,
+            (group[recent], day[recent] % self.trailing_days),
+            1,
+        )
 
     def trailing_counts(self) -> np.ndarray:
         """Per-group counts over the trailing window."""

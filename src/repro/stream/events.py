@@ -1,25 +1,29 @@
-"""Event model: one run's field data as a time-ordered event stream.
+"""Event view: the flattened stream as per-:class:`Event` iterators.
 
 Batch analyses consume a *completed* trace; a real operator consumes
-RMA tickets and BMS readings as they arrive.  This module flattens a
-simulation run, a :class:`~repro.fielddata.dataset.FieldDataset`, or an
-exported CSV directory into a single chronologically ordered stream of
-four event kinds:
+RMA tickets and BMS readings as they arrive.  The event *model* — the
+four kinds, their tie-break ranks, and the rack-geometry
+:class:`~repro.stream.blocks.StreamInventory` — lives in
+:mod:`repro.stream.blocks`, which also owns the columnar flatten that
+actually orders the stream.  This module is the compatibility view on
+top of it:
 
-* ``inventory-change`` — a rack entering (or, for censored field
-  datasets, leaving) service,
-* ``sensor-sample``    — one rack-day BMS reading (temperature + RH),
-* ``ticket-open``      — an RMA ticket filed, carrying the full ticket
-  payload including its eventual repair duration,
-* ``ticket-close``     — the same ticket resolved (device back up).
+* :class:`Event` — one stream element as a frozen dataclass, exactly
+  the shape consumers have always seen;
+* ``flatten_parts`` / ``flatten_result`` / ``flatten_field_dataset`` /
+  ``flatten_directory`` — the historical entry points, now thin
+  generators that iterate :class:`~repro.stream.blocks.EventBlock`
+  chunks and materialize one :class:`Event` per record
+  (:func:`iter_block_events`);
+* ``flatten_parts_merged`` — the original generator-based heap merge,
+  kept as the executable reference the property tests compare the
+  columnar path against, and as the engine of :func:`follow_directory`
+  (tailing a growing CSV is inherently per-row).
 
-Everything is generator-based: sources yield lazily, the merge is a
-heap merge, and ticket-close events are synthesized from a bounded
-pending heap, so a full trace never needs to be resident as event
-objects.  The total order — ``(time_hours, kind rank, source order)``
-— is deterministic, which is what makes checkpoint/resume exact: a
-consumer that processed the first *k* events and resumes at ``skip=k``
-sees exactly the suffix it would have seen in one pass.
+The total order — ``(time_hours, kind rank, source order)`` — is
+deterministic either way, which is what makes checkpoint/resume exact:
+a consumer that processed the first *k* events and resumes at
+``skip=k`` sees exactly the suffix it would have seen in one pass.
 """
 
 from __future__ import annotations
@@ -27,43 +31,47 @@ from __future__ import annotations
 import heapq
 import pathlib
 from dataclasses import dataclass, replace
-from enum import Enum
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 import numpy as np
 
 from ..errors import DataError
 from ..failures.tickets import TicketLog
+from .blocks import (
+    ALL_KINDS,
+    DEFAULT_BLOCK_SIZE,
+    KIND_BY_CODE,
+    KIND_RANK,
+    EventBlock,
+    EventKind,
+    StreamInventory,
+    _load_directory,
+    _normalize_kinds,
+    blocks_from_directory,
+    blocks_from_parts,
+)
 
 if TYPE_CHECKING:
     from ..config import SimulationConfig
-    from ..datacenter.topology import Fleet
     from ..failures.engine import SimulationResult
     from ..fielddata.dataset import FieldDataset
 
-
-class EventKind(Enum):
-    """The four event kinds of the operator-visible stream."""
-
-    INVENTORY_CHANGE = "inventory-change"
-    SENSOR_SAMPLE = "sensor-sample"
-    TICKET_OPEN = "ticket-open"
-    TICKET_CLOSE = "ticket-close"
-
-
-#: Tie-break rank at equal timestamps.  Inventory changes land first (a
-#: rack exists before it can fail), then sensor samples, then ticket
-#: opens, then closes — open-before-close at equal instants keeps the
-#: live down-gauge consistent with the batch path's touching-interval
-#: merge.
-KIND_RANK: dict[EventKind, int] = {
-    EventKind.INVENTORY_CHANGE: 0,
-    EventKind.SENSOR_SAMPLE: 1,
-    EventKind.TICKET_OPEN: 2,
-    EventKind.TICKET_CLOSE: 3,
-}
-
-ALL_KINDS: frozenset[EventKind] = frozenset(EventKind)
+__all__ = [
+    "ALL_KINDS",
+    "Event",
+    "EventKind",
+    "KIND_RANK",
+    "StreamInventory",
+    "directory_inventory",
+    "flatten_cached",
+    "flatten_directory",
+    "flatten_field_dataset",
+    "flatten_parts",
+    "flatten_parts_merged",
+    "flatten_result",
+    "follow_directory",
+    "iter_block_events",
+]
 
 
 @dataclass(frozen=True, slots=True, eq=False)
@@ -135,82 +143,50 @@ class Event:
         return hash(self._identity())
 
 
-@dataclass(frozen=True)
-class StreamInventory:
-    """The static substrate a stream consumer needs: rack geometry only.
+def iter_block_events(block: EventBlock) -> Iterator[Event]:
+    """Materialize a block's records as :class:`Event` objects.
 
-    A deliberately small projection of the fleet — capacities, service
-    dates and grouping labels, nothing the simulator knows that an
-    operator would not.  Built from a run, a field dataset, or a bare
-    inventory CSV, so the streaming layer never requires the simulator.
+    This is the only place the compatibility view pays per-event
+    object cost; columnar consumers (``update_block`` paths) never
+    call it.
     """
-
-    rack_ids: tuple[str, ...]
-    n_servers: np.ndarray
-    server_base: np.ndarray
-    commission_day: np.ndarray
-    decommission_day: np.ndarray
-    sku_code: np.ndarray
-    sku_names: tuple[str, ...]
-    dc_code: np.ndarray
-    dc_names: tuple[str, ...]
-    n_days: int
-
-    @property
-    def n_racks(self) -> int:
-        """Number of racks."""
-        return len(self.rack_ids)
-
-    def fingerprint(self) -> str:
-        """Stable digest for checkpoint compatibility checks."""
-        import hashlib
-
-        payload = "|".join([
-            ",".join(self.rack_ids),
-            ",".join(str(int(n)) for n in self.n_servers),
-            str(self.n_days),
-        ])
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
-
-    @staticmethod
-    def from_fleet(
-        fleet: "Fleet",
-        n_days: int,
-        decommission_day: np.ndarray | None = None,
-    ) -> "StreamInventory":
-        """Project a fleet's arrays (decommission defaults to none)."""
-        arrays = fleet.arrays()
-        if decommission_day is None:
-            decommission_day = np.full(arrays.n_racks, n_days, dtype=np.int64)
-        return StreamInventory(
-            rack_ids=tuple(arrays.rack_ids),
-            n_servers=arrays.n_servers.astype(np.int64),
-            server_base=arrays.server_base.astype(np.int64),
-            commission_day=arrays.commission_day.astype(np.int64),
-            decommission_day=np.asarray(decommission_day, dtype=np.int64),
-            sku_code=arrays.sku_code.astype(np.int64),
-            sku_names=tuple(arrays.sku_names),
-            dc_code=arrays.dc_code.astype(np.int64),
-            dc_names=tuple(arrays.dc_names),
-            n_days=n_days,
+    data = block.data
+    columns = zip(
+        block.seq.tolist(),
+        block.time_hours.tolist(),
+        block.kind_code.tolist(),
+        block.rack_index.tolist(),
+        block.server_offset.tolist(),
+        block.day_index.tolist(),
+        block.fault_code.tolist(),
+        block.false_positive.tolist(),
+        block.repair_hours.tolist(),
+        block.batch_id.tolist(),
+        block.ticket_ordinal.tolist(),
+        block.value.tolist(),
+        block.value2.tolist(),
+    )
+    del data
+    for (seq, time_hours, code, rack, offset, day, fault, fp, repair,
+         batch, ordinal, value, value2) in columns:
+        yield Event(
+            seq=seq, time_hours=time_hours, kind=KIND_BY_CODE[code],
+            rack_index=rack, server_offset=offset, day_index=day,
+            fault_code=fault, false_positive=fp, repair_hours=repair,
+            batch_id=batch, ticket_ordinal=ordinal, value=value,
+            value2=value2,
         )
 
-    @staticmethod
-    def from_result(result: "SimulationResult") -> "StreamInventory":
-        """Project a simulation run."""
-        return StreamInventory.from_fleet(result.fleet, result.n_days)
 
-    @staticmethod
-    def from_field_dataset(dataset: "FieldDataset") -> "StreamInventory":
-        """Project a field dataset (keeps its censoring dates)."""
-        return StreamInventory.from_fleet(
-            dataset.fleet, dataset.n_days,
-            decommission_day=dataset.decommission_day,
-        )
+def _events_from_blocks(blocks: Iterable[EventBlock]) -> Iterator[Event]:
+    for block in blocks:
+        yield from iter_block_events(block)
 
 
 # ---------------------------------------------------------------------------
-# Sources: per-kind generators, each yielding in (time, rank, ordinal) order.
+# Reference implementation: per-kind generators + heap merge.  The
+# columnar flatten in `blocks` must reproduce this order bit-for-bit;
+# `follow_directory` still runs on it (tailing a CSV is per-row).
 
 
 def _inventory_events(inventory: StreamInventory) -> Iterator[Event]:
@@ -358,21 +334,7 @@ def _merge_events(
             yield from numbered(close)
 
 
-def _normalize_kinds(
-    kinds: Iterable[EventKind] | None,
-) -> frozenset[EventKind]:
-    if kinds is None:
-        return ALL_KINDS
-    normalized = frozenset(kinds)
-    if not normalized:
-        raise DataError("kinds must not be empty")
-    unknown = normalized - ALL_KINDS
-    if unknown:
-        raise DataError(f"unknown event kinds: {sorted(k.value for k in unknown)!r}")
-    return normalized
-
-
-def flatten_parts(
+def flatten_parts_merged(
     inventory: StreamInventory,
     tickets: TicketLog,
     temp_f: np.ndarray | None = None,
@@ -380,12 +342,13 @@ def flatten_parts(
     kinds: Iterable[EventKind] | None = None,
     skip: int = 0,
 ) -> Iterator[Event]:
-    """Flatten inventory + tickets (+ optional sensor matrices).
+    """The original generator-based flatten (reference implementation).
 
-    The shared engine behind the ``flatten_*`` entry points.  Sources
-    whose kind is filtered out are never built; ticket-open sources are
-    still consumed internally when only closes are requested (a close
-    exists because an open did).
+    Sources whose kind is filtered out are never built; ticket-open
+    sources are still consumed internally when only closes are
+    requested (a close exists because an open did).  The columnar
+    :func:`repro.stream.blocks.blocks_from_parts` path is property-
+    tested element-for-element against this.
     """
     wanted = _normalize_kinds(kinds)
     sources: list[Iterator[Event]] = []
@@ -398,6 +361,31 @@ def flatten_parts(
     if wanted & {EventKind.TICKET_OPEN, EventKind.TICKET_CLOSE}:
         sources.append(_ticket_open_events(tickets))
     return _merge_events(sources, wanted, skip=skip)
+
+
+# ---------------------------------------------------------------------------
+# Entry points: thin Event views over the columnar flatten.
+
+
+def flatten_parts(
+    inventory: StreamInventory,
+    tickets: TicketLog,
+    temp_f: np.ndarray | None = None,
+    rh: np.ndarray | None = None,
+    kinds: Iterable[EventKind] | None = None,
+    skip: int = 0,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> Iterator[Event]:
+    """Flatten inventory + tickets (+ optional sensor matrices).
+
+    The shared entry point behind the other ``flatten_*`` functions —
+    an :class:`Event` view over the columnar
+    :func:`~repro.stream.blocks.blocks_from_parts` engine.
+    """
+    return _events_from_blocks(blocks_from_parts(
+        inventory, tickets, temp_f=temp_f, rh=rh, kinds=kinds, skip=skip,
+        block_size=block_size,
+    ))
 
 
 def flatten_result(
@@ -458,22 +446,6 @@ def flatten_field_dataset(
     )
 
 
-def _load_directory(
-    in_dir: pathlib.Path, config: "SimulationConfig",
-) -> tuple[StreamInventory, "Fleet"]:
-    from ..datacenter.builder import build_fleet
-    from ..fielddata.ingest import load_inventory_csv
-    from ..rng import RngRegistry
-
-    fleet = build_fleet(config.fleet, RngRegistry(config.seed))
-    inventory = load_inventory_csv(in_dir / "inventory.csv")
-    inventory.validate_against(fleet)
-    stream_inventory = StreamInventory.from_fleet(
-        fleet, config.n_days, decommission_day=inventory.decommission_day,
-    )
-    return stream_inventory, fleet
-
-
 def directory_inventory(
     in_dir: str | pathlib.Path, config: "SimulationConfig",
 ) -> StreamInventory:
@@ -499,20 +471,9 @@ def flatten_directory(
     ``sensors.npz`` bundle is optional (plain ``simulate`` exports do
     not carry one — sensor-sample events are simply absent then).
     """
-    from ..fielddata.ingest import load_tickets_csv
-
-    in_dir = pathlib.Path(in_dir)
-    inventory, fleet = _load_directory(in_dir, config)
-    tickets = load_tickets_csv(in_dir / "tickets.csv", fleet)
-    temp_f = rh = None
-    bundle_path = in_dir / "sensors.npz"
-    if bundle_path.exists():
-        with np.load(bundle_path) as bundle:
-            temp_f = bundle["temp_f"]
-            rh = bundle["rh"]
-    return flatten_parts(
-        inventory, tickets, temp_f=temp_f, rh=rh, kinds=kinds, skip=skip,
-    )
+    return _events_from_blocks(blocks_from_directory(
+        in_dir, config, kinds=kinds, skip=skip,
+    ))
 
 
 def _ticket_row_event(

@@ -23,8 +23,9 @@ from ..decisions.availability import AvailabilitySla
 from ..reporting.context import AnalysisContext
 from ..telemetry.aggregate import lambda_matrix, mu_matrix
 from .analyzer import StreamAnalyzer
+from .blocks import blocks_from_result
 from .checkpoint import load_checkpoint, save_checkpoint
-from .events import EventKind, StreamInventory, flatten_result
+from .events import EventKind, StreamInventory
 from .triggers import calibrated_spare_fraction
 
 #: Pipeline stage dependencies of the registered ``streaming``
@@ -68,7 +69,7 @@ def streaming_experiment(
             inventory, window_hours=window_hours, sla=sla,
             spare_fraction=spare_fraction,
         )
-        analyzer.consume(flatten_result(result, kinds=_KINDS))
+        analyzer.consume_blocks(blocks_from_result(result, kinds=_KINDS))
         analyzer.finish()
         return analyzer
 
@@ -82,12 +83,13 @@ def streaming_experiment(
     partial = StreamAnalyzer(
         inventory, window_hours=window_hours, sla=sla, spare_fraction=fraction,
     )
-    partial.consume(flatten_result(result, kinds=_KINDS), max_events=split)
+    partial.consume_blocks(blocks_from_result(result, kinds=_KINDS),
+                           max_events=split)
     with tempfile.TemporaryDirectory() as tmp:
         path = save_checkpoint(partial, Path(tmp) / "stream.ckpt.npz")
         resumed = load_checkpoint(path, inventory)
-    resumed.consume(
-        flatten_result(result, kinds=_KINDS, skip=resumed.events_seen)
+    resumed.consume_blocks(
+        blocks_from_result(result, kinds=_KINDS, skip=resumed.events_seen)
     )
     resumed.finish()
     resume_equal = (

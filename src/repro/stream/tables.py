@@ -1,0 +1,120 @@
+"""Batch matrices and the rack-day table, computed from event blocks.
+
+The batch functions in :mod:`repro.telemetry.aggregate` read a
+:class:`~repro.failures.engine.SimulationResult` whole.  These wrappers
+compute the same artifacts — bit-identically — from a columnar block
+stream instead, one :class:`~repro.stream.blocks.EventBlock` at a time:
+a memory-mapped :class:`~repro.stream.blocks.BlockSegment` of a
+multi-year trace never needs to be resident, and a single pass feeds
+every requested matrix at once.
+
+They live here (above the estimators in the layer order) rather than in
+:mod:`repro.stream.blocks` because they are *consumers* of blocks: the
+block core sits below the estimators and cannot import them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from ..failures.tickets import FaultType
+from ..telemetry.aggregate import assemble_rack_day_table
+from ..telemetry.table import Table
+from .blocks import DEFAULT_BLOCK_SIZE, EventBlock, EventKind, blocks_from_result
+from .estimators import StreamingLambda, StreamingMu
+
+if TYPE_CHECKING:
+    from ..failures.engine import SimulationResult
+
+
+def lambda_matrix_from_blocks(
+    blocks: Iterable[EventBlock],
+    n_racks: int,
+    n_days: int,
+    faults: list[FaultType] | tuple[FaultType, ...] | None = None,
+    true_positives_only: bool = True,
+    dedupe_batches: bool = True,
+) -> np.ndarray:
+    """:func:`repro.telemetry.aggregate.lambda_matrix` from a block stream.
+
+    Bit-identical to the batch function on the same ticket log (the
+    streaming estimator's contract); ``blocks`` need only carry
+    ticket-open rows — other kinds are skipped.
+    """
+    estimator = StreamingLambda(
+        n_racks, n_days, faults=faults,
+        true_positives_only=true_positives_only,
+        dedupe_batches=dedupe_batches,
+    )
+    for block in blocks:
+        estimator.update_block(block)
+    return estimator.matrix()
+
+
+def mu_matrix_from_blocks(
+    blocks: Iterable[EventBlock],
+    n_servers: np.ndarray,
+    server_base: np.ndarray,
+    n_days: int,
+    window_hours: float = 24.0,
+    faults: list[FaultType] | tuple[FaultType, ...] | None = None,
+    per_server: bool = True,
+) -> np.ndarray:
+    """:func:`repro.telemetry.aggregate.mu_matrix` from a block stream.
+
+    Bit-identical to the batch function on the same ticket log.
+    """
+    estimator = StreamingMu(
+        n_servers, server_base, n_days, window_hours=window_hours,
+        faults=faults, per_server=per_server,
+    )
+    for block in blocks:
+        estimator.update_block(block)
+    return estimator.matrix()
+
+
+def rack_day_table_from_blocks(
+    result: "SimulationResult",
+    faults: list[FaultType] | tuple[FaultType, ...] | None = None,
+    extra_fault_columns: dict[str, list[FaultType]] | None = None,
+    use_observed_environment: bool = True,
+    include_mu: bool = False,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> Table:
+    """:func:`repro.telemetry.aggregate.build_rack_day_table`, block-fed.
+
+    Flattens the run's tickets into blocks once and feeds every
+    requested count matrix — ``failures``, each extra fault column, and
+    (optionally) daily μ — from that single pass, then assembles the
+    identical table via
+    :func:`repro.telemetry.aggregate.assemble_rack_day_table`.
+    """
+    arrays = result.fleet.arrays()
+    main = StreamingLambda(arrays.n_racks, result.n_days, faults=faults)
+    extras = {
+        name: StreamingLambda(arrays.n_racks, result.n_days, faults=fault_list)
+        for name, fault_list in (extra_fault_columns or {}).items()
+    }
+    mu = None
+    if include_mu:
+        mu = StreamingMu(
+            arrays.n_servers, arrays.server_base, result.n_days,
+            window_hours=24.0,
+        )
+    for block in blocks_from_result(
+        result, kinds={EventKind.TICKET_OPEN}, block_size=block_size,
+    ):
+        main.update_block(block)
+        for estimator in extras.values():
+            estimator.update_block(block)
+        if mu is not None:
+            mu.update_block(block)
+    return assemble_rack_day_table(
+        result,
+        main.matrix(),
+        extra_counts={name: e.matrix() for name, e in extras.items()},
+        use_observed_environment=use_observed_environment,
+        mu=None if mu is None else mu.matrix(),
+    )

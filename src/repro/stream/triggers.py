@@ -36,8 +36,12 @@ import numpy as np
 from ..decisions.availability import AvailabilitySla, uniform_fraction_for_pool
 from ..errors import DataError
 from ..failures.tickets import HARDWARE_FAULTS
+from .blocks import KIND_RANK, EventBlock, group_start_flags, segmented_scan
 from .estimators import _fault_codes
 from .events import Event, EventKind, StreamInventory
+
+_OPEN_CODE = KIND_RANK[EventKind.TICKET_OPEN]
+_CLOSE_CODE = KIND_RANK[EventKind.TICKET_CLOSE]
 
 
 class AlertKind(Enum):
@@ -200,6 +204,119 @@ class SlaRiskMonitor:
         self.breached[rack] = False
         return []
 
+    def update_block(self, block: EventBlock) -> list[Alert]:
+        """Fold a whole block into the gauge; returns new alerts in order."""
+        return [alert for _, alert in self._update_block_indexed(block)]
+
+    def _update_block_indexed(
+        self, block: EventBlock,
+    ) -> list[tuple[int, Alert]]:
+        """Block update returning ``(block row, alert)`` pairs.
+
+        Bit-identical final state and alert sequence to per-event
+        :meth:`update` calls.  The per-server ticket count is clamped
+        at zero on closes, so its trajectory is the Skorokhod
+        reflection of the ±1 delta walk — a pair of segmented scans
+        (sum, then running min) instead of a dict walk; per-rack down
+        gauges and breach edges fall out of one more segmented sum in
+        stream order.
+        """
+        kind = block.kind_code
+        relevant = (kind == _OPEN_CODE) | (kind == _CLOSE_CODE)
+        if not relevant.any():
+            return []
+        rows = np.nonzero(relevant)[0]
+        tracks = ~block.false_positive[rows]
+        if self._codes is not None:
+            codes = np.fromiter(sorted(self._codes), dtype=np.int64)
+            tracks &= np.isin(block.fault_code[rows], codes)
+        rack = block.rack_index[rows].astype(np.int64)
+        tracks &= (rack >= 0) & (rack < self.inventory.n_racks)
+        if not tracks.any():
+            return []
+        rows = rows[tracks]
+        rack = rack[tracks]
+        n = len(rows)
+        delta = np.where(
+            kind[rows] == _OPEN_CODE, 1, -1,
+        ).astype(np.int64)
+        gid = self.inventory.server_base[rack] \
+            + block.server_offset[rows].astype(np.int64)
+        # Clamped per-server counts via reflection of the delta walk.
+        order = np.argsort(gid, kind="stable")
+        g, d = gid[order], delta[order]
+        flags = group_start_flags(g)
+        first = np.nonzero(flags)[0]
+        prior = np.zeros(n, dtype=np.int64)
+        active = self._active
+        for i in first.tolist():
+            prior[i] = active.get(int(g[i]), 0)
+        base = d.copy()
+        base[first] += prior[first]
+        walk = segmented_scan(base, flags, np.add)
+        run_min = segmented_scan(walk, flags, np.minimum)
+        count = walk - np.minimum(run_min, 0)
+        down_now = count > 0
+        down_before = np.empty(n, dtype=bool)
+        down_before[1:] = down_now[:-1]
+        down_before[first] = prior[first] > 0
+        transition = down_now.astype(np.int64) - down_before.astype(np.int64)
+        # Per-rack running down gauge, back in stream order.
+        stream_transition = np.empty(n, dtype=np.int64)
+        stream_transition[order] = transition
+        rack_order = np.argsort(rack, kind="stable")
+        by_rack = rack[rack_order]
+        rack_flags = group_start_flags(by_rack)
+        rack_first = np.nonzero(rack_flags)[0]
+        base = stream_transition[rack_order].copy()
+        base[rack_first] += self.down[by_rack[rack_first]]
+        down_gauge = segmented_scan(base, rack_flags, np.add)
+        capacity = self.inventory.n_servers[by_rack]
+        down_capped = np.minimum(down_gauge, capacity)
+        breach = down_capped > (
+            self.allowed[by_rack] + self._EPSILON * np.maximum(capacity, 1)
+        )
+        breach_before = np.empty(n, dtype=bool)
+        breach_before[1:] = breach[:-1]
+        breach_before[rack_first] = self.breached[by_rack[rack_first]]
+        rising = breach & ~breach_before
+        # Commit final per-rack and per-server state.
+        rack_last = np.append(rack_first[1:] - 1, n - 1)
+        self.down[by_rack[rack_last]] = down_gauge[rack_last]
+        self.breached[by_rack[rack_last]] = breach[rack_last]
+        gid_last = np.append(first[1:] - 1, n - 1)
+        for g_value, c_value in zip(
+            g[gid_last].tolist(), count[gid_last].tolist(),
+        ):
+            if c_value > 0:
+                active[g_value] = c_value
+            else:
+                active.pop(g_value, None)
+        if not rising.any():
+            return []
+        alerts: list[tuple[int, Alert]] = []
+        hits = np.nonzero(rising)[0]
+        hits = hits[np.argsort(rack_order[hits])]
+        for i in hits.tolist():
+            row = int(rows[rack_order[i]])
+            rack_value = int(by_rack[i])
+            down_value = int(down_capped[i])
+            alerts.append((row, Alert(
+                kind=AlertKind.SLA_RISK,
+                time_hours=float(block.time_hours[row]),
+                rack_index=rack_value,
+                value=float(down_value),
+                threshold=float(self.allowed[rack_value]),
+                message=(
+                    f"rack {self.inventory.rack_ids[rack_value]}: "
+                    f"{down_value} servers down exceeds spares + shortfall "
+                    f"({self.allowed[rack_value]:.2f}) at SLA "
+                    f"{self.sla.percent_label}"
+                ),
+            )))
+        self.alerts_emitted += len(alerts)
+        return alerts
+
     # -- checkpoint support -------------------------------------------------
 
     def state_arrays(self) -> dict[str, np.ndarray]:
@@ -315,6 +432,73 @@ class RateDriftDetector:
                 self.day_counts[day] += 1
         return alerts
 
+    def update_block(self, block: EventBlock) -> list[Alert]:
+        """Fold a whole block in; returns alerts for completed days."""
+        return [alert for _, alert in self._update_block_indexed(block)]
+
+    def _update_block_indexed(
+        self, block: EventBlock,
+    ) -> list[tuple[int, Alert]]:
+        """Block update returning ``(block row, alert)`` pairs.
+
+        Bit-identical to per-event :meth:`update` calls.  Arrival days
+        are non-decreasing in stream order, so the block's counts can
+        all land in ``day_counts`` up front (an evaluation of
+        completed day *c* only reads windows ending at *c*, and every
+        row with day ≤ *c* precedes the run whose arrival triggers
+        that evaluation), and the whole block's completed days are
+        then evaluated in one vectorized pass.  Each alert is anchored
+        — like the scalar path — to the first open event of the run
+        that rolled past its day.
+        """
+        columns = block.open_ticket_columns()
+        if columns is None:
+            return []
+        open_rows = columns["rows"]
+        time = columns["time"]
+        day = (time // 24.0).astype(np.int64)
+        batch = columns["batch"]
+        counted = ~columns["fp"]
+        batched = counted & (batch >= 0)
+        if batched.any():
+            rows = np.nonzero(batched)[0]
+            unique, first = np.unique(batch[rows], return_index=True)
+            new = np.fromiter(
+                (b not in self._seen_batches for b in unique.tolist()),
+                dtype=bool, count=len(unique),
+            )
+            winners = np.zeros(len(rows), dtype=bool)
+            winners[first[new]] = True
+            counted[rows] = winners
+            self._seen_batches.update(unique[new].tolist())
+        in_range = counted & (day >= 0) & (day < self.n_days)
+        np.add.at(self.day_counts, day[in_range], 1)
+
+        boundaries = np.nonzero(np.diff(day) != 0)[0] + 1
+        run_starts = np.concatenate([[0], boundaries])
+        run_days = day[run_starts]  # strictly increasing
+        final = int(run_days[-1])
+        start = self._current_day
+        self._current_day = max(self._current_day, final)
+        evaluated = self._evaluate_days(start, min(final, self.n_days))
+        if evaluated is None:
+            return []
+        days, recent, baseline, rising = evaluated
+        out: list[tuple[int, Alert]] = []
+        for index in rising.tolist():
+            completed = int(days[index])
+            # The run whose arrival rolled past this day anchors the
+            # alert's row and timestamp.
+            run = int(np.searchsorted(run_days, completed, side="right"))
+            anchor = int(run_starts[run])
+            out.append((
+                int(open_rows[anchor]),
+                self._alert(completed, float(recent[index]),
+                            float(baseline[index]), float(time[anchor])),
+            ))
+        self.alerts_emitted += len(out)
+        return out
+
     def finish(self, time_hours: float | None = None) -> list[Alert]:
         """Evaluate the remaining completed days at end of stream."""
         if time_hours is None:
@@ -323,34 +507,58 @@ class RateDriftDetector:
         return self._roll_to(final_day, time_hours)
 
     def _roll_to(self, day: int, time_hours: float) -> list[Alert]:
-        alerts: list[Alert] = []
-        for completed in range(self._current_day, min(day, self.n_days)):
-            alert = self._evaluate(completed, time_hours)
-            if alert is not None:
-                alerts.append(alert)
+        start = self._current_day
         self._current_day = max(self._current_day, day)
+        evaluated = self._evaluate_days(start, min(day, self.n_days))
+        if evaluated is None:
+            return []
+        days, recent, baseline, rising = evaluated
+        alerts = [
+            self._alert(int(days[index]), float(recent[index]),
+                        float(baseline[index]), time_hours)
+            for index in rising.tolist()
+        ]
+        self.alerts_emitted += len(alerts)
         return alerts
 
-    def _evaluate(self, day: int, time_hours: float) -> Alert | None:
-        recent_start = day - self.recent_days + 1
+    def _evaluate_days(self, start: int, end: int):
+        """Evaluate completed days ``[start, end)`` in one pass.
+
+        Returns ``(days, recent, baseline, rising)`` — the evaluable
+        days, their window means, and the indices where a drift
+        *starts* (honoring the hysteresis state machine carried in
+        ``_in_drift``) — or ``None`` when no day is evaluable.  Days
+        whose baseline window would reach before the trace leave the
+        state machine untouched, exactly like the scalar path did.
+        The means come from one cumulative sum; counts are integers,
+        so the float64 arithmetic is exact and matches ``.mean()``
+        bit for bit.
+        """
+        first = max(start, self.baseline_days + self.recent_days - 1)
+        if first >= end:
+            return None
+        csum = np.concatenate([[0], np.cumsum(self.day_counts[:end])])
+        days = np.arange(first, end)
+        recent_start = days - self.recent_days + 1
         baseline_start = recent_start - self.baseline_days
-        if baseline_start < 0:
-            return None
-        recent = float(self.day_counts[recent_start:day + 1].mean())
-        baseline = float(
-            self.day_counts[baseline_start:recent_start].mean()
+        recent = (csum[days + 1] - csum[recent_start]) / self.recent_days
+        baseline = (
+            (csum[recent_start] - csum[baseline_start]) / self.baseline_days
         )
-        excess = abs(recent - baseline) * self.recent_days
-        drifted = excess >= self.min_excess and (
-            recent > self.ratio * baseline or recent * self.ratio < baseline
+        excess = np.abs(recent - baseline) * self.recent_days
+        drifted = (excess >= self.min_excess) & (
+            (recent > self.ratio * baseline)
+            | (recent * self.ratio < baseline)
         )
-        if not drifted:
-            self._in_drift = False
-            return None
-        if self._in_drift:
-            return None
-        self._in_drift = True
-        self.alerts_emitted += 1
+        previous = np.empty(len(drifted), dtype=bool)
+        previous[0] = self._in_drift
+        previous[1:] = drifted[:-1]
+        self._in_drift = bool(drifted[-1])
+        rising = np.nonzero(drifted & ~previous)[0]
+        return days, recent, baseline, rising
+
+    def _alert(self, day: int, recent: float, baseline: float,
+               time_hours: float) -> Alert:
         direction = "above" if recent > baseline else "below"
         return Alert(
             kind=AlertKind.RATE_DRIFT,

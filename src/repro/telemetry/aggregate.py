@@ -239,13 +239,47 @@ def build_rack_day_table(
             (noisy, interpolated) rather than simulator ground truth.
         include_mu: add the μ columns described above.
     """
-    arrays = result.fleet.arrays()
-    n_racks, total_days = arrays.n_racks, result.n_days
     failures = lambda_matrix(result, faults)
-
     extra_counts = {}
     for name, fault_list in (extra_fault_columns or {}).items():
         extra_counts[name] = lambda_matrix(result, fault_list)
+    mu = mu_matrix(result, window_hours=24.0) if include_mu else None
+    return assemble_rack_day_table(
+        result, failures, extra_counts=extra_counts,
+        use_observed_environment=use_observed_environment, mu=mu,
+    )
+
+
+def assemble_rack_day_table(
+    result: SimulationResult,
+    failures: np.ndarray,
+    extra_counts: dict[str, np.ndarray] | None = None,
+    use_observed_environment: bool = True,
+    mu: np.ndarray | None = None,
+) -> Table:
+    """Assemble the rack-day table from precomputed count matrices.
+
+    The feature-tiling half of :func:`build_rack_day_table`, split out
+    so count matrices from *any* source — the batch λ/μ functions here
+    or the streaming/columnar estimators in
+    :mod:`repro.stream.tables` — produce the identical table.
+
+    Args:
+        result: simulation run (features, calendar, environment).
+        failures: (n_racks, n_days) count matrix for ``failures``.
+        extra_counts: additional named (n_racks, n_days) count columns.
+        use_observed_environment: read temperature/RH from the BMS.
+        mu: optional (n_racks, n_days) daily μ matrix; adds the ``mu``
+            and ``mu_fraction`` columns when given.
+    """
+    arrays = result.fleet.arrays()
+    n_racks, total_days = arrays.n_racks, result.n_days
+    if failures.shape != (n_racks, total_days):
+        raise DataError(
+            f"failures matrix must be ({n_racks}, {total_days}), "
+            f"got {failures.shape}"
+        )
+    extra_counts = extra_counts or {}
 
     if use_observed_environment:
         temp = result.bms.filled_temp_f().T  # (racks, days)
@@ -288,8 +322,7 @@ def build_rack_day_table(
     }
     for name, matrix in extra_counts.items():
         columns[name] = matrix.ravel()[flat].astype(float)
-    if include_mu:
-        mu = mu_matrix(result, window_hours=24.0)
+    if mu is not None:
         columns["mu"] = mu.ravel()[flat].astype(float)
         capacity = np.repeat(arrays.n_servers.astype(float), total_days)[flat]
         columns["mu_fraction"] = columns["mu"] / capacity

@@ -165,7 +165,9 @@ def iter_csv_rows(
         ``(header, rows)`` pairs, the header repeated with every chunk
         so consumers can stay stateless.  A header-only file yields a
         single ``(header, [])`` pair.  Ragged rows raise
-        :class:`~repro.errors.DataError` naming the file.
+        :class:`~repro.errors.DataError` naming the file and the
+        absolute data-row number (1-based, counted across chunks — the
+        chunking must never blur where in the file the damage is).
     """
     path = pathlib.Path(path)
     if chunk_rows < 1:
@@ -180,9 +182,12 @@ def iter_csv_rows(
             raise DataError(f"{path} is empty") from None
         rows: list[list[str]] = []
         yielded = False
-        for row in reader:
+        for row_number, row in enumerate(reader, start=1):
             if len(row) != len(header):
-                raise DataError(f"{path}: ragged row {row!r}")
+                raise DataError(
+                    f"{path}: ragged row {row_number} "
+                    f"({len(row)} cells, header has {len(header)}): {row!r}"
+                )
             rows.append(row)
             if len(rows) >= chunk_rows:
                 yield header, rows
