@@ -32,8 +32,11 @@ def summarize(path: pathlib.Path) -> str:
     ordered = sorted(entries.items(), key=lambda kv: -kv[1]["mean_s"])
     for name, entry in ordered:
         speedup = entry.get("speedup_vs_baseline")
-        events_per_sec = entry.get("events_per_sec")
         extra = entry.get("extra", {})
+        # Serve rows (benchmarks/loadgen.py) report request throughput
+        # in the same column engine benches use for event throughput.
+        events_per_sec = (entry.get("events_per_sec")
+                          or extra.get("requests_per_sec"))
         # Memory benches record traced peaks in bytes; show the
         # streaming-side peak (the gated one) in MB.
         peak_bytes = extra.get("stream_peak_bytes") or extra.get("peak_bytes")
@@ -56,6 +59,15 @@ def summarize(path: pathlib.Path) -> str:
             if incremental:
                 sub += (f" -> incremental {incremental*1e3:.1f}ms "
                         f"({cold/incremental:.0f}x)")
+            lines.append(sub)
+        if "p99_ms" in extra:
+            # Serve rows carry client-side latency percentiles from the
+            # load generator alongside the throughput column.
+            sub = (f"{'':4s}{extra.get('clients', 1)} client(s): "
+                   f"{extra['requests_per_sec']:.0f} req/s, "
+                   f"p99 {extra['p99_ms']:.2f}ms")
+            if "p50_ms" in extra:
+                sub += f", p50 {extra['p50_ms']:.2f}ms"
             lines.append(sub)
     return "\n".join(lines)
 

@@ -1,0 +1,288 @@
+"""Concurrent load generator for the ``repro serve`` API.
+
+Boots a real server subprocess on a fresh artifact store, registers a
+fleet, then drives it in two phases:
+
+* **cold** — the first Q1/Q2/Q3 requests, each forcing a pipeline
+  computation (the simulate artifact is shared, so Q1 pays for the
+  simulation and Q2/Q3 ride on it);
+* **warm** — N concurrent clients hammering the cached answers,
+  measuring end-to-end request latency through real sockets.
+
+Results land in ``BENCH_engine.json`` using the same merge-by-name
+format as the pytest benches (see ``benchmarks/conftest.py``), with
+``requests_per_sec`` / ``p99_ms`` in ``extra`` so
+``bench_summary.py`` can render serve rows alongside engine timings.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/loadgen.py            # defaults
+    PYTHONPATH=src python benchmarks/loadgen.py --clients 16 --requests 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Fleet the load test queries (small enough that the cold phase stays
+#: seconds, large enough that answers are non-degenerate).
+DEFAULT_FLEET = {"seed": 5, "scale": 0.08, "days": 120}
+
+QUERY_PATHS = ("q1", "q2", "q3")
+
+
+class ServerHandle:
+    """A ``repro serve`` subprocess bound to an ephemeral port."""
+
+    def __init__(self, store_dir: str, workers: int | None = None,
+                 timeout_s: float = 300.0):
+        command = [sys.executable, "-m", "repro.cli", "serve",
+                   "--port", "0", "--store-dir", store_dir,
+                   "--timeout", str(timeout_s)]
+        if workers is not None:
+            command += ["--workers", str(workers)]
+        env = dict(os.environ)
+        src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        self.process = subprocess.Popen(command, env=env,
+                                        stderr=subprocess.PIPE, text=True)
+        banner = self.process.stderr.readline()
+        if "listening on http://" not in banner:
+            rest = self.process.stderr.read()
+            raise RuntimeError(f"server failed to boot: {banner!r} {rest!r}")
+        address = banner.split("listening on http://")[1].split(" ")[0]
+        self.base_url = f"http://{address}"
+
+    def stop(self) -> int:
+        self.process.send_signal(signal.SIGTERM)
+        return self.process.wait(timeout=60)
+
+
+def get_json(base_url: str, path: str, timeout: float = 300.0):
+    """(status, payload) of one GET; HTTP errors return their body."""
+    try:
+        with urllib.request.urlopen(base_url + path, timeout=timeout) as r:
+            return r.status, json.loads(r.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def post_json(base_url: str, path: str, body: dict, timeout: float = 300.0):
+    request = urllib.request.Request(
+        base_url + path, data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as r:
+            return r.status, json.loads(r.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Exact q-quantile (nearest-rank) of raw latency samples."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def run_cold_phase(base_url: str) -> dict[str, float]:
+    """First-touch latency per query kind (each forces a computation)."""
+    latencies: dict[str, float] = {}
+    for kind in QUERY_PATHS:
+        started = time.perf_counter()
+        status, payload = get_json(base_url, f"/v1/fleets/bench/{kind}")
+        elapsed = time.perf_counter() - started
+        if status != 200:
+            raise RuntimeError(f"cold {kind} failed ({status}): {payload}")
+        if payload["meta"]["served_from"] != "computed":
+            raise RuntimeError(f"cold {kind} unexpectedly served warm")
+        latencies[kind] = elapsed
+    return latencies
+
+
+def run_warm_phase(base_url: str, clients: int,
+                   requests_per_client: int) -> dict:
+    """N concurrent clients cycling warm Q1/Q2/Q3; raw latencies back."""
+    per_client: list[list[tuple[str, float]]] = [[] for _ in range(clients)]
+    errors: list[str] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def client(index: int) -> None:
+        samples = per_client[index]
+        barrier.wait()
+        for request_index in range(requests_per_client):
+            kind = QUERY_PATHS[(index + request_index) % len(QUERY_PATHS)]
+            started = time.perf_counter()
+            status, payload = get_json(base_url, f"/v1/fleets/bench/{kind}")
+            elapsed = time.perf_counter() - started
+            if status != 200:
+                errors.append(f"{kind}: {status}")
+                continue
+            samples.append((kind, elapsed))
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise RuntimeError(f"warm phase errors: {errors[:5]}")
+    flat = [sample for samples in per_client for sample in samples]
+    latencies = [latency for _, latency in flat]
+    by_kind = {
+        kind: [latency for k, latency in flat if k == kind]
+        for kind in QUERY_PATHS
+    }
+    return {
+        "wall_s": wall,
+        "requests": len(flat),
+        "latencies": latencies,
+        "p99_by_kind_ms": {
+            kind: 1e3 * percentile(samples, 0.99)
+            for kind, samples in by_kind.items() if samples
+        },
+    }
+
+
+def merge_bench_entries(entries: dict[str, dict],
+                        path: pathlib.Path = BENCH_JSON) -> None:
+    """Merge serve rows into BENCH_engine.json (conftest format)."""
+    payload = {"schema": 1, "entries": {}}
+    if path.exists():
+        try:
+            payload["entries"] = dict(
+                json.loads(path.read_text()).get("entries", {}))
+        except (OSError, ValueError):
+            pass
+    payload["entries"].update(entries)
+    payload["updated"] = time.time()
+    payload["machine"] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def build_entries(cold: dict[str, float], warm: dict,
+                  clients: int) -> dict[str, dict]:
+    cold_values = list(cold.values())
+    latencies = warm["latencies"]
+    return {
+        "serve_cold_first_queries": {
+            "fullname": "benchmarks/loadgen.py::cold[q1+q2+q3]",
+            "mean_s": statistics.fmean(cold_values),
+            "min_s": min(cold_values),
+            "max_s": max(cold_values),
+            "stddev_s": (statistics.stdev(cold_values)
+                         if len(cold_values) > 1 else 0.0),
+            "rounds": len(cold_values),
+            "extra": {
+                "cold_ms_by_kind": {kind: 1e3 * value
+                                    for kind, value in cold.items()},
+                "requests_per_sec": len(cold_values) / sum(cold_values),
+                "p99_ms": 1e3 * max(cold_values),
+                "clients": 1,
+            },
+        },
+        "serve_warm_load": {
+            "fullname": f"benchmarks/loadgen.py::warm[{clients}-clients]",
+            "mean_s": statistics.fmean(latencies),
+            "min_s": min(latencies),
+            "max_s": max(latencies),
+            "stddev_s": (statistics.stdev(latencies)
+                         if len(latencies) > 1 else 0.0),
+            "rounds": warm["requests"],
+            "extra": {
+                "requests_per_sec": warm["requests"] / warm["wall_s"],
+                "p50_ms": 1e3 * percentile(latencies, 0.50),
+                "p99_ms": 1e3 * percentile(latencies, 0.99),
+                "p99_ms_by_kind": warm["p99_by_kind_ms"],
+                "clients": clients,
+            },
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent warm-phase clients (default 8)")
+    parser.add_argument("--requests", type=int, default=60,
+                        help="requests per client (default 60)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="server worker processes (default: all cores)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_FLEET["seed"])
+    parser.add_argument("--scale", type=float, default=DEFAULT_FLEET["scale"])
+    parser.add_argument("--days", type=int, default=DEFAULT_FLEET["days"])
+    parser.add_argument("--json", default=str(BENCH_JSON),
+                        help="BENCH json to merge results into "
+                             "(default: repo BENCH_engine.json)")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="serve-loadgen-") as store_dir:
+        server = ServerHandle(store_dir, workers=args.workers)
+        try:
+            status, _ = get_json(server.base_url, "/healthz")
+            assert status == 200, "server not healthy"
+            status, registered = post_json(server.base_url, "/v1/fleets", {
+                "name": "bench",
+                "params": {"seed": args.seed, "scale": args.scale,
+                           "days": args.days},
+            })
+            assert status == 200, f"registration failed: {registered}"
+            print(f"fleet {registered['fleet_id'][:12]} "
+                  f"(scale={args.scale}, days={args.days}) on "
+                  f"{server.base_url}")
+
+            cold = run_cold_phase(server.base_url)
+            for kind, value in cold.items():
+                print(f"cold {kind}: {1e3 * value:8.1f}ms")
+
+            warm = run_warm_phase(server.base_url, args.clients,
+                                  args.requests)
+            rps = warm["requests"] / warm["wall_s"]
+            p50 = 1e3 * percentile(warm["latencies"], 0.50)
+            p99 = 1e3 * percentile(warm["latencies"], 0.99)
+            print(f"warm: {warm['requests']} requests, {args.clients} "
+                  f"clients, {warm['wall_s']:.2f}s wall")
+            print(f"      {rps:8.0f} req/s   p50 {p50:6.2f}ms   "
+                  f"p99 {p99:6.2f}ms")
+            for kind, value in warm["p99_by_kind_ms"].items():
+                print(f"      p99[{kind}] {value:6.2f}ms")
+
+            status, metrics = get_json(server.base_url, "/metrics")
+            hit_ratio = metrics["endpoints"]["q1"]["cache"]["hit_ratio"]
+            print(f"      q1 cache hit ratio {hit_ratio:.3f}")
+        finally:
+            code = server.stop()
+        print(f"server exited {code}")
+
+    merge_bench_entries(build_entries(cold, warm, args.clients),
+                        pathlib.Path(args.json))
+    print(f"recorded serve_cold_first_queries + serve_warm_load in "
+          f"{args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""CI smoke test for ``repro serve``: boot, query cold+warm, scrape.
+
+Boots the server subprocess on a fresh store, registers a tiny fleet,
+issues Q1/Q2/Q3 cold then warm, slices events, scrapes ``/metrics``,
+and asserts the contract CI cares about:
+
+* every request answers 200 with the expected payload shape,
+* the second round is served from the cache (warm hit recorded),
+* ``/metrics`` reports the traffic and a non-zero cache hit ratio,
+* SIGTERM drains gracefully (exit code 0).
+
+Exit code 0 on success; failures raise with context.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from loadgen import ServerHandle, get_json, post_json  # noqa: E402
+
+#: Minimal but non-degenerate scenario (seconds, not minutes, on CI).
+SMOKE_FLEET = {"seed": 5, "scale": 0.08, "days": 120}
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as store_dir:
+        server = ServerHandle(store_dir, workers=2)
+        base = server.base_url
+        try:
+            status, health = get_json(base, "/healthz")
+            check(status == 200 and health["status"] == "ok",
+                  f"healthz failed: {status} {health}")
+
+            status, registered = post_json(base, "/v1/fleets", {
+                "name": "smoke", "params": SMOKE_FLEET,
+            })
+            check(status == 200, f"registration failed: {registered}")
+            print(f"registered fleet {registered['fleet_id'][:12]}")
+
+            for round_name, expected in (("cold", "computed"),
+                                         ("warm", "cache")):
+                for kind in ("q1", "q2", "q3"):
+                    status, payload = get_json(
+                        base, f"/v1/fleets/smoke/{kind}")
+                    check(status == 200,
+                          f"{round_name} {kind} -> {status}: {payload}")
+                    check(payload["meta"]["served_from"] == expected,
+                          f"{round_name} {kind} served from "
+                          f"{payload['meta']['served_from']}, "
+                          f"expected {expected}")
+                print(f"{round_name}: q1/q2/q3 all 200, "
+                      f"served_from={expected}")
+
+            check(get_json(base, "/v1/fleets/smoke/q1")[1]["plans"].keys()
+                  >= {"LB", "SF", "MF"}, "q1 payload missing plans")
+
+            status, window = get_json(
+                base, "/v1/fleets/smoke/events?offset=0&limit=5")
+            check(status == 200 and window["count"] == 5,
+                  f"events slice failed: {status} {window}")
+            print(f"events: {window['n_events']} total, sliced 5")
+
+            status, metrics = get_json(base, "/metrics")
+            check(status == 200 and metrics["schema"] == 1,
+                  f"metrics scrape failed: {status}")
+            for kind in ("q1", "q2", "q3"):
+                endpoint = metrics["endpoints"][kind]
+                check(endpoint["requests"] >= 2,
+                      f"{kind} metrics missing traffic: {endpoint}")
+                check(endpoint["cache"]["hits"] >= 1,
+                      f"{kind} recorded no warm hit: {endpoint}")
+            check(metrics["endpoints"]["q1"]["latency"]["p99_ms"] is not None,
+                  "latency histogram empty")
+            print("metrics: per-endpoint counts + warm hits present")
+        finally:
+            code = server.stop()
+        check(code == 0, f"server exited {code} on SIGTERM")
+        print("graceful shutdown: exit 0")
+    print("serve smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -375,7 +375,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         from .staticcheck.baselines import DEFAULT_BASELINE_PATH
 
         target = args.baseline or DEFAULT_BASELINE_PATH
-        path = write_baseline(target, report.all_findings, previous=baseline)
+        path = write_baseline(target, report.all_findings, previous=baseline,
+                              rationale=args.rationale)
         print(f"wrote baseline {path} ({len(report.all_findings)} entries)")
         return 0
     if args.format == "json":
@@ -383,6 +384,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_text(report, verbose_rules=args.verbose))
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import run_server
+
+    return run_server(
+        host=args.host,
+        port=args.port,
+        store_dir=args.store_dir,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        drain_timeout_s=args.drain_timeout,
+    )
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -597,11 +611,37 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write all current findings to the baseline "
                            "(to --baseline, or the committed default) "
                            "instead of reporting")
+    lint.add_argument("--rationale", default=None,
+                      help="justification recorded for findings NEW to "
+                           "the baseline (required with --write-baseline "
+                           "when new findings are being grandfathered)")
     lint.add_argument("--verbose", action="store_true",
                       help="append rule rationales to the text report")
     lint.add_argument("--list-rules", action="store_true",
                       help="list registered rules and exit")
     lint.set_defaults(func=_cmd_lint)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the reliability HTTP API (Q1/Q2/Q3 per fleet)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="port to bind; 0 picks a free one "
+                            "(default 8787)")
+    serve.add_argument("--store-dir", default=None,
+                       help="artifact store shared by server and workers "
+                            "(default: in-memory, single-process)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker processes for cold queries "
+                            "(default: all cores)")
+    serve.add_argument("--timeout", type=float, default=120.0,
+                       help="per-request budget in seconds (default 120)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="graceful-shutdown drain budget in seconds "
+                            "(default 30)")
+    serve.set_defaults(func=_cmd_serve)
 
     lister = commands.add_parser("list", help="list registered experiments")
     lister.add_argument("--format", choices=("text", "json"), default="text",

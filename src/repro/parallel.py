@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import os
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any
 
 from .errors import ConfigError, ReproError
@@ -65,6 +65,53 @@ def map_seeds(
         return [fn(seed) for seed in seeds]
     with ProcessPoolExecutor(max_workers=min(jobs, len(seeds))) as pool:
         return list(pool.map(fn, seeds))
+
+
+class WorkerPool:
+    """Bounded, lazily spawned worker pool for long-lived services.
+
+    The serve layer dispatches cold query computations here so a burst
+    of expensive simulations saturates exactly ``jobs`` processes while
+    the event loop stays responsive.  Unlike :func:`map_seeds` — which
+    owns a pool per call — this pool lives as long as its owner and is
+    shut down explicitly (draining by default).
+
+    Args:
+        jobs: maximum concurrent workers; ``None``/``0`` means all
+            cores.  Unlike :func:`map_seeds`, ``1`` still spawns one
+            worker process — callers use the pool precisely to keep
+            work off their own thread.
+        use_threads: run work in threads instead of processes.  Thread
+            workers share the caller's interpreter (monkeypatching and
+            in-memory stores remain visible), which tests and
+            fork-restricted platforms rely on; work functions no longer
+            need to be picklable.
+    """
+
+    def __init__(self, jobs: int | None = None, use_threads: bool = False):
+        self.jobs = resolve_jobs(jobs)
+        self.use_threads = use_threads
+        self._executor: ProcessPoolExecutor | ThreadPoolExecutor | None = None
+
+    @property
+    def executor(self) -> ProcessPoolExecutor | ThreadPoolExecutor:
+        """The underlying executor, created on first use."""
+        if self._executor is None:
+            if self.use_threads:
+                self._executor = ThreadPoolExecutor(max_workers=self.jobs)
+            else:
+                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
+        """Schedule ``fn(*args)`` on the pool (picklable for processes)."""
+        return self.executor.submit(fn, *args)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool; with ``wait`` the call drains running work."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
 
 
 # ---------------------------------------------------------------------------

@@ -28,7 +28,9 @@ from __future__ import annotations
 
 import hashlib
 import importlib.util
+import itertools
 import json
+import os
 import pathlib
 import re
 import shutil
@@ -185,6 +187,29 @@ def _stage_dirname(name: str) -> str:
     return re.sub(r"[^A-Za-z0-9._-]", "-", name)
 
 
+#: Staged-but-unpublished entry directories carry this hidden prefix.
+_TMP_PREFIX = ".tmp-"
+
+#: Per-process staging counter: combined with the pid it gives every
+#: put() a unique staging directory, so concurrent writers — threads in
+#: one process or many processes — never share one (itertools.count is
+#: atomic under the GIL).
+_TMP_COUNTER = itertools.count()
+
+#: Staged directories older than this are wreckage of a crashed writer
+#: and get swept by prune; younger ones may belong to a live concurrent
+#: writer mid-publication and are left alone.
+TMP_SWEEP_AGE_S = 3600.0
+
+
+def _entry_mtime(entry: pathlib.Path) -> float:
+    """meta.json mtime, or 0 if a concurrent prune already removed it."""
+    try:
+        return (entry / "meta.json").stat().st_mtime
+    except OSError:
+        return 0.0
+
+
 class ArtifactStore:
     """Two-tier (memory + optional disk) store of stage artifacts.
 
@@ -288,28 +313,60 @@ class ArtifactStore:
         self._memory[(stage_name, key)] = artifact
 
     def put(self, stage: Stage, key: str, artifact: Any) -> None:
-        """Store an artifact (memory always; disk when codec'd)."""
+        """Store an artifact (memory always; disk when codec'd).
+
+        Disk publication is atomic: the entry is staged under a hidden
+        per-process temp directory and renamed into place as the last
+        step, so a concurrent reader observes either no entry or a
+        complete one.  Two processes racing on the same key resolve to
+        clean first-writer-wins — the loser's staged copy (identical
+        content, since keys are content addresses) is discarded.
+        """
         self._memory[(stage.name, key)] = artifact
         if self.root is None or stage.codec is None:
             return
         entry = self.entry_dir(stage.name, key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        tmp = entry.parent / (
+            f"{_TMP_PREFIX}{os.getpid()}-{next(_TMP_COUNTER)}-{key}"
+        )
         meta = {"stage": stage.name, "key": key, "schema": PIPELINE_SCHEMA}
         if stage.codec == "run":
-            save_run_bundle(entry, artifact, meta, clock=self._clock)
+            save_run_bundle(tmp, artifact, meta, clock=self._clock)
         else:
-            entry.mkdir(parents=True, exist_ok=True)
+            tmp.mkdir()
             if stage.codec == "json":
-                (entry / "artifact.json").write_text(
+                (tmp / "artifact.json").write_text(
                     json.dumps(artifact, indent=2, sort_keys=True, default=str)
                 )
             elif stage.codec == "blocks":
-                artifact.save(entry / "artifact.npz")
+                artifact.save(tmp / "artifact.npz")
             else:
-                (entry / "artifact.txt").write_text(artifact)
+                (tmp / "artifact.txt").write_text(artifact)
             meta["created"] = self._clock()
-            (entry / "meta.json").write_text(json.dumps(meta, indent=2))
+            (tmp / "meta.json").write_text(json.dumps(meta, indent=2))
+        self._publish(tmp, entry)
         if self.max_entries:
             self.prune_stage(stage.name, self.max_entries)
+
+    def _publish(self, tmp: pathlib.Path, entry: pathlib.Path) -> None:
+        """Rename a fully staged entry into place, losing races cleanly."""
+        try:
+            os.replace(tmp, entry)
+            return
+        except OSError:
+            pass
+        # The target already exists: either a concurrent writer finished
+        # first (their entry carries the same content — keep it) or a
+        # pre-atomic partial entry lingers (clear it and retry once).
+        if not (entry / "meta.json").exists():
+            shutil.rmtree(entry, ignore_errors=True)
+            try:
+                os.replace(tmp, entry)
+                return
+            except OSError:  # pragma: no cover - double race
+                pass
+        shutil.rmtree(tmp, ignore_errors=True)
 
     # -- maintenance --------------------------------------------------
 
@@ -320,9 +377,10 @@ class ArtifactStore:
             return []
         found = [
             path for path in directory.iterdir()
-            if (path / "meta.json").exists()
+            if not path.name.startswith(_TMP_PREFIX)
+            and (path / "meta.json").exists()
         ]
-        return sorted(found, key=lambda p: (p / "meta.json").stat().st_mtime)
+        return sorted(found, key=_entry_mtime)
 
     def prune_stage(self, stage_name: str,
                     max_entries: int = DEFAULT_MAX_ENTRIES) -> int:
@@ -333,15 +391,29 @@ class ArtifactStore:
         excess = entries[:max(0, len(entries) - max_entries)]
         directory = self.stage_dir(stage_name)
         if directory.exists():
-            # Also sweep half-written entries (no meta.json): wreckage
-            # of a crashed writer, invisible to stage_entries.
+            # Also sweep wreckage invisible to stage_entries: published
+            # entries missing meta.json (pre-atomic partial writes) and
+            # staged temp directories whose writer crashed long ago.
+            # Young temp directories belong to live concurrent writers.
             excess.extend(
                 path for path in directory.iterdir()
-                if path.is_dir() and not (path / "meta.json").exists()
+                if path.is_dir() and self._sweepable(path)
             )
         for entry in excess:
             shutil.rmtree(entry, ignore_errors=True)
         return len(excess)
+
+    def _sweepable(self, path: pathlib.Path) -> bool:
+        """Whether one stage subdirectory is prune-sweep wreckage."""
+        if not path.name.startswith(_TMP_PREFIX):
+            return not (path / "meta.json").exists()
+        try:
+            age = self._clock() - path.stat().st_mtime
+        except OSError:
+            # A concurrent writer renamed its staging directory into
+            # place (or cleaned it up) between iterdir and stat.
+            return False
+        return age > TMP_SWEEP_AGE_S
 
     def prune(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> int:
         """Prune every persisted stage; returns total entries removed."""

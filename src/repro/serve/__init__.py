@@ -1,0 +1,75 @@
+"""Reliability-as-a-service: async multi-tenant HTTP API over the pipeline.
+
+The package answers the paper's three operator questions — Q1 spare
+provisioning, Q2 SKU ranking, Q3 operating ranges — for many named
+fleets concurrently, caching every answer in the content-addressed
+artifact store so identical questions are warm across tenants.
+
+Layout (hexagonal):
+
+* :mod:`~repro.serve.ports` — the abstract boundary the core speaks.
+* :mod:`~repro.serve.backend` — adapters binding the ports to
+  :mod:`repro.pipeline` and the columnar event core.
+* :mod:`~repro.serve.service` — the transport-free service core
+  (coalescing, worker pool, timeouts, metrics, draining).
+* :mod:`~repro.serve.http` — the stdlib asyncio HTTP/1.1 edge.
+* :mod:`~repro.serve.app` — composition root wiring it all together
+  (what ``repro serve`` runs).
+"""
+
+from .app import build_app, run_server
+from .backend import (
+    PipelineAnalysisBackend,
+    PipelineArtifactStore,
+    PipelineEventSource,
+    open_store,
+)
+from .coalesce import RequestCoalescer
+from .fleets import DEFAULT_TENANT, FleetRegistry, fleet_spec
+from .http import ServeApp
+from .metrics import LatencyHistogram, ServiceMetrics
+from .ports import (
+    QUERY_KINDS,
+    AnalysisBackendPort,
+    ArtifactStorePort,
+    EventSourcePort,
+    FleetSpec,
+    Query,
+    QueryRef,
+)
+from .queries import parse_query, query_stage_name
+from .service import (
+    DEFAULT_TIMEOUT_S,
+    QueryTimeout,
+    ReliabilityService,
+    ServiceUnavailable,
+)
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "DEFAULT_TIMEOUT_S",
+    "QUERY_KINDS",
+    "AnalysisBackendPort",
+    "ArtifactStorePort",
+    "EventSourcePort",
+    "FleetRegistry",
+    "FleetSpec",
+    "LatencyHistogram",
+    "PipelineAnalysisBackend",
+    "PipelineArtifactStore",
+    "PipelineEventSource",
+    "Query",
+    "QueryRef",
+    "QueryTimeout",
+    "ReliabilityService",
+    "RequestCoalescer",
+    "ServeApp",
+    "ServiceMetrics",
+    "ServiceUnavailable",
+    "build_app",
+    "fleet_spec",
+    "open_store",
+    "parse_query",
+    "query_stage_name",
+    "run_server",
+]

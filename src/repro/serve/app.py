@@ -1,0 +1,128 @@
+"""Composition root: wire the ports, serve until told to stop.
+
+:func:`build_app` assembles one ready-to-start :class:`ServeApp` from
+primitive settings (store directory, worker count, timeout) — the one
+place that knows the concrete adapter classes.  :func:`run_server` adds
+the process scaffolding ``repro serve`` needs: an event loop, signal
+handlers, and a graceful drain on SIGINT/SIGTERM.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import sys
+from typing import Any, Callable
+
+from ..parallel import WorkerPool
+from .backend import (
+    PipelineAnalysisBackend,
+    PipelineArtifactStore,
+    PipelineEventSource,
+    open_store,
+)
+from .fleets import FleetRegistry
+from .http import ServeApp
+from .service import DEFAULT_TIMEOUT_S, ReliabilityService
+
+
+def build_app(
+    store_dir: str | None = None,
+    workers: int | None = None,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+    use_threads: bool = False,
+) -> ServeApp:
+    """A fully wired :class:`ServeApp` (not yet bound to a socket).
+
+    Args:
+        store_dir: artifact-store root shared by server and workers;
+            None keeps everything in memory (and forces thread
+            workers, since process workers could not share results).
+        workers: worker-pool size (None = all cores).
+        timeout_s: per-request budget.
+        use_threads: thread workers instead of processes (tests).
+    """
+    if store_dir is None:
+        use_threads = True  # no shared disk → results must stay in-process
+    store = open_store(store_dir)
+    backend = PipelineAnalysisBackend(store)
+    registry_path = (f"{store_dir}/fleets.json"
+                     if store_dir is not None else None)
+    service = ReliabilityService(
+        backend=backend,
+        store=PipelineArtifactStore(store),
+        events=PipelineEventSource(store, backend),
+        registry=FleetRegistry(registry_path),
+        pool=WorkerPool(jobs=workers, use_threads=use_threads),
+        store_dir=store_dir,
+        timeout_s=timeout_s,
+    )
+    return ServeApp(service)
+
+
+async def _serve(
+    app: ServeApp,
+    host: str,
+    port: int,
+    ready: Callable[[str, int], Any] | None,
+    drain_timeout_s: float,
+) -> None:
+    bound_host, bound_port = await app.start(host=host, port=port)
+    if ready is not None:
+        ready(bound_host, bound_port)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    registered: list[signal.Signals] = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            registered.append(sig)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-main thread or unsupported platform
+    try:
+        serving = asyncio.ensure_future(app.serve_forever())
+        waiting = asyncio.ensure_future(stop.wait())
+        await asyncio.wait({serving, waiting},
+                           return_when=asyncio.FIRST_COMPLETED)
+        for task in (serving, waiting):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+    finally:
+        for sig in registered:
+            loop.remove_signal_handler(sig)
+        await app.shutdown(drain_timeout_s)
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    store_dir: str | None = None,
+    workers: int | None = None,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+    drain_timeout_s: float = 30.0,
+    ready: Callable[[str, int], Any] | None = None,
+    out=sys.stderr,
+) -> int:
+    """Run the service until SIGINT/SIGTERM; returns an exit code.
+
+    Args:
+        ready: called with the bound (host, port) once listening —
+            default prints a one-line banner to ``out``.
+    """
+    app = build_app(store_dir=store_dir, workers=workers,
+                    timeout_s=timeout_s)
+
+    def banner(bound_host: str, bound_port: int) -> None:
+        store = store_dir or "<memory>"
+        print(
+            f"repro serve listening on http://{bound_host}:{bound_port} "
+            f"(store={store}, workers={app.service.pool.jobs}, "
+            f"timeout={timeout_s:g}s)",
+            file=out, flush=True,
+        )
+
+    asyncio.run(_serve(app, host, port, ready or banner, drain_timeout_s))
+    print("repro serve drained and stopped", file=out, flush=True)
+    return 0

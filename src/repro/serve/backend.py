@@ -1,0 +1,208 @@
+"""Adapters binding the serve ports to the artifact pipeline.
+
+The hexagon's outside edge: everything here knows about
+:mod:`repro.pipeline`, :mod:`repro.stream.blocks` and the on-disk store
+layout, and none of it is visible to the HTTP handlers (which speak
+:mod:`repro.serve.ports` only).
+
+* :class:`PipelineAnalysisBackend` — resolves queries to pipeline
+  stage/key pairs and computes cold answers by driving the report
+  pipeline (simulating at most once per fleet, since the simulation is
+  itself a shared content-addressed artifact).
+* :class:`PipelineArtifactStore` — warm lookups against the two-tier
+  :class:`~repro.pipeline.core.ArtifactStore`; a sqlite or remote
+  implementation would subclass the port, not change the service.
+* :class:`PipelineEventSource` — slices the fleet's memory-mapped
+  ``event_blocks`` segment into JSON events.
+
+:func:`compute_query_payload` is the module-level, picklable entry
+point worker processes run; it persists every intermediate artifact to
+the shared store so the parent's next lookup is warm.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any
+
+from ..errors import DataError
+from ..pipeline.core import ArtifactStore, Stage
+from ..pipeline.stages import EVENT_BLOCKS_STAGE
+from ..stream.blocks import KIND_BY_CODE, BlockSegment
+from .fleets import fleet_config
+from .ports import (
+    AnalysisBackendPort,
+    ArtifactStorePort,
+    EventSourcePort,
+    FleetSpec,
+    Query,
+    QueryRef,
+)
+from .queries import build_query_pipeline, json_safe, query_stage_name
+
+#: Hard cap on one events-slice response (keeps payloads bounded).
+MAX_EVENT_SLICE = 10_000
+
+
+def _never_runs(inputs: dict, ctx: Any) -> Any:  # pragma: no cover
+    raise DataError("synthetic lookup stage must never execute")
+
+
+def _lookup_stage(name: str, codec: str) -> Stage:
+    """A stage shell carrying just (name, codec) for store decoding.
+
+    :meth:`ArtifactStore.fetch` needs a stage's name and codec to
+    locate and decode an entry; warm lookups construct this shell
+    instead of rebuilding the full fleet pipeline.
+    """
+    return Stage(name=name, run=_never_runs, codec=codec)
+
+
+class PipelineArtifactStore(ArtifactStorePort):
+    """Warm answer lookups over the shared two-tier artifact store."""
+
+    def __init__(self, store: ArtifactStore):
+        self.store = store
+
+    def lookup(self, ref: QueryRef) -> dict[str, Any] | None:
+        codec = "blocks" if ref.stage == EVENT_BLOCKS_STAGE else "json"
+        hit = self.store.fetch(_lookup_stage(ref.stage, codec), ref.key)
+        if hit is None:
+            return None
+        tier, artifact = hit
+        if ref.stage == EVENT_BLOCKS_STAGE:
+            # The event source slices the segment itself; report only
+            # presence so the service can mark the query warm.
+            return {"n_events": int(artifact.n_events), "tier": tier}
+        return artifact
+
+    def describe(self) -> dict[str, Any]:
+        root = self.store.root
+        stages: dict[str, int] = {}
+        if root is not None and root.exists():
+            for directory in sorted(root.iterdir()):
+                if directory.is_dir():
+                    entries = self.store.stage_entries(directory.name)
+                    if entries:
+                        stages[directory.name] = len(entries)
+        return {
+            "backend": "pipeline-disk",
+            "root": str(root) if root is not None else None,
+            "stages": stages,
+        }
+
+
+class PipelineAnalysisBackend(AnalysisBackendPort):
+    """Queries answered by the content-addressed report pipeline.
+
+    Args:
+        store: the shared artifact store cold computations persist to.
+            Key resolution itself never touches it.
+    """
+
+    def __init__(self, store: ArtifactStore):
+        self.store = store
+        #: (fleet_id, stage name) -> key; keys are pure hashes of the
+        #: config + code fingerprints, so memoizing them is safe.
+        self._refs: dict[tuple[str, str], QueryRef] = {}
+
+    def query_ref(self, fleet: FleetSpec, query: Query) -> QueryRef:
+        stage = query_stage_name(query)
+        cached = self._refs.get((fleet.fleet_id, stage))
+        if cached is not None:
+            return cached
+        pipeline = build_query_pipeline(fleet_config(fleet.params), query)
+        ref = QueryRef(stage=stage, key=pipeline.key(stage))
+        self._refs[(fleet.fleet_id, stage)] = ref
+        return ref
+
+    def compute(self, fleet: FleetSpec, query: Query) -> dict[str, Any]:
+        pipeline = build_query_pipeline(
+            fleet_config(fleet.params), query, store=self.store,
+        )
+        artifact = pipeline.get(query_stage_name(query))
+        if query.kind == "events":
+            return {"n_events": int(artifact.n_events), "tier": "computed"}
+        return artifact
+
+
+class PipelineEventSource(EventSourcePort):
+    """JSON slices of a fleet's columnar ``event_blocks`` segment."""
+
+    def __init__(self, store: ArtifactStore,
+                 backend: PipelineAnalysisBackend):
+        self.store = store
+        self.backend = backend
+
+    def slice_events(
+        self, fleet: FleetSpec, offset: int, limit: int,
+    ) -> dict[str, Any] | None:
+        if offset < 0:
+            raise DataError(f"offset must be >= 0, got {offset}")
+        if not 0 < limit <= MAX_EVENT_SLICE:
+            raise DataError(
+                f"limit must be in [1, {MAX_EVENT_SLICE}], got {limit}"
+            )
+        ref = self.backend.query_ref(fleet, Query(kind="events", params=()))
+        hit = self.store.fetch(_lookup_stage(ref.stage, "blocks"), ref.key)
+        if hit is None:
+            return None
+        _, segment = hit
+        return segment_slice(segment, offset, limit)
+
+
+def segment_slice(segment: BlockSegment, offset: int, limit: int) -> dict:
+    """One window of a block segment as JSON-safe event records."""
+    records = segment.records[offset:offset + limit]
+    events = [
+        {
+            "seq": segment.start_seq + offset + position,
+            "time_hours": record["time_hours"],
+            "kind": KIND_BY_CODE[int(record["kind"])].value,
+            "rack_index": record["rack_index"],
+            "server_offset": record["server_offset"],
+            "fault_code": record["fault_code"],
+            "repair_hours": record["repair_hours"],
+            "value": record["value"],
+            "value2": record["value2"],
+        }
+        for position, record in enumerate(records)
+    ]
+    return json_safe({
+        "n_events": int(segment.n_events),
+        "offset": int(offset),
+        "count": len(events),
+        "events": events,
+    })
+
+
+def open_store(store_dir: str | pathlib.Path | None) -> ArtifactStore:
+    """The shared artifact store for a serve process (or memory-only)."""
+    return ArtifactStore(store_dir) if store_dir else ArtifactStore()
+
+
+# -- worker-process entry point ---------------------------------------------
+
+_WORKER_STORES: dict[str | None, ArtifactStore] = {}
+
+
+def compute_query_payload(
+    store_dir: str | None,
+    fleet_id: str,
+    fleet_params: dict[str, Any],
+    query_kind: str,
+    query_params: tuple[tuple[str, Any], ...],
+) -> dict[str, Any]:
+    """Compute one query in a worker process against the shared store.
+
+    Takes only primitives so the pool submission pickles cheaply; the
+    per-process store is cached so a worker that already simulated a
+    fleet serves its next cold query from memory.
+    """
+    store = _WORKER_STORES.get(store_dir)
+    if store is None:
+        store = open_store(store_dir)
+        _WORKER_STORES[store_dir] = store
+    backend = PipelineAnalysisBackend(store)
+    fleet = FleetSpec(fleet_id=fleet_id, params=fleet_params)
+    return backend.compute(fleet, Query(kind=query_kind, params=query_params))

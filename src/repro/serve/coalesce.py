@@ -1,0 +1,56 @@
+"""Request coalescing: N identical in-flight queries, one computation.
+
+Cold queries cost seconds (a simulation) while identical requests
+arrive together — the classic cache-stampede shape.  The coalescer
+keys each computation by its content-addressed query reference; the
+first arrival starts the work as a task, every later arrival awaits the
+same future, and the key is dropped once the work settles (so a failed
+computation is retried by the *next* request rather than poisoning the
+key forever).
+
+Single-event-loop only: the map is touched exclusively from coroutine
+context, so no locking is needed — attach/await ordering is guaranteed
+by the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Hashable
+
+
+class RequestCoalescer:
+    """Deduplicates concurrent awaits of one keyed computation."""
+
+    def __init__(self) -> None:
+        self._in_flight: dict[Hashable, asyncio.Future] = {}
+        #: Requests that attached to an existing computation instead of
+        #: starting their own (surfaced by /metrics).
+        self.coalesced = 0
+        #: Computations actually started.
+        self.started = 0
+
+    def pending(self) -> int:
+        """Number of distinct computations currently in flight."""
+        return len(self._in_flight)
+
+    async def run(
+        self,
+        key: Hashable,
+        thunk: Callable[[], Awaitable[Any]],
+    ) -> Any:
+        """Await ``thunk()``'s result, sharing it with identical keys.
+
+        The underlying task is shielded from any single awaiter's
+        cancellation: a client that times out and disconnects must not
+        cancel the computation nine other clients are waiting on.
+        """
+        existing = self._in_flight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            return await asyncio.shield(existing)
+        task = asyncio.ensure_future(thunk())
+        self._in_flight[key] = task
+        self.started += 1
+        task.add_done_callback(lambda _: self._in_flight.pop(key, None))
+        return await asyncio.shield(task)

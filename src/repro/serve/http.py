@@ -1,0 +1,355 @@
+"""Minimal asyncio HTTP/1.1 transport for the reliability service.
+
+Hand-rolled on ``asyncio.start_server`` — stdlib only, no framework —
+because the API surface is small and fully JSON:
+
+========  ==============================  =======================================
+method    path                            answer
+========  ==============================  =======================================
+GET       /healthz                        liveness (also 503 while draining)
+GET       /metrics                        service metrics snapshot
+POST      /v1/fleets                      register a fleet (JSON body)
+GET       /v1/fleets                      list fleets (``?tenant=`` to scope)
+GET       /v1/fleets/{ref}/q1             Q1 spare provisioning
+GET       /v1/fleets/{ref}/q2             Q2 SKU ranking
+GET       /v1/fleets/{ref}/q3             Q3 operating ranges
+GET       /v1/fleets/{ref}/events         event-trace window (offset/limit)
+========  ==============================  =======================================
+
+Query parameters map 1:1 onto the query-kind knobs (see
+:mod:`repro.serve.queries`); the tenant rides in the ``X-Tenant``
+header (or the registration body) and defaults to ``public``.
+
+Errors are structured JSON — ``{"schema": 1, "error": {"code",
+"message"}}`` — with conventional statuses: 400 malformed request,
+404 unknown fleet/route, 405 wrong method, 413 oversized body,
+422 invalid query parameters, 503 draining, 504 query timeout.
+
+Graceful shutdown (:meth:`ServeApp.shutdown`) closes the listener,
+lets in-flight requests finish (the service refuses new ones with
+503 meanwhile), then stops the worker pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+from urllib.parse import parse_qsl, urlsplit
+
+from ..errors import ConfigError, DataError, ReproError
+from .service import QueryTimeout, ReliabilityService, ServiceUnavailable
+
+#: Request bodies above this size are refused with 413.
+MAX_BODY_BYTES = 64 * 1024
+#: Ceiling on one request's header block.
+MAX_HEADER_BYTES = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A request-level failure carrying its HTTP status and code."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+def error_body(code: str, message: str) -> dict[str, Any]:
+    """The structured error payload shape every failure uses."""
+    return {"schema": 1, "error": {"code": code, "message": message}}
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    def __init__(self, method: str, target: str,
+                 headers: dict[str, str], body: bytes):
+        self.method = method
+        parts = urlsplit(target)
+        self.path = parts.path
+        self.query = dict(parse_qsl(parts.query))
+        self.headers = headers
+        self.body = body
+
+    @property
+    def tenant(self) -> str | None:
+        return self.headers.get("x-tenant")
+
+    def json(self) -> dict[str, Any]:
+        """The request body decoded as a JSON object."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except ValueError as error:
+            raise HttpError(400, "bad_json",
+                            f"request body is not JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise HttpError(400, "bad_json",
+                            "request body must be a JSON object")
+        return payload
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream (None on clean EOF)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # connection closed between requests
+        raise HttpError(400, "bad_request",
+                        "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "headers_too_large",
+                        "request head exceeds limit") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "headers_too_large",
+                        "request head exceeds limit")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "bad_request",
+                        f"malformed request line {lines[0]!r}") from None
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise HttpError(400, "bad_request",
+                            f"bad Content-Length {length!r}") from None
+        if n > MAX_BODY_BYTES:
+            raise HttpError(413, "body_too_large",
+                            f"body of {n} bytes exceeds {MAX_BODY_BYTES}")
+        if n:
+            body = await reader.readexactly(n)
+    return Request(method.upper(), target, headers, body)
+
+
+def render_response(status: int, payload: dict[str, Any],
+                    keep_alive: bool = True) -> bytes:
+    """Serialize one JSON response with framing headers."""
+    body = json.dumps(payload, sort_keys=True).encode()
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def _int_param(query: dict[str, str], name: str, default: int) -> int:
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise HttpError(422, "bad_parameter",
+                        f"{name} must be an integer, got {raw!r}") from None
+
+
+class ServeApp:
+    """Routes HTTP requests onto a :class:`ReliabilityService`.
+
+    Separate from the socket plumbing so tests can call
+    :meth:`dispatch` with a synthetic :class:`Request` directly.
+    """
+
+    def __init__(self, service: ReliabilityService):
+        self.service = service
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: dict[asyncio.Task, asyncio.StreamWriter] = {}
+
+    # -- routing ------------------------------------------------------
+
+    async def dispatch(self, request: Request) -> tuple[int, dict[str, Any]]:
+        """(status, payload) for one request."""
+        try:
+            return await self._route(request)
+        except HttpError as error:
+            return error.status, error_body(error.code, error.message)
+        except ServiceUnavailable as error:
+            return 503, error_body("draining", str(error))
+        except QueryTimeout as error:
+            return 504, error_body("timeout", str(error))
+        except (DataError, ConfigError) as error:
+            # Unknown fleets read as 404, bad parameters as 422.
+            message = str(error)
+            if message.startswith("unknown fleet"):
+                return 404, error_body("unknown_fleet", message)
+            return 422, error_body("invalid_request", message)
+        except ReproError as error:
+            return 500, error_body("internal", str(error))
+
+    async def _route(self, request: Request) -> tuple[int, dict[str, Any]]:
+        path, method = request.path, request.method
+        if path == "/healthz":
+            self._expect(method, "GET")
+            if self.service.draining:
+                return 503, error_body("draining", "service is draining")
+            return 200, {"schema": 1, "status": "ok"}
+        if path == "/metrics":
+            self._expect(method, "GET")
+            return 200, self.service.metrics_snapshot()
+        if path == "/v1/fleets":
+            if method == "POST":
+                return await self._register(request)
+            self._expect(method, "GET")
+            tenant = request.query.get("tenant") or request.tenant
+            return 200, dict(self.service.list_fleets(tenant), schema=1)
+        if path.startswith("/v1/fleets/"):
+            return await self._fleet_route(request)
+        raise HttpError(404, "not_found", f"no route for {path}")
+
+    async def _register(self, request: Request) -> tuple[int, dict]:
+        body = request.json()
+        tenant = request.tenant or str(body.pop("tenant", "") or "public")
+        name = body.pop("name", None)
+        if name is not None and not isinstance(name, str):
+            raise HttpError(422, "bad_parameter", "fleet name must be a string")
+        params = body.pop("params", body)
+        if not isinstance(params, dict):
+            raise HttpError(422, "bad_parameter",
+                            "fleet params must be an object")
+        result = self.service.register_fleet(params, tenant=tenant, name=name)
+        return 200, dict(result, schema=1)
+
+    async def _fleet_route(self, request: Request) -> tuple[int, dict]:
+        tail = request.path[len("/v1/fleets/"):]
+        fleet_ref, _, leaf = tail.partition("/")
+        if not fleet_ref or not leaf or "/" in leaf:
+            raise HttpError(404, "not_found",
+                            f"no route for {request.path}")
+        self._expect(request.method, "GET")
+        tenant = request.tenant or "public"
+        if leaf in ("q1", "q2", "q3"):
+            payload = await self.service.query(
+                fleet_ref, leaf, request.query, tenant=tenant,
+            )
+            return 200, dict(payload, schema=1)
+        if leaf == "events":
+            offset = _int_param(request.query, "offset", 0)
+            limit = _int_param(request.query, "limit", 100)
+            payload = await self.service.slice_events(
+                fleet_ref, offset=offset, limit=limit, tenant=tenant,
+            )
+            return 200, dict(payload, schema=1)
+        raise HttpError(404, "not_found",
+                        f"unknown query {leaf!r}; try q1, q2, q3 or events")
+
+    def _expect(self, method: str, allowed: str) -> None:
+        if method != allowed:
+            raise HttpError(405, "method_not_allowed",
+                            f"use {allowed} for this endpoint")
+
+    # -- connection plumbing ------------------------------------------
+
+    async def handle_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        """Serve requests on one connection until close/error."""
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as error:
+                    writer.write(render_response(
+                        error.status,
+                        error_body(error.code, error.message),
+                        keep_alive=False,
+                    ))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, payload = await self.dispatch(request)
+                keep = (request.headers.get("connection", "")
+                        .lower() != "close")
+                writer.write(render_response(status, payload,
+                                             keep_alive=keep))
+                await writer.drain()
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away mid-exchange; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _connection_entry(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections[task] = writer
+            task.add_done_callback(
+                lambda done: self._connections.pop(done, None))
+        await self.handle_connection(reader, writer)
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._connection_entry, host=host, port=port,
+        )
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    @property
+    def port(self) -> int | None:
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self, drain_timeout_s: float = 30.0) -> int:
+        """Stop accepting, drain in-flight queries, stop the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        drained = await self.service.begin_drain(drain_timeout_s)
+        # Idle keep-alive connections would linger forever; closing the
+        # transport hands their readers EOF so the handlers exit their
+        # loops cleanly (in-flight queries already finished draining).
+        for writer in list(self._connections.values()):
+            writer.close()
+        if self._connections:
+            _, pending = await asyncio.wait(
+                list(self._connections), timeout=5.0,
+            )
+            for task in pending:  # pragma: no cover - stuck handlers
+                task.cancel()
+        return drained
+
+    async def serve_forever(self) -> None:
+        """Block until the server is closed (cancelled externally)."""
+        if self._server is None:
+            raise ConfigError("call start() before serve_forever()")
+        await self._server.serve_forever()

@@ -1,0 +1,166 @@
+"""Service observability: counters, latency histograms, gauges.
+
+Everything is plain in-process state snapshotted as JSON by the
+``/metrics`` endpoint — no third-party client, no sampling thread.
+Latencies land in fixed log-spaced buckets (:class:`LatencyHistogram`),
+so p50/p99 cost O(buckets) to read and memory stays constant no matter
+how many requests the server has seen.
+
+Clocks are injected (``repro`` invariant: no inline wall-clock reads),
+defaulting to ``time.monotonic`` for durations.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable
+
+#: Histogram bucket geometry: upper bounds from 100µs to ~105s, eight
+#: buckets per decade — resolution ~33% anywhere in the range, plenty
+#: for p50/p99 on paths spanning 1ms (warm) to tens of seconds (cold).
+_BUCKETS_PER_DECADE = 8
+_MIN_BOUND_S = 1e-4
+_N_BUCKETS = 49
+
+
+def _bucket_bounds() -> tuple[float, ...]:
+    ratio = 10.0 ** (1.0 / _BUCKETS_PER_DECADE)
+    return tuple(_MIN_BOUND_S * ratio ** i for i in range(_N_BUCKETS))
+
+
+class LatencyHistogram:
+    """Fixed log-bucket latency histogram with percentile readout."""
+
+    bounds: tuple[float, ...] = _bucket_bounds()
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 overflow bucket
+        self.total = 0
+        self.sum_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one observation (negative durations clamp to zero)."""
+        seconds = max(0.0, seconds)
+        index = len(self.bounds)  # overflow unless a bound covers it
+        if seconds <= self.bounds[-1]:
+            # log-index straight into the geometric grid
+            if seconds <= self.bounds[0]:
+                index = 0
+            else:
+                index = math.ceil(
+                    math.log10(seconds / _MIN_BOUND_S) * _BUCKETS_PER_DECADE
+                )
+                # guard the float edge: the computed bucket must cover it
+                while self.bounds[index] < seconds:  # pragma: no cover
+                    index += 1
+        self.counts[index] += 1
+        self.total += 1
+        self.sum_s += seconds
+
+    def percentile(self, q: float) -> float | None:
+        """The q-quantile in seconds (None before any observation).
+
+        Reads the histogram: the returned value is the upper bound of
+        the bucket holding the q-th observation, i.e. accurate to the
+        bucket ratio (~33%).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return None
+        rank = q * self.total
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank and count:
+                return (self.bounds[index] if index < len(self.bounds)
+                        else self.bounds[-1])
+        return self.bounds[-1]
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe summary (count, mean, p50, p99)."""
+        mean = self.sum_s / self.total if self.total else None
+        p50 = self.percentile(0.50)
+        p99 = self.percentile(0.99)
+        return {
+            "count": self.total,
+            "mean_ms": None if mean is None else 1e3 * mean,
+            "p50_ms": None if p50 is None else 1e3 * p50,
+            "p99_ms": None if p99 is None else 1e3 * p99,
+        }
+
+
+class EndpointMetrics:
+    """Counters and latency for one endpoint."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.latency = LatencyHistogram()
+
+    def observe(self, seconds: float, error: bool = False,
+                cache: str | None = None) -> None:
+        """Record one finished request."""
+        self.requests += 1
+        if error:
+            self.errors += 1
+        if cache == "hit":
+            self.cache_hits += 1
+        elif cache == "miss":
+            self.cache_misses += 1
+        self.latency.record(seconds)
+
+    def snapshot(self) -> dict[str, Any]:
+        looked_up = self.cache_hits + self.cache_misses
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_ratio": (self.cache_hits / looked_up
+                              if looked_up else None),
+            },
+            "latency": self.latency.snapshot(),
+        }
+
+
+class ServiceMetrics:
+    """Whole-service metrics registry behind ``/metrics``.
+
+    Args:
+        clock: monotonic-seconds source, injected for replayable tests.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self.clock = clock
+        self.started_at = clock()
+        self.in_flight = 0
+        self.coalesced = 0
+        self._endpoints: dict[str, EndpointMetrics] = {}
+
+    def endpoint(self, name: str) -> EndpointMetrics:
+        """The (auto-created) metrics bucket for one endpoint."""
+        bucket = self._endpoints.get(name)
+        if bucket is None:
+            bucket = self._endpoints[name] = EndpointMetrics()
+        return bucket
+
+    def snapshot(self, extra: dict[str, Any] | None = None) -> dict[str, Any]:
+        """The ``/metrics`` response body."""
+        payload: dict[str, Any] = {
+            "schema": 1,
+            "uptime_s": self.clock() - self.started_at,
+            "in_flight": self.in_flight,
+            "coalesced_requests": self.coalesced,
+            "endpoints": {
+                name: bucket.snapshot()
+                for name, bucket in sorted(self._endpoints.items())
+            },
+        }
+        if extra:
+            payload.update(extra)
+        return payload

@@ -1,0 +1,128 @@
+"""Ports of the reliability service (hexagonal boundary).
+
+``repro.serve`` answers the paper's operator questions — Q1 spare
+provisioning, Q2 SKU ranking, Q3 operating ranges — over HTTP for many
+named fleets at once.  The HTTP handlers and the service core speak
+*only* the three abstract ports below; everything that knows about the
+artifact pipeline, the disk store or the columnar event core lives in
+adapters (:mod:`repro.serve.backend`).  Swapping the disk store for a
+sqlite or remote backend is therefore a new adapter, not a handler
+change.
+
+* :class:`AnalysisBackendPort` — resolves a query to its
+  content-addressed reference and computes cold answers.
+* :class:`ArtifactStorePort` — warm lookups of previously computed
+  answers by reference (the shared cache tier).
+* :class:`EventSourcePort` — read access to a fleet's flattened event
+  trace (warm only; materialization goes through the backend).
+
+The small value types (:class:`FleetSpec`, :class:`Query`,
+:class:`QueryRef`) are deliberately plain and picklable: cold
+computations cross a process boundary.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+#: Query kinds the service answers.  ``q1``/``q2``/``q3`` mirror the
+#: paper's operator questions; ``events`` materializes the flattened
+#: event trace for the event-source port to slice.
+QUERY_KINDS = ("q1", "q2", "q3", "events")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One registered fleet: a content-addressed scenario config.
+
+    Attributes:
+        fleet_id: content hash of the underlying simulation config —
+            identical scenarios registered by different tenants share
+            one id (and therefore one set of artifacts).
+        params: the primitive config knobs (``seed``, ``scale``,
+            ``days``) the id was derived from; enough to rebuild the
+            :class:`~repro.config.SimulationConfig` in any process.
+    """
+
+    fleet_id: str
+    params: Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One normalized, validated query against a fleet.
+
+    ``params`` is already defaulted and type-coerced (see
+    :func:`repro.serve.queries.parse_query`), so equal queries compare
+    equal — the property request coalescing keys on.
+    """
+
+    kind: str
+    params: tuple[tuple[str, Any], ...]
+
+    def param_dict(self) -> dict[str, Any]:
+        """The params as a plain dict."""
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class QueryRef:
+    """Content-addressed reference of one query's answer artifact.
+
+    ``stage`` and ``key`` follow the artifact pipeline's addressing
+    (stage name + recursive content key), but nothing in the service
+    core interprets them — they are opaque coordinates for
+    :meth:`ArtifactStorePort.lookup` and the coalescing map.
+    """
+
+    stage: str
+    key: str
+
+
+class AnalysisBackendPort(ABC):
+    """Port for resolving and computing reliability answers."""
+
+    @abstractmethod
+    def query_ref(self, fleet: FleetSpec, query: Query) -> QueryRef:
+        """The content-addressed reference of ``query``'s answer.
+
+        Pure addressing: never computes or touches artifact payloads.
+        """
+
+    @abstractmethod
+    def compute(self, fleet: FleetSpec, query: Query) -> dict[str, Any]:
+        """Compute the answer payload (expensive; may simulate).
+
+        Implementations must be safe to call from a worker process and
+        must persist whatever intermediate artifacts they want warm
+        lookups to find afterwards.
+        """
+
+
+class ArtifactStorePort(ABC):
+    """Port for warm, read-only answer lookups."""
+
+    @abstractmethod
+    def lookup(self, ref: QueryRef) -> dict[str, Any] | None:
+        """The stored answer payload for ``ref``, or None on miss."""
+
+    @abstractmethod
+    def describe(self) -> dict[str, Any]:
+        """Store facts for observability (backend kind, entry counts)."""
+
+
+class EventSourcePort(ABC):
+    """Port for reading a fleet's flattened event trace."""
+
+    @abstractmethod
+    def slice_events(
+        self, fleet: FleetSpec, offset: int, limit: int,
+    ) -> dict[str, Any] | None:
+        """A JSON-safe window of the fleet's event stream.
+
+        Returns None when the trace is not materialized yet (the
+        service then routes an ``events`` query through the backend to
+        materialize it).
+        """

@@ -1,0 +1,279 @@
+"""Query model: validation, stage construction and payload builders.
+
+A serve query is one of the paper's operator questions, normalized to a
+canonical parameter tuple and answered as a JSON-safe payload:
+
+* ``q1`` — spare provisioning (§VI-Q1): LB/SF/MF over-provision
+  fractions plus the MF cluster plan, for a workload, SLA and window.
+* ``q2`` — SKU ranking (§VI-Q2): normalized single-factor rates and
+  the stratum-standardized S2/S4 comparison.
+* ``q3`` — operating ranges (§VI-Q3): per-DC climate group rates and
+  the CART-discovered temperature/RH thresholds.
+* ``events`` — materializes the fleet's flattened event trace (the
+  ``event_blocks`` stage) so the event-source port can slice it.
+
+Each query maps to one content-addressed pipeline stage
+(``serve:q1:...``) whose artifact is the payload itself (``codec=
+"json"``), so a warm store serves answers without touching the
+simulation — the property the service's latency targets rest on.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from typing import Any, Mapping
+
+from ..decisions.availability import AvailabilitySla
+from ..errors import DataError, ReproError
+from ..pipeline import Stage, analysis_stages
+from ..pipeline.core import ArtifactStore, Pipeline, StageContext
+from ..pipeline.stages import EVENT_BLOCKS_STAGE
+from ..reporting.context import SIMULATE_STAGE, AnalysisContext
+from .ports import QUERY_KINDS, Query
+
+#: Prefix of every serve-owned stage name.
+SERVE_STAGE_PREFIX = "serve:"
+
+#: Defaults applied by :func:`parse_query`, per query kind.  ``q1``
+#: defaults mirror Fig 10's headline point (compute workload, 100% SLA,
+#: daily windows).
+QUERY_DEFAULTS: dict[str, dict[str, Any]] = {
+    "q1": {"workload": "W1", "sla": 1.0, "window_hours": 24.0},
+    "q2": {"peak_quantile": 0.999},
+    "q3": {"dc": ""},  # "" = every datacenter in the fleet
+    "events": {},
+}
+
+
+def parse_query(kind: str, raw: Mapping[str, Any] | None = None) -> Query:
+    """Validate and normalize raw (string-ish) query parameters.
+
+    Unknown kinds, unknown parameter names and out-of-domain values
+    raise :class:`~repro.errors.DataError` — the service maps those to
+    structured 4xx responses.
+    """
+    if kind not in QUERY_KINDS:
+        raise DataError(
+            f"unknown query kind {kind!r}; have {sorted(QUERY_KINDS)}"
+        )
+    defaults = QUERY_DEFAULTS[kind]
+    raw = dict(raw or {})
+    unknown = sorted(set(raw) - set(defaults))
+    if unknown:
+        raise DataError(
+            f"{kind}: unknown parameter(s) {unknown}; "
+            f"accepts {sorted(defaults)}"
+        )
+    params = dict(defaults)
+    for name, value in raw.items():
+        template = defaults[name]
+        if isinstance(template, float):
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                raise DataError(
+                    f"{kind}: {name} must be a number, got {value!r}"
+                ) from None
+        else:
+            value = str(value)
+        params[name] = value
+    if kind == "q1":
+        if not 0.0 < params["sla"] <= 1.0:
+            raise DataError(f"q1: sla must be in (0, 1], got {params['sla']}")
+        if params["window_hours"] <= 0:
+            raise DataError(
+                f"q1: window_hours must be > 0, got {params['window_hours']}"
+            )
+    if kind == "q2" and not 0.0 < params["peak_quantile"] < 1.0:
+        raise DataError(
+            f"q2: peak_quantile must be in (0, 1), got {params['peak_quantile']}"
+        )
+    return Query(kind=kind, params=tuple(sorted(params.items())))
+
+
+def query_stage_name(query: Query) -> str:
+    """Deterministic stage name of one query's answer artifact."""
+    if query.kind == "events":
+        # The events query materializes the catalogue's own stage.
+        return EVENT_BLOCKS_STAGE
+    rendered = ",".join(
+        f"{name}={value:g}" if isinstance(value, float) else f"{name}={value}"
+        for name, value in query.params
+    )
+    return f"{SERVE_STAGE_PREFIX}{query.kind}:{rendered}"
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively coerce numpy scalars and non-finite floats for JSON.
+
+    NaN/inf become None — ``json.dumps`` would otherwise emit invalid
+    JSON (bare ``NaN``) that stdlib-only clients cannot parse.
+    """
+    if isinstance(value, dict):
+        return {str(name): json_safe(entry) for name, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(entry) for entry in value]
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int,)):
+        return int(value)
+    if hasattr(value, "item"):  # numpy scalar
+        value = value.item()
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    return value
+
+
+# -- payload builders -------------------------------------------------------
+
+def q1_payload(context: AnalysisContext, params: Mapping[str, Any]) -> dict:
+    """Q1: LB/SF/MF spare provisioning for one workload/SLA/window."""
+    workload = params["workload"]
+    sla = AvailabilitySla(params["sla"])
+    window = params["window_hours"]
+    provisioner = context.provisioner(window)
+    plans = {
+        "LB": provisioner.lower_bound(workload, sla),
+        "SF": provisioner.single_factor(workload, sla),
+        "MF": provisioner.multi_factor(workload, sla),
+    }
+    rendered: dict[str, Any] = {}
+    for approach, plan in plans.items():
+        entry: dict[str, Any] = {
+            "overprovision": plan.overprovision,
+            "n_racks": int(len(plan.rack_indices)),
+        }
+        if plan.clusters is not None:
+            entry["clusters"] = [
+                {
+                    "description": cluster.description,
+                    "n_racks": cluster.n_racks,
+                    "fraction": cluster.fraction,
+                }
+                for cluster in sorted(plan.clusters, key=lambda c: c.fraction)
+            ]
+        rendered[approach] = entry
+    sf = plans["SF"].overprovision
+    mf = plans["MF"].overprovision
+    return json_safe({
+        "question": "q1",
+        "workload": workload,
+        "sla": sla.level,
+        "window_hours": window,
+        "plans": rendered,
+        "mf_vs_sf_savings": (sf - mf) / sf if sf > 0 else None,
+    })
+
+
+def q2_payload(context: AnalysisContext, params: Mapping[str, Any]) -> dict:
+    """Q2: SKU reliability ranking, SF view plus the MF S2/S4 check."""
+    from ..decisions.sku_ranking import FIG14_SKUS, compare_skus
+
+    comparison = compare_skus(
+        context.result,
+        table=context.hardware_failures,
+        peak_quantile=params["peak_quantile"],
+    )
+    normalized = {
+        statistic: comparison.normalized_sf(statistic=statistic)
+        for statistic in ("mean", "peak")
+    }
+    ranking = sorted(FIG14_SKUS, key=lambda sku: normalized["mean"][sku])
+    pair: dict[str, Any] = {}
+    # Miniature fleets may lack overlapping strata for the MF pair.
+    with contextlib.suppress(ReproError, KeyError):
+        pair["sf_ratio"] = comparison.sf_ratio("S2", "S4")
+        pair["mf_ratio"] = comparison.mf_ratio("S2", "S4")
+    return json_safe({
+        "question": "q2",
+        "peak_quantile": params["peak_quantile"],
+        "normalized_sf": normalized,
+        "ranking_most_reliable_first": list(ranking),
+        "s2_vs_s4": pair or None,
+    })
+
+
+def q3_payload(context: AnalysisContext, params: Mapping[str, Any]) -> dict:
+    """Q3: per-DC climate group rates and discovered thresholds."""
+    from ..decisions.climate import (
+        climate_group_rates,
+        discover_climate_thresholds,
+    )
+
+    fleet_dcs = [dc.name for dc in context.result.fleet.datacenters]
+    wanted = [params["dc"]] if params["dc"] else fleet_dcs
+    unknown = sorted(set(wanted) - set(fleet_dcs))
+    if unknown:
+        raise DataError(f"q3: unknown datacenter(s) {unknown}; have {fleet_dcs}")
+    datacenters: dict[str, Any] = {}
+    for dc_name in wanted:
+        groups = climate_group_rates(
+            context.result, dc_name, table=context.disk_failures,
+        )
+        thresholds = discover_climate_thresholds(context.result, dc_name)
+        datacenters[dc_name] = {
+            "group_rates": {
+                "cool": groups.cool,
+                "hot": groups.hot,
+                "hot_dry": groups.hot_dry,
+                "overall": groups.overall,
+            },
+            "thresholds": {
+                "temp_f": thresholds.temp_threshold_f,
+                "rh": thresholds.rh_threshold,
+                "temp_gain_share": thresholds.temp_gain_share,
+            },
+        }
+    return json_safe({
+        "question": "q3",
+        "datacenters": datacenters,
+    })
+
+
+_PAYLOAD_BUILDERS = {"q1": q1_payload, "q2": q2_payload, "q3": q3_payload}
+
+#: Source modules whose edits must invalidate cached answers, per kind.
+_QUERY_CODE: dict[str, tuple[str, ...]] = {
+    "q1": ("repro.serve.queries", "repro.decisions.spares"),
+    "q2": ("repro.serve.queries", "repro.decisions.sku_ranking"),
+    "q3": ("repro.serve.queries", "repro.decisions.climate"),
+}
+
+
+def query_stage(query: Query) -> Stage:
+    """The content-addressed stage computing one query's payload."""
+    if query.kind == "events":
+        raise DataError("events queries use the catalogue's event_blocks stage")
+    builder = _PAYLOAD_BUILDERS[query.kind]
+    params = query.param_dict()
+
+    def run(inputs: dict, ctx: StageContext) -> dict:
+        context = AnalysisContext(inputs[SIMULATE_STAGE],
+                                  artifacts=ctx.pipeline)
+        return builder(context, params)
+
+    return Stage(
+        name=query_stage_name(query),
+        run=run,
+        deps=(SIMULATE_STAGE,),
+        fingerprint_inputs={"kind": query.kind, "params": params},
+        code=_QUERY_CODE[query.kind],
+        codec="json",
+    )
+
+
+def build_query_pipeline(
+    config: Any,
+    query: Query,
+    store: ArtifactStore | None = None,
+) -> Pipeline:
+    """A pipeline carrying the analysis catalogue plus one query stage.
+
+    ``events`` queries need no extra stage — the catalogue already
+    carries ``event_blocks``.
+    """
+    stages = analysis_stages(config)
+    if query.kind != "events":
+        stages.append(query_stage(query))
+    return Pipeline(stages, store=store)

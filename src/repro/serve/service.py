@@ -1,0 +1,264 @@
+"""The reliability service core: ports in, answers out.
+
+:class:`ReliabilityService` is the hexagon's inside — transport-free
+async methods the HTTP layer (or an embedded caller, or a test) drives
+directly.  Per query it:
+
+1. resolves the fleet (tenant-scoped registry) and normalizes the
+   query parameters,
+2. asks the analysis backend for the answer's content-addressed
+   reference,
+3. tries the warm store (`served_from: "cache"`), and otherwise
+4. coalesces with identical in-flight requests and computes on the
+   bounded worker pool (`served_from: "computed"`), under the
+   service-wide timeout.
+
+Shutdown is graceful: ``begin_drain`` flips the service read-only-ish
+(new queries are refused with 503) while in-flight work keeps the
+worker pool alive until it settles or the drain deadline passes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Mapping
+
+from ..errors import DataError, ReproError
+from ..parallel import WorkerPool
+from .backend import compute_query_payload
+from .coalesce import RequestCoalescer
+from .fleets import DEFAULT_TENANT, FleetRegistry
+from .metrics import ServiceMetrics
+from .ports import (
+    AnalysisBackendPort,
+    ArtifactStorePort,
+    EventSourcePort,
+    FleetSpec,
+    Query,
+)
+from .queries import parse_query
+
+#: Default per-request budget in seconds (cold Q1-Q3 at report scale
+#: fits comfortably; ``repro serve --timeout`` overrides).
+DEFAULT_TIMEOUT_S = 120.0
+
+
+class ServiceUnavailable(ReproError):
+    """The service is draining and accepts no new queries."""
+
+
+class QueryTimeout(ReproError):
+    """A query exceeded the service's per-request budget."""
+
+
+class ReliabilityService:
+    """Multi-tenant Q1/Q2/Q3 answering over the serve ports.
+
+    Args:
+        backend: analysis backend port (addressing + cold compute).
+        store: warm artifact lookups.
+        events: event-trace slicing.
+        registry: tenant fleet registry.
+        pool: bounded compute pool; thread pools keep everything
+            in-process (tests), process pools shard simulations.
+        store_dir: forwarded to worker processes so they share the
+            parent's on-disk store (None = workers compute memory-only
+            and only the returned payload survives).
+        timeout_s: per-request budget, warm or cold.
+        metrics: injected metrics registry.
+        clock: monotonic-seconds source for latency measurement.
+    """
+
+    def __init__(
+        self,
+        backend: AnalysisBackendPort,
+        store: ArtifactStorePort,
+        events: EventSourcePort,
+        registry: FleetRegistry,
+        pool: WorkerPool,
+        store_dir: str | None = None,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        metrics: ServiceMetrics | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.backend = backend
+        self.store = store
+        self.events = events
+        self.registry = registry
+        self.pool = pool
+        self.store_dir = store_dir
+        self.timeout_s = timeout_s
+        self.metrics = metrics if metrics is not None else ServiceMetrics(clock)
+        self.clock = clock
+        self.coalescer = RequestCoalescer()
+        self.draining = False
+        self._in_flight: set[asyncio.Future] = set()
+
+    # -- fleet management ---------------------------------------------
+
+    def register_fleet(
+        self,
+        params: Mapping[str, Any],
+        tenant: str = DEFAULT_TENANT,
+        name: str | None = None,
+    ) -> dict[str, Any]:
+        """Register (or re-register) a scenario; returns its identity."""
+        self._refuse_when_draining()
+        spec = self.registry.register(params, tenant=tenant, name=name)
+        return {
+            "fleet_id": spec.fleet_id,
+            "tenant": tenant,
+            "name": name or spec.fleet_id[:12],
+            "params": dict(spec.params),
+        }
+
+    def list_fleets(self, tenant: str | None = None) -> dict[str, Any]:
+        """The fleet table, optionally scoped to one tenant."""
+        return {"fleets": self.registry.list(tenant)}
+
+    def resolve_fleet(self, ref: str,
+                      tenant: str = DEFAULT_TENANT) -> FleetSpec:
+        """Fleet spec by id/prefix/name (raises DataError when unknown)."""
+        return self.registry.resolve(ref, tenant=tenant)
+
+    # -- queries ------------------------------------------------------
+
+    async def query(
+        self,
+        fleet_ref: str,
+        kind: str,
+        raw_params: Mapping[str, Any] | None = None,
+        tenant: str = DEFAULT_TENANT,
+    ) -> dict[str, Any]:
+        """Answer one operator question for one fleet.
+
+        Returns the payload extended with a ``meta`` envelope
+        (fleet id, query kind, ``served_from``: cache/computed).
+        """
+        self._refuse_when_draining()
+        fleet = self.resolve_fleet(fleet_ref, tenant=tenant)
+        query = parse_query(kind, raw_params)
+        start = self.clock()
+        bucket = self.metrics.endpoint(query.kind)
+        self.metrics.in_flight += 1
+        done = self._track()
+        error = True
+        cache: str | None = None
+        try:
+            payload, cache = await asyncio.wait_for(
+                self._resolve(fleet, query), timeout=self.timeout_s,
+            )
+            error = False
+            return self._envelope(payload, fleet, query, cache)
+        except asyncio.TimeoutError:
+            raise QueryTimeout(
+                f"{query.kind} on fleet {fleet.fleet_id[:12]} exceeded "
+                f"{self.timeout_s:g}s"
+            ) from None
+        finally:
+            self.metrics.in_flight -= 1
+            self.metrics.coalesced = self.coalescer.coalesced
+            bucket.observe(self.clock() - start, error=error, cache=cache)
+            done()
+
+    async def _resolve(
+        self, fleet: FleetSpec, query: Query,
+    ) -> tuple[dict[str, Any], str]:
+        """(payload, "hit"|"miss") — warm lookup, else pooled compute."""
+        ref = self.backend.query_ref(fleet, query)
+        warm = self.store.lookup(ref)
+        if warm is not None:
+            return warm, "hit"
+
+        async def compute() -> dict[str, Any]:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self.pool.executor,
+                compute_query_payload,
+                self.store_dir,
+                fleet.fleet_id,
+                dict(fleet.params),
+                query.kind,
+                query.params,
+            )
+
+        payload = await self.coalescer.run((ref.stage, ref.key), compute)
+        return payload, "miss"
+
+    async def slice_events(
+        self,
+        fleet_ref: str,
+        offset: int = 0,
+        limit: int = 100,
+        tenant: str = DEFAULT_TENANT,
+    ) -> dict[str, Any]:
+        """A window of the fleet's event trace (materializing if cold)."""
+        fleet = self.resolve_fleet(fleet_ref, tenant=tenant)
+        window = self.events.slice_events(fleet, offset, limit)
+        if window is None:
+            # Cold: materialize the event_blocks artifact through the
+            # normal query path (coalesced + pooled), then slice warm.
+            await self.query(fleet.fleet_id, "events", tenant=tenant)
+            window = self.events.slice_events(fleet, offset, limit)
+            if window is None:
+                raise DataError(
+                    "event trace unavailable after materialization; "
+                    "is the service running without a store directory?"
+                )
+        return self._envelope(window, fleet,
+                              Query(kind="events", params=()), "hit")
+
+    def _envelope(self, payload: dict[str, Any], fleet: FleetSpec,
+                  query: Query, cache: str) -> dict[str, Any]:
+        body = dict(payload)
+        body["meta"] = {
+            "fleet_id": fleet.fleet_id,
+            "query": query.kind,
+            "params": query.param_dict(),
+            "served_from": "cache" if cache == "hit" else "computed",
+        }
+        return body
+
+    # -- observability ------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The ``/metrics`` payload, including store facts."""
+        self.metrics.coalesced = self.coalescer.coalesced
+        return self.metrics.snapshot(extra={
+            "draining": self.draining,
+            "fleets": len(self.registry),
+            "store": self.store.describe(),
+        })
+
+    # -- lifecycle ----------------------------------------------------
+
+    def _refuse_when_draining(self) -> None:
+        if self.draining:
+            raise ServiceUnavailable("service is draining; retry elsewhere")
+
+    def _track(self) -> Callable[[], None]:
+        """Register an in-flight marker; returns its completion hook."""
+        marker: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._in_flight.add(marker)
+
+        def done() -> None:
+            self._in_flight.discard(marker)
+            if not marker.done():
+                marker.set_result(None)
+
+        return done
+
+    async def begin_drain(self, drain_timeout_s: float = 30.0) -> int:
+        """Refuse new queries, wait for in-flight ones, stop the pool.
+
+        Returns the number of requests that were still in flight when
+        draining began (all of which were awaited, up to the drain
+        deadline).
+        """
+        self.draining = True
+        pending = list(self._in_flight)
+        if pending:
+            await asyncio.wait(pending, timeout=drain_timeout_s)
+        self.pool.shutdown(wait=True)
+        return len(pending)

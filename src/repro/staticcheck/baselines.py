@@ -100,11 +100,19 @@ def write_baseline(
     path: str | pathlib.Path,
     findings: list[Finding],
     previous: Baseline | None = None,
+    rationale: str | None = None,
 ) -> pathlib.Path:
     """Write ``findings`` as the new baseline, keeping old rationales.
 
-    New entries get a placeholder rationale to be filled in by the
-    author before committing.
+    Entries carried over from ``previous`` keep their recorded
+    rationale.  Entries NEW to this baseline require ``rationale`` — a
+    real justification the author supplies (``repro lint
+    --write-baseline --rationale "..."``); refusing to invent one keeps
+    placeholder text from being committed as documentation.
+
+    Raises:
+        DataError: a finding absent from ``previous`` was passed
+            without ``rationale``.
     """
     path = pathlib.Path(path)
     fingerprinted = fingerprint_findings(findings)
@@ -112,7 +120,13 @@ def write_baseline(
     for fp, finding in sorted(
         fingerprinted.items(), key=lambda kv: (kv[1].path, kv[1].line, kv[0]),
     ):
-        rationale = previous.rationale(fp) if previous else ""
+        kept = previous.rationale(fp) if previous else ""
+        if not kept and not rationale:
+            raise DataError(
+                f"baseline entry {finding.path}:{finding.line} "
+                f"({finding.rule}) is new and no rationale was given; "
+                "pass --rationale explaining why it is grandfathered"
+            )
         entries.append({
             "fingerprint": fp,
             "rule": finding.rule,
@@ -120,7 +134,7 @@ def write_baseline(
             "line": finding.line,
             "message": finding.message,
             "source_line": finding.source_line,
-            "rationale": rationale or "TODO: justify grandfathering this finding",
+            "rationale": kept or rationale,
         })
     payload = {"schema": BASELINE_SCHEMA, "entries": entries}
     path.write_text(json.dumps(payload, indent=2) + "\n")

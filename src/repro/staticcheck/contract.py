@@ -59,6 +59,7 @@ PACKAGE_LAYER_ORDER: tuple[str, ...] = (
     "stream",
     "pipeline",
     "staticcheck",
+    "serve",
 )
 
 #: Baselined upward imports: ``(importer module, imported package)``

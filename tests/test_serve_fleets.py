@@ -1,0 +1,122 @@
+"""Fleet registry: content-addressed ids, tenancy, persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError, DataError
+from repro.serve.fleets import (
+    FLEET_PARAM_DEFAULTS,
+    FleetRegistry,
+    fleet_spec,
+    normalize_fleet_params,
+)
+
+TINY = {"seed": 5, "scale": 0.05, "days": 60}
+
+
+class TestNormalize:
+    def test_defaults_fill_in(self):
+        assert normalize_fleet_params({}) == FLEET_PARAM_DEFAULTS
+
+    def test_strings_coerce(self):
+        params = normalize_fleet_params({"seed": "7", "scale": "0.1"})
+        assert params["seed"] == 7 and params["scale"] == pytest.approx(0.1)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(DataError, match="unknown fleet parameter"):
+            normalize_fleet_params({"sale": 0.1})
+
+    @pytest.mark.parametrize("bad", [
+        {"seed": -1}, {"scale": 0.0}, {"scale": 9.0}, {"days": 0},
+        {"scale": "big"},
+    ])
+    def test_domain_violations_rejected(self, bad):
+        with pytest.raises(DataError):
+            normalize_fleet_params(bad)
+
+
+class TestSpec:
+    def test_id_is_content_addressed(self):
+        assert fleet_spec(TINY).fleet_id == fleet_spec(dict(TINY)).fleet_id
+
+    def test_different_configs_different_ids(self):
+        assert (fleet_spec(TINY).fleet_id
+                != fleet_spec(dict(TINY, seed=6)).fleet_id)
+
+
+class TestRegistry:
+    def test_register_and_resolve_by_name(self, tmp_path):
+        registry = FleetRegistry(tmp_path / "fleets.json")
+        spec = registry.register(TINY, tenant="acme", name="prod")
+        assert registry.resolve("prod", tenant="acme") == spec
+
+    def test_resolve_by_full_id_and_prefix(self, tmp_path):
+        registry = FleetRegistry(tmp_path / "fleets.json")
+        spec = registry.register(TINY)
+        assert registry.resolve(spec.fleet_id) == spec
+        assert registry.resolve(spec.fleet_id[:12]) == spec
+
+    def test_short_prefix_not_matched(self):
+        registry = FleetRegistry()
+        spec = registry.register(TINY)
+        with pytest.raises(DataError, match="unknown fleet"):
+            registry.resolve(spec.fleet_id[:4])
+
+    def test_names_are_tenant_scoped(self):
+        registry = FleetRegistry()
+        registry.register(TINY, tenant="acme", name="prod")
+        with pytest.raises(DataError, match="unknown fleet"):
+            registry.resolve("prod", tenant="globex")
+
+    def test_same_scenario_shares_one_id(self):
+        registry = FleetRegistry()
+        a = registry.register(TINY, tenant="acme", name="prod")
+        b = registry.register(dict(TINY), tenant="globex", name="mine")
+        assert a.fleet_id == b.fleet_id
+        assert len(registry) == 1
+
+    def test_name_conflict_rejected(self):
+        registry = FleetRegistry()
+        registry.register(TINY, tenant="acme", name="prod")
+        with pytest.raises(DataError, match="already uses name"):
+            registry.register(dict(TINY, seed=6), tenant="acme", name="prod")
+
+    def test_reregistration_is_idempotent(self):
+        registry = FleetRegistry()
+        registry.register(TINY, tenant="acme", name="prod")
+        registry.register(TINY, tenant="acme", name="prod")
+        assert len(registry.list("acme")) == 1
+
+    def test_empty_tenant_rejected(self):
+        with pytest.raises(ConfigError, match="tenant"):
+            FleetRegistry().register(TINY, tenant="")
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "fleets.json"
+        first = FleetRegistry(path)
+        spec = first.register(TINY, tenant="acme", name="prod")
+        reloaded = FleetRegistry(path)
+        assert reloaded.resolve("prod", tenant="acme").fleet_id == spec.fleet_id
+        assert reloaded.resolve("prod", "acme").params == spec.params
+
+    def test_corrupt_registry_is_loud(self, tmp_path):
+        path = tmp_path / "fleets.json"
+        path.write_text("{nope")
+        with pytest.raises(DataError, match="corrupt"):
+            FleetRegistry(path)
+
+    def test_schema_mismatch_is_loud(self, tmp_path):
+        path = tmp_path / "fleets.json"
+        path.write_text(json.dumps({"schema": 99}))
+        with pytest.raises(DataError, match="schema"):
+            FleetRegistry(path)
+
+    def test_list_rows_are_json_safe(self):
+        registry = FleetRegistry()
+        registry.register(TINY, tenant="acme", name="prod")
+        rows = registry.list()
+        assert rows[0]["tenant"] == "acme" and rows[0]["name"] == "prod"
+        json.dumps(rows)

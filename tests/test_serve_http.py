@@ -1,0 +1,232 @@
+"""HTTP edge: parsing, routing, status mapping, graceful shutdown."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import build_app
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    Request,
+    error_body,
+    render_response,
+)
+
+TINY = {"seed": 5, "scale": 0.05, "days": 60}
+
+
+def _request(method, target, body=b"", headers=None):
+    return Request(method, target, headers or {}, body)
+
+
+class TestRequestParsing:
+    def test_query_string_split(self):
+        request = _request("GET", "/v1/fleets/x/q1?sla=0.95&workload=W2")
+        assert request.path == "/v1/fleets/x/q1"
+        assert request.query == {"sla": "0.95", "workload": "W2"}
+
+    def test_json_body(self):
+        request = _request("POST", "/v1/fleets", b'{"seed": 3}')
+        assert request.json() == {"seed": 3}
+
+    def test_empty_body_is_empty_object(self):
+        assert _request("POST", "/v1/fleets").json() == {}
+
+    def test_garbled_body_rejected(self):
+        from repro.serve.http import HttpError
+
+        with pytest.raises(HttpError) as err:
+            _request("POST", "/v1/fleets", b"{nope").json()
+        assert err.value.status == 400
+
+    def test_non_object_body_rejected(self):
+        from repro.serve.http import HttpError
+
+        with pytest.raises(HttpError):
+            _request("POST", "/v1/fleets", b"[1, 2]").json()
+
+    def test_tenant_header(self):
+        request = _request("GET", "/healthz", headers={"x-tenant": "acme"})
+        assert request.tenant == "acme"
+
+    def test_render_response_framing(self):
+        raw = render_response(200, {"a": 1})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert json.loads(body) == {"a": 1}
+
+    def test_error_body_shape(self):
+        assert error_body("x", "y") == {
+            "schema": 1, "error": {"code": "x", "message": "y"},
+        }
+
+
+@pytest.fixture()
+def app(tmp_path):
+    application = build_app(store_dir=str(tmp_path), workers=2,
+                            use_threads=True)
+    application.service.register_fleet(TINY, name="tiny")
+    return application
+
+
+def dispatch(app, method, target, body=b"", headers=None):
+    return asyncio.run(app.dispatch(_request(method, target, body, headers)))
+
+
+class TestRouting:
+    def test_healthz(self, app):
+        status, payload = dispatch(app, "GET", "/healthz")
+        assert (status, payload["status"]) == (200, "ok")
+
+    def test_metrics(self, app):
+        status, payload = dispatch(app, "GET", "/metrics")
+        assert status == 200 and payload["schema"] == 1
+
+    def test_register_and_list(self, app):
+        status, payload = dispatch(
+            app, "POST", "/v1/fleets",
+            json.dumps({"name": "other",
+                        "params": dict(TINY, seed=9)}).encode(),
+            headers={"x-tenant": "acme"},
+        )
+        assert status == 200 and len(payload["fleet_id"]) == 32
+        status, listing = dispatch(app, "GET", "/v1/fleets?tenant=acme")
+        assert status == 200
+        assert [row["name"] for row in listing["fleets"]] == ["other"]
+
+    def test_register_params_at_top_level(self, app):
+        status, payload = dispatch(
+            app, "POST", "/v1/fleets",
+            json.dumps({"seed": 9, "scale": 0.05, "days": 60}).encode(),
+        )
+        assert status == 200 and payload["params"]["seed"] == 9
+
+    def test_query_roundtrip(self, app):
+        status, payload = dispatch(app, "GET", "/v1/fleets/tiny/q1")
+        assert status == 200
+        assert set(payload["plans"]) == {"LB", "SF", "MF"}
+        assert payload["meta"]["served_from"] == "computed"
+        status, payload = dispatch(app, "GET", "/v1/fleets/tiny/q1")
+        assert payload["meta"]["served_from"] == "cache"
+
+    def test_events_route(self, app):
+        status, payload = dispatch(
+            app, "GET", "/v1/fleets/tiny/events?offset=0&limit=3")
+        assert status == 200 and payload["count"] == 3
+
+    def test_unknown_route_404(self, app):
+        status, payload = dispatch(app, "GET", "/nope")
+        assert (status, payload["error"]["code"]) == (404, "not_found")
+
+    def test_unknown_fleet_404(self, app):
+        status, payload = dispatch(app, "GET", "/v1/fleets/ghost123/q1")
+        assert (status, payload["error"]["code"]) == (404, "unknown_fleet")
+
+    def test_unknown_leaf_404(self, app):
+        status, payload = dispatch(app, "GET", "/v1/fleets/tiny/q7")
+        assert status == 404
+
+    def test_bad_parameter_422(self, app):
+        status, payload = dispatch(app, "GET", "/v1/fleets/tiny/q1?sla=2")
+        assert (status, payload["error"]["code"]) == (422, "invalid_request")
+
+    def test_non_numeric_offset_422(self, app):
+        status, payload = dispatch(
+            app, "GET", "/v1/fleets/tiny/events?offset=x")
+        assert (status, payload["error"]["code"]) == (422, "bad_parameter")
+
+    def test_wrong_method_405(self, app):
+        status, _ = dispatch(app, "POST", "/metrics")
+        assert status == 405
+
+    def test_draining_healthz_503(self, app):
+        app.service.draining = True
+        status, payload = dispatch(app, "GET", "/healthz")
+        assert (status, payload["error"]["code"]) == (503, "draining")
+        status, _ = dispatch(app, "GET", "/v1/fleets/tiny/q1")
+        assert status == 503
+
+
+class TestSocketServer:
+    """End-to-end over a real loopback socket."""
+
+    def _run(self, app, scenario):
+        async def go():
+            host, port = await app.start(port=0)
+            loop = asyncio.get_running_loop()
+            try:
+                return await scenario(loop, f"http://{host}:{port}")
+            finally:
+                await app.shutdown(drain_timeout_s=10.0)
+
+        return asyncio.run(go())
+
+    @staticmethod
+    def _get(base, path):
+        try:
+            with urllib.request.urlopen(base + path, timeout=30) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def test_roundtrip_and_metrics(self, app):
+        async def scenario(loop, base):
+            status, q1 = await loop.run_in_executor(
+                None, self._get, base, "/v1/fleets/tiny/q1")
+            assert status == 200 and q1["meta"]["served_from"] == "computed"
+            status, metrics = await loop.run_in_executor(
+                None, self._get, base, "/metrics")
+            assert metrics["endpoints"]["q1"]["requests"] == 1
+            status, missing = await loop.run_in_executor(
+                None, self._get, base, "/v1/fleets/ghost123/q1")
+            assert status == 404
+            return True
+
+        assert self._run(app, scenario)
+
+    def test_oversized_body_413(self, app):
+        async def scenario(loop, base):
+            def post_big():
+                body = b"x" * (MAX_BODY_BYTES + 1)
+                request = urllib.request.Request(
+                    base + "/v1/fleets", data=body, method="POST")
+                try:
+                    urllib.request.urlopen(request, timeout=30)
+                except urllib.error.HTTPError as error:
+                    return error.code
+                return None
+
+            return await loop.run_in_executor(None, post_big)
+
+        assert self._run(app, scenario) == 413
+
+    def test_graceful_shutdown_completes_in_flight(
+            self, app, monkeypatch):
+        """Acceptance: shutdown lets a running query finish with 200."""
+        def slowish(*args):
+            time.sleep(0.4)
+            return {"answer": 41}
+
+        monkeypatch.setattr("repro.serve.service.compute_query_payload",
+                            slowish)
+
+        async def go():
+            host, port = await app.start(port=0)
+            base = f"http://{host}:{port}"
+            loop = asyncio.get_running_loop()
+            in_flight = loop.run_in_executor(
+                None, self._get, base, "/v1/fleets/tiny/q1")
+            await asyncio.sleep(0.1)  # request reaches the worker
+            await app.shutdown(drain_timeout_s=10.0)
+            return await in_flight
+
+        status, payload = asyncio.run(go())
+        assert status == 200
+        assert payload["answer"] == 41

@@ -1,0 +1,100 @@
+"""Latency histograms and the /metrics snapshot shape."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.metrics import (
+    EndpointMetrics,
+    LatencyHistogram,
+    ServiceMetrics,
+)
+
+
+class TestLatencyHistogram:
+    def test_empty_percentiles_are_none(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile(0.5) is None
+        snap = histogram.snapshot()
+        assert snap == {"count": 0, "mean_ms": None,
+                        "p50_ms": None, "p99_ms": None}
+
+    def test_percentile_brackets_the_value(self):
+        histogram = LatencyHistogram()
+        for _ in range(100):
+            histogram.record(0.010)
+        p50 = histogram.percentile(0.50)
+        # Bucket resolution is ~33%: the readout must bracket 10ms.
+        assert 0.010 <= p50 <= 0.0134
+
+    def test_p99_separates_the_tail(self):
+        histogram = LatencyHistogram()
+        for _ in range(99):
+            histogram.record(0.001)
+        histogram.record(1.0)
+        assert histogram.percentile(0.50) < 0.002
+        assert histogram.percentile(0.995) >= 1.0
+
+    def test_overflow_bucket_absorbs_huge_values(self):
+        histogram = LatencyHistogram()
+        histogram.record(1e6)
+        assert histogram.percentile(0.99) == histogram.bounds[-1]
+
+    def test_negative_durations_clamp(self):
+        histogram = LatencyHistogram()
+        histogram.record(-0.5)
+        assert histogram.total == 1
+        assert histogram.percentile(0.5) == histogram.bounds[0]
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(1.5)
+
+    def test_counts_conserved(self):
+        histogram = LatencyHistogram()
+        for value in (1e-5, 1e-3, 0.1, 3.0, 1e4):
+            histogram.record(value)
+        assert sum(histogram.counts) == histogram.total == 5
+
+    def test_mean_is_exact(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.1)
+        histogram.record(0.3)
+        assert histogram.snapshot()["mean_ms"] == pytest.approx(200.0)
+
+
+class TestEndpointMetrics:
+    def test_cache_ratio(self):
+        bucket = EndpointMetrics()
+        bucket.observe(0.001, cache="hit")
+        bucket.observe(0.5, cache="miss")
+        bucket.observe(0.002, error=True)
+        snap = bucket.snapshot()
+        assert snap["requests"] == 3 and snap["errors"] == 1
+        assert snap["cache"]["hit_ratio"] == pytest.approx(0.5)
+
+    def test_no_lookups_means_no_ratio(self):
+        bucket = EndpointMetrics()
+        bucket.observe(0.001)
+        assert bucket.snapshot()["cache"]["hit_ratio"] is None
+
+
+class TestServiceMetrics:
+    def test_snapshot_shape(self):
+        ticks = iter(range(100))
+        metrics = ServiceMetrics(clock=lambda: float(next(ticks)))
+        metrics.endpoint("q1").observe(0.01, cache="miss")
+        metrics.in_flight = 2
+        snap = metrics.snapshot(extra={"draining": False})
+        assert snap["schema"] == 1
+        assert snap["uptime_s"] > 0
+        assert snap["in_flight"] == 2
+        assert snap["draining"] is False
+        assert "q1" in snap["endpoints"]
+        json.dumps(snap)
+
+    def test_endpoints_auto_create_once(self):
+        metrics = ServiceMetrics(clock=lambda: 0.0)
+        assert metrics.endpoint("q1") is metrics.endpoint("q1")

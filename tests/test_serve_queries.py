@@ -1,0 +1,131 @@
+"""Query parsing, addressing and payload shapes for repro.serve."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import DataError
+from repro.reporting import AnalysisContext
+from repro.serve.queries import (
+    QUERY_DEFAULTS,
+    json_safe,
+    parse_query,
+    q1_payload,
+    q2_payload,
+    q3_payload,
+    query_stage_name,
+)
+
+
+class TestParseQuery:
+    def test_defaults_fill_in(self):
+        query = parse_query("q1", None)
+        assert query.param_dict() == QUERY_DEFAULTS["q1"]
+
+    def test_params_sorted_for_stable_identity(self):
+        a = parse_query("q1", {"workload": "W2", "sla": 0.95})
+        b = parse_query("q1", {"sla": 0.95, "workload": "W2"})
+        assert a == b
+
+    def test_string_numbers_coerce(self):
+        query = parse_query("q1", {"sla": "0.95", "window_hours": "1"})
+        params = query.param_dict()
+        assert params["sla"] == pytest.approx(0.95)
+        assert params["window_hours"] == pytest.approx(1.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DataError, match="query kind"):
+            parse_query("q9", None)
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(DataError, match="unknown"):
+            parse_query("q1", {"slaa": 0.95})
+
+    def test_bad_sla_rejected(self):
+        with pytest.raises(DataError):
+            parse_query("q1", {"sla": 1.5})
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(DataError):
+            parse_query("q2", {"peak_quantile": 2.0})
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(DataError):
+            parse_query("q1", {"sla": "high"})
+
+
+class TestStageNames:
+    def test_params_embedded_in_name(self):
+        name = query_stage_name(parse_query("q1", {"workload": "W3"}))
+        assert name.startswith("serve:q1:")
+        assert "workload=W3" in name
+
+    def test_distinct_params_distinct_names(self):
+        assert (query_stage_name(parse_query("q1", {"sla": 0.95}))
+                != query_stage_name(parse_query("q1", {"sla": 1.0})))
+
+    def test_events_maps_to_event_blocks(self):
+        from repro.pipeline.stages import EVENT_BLOCKS_STAGE
+
+        assert query_stage_name(parse_query("events", None)) == EVENT_BLOCKS_STAGE
+
+
+class TestJsonSafe:
+    def test_nan_and_inf_become_none(self):
+        assert json_safe({"a": float("nan"), "b": math.inf}) == {
+            "a": None, "b": None,
+        }
+
+    def test_numpy_scalars_unwrap(self):
+        import numpy as np
+
+        out = json_safe({"x": np.float64(1.5), "n": np.int64(3)})
+        assert out == {"x": 1.5, "n": 3}
+        json.dumps(out)  # must round-trip through stdlib json
+
+    def test_nested_structures(self):
+        out = json_safe([{"v": (1, 2.5)}])
+        assert out == [{"v": [1, 2.5]}]
+
+
+@pytest.fixture(scope="module")
+def tiny_context(tiny_run):
+    return AnalysisContext(tiny_run)
+
+
+class TestPayloads:
+    def test_q1_has_three_plans(self, tiny_context):
+        payload = q1_payload(tiny_context, QUERY_DEFAULTS["q1"])
+        assert set(payload["plans"]) == {"LB", "SF", "MF"}
+        for plan in payload["plans"].values():
+            assert plan["overprovision"] >= 0.0
+        assert payload["plans"]["MF"]["clusters"]
+        json.dumps(payload)
+
+    def test_q1_ordering_lb_below_sf(self, tiny_context):
+        payload = q1_payload(tiny_context, QUERY_DEFAULTS["q1"])
+        assert (payload["plans"]["LB"]["overprovision"]
+                <= payload["plans"]["SF"]["overprovision"] + 1e-12)
+
+    def test_q2_ranks_all_skus(self, tiny_context):
+        payload = q2_payload(tiny_context, QUERY_DEFAULTS["q2"])
+        assert sorted(payload["ranking_most_reliable_first"]) == [
+            "S1", "S2", "S3", "S4",
+        ]
+        assert set(payload["normalized_sf"]) == {"mean", "peak"}
+        json.dumps(payload)
+
+    def test_q3_covers_every_datacenter(self, tiny_context):
+        payload = q3_payload(tiny_context, QUERY_DEFAULTS["q3"])
+        names = {dc.name for dc in tiny_context.result.fleet.datacenters}
+        assert set(payload["datacenters"]) == names
+        for entry in payload["datacenters"].values():
+            assert "group_rates" in entry and "thresholds" in entry
+        json.dumps(payload)
+
+    def test_q3_unknown_dc_rejected(self, tiny_context):
+        with pytest.raises(DataError, match="datacenter"):
+            q3_payload(tiny_context, dict(QUERY_DEFAULTS["q3"], dc="DC9"))

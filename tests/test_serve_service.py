@@ -1,0 +1,273 @@
+"""ReliabilityService behaviour: coalescing, caching, timeouts, drain.
+
+Everything runs with thread workers (``use_threads=True``) so
+monkeypatching and call counters stay visible to the "worker" — the
+process-pool path exercises identical code through a picklable entry
+point (covered by test_store_concurrency.py).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.errors import DataError
+from repro.serve import (
+    QueryTimeout,
+    RequestCoalescer,
+    ServiceUnavailable,
+    build_app,
+)
+
+TINY = {"seed": 5, "scale": 0.05, "days": 60}
+
+
+class TestRequestCoalescer:
+    def test_identical_keys_share_one_computation(self):
+        async def go():
+            coalescer = RequestCoalescer()
+            calls = []
+
+            async def work():
+                calls.append(1)
+                await asyncio.sleep(0.01)
+                return 42
+
+            results = await asyncio.gather(*[
+                coalescer.run("k", work) for _ in range(10)
+            ])
+            return coalescer, calls, results
+
+        coalescer, calls, results = asyncio.run(go())
+        assert calls == [1]
+        assert results == [42] * 10
+        assert coalescer.started == 1 and coalescer.coalesced == 9
+        assert coalescer.pending() == 0
+
+    def test_distinct_keys_run_separately(self):
+        async def go():
+            coalescer = RequestCoalescer()
+            calls = []
+
+            async def work():
+                calls.append(1)
+                return len(calls)
+
+            await asyncio.gather(coalescer.run("a", work),
+                                 coalescer.run("b", work))
+            return calls
+
+        assert len(asyncio.run(go())) == 2
+
+    def test_failure_is_not_sticky(self):
+        async def go():
+            coalescer = RequestCoalescer()
+            attempts = []
+
+            async def flaky():
+                attempts.append(1)
+                if len(attempts) == 1:
+                    raise ValueError("first try fails")
+                return "ok"
+
+            with pytest.raises(ValueError):
+                await coalescer.run("k", flaky)
+            return await coalescer.run("k", flaky), coalescer
+
+        result, coalescer = asyncio.run(go())
+        assert result == "ok"
+        assert coalescer.started == 2
+
+    def test_one_awaiter_timeout_does_not_cancel_shared_work(self):
+        async def go():
+            coalescer = RequestCoalescer()
+
+            async def work():
+                await asyncio.sleep(0.05)
+                return "answer"
+
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(coalescer.run("k", work), 0.005)
+            # The computation survived the first client's timeout.
+            return await coalescer.run("k", work), coalescer
+
+        result, coalescer = asyncio.run(go())
+        assert result == "answer"
+        assert coalescer.started == 1
+
+
+def _tiny_app(tmp_path, **kwargs):
+    app = build_app(store_dir=str(tmp_path), use_threads=True,
+                    **dict({"workers": 4}, **kwargs))
+    app.service.register_fleet(TINY, name="tiny")
+    return app
+
+
+class TestQueryPath:
+    def test_cold_then_warm(self, tmp_path):
+        service = _tiny_app(tmp_path).service
+
+        async def go():
+            cold = await service.query("tiny", "q1")
+            warm = await service.query("tiny", "q1")
+            return cold, warm
+
+        cold, warm = asyncio.run(go())
+        assert cold["meta"]["served_from"] == "computed"
+        assert warm["meta"]["served_from"] == "cache"
+        assert warm["plans"] == cold["plans"]
+
+    def test_concurrent_identical_cold_queries_simulate_once(
+            self, tmp_path, monkeypatch):
+        """Acceptance: N identical cold queries, exactly one simulation."""
+        from repro.pipeline import stages as stage_catalogue
+
+        lock = threading.Lock()
+        calls = []
+        real_simulate = stage_catalogue.simulate
+
+        def counting_simulate(config):
+            with lock:
+                calls.append(config.seed)
+            return real_simulate(config)
+
+        monkeypatch.setattr(stage_catalogue, "simulate", counting_simulate)
+        service = _tiny_app(tmp_path).service
+
+        async def go():
+            return await asyncio.gather(*[
+                service.query("tiny", "q1") for _ in range(6)
+            ])
+
+        results = asyncio.run(go())
+        assert len(calls) == 1
+        assert service.coalescer.started == 1
+        assert all(r["plans"] == results[0]["plans"] for r in results)
+
+    def test_distinct_params_do_not_coalesce(self, tmp_path):
+        service = _tiny_app(tmp_path).service
+
+        async def go():
+            return await asyncio.gather(
+                service.query("tiny", "q1", {"sla": 1.0}),
+                service.query("tiny", "q1", {"sla": 0.95}),
+            )
+
+        strict, relaxed = asyncio.run(go())
+        assert service.coalescer.started == 2
+        assert (strict["plans"]["SF"]["overprovision"]
+                >= relaxed["plans"]["SF"]["overprovision"])
+
+    def test_warm_cache_crosses_tenants(self, tmp_path):
+        service = _tiny_app(tmp_path).service
+        service.register_fleet(TINY, tenant="globex", name="mirror")
+
+        async def go():
+            first = await service.query("tiny", "q1")
+            second = await service.query("mirror", "q1", tenant="globex")
+            return first, second
+
+        first, second = asyncio.run(go())
+        assert second["meta"]["served_from"] == "cache"
+        assert second["meta"]["fleet_id"] == first["meta"]["fleet_id"]
+
+    def test_memory_only_app_still_serves(self):
+        app = build_app(store_dir=None)
+        app.service.register_fleet(TINY, name="tiny")
+
+        async def go():
+            cold = await app.service.query("tiny", "q1")
+            warm = await app.service.query("tiny", "q1")
+            return cold, warm
+
+        cold, warm = asyncio.run(go())
+        assert cold["plans"] and warm["plans"] == cold["plans"]
+
+    def test_unknown_fleet_is_data_error(self, tmp_path):
+        service = _tiny_app(tmp_path).service
+        with pytest.raises(DataError, match="unknown fleet"):
+            asyncio.run(service.query("nope", "q1"))
+
+    def test_metrics_reflect_traffic(self, tmp_path):
+        service = _tiny_app(tmp_path).service
+
+        async def go():
+            await service.query("tiny", "q1")
+            await service.query("tiny", "q1")
+
+        asyncio.run(go())
+        snap = service.metrics_snapshot()
+        endpoint = snap["endpoints"]["q1"]
+        assert endpoint["requests"] == 2
+        assert endpoint["cache"]["hits"] == 1
+        assert endpoint["cache"]["misses"] == 1
+        assert endpoint["latency"]["p99_ms"] is not None
+        assert snap["fleets"] == 1
+        assert snap["store"]["stages"]  # simulate + serve stages persisted
+
+
+class TestEvents:
+    def test_slice_materializes_then_pages(self, tmp_path):
+        service = _tiny_app(tmp_path).service
+
+        async def go():
+            first = await service.slice_events("tiny", offset=0, limit=5)
+            second = await service.slice_events("tiny", offset=5, limit=5)
+            return first, second
+
+        first, second = asyncio.run(go())
+        assert first["count"] == 5 and second["count"] == 5
+        assert first["n_events"] == second["n_events"] > 0
+        seqs = [e["seq"] for e in first["events"] + second["events"]]
+        assert seqs == list(range(10))
+
+    def test_bad_window_rejected(self, tmp_path):
+        service = _tiny_app(tmp_path).service
+        with pytest.raises(DataError, match="offset"):
+            asyncio.run(service.slice_events("tiny", offset=-1, limit=5))
+        with pytest.raises(DataError, match="limit"):
+            asyncio.run(service.slice_events("tiny", offset=0, limit=0))
+
+
+class TestTimeoutAndDrain:
+    def test_slow_query_times_out(self, tmp_path, monkeypatch):
+        def stall(*args):
+            time.sleep(0.5)
+            return {"late": True}
+
+        monkeypatch.setattr("repro.serve.service.compute_query_payload",
+                            stall)
+        service = _tiny_app(tmp_path).service
+        service.timeout_s = 0.05
+        with pytest.raises(QueryTimeout):
+            asyncio.run(service.query("tiny", "q1"))
+        snap = service.metrics_snapshot()
+        assert snap["endpoints"]["q1"]["errors"] == 1
+
+    def test_drain_completes_in_flight_then_refuses(
+            self, tmp_path, monkeypatch):
+        def slowish(*args):
+            time.sleep(0.2)
+            return {"answer": 1}
+
+        monkeypatch.setattr("repro.serve.service.compute_query_payload",
+                            slowish)
+        service = _tiny_app(tmp_path).service
+
+        async def go():
+            in_flight = asyncio.ensure_future(service.query("tiny", "q1"))
+            await asyncio.sleep(0.05)  # let it reach the worker
+            drained = await service.begin_drain(5.0)
+            finished = await in_flight
+            return drained, finished
+
+        drained, finished = asyncio.run(go())
+        assert drained == 1
+        assert finished["answer"] == 1  # completed, not aborted
+        with pytest.raises(ServiceUnavailable):
+            asyncio.run(service.query("tiny", "q1"))
+        with pytest.raises(ServiceUnavailable):
+            service.register_fleet(dict(TINY, seed=9), name="late")

@@ -5,7 +5,10 @@ import io
 import json
 import pathlib
 
+import pytest
+
 from repro.cli import main
+from repro.errors import DataError
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 
@@ -81,7 +84,8 @@ class TestLintCommand:
         package = fixture_package(tmp_path)
         baseline = tmp_path / "baseline.json"
         code, out = run_cli(["lint", str(package),
-                             "--baseline", str(baseline), "--write-baseline"])
+                             "--baseline", str(baseline), "--write-baseline",
+                             "--rationale", "fixture clock is test scaffolding"])
         assert code == 0
         assert baseline.exists()
         code, out = run_cli(["lint", str(package),
@@ -89,11 +93,19 @@ class TestLintCommand:
         assert code == 0
         assert "1 baselined" in out
 
+    def test_write_baseline_without_rationale_is_an_error(self, tmp_path):
+        package = fixture_package(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        with pytest.raises(DataError, match="no rationale"):
+            run_cli(["lint", str(package),
+                     "--baseline", str(baseline), "--write-baseline"])
+        assert not baseline.exists()
+
     def test_baselined_finding_resurfaces_when_line_changes(self, tmp_path):
         package = fixture_package(tmp_path)
         baseline = tmp_path / "baseline.json"
         run_cli(["lint", str(package), "--baseline", str(baseline),
-                 "--write-baseline"])
+                 "--write-baseline", "--rationale", "fixture clock"])
         (package / "clock.py").write_text(
             "import time\n\ndef created():\n    return time.time() + 1\n"
         )

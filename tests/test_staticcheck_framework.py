@@ -141,7 +141,7 @@ class TestBaseline:
 
     def test_round_trip(self, tmp_path):
         path = tmp_path / "baseline.json"
-        write_baseline(path, [self.finding()])
+        write_baseline(path, [self.finding()], rationale="legacy helper")
         loaded = load_baseline(path)
         assert len(loaded) == 1
         new, grandfathered = partition([self.finding(line=99)], loaded)
@@ -149,14 +149,29 @@ class TestBaseline:
 
     def test_write_preserves_rationales(self, tmp_path):
         path = tmp_path / "baseline.json"
-        write_baseline(path, [self.finding()])
-        payload = json.loads(path.read_text())
-        payload["entries"][0]["rationale"] = "because reasons"
-        path.write_text(json.dumps(payload))
+        write_baseline(path, [self.finding()], rationale="because reasons")
         write_baseline(path, [self.finding()], previous=load_baseline(path))
         assert json.loads(path.read_text())["entries"][0]["rationale"] == (
             "because reasons"
         )
+
+    def test_new_entry_without_rationale_is_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        with pytest.raises(DataError, match="rationale"):
+            write_baseline(path, [self.finding()])
+        assert not path.exists()
+
+    def test_rationale_applies_only_to_new_entries(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [self.finding()], rationale="the old reason")
+        previous = load_baseline(path)
+        fresh = self.finding(source="if q == 2.0:")
+        write_baseline(path, [self.finding(), fresh], previous=previous,
+                       rationale="the new reason")
+        rationales = {e["source_line"]: e["rationale"]
+                      for e in json.loads(path.read_text())["entries"]}
+        assert rationales["if q == 0.0:"] == "the old reason"
+        assert rationales["if q == 2.0:"] == "the new reason"
 
     def test_missing_explicit_baseline_is_error(self, tmp_path):
         with pytest.raises(DataError, match="no such baseline"):
@@ -170,7 +185,7 @@ class TestBaseline:
 
     def test_edited_line_invalidates_entry(self, tmp_path):
         path = tmp_path / "baseline.json"
-        write_baseline(path, [self.finding()])
+        write_baseline(path, [self.finding()], rationale="legacy helper")
         edited = self.finding(source="if q == 0.0 or q == 1.0:")
         new, grandfathered = partition([edited], load_baseline(path))
         assert len(new) == 1 and not grandfathered

@@ -223,6 +223,22 @@ class TestLayering:
         assert rules_hit(source, module="repro.reporting.fixture",
                          rule="layering") == ["layering"]
 
+    def test_serve_may_import_every_layer(self):
+        # serve is the topmost layer: the API edge composes everything.
+        for target in ("from repro.pipeline import stages\n",
+                       "from repro.stream import blocks\n",
+                       "from repro.decisions import spares\n"):
+            assert not rules_hit(target, module="repro.serve.fixture",
+                                 rule="layering")
+
+    def test_nothing_may_import_serve(self):
+        # ...and nothing sits above it: any import of serve reaches up.
+        source = "from repro.serve import ports\n"
+        for module in ("repro.pipeline.fixture", "repro.reporting.fixture",
+                       "repro.staticcheck.fixture", "repro.failures.fixture"):
+            assert rules_hit(source, module=module,
+                             rule="layering") == ["layering"]
+
     def test_layer_order_covers_every_package(self):
         import pathlib
 

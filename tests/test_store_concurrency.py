@@ -1,0 +1,109 @@
+"""Concurrent multi-process access to one on-disk ArtifactStore.
+
+Two processes computing (or publishing) the same stage key against a
+shared store directory must never corrupt an entry: publication is
+atomic (staged directory + rename), so readers observe either nothing
+or a complete entry, and racing writers resolve to clean
+first-writer-wins with identical content.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.pipeline.core import _TMP_PREFIX, ArtifactStore, Stage
+
+#: Same tiny scenario the serve tests use — a fast real simulation.
+TINY = {"seed": 5, "scale": 0.05, "days": 60}
+
+
+def _noop(inputs, ctx):  # pragma: no cover - lookups never run stages
+    raise AssertionError("stage must not execute")
+
+
+def _json_stage() -> Stage:
+    return Stage(name="concurrency-probe", run=_noop, codec="json")
+
+
+def _hammer_put(root: str, barrier, n_rounds: int) -> None:
+    """Worker: publish the same keys in lockstep with the sibling."""
+    store = ArtifactStore(root)
+    stage = _json_stage()
+    for round_index in range(n_rounds):
+        barrier.wait()
+        store.put(stage, f"{round_index:064d}",
+                  {"round": round_index, "payload": list(range(100))})
+
+
+def _compute_q1(root: str, barrier, out) -> None:
+    """Worker: full serve cold path for the same fleet, in lockstep."""
+    from repro.serve.backend import compute_query_payload
+    from repro.serve.fleets import fleet_spec
+    from repro.serve.queries import parse_query
+
+    spec = fleet_spec(TINY)
+    query = parse_query("q1", None)
+    barrier.wait()
+    payload = compute_query_payload(root, spec.fleet_id, dict(spec.params),
+                                    query.kind, query.params)
+    out.put(payload["plans"]["SF"]["overprovision"])
+
+
+def _run_pair(target, args):
+    processes = [multiprocessing.Process(target=target, args=args)
+                 for _ in range(2)]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=120)
+    return [process.exitcode for process in processes]
+
+
+class TestConcurrentStoreAccess:
+    def test_racing_puts_of_same_key_stay_clean(self, tmp_path):
+        n_rounds = 25
+        barrier = multiprocessing.Barrier(2)
+        exits = _run_pair(_hammer_put, (str(tmp_path), barrier, n_rounds))
+        assert exits == [0, 0]
+
+        store = ArtifactStore(str(tmp_path))
+        stage = _json_stage()
+        for round_index in range(n_rounds):
+            hit = store.fetch(stage, f"{round_index:064d}")
+            assert hit is not None, f"round {round_index} entry lost"
+            tier, artifact = hit
+            assert artifact["round"] == round_index
+            assert artifact["payload"] == list(range(100))
+        # No staging wreckage left behind.
+        stage_dir = store.stage_dir(stage.name)
+        leftovers = [p.name for p in stage_dir.iterdir()
+                     if p.name.startswith(_TMP_PREFIX)]
+        assert leftovers == []
+
+    def test_two_processes_computing_same_query(self, tmp_path):
+        """The serve cold path end to end: same fleet, same query, two
+        interpreters racing on simulate + serve:q1 publication."""
+        barrier = multiprocessing.Barrier(2)
+        out = multiprocessing.Queue()
+        exits = _run_pair(_compute_q1, (str(tmp_path), barrier, out))
+        assert exits == [0, 0]
+        answers = [out.get(timeout=10), out.get(timeout=10)]
+        assert answers[0] == pytest.approx(answers[1])
+
+        # The store holds exactly one complete entry per stage touched,
+        # and a fresh process can decode the serve answer warm.
+        from repro.serve.backend import PipelineAnalysisBackend, \
+            PipelineArtifactStore
+        from repro.serve.fleets import fleet_spec
+        from repro.serve.queries import parse_query
+
+        store = ArtifactStore(str(tmp_path))
+        spec = fleet_spec(TINY)
+        backend = PipelineAnalysisBackend(store)
+        ref = backend.query_ref(spec, parse_query("q1", None))
+        warm = PipelineArtifactStore(store).lookup(ref)
+        assert warm is not None
+        assert warm["plans"]["SF"]["overprovision"] == pytest.approx(answers[0])
+        assert len(store.stage_entries("simulate")) == 1
