@@ -60,6 +60,14 @@ def summarize(path: pathlib.Path) -> str:
                 sub += (f" -> incremental {incremental*1e3:.1f}ms "
                         f"({cold/incremental:.0f}x)")
             lines.append(sub)
+        if "predict_score_latency_ms" in extra:
+            # Prediction scoring rows carry the eval-split size next to
+            # the exact-scoring latency (AUC + operating-point curve).
+            lines.append(
+                f"{'':4s}scored {extra['n_test']:,} eval rows in "
+                f"{extra['predict_score_latency_ms']:.1f}ms "
+                f"({extra['rows_per_sec']:,.0f} rows/s)"
+            )
         if "p99_ms" in extra:
             # Serve rows carry client-side latency percentiles from the
             # load generator alongside the throughput column.

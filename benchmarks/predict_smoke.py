@@ -1,0 +1,109 @@
+"""CI predict smoke: train, score and live-monitor on a budget.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/predict_smoke.py [--scale S]
+        [--days N] [--budget SECONDS]
+
+Runs the full online-prediction loop end to end on one fresh fleet:
+streams features over every event, builds the labelled snapshot
+dataset, trains the two-stage predictor behind the embargoed time
+split, scores the held-out tail exactly, checks the proactive decision
+sweep against the reactive baseline, and replays the stream through a
+live :class:`~repro.predict.PredictiveMonitor` attached to the
+analyzer.  Exits non-zero if any invariant breaks or the wall-clock
+(simulation excluded) exceeds the budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import repro
+from repro.predict import (
+    PredictiveMonitor,
+    build_feature_dataset,
+    proactive_comparison,
+    score_predictions,
+    train_predictor,
+)
+from repro.stream import (
+    AlertKind,
+    StreamAnalyzer,
+    StreamInventory,
+    blocks_from_result,
+)
+
+
+def run_smoke(scale: float, days: int, budget_s: float) -> int:
+    sim_start = time.perf_counter()
+    run = repro.simulate(
+        repro.SimulationConfig.small(seed=50, scale=scale, n_days=days)
+    )
+    n_events = sum(len(block) for block in blocks_from_result(run))
+    print(f"simulated scale={scale:g} days={days}: {n_events:,} events "
+          f"in {time.perf_counter() - sim_start:.1f}s")
+
+    start = time.perf_counter()
+    dataset = build_feature_dataset(run)
+    model, _, test = train_predictor(dataset)
+    metrics = score_predictions(model, test)
+    scores = model.score(test)
+    comparison = proactive_comparison(run, test, scores, horizon_days=3)
+
+    inventory = StreamInventory.from_result(run)
+    analyzer = StreamAnalyzer(inventory)
+    analyzer.attach_monitor(PredictiveMonitor(inventory, model))
+    analyzer.consume_blocks(blocks_from_result(run))
+    analyzer.finish()
+    predicted = sum(1 for alert in analyzer.alerts
+                    if alert.kind is AlertKind.PREDICTED_FAILURE)
+    elapsed = time.perf_counter() - start
+
+    print(f"dataset {dataset.n_rows:,} rows, eval {metrics['n_test']:,} "
+          f"rows, auc {metrics['auc']:.3f}, "
+          f"base rate {metrics['base_rate']:.4f}")
+    print(f"proactive: reactive_cost {comparison['reactive_cost']:,.0f}, "
+          f"beats_reactive {comparison['beats_reactive']}")
+    print(f"live monitor: {predicted:,} predicted-failure alerts over "
+          f"{analyzer.events_seen:,} events")
+    print(f"train+score+monitor: {elapsed:.2f}s")
+
+    if metrics["auc"] is None or metrics["auc"] <= 0.55:
+        print(f"FAIL: auc {metrics['auc']} does not beat chance",
+              file=sys.stderr)
+        return 1
+    if not comparison["beats_reactive"]:
+        print("FAIL: no proactive operating point beats the reactive "
+              "baseline", file=sys.stderr)
+        return 1
+    if predicted == 0:
+        print("FAIL: the live monitor emitted no alerts", file=sys.stderr)
+        return 1
+    if elapsed > budget_s:
+        print(f"FAIL: {elapsed:.2f}s exceeds the {budget_s:.0f}s budget",
+              file=sys.stderr)
+        return 1
+    print(f"OK: within the {budget_s:.0f}s budget")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="fleet scale factor (default 0.25)")
+    parser.add_argument("--days", type=int, default=365,
+                        help="simulated days (default 365)")
+    parser.add_argument("--budget", type=float, default=120.0,
+                        help="train+score+monitor wall-clock budget in "
+                             "seconds")
+    args = parser.parse_args(argv)
+    if args.scale <= 0 or args.days < 30 or args.budget <= 0:
+        parser.error("--scale must be > 0, --days >= 30, --budget > 0")
+    return run_smoke(args.scale, args.days, args.budget)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

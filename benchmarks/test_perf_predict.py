@@ -1,0 +1,91 @@
+"""Prediction subsystem benches: feature throughput and scoring latency.
+
+Timing benchmarks for ``repro.predict`` on the quarter-scale stream
+(same shape the stream benches use): block-path streaming feature
+extraction (events/sec lands in ``BENCH_engine.json`` via
+``extra_info``) and the exact-scoring harness latency over the embargoed
+evaluation split.
+
+The feature floor is asserted on the best-of-rounds time so a single
+scheduler hiccup cannot fail the gate while a real regression still
+does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.predict import (
+    StreamingFeatures,
+    build_feature_dataset,
+    score_predictions,
+    train_predictor,
+)
+from repro.stream import StreamInventory, blocks_from_result
+
+# Issue floor: the block path must stream features at >=1M events/sec
+# at quarter scale (the scalar fold is ~100x slower and only exists to
+# prove the block path bit-identical).
+FEATURES_FLOOR_EPS = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def predict_run():
+    return repro.simulate(
+        repro.SimulationConfig.small(seed=50, scale=0.25, n_days=365)
+    )
+
+
+@pytest.fixture(scope="module")
+def predict_blocks(predict_run):
+    """Pre-flattened blocks so the bench times only the extractor."""
+    return list(blocks_from_result(predict_run))
+
+
+@pytest.fixture(scope="module")
+def predict_split(predict_run):
+    """One trained two-stage predictor plus its embargoed eval split."""
+    dataset = build_feature_dataset(predict_run)
+    model, _, test = train_predictor(dataset)
+    return model, test
+
+
+def test_perf_predict_features(benchmark, predict_run, predict_blocks):
+    """Streaming feature extraction over the full block stream."""
+    inventory = StreamInventory.from_result(predict_run)
+    n_events = sum(len(block) for block in predict_blocks)
+
+    def extract():
+        features = StreamingFeatures(inventory)
+        for block in predict_blocks:
+            features.update_block(block)
+        return features
+
+    features = benchmark.pedantic(extract, rounds=3, iterations=1)
+    assert features is not None and n_events > 10_000
+    best = n_events / benchmark.stats.stats.min
+    assert best >= FEATURES_FLOOR_EPS, (
+        f"feature throughput {best:,.0f} events/sec is below the "
+        f"{FEATURES_FLOOR_EPS:,} floor"
+    )
+    benchmark.extra_info["events"] = n_events
+    benchmark.extra_info["best_events_per_sec"] = best
+    benchmark.extra_info["predict_features_events_per_sec"] = best
+
+
+def test_perf_predict_score(benchmark, predict_split):
+    """Exact scoring (AUC + operating-point curve) on the eval split."""
+    model, test = predict_split
+
+    metrics = benchmark.pedantic(
+        lambda: score_predictions(model, test), rounds=3, iterations=1,
+    )
+    assert metrics["n_test"] == test.n_rows
+    assert metrics["auc"] is not None and metrics["auc"] > 0.6
+    mean_ms = benchmark.stats.stats.mean * 1e3
+    benchmark.extra_info["predict_score_latency_ms"] = mean_ms
+    benchmark.extra_info["n_test"] = test.n_rows
+    benchmark.extra_info["rows_per_sec"] = (
+        test.n_rows / benchmark.stats.stats.mean
+    )

@@ -221,13 +221,26 @@ class FailurePredictor:
         )
 
 
-def time_split(dataset: Table, train_fraction: float = 0.7) -> tuple[Table, Table]:
-    """Chronological train/test split on the ``day_index`` column."""
+def time_split(
+    dataset: Table,
+    train_fraction: float = 0.7,
+    embargo_days: int = 0,
+) -> tuple[Table, Table]:
+    """Chronological train/test split on the ``day_index`` column.
+
+    ``embargo_days`` drops the last days *before* the cutoff from the
+    training split.  When rows carry labels computed over a forward
+    window (e.g. "fails within the next h days"), a train row just
+    before the cutoff has a label that reads events from the evaluation
+    period — an embargo of the label horizon removes that overlap.
+    """
     if not 0.0 < train_fraction < 1.0:
         raise DataError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    if embargo_days < 0:
+        raise DataError(f"embargo_days must be >= 0, got {embargo_days}")
     days = dataset.column("day_index").astype(np.int64)
     cutoff = np.quantile(days, train_fraction)
-    train = dataset.filter(days <= cutoff)
+    train = dataset.filter(days <= cutoff - embargo_days)
     test = dataset.filter(days > cutoff)
     if train.n_rows == 0 or test.n_rows == 0:
         raise DataError("degenerate time split; adjust train_fraction")

@@ -9,6 +9,10 @@ Commands:
 * ``stream``   — replay an exported directory through the online
   streaming analyzers (windowed λ/μ, SLA-risk and drift alerts,
   checkpoint/resume, ``--follow`` for growing exports).
+* ``predict``  — online failure prediction: ``train`` prints headline
+  metrics, ``score`` renders the full evaluation (ranking + proactive
+  TCO vs reactive), ``follow`` replays the stream with the live
+  predictive monitor attached and prints its alerts.
 * ``lint``     — run the domain-aware static checks (``repro.staticcheck``)
   over the package (or given paths); exit 1 on new findings.
 * ``list``     — list the registered experiments (``--format json`` adds
@@ -350,6 +354,61 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from .cache import simulate_cached
+    from .predict import build_feature_dataset, train_predictor
+    from .predict.experiment import compute_predict_payload, render_predict
+    from .predict.scoring import score_predictions
+
+    result, _ = simulate_cached(_build_config(args), _resolve_cache(args))
+    if args.action == "score":
+        payload = compute_predict_payload(result, horizon_days=args.horizon)
+        print(render_predict(payload))
+        return 0
+
+    dataset = build_feature_dataset(result, horizon_days=args.horizon)
+    model, train, test = train_predictor(dataset, horizon_days=args.horizon)
+    if args.action == "train":
+        metrics = score_predictions(model, test)
+        auc = metrics["auc"]
+        print(f"trained on {train.n_rows} rows "
+              f"({args.horizon}-day horizon), eval on {test.n_rows}")
+        print(f"AUC {'n/a' if auc is None else format(auc, '.3f')}, "
+              f"base rate {metrics['base_rate']:.3%}")
+        for point in metrics["curves"]:
+            print(f"  act {point['act_fraction']:.0%}: "
+                  f"precision {point['precision']:.3f}, "
+                  f"recall {point['recall']:.3f}")
+        return 0
+
+    # follow: replay the stream with the live monitor attached.  The
+    # model saw only the chronological training prefix, so alerts in
+    # the evaluation period are out-of-sample predictions.
+    from .predict import PredictiveMonitor
+    from .stream import StreamAnalyzer
+    from .stream.blocks import StreamInventory, blocks_from_result
+    from .stream.triggers import AlertKind
+
+    inventory = StreamInventory.from_result(result)
+    monitor = PredictiveMonitor(inventory, model, threshold=args.threshold)
+    analyzer = StreamAnalyzer(inventory)
+    analyzer.attach_monitor(monitor)
+
+    def emit(alerts) -> None:
+        for alert in alerts:
+            if alert.kind is AlertKind.PREDICTED_FAILURE:
+                print(f"[{alert.kind.value}] t={alert.time_hours:.1f}h "
+                      f"{alert.message}")
+
+    for block in blocks_from_result(result):
+        emit(analyzer.process_block(block))
+    emit(analyzer.finish())
+    print(f"{monitor.alerts_emitted} predicted-failure alerts over "
+          f"{analyzer.events_seen} events "
+          f"(threshold {args.threshold:g})", file=sys.stderr)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .staticcheck import (
         all_rules, get_rule, lint_paths, load_baseline, render_json,
@@ -591,6 +650,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="--follow exits after this many polls with no "
                              "growth (default 3)")
     stream.set_defaults(func=_cmd_stream)
+
+    predict = commands.add_parser(
+        "predict",
+        help="online failure prediction over the event stream",
+    )
+    predict.add_argument("action", choices=("train", "score", "follow"),
+                         help="train: fit and print headline metrics; "
+                              "score: render the full evaluation payload "
+                              "(ranking + proactive TCO vs reactive); "
+                              "follow: replay the stream with the live "
+                              "predictive monitor and print its alerts")
+    _add_sim_arguments(predict)
+    predict.add_argument("--horizon", type=int, default=3,
+                         help="label horizon in days (default 3)")
+    predict.add_argument("--threshold", type=float, default=0.6,
+                         help="follow-mode alert threshold on the failure "
+                              "score, in (0, 1) (default 0.6)")
+    predict.set_defaults(func=_cmd_predict)
 
     lint = commands.add_parser(
         "lint",

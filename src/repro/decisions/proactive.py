@@ -97,6 +97,22 @@ class ProactiveOutcome:
             return 0.0
         return self.failures_prevented / self.failures_in_scope
 
+    @property
+    def reactive_cost(self) -> float:
+        """TCO of the do-nothing baseline: eat every failure's cost."""
+        return self.failures_in_scope * self.policy.failure_cost
+
+    @property
+    def total_cost(self) -> float:
+        """TCO under the policy: visits plus the failures still eaten."""
+        remaining = self.failures_in_scope - self.failures_prevented
+        return self.intervention_cost + remaining * self.policy.failure_cost
+
+    @property
+    def beats_reactive(self) -> bool:
+        """True when acting is strictly cheaper than doing nothing."""
+        return self.total_cost < self.reactive_cost
+
     def render(self) -> str:
         """One-paragraph summary."""
         return (
@@ -109,33 +125,20 @@ class ProactiveOutcome:
         )
 
 
-def evaluate_policy(
+def _account_interventions(
     result: SimulationResult,
-    policy: ProactivePolicy | None = None,
-    predictor: FailurePredictor | None = None,
-    dataset: Table | None = None,
-    train_fraction: float = 0.6,
+    racks: np.ndarray,
+    days: np.ndarray,
+    scores: np.ndarray,
+    policy: ProactivePolicy,
 ) -> ProactiveOutcome:
-    """Counterfactually evaluate a proactive-maintenance policy.
-
-    The predictor is trained on the first ``train_fraction`` of days and
-    the policy is scored on the remainder.  Interventions on overlapping
-    windows of the same rack do not double-count averted failures.
-    """
-    policy = policy or ProactivePolicy()
-    if dataset is None:
-        dataset = build_prediction_dataset(
-            result, horizon_days=policy.prevention_window_days,
-        )
-    train, test = time_split(dataset, train_fraction=train_fraction)
-    if predictor is None:
-        predictor = FailurePredictor().fit(train)
-    scores = predictor.score(test)
-
+    """Price acting on the top-scored rack-days of the scored period."""
+    if not len(scores) == len(racks) == len(days):
+        raise DataError("racks, days and scores must align")
+    if len(scores) == 0:
+        raise DataError("cannot evaluate a policy on zero scored rack-days")
     k = max(1, int(round(policy.act_fraction * len(scores))))
     chosen = np.argsort(scores)[::-1][:k]
-    racks = test.column("rack_index").astype(np.int64)
-    days = test.column("day_index").astype(np.int64)
 
     hardware = lambda_matrix(result, list(HARDWARE_FAULTS),
                              dedupe_batches=False).astype(float)
@@ -166,6 +169,80 @@ def evaluate_policy(
         intervention_cost=k * policy.intervention_cost,
         averted_cost=prevented * policy.failure_cost,
     )
+
+
+def evaluate_policy(
+    result: SimulationResult,
+    policy: ProactivePolicy | None = None,
+    predictor: FailurePredictor | None = None,
+    dataset: Table | None = None,
+    train_fraction: float = 0.6,
+) -> ProactiveOutcome:
+    """Counterfactually evaluate a proactive-maintenance policy.
+
+    The predictor is trained on the first ``train_fraction`` of days and
+    the policy is scored on the remainder.  Interventions on overlapping
+    windows of the same rack do not double-count averted failures.
+    """
+    policy = policy or ProactivePolicy()
+    if dataset is None:
+        dataset = build_prediction_dataset(
+            result, horizon_days=policy.prevention_window_days,
+        )
+    train, test = time_split(dataset, train_fraction=train_fraction)
+    if predictor is None:
+        predictor = FailurePredictor().fit(train)
+    scores = predictor.score(test)
+    racks = test.column("rack_index").astype(np.int64)
+    days = test.column("day_index").astype(np.int64)
+    return _account_interventions(result, racks, days, scores, policy)
+
+
+def evaluate_scored(
+    result: SimulationResult,
+    racks: np.ndarray,
+    days: np.ndarray,
+    scores: np.ndarray,
+    policy: ProactivePolicy | None = None,
+) -> ProactiveOutcome:
+    """Evaluate a policy on externally scored rack-days.
+
+    The caller brings its own predictor — any model that emits one risk
+    score per ``(rack, day)`` of the evaluation period (e.g. the
+    streaming two-stage predictor) plugs in here without this module
+    knowing how the scores were made.  Accounting is identical to
+    :func:`evaluate_policy`.
+    """
+    policy = policy or ProactivePolicy()
+    racks = np.asarray(racks, dtype=np.int64)
+    days = np.asarray(days, dtype=np.int64)
+    scores = np.asarray(scores, dtype=float)
+    return _account_interventions(result, racks, days, scores, policy)
+
+
+def scored_policy_curve(
+    result: SimulationResult,
+    racks: np.ndarray,
+    days: np.ndarray,
+    scores: np.ndarray,
+    act_fractions: tuple[float, ...] = (0.01, 0.02, 0.05, 0.10, 0.20),
+    base_policy: ProactivePolicy | None = None,
+) -> list[ProactiveOutcome]:
+    """Sweep the act-fraction knob over externally scored rack-days."""
+    if not act_fractions:
+        raise DataError("need at least one act fraction")
+    base_policy = base_policy or ProactivePolicy()
+    outcomes = []
+    for fraction in act_fractions:
+        policy = ProactivePolicy(
+            act_fraction=fraction,
+            prevention_window_days=base_policy.prevention_window_days,
+            prevention_effectiveness=base_policy.prevention_effectiveness,
+            intervention_cost=base_policy.intervention_cost,
+            failure_cost=base_policy.failure_cost,
+        )
+        outcomes.append(evaluate_scored(result, racks, days, scores, policy))
+    return outcomes
 
 
 def policy_curve(

@@ -17,6 +17,9 @@ render`` is spelled out as :class:`~repro.pipeline.core.Stage` objects:
   decision models;
 * ``fielddata:sev=S`` — the degradation payloads behind the
   ``fielddata`` experiment and the noise sweep (``codec="json"``);
+* ``predict:{features,train,score}`` — the failure-prediction sub-DAG;
+  the snapshot dataset and fitted model stay memory-only while the
+  scored evaluation payload persists as JSON;
 * ``render:{experiment}`` — one text artifact per registry entry, with
   dependencies taken from the experiment's declared ``stages``.
 
@@ -36,12 +39,20 @@ from ..errors import ConfigError
 from ..failures.engine import simulate
 from ..failures.tickets import FaultType, HARDWARE_FAULTS
 from ..fielddata.robustness import DEFAULT_SEVERITIES, noise_point_payload
+from ..predict.dataset import build_feature_dataset
+from ..predict.experiment import (
+    DEFAULT_HORIZON_DAYS,
+    DEFAULT_SAMPLE_EVERY,
+    compute_predict_payload,
+)
+from ..predict.model import train_predictor
 from ..reporting.context import (
     SIMULATE_STAGE,
     SUMMARY_STAGE,
     AnalysisContext,
     component_provisioner_stage,
     fielddata_stage,
+    predict_stage,
     provisioner_stage,
     rack_day_stage,
 )
@@ -187,6 +198,60 @@ def fielddata_payload_stage(severity: float) -> Stage:
     )
 
 
+def _predict_stages() -> Iterable[Stage]:
+    """The failure-prediction sub-DAG: features → train → score.
+
+    Features and the fitted model stay memory-only (cheap to rebuild,
+    awkward to serialize); the scored payload is the JSON artifact the
+    ``predict`` experiment and the service layer read.
+    """
+    params = {
+        "horizon_days": DEFAULT_HORIZON_DAYS,
+        "sample_every": DEFAULT_SAMPLE_EVERY,
+    }
+
+    def run_features(inputs: dict, ctx: StageContext) -> Any:
+        return build_feature_dataset(
+            inputs[SIMULATE_STAGE],
+            horizon_days=DEFAULT_HORIZON_DAYS,
+            sample_every=DEFAULT_SAMPLE_EVERY,
+        )
+
+    def run_train(inputs: dict, ctx: StageContext) -> Any:
+        return train_predictor(
+            inputs[predict_stage("features")],
+            horizon_days=DEFAULT_HORIZON_DAYS,
+        )
+
+    def run_score(inputs: dict, ctx: StageContext) -> dict:
+        return compute_predict_payload(
+            inputs[SIMULATE_STAGE],
+            dataset=inputs[predict_stage("features")],
+            trained=inputs[predict_stage("train")],
+        )
+
+    yield Stage(
+        predict_stage("features"), run_features,
+        deps=(SIMULATE_STAGE,),
+        fingerprint_inputs=dict(params),
+        code=("repro.predict.features", "repro.predict.dataset"),
+    )
+    yield Stage(
+        predict_stage("train"), run_train,
+        deps=(predict_stage("features"),),
+        fingerprint_inputs=dict(params),
+        code=("repro.predict.model",),
+    )
+    yield Stage(
+        predict_stage("score"), run_score,
+        deps=(SIMULATE_STAGE, predict_stage("features"),
+              predict_stage("train")),
+        fingerprint_inputs=dict(params),
+        code=("repro.predict.scoring", "repro.predict.experiment"),
+        codec="json",
+    )
+
+
 def _render_stage(experiment: Experiment,
                   render_params: Mapping[str, Any] | None) -> Stage:
     def run(inputs: dict, ctx: StageContext) -> str:
@@ -214,6 +279,7 @@ def analysis_stages(config: "SimulationConfig") -> list[Stage]:
     stages.extend(_provisioner_stage(w) for w in PROVISIONER_WINDOWS)
     stages.append(_component_provisioner_stage(24.0))
     stages.extend(fielddata_payload_stage(s) for s in DEFAULT_SEVERITIES)
+    stages.extend(_predict_stages())
     return stages
 
 

@@ -1,0 +1,51 @@
+"""Online failure prediction over the event stream.
+
+The paper names "prediction of datacenter failures for pro-active
+maintenance" (§VII) as the framework's natural continuation; this
+package closes that loop on the operator-visible side of the
+field-data boundary:
+
+* :mod:`repro.predict.features` — per-server rolling-window features
+  computed incrementally over :class:`~repro.stream.blocks.EventBlock`
+  batches (O(servers) state, checkpointable);
+* :mod:`repro.predict.dataset` — one streaming pass turning a run into
+  a supervised per-server table with future-window labels;
+* :mod:`repro.predict.model` — the two-stage predictor (catastrophic
+  classifier + time-to-failure regressor) on the library's own CART;
+* :mod:`repro.predict.scoring` — exact precision/recall/lead-time
+  scoring against the planted failures *as realized in the stream*;
+* :mod:`repro.predict.monitor` — a live :class:`PredictiveMonitor`
+  that joins the stream analyzer's trigger set;
+* :mod:`repro.predict.experiment` — the declared ``predict``
+  experiment (content-addressed ``predict:features`` →
+  ``predict:train`` → ``predict:score`` stages).
+
+Everything here consumes simulator *outputs* only — tickets, sensors,
+inventory.  The GT-leak staticcheck rule forbids this package from
+importing the planted hazard model, and the scoring harness's "ground
+truth" is the realized hardware ticket stream itself.
+"""
+
+from .dataset import build_feature_dataset
+from .features import (
+    PREDICT_FEATURES,
+    StreamingFeatures,
+    load_feature_state,
+    save_feature_state,
+)
+from .model import TwoStagePredictor, train_predictor
+from .monitor import PredictiveMonitor
+from .scoring import proactive_comparison, score_predictions
+
+__all__ = [
+    "PREDICT_FEATURES",
+    "PredictiveMonitor",
+    "StreamingFeatures",
+    "TwoStagePredictor",
+    "build_feature_dataset",
+    "load_feature_state",
+    "proactive_comparison",
+    "save_feature_state",
+    "score_predictions",
+    "train_predictor",
+]

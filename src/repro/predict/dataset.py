@@ -1,0 +1,153 @@
+"""Supervised dataset construction: one streaming pass, leak-free rows.
+
+:func:`build_feature_dataset` turns a simulation run into the
+per-server supervised problem the two-stage predictor trains on — *will
+this server file a hardware ticket within the next horizon, and if so,
+in how many days?* — by replaying the run's flattened event stream
+through :class:`~repro.predict.features.StreamingFeatures` and
+snapshotting the state at sampled day boundaries.
+
+The leakage boundary is structural, not conventional: a snapshot for
+day *d* is taken after feeding exactly the events with
+``time < (d + 1) · 24 h`` (the stream is split *inside* blocks at the
+boundary), so no feature can read an event from the label window.  The
+labels themselves come from the realized hardware ticket stream — the
+planted failures as an operator would observe them — never from the
+hazard model that generated them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from ..failures.engine import SimulationResult
+from ..failures.tickets import FAULT_CODE, HARDWARE_FAULTS
+from ..stream.blocks import EventBlock, StreamInventory, blocks_from_result
+from ..telemetry.table import Table
+from .features import (
+    DEFAULT_HOT_TEMP_F,
+    DEFAULT_HUMID_RH,
+    StreamingFeatures,
+)
+
+#: Label columns added next to the feature snapshot.
+LABEL_WILL_FAIL = "will_fail"
+LABEL_DAYS_TO_FAILURE = "days_to_failure"
+
+
+def _record_failures(
+    failures: np.ndarray,
+    block: EventBlock,
+    inventory: StreamInventory,
+    hw_codes: np.ndarray,
+) -> None:
+    """Mark realized hardware ticket-opens into ``failures[gid, day]``."""
+    columns = block.open_ticket_columns()
+    if columns is None:
+        return
+    rack = columns["rack"]
+    offset = columns["offset"]
+    keep = (
+        ~columns["fp"]
+        & (rack >= 0) & (rack < inventory.n_racks)
+        & (offset >= 0)
+        & np.isin(columns["fault"], hw_codes)
+    )
+    keep[keep] &= offset[keep] < inventory.n_servers[rack[keep]]
+    if not keep.any():
+        return
+    gid = inventory.server_base[rack[keep]] + offset[keep]
+    day = np.maximum(
+        (columns["time"][keep] // 24.0).astype(np.int64), 0,
+    )
+    in_range = day < failures.shape[1]
+    np.add.at(failures, (gid[in_range], day[in_range]), 1)
+
+
+def build_feature_dataset(
+    result: SimulationResult,
+    horizon_days: int = 3,
+    window_days: int = 14,
+    sample_every: int = 7,
+    hot_temp_f: float = DEFAULT_HOT_TEMP_F,
+    humid_rh: float = DEFAULT_HUMID_RH,
+) -> Table:
+    """Per-server feature snapshots with future-window labels.
+
+    Snapshot days run from ``window_days`` (the first day with a full
+    trailing ring) to ``n_days - horizon_days`` (the last day whose
+    label window is uncensored), every ``sample_every`` days.  Each row
+    carries the :data:`~repro.predict.features.PREDICT_FEATURES`
+    columns plus ``will_fail`` (any hardware ticket in days
+    ``d+1 .. d+horizon``) and ``days_to_failure`` (days until the first
+    one; 0 for rows that do not fail).
+
+    Raises :class:`~repro.errors.DataError` when the run is too short
+    to produce any uncensored snapshot day.
+    """
+    if horizon_days < 1:
+        raise DataError(f"horizon_days must be >= 1, got {horizon_days}")
+    if sample_every < 1:
+        raise DataError(f"sample_every must be >= 1, got {sample_every}")
+    n_days = result.n_days
+    sample_days = list(range(window_days, n_days - horizon_days, sample_every))
+    if not sample_days:
+        raise DataError(
+            f"no sampleable days: run of {n_days} days cannot fit a "
+            f"{window_days}-day window plus a {horizon_days}-day horizon"
+        )
+
+    inventory = StreamInventory.from_result(result)
+    extractor = StreamingFeatures(
+        inventory, window_days=window_days,
+        hot_temp_f=hot_temp_f, humid_rh=humid_rh,
+    )
+    hw_codes = np.array(
+        sorted(FAULT_CODE[fault] for fault in HARDWARE_FAULTS), dtype=np.int64,
+    )
+    failures = np.zeros(
+        (extractor.n_servers_total, n_days), dtype=np.int64,
+    )
+
+    snapshots: list[dict[str, np.ndarray]] = []
+    day_iter = iter(sample_days)
+    pending = next(day_iter, None)
+    for block in blocks_from_result(result):
+        _record_failures(failures, block, inventory, hw_codes)
+        start = 0
+        while pending is not None:
+            boundary = (pending + 1) * 24.0
+            position = int(np.searchsorted(
+                block.time_hours, boundary, side="left",
+            ))
+            if position >= len(block):
+                break
+            if position > start:
+                extractor.update_block(block.slice(start, position))
+            snapshots.append(extractor.feature_arrays(pending))
+            start = position
+            pending = next(day_iter, None)
+        if start < len(block):
+            extractor.update_block(block.slice(start))
+    while pending is not None:
+        snapshots.append(extractor.feature_arrays(pending))
+        pending = next(day_iter, None)
+
+    failed = failures > 0
+    labels: list[np.ndarray] = []
+    lead: list[np.ndarray] = []
+    for day in sample_days:
+        window = failed[:, day + 1 : day + 1 + horizon_days]
+        will_fail = window.any(axis=1)
+        first = np.argmax(window, axis=1) + 1
+        labels.append(will_fail.astype(np.float64))
+        lead.append(np.where(will_fail, first, 0).astype(np.float64))
+
+    columns = {
+        name: np.concatenate([snapshot[name] for snapshot in snapshots])
+        for name in snapshots[0]
+    }
+    columns[LABEL_WILL_FAIL] = np.concatenate(labels)
+    columns[LABEL_DAYS_TO_FAILURE] = np.concatenate(lead)
+    return Table(columns, schema=extractor.feature_schema())

@@ -1,0 +1,207 @@
+"""The ``predict`` experiment: train, score, and price the predictor.
+
+One payload ties the subsystem together — build the leak-free snapshot
+dataset, fit the two-stage predictor on the embargoed chronological
+split, score the evaluation period exactly against the realized failure
+stream, and translate the scores into the proactive-maintenance Q1
+curve.  The payload is a JSON-safe dict so the pipeline can persist it
+as a content-addressed artifact (stage ``predict:score``) and the
+report/service layers can render or serve it without recomputing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from ..failures.engine import SimulationResult
+from ..reporting.context import AnalysisContext, predict_stage
+from ..stream.blocks import StreamInventory
+from ..telemetry.table import Table
+from .dataset import build_feature_dataset
+from .model import TwoStagePredictor, train_predictor
+from .scoring import DEFAULT_ACT_FRACTIONS, proactive_comparison, score_predictions
+
+#: Default label horizon (days) for the registered experiment.
+DEFAULT_HORIZON_DAYS = 3
+
+#: Default snapshot cadence (days) for the registered experiment.
+DEFAULT_SAMPLE_EVERY = 7
+
+#: Steps of the prediction pipeline, in dependency order; the stage
+#: names are ``predict_stage(step)`` for each.
+STAGE_STEPS = ("features", "train", "score")
+
+#: Declared stage dependencies of the registered ``predict`` experiment
+#: (cross-checked against the registry and the pipeline catalogue).
+STAGE_DEPS = tuple(predict_stage(step) for step in STAGE_STEPS)
+
+#: Source modules whose content invalidates the experiment's rendering.
+CODE_MODULES = ("repro.predict.experiment",)
+
+
+def compute_predict_payload(
+    result: SimulationResult,
+    horizon_days: int = DEFAULT_HORIZON_DAYS,
+    sample_every: int = DEFAULT_SAMPLE_EVERY,
+    dataset: Table | None = None,
+    trained: tuple[TwoStagePredictor, Table, Table] | None = None,
+    act_fractions: tuple[float, ...] = DEFAULT_ACT_FRACTIONS,
+    top: int = 10,
+) -> dict:
+    """The full prediction evaluation as one JSON-safe payload.
+
+    ``dataset`` and ``trained`` let the pipeline reuse the upstream
+    stage artifacts; when omitted they are computed here.
+    """
+    if dataset is None:
+        dataset = build_feature_dataset(
+            result, horizon_days=horizon_days, sample_every=sample_every,
+        )
+    if trained is None:
+        trained = train_predictor(dataset, horizon_days=horizon_days)
+    model, train, test = trained
+    scores = model.score(test)
+    lead = model.lead_time_days(test)
+    metrics = score_predictions(model, test, act_fractions=act_fractions)
+    proactive = proactive_comparison(
+        result, test, scores, horizon_days=model.horizon_days,
+        act_fractions=act_fractions,
+    )
+
+    inventory = StreamInventory.from_result(result)
+    order = np.argsort(scores)[::-1][: max(int(top), 0)]
+    racks = test.column("rack_index").astype(np.int64)
+    offsets = test.column("server_offset").astype(np.int64)
+    days = test.column("day_index").astype(np.int64)
+    top_risks = [
+        {
+            "rack": inventory.rack_ids[int(racks[row])],
+            "server": int(offsets[row]),
+            "day": int(days[row]),
+            "score": float(scores[row]),
+            "lead_days": float(lead[row]),
+        }
+        for row in order.tolist()
+    ]
+    return {
+        "question": "which servers fail within the horizon, and is "
+                    "acting on that cheaper than reacting?",
+        "horizon_days": int(model.horizon_days),
+        "n_rows": int(dataset.n_rows),
+        "n_train": int(train.n_rows),
+        "n_test": int(test.n_rows),
+        "metrics": metrics,
+        "proactive": proactive,
+        "top_risks": top_risks,
+    }
+
+
+def render_predict(payload: dict) -> str:
+    """Text rendering of a ``predict:score`` payload."""
+    metrics = payload["metrics"]
+    proactive = payload["proactive"]
+    auc = metrics["auc"]
+    lines = [
+        "[predict] online failure prediction vs planted ground truth",
+        f"  {payload['question']}",
+        f"  horizon: {payload['horizon_days']} days; "
+        f"rows: {payload['n_rows']} "
+        f"(train {payload['n_train']}, eval {payload['n_test']}); "
+        f"base rate {metrics['base_rate']:.3%}",
+        f"  ranking AUC: {auc:.3f}" if auc is not None
+        else "  ranking AUC: n/a (one-class evaluation split)",
+        "",
+        "  act%   flagged  precision  recall  lead(actual/pred days)",
+    ]
+    for point in metrics["curves"]:
+        actual = point["mean_lead_days"]
+        lines.append(
+            f"  {point['act_fraction']:>4.0%}  {point['n_flagged']:>8}"
+            f"  {point['precision']:>9.3f}  {point['recall']:>6.3f}"
+            f"  {actual if actual is None else format(actual, '.1f')}"
+            f" / {point['mean_predicted_lead_days']:.1f}"
+        )
+    lines += [
+        "",
+        f"  proactive vs reactive (baseline TCO "
+        f"{proactive['reactive_cost']:.0f} units):",
+        "  act%   visits  prevented  share   net     TCO",
+    ]
+    for point in proactive["curve"]:
+        marker = "  << beats reactive" if point["beats_reactive"] else ""
+        lines.append(
+            f"  {point['act_fraction']:>4.0%}  {point['n_interventions']:>6}"
+            f"  {point['failures_prevented']:>9.1f}"
+            f"  {point['prevention_share']:>5.1%}"
+            f"  {point['net_savings']:>+6.1f}  {point['total_cost']:>6.1f}"
+            f"{marker}"
+        )
+    verdict = ("beats" if proactive["beats_reactive"] else "does not beat")
+    lines += [
+        "",
+        f"  verdict: acting on predictions {verdict} the reactive baseline.",
+        "",
+        "  top risks (eval period):",
+    ]
+    for risk in payload["top_risks"]:
+        lines.append(
+            f"    {risk['rack']}/{risk['server']} day {risk['day']}: "
+            f"score {risk['score']:.2f}, "
+            f"predicted lead {risk['lead_days']:.1f} d"
+        )
+    return "\n".join(lines)
+
+
+def predict_experiment(context: AnalysisContext) -> str:
+    """Registered experiment entry point (artifact-aware)."""
+    payload = None
+    artifacts = getattr(context, "artifacts", None)
+    if artifacts is not None and artifacts.has_stage(predict_stage("score")):
+        payload = artifacts.get(predict_stage("score"))
+    if payload is None:
+        payload = compute_predict_payload(context.result)
+    return render_predict(payload)
+
+
+def predict_query_payload(context: AnalysisContext, params: dict) -> dict:
+    """Serve-layer payload: the evaluation sliced to one operating point."""
+    horizon_days = int(params.get("horizon_days", DEFAULT_HORIZON_DAYS))
+    act_fraction = float(params.get("act_fraction", 0.05))
+    top = int(params.get("top", 10))
+    if not 0.0 < act_fraction <= 1.0:
+        raise DataError(f"act_fraction must be in (0, 1], got {act_fraction}")
+    full = None
+    artifacts = getattr(context, "artifacts", None)
+    if (
+        artifacts is not None
+        and horizon_days == DEFAULT_HORIZON_DAYS
+        and artifacts.has_stage(predict_stage("score"))
+    ):
+        full = artifacts.get(predict_stage("score"))
+    if full is None:
+        full = compute_predict_payload(
+            context.result, horizon_days=horizon_days,
+            act_fractions=(act_fraction,), top=top,
+        )
+
+    def nearest(curve: list[dict]) -> dict:
+        return min(
+            curve, key=lambda p: abs(p["act_fraction"] - act_fraction),
+        )
+
+    return {
+        "question": full["question"],
+        "horizon_days": full["horizon_days"],
+        "act_fraction": act_fraction,
+        "auc": full["metrics"]["auc"],
+        "base_rate": full["metrics"]["base_rate"],
+        "n_test": full["metrics"]["n_test"],
+        "operating_point": nearest(full["metrics"]["curves"]),
+        "proactive": {
+            "reactive_cost": full["proactive"]["reactive_cost"],
+            "beats_reactive": full["proactive"]["beats_reactive"],
+            "operating_point": nearest(full["proactive"]["curve"]),
+        },
+        "top_risks": full["top_risks"][:top],
+    }

@@ -1,0 +1,129 @@
+"""The two-stage predictor: flag catastrophic servers, then date them.
+
+Stage A is a balanced CART classifier (the §V-C minority re-balancing,
+on the library's own :class:`~repro.analysis.cart.tree.RegressionTree`)
+over the per-server streaming features: *will this server file a
+hardware ticket within the horizon?*  Stage B is a small regression
+tree fitted on the positive training rows only: *in how many days?* —
+the lead-time estimate a technician schedule actually needs.  Servers
+the classifier does not flag never reach stage B.
+
+Training is leak-free by construction: the caller splits with
+:func:`~repro.analysis.prediction.time_split` using an embargo of the
+label horizon, so no training row's label window overlaps the
+evaluation period (see :func:`train_predictor`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.cart.tree import RegressionTree, TreeParams
+from ..analysis.prediction import time_split
+from ..errors import DataError, FitError
+from ..telemetry.table import Table
+from .dataset import LABEL_DAYS_TO_FAILURE, LABEL_WILL_FAIL
+from .features import PREDICT_FEATURES
+
+#: Minimum positive training rows before stage B fits a tree; below
+#: this the lead-time estimate falls back to the positive-class mean.
+MIN_REGRESSION_ROWS = 40
+
+
+class TwoStagePredictor:
+    """Classifier + time-to-failure regressor on streaming features.
+
+    Args:
+        horizon_days: label horizon the model is trained for (carried
+            for reporting and the proactive prevention window).
+        classifier_params: stage A tree growth parameters.
+        regressor_params: stage B tree growth parameters.
+    """
+
+    def __init__(
+        self,
+        horizon_days: int = 3,
+        classifier_params: TreeParams | None = None,
+        regressor_params: TreeParams | None = None,
+    ):
+        if horizon_days < 1:
+            raise DataError(f"horizon_days must be >= 1, got {horizon_days}")
+        self.horizon_days = int(horizon_days)
+        self.classifier_params = classifier_params or TreeParams(
+            max_depth=6, min_split=200, min_bucket=80, cp=1e-4,
+        )
+        self.regressor_params = regressor_params or TreeParams(
+            max_depth=4, min_split=100, min_bucket=40, cp=1e-3,
+        )
+        self.classifier: RegressionTree | None = None
+        self.regressor: RegressionTree | None = None
+        self.fallback_lead_days: float = float(horizon_days)
+        self._features = list(PREDICT_FEATURES)
+
+    def fit(self, train: Table) -> "TwoStagePredictor":
+        """Fit both stages on a training snapshot table."""
+        if LABEL_WILL_FAIL not in train:
+            raise DataError(f"dataset lacks the {LABEL_WILL_FAIL!r} label")
+        matrix, schema = train.feature_matrix(self._features)
+        labels = train.column(LABEL_WILL_FAIL).astype(float)
+        positive = labels > 0.5
+        n_pos = int(positive.sum())
+        n_neg = len(labels) - n_pos
+        if n_pos == 0 or n_neg == 0:
+            raise FitError("cannot rebalance: one class is empty")
+        weights = np.where(positive, 0.5 / n_pos, 0.5 / n_neg) * len(labels)
+        self.classifier = RegressionTree(self.classifier_params).fit(
+            matrix, labels, schema, weights,
+        )
+
+        lead = train.column(LABEL_DAYS_TO_FAILURE).astype(float)[positive]
+        self.fallback_lead_days = float(lead.mean())
+        self.regressor = None
+        if n_pos >= MIN_REGRESSION_ROWS:
+            self.regressor = RegressionTree(self.regressor_params).fit(
+                matrix[positive], lead, schema,
+            )
+        return self
+
+    def score(self, table: Table) -> np.ndarray:
+        """Stage A failure propensity per row (leaf positive rate)."""
+        if self.classifier is None:
+            raise FitError("predictor is not fitted")
+        matrix, _ = table.feature_matrix(self._features)
+        return self.classifier.predict(matrix)
+
+    def lead_time_days(self, table: Table) -> np.ndarray:
+        """Stage B predicted days-to-failure per row.
+
+        Meaningful for rows stage A flags; when stage B had too few
+        positive rows to fit, every row gets the positive-class mean.
+        """
+        if self.classifier is None:
+            raise FitError("predictor is not fitted")
+        if self.regressor is None:
+            return np.full(table.n_rows, self.fallback_lead_days)
+        matrix, _ = table.feature_matrix(self._features)
+        return self.regressor.predict(matrix)
+
+
+def train_predictor(
+    dataset: Table,
+    horizon_days: int = 3,
+    train_fraction: float = 0.7,
+    classifier_params: TreeParams | None = None,
+    regressor_params: TreeParams | None = None,
+) -> tuple[TwoStagePredictor, Table, Table]:
+    """Embargoed chronological split + fit; returns (model, train, test).
+
+    The split embargoes ``horizon_days`` before the cutoff so no
+    training row's label window reaches into the evaluation period.
+    """
+    train, test = time_split(
+        dataset, train_fraction=train_fraction, embargo_days=horizon_days,
+    )
+    model = TwoStagePredictor(
+        horizon_days=horizon_days,
+        classifier_params=classifier_params,
+        regressor_params=regressor_params,
+    ).fit(train)
+    return model, train, test

@@ -1,0 +1,143 @@
+"""Exact scoring: precision/recall/lead-time against planted failures.
+
+The simulator's planted failures are *realized* as hardware tickets in
+the event stream, so the evaluation can score the predictor exactly —
+no sampling, no survey noise — while staying on the operator-visible
+side of the field-data boundary: everything here reads labels from the
+dataset rows (which came from the ticket stream) and never the hazard
+model.  Scoring the evaluation split only is what keeps the boundary
+honest: features precede the cutoff, labels follow it.
+
+Two views come out:
+
+* :func:`score_predictions` — ranking quality (AUC) plus operating
+  points: for each act-fraction, the precision/recall of acting on the
+  top-scored rows and the realized vs predicted lead time;
+* :func:`proactive_comparison` — the decision-side translation: fold
+  per-server scores into per-rack-day interventions through
+  :mod:`repro.decisions.proactive` and compare total cost against the
+  do-nothing reactive baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.prediction import roc_auc
+from ..decisions.proactive import ProactivePolicy, scored_policy_curve
+from ..errors import DataError
+from ..failures.engine import SimulationResult
+from ..telemetry.schema import TICKET_LOG
+from ..telemetry.table import Table
+from .dataset import LABEL_DAYS_TO_FAILURE, LABEL_WILL_FAIL
+from .model import TwoStagePredictor
+
+#: Act-fraction operating points reported by default.
+DEFAULT_ACT_FRACTIONS = (0.01, 0.02, 0.05, 0.10, 0.20)
+
+
+def score_predictions(
+    model: TwoStagePredictor,
+    test: Table,
+    act_fractions: tuple[float, ...] = DEFAULT_ACT_FRACTIONS,
+) -> dict:
+    """Ranking metrics and operating points on the evaluation split."""
+    if test.n_rows == 0:
+        raise DataError("empty evaluation split")
+    scores = model.score(test)
+    lead_pred = model.lead_time_days(test)
+    labels = test.column(LABEL_WILL_FAIL).astype(float)
+    actual_lead = test.column(LABEL_DAYS_TO_FAILURE).astype(float)
+    positives = labels > 0.5
+    total_pos = float(labels.sum())
+
+    auc = None
+    if 0 < positives.sum() < len(labels):
+        auc = roc_auc(scores, labels)
+
+    order = np.argsort(scores)[::-1]
+    curves = []
+    for fraction in act_fractions:
+        k = max(1, int(round(fraction * len(scores))))
+        top = order[:k]
+        hits = positives[top]
+        n_hits = float(hits.sum())
+        curves.append({
+            "act_fraction": float(fraction),
+            "n_flagged": int(k),
+            "precision": n_hits / k,
+            "recall": n_hits / total_pos if total_pos else 0.0,
+            "mean_lead_days": (
+                float(actual_lead[top][hits].mean()) if n_hits else None
+            ),
+            "mean_predicted_lead_days": float(lead_pred[top].mean()),
+        })
+    return {
+        "auc": auc,
+        "base_rate": float(labels.mean()),
+        "n_test": int(len(scores)),
+        "horizon_days": model.horizon_days,
+        "curves": curves,
+    }
+
+
+def rack_day_scores(
+    test: Table, scores: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fold per-server rows into per-(rack, day) max scores.
+
+    Interventions are rack visits (a technician inspects the rack, not
+    one server), so the rack-day's risk is its riskiest server.
+    Returns aligned ``(racks, days, scores)`` arrays.
+    """
+    if len(scores) != test.n_rows:
+        raise DataError("scores must align with the evaluation rows")
+    racks = test.column(TICKET_LOG.rack_index).astype(np.int64)
+    days = test.column(TICKET_LOG.day_index).astype(np.int64)
+    keys = np.stack([racks, days], axis=1)
+    unique, inverse = np.unique(keys, axis=0, return_inverse=True)
+    folded = np.full(len(unique), -np.inf)
+    np.maximum.at(folded, inverse, np.asarray(scores, dtype=float))
+    return unique[:, 0], unique[:, 1], folded
+
+
+def proactive_comparison(
+    result: SimulationResult,
+    test: Table,
+    scores: np.ndarray,
+    horizon_days: int,
+    act_fractions: tuple[float, ...] = DEFAULT_ACT_FRACTIONS,
+    base_policy: ProactivePolicy | None = None,
+) -> dict:
+    """Score-driven proactive Q1 curve vs the reactive baseline.
+
+    Each act-fraction's outcome prices technician interventions on the
+    top-scored rack-days against the failures they avert; the reactive
+    baseline simply eats every failure's cost.  ``beats_reactive`` is
+    True when some operating point's total cost undercuts it.
+    """
+    base_policy = base_policy or ProactivePolicy(
+        prevention_window_days=horizon_days,
+    )
+    racks, days, folded = rack_day_scores(test, scores)
+    outcomes = scored_policy_curve(
+        result, racks, days, folded,
+        act_fractions=act_fractions, base_policy=base_policy,
+    )
+    reactive_cost = outcomes[0].reactive_cost
+    return {
+        "reactive_cost": reactive_cost,
+        "beats_reactive": any(o.beats_reactive for o in outcomes),
+        "curve": [
+            {
+                "act_fraction": o.policy.act_fraction,
+                "n_interventions": o.n_interventions,
+                "failures_prevented": o.failures_prevented,
+                "prevention_share": o.prevention_share,
+                "net_savings": o.net_savings,
+                "total_cost": o.total_cost,
+                "beats_reactive": o.beats_reactive,
+            }
+            for o in outcomes
+        ],
+    }

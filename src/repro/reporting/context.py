@@ -51,6 +51,11 @@ def fielddata_stage(severity: float) -> str:
     return f"fielddata:sev={severity:g}"
 
 
+def predict_stage(step: str) -> str:
+    """Stage name of one failure-prediction step: features/train/score."""
+    return f"predict:{step}"
+
+
 class AnalysisContext:
     """Caches derived datasets for one simulation run.
 

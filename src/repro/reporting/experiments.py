@@ -21,6 +21,7 @@ from .context import (
     AnalysisContext,
     component_provisioner_stage,
     fielddata_stage,
+    predict_stage,
     provisioner_stage,
     rack_day_stage,
 )
@@ -78,6 +79,14 @@ def _streaming(context: AnalysisContext) -> str:
     from ..stream.experiment import streaming_experiment
 
     return streaming_experiment(context)
+
+
+def _predict(context: AnalysisContext) -> str:
+    # Function-level import of a higher layer, allowed by the explicit
+    # exception list in staticcheck.contract.LAYERING_EXCEPTIONS.
+    from ..predict.experiment import predict_experiment
+
+    return predict_experiment(context)
 
 
 _TABLES = ("repro.reporting.tables",)
@@ -165,6 +174,13 @@ def _registry() -> list[Experiment]:
                    "checkpoint/resume, live SLA triggers",
                    _streaming,
                    code=("repro.stream.experiment",)),
+        Experiment("predict", "Online failure prediction scored against "
+                   "planted ground truth, with proactive Q1",
+                   _predict,
+                   stages=tuple(
+                       predict_stage(s) for s in ("features", "train", "score")
+                   ),
+                   code=("repro.predict.experiment",)),
     ]
 
 

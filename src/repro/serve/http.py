@@ -247,7 +247,7 @@ class ServeApp:
                             f"no route for {request.path}")
         self._expect(request.method, "GET")
         tenant = request.tenant or "public"
-        if leaf in ("q1", "q2", "q3"):
+        if leaf in ("q1", "q2", "q3", "predict"):
             payload = await self.service.query(
                 fleet_ref, leaf, request.query, tenant=tenant,
             )
@@ -260,7 +260,8 @@ class ServeApp:
             )
             return 200, dict(payload, schema=1)
         raise HttpError(404, "not_found",
-                        f"unknown query {leaf!r}; try q1, q2, q3 or events")
+                        f"unknown query {leaf!r}; "
+                        "try q1, q2, q3, predict or events")
 
     def _expect(self, method: str, allowed: str) -> None:
         if method != allowed:

@@ -28,9 +28,10 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 
 #: Query kinds the service answers.  ``q1``/``q2``/``q3`` mirror the
-#: paper's operator questions; ``events`` materializes the flattened
+#: paper's operator questions; ``predict`` serves the online
+#: failure-prediction evaluation; ``events`` materializes the flattened
 #: event trace for the event-source port to slice.
-QUERY_KINDS = ("q1", "q2", "q3", "events")
+QUERY_KINDS = ("q1", "q2", "q3", "predict", "events")
 
 
 @dataclass(frozen=True)

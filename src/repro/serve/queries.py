@@ -9,6 +9,9 @@ canonical parameter tuple and answered as a JSON-safe payload:
   the stratum-standardized S2/S4 comparison.
 * ``q3`` — operating ranges (§VI-Q3): per-DC climate group rates and
   the CART-discovered temperature/RH thresholds.
+* ``predict`` — online failure prediction (ISSUE 8): ranking metrics,
+  one proactive-vs-reactive operating point and the top risk list from
+  the ``predict:score`` evaluation payload.
 * ``events`` — materializes the fleet's flattened event trace (the
   ``event_blocks`` stage) so the event-source port can slice it.
 
@@ -42,6 +45,7 @@ QUERY_DEFAULTS: dict[str, dict[str, Any]] = {
     "q1": {"workload": "W1", "sla": 1.0, "window_hours": 24.0},
     "q2": {"peak_quantile": 0.999},
     "q3": {"dc": ""},  # "" = every datacenter in the fleet
+    "predict": {"horizon_days": 3.0, "act_fraction": 0.05, "top": 10.0},
     "events": {},
 }
 
@@ -89,6 +93,19 @@ def parse_query(kind: str, raw: Mapping[str, Any] | None = None) -> Query:
         raise DataError(
             f"q2: peak_quantile must be in (0, 1), got {params['peak_quantile']}"
         )
+    if kind == "predict":
+        if params["horizon_days"] < 1:
+            raise DataError(
+                f"predict: horizon_days must be >= 1, "
+                f"got {params['horizon_days']}"
+            )
+        if not 0.0 < params["act_fraction"] <= 1.0:
+            raise DataError(
+                f"predict: act_fraction must be in (0, 1], "
+                f"got {params['act_fraction']}"
+            )
+        if params["top"] < 1:
+            raise DataError(f"predict: top must be >= 1, got {params['top']}")
     return Query(kind=kind, params=tuple(sorted(params.items())))
 
 
@@ -231,13 +248,30 @@ def q3_payload(context: AnalysisContext, params: Mapping[str, Any]) -> dict:
     })
 
 
-_PAYLOAD_BUILDERS = {"q1": q1_payload, "q2": q2_payload, "q3": q3_payload}
+def predict_payload(context: AnalysisContext, params: Mapping[str, Any]) -> dict:
+    """Predict: ranking metrics + proactive point at one act-fraction."""
+    from ..predict.experiment import predict_query_payload
+
+    return json_safe(predict_query_payload(context, dict(params)))
+
+
+_PAYLOAD_BUILDERS = {
+    "q1": q1_payload,
+    "q2": q2_payload,
+    "q3": q3_payload,
+    "predict": predict_payload,
+}
 
 #: Source modules whose edits must invalidate cached answers, per kind.
 _QUERY_CODE: dict[str, tuple[str, ...]] = {
     "q1": ("repro.serve.queries", "repro.decisions.spares"),
     "q2": ("repro.serve.queries", "repro.decisions.sku_ranking"),
     "q3": ("repro.serve.queries", "repro.decisions.climate"),
+    "predict": (
+        "repro.serve.queries",
+        "repro.predict.scoring",
+        "repro.predict.experiment",
+    ),
 }
 
 

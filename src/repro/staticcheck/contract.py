@@ -15,7 +15,7 @@ import functools
 #: They may consume simulator *outputs* (tickets, sensor streams,
 #: inventory) but never the planted hazard model.
 ANALYSIS_PACKAGES: frozenset[str] = frozenset(
-    {"analysis", "decisions", "reporting", "stream", "telemetry"}
+    {"analysis", "decisions", "predict", "reporting", "stream", "telemetry"}
 )
 
 #: Packages whose dict keys for tickets/inventory must come from
@@ -57,6 +57,7 @@ PACKAGE_LAYER_ORDER: tuple[str, ...] = (
     "fielddata",
     "stream.blocks",
     "stream",
+    "predict",
     "pipeline",
     "staticcheck",
     "serve",
@@ -71,6 +72,7 @@ PACKAGE_LAYER_ORDER: tuple[str, ...] = (
 LAYERING_EXCEPTIONS: frozenset[tuple[str, str]] = frozenset({
     ("repro.reporting.experiments", "fielddata"),
     ("repro.reporting.experiments", "stream"),
+    ("repro.reporting.experiments", "predict"),
     ("repro.reporting.sweeps", "pipeline"),
     # airflow's feature marks come from telemetry.schema, a leaf
     # declarations module with no further repro imports.

@@ -76,6 +76,7 @@ class StreamAnalyzer:
                 inventory.n_days, ratio=drift_ratio,
                 min_excess=drift_min_excess,
             )
+        self.extra_monitors: list = []
         self.events_seen = 0
         self.blocks_seen = 0
         self.last_time_hours = 0.0
@@ -83,6 +84,20 @@ class StreamAnalyzer:
         self.sensor_samples = 0
         self.alerts: list[Alert] = []
         self.finished = False
+
+    def attach_monitor(self, monitor) -> None:
+        """Attach an extra trigger (e.g. a predictive monitor).
+
+        Anything exposing ``update(event)``, ``update_block(block)`` /
+        ``_update_block_indexed(block)`` and ``finish()`` plugs in; it
+        sees *every* event (sensors included — feature-based monitors
+        need them), and its alerts sort after the built-in triggers'
+        within an event.  Must be attached before any event is fed and
+        cannot be checkpointed (see :mod:`repro.stream.checkpoint`).
+        """
+        if self.events_seen or self.finished:
+            raise DataError("attach monitors before feeding the stream")
+        self.extra_monitors.append(monitor)
 
     def process(self, event: Event) -> list[Alert]:
         """Fold one event in; returns (and records) any new alerts.
@@ -114,6 +129,8 @@ class StreamAnalyzer:
                 alerts.extend(self.drift.update(event))
             if self.monitor is not None:
                 alerts.extend(self.monitor.update(event))
+        for monitor in self.extra_monitors:
+            alerts.extend(monitor.update(event))
         self.events_seen = event.seq + 1
         self.last_time_hours = max(self.last_time_hours, event.time_hours)
         self.alerts.extend(alerts)
@@ -173,6 +190,11 @@ class StreamAnalyzer:
                 (row, 1, alert)
                 for row, alert in self.monitor._update_block_indexed(block)
             )
+        for extra_rank, monitor in enumerate(self.extra_monitors):
+            indexed.extend(
+                (row, 2 + extra_rank, alert)
+                for row, alert in monitor._update_block_indexed(block)
+            )
         indexed.sort(key=lambda item: item[:2])
         alerts = [alert for _, _, alert in indexed]
         self.events_seen = block.end_seq
@@ -219,6 +241,8 @@ class StreamAnalyzer:
         alerts: list[Alert] = []
         if self.drift is not None:
             alerts = self.drift.finish()
+        for monitor in self.extra_monitors:
+            alerts.extend(monitor.finish())
         self.alerts.extend(alerts)
         return alerts
 

@@ -68,6 +68,12 @@ def save_checkpoint(
     """
     if analyzer.finished:
         raise DataError("cannot checkpoint a finished analyzer")
+    if analyzer.extra_monitors:
+        raise DataError(
+            "cannot checkpoint an analyzer with attached extra monitors; "
+            "checkpoint their state separately (predictive monitors carry "
+            "a fitted model the bundle format does not serialize)"
+        )
     path = pathlib.Path(path)
     arrays: dict[str, np.ndarray] = {}
     metas: dict[str, dict] = {}

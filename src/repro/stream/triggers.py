@@ -49,6 +49,7 @@ class AlertKind(Enum):
 
     SLA_RISK = "sla-risk"
     RATE_DRIFT = "rate-drift"
+    PREDICTED_FAILURE = "predicted-failure"
 
 
 @dataclass(frozen=True)

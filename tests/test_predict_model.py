@@ -1,0 +1,196 @@
+"""Dataset construction, the two-stage predictor, and exact scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.prediction import time_split
+from repro.errors import DataError
+from repro.predict.dataset import (
+    LABEL_DAYS_TO_FAILURE,
+    LABEL_WILL_FAIL,
+    build_feature_dataset,
+)
+from repro.predict.experiment import (
+    STAGE_DEPS,
+    compute_predict_payload,
+    render_predict,
+)
+from repro.predict.model import TwoStagePredictor, train_predictor
+from repro.predict.scoring import proactive_comparison, score_predictions
+from repro.stream import StreamInventory
+from repro.telemetry.schema import TICKET_LOG
+from repro.telemetry.table import Table
+
+HORIZON = 3
+
+
+@pytest.fixture(scope="module")
+def dataset(tiny_run) -> Table:
+    return build_feature_dataset(tiny_run, horizon_days=HORIZON)
+
+
+@pytest.fixture(scope="module")
+def trained(dataset):
+    return train_predictor(dataset, horizon_days=HORIZON)
+
+
+class TestDataset:
+    def test_one_row_per_server_per_sample_day(self, tiny_run, dataset):
+        inventory = StreamInventory.from_result(tiny_run)
+        n_servers = int(inventory.n_servers.sum())
+        assert dataset.n_rows % n_servers == 0
+        days = np.unique(dataset.column(TICKET_LOG.day_index))
+        assert dataset.n_rows == n_servers * len(days)
+
+    def test_labels_consistent(self, dataset):
+        will_fail = dataset.column(LABEL_WILL_FAIL) > 0.5
+        lead = dataset.column(LABEL_DAYS_TO_FAILURE)
+        assert will_fail.any() and not will_fail.all()
+        assert (lead[will_fail] >= 1).all()
+        assert (lead[will_fail] <= HORIZON).all()
+        assert (lead[~will_fail] == 0).all()
+
+    def test_snapshot_days_leave_room_for_labels(self, tiny_run, dataset):
+        days = dataset.column(TICKET_LOG.day_index).astype(int)
+        assert days.max() + HORIZON < tiny_run.n_days
+
+    def test_too_short_run_rejected(self, tiny_run):
+        with pytest.raises(DataError, match="no sampleable days"):
+            build_feature_dataset(tiny_run, horizon_days=100,
+                                  window_days=100)
+
+
+class TestTimeSplitEmbargo:
+    """Regression: pre-embargo, a train row just before the cutoff had a
+    label window reaching into the evaluation period."""
+
+    @staticmethod
+    def _toy(n: int = 100) -> Table:
+        return Table({
+            "day_index": np.arange(n, dtype=np.int64),
+            "value": np.zeros(n),
+        })
+
+    def test_no_embargo_trains_up_to_the_cutoff(self):
+        train, test = time_split(self._toy(), train_fraction=0.7)
+        cutoff = train.column("day_index").max()
+        # The overlap the embargo exists to remove: a 3-day label on the
+        # last train row reads days that belong to the evaluation split.
+        assert cutoff + 3 > test.column("day_index").min()
+
+    def test_embargo_separates_label_windows(self):
+        train, test = time_split(self._toy(), train_fraction=0.7,
+                                 embargo_days=3)
+        assert (train.column("day_index").max() + 3
+                < test.column("day_index").min())
+
+    def test_embargo_does_not_touch_the_eval_split(self):
+        _, no_embargo = time_split(self._toy(), train_fraction=0.7)
+        _, embargoed = time_split(self._toy(), train_fraction=0.7,
+                                  embargo_days=3)
+        np.testing.assert_array_equal(no_embargo.column("day_index"),
+                                      embargoed.column("day_index"))
+
+    def test_negative_embargo_rejected(self):
+        with pytest.raises(DataError, match="embargo_days"):
+            time_split(self._toy(), embargo_days=-1)
+
+
+class TestTwoStagePredictor:
+    def test_train_and_eval_are_label_disjoint(self, trained):
+        _, train, test = trained
+        train_max = int(train.column(TICKET_LOG.day_index).max())
+        test_min = int(test.column(TICKET_LOG.day_index).min())
+        assert train_max + HORIZON < test_min
+
+    def test_scores_are_probabilities(self, trained):
+        model, _, test = trained
+        scores = model.score(test)
+        assert scores.shape == (test.n_rows,)
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_lead_times_within_horizon(self, trained):
+        model, _, test = trained
+        lead = model.lead_time_days(test)
+        assert (lead >= 0).all() and (lead <= HORIZON + 1e-9).all()
+
+    def test_unfitted_predictor_refuses_to_score(self, dataset):
+        from repro.errors import FitError
+
+        with pytest.raises(FitError):
+            TwoStagePredictor().score(dataset)
+
+    def test_ranking_beats_chance(self, trained):
+        model, _, test = trained
+        metrics = score_predictions(model, test)
+        assert metrics["auc"] is not None
+        assert metrics["auc"] > 0.55
+
+
+class TestScoring:
+    def test_operating_points_shape(self, trained):
+        model, _, test = trained
+        metrics = score_predictions(model, test,
+                                    act_fractions=(0.05, 0.10))
+        assert [p["act_fraction"] for p in metrics["curves"]] == [0.05, 0.10]
+        for point in metrics["curves"]:
+            assert 0.0 <= point["precision"] <= 1.0
+            assert 0.0 <= point["recall"] <= 1.0
+            assert point["n_flagged"] >= 1
+
+    def test_proactive_beats_reactive_on_default_scenario(self, tiny_run,
+                                                          trained):
+        model, _, test = trained
+        scores = model.score(test)
+        comparison = proactive_comparison(tiny_run, test, scores,
+                                          horizon_days=HORIZON)
+        assert comparison["reactive_cost"] > 0
+        assert comparison["beats_reactive"] is True
+        best = min(comparison["curve"], key=lambda p: p["total_cost"])
+        assert best["total_cost"] < comparison["reactive_cost"]
+
+
+class TestExperiment:
+    def test_payload_and_render(self, tiny_run, dataset, trained):
+        payload = compute_predict_payload(tiny_run, dataset=dataset,
+                                          trained=trained)
+        assert payload["horizon_days"] == HORIZON
+        assert payload["n_rows"] == dataset.n_rows
+        assert len(payload["top_risks"]) == 10
+        text = render_predict(payload)
+        assert "verdict" in text
+        assert "proactive" in text
+
+    def test_payload_is_json_serializable(self, tiny_run, dataset, trained):
+        import json
+
+        payload = compute_predict_payload(tiny_run, dataset=dataset,
+                                          trained=trained)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_registry_declares_the_stage_deps(self):
+        from repro.reporting import EXPERIMENTS
+
+        assert EXPERIMENTS["predict"].stages == STAGE_DEPS
+        assert EXPERIMENTS["predict"].code == ("repro.predict.experiment",)
+
+    def test_pipeline_catalogue_carries_the_stages(self):
+        import repro
+        from repro.pipeline import analysis_stages
+
+        config = repro.SimulationConfig.small(seed=0, scale=0.05, n_days=60)
+        names = {stage.name for stage in analysis_stages(config)}
+        assert set(STAGE_DEPS) <= names
+
+    def test_listing_contract_exposes_predict_stages(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main(["list", "--format", "json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        by_id = {entry["id"]: entry for entry in listing["experiments"]}
+        assert by_id["predict"]["stages"] == list(STAGE_DEPS)
+        assert by_id["predict"]["code"] == ["repro.predict.experiment"]

@@ -51,6 +51,23 @@ class TestGtLeak:
         attributes = ground_truth_attributes()
         assert {"sku_intrinsic", "region_hazard", "stress_multiplier"} <= attributes
 
+    def test_predict_package_is_guarded(self):
+        # The online predictor scores against *planted* ground truth, so
+        # its package must sit on the analysis side of the GT boundary.
+        assert rules_hit("import repro.failures.hazards\n",
+                         module="repro.predict.fixture",
+                         rule="GT-leak") == ["GT-leak"]
+
+    def test_predict_from_import_flagged(self):
+        assert rules_hit("from repro.failures import hazards\n",
+                         module="repro.predict.fixture",
+                         rule="GT-leak") == ["GT-leak"]
+
+    def test_predict_ground_truth_attribute_flagged(self):
+        assert rules_hit("def f(arrays):\n    return arrays.region_hazard\n",
+                         module="repro.predict.fixture",
+                         rule="GT-leak") == ["GT-leak"]
+
 
 class TestRngDiscipline:
     def test_global_numpy_random_flagged(self):
