@@ -1,0 +1,61 @@
+"""Lint engine bench: cold vs warm vs one-module-incremental analysis.
+
+The incremental-lint claim mirrors the artifact DAG's: re-analysis cost
+scales with what changed.  A cold ``repro lint`` parses and walks every
+module; a warm run against the same fragment cache re-analyzes nothing;
+editing one module re-analyzes exactly that module (the whole-program
+phase — summary linking plus interprocedural rules — always re-runs, by
+design).  All three land in one ``BENCH_engine.json`` entry
+(warm/incremental in ``extra``, rendered as a sub-row by
+``bench_summary.py``); the warm run is gated at >= 5x faster than cold.
+"""
+
+import pathlib
+import shutil
+import time
+
+from repro.staticcheck import lint_paths, load_baseline
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _lint(tree, cache_dir, baseline):
+    return lint_paths([tree], baseline=baseline, cache_dir=cache_dir)
+
+
+def test_perf_lint_cold_warm_incremental(benchmark, tmp_path):
+    """Full-tree lint: cold build, warm cache hit, one-module edit."""
+    tree = tmp_path / "repro"
+    shutil.copytree(SRC, tree)
+    cache_dir = tmp_path / "lintcache"
+    baseline = load_baseline()
+
+    cold_report = benchmark.pedantic(
+        _lint, args=(tree, cache_dir, baseline), rounds=1, iterations=1,
+    )
+    assert cold_report.ok
+    assert cold_report.cached_modules == 0
+    cold_s = benchmark.stats.stats.mean
+
+    start = time.perf_counter()
+    warm_report = _lint(tree, cache_dir, baseline)
+    warm_s = time.perf_counter() - start
+    assert warm_report.analyzed_modules == 0
+    assert warm_report.cached_modules == cold_report.n_modules
+
+    target = tree / "telemetry" / "stats.py"
+    target.write_text(target.read_text() + "\n# touched by lint bench\n")
+    start = time.perf_counter()
+    incremental_report = _lint(tree, cache_dir, baseline)
+    incremental_s = time.perf_counter() - start
+    assert incremental_report.analyzed_modules == 1
+    assert incremental_report.ok
+
+    assert cold_s / warm_s >= 5.0, (
+        f"warm lint only {cold_s / warm_s:.1f}x faster than cold "
+        f"({cold_s:.2f}s -> {warm_s:.2f}s); incremental cache regressed"
+    )
+
+    benchmark.extra_info["warm_s"] = warm_s
+    benchmark.extra_info["incremental_s"] = incremental_s
+    benchmark.extra_info["modules"] = cold_report.n_modules

@@ -411,25 +411,36 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .staticcheck import (
-        all_rules, get_rule, lint_paths, load_baseline, render_json,
+        all_rules, lint_paths, load_baseline, render_json, render_sarif,
         render_text, write_baseline,
     )
+    from .staticcheck.runner import select_rules
+    from .staticcheck.wholeprogram import all_wholeprogram_rules
 
     if args.list_rules:
-        for rule in all_rules():
+        for rule in list(all_rules()) + list(all_wholeprogram_rules()):
             print(f"{rule.id:15s} {rule.title}")
             print(f"{'':15s} {rule.rationale}")
         return 0
-    rules = None
+    if args.migrate_baseline:
+        from .staticcheck.baselines import migrate_baseline
+
+        path = migrate_baseline(args.baseline)
+        print(f"migrated baseline {path} to fingerprint schema 2")
+        return 0
+    rules = wp_rules = None
     if args.rules:
-        rules = [get_rule(rule_id) for rule_id in args.rules]
+        rules, wp_rules = select_rules(args.rules)
     if (args.baseline and args.write_baseline
             and not pathlib.Path(args.baseline).exists()):
         baseline = None  # creating a brand-new baseline file
     else:
         baseline = load_baseline(args.baseline)
     paths = [pathlib.Path(p) for p in args.paths] or None
-    report = lint_paths(paths, rules=rules, baseline=baseline)
+    cache_dir = args.cache_dir or os.environ.get("REPRO_LINT_CACHE")
+    report = lint_paths(paths, rules=rules, baseline=baseline,
+                        wp_rules=wp_rules, cache_dir=cache_dir,
+                        jobs=args.jobs)
     if args.write_baseline:
         from .staticcheck.baselines import DEFAULT_BASELINE_PATH
 
@@ -440,6 +451,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 0
     if args.format == "json":
         print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report))
     else:
         print(render_text(report, verbose_rules=args.verbose))
     return 0 if report.ok else 1
@@ -676,7 +689,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*",
                       help="files or package directories to lint "
                            "(default: the installed repro package)")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text",
                       help="report format (default text; json is the CI "
                            "contract)")
     lint.add_argument("--rules", nargs="+", default=None, metavar="RULE-ID",
@@ -695,7 +709,20 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--verbose", action="store_true",
                       help="append rule rationales to the text report")
     lint.add_argument("--list-rules", action="store_true",
-                      help="list registered rules and exit")
+                      help="list registered rules (per-module and "
+                           "whole-program) and exit")
+    lint.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="analyze uncached modules across N processes "
+                           "(0 = all cores; output is byte-identical to "
+                           "serial)")
+    lint.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="content-addressed lint fragment cache; warm "
+                           "runs re-analyze only changed modules "
+                           "(default: $REPRO_LINT_CACHE if set)")
+    lint.add_argument("--migrate-baseline", action="store_true",
+                      help="one-shot rewrite of the baseline file (or the "
+                           "committed default) from fingerprint schema 1 "
+                           "to 2, then exit")
     lint.set_defaults(func=_cmd_lint)
 
     serve = commands.add_parser(

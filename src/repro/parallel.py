@@ -67,6 +67,28 @@ def map_seeds(
         return list(pool.map(fn, seeds))
 
 
+def map_items(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: int | None = 1,
+) -> list[Any]:
+    """Apply ``fn`` to every item, optionally across processes.
+
+    The generic sibling of :func:`map_seeds` for non-seed workloads
+    (the lint engine fans per-module analysis out through it).  Both
+    ``fn`` and each item must be picklable; result order matches input
+    order, so serial and parallel runs are indistinguishable to the
+    caller as long as ``fn`` itself is deterministic.
+    """
+    if not items:
+        return []
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(items) == 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
 class WorkerPool:
     """Bounded, lazily spawned worker pool for long-lived services.
 

@@ -11,21 +11,36 @@ This package makes those invariants first-class lint rules:
   registry, ``# repro: noqa[RULE-ID]`` suppressions;
 * :mod:`~repro.staticcheck.graph` — module-level import graph of the
   package (relative imports resolved);
-* :mod:`~repro.staticcheck.rules` — the shipped rule pack;
+* :mod:`~repro.staticcheck.rules` — the shipped rule pack (per-module
+  and whole-program);
+* :mod:`~repro.staticcheck.wholeprogram` — the whole-program engine:
+  call graph, interprocedural taint, content-addressed incremental
+  fragments;
 * :mod:`~repro.staticcheck.baselines` — committed-baseline store for
   grandfathered findings;
-* :mod:`~repro.staticcheck.reporters` — text / JSON output;
+* :mod:`~repro.staticcheck.reporters` — text / JSON / SARIF output;
 * :mod:`~repro.staticcheck.runner` — high-level entry points used by
   the ``repro lint`` CLI and the tier-1 tests.
 
 Run it with ``python -m repro lint`` (see ``docs/static_analysis.md``).
 """
 
-from .baselines import Baseline, load_baseline, write_baseline
+from .baselines import Baseline, load_baseline, migrate_baseline, write_baseline
 from .framework import Finding, ModuleInfo, Rule, all_rules, get_rule
 from .graph import ImportGraph
-from .reporters import render_json, render_text
-from .runner import LintReport, default_target, lint_paths, lint_source
+from .reporters import render_json, render_sarif, render_text
+from .runner import (
+    LintReport,
+    default_target,
+    lint_paths,
+    lint_source,
+    lint_sources,
+)
+from .wholeprogram import (
+    WholeProgramRule,
+    all_wholeprogram_rules,
+    get_wholeprogram_rule,
+)
 
 __all__ = [
     "Baseline",
@@ -34,13 +49,19 @@ __all__ = [
     "LintReport",
     "ModuleInfo",
     "Rule",
+    "WholeProgramRule",
     "all_rules",
+    "all_wholeprogram_rules",
     "default_target",
     "get_rule",
+    "get_wholeprogram_rule",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "load_baseline",
+    "migrate_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "write_baseline",
 ]

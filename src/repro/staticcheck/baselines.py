@@ -2,16 +2,19 @@
 
 A baseline entry pins one *known and accepted* finding so ``repro
 lint`` stays green while the debt is visible and reviewed.  Entries
-match by fingerprint — a hash of (file, rule, normalized source line,
-occurrence index) — so findings keep matching when unrelated edits move
-line numbers, and stop matching (forcing a re-review) the moment the
-offending line itself changes.
+match by fingerprint — schema 2 hashes ``(dotted module, rule id,
+comment-stripped normalized snippet, occurrence index)`` — so findings
+keep matching when unrelated edits move line numbers or reshuffle
+comments, and stop matching (forcing a re-review) the moment the
+offending code itself changes.
 
 The shipped baseline lives at ``src/repro/staticcheck/baseline.json``
 (package data, so the default is found no matter the working
 directory); regenerate it with ``repro lint --write-baseline`` after
 consciously accepting new findings, and keep each entry's ``rationale``
-honest — it is the review record.
+honest — it is the review record.  Schema-1 files (which hashed the
+package-relative path and the raw line text) are migrated in place by
+``repro lint --migrate-baseline``.
 """
 
 from __future__ import annotations
@@ -24,25 +27,65 @@ from dataclasses import dataclass, field
 from ..errors import DataError
 from .framework import Finding
 
-BASELINE_SCHEMA = 1
+BASELINE_SCHEMA = 2
 
 #: The committed, package-shipped baseline used by default.
 DEFAULT_BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "baseline.json"
 
 
+def _module_of(relpath: str) -> str:
+    """Dotted module name for a package-relative finding path."""
+    return relpath.removesuffix(".py").replace("/", ".")
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ``#`` comment, respecting string literals.
+
+    A single-line scanner is enough for fingerprints: track quote state
+    (including backslash escapes) and cut at the first unquoted ``#``.
+    """
+    quote: str | None = None
+    escaped = False
+    for index, char in enumerate(line):
+        if escaped:
+            escaped = False
+            continue
+        if char == "\\":
+            escaped = True
+        elif quote is not None:
+            if char == quote:
+                quote = None
+        elif char in ("'", '"'):
+            quote = char
+        elif char == "#":
+            return line[:index]
+    return line
+
+
+def normalized_snippet(source_line: str) -> str:
+    """Whitespace-collapsed, comment-stripped code text of a line."""
+    return " ".join(_strip_comment(source_line).split())
+
+
 def fingerprint(finding: Finding, occurrence: int = 0) -> str:
-    """Stable id of a finding, robust to pure line-number drift."""
-    normalized = " ".join(finding.source_line.split())
-    payload = f"{finding.path}|{finding.rule}|{normalized}|{occurrence}"
+    """Stable id of a finding (schema 2).
+
+    Hashes the dotted module, the rule id, the comment-stripped
+    normalized snippet, and an occurrence index for identical snippets
+    — never the line number, so edits elsewhere in the file (or in the
+    line's own comments) cannot invalidate an accepted entry.
+    """
+    snippet = normalized_snippet(finding.source_line)
+    payload = f"v2|{_module_of(finding.path)}|{finding.rule}|{snippet}|{occurrence}"
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 def fingerprint_findings(findings: list[Finding]) -> dict[str, Finding]:
-    """Fingerprint → finding, disambiguating identical lines by order."""
+    """Fingerprint → finding, disambiguating identical snippets by order."""
     out: dict[str, Finding] = {}
     seen: dict[tuple[str, str, str], int] = {}
     for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
-        key = (finding.path, finding.rule, " ".join(finding.source_line.split()))
+        key = (finding.path, finding.rule, normalized_snippet(finding.source_line))
         occurrence = seen.get(key, 0)
         seen[key] = occurrence + 1
         out[fingerprint(finding, occurrence)] = finding
@@ -67,11 +110,22 @@ class Baseline:
         return self.entries.get(fp, {}).get("rationale", "")
 
 
+def _read_payload(path: pathlib.Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise DataError(f"baseline {path} is corrupt: {error}") from error
+    if not isinstance(payload, dict):
+        raise DataError(f"baseline {path} is not a JSON object")
+    return payload
+
+
 def load_baseline(path: str | pathlib.Path | None = None) -> Baseline:
     """Load a baseline file (the shipped default when ``path`` is None).
 
     A missing default baseline is an empty baseline; a missing explicit
-    path is an error.
+    path is an error; a schema-1 file is an error that points at the
+    one-shot ``repro lint --migrate-baseline`` rewrite.
     """
     explicit = path is not None
     path = pathlib.Path(path) if explicit else DEFAULT_BASELINE_PATH
@@ -79,10 +133,12 @@ def load_baseline(path: str | pathlib.Path | None = None) -> Baseline:
         if explicit:
             raise DataError(f"no such baseline file: {path}")
         return Baseline(path=path)
-    try:
-        payload = json.loads(path.read_text())
-    except (OSError, ValueError) as error:
-        raise DataError(f"baseline {path} is corrupt: {error}") from error
+    payload = _read_payload(path)
+    if payload.get("schema") == 1:
+        raise DataError(
+            f"baseline {path} uses fingerprint schema 1; run "
+            "'repro lint --migrate-baseline' once to rewrite it in place"
+        )
     if payload.get("schema") != BASELINE_SCHEMA:
         raise DataError(
             f"baseline {path}: schema {payload.get('schema')!r} != {BASELINE_SCHEMA}"
@@ -94,6 +150,47 @@ def load_baseline(path: str | pathlib.Path | None = None) -> Baseline:
             raise DataError(f"baseline {path}: entry without fingerprint: {entry}")
         entries[fp] = entry
     return Baseline(entries=entries, path=path)
+
+
+def migrate_baseline(path: str | pathlib.Path | None = None) -> pathlib.Path:
+    """One-shot schema-1 → schema-2 rewrite, preserving rationales.
+
+    Recomputes every entry's fingerprint from its recorded ``(file,
+    rule, source_line)`` under the v2 scheme; occurrence indices are
+    rebuilt in the stored entry order, which matches the sorted order
+    :func:`write_baseline` produced them in.  Running it on a file that
+    is already schema 2 is a no-op.
+    """
+    path = pathlib.Path(path) if path is not None else DEFAULT_BASELINE_PATH
+    if not path.exists():
+        raise DataError(f"no such baseline file: {path}")
+    payload = _read_payload(path)
+    if payload.get("schema") == BASELINE_SCHEMA:
+        return path
+    if payload.get("schema") != 1:
+        raise DataError(
+            f"baseline {path}: cannot migrate schema {payload.get('schema')!r}"
+        )
+    seen: dict[tuple[str, str, str], int] = {}
+    entries = []
+    for entry in payload.get("entries", []):
+        finding = Finding(
+            rule=entry.get("rule", ""),
+            path=entry.get("file", ""),
+            line=int(entry.get("line", 0)),
+            col=0,
+            message=entry.get("message", ""),
+            source_line=entry.get("source_line", ""),
+        )
+        key = (finding.path, finding.rule, normalized_snippet(finding.source_line))
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        entries.append({**entry, "fingerprint": fingerprint(finding, occurrence)})
+    path.write_text(
+        json.dumps({"schema": BASELINE_SCHEMA, "entries": entries}, indent=2)
+        + "\n"
+    )
+    return path
 
 
 def write_baseline(

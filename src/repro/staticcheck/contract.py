@@ -33,6 +33,61 @@ FORBIDDEN_GROUND_TRUTH_MODULES: tuple[str, ...] = (
 #: The named-stream helper module exempt from RNG discipline.
 RNG_HELPER_MODULES: frozenset[str] = frozenset({"repro.rng"})
 
+#: Declared taint sanitizers for the interprocedural GT-taint rule
+#: (``module:qualname`` node ids).  The simulation engine is the
+#: paper's operator-visibility projection: planted hazard parameters
+#: go in, and what comes out (tickets, sensor streams, inventory) *is*
+#: the legitimate operator-visible dataset — so taint stops at its
+#: return value.  Anything added here must be an intentional
+#: ground-truth → observable boundary, not a convenience.
+TAINT_BOUNDARY: frozenset[str] = frozenset({
+    "repro.failures.engine:simulate",
+})
+
+#: Call refs whose result depends on when/where the process runs —
+#: poison for content-addressed cache keys (fingerprint-purity rule).
+NONDETERMINISTIC_CALLS: frozenset[str] = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.perf_counter",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "os.urandom",
+    "os.getenv",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "random.random",
+    "random.randint",
+    "random.choice",
+    "random.shuffle",
+})
+
+#: Call refs that block the event loop when reached from an ``async
+#: def`` without an executor hop (async-safety rule).
+BLOCKING_CALLS: frozenset[str] = frozenset({
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "socket.socket",
+    "socket.create_connection",
+    "open",
+})
+
+#: Attribute-call names that hop work off the event loop; traversal of
+#: the async-reachability closure stops at call sites passing through
+#: these (their callable arguments run on an executor thread).
+EXECUTOR_HOPS: frozenset[str] = frozenset({
+    "run_in_executor",
+    "to_thread",
+})
+
 #: Declared package layering, lowest first.  A module may import from
 #: its own layer or below; importing *upward* is a ``layering`` finding
 #: unless the (module, layer) pair is listed in

@@ -217,6 +217,9 @@ class Rule:
     rationale: ClassVar[str] = ""
     #: AST node classes this rule wants to see (empty = module-only).
     node_types: ClassVar[tuple[type, ...]] = ()
+    #: Semantic version of the rule implementation; part of the lint
+    #: cache key, so bumping it re-analyzes every cached module.
+    version: ClassVar[int] = 1
 
     def applies_to(self, module: ModuleInfo) -> bool:
         """Whether the rule runs on ``module`` at all."""

@@ -1,8 +1,9 @@
-"""Finding reporters: human text and machine JSON.
+"""Finding reporters: human text, machine JSON and SARIF 2.1.0.
 
 The JSON layout is part of the CI contract (the ``staticcheck`` job
 parses it and asserts rule ids are present); bump ``REPORT_SCHEMA`` on
-incompatible changes.
+incompatible changes.  The SARIF form feeds code-scanning upload in CI
+so findings annotate pull requests in place.
 """
 
 from __future__ import annotations
@@ -13,6 +14,9 @@ from .baselines import fingerprint_findings
 from .runner import LintReport
 
 REPORT_SCHEMA = 1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def render_text(report: LintReport, verbose_rules: bool = False) -> str:
@@ -74,6 +78,86 @@ def render_json(report: LintReport) -> str:
             "baselined": len(report.baselined),
             "suppressed": len(report.suppressed),
             "modules": report.n_modules,
+            "cached_modules": report.cached_modules,
+            "analyzed_modules": report.analyzed_modules,
         },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 report for code-scanning upload.
+
+    New findings are ``error``-level results; baselined findings are
+    included with an accepted ``suppression`` carrying the recorded
+    rationale text, so scanners show them as reviewed rather than
+    silently dropping them.  ``partialFingerprints`` carries the
+    baseline fingerprint, which is line-number independent by design —
+    exactly what SARIF asks of a stable result id.
+    """
+    rule_ids = sorted(report.rule_catalog)
+    rule_index = {rule_id: index for index, rule_id in enumerate(rule_ids)}
+    fingerprints = {
+        id(finding): fp
+        for fp, finding in fingerprint_findings(
+            report.findings + report.baselined
+        ).items()
+    }
+
+    def result(finding, baselined: bool) -> dict:
+        entry = {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index.get(finding.rule, -1),
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "reproLint/v2": fingerprints.get(id(finding), ""),
+            },
+        }
+        if baselined:
+            entry["suppressions"] = [{
+                "kind": "external",
+                "status": "accepted",
+                "justification": "baselined in staticcheck/baseline.json",
+            }]
+        return entry
+
+    driver = {
+        "name": "repro-lint",
+        "informationUri": "https://example.invalid/repro/docs/static_analysis",
+        "version": str(REPORT_SCHEMA),
+        "rules": [
+            {
+                "id": rule_id,
+                "shortDescription": {"text": report.rule_catalog[rule_id][0]},
+                "fullDescription": {"text": report.rule_catalog[rule_id][1]},
+                "defaultConfiguration": {"level": "error"},
+            }
+            for rule_id in rule_ids
+        ],
+    }
+    payload = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": driver},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "src/"}},
+            "results": (
+                [result(f, False) for f in report.findings]
+                + [result(f, True) for f in report.baselined]
+            ),
+        }],
     }
     return json.dumps(payload, indent=2, sort_keys=False)

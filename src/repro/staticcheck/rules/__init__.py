@@ -5,18 +5,25 @@ registry; ``framework.all_rules()`` does so lazily.  Rule catalogue and
 suppression workflow: ``docs/static_analysis.md``.
 """
 
+from .async_safety import AsyncSafetyRule, SharedMutableStateRule
+from .fingerprint_purity import FingerprintPurityRule
 from .float_eq import FloatEqRule
 from .gt_leak import GtLeakRule
+from .gt_taint import GtTaintRule
 from .layering import LayeringRule
 from .rng_discipline import RngDisciplineRule
 from .schema_fields import SchemaFieldsRule
 from .wallclock import WallclockRule
 
 __all__ = [
+    "AsyncSafetyRule",
+    "FingerprintPurityRule",
     "FloatEqRule",
     "GtLeakRule",
+    "GtTaintRule",
     "LayeringRule",
     "RngDisciplineRule",
     "SchemaFieldsRule",
+    "SharedMutableStateRule",
     "WallclockRule",
 ]

@@ -1,0 +1,182 @@
+"""async-safety: the serve event loop must never block or share state.
+
+Two whole-program rules guard the async query service:
+
+* :class:`AsyncSafetyRule` — takes the call-graph closure of every
+  ``async def`` body and flags reachable *blocking* calls:
+  ``time.sleep``, sync ``subprocess``/``socket``/``open``, and bare
+  zero-argument ``.result()`` on a pool future (which parks the loop
+  until a worker finishes).  Work handed to
+  ``loop.run_in_executor(...)`` / ``asyncio.to_thread(...)`` is clean
+  by construction: the callable is passed as a *reference*, so the
+  resolver records no call edge and the closure never enters it.
+
+* :class:`SharedMutableStateRule` — computes the functions reachable
+  from the asyncio side and the functions reachable from
+  ``repro.parallel`` worker entry points (``map_seeds``/``map_items``
+  callables, ``pool.submit``/``pool.map`` targets, executor
+  ``initializer=``, ``run_in_executor`` callables), and flags any
+  function in *both* closures that writes module-global mutable state
+  — a ``global`` rebinding or an in-place mutation of a module-level
+  container.  Such writes are racy across the loop/worker boundary and
+  invisible to per-module linting.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterable
+
+from ..contract import BLOCKING_CALLS, EXECUTOR_HOPS
+from ..framework import Finding
+from ..wholeprogram.callgraph import CallGraph, Program, split_node
+from ..wholeprogram.rulebase import WholeProgramRule, register_wholeprogram
+from ..wholeprogram.summaries import WRITE_GLOBAL, WRITE_MUTATE
+
+#: Attribute-call names treated as worker dispatch: their callable
+#: arguments run on pool workers, not in the calling context.
+_POOL_DISPATCH = frozenset({"submit", "map"})
+
+#: repro.parallel entry points whose first callable argument fans out
+#: to worker processes.
+_PARALLEL_ENTRY_SUFFIXES = ("map_seeds", "map_items")
+
+
+def _fmt(node: str) -> str:
+    module, qualname = split_node(node)
+    return f"{module}:{qualname}"
+
+
+def _async_roots(program: Program) -> list[str]:
+    return [node for node, _summary, fn in program.iter_functions()
+            if fn.is_async]
+
+
+def _worker_roots(program: Program, graph: CallGraph) -> dict[str, str]:
+    """Worker entry nodes -> description of the dispatch site."""
+    roots: dict[str, str] = {}
+
+    def note(module: str, ref: str, line: int, how: str) -> None:
+        node = graph.resolve_target(module, ref)
+        if node is not None and node not in roots:
+            roots[node] = f"{how} at {module}:{line}"
+
+    for _node, summary, fn in program.iter_functions():
+        for site in fn.calls:
+            base = site.raw.split(".")[-1] if site.raw else ""
+            is_parallel_entry = base in _PARALLEL_ENTRY_SUFFIXES or any(
+                site.raw.endswith("." + s) for s in _PARALLEL_ENTRY_SUFFIXES)
+            if is_parallel_entry:
+                for _slot, ref in site.callable_args:
+                    note(summary.module, ref, site.line,
+                         "fanned out via repro.parallel")
+            elif site.attr in _POOL_DISPATCH and site.raw.count(".") >= 1:
+                for slot, ref in site.callable_args:
+                    if slot == 0 or slot == "fn":
+                        note(summary.module, ref, site.line,
+                             f"dispatched via .{site.attr}()")
+            elif site.attr in EXECUTOR_HOPS:
+                for _slot, ref in site.callable_args:
+                    note(summary.module, ref, site.line,
+                         f"hopped via .{site.attr}()")
+            for slot, ref in site.callable_args:
+                if slot == "initializer":
+                    note(summary.module, ref, site.line,
+                         "installed as pool initializer")
+    return roots
+
+
+@register_wholeprogram
+class AsyncSafetyRule(WholeProgramRule):
+    id: ClassVar[str] = "async-safety"
+    title: ClassVar[str] = "blocking call reachable from an async handler"
+    rationale: ClassVar[str] = (
+        "A blocking call under an async def stalls every in-flight "
+        "request on the event loop; slow work must hop through "
+        "run_in_executor/to_thread so the loop keeps serving."
+    )
+    version: ClassVar[int] = 1
+
+    def check_program(self, program: Program,
+                      graph: CallGraph) -> Iterable[Finding]:
+        roots = _async_roots(program)
+        if not roots:
+            return
+        parents = graph.reachable(roots)
+        seen: set[tuple[str, int, str]] = set()
+        for node in sorted(parents):
+            fn = program.function(node)
+            summary = program.module_of(node)
+            if fn is None or summary is None:
+                continue
+            for index, site in enumerate(fn.calls):
+                what: str | None = None
+                if site.raw in BLOCKING_CALLS:
+                    what = f"calls blocking {site.raw}()"
+                elif (site.attr == "result" and site.nargs == 0
+                      and graph.program.resolve_call(
+                          summary.module, site.raw, fn) is None
+                      and site.raw not in ("", "self")):
+                    what = ("waits on a pool future with bare .result() "
+                            "(no timeout, parks the loop)")
+                if what is None:
+                    continue
+                key = (node, site.line, what)
+                if key in seen:
+                    continue
+                seen.add(key)
+                chain = " -> ".join(
+                    _fmt(hop) for hop in graph.chain(parents, node))
+                yield self.finding(
+                    summary, site.line,
+                    f"{fn.qualname} {what}, reachable from an async "
+                    f"handler without an executor hop (chain: {chain})",
+                )
+
+
+@register_wholeprogram
+class SharedMutableStateRule(WholeProgramRule):
+    id: ClassVar[str] = "shared-mutable-state"
+    title: ClassVar[str] = (
+        "module state written by code shared between loop and workers"
+    )
+    rationale: ClassVar[str] = (
+        "A module-global written by code reachable from both the asyncio "
+        "loop and repro.parallel workers is either racy (threads) or "
+        "silently divergent (processes); pass state explicitly or keep it "
+        "on one side of the boundary."
+    )
+    version: ClassVar[int] = 1
+
+    def check_program(self, program: Program,
+                      graph: CallGraph) -> Iterable[Finding]:
+        async_nodes = _async_roots(program)
+        worker_roots = _worker_roots(program, graph)
+        if not async_nodes or not worker_roots:
+            return
+        async_reach = graph.reachable(async_nodes)
+        worker_reach = graph.reachable(worker_roots)
+        shared = set(async_reach) & set(worker_reach)
+        seen: set[tuple[str, str, int]] = set()
+        for node in sorted(shared):
+            fn = program.function(node)
+            summary = program.module_of(node)
+            if fn is None or summary is None:
+                continue
+            for name, line, kind in fn.global_writes:
+                if kind == WRITE_MUTATE and name not in summary.mutable_globals:
+                    continue  # a late-assigned local, not module state
+                if kind not in (WRITE_GLOBAL, WRITE_MUTATE):
+                    continue
+                key = (node, name, line)
+                if key in seen:
+                    continue
+                seen.add(key)
+                worker_root = graph.chain(worker_reach, node)[0]
+                yield self.finding(
+                    summary, line,
+                    f"{fn.qualname} writes module global {name!r} but is "
+                    "reachable from both the asyncio loop (chain: "
+                    + " -> ".join(_fmt(h)
+                                  for h in graph.chain(async_reach, node))
+                    + f") and pool workers ({worker_roots[worker_root]})",
+                )

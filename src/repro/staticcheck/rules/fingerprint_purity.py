@@ -1,0 +1,92 @@
+"""fingerprint-purity: cache-key compute must be deterministic.
+
+The artifact pipeline is content-addressed: a
+:class:`~repro.pipeline.core.Stage`'s ``run`` callable and everything
+feeding its ``fingerprint_inputs`` must produce the same result for
+the same key, or warm cache hits silently return stale/garbled
+artifacts.  A ``time.time()`` three calls below a stage's run function
+poisons the key just as surely as one inside it — and the per-module
+``wallclock`` rule cannot see the call chain.
+
+This rule collects every function bound as a Stage ``run=`` (keyword
+or second positional) and every function called inside a
+``fingerprint_inputs=`` expression, takes the call-graph closure, and
+flags any reachable call to a nondeterministic source
+(:data:`~repro.staticcheck.contract.NONDETERMINISTIC_CALLS`, unseeded
+``default_rng()``, ``os.environ`` reads).  Injected clock/RNG ports
+stay clean automatically: a port is stored on an object and called
+through an attribute the resolver cannot pin to a def, so it produces
+no edge and no sink.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterable
+
+from ..contract import NONDETERMINISTIC_CALLS
+from ..framework import Finding
+from ..wholeprogram.callgraph import CallGraph, Program, split_node
+from ..wholeprogram.rulebase import WholeProgramRule, register_wholeprogram
+
+
+@register_wholeprogram
+class FingerprintPurityRule(WholeProgramRule):
+    id: ClassVar[str] = "fingerprint-purity"
+    title: ClassVar[str] = (
+        "nondeterminism reachable from a content-addressed compute root"
+    )
+    rationale: ClassVar[str] = (
+        "Stage run callables and fingerprint_inputs feeders key the "
+        "artifact store; any reachable wall-clock read, unseeded RNG or "
+        "environment lookup makes the cache key nondeterministic, so warm "
+        "hits stop meaning 'same inputs, same artifact'."
+    )
+    version: ClassVar[int] = 1
+
+    def check_program(self, program: Program,
+                      graph: CallGraph) -> Iterable[Finding]:
+        roots: dict[str, tuple[str, int]] = {}
+        for module_name in sorted(program.modules):
+            summary = program.modules[module_name]
+            for ref, line in summary.stage_runs:
+                node = graph.resolve_target(module_name, ref)
+                if node is not None and node not in roots:
+                    roots[node] = (module_name, line)
+        if not roots:
+            return
+        parents = graph.reachable(roots)
+        seen: set[tuple[str, int, str]] = set()
+        for node in sorted(parents):
+            fn = program.function(node)
+            summary = program.module_of(node)
+            if fn is None or summary is None:
+                continue
+            sinks: list[tuple[int, str]] = []
+            for site in fn.calls:
+                if site.raw in NONDETERMINISTIC_CALLS:
+                    sinks.append((site.line, f"calls {site.raw}()"))
+                elif site.unseeded_rng:
+                    sinks.append(
+                        (site.line, f"pulls OS entropy via {site.raw}()"))
+            for what, line in fn.impure_reads:
+                sinks.append((line, f"reads {what}"))
+            for line, what in sinks:
+                key = (node, line, what)
+                if key in seen:
+                    continue
+                seen.add(key)
+                chain = " -> ".join(
+                    _fmt(hop) for hop in graph.chain(parents, node))
+                root_module, root_line = roots[graph.chain(parents, node)[0]]
+                yield self.finding(
+                    summary, line,
+                    f"{fn.qualname} {what}, but it is reachable from the "
+                    f"content-addressed compute root bound at "
+                    f"{root_module}:{root_line} (chain: {chain}); "
+                    "inject a clock/RNG port instead",
+                )
+
+
+def _fmt(node: str) -> str:
+    module, qualname = split_node(node)
+    return f"{module}:{qualname}"

@@ -1,0 +1,73 @@
+"""GT-taint: laundered ground truth cannot reach the analysis side.
+
+The per-module ``GT-leak`` rule catches an analysis module that reads a
+planted attribute *directly*.  It cannot see the realistic failure
+mode: a helper in a neutral package reads ``spec.stress_multiplier``,
+returns it (possibly through another helper), and an ``analysis`` /
+``predict`` function consumes the return value — the leak happened two
+calls away from the package boundary.
+
+This rule runs the interprocedural taint fixpoint
+(:mod:`repro.staticcheck.wholeprogram.taint`) and flags every call
+site *inside an analysis-side package* that consumes a
+ground-truth-tainted return value, printing the full propagation chain
+back to the planted read.  Taint stops at the declared
+:data:`~repro.staticcheck.contract.TAINT_BOUNDARY` (the simulation is
+the operator-visibility projection — its output is legitimate data).
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterable
+
+from ..contract import (
+    FORBIDDEN_GROUND_TRUTH_MODULES,
+    TAINT_BOUNDARY,
+    is_analysis_module,
+)
+from ..framework import Finding
+from ..wholeprogram.callgraph import CallGraph, Program
+from ..wholeprogram.rulebase import WholeProgramRule, register_wholeprogram
+from ..wholeprogram.taint import analyze_taint
+
+
+@register_wholeprogram
+class GtTaintRule(WholeProgramRule):
+    id: ClassVar[str] = "GT-taint"
+    title: ClassVar[str] = (
+        "analysis side consumes a ground-truth-tainted value through calls"
+    )
+    rationale: ClassVar[str] = (
+        "A helper that returns planted hazard data launders the GT-leak "
+        "boundary: the analysis layer ends up computing on ground truth it "
+        "never syntactically touched, making the recovered structure "
+        "circular.  Taint is tracked through returns, arguments and "
+        "attribute stores across all modules."
+    )
+    version: ClassVar[int] = 1
+
+    def check_program(self, program: Program,
+                      graph: CallGraph) -> Iterable[Finding]:
+        taint = analyze_taint(
+            program,
+            source_modules=FORBIDDEN_GROUND_TRUTH_MODULES,
+            boundary=TAINT_BOUNDARY,
+        )
+        seen: set[tuple[str, str]] = set()
+        for node, summary, fn in program.iter_functions():
+            if not is_analysis_module(summary.module):
+                continue
+            for index, site in enumerate(fn.calls):
+                why = taint.call_taint(node, fn, index)
+                if why is None:
+                    continue
+                callee = taint.callees.get((node, index), site.raw)
+                if (node, callee) in seen:
+                    continue
+                seen.add((node, callee))
+                chain = " <- ".join(taint.chain(why))
+                yield self.finding(
+                    summary, site.line,
+                    f"{fn.qualname} consumes a ground-truth-tainted "
+                    f"return value; taint chain: {chain}",
+                )

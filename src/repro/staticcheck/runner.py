@@ -1,8 +1,12 @@
 """High-level lint entry points for the CLI, CI job and tests.
 
-:func:`lint_paths` walks package trees on disk; :func:`lint_source`
-lints a snippet string as if it lived at a chosen module path, which is
-how the fixture tests feed known-bad code through individual rules.
+:func:`lint_paths` walks package trees on disk through the
+whole-program engine (content-addressed fragment cache, optional
+process fan-out); :func:`lint_source` lints a snippet string as if it
+lived at a chosen module path, which is how the fixture tests feed
+known-bad code through individual rules, and :func:`lint_sources`
+lints a dict of snippets as one multi-module program so
+interprocedural fixtures can spread a taint chain across modules.
 """
 
 from __future__ import annotations
@@ -12,8 +16,24 @@ from dataclasses import dataclass, field
 
 from ..errors import DataError
 from .baselines import Baseline, partition
-from .framework import Finding, ModuleInfo, Rule, all_rules, check_modules
+from .framework import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    all_rules,
+    check_modules,
+    read_source,
+)
 from .graph import ImportGraph, collect_modules, module_name_for
+from .wholeprogram import analyze_modules
+from .wholeprogram.cache import FragmentCache
+from .wholeprogram.engine import _wholeprogram_findings
+from .wholeprogram.rulebase import (
+    WholeProgramRule,
+    all_wholeprogram_rules,
+    get_wholeprogram_rule,
+)
+from .wholeprogram.summaries import summarize_module
 
 
 def default_target() -> pathlib.Path:
@@ -35,6 +55,9 @@ class LintReport:
     n_modules: int = 0
     rule_catalog: dict[str, tuple[str, str]] = field(default_factory=dict)
     graph: ImportGraph | None = None
+    #: Incremental-cache counters (0/0 on uncached in-memory runs).
+    cached_modules: int = 0
+    analyzed_modules: int = 0
 
     @property
     def ok(self) -> bool:
@@ -55,69 +78,176 @@ class LintReport:
         )
 
 
-def _catalog(rules: list[Rule]) -> dict[str, tuple[str, str]]:
-    return {rule.id: (rule.title, rule.rationale) for rule in rules}
+def _catalog(
+    rules: list[Rule], wp_rules: list[WholeProgramRule],
+) -> dict[str, tuple[str, str]]:
+    catalog = {rule.id: (rule.title, rule.rationale) for rule in rules}
+    catalog.update(
+        {rule.id: (rule.title, rule.rationale) for rule in wp_rules})
+    return catalog
+
+
+def select_rules(
+    rule_ids: list[str],
+) -> tuple[list[Rule], list[WholeProgramRule]]:
+    """Split requested rule ids across the two registries.
+
+    Unknown ids raise :class:`~repro.errors.DataError` naming both
+    catalogues, so ``repro lint --rules GT-taint`` and ``--rules
+    wallclock`` work identically from the CLI.
+    """
+    from .framework import _REGISTRY, get_rule
+    from .wholeprogram.rulebase import _WP_REGISTRY
+    from . import rules as _rule_pack  # noqa: F401  (registers both packs)
+
+    per_module: list[Rule] = []
+    whole_program: list[WholeProgramRule] = []
+    for rule_id in rule_ids:
+        if rule_id in _REGISTRY:
+            per_module.append(get_rule(rule_id))
+        elif rule_id in _WP_REGISTRY:
+            whole_program.append(get_wholeprogram_rule(rule_id))
+        else:
+            raise DataError(
+                f"unknown rule {rule_id!r}; have "
+                f"{sorted(set(_REGISTRY) | set(_WP_REGISTRY))}"
+            )
+    return per_module, whole_program
+
+
+def _resolve_rule_sets(
+    rules: list[Rule] | None,
+    wp_rules: list[WholeProgramRule] | None,
+) -> tuple[list[Rule], list[WholeProgramRule]]:
+    """Default rule sets: everything when unfiltered; an explicit
+    per-module filter implies no whole-program rules (and vice versa),
+    so ``rules=[get_rule("wallclock")]`` keeps meaning 'only
+    wallclock'."""
+    if rules is None and wp_rules is None:
+        return all_rules(), all_wholeprogram_rules()
+    return list(rules or []), list(wp_rules or [])
 
 
 def lint_modules(
     modules: list[ModuleInfo],
     rules: list[Rule] | None = None,
     baseline: Baseline | None = None,
+    wp_rules: list[WholeProgramRule] | None = None,
 ) -> LintReport:
-    """Run rules over pre-parsed modules; apply baseline if given."""
-    rules = rules if rules is not None else all_rules()
+    """Run rules over pre-parsed modules; apply baseline if given.
+
+    The in-memory path: no fragment cache, no process fan-out — used
+    by fixture tests and snippet linting.  The whole-program phase
+    still runs, over summaries extracted directly from the parsed
+    modules.
+    """
+    rules, wp_rules = _resolve_rule_sets(rules, wp_rules)
     walk = check_modules(modules, rules)
+    findings = list(walk.findings)
+    suppressed = list(walk.suppressed)
+    if wp_rules:
+        summaries = {m.name: summarize_module(m) for m in modules}
+        wp_found, wp_suppressed = _wholeprogram_findings(summaries, wp_rules)
+        findings.extend(wp_found)
+        suppressed.extend(wp_suppressed)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     if baseline is not None and len(baseline):
-        new, grandfathered = partition(walk.findings, baseline)
+        new, grandfathered = partition(findings, baseline)
     else:
-        new, grandfathered = walk.findings, []
+        new, grandfathered = findings, []
     return LintReport(
         findings=new,
         baselined=grandfathered,
-        suppressed=walk.suppressed,
+        suppressed=suppressed,
         n_modules=walk.n_modules,
-        rule_catalog=_catalog(rules),
+        rule_catalog=_catalog(rules, wp_rules),
         graph=ImportGraph(modules),
+        analyzed_modules=len(modules),
     )
+
+
+def _collect_sources(
+    targets: list[pathlib.Path],
+) -> tuple[list[tuple[str, pathlib.Path, str]], frozenset[str]]:
+    """``(name, path, source)`` triples for lint targets, plus the
+    known-module set of the *whole* package for import resolution."""
+    triples: list[tuple[str, pathlib.Path, str]] = []
+    known: set[str] = set()
+    seen: set[str] = set()
+    for target in targets:
+        if not target.exists():
+            raise DataError(f"no such lint target: {target}")
+        root = _package_root(target)
+        all_paths = sorted(root.rglob("*.py"))
+        known.update(module_name_for(p, root) for p in all_paths)
+        if target.is_file():
+            wanted = [target]
+        elif target.resolve() != root.resolve():
+            subtree = target.resolve()
+            wanted = [p for p in all_paths
+                      if p.resolve().is_relative_to(subtree)]
+        else:
+            wanted = all_paths
+        for path in wanted:
+            name = module_name_for(path, root)
+            if name in seen:
+                continue
+            seen.add(name)
+            triples.append((name, path, read_source(path)))
+    triples.sort(key=lambda triple: triple[0])
+    return triples, frozenset(known)
 
 
 def lint_paths(
     paths: list[pathlib.Path] | None = None,
     rules: list[Rule] | None = None,
     baseline: Baseline | None = None,
+    wp_rules: list[WholeProgramRule] | None = None,
+    cache_dir: str | pathlib.Path | None = None,
+    jobs: int | None = 1,
 ) -> LintReport:
-    """Lint one or more package trees (default: the repro package)."""
-    targets = [pathlib.Path(p) for p in (paths or [default_target()])]
-    modules: list[ModuleInfo] = []
-    for target in targets:
-        if not target.exists():
-            raise DataError(f"no such lint target: {target}")
-        if target.is_file():
-            root = _package_root(target)
-            known = frozenset(
-                module_name_for(p, root) for p in sorted(root.rglob("*.py"))
-            )
-            from .framework import read_source
+    """Lint one or more package trees (default: the repro package).
 
-            modules.append(ModuleInfo(
-                source=read_source(target),
-                name=module_name_for(target, root),
-                path=target,
-                known_modules=known,
-            ))
-        else:
-            root = _package_root(target)
-            collected = collect_modules(root)
-            if target.resolve() != root.resolve():
-                # A subpackage target lints only its own modules; the
-                # whole package still provides import resolution.
-                subtree = target.resolve()
-                collected = [
-                    m for m in collected
-                    if m.path.resolve().is_relative_to(subtree)
-                ]
-            modules.extend(collected)
-    return lint_modules(modules, rules=rules, baseline=baseline)
+    Args:
+        paths: package roots, subpackages or single files.
+        rules: per-module rule subset (default: all registered).
+        baseline: grandfathered findings to partition against.
+        wp_rules: whole-program rule subset (default: all registered,
+            unless ``rules`` is filtered — an explicit filter selects
+            exactly what it names).
+        cache_dir: fragment-cache directory; warm runs re-analyze only
+            modules whose source changed.
+        jobs: process fan-out for fresh per-module analysis
+            (``repro lint --jobs N``); serial and parallel output are
+            byte-identical.
+    """
+    rules, wp_rules = _resolve_rule_sets(rules, wp_rules)
+    targets = [pathlib.Path(p) for p in (paths or [default_target()])]
+    triples, known = _collect_sources(targets)
+    cache = FragmentCache(cache_dir)
+    result = analyze_modules(
+        triples,
+        rules=rules,
+        wp_rules=wp_rules,
+        known_modules=known,
+        cache=cache,
+        jobs=jobs,
+    )
+    if baseline is not None and len(baseline):
+        new, grandfathered = partition(result.findings, baseline)
+    else:
+        new, grandfathered = result.findings, []
+    return LintReport(
+        findings=new,
+        baselined=grandfathered,
+        suppressed=result.suppressed,
+        n_modules=result.n_modules,
+        rule_catalog=_catalog(rules, wp_rules),
+        graph=None,
+        cached_modules=result.cached_modules,
+        analyzed_modules=result.analyzed_modules,
+    )
 
 
 def _package_root(path: pathlib.Path) -> pathlib.Path:
@@ -132,11 +262,19 @@ def _package_root(path: pathlib.Path) -> pathlib.Path:
     return root
 
 
+def _default_known_modules(extra: frozenset[str]) -> frozenset[str]:
+    root = default_target()
+    return extra | frozenset(
+        module_name_for(p, root) for p in sorted(root.rglob("*.py"))
+    )
+
+
 def lint_source(
     source: str,
     module: str = "repro.analysis.fixture",
     rules: list[Rule] | None = None,
     known_modules: frozenset[str] | None = None,
+    wp_rules: list[WholeProgramRule] | None = None,
 ) -> list[Finding]:
     """Lint a snippet as if it were the module named ``module``.
 
@@ -146,17 +284,34 @@ def lint_source(
     ``from repro.failures import hazards`` resolves as it would in the
     tree.
     """
+    return lint_sources({module: source}, rules=rules,
+                        known_modules=known_modules, wp_rules=wp_rules)
+
+
+def lint_sources(
+    sources: dict[str, str],
+    rules: list[Rule] | None = None,
+    known_modules: frozenset[str] | None = None,
+    wp_rules: list[WholeProgramRule] | None = None,
+) -> list[Finding]:
+    """Lint several snippets as one multi-module program.
+
+    Interprocedural fixtures use this to spread a call chain across
+    virtual modules — a ground-truth read in one, a laundering helper
+    in another, a consumer in a third — without touching disk.
+    """
     if known_modules is None:
-        root = default_target()
-        known_modules = frozenset(
-            module_name_for(p, root) for p in sorted(root.rglob("*.py"))
+        known_modules = _default_known_modules(frozenset(sources))
+    else:
+        known_modules = frozenset(known_modules) | frozenset(sources)
+    modules = [
+        ModuleInfo(
+            source=text,
+            name=name,
+            path=pathlib.Path("<fixture>") / (name.replace(".", "/") + ".py"),
+            known_modules=known_modules,
         )
-        known_modules |= {module}
-    info = ModuleInfo(
-        source=source,
-        name=module,
-        path=pathlib.Path("<fixture>") / (module.replace(".", "/") + ".py"),
-        known_modules=known_modules,
-    )
-    report = lint_modules([info], rules=rules)
+        for name, text in sorted(sources.items())
+    ]
+    report = lint_modules(modules, rules=rules, wp_rules=wp_rules)
     return report.all_findings

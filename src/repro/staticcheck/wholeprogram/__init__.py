@@ -1,0 +1,60 @@
+"""Whole-program analysis layer over the per-module rule framework.
+
+The single-walk rules in :mod:`repro.staticcheck.rules` see one module
+at a time, so a planted-attribute read laundered through a helper in
+another package, a wall-clock call three frames below a pipeline
+stage, or a ``time.sleep`` buried under an async handler are all
+invisible to them.  This package closes that gap:
+
+* :mod:`~repro.staticcheck.wholeprogram.summaries` — compresses each
+  module's AST into a JSON-serializable :class:`ModuleSummary` of
+  functions, call sites, dataflow atoms and taint-relevant facts;
+* :mod:`~repro.staticcheck.wholeprogram.callgraph` — links summaries
+  into a program-wide call graph (aliases, re-exports, class-attribute
+  method binding, ``functools.partial`` best-effort);
+* :mod:`~repro.staticcheck.wholeprogram.taint` — interprocedural
+  ground-truth taint fixpoint over the graph;
+* :mod:`~repro.staticcheck.wholeprogram.rulebase` — the
+  :class:`WholeProgramRule` registry the three interprocedural rule
+  families plug into;
+* :mod:`~repro.staticcheck.wholeprogram.cache` — content-addressed
+  per-module fragments through the pipeline's
+  :class:`~repro.pipeline.core.ArtifactStore`, so warm ``repro lint``
+  runs re-analyze only modules whose source changed;
+* :mod:`~repro.staticcheck.wholeprogram.engine` — the orchestrator the
+  runner calls: cached/parallel per-module analysis plus the global
+  propagation phase.
+
+Summaries — not ASTs — are the unit of caching and of inter-process
+transfer, which is what makes incremental and ``--jobs`` linting cheap.
+"""
+
+from .callgraph import CallGraph, Program
+from .engine import analyze_modules, module_fragment
+from .rulebase import (
+    WholeProgramRule,
+    all_wholeprogram_rules,
+    get_wholeprogram_rule,
+    register_wholeprogram,
+)
+from .summaries import (
+    SUMMARY_SCHEMA,
+    FunctionSummary,
+    ModuleSummary,
+    summarize_module,
+)
+
+__all__ = [
+    "CallGraph",
+    "FunctionSummary",
+    "ModuleSummary",
+    "Program",
+    "SUMMARY_SCHEMA",
+    "WholeProgramRule",
+    "all_wholeprogram_rules",
+    "analyze_modules",
+    "get_wholeprogram_rule",
+    "module_fragment",
+    "register_wholeprogram",
+    "summarize_module",
+]

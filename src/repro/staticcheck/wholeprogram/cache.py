@@ -1,0 +1,152 @@
+"""Content-addressed lint fragments through the artifact store.
+
+One *fragment* is everything the engine needs from a module on a warm
+run: its whole-program summary, its per-module rule findings (already
+split into kept/suppressed), and the noqa map the global phase applies
+to whole-program findings.  Fragments live in the same two-tier
+:class:`~repro.pipeline.core.ArtifactStore` the report pipeline uses —
+atomic disk publication, corrupt-entry self-healing and pruning come
+for free.
+
+The fragment key hashes everything that can change the fragment:
+
+* the module's dotted name and exact source bytes;
+* every per-module rule's ``(id, version)`` and every whole-program
+  rule's ``(id, version)`` (whole-program rules read the cached
+  *summary*, so a semantics bump must invalidate summaries too);
+* the summary schema version;
+* the contract salt — the generated ground-truth attribute and
+  telemetry field sets plus the contract module's own source, since a
+  new planted mark changes what extraction records about *other*
+  modules without their sources changing;
+* the sorted known-module list, because import-edge resolution (and
+  with it the layering rule) depends on which sibling modules exist.
+
+A warm ``repro lint`` therefore re-parses exactly the modules whose
+source changed; everything else is one ``sha256`` plus one store read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Any
+
+from ...pipeline.core import ArtifactStore, Stage, source_fingerprint
+from ..framework import Finding, Rule
+from .summaries import SUMMARY_SCHEMA
+
+#: Store stage name all fragments are filed under.
+FRAGMENT_STAGE = "lint-fragment"
+
+#: Layout version of the fragment payload itself.
+FRAGMENT_SCHEMA = 1
+
+
+def _never_runs(inputs: dict, ctx: Any) -> Any:  # pragma: no cover
+    raise AssertionError("lint fragment stage must never execute")
+
+
+def _fragment_stage() -> Stage:
+    """A stage shell carrying (name, codec) for store addressing."""
+    return Stage(name=FRAGMENT_STAGE, run=_never_runs, codec="json")
+
+
+def contract_salt(known_modules: frozenset[str]) -> str:
+    """Hash of lint inputs that live outside the module's own source."""
+    from ..contract import ground_truth_attributes, telemetry_field_names
+
+    digest = hashlib.sha256()
+    digest.update(b"fragment-schema:%d\n" % FRAGMENT_SCHEMA)
+    digest.update(b"summary-schema:%d\n" % SUMMARY_SCHEMA)
+    for attr in sorted(ground_truth_attributes()):
+        digest.update(b"gt:" + attr.encode() + b"\n")
+    for name in sorted(telemetry_field_names()):
+        digest.update(b"field:" + name.encode() + b"\n")
+    digest.update(b"contract:"
+                  + source_fingerprint("repro.staticcheck.contract").encode()
+                  + b"\n")
+    for module in sorted(known_modules):
+        digest.update(b"module:" + module.encode() + b"\n")
+    return digest.hexdigest()
+
+
+def rule_signature(rules: list[Rule], wp_versions: dict[str, int]) -> str:
+    """Stable hash of the active rule set and its semantic versions."""
+    parts = sorted(f"{rule.id}={rule.version}" for rule in rules)
+    parts += sorted(f"wp:{rid}={version}"
+                    for rid, version in wp_versions.items())
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+def fragment_key(module_name: str, source: str, rule_sig: str,
+                 salt: str) -> str:
+    """Content address of one module's lint fragment."""
+    digest = hashlib.sha256()
+    digest.update(module_name.encode() + b"\n")
+    digest.update(hashlib.sha256(source.encode()).hexdigest().encode())
+    digest.update(b"\n" + rule_sig.encode())
+    digest.update(b"\n" + salt.encode())
+    return digest.hexdigest()
+
+
+def finding_to_json(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule, "path": finding.path, "line": finding.line,
+        "col": finding.col, "message": finding.message,
+        "source_line": finding.source_line,
+    }
+
+
+def finding_from_json(payload: dict) -> Finding:
+    return Finding(
+        rule=payload["rule"], path=payload["path"], line=payload["line"],
+        col=payload["col"], message=payload["message"],
+        source_line=payload["source_line"],
+    )
+
+
+class FragmentCache:
+    """Fragment get/put over one artifact store root."""
+
+    #: One fragment per module per (source, rule set) revision — far
+    #: more entries than the pipeline's default per-stage bound of 32,
+    #: so the cap is raised to hold a few whole-tree generations.
+    MAX_ENTRIES = 4096
+
+    def __init__(self, cache_dir: str | pathlib.Path | None):
+        self.store = (
+            ArtifactStore(cache_dir, max_entries=self.MAX_ENTRIES)
+            if cache_dir else None
+        )
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.store is not None
+
+    def fetch(self, key: str) -> dict | None:
+        if self.store is None:
+            return None
+        hit = self.store.fetch(_fragment_stage(), key)
+        if hit is None:
+            self.misses += 1
+            return None
+        _tier, payload = hit
+        if (not isinstance(payload, dict)
+                or payload.get("schema") != FRAGMENT_SCHEMA):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, fragment: dict) -> None:
+        if self.store is None:
+            return
+        # Round-trip through JSON so cached and fresh fragments are
+        # bit-identical in structure (tuples become lists, ints stay
+        # ints) — warm findings must render byte-identically.
+        self.store.put(_fragment_stage(), key,
+                       json.loads(json.dumps(fragment)))

@@ -1,0 +1,309 @@
+"""Link per-module summaries into a program-wide call graph.
+
+A *node* is ``"dotted.module:qualname"`` — one
+:class:`~repro.staticcheck.wholeprogram.summaries.FunctionSummary`
+(including each module's ``<module>`` body).  Edges come from resolving
+every call site's ``raw`` ref against the program:
+
+* ``local:qual`` — a def in the calling module (closures included);
+* ``self.name`` — method lookup on the caller's own class, walking
+  class-attribute bindings and base classes;
+* dotted refs — split on the longest known-module prefix, then the
+  symbol path is chased through that module's top-level defs, aliases
+  and re-export bindings (cycle-guarded), so
+  ``from .core import Stage`` / ``pkg.__init__`` re-exports and
+  ``alias = impl`` both resolve to the defining def;
+* a ref that resolves to a *class* becomes an edge to its
+  ``__init__`` (inherited ``__init__`` found through bases) —
+  constructing an object runs code;
+* anything else (stdlib, numpy, injected ports) stays unresolved:
+  rules match those by raw string against their sink sets.
+
+Resolution is deliberately best-effort and *under*-approximating on
+dynamic dispatch: a ref that cannot be pinned to one def produces no
+edge rather than an explosion of maybes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from .summaries import MODULE_BODY, CallSite, FunctionSummary, ModuleSummary
+
+#: Separator between module and function qualname in node ids.
+NODE_SEP = ":"
+
+
+def node_id(module: str, qualname: str) -> str:
+    return f"{module}{NODE_SEP}{qualname}"
+
+
+def split_node(node: str) -> tuple[str, str]:
+    module, _, qualname = node.partition(NODE_SEP)
+    return module, qualname
+
+
+@dataclass
+class Edge:
+    """One resolved call: caller node -> callee node at a call site."""
+
+    caller: str
+    callee: str
+    site: CallSite
+
+    @property
+    def line(self) -> int:
+        return self.site.line
+
+
+class Program:
+    """All module summaries plus the symbol-resolution machinery."""
+
+    def __init__(self, summaries: Iterable[ModuleSummary]):
+        self.modules: dict[str, ModuleSummary] = {
+            s.module: s for s in summaries
+        }
+        # Module names sorted longest-first for dotted-prefix splits.
+        self._by_length = sorted(self.modules, key=len, reverse=True)
+
+    def __contains__(self, module: str) -> bool:
+        return module in self.modules
+
+    def iter_functions(self) -> Iterator[tuple[str, ModuleSummary,
+                                               FunctionSummary]]:
+        """Every (node id, module summary, function summary) triple."""
+        for name in sorted(self.modules):
+            summary = self.modules[name]
+            for qualname in sorted(summary.functions):
+                yield (node_id(name, qualname), summary,
+                       summary.functions[qualname])
+
+    def function(self, node: str) -> FunctionSummary | None:
+        module, qualname = split_node(node)
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        return summary.functions.get(qualname)
+
+    def module_of(self, node: str) -> ModuleSummary | None:
+        return self.modules.get(split_node(node)[0])
+
+    # -- symbol resolution --------------------------------------------
+
+    def split_module_prefix(self, dotted: str) -> tuple[str, list[str]] | None:
+        """Longest known-module prefix of a dotted ref, plus the rest."""
+        for candidate in self._by_length:
+            if dotted == candidate:
+                return candidate, []
+            if dotted.startswith(candidate + "."):
+                rest = dotted[len(candidate) + 1:].split(".")
+                return candidate, rest
+        return None
+
+    def resolve_call(self, module: str, raw: str,
+                     caller: FunctionSummary | None = None) -> str | None:
+        """Node id a call with ref ``raw`` lands on, or None if external."""
+        kind = self._resolve_ref(module, raw, caller, seen=set())
+        if kind is None:
+            return None
+        tag, payload = kind
+        if tag == "fn":
+            return payload
+        # Constructing a class runs its (possibly inherited) __init__.
+        cls_module, cls_qual = payload
+        init = self._resolve_method(cls_module, cls_qual, ["__init__"],
+                                    seen=set())
+        if init is not None and init[0] == "fn":
+            return init[1]
+        return None
+
+    def _resolve_ref(self, module: str, raw: str,
+                     caller: FunctionSummary | None,
+                     seen: set[tuple[str, str]]):
+        """Resolve a ref to ("fn", node) or ("class", (module, qual))."""
+        if not raw or (module, raw) in seen:
+            return None
+        seen.add((module, raw))
+        if raw.startswith("local:"):
+            return self._resolve_qual(module, raw[6:].split("."), seen)
+        if raw == "self" or raw.startswith("self."):
+            if caller is None:
+                return None
+            owner = self._owning_class(module, caller.qualname)
+            if owner is None:
+                return None
+            parts = raw.split(".")[1:]
+            if not parts:
+                return ("class", (module, owner))
+            return self._resolve_method(module, owner, parts, seen)
+        if "." in raw:
+            split = self.split_module_prefix(raw)
+            if split is None:
+                return None  # external (stdlib / third-party)
+            target_module, parts = split
+            if not parts:
+                return ("fn", node_id(target_module, MODULE_BODY))
+            return self._resolve_in_module(target_module, parts, seen)
+        # Bare name: a def/alias/binding in the calling module, else
+        # a builtin — which is external by definition.
+        return self._resolve_in_module(module, [raw], seen)
+
+    def _resolve_in_module(self, module: str, parts: list[str],
+                           seen: set[tuple[str, str]]):
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        direct = self._resolve_qual(module, parts, seen)
+        if direct is not None:
+            return direct
+        head, rest = parts[0], parts[1:]
+        ref = summary.module_refs.get(head)
+        if ref is not None:
+            if ref.startswith("local:"):
+                return self._resolve_qual(
+                    module, ref[6:].split(".") + rest, seen)
+            return self._resolve_ref(
+                module, ".".join([ref] + rest), None, seen)
+        origin = summary.bindings.get(head)
+        if origin is not None:
+            return self._resolve_ref(
+                module, ".".join([origin] + rest), None, seen)
+        return None
+
+    def _resolve_qual(self, module: str, parts: list[str],
+                      seen: set[tuple[str, str]]):
+        """Resolve a qualname path against one module's defs/classes."""
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        qual = ".".join(parts)
+        if qual in summary.functions:
+            return ("fn", node_id(module, qual))
+        # Longest class prefix, then method/attr lookup on it.
+        for split_at in range(len(parts), 0, -1):
+            cls_qual = ".".join(parts[:split_at])
+            if cls_qual in summary.classes:
+                rest = parts[split_at:]
+                if not rest:
+                    return ("class", (module, cls_qual))
+                return self._resolve_method(module, cls_qual, rest, seen)
+        return None
+
+    def _resolve_method(self, module: str, cls_qual: str, parts: list[str],
+                        seen: set[tuple[str, str]]):
+        """Look up a method/attr chain on a class, walking bases."""
+        key = (module, f"{cls_qual}::{'.'.join(parts)}")
+        if key in seen:
+            return None
+        seen.add(key)
+        summary = self.modules.get(module)
+        if summary is None or cls_qual not in summary.classes:
+            return None
+        entry = summary.classes[cls_qual]
+        head, rest = parts[0], parts[1:]
+        method_qual = entry["methods"].get(head)
+        if method_qual is not None and not rest:
+            return ("fn", node_id(module, method_qual))
+        attr_ref = entry["attrs"].get(head)
+        if attr_ref is not None:
+            resolved = self._resolve_ref(module, attr_ref, None, seen)
+            if resolved is not None and not rest:
+                return resolved
+            if (resolved is not None and resolved[0] == "class" and rest):
+                cls_module, inner_qual = resolved[1]
+                return self._resolve_method(cls_module, inner_qual, rest,
+                                            seen)
+            return None
+        for base_ref in entry["bases"]:
+            base = self._resolve_ref(module, base_ref, None, seen)
+            if base is not None and base[0] == "class":
+                base_module, base_qual = base[1]
+                found = self._resolve_method(base_module, base_qual, parts,
+                                             seen)
+                if found is not None:
+                    return found
+        return None
+
+    def _owning_class(self, module: str, qualname: str) -> str | None:
+        """Innermost class a method qualname belongs to."""
+        summary = self.modules[module]
+        parts = qualname.split(".")
+        for split_at in range(len(parts) - 1, 0, -1):
+            candidate = ".".join(parts[:split_at])
+            if candidate in summary.classes:
+                return candidate
+        return None
+
+
+@dataclass
+class CallGraph:
+    """Resolved edges over a :class:`Program`, plus reachability."""
+
+    program: Program
+    edges: dict[str, list[Edge]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, program: Program) -> "CallGraph":
+        graph = cls(program=program)
+        for node, summary, fn in program.iter_functions():
+            out: list[Edge] = []
+            for site in fn.calls:
+                callee = program.resolve_call(summary.module, site.raw, fn)
+                if callee is not None:
+                    out.append(Edge(caller=node, callee=callee, site=site))
+            if out:
+                graph.edges[node] = out
+        return graph
+
+    def out_edges(self, node: str) -> list[Edge]:
+        return self.edges.get(node, [])
+
+    def resolve_target(self, module: str, ref: str) -> str | None:
+        """Node a bare callable *reference* (not a call) points at."""
+        return self.program.resolve_call(module, ref, None)
+
+    def reachable(
+        self,
+        roots: Iterable[str],
+        stop: Callable[[str], bool] | None = None,
+    ) -> dict[str, tuple[str, Edge] | None]:
+        """BFS closure from ``roots`` over resolved edges.
+
+        Returns ``node -> (parent node, edge)`` (roots map to None), so
+        callers can rebuild the full propagation/call chain of any
+        reached node with :meth:`chain`.  ``stop`` prunes traversal
+        *through* a node (the node itself is still recorded).
+        """
+        parents: dict[str, tuple[str, Edge] | None] = {}
+        queue: deque[str] = deque()
+        for root in roots:
+            if root not in parents and self.program.function(root) is not None:
+                parents[root] = None
+                queue.append(root)
+        while queue:
+            node = queue.popleft()
+            if stop is not None and stop(node):
+                continue
+            for edge in self.out_edges(node):
+                if edge.callee not in parents:
+                    parents[edge.callee] = (node, edge)
+                    queue.append(edge.callee)
+        return parents
+
+    def chain(
+        self,
+        parents: dict[str, tuple[str, Edge] | None],
+        node: str,
+    ) -> list[str]:
+        """Root-to-node call chain as human-readable hops."""
+        hops: list[str] = []
+        current: str | None = node
+        while current is not None:
+            entry = parents.get(current)
+            hops.append(current)
+            if entry is None:
+                break
+            current = entry[0]
+        return list(reversed(hops))

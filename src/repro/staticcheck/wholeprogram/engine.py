@@ -1,0 +1,171 @@
+"""The whole-program lint engine: cached per-module analysis plus the
+global propagation phase.
+
+Per-module work — parsing, the single-walk rule pack, and summary
+extraction — is packaged as a *fragment* (see
+:mod:`~repro.staticcheck.wholeprogram.cache`): pure data computed from
+``(module name, source, known modules, rule set)``, which makes it
+safe to cache content-addressed and to fan out across processes with
+:func:`repro.parallel.map_items`.
+
+The global phase — linking summaries, running the whole-program rules
+— is always recomputed: it is cheap next to parsing, and a one-module
+edit can change *reverse* reachability (a new call edge makes a
+previously clean function reachable from a Stage root), so caching it
+per-module would be unsound.
+
+Determinism: fragments are merged in sorted module order and findings
+are fully sorted before returning, so serial, parallel and warm-cache
+runs produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from ...parallel import map_items
+from ..framework import Finding, ModuleInfo, Rule, check_modules, get_rule
+from .cache import (
+    FRAGMENT_SCHEMA,
+    FragmentCache,
+    contract_salt,
+    finding_from_json,
+    finding_to_json,
+    fragment_key,
+    rule_signature,
+)
+from .callgraph import CallGraph, Program
+from .rulebase import WholeProgramRule, all_wholeprogram_rules
+from .summaries import ModuleSummary, summarize_module
+
+
+@dataclass
+class EngineResult:
+    """Merged outcome of per-module fragments and the global phase."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    summaries: dict[str, ModuleSummary] = field(default_factory=dict)
+    n_modules: int = 0
+    cached_modules: int = 0
+    analyzed_modules: int = 0
+
+
+def module_fragment(spec: tuple) -> dict:
+    """Compute one module's lint fragment (worker entry point).
+
+    ``spec`` is picklable: ``(name, path, source, known modules,
+    per-module rule ids)``.  Rules are reconstructed from their ids so
+    a process pool ships only strings.
+    """
+    name, path, source, known, rule_ids = spec
+    info = ModuleInfo(
+        source=source,
+        name=name,
+        path=pathlib.Path(path),
+        known_modules=frozenset(known),
+    )
+    rules = [get_rule(rule_id) for rule_id in rule_ids]
+    walk = check_modules([info], rules)
+    summary = summarize_module(info)
+    return {
+        "schema": FRAGMENT_SCHEMA,
+        "module": name,
+        "summary": summary.to_json(),
+        "findings": [finding_to_json(f) for f in walk.findings],
+        "suppressed": [finding_to_json(f) for f in walk.suppressed],
+    }
+
+
+def _wholeprogram_findings(
+    summaries: dict[str, ModuleSummary],
+    wp_rules: list[WholeProgramRule],
+) -> tuple[list[Finding], list[Finding]]:
+    """Run the global phase; split findings by noqa suppressions."""
+    if not wp_rules:
+        return [], []
+    program = Program(summaries.values())
+    graph = CallGraph.build(program)
+    by_path = {summary.path: summary for summary in summaries.values()}
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for rule in wp_rules:
+        for finding in rule.check_program(program, graph):
+            summary = by_path.get(finding.path)
+            if summary is not None and _suppresses(summary, finding):
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+def _suppresses(summary: ModuleSummary, finding: Finding) -> bool:
+    if (finding.rule in summary.file_suppressions
+            or "*" in summary.file_suppressions):
+        return True
+    rules = summary.suppressions.get(finding.line, [])
+    return finding.rule in rules or "*" in rules
+
+
+def analyze_modules(
+    sources: list[tuple[str, pathlib.Path, str]],
+    rules: list[Rule],
+    wp_rules: list[WholeProgramRule] | None = None,
+    known_modules: frozenset[str] | None = None,
+    cache: FragmentCache | None = None,
+    jobs: int | None = 1,
+) -> EngineResult:
+    """Lint ``(name, path, source)`` triples end to end.
+
+    Per-module fragments come from the cache when warm, from
+    (optionally parallel) fresh analysis when not; the whole-program
+    phase then runs over the merged summaries.
+    """
+    wp_rules = (wp_rules if wp_rules is not None
+                else all_wholeprogram_rules())
+    if known_modules is None:
+        known_modules = frozenset(name for name, _path, _source in sources)
+    cache = cache if cache is not None else FragmentCache(None)
+    salt = contract_salt(known_modules)
+    signature = rule_signature(
+        rules, {rule.id: rule.version for rule in wp_rules})
+    rule_ids = tuple(rule.id for rule in rules)
+    ordered = sorted(sources, key=lambda triple: triple[0])
+
+    fragments: dict[str, dict] = {}
+    keys: dict[str, str] = {}
+    missing: list[tuple] = []
+    for name, path, source in ordered:
+        key = fragment_key(name, source, signature, salt)
+        keys[name] = key
+        cached = cache.fetch(key)
+        if cached is not None:
+            fragments[name] = cached
+        else:
+            missing.append((name, str(path), source,
+                            tuple(sorted(known_modules)), rule_ids))
+    computed = map_items(module_fragment, missing, jobs=jobs)
+    for spec, fragment in zip(missing, computed):
+        fragments[spec[0]] = fragment
+        cache.put(keys[spec[0]], fragment)
+
+    result = EngineResult(
+        n_modules=len(ordered),
+        cached_modules=len(ordered) - len(missing),
+        analyzed_modules=len(missing),
+    )
+    for name, _path, _source in ordered:
+        fragment = fragments[name]
+        result.summaries[name] = ModuleSummary.from_json(fragment["summary"])
+        result.findings.extend(
+            finding_from_json(f) for f in fragment["findings"])
+        result.suppressed.extend(
+            finding_from_json(f) for f in fragment["suppressed"])
+    wp_found, wp_suppressed = _wholeprogram_findings(
+        result.summaries, wp_rules)
+    result.findings.extend(wp_found)
+    result.suppressed.extend(wp_suppressed)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    result.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result

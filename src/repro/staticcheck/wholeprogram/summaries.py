@@ -1,0 +1,782 @@
+"""Per-module function summaries: the unit of whole-program analysis.
+
+A :class:`ModuleSummary` compresses one module's AST into the facts the
+interprocedural rules need — functions and their call sites, a
+closure-expanded set of *dataflow atoms* describing what flows into
+each function's return value, planted-ground-truth reads, impure reads,
+attribute stores and module-global writes — plus the class table and
+name bindings the call-graph linker resolves methods and re-exports
+through.
+
+Summaries are plain JSON (``to_json``/``from_json`` round-trip
+exactly), which is what makes them cacheable through the artifact
+store and cheap to ship between ``--jobs`` worker processes; the
+global phase never re-parses a module whose summary is warm.
+
+Dataflow atoms
+--------------
+Return values and stored values are described by small string atoms:
+
+``param:NAME``
+    the value derives from parameter ``NAME``;
+``call:I``
+    the value derives from the result of call site ``I`` (index into
+    the function's ``calls`` list);
+``gt:ATTR:LINE``
+    the value derives from a read of planted ground-truth attribute
+    ``ATTR`` at ``LINE``;
+``attr:NAME``
+    the value derives from reading attribute ``NAME`` off some object.
+
+Intra-function assignment chains (including tuple unpacking, container
+literals and comprehensions) are expanded at extraction time, so the
+fixpoint in :mod:`~repro.staticcheck.wholeprogram.taint` only ever
+reasons over atoms.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..framework import ModuleInfo
+
+#: Bump when the summary layout or extraction semantics change; the
+#: lint cache keys embed it, so stale fragments are never read back.
+SUMMARY_SCHEMA = 1
+
+#: Pseudo-function holding module-level statements (imports executed,
+#: decorators applied, registries populated, stages constructed).
+MODULE_BODY = "<module>"
+
+#: Methods that mutate their receiver in place; a call on a bare
+#: module-global name counts as a write to it.
+_MUTATOR_METHODS = frozenset({
+    "append", "add", "update", "setdefault", "extend", "insert",
+    "pop", "popitem", "remove", "discard", "clear",
+})
+
+#: Calls recognized as constructing mutable containers at module scope.
+_MUTABLE_FACTORIES = frozenset({
+    "dict", "list", "set", "collections.defaultdict",
+    "collections.OrderedDict", "collections.deque", "collections.Counter",
+})
+
+#: ``global_writes`` kinds: an explicit ``global``-declared rebinding
+#: versus an in-place item/mutator write on a non-local name.
+WRITE_GLOBAL = "global"
+WRITE_MUTATE = "mutate"
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function."""
+
+    raw: str  # resolved callee ref ("local:f", "numpy.random.rand", "self.m", "open")
+    attr: str  # trailing attribute name for method-ish calls ("" otherwise)
+    line: int
+    nargs: int
+    arg_atoms: list[str] = field(default_factory=list)
+    callable_args: list[list] = field(default_factory=list)  # [pos|kw, ref]
+    unseeded_rng: bool = False  # default_rng()-style zero-arg entropy pull
+
+    def to_json(self) -> dict:
+        return {
+            "raw": self.raw, "attr": self.attr, "line": self.line,
+            "nargs": self.nargs, "arg_atoms": self.arg_atoms,
+            "callable_args": self.callable_args,
+            "unseeded_rng": self.unseeded_rng,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CallSite":
+        return cls(
+            raw=payload["raw"], attr=payload["attr"], line=payload["line"],
+            nargs=payload["nargs"], arg_atoms=list(payload["arg_atoms"]),
+            callable_args=[list(pair) for pair in payload["callable_args"]],
+            unseeded_rng=bool(payload.get("unseeded_rng", False)),
+        )
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the global phase knows about one function."""
+
+    qualname: str  # dotted path inside the module ("Cls.method", "<module>")
+    line: int
+    is_async: bool = False
+    params: list[str] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    return_atoms: list[str] = field(default_factory=list)
+    gt_reads: list[list] = field(default_factory=list)  # [attr, line]
+    impure_reads: list[list] = field(default_factory=list)  # [what, line]
+    attr_writes: list[list] = field(default_factory=list)  # [attr, atoms, line]
+    global_writes: list[list] = field(default_factory=list)  # [name, line, kind]
+
+    def to_json(self) -> dict:
+        return {
+            "qualname": self.qualname, "line": self.line,
+            "is_async": self.is_async, "params": self.params,
+            "calls": [c.to_json() for c in self.calls],
+            "return_atoms": self.return_atoms,
+            "gt_reads": self.gt_reads,
+            "impure_reads": self.impure_reads,
+            "attr_writes": self.attr_writes,
+            "global_writes": self.global_writes,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FunctionSummary":
+        return cls(
+            qualname=payload["qualname"], line=payload["line"],
+            is_async=payload["is_async"], params=list(payload["params"]),
+            calls=[CallSite.from_json(c) for c in payload["calls"]],
+            return_atoms=list(payload["return_atoms"]),
+            gt_reads=[list(r) for r in payload["gt_reads"]],
+            impure_reads=[list(r) for r in payload["impure_reads"]],
+            attr_writes=[list(w) for w in payload["attr_writes"]],
+            global_writes=[list(w) for w in payload["global_writes"]],
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """One module's contribution to the whole-program model."""
+
+    module: str
+    path: str  # package-relative path used in findings
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    #: class qualname -> {"bases": [ref], "methods": {name: qualname},
+    #: "attrs": {name: ref}} for class-attribute-bound callables.
+    classes: dict[str, dict] = field(default_factory=dict)
+    #: name bindings (local name -> dotted origin), absolute *and*
+    #: resolved-relative imports, for cross-module re-export chasing.
+    bindings: dict[str, str] = field(default_factory=dict)
+    #: top-level defs and aliases (local name -> ref).
+    module_refs: dict[str, str] = field(default_factory=dict)
+    #: module-level names bound to mutable containers -> line.
+    mutable_globals: dict[str, int] = field(default_factory=dict)
+    #: Stage(run=...) bindings and fingerprint_inputs= call targets.
+    stage_runs: list[list] = field(default_factory=list)  # [ref, line]
+    suppressions: dict[int, list[str]] = field(default_factory=dict)
+    file_suppressions: list[str] = field(default_factory=list)
+    #: source text of every line referenced above (finding anchors).
+    lines: dict[int, str] = field(default_factory=dict)
+
+    def function_at(self, qualname: str) -> FunctionSummary | None:
+        return self.functions.get(qualname)
+
+    def line_text(self, lineno: int) -> str:
+        return self.lines.get(lineno, "")
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SUMMARY_SCHEMA,
+            "module": self.module,
+            "path": self.path,
+            "functions": {q: f.to_json() for q, f in self.functions.items()},
+            "classes": self.classes,
+            "bindings": self.bindings,
+            "module_refs": self.module_refs,
+            "mutable_globals": self.mutable_globals,
+            "stage_runs": self.stage_runs,
+            "suppressions": {str(k): v for k, v in self.suppressions.items()},
+            "file_suppressions": self.file_suppressions,
+            "lines": {str(k): v for k, v in self.lines.items()},
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ModuleSummary":
+        return cls(
+            module=payload["module"],
+            path=payload["path"],
+            functions={
+                q: FunctionSummary.from_json(f)
+                for q, f in payload["functions"].items()
+            },
+            classes={q: dict(c) for q, c in payload["classes"].items()},
+            bindings=dict(payload["bindings"]),
+            module_refs=dict(payload["module_refs"]),
+            mutable_globals={k: int(v)
+                             for k, v in payload["mutable_globals"].items()},
+            stage_runs=[list(s) for s in payload["stage_runs"]],
+            suppressions={int(k): list(v)
+                          for k, v in payload["suppressions"].items()},
+            file_suppressions=list(payload["file_suppressions"]),
+            lines={int(k): v for k, v in payload["lines"].items()},
+        )
+
+
+def _dotted(node: ast.AST) -> tuple[list[str], ast.AST]:
+    """Attribute chain parts (outermost last) and the root expression."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    return list(reversed(parts)), node
+
+
+def _all_bindings(info: ModuleInfo) -> dict[str, str]:
+    """Import bindings with relative imports resolved to dotted origins.
+
+    :attr:`ModuleInfo.bindings` covers absolute imports only; the tree
+    under lint uses ``from ..pkg import name`` pervasively, so the
+    whole-program layer resolves those against the module's own dotted
+    name the same way the framework's import-edge builder does.
+    """
+    bindings = dict(info.bindings)
+    package_parts = info.name.split(".")[:-1]
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.ImportFrom) or not node.level:
+            continue
+        if node.level - 1 > len(package_parts):
+            continue  # beyond the package root; leave unresolved
+        base_parts = package_parts[:len(package_parts) - (node.level - 1)]
+        base = ".".join(base_parts + ([node.module] if node.module else []))
+        if not base:
+            continue
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            bindings[local] = f"{base}.{alias.name}"
+    return bindings
+
+
+class _Extractor(ast.NodeVisitor):
+    """One pass over a module building its :class:`ModuleSummary`."""
+
+    def __init__(self, module: ModuleInfo, gt_attrs: frozenset[str]):
+        self.info = module
+        self.gt_attrs = gt_attrs
+        self.bindings = _all_bindings(module)
+        self.summary = ModuleSummary(
+            module=module.name,
+            path=module.relpath,
+            bindings=dict(self.bindings),
+            suppressions={line: sorted(rules)
+                          for line, rules in module.suppressions.items()},
+            file_suppressions=sorted(module.file_suppressions),
+        )
+        # Scope state for the function currently being extracted.
+        self._fn: FunctionSummary | None = None
+        self._assigns: dict[str, set[str]] = {}
+        self._var_types: dict[str, str] = {}
+        self._globals: set[str] = set()
+        # Lexical name -> ref for defs visible in enclosing scopes.
+        self._env: list[dict[str, str]] = [{}]
+        self._qual: list[str] = []
+        self._class: list[str] = []
+        # id(Call node) -> index into the owning function's calls list.
+        self._call_index: dict[int, int] = {}
+
+    # -- entry --------------------------------------------------------
+
+    def run(self) -> ModuleSummary:
+        body_fn = FunctionSummary(qualname=MODULE_BODY, line=1)
+        self._with_function(body_fn, params=[], body=self.info.tree.body)
+        return self.summary
+
+    def note_lines(self) -> None:
+        """Record the source text of every referenced line."""
+        wanted: set[int] = set()
+        for fn in self.summary.functions.values():
+            wanted.add(fn.line)
+            wanted.update(c.line for c in fn.calls)
+            wanted.update(r[1] for r in fn.gt_reads)
+            wanted.update(r[1] for r in fn.impure_reads)
+            wanted.update(w[2] for w in fn.attr_writes)
+            wanted.update(w[1] for w in fn.global_writes)
+        wanted.update(line for _, line in self.summary.stage_runs)
+        wanted.update(self.summary.mutable_globals.values())
+        for line in sorted(wanted):
+            text = self.info.line(line).strip()
+            if text:
+                self.summary.lines[line] = text
+
+    # -- scope plumbing -----------------------------------------------
+
+    def _with_function(self, fn: FunctionSummary, params: list[str],
+                       body: list[ast.stmt]) -> None:
+        """Extract ``body`` into ``fn``, saving/restoring scope state."""
+        saved = (self._fn, self._assigns, self._var_types, self._globals)
+        self._fn = fn
+        self._fn.params = list(params)
+        self._assigns = {}
+        self._var_types = {}
+        self._globals = set()
+        self._env.append({})
+        # Pre-bind defs in this body so forward references resolve.
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                self._env[-1][node.name] = self._def_ref(node.name)
+        self.summary.functions[fn.qualname] = fn
+        for node in body:
+            self.visit(node)
+        fn.return_atoms = sorted(self._expand(set(fn.return_atoms)))
+        fn.attr_writes = [
+            [attr, sorted(self._expand(set(atoms))), line]
+            for attr, atoms, line in fn.attr_writes
+        ]
+        if fn.qualname == MODULE_BODY:
+            # Top-level defs and aliases are the module's public refs.
+            self.summary.module_refs.update(self._env[-1])
+            self.summary.module_refs.update(self._var_types)
+        self._env.pop()
+        (self._fn, self._assigns, self._var_types, self._globals) = saved
+
+    def _def_ref(self, name: str) -> str:
+        qual = ".".join(self._qual + [name]) if self._qual else name
+        return f"local:{qual}"
+
+    def _lookup(self, name: str) -> str | None:
+        """Resolve a bare name: local type, lexical defs, imports."""
+        if name in self._var_types:
+            return self._var_types[name]
+        for scope in reversed(self._env):
+            if name in scope:
+                return scope[name]
+        return self.bindings.get(name)
+
+    def _ref_of(self, node: ast.AST) -> str | None:
+        """Best-effort ref string of a callable/class expression."""
+        parts, root = _dotted(node)
+        if isinstance(root, ast.Name):
+            if root.id == "self" and self._class:
+                return ".".join(["self"] + parts) if parts else "self"
+            base = self._lookup(root.id)
+            if base is None:
+                base = root.id  # builtin or unknown global
+            return ".".join([base] + parts) if parts else base
+        if isinstance(root, ast.Call):
+            # ``Foo(...).method`` — resolve through the constructed type.
+            inner = self._ref_of(root.func)
+            if inner is not None and parts:
+                return ".".join([inner] + parts)
+        return None
+
+    # -- dataflow atoms -----------------------------------------------
+
+    def _atoms(self, node: ast.AST | None) -> set[str]:
+        """Dataflow atoms of an expression (names unexpanded)."""
+        if node is None:
+            return set()
+        out: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                out.add(f"name:{sub.id}")
+            elif isinstance(sub, ast.Attribute) and isinstance(sub.ctx,
+                                                               ast.Load):
+                if sub.attr in self.gt_attrs:
+                    out.add(f"gt:{sub.attr}:{sub.lineno}")
+                else:
+                    out.add(f"attr:{sub.attr}")
+            elif isinstance(sub, ast.Call):
+                index = self._call_index.get(id(sub))
+                if index is not None:
+                    out.add(f"call:{index}")
+        return out
+
+    def _expand(self, atoms: set[str]) -> set[str]:
+        """Expand ``name:`` atoms through the assignment map to atoms."""
+        out: set[str] = set()
+        seen: set[str] = set()
+        stack = list(atoms)
+        params = set(self._fn.params) if self._fn else set()
+        while stack:
+            atom = stack.pop()
+            if atom in seen:
+                continue
+            seen.add(atom)
+            if not atom.startswith("name:"):
+                out.add(atom)
+                continue
+            name = atom[5:]
+            if name in params:
+                out.add(f"param:{name}")
+            if name in self._assigns:
+                stack.extend(self._assigns[name])
+        return out
+
+    # -- statements ---------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function(node, is_async=False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function(node, is_async=True)
+
+    def _function(self, node, is_async: bool) -> None:
+        # Decorators and default values execute in the enclosing scope.
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]:
+            self.visit(default)
+        qual = ".".join(self._qual + [node.name])
+        args = node.args
+        params = [a.arg for a in (args.posonlyargs + args.args
+                                  + args.kwonlyargs)]
+        if args.vararg:
+            params.append(args.vararg.arg)
+        if args.kwarg:
+            params.append(args.kwarg.arg)
+        fn = FunctionSummary(qualname=qual, line=node.lineno,
+                             is_async=is_async)
+        self._qual.append(node.name)
+        self._with_function(fn, params=params, body=node.body)
+        self._qual.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        qual = ".".join(self._qual + [node.name])
+        bases = [ref for base in node.bases
+                 if (ref := self._ref_of(base)) is not None]
+        entry: dict = {"bases": bases, "methods": {}, "attrs": {}}
+        self.summary.classes[qual] = entry
+        self._qual.append(node.name)
+        self._class.append(qual)
+        self._env.append({})
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                entry["methods"][item.name] = f"{qual}.{item.name}"
+                self._function(item, is_async=isinstance(
+                    item, ast.AsyncFunctionDef))
+            elif isinstance(item, ast.ClassDef):
+                self.visit(item)
+            elif isinstance(item, ast.Assign):
+                # Class-attribute callable binding: ``run = helper``.
+                for target in item.targets:
+                    if isinstance(target, ast.Name):
+                        ref = self._ref_of(item.value)
+                        if ref is not None:
+                            entry["attrs"][target.id] = ref
+                self.visit(item.value)
+            else:
+                self.visit(item)
+        self._env.pop()
+        self._class.pop()
+        self._qual.pop()
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self._globals.update(node.names)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        self.generic_visit(node)
+        if self._fn is not None and node.value is not None:
+            self._fn.return_atoms.extend(self._atoms(node.value))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        atoms = self._atoms(node.value)
+        if isinstance(node.value, ast.Call):
+            ref = self._constructed_type(node.value)
+        else:
+            ref = self._ref_of(node.value)
+        for target in node.targets:
+            self._bind_target(target, atoms, ref, node)
+        self._maybe_module_mutable(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if node.value is not None:
+            atoms = self._atoms(node.value)
+            if isinstance(node.value, ast.Call):
+                ref = self._constructed_type(node.value)
+            else:
+                ref = self._ref_of(node.value)
+            self._bind_target(node.target, atoms, ref, node)
+            self._maybe_module_mutable(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.generic_visit(node)
+        atoms = self._atoms(node.value)
+        target = node.target
+        if isinstance(target, ast.Name):
+            self._assigns.setdefault(target.id, set()).update(atoms)
+            self._note_global_write(target.id, node.lineno)
+        elif isinstance(target, ast.Attribute):
+            self._record_attr_write(target.attr, atoms, node.lineno)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        self.generic_visit(node)
+        self._assigns.setdefault(node.target.id, set()).update(
+            self._atoms(node.value))
+
+    def visit_For(self, node: ast.For) -> None:
+        self._bind_target(node.target, self._atoms(node.iter), None, node)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._bind_target(node.target, self._atoms(node.iter), None, node)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._with_items(node.items)
+        self.generic_visit(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._with_items(node.items)
+        self.generic_visit(node)
+
+    def _with_items(self, items: list[ast.withitem]) -> None:
+        for item in items:
+            if item.optional_vars is None:
+                continue
+            atoms = self._atoms(item.context_expr)
+            ref = None
+            if isinstance(item.context_expr, ast.Call):
+                ref = self._constructed_type(item.context_expr)
+            self._bind_target(item.optional_vars, atoms, ref,
+                              item.context_expr)
+
+    def _bind_target(self, target: ast.AST, atoms: set[str],
+                     ref: str | None, node: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self._assigns.setdefault(target.id, set()).update(atoms)
+            if ref is not None:
+                self._var_types[target.id] = ref
+            elif target.id in self._var_types:
+                del self._var_types[target.id]
+            self._note_global_write(target.id, getattr(node, "lineno", 0),
+                                    explicit_only=True)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, atoms, None, node)
+        elif isinstance(target, ast.Attribute):
+            self._record_attr_write(target.attr, atoms,
+                                    getattr(node, "lineno", 0))
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            if isinstance(base, ast.Name):
+                self._note_global_write(base.id, getattr(node, "lineno", 0))
+            elif isinstance(base, ast.Attribute):
+                self._record_attr_write(base.attr, atoms,
+                                        getattr(node, "lineno", 0))
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, atoms, None, node)
+
+    def _record_attr_write(self, attr: str, atoms: set[str],
+                           line: int) -> None:
+        if self._fn is not None:
+            self._fn.attr_writes.append([attr, sorted(atoms), line])
+
+    def _note_global_write(self, name: str, line: int,
+                           explicit_only: bool = False) -> None:
+        """Record a write to a module-global name from function scope.
+
+        Bare rebinding counts only under an explicit ``global``
+        declaration (:data:`WRITE_GLOBAL`); item/mutator writes count
+        whenever the name is not local to the function
+        (:data:`WRITE_MUTATE`, best-effort: not a param and not
+        assigned before the write).  The shared-state rule filters
+        :data:`WRITE_MUTATE` records against the module's actual
+        mutable globals, so a late-assigned local cannot false-fire.
+        """
+        if self._fn is None or self._fn.qualname == MODULE_BODY:
+            return
+        if name in self._globals:
+            self._fn.global_writes.append([name, line, WRITE_GLOBAL])
+            return
+        if explicit_only:
+            return
+        if name in self._fn.params or name in self._assigns:
+            return
+        self._fn.global_writes.append([name, line, WRITE_MUTATE])
+
+    def _maybe_module_mutable(self, node: ast.stmt) -> None:
+        """Track module-level names bound to mutable containers."""
+        if self._fn is None or self._fn.qualname != MODULE_BODY:
+            return
+        if self._qual:  # inside a class body, not module scope
+            return
+        value = getattr(node, "value", None)
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target] if isinstance(node, ast.AnnAssign)
+                   else [])
+        mutable = isinstance(value, (ast.Dict, ast.List, ast.Set,
+                                     ast.ListComp, ast.DictComp, ast.SetComp))
+        if not mutable and isinstance(value, ast.Call):
+            ref = self._ref_of(value.func)
+            mutable = ref in _MUTABLE_FACTORIES
+        if not mutable:
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self.summary.mutable_globals[target.id] = node.lineno
+
+    # -- calls --------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._maybe_call(node)
+        self.generic_visit(node)
+
+    def _maybe_call(self, node: ast.Call) -> None:
+        if self._fn is None or id(node) in self._call_index:
+            return
+        # Register nested calls inside the arguments first so the
+        # ``call:I`` atoms of ``f(g(x))``'s inner call exist when the
+        # outer call's argument atoms are computed.
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Call):
+                    self._maybe_call(sub)
+        ref = self._ref_of(node.func) or ""
+        parts, _ = _dotted(node.func)
+        attr = parts[-1] if parts else ""
+        # getattr(x, "planted_attr") is a ground-truth read spelled late.
+        if ref == "getattr" and len(node.args) >= 2:
+            key = node.args[1]
+            if (isinstance(key, ast.Constant) and isinstance(key.value, str)
+                    and key.value in self.gt_attrs):
+                self._fn.gt_reads.append([key.value, node.lineno])
+        index = len(self._fn.calls)
+        self._call_index[id(node)] = index
+        arg_atoms: set[str] = set()
+        callable_args: list[list] = []
+        for position, arg in enumerate(node.args):
+            arg_atoms |= self._atoms(arg)
+            if not isinstance(arg, ast.Call):
+                arg_ref = self._ref_of(arg)
+                if arg_ref is not None and self._is_callable_ref(arg_ref):
+                    callable_args.append([position, arg_ref])
+        for keyword in node.keywords:
+            arg_atoms |= self._atoms(keyword.value)
+            if keyword.arg and not isinstance(keyword.value, ast.Call):
+                arg_ref = self._ref_of(keyword.value)
+                if arg_ref is not None and self._is_callable_ref(arg_ref):
+                    callable_args.append([keyword.arg, arg_ref])
+        unseeded = (ref.endswith("default_rng")
+                    and not node.args and not node.keywords)
+        nargs = len(node.args) + len(node.keywords)
+        self._fn.calls.append(CallSite(
+            raw=ref, attr=attr, line=node.lineno, nargs=nargs,
+            arg_atoms=sorted(self._expand_shallow(arg_atoms)),
+            callable_args=callable_args, unseeded_rng=unseeded,
+        ))
+        # ``functools.partial(f, ...)`` freezes ``f`` for a later call;
+        # record the edge at creation (best-effort unwrapping).
+        if ref in ("functools.partial", "partial") and node.args:
+            target_ref = self._ref_of(node.args[0])
+            if target_ref is not None:
+                self._fn.calls.append(CallSite(
+                    raw=target_ref, attr="", line=node.lineno,
+                    nargs=max(0, nargs - 1),
+                    arg_atoms=sorted(self._expand_shallow(arg_atoms)),
+                ))
+        # Environment reads are impure-by-construction for cache keys.
+        if ref in ("os.getenv", "os.environ.get"):
+            self._fn.impure_reads.append(["os.environ", node.lineno])
+
+    def _expand_shallow(self, atoms: set[str]) -> set[str]:
+        """Like :meth:`_expand` but safe mid-extraction (unresolved
+        names are dropped rather than chased through later bindings)."""
+        out: set[str] = set()
+        params = set(self._fn.params) if self._fn else set()
+        for atom in atoms:
+            if not atom.startswith("name:"):
+                out.add(atom)
+                continue
+            name = atom[5:]
+            if name in params:
+                out.add(f"param:{name}")
+            elif name in self._assigns:
+                out |= {a for a in self._assigns[name]
+                        if not a.startswith("name:")}
+        return out
+
+    def _is_callable_ref(self, ref: str) -> bool:
+        """Whether a ref plausibly names a function/class (not a value)."""
+        if ref.startswith(("local:", "self.")):
+            return True
+        head = ref.split(".")[0]
+        return head in self.bindings or "." in ref
+
+    def _constructed_type(self, call: ast.Call) -> str | None:
+        """Type ref for ``x = Foo(...)`` / partial-target for partial."""
+        ref = self._ref_of(call.func)
+        if ref is None:
+            return None
+        if ref in ("functools.partial", "partial") and call.args:
+            return self._ref_of(call.args[0])
+        return ref
+
+    # -- reads --------------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._fn is not None and isinstance(node.ctx, ast.Load):
+            if node.attr in self.gt_attrs:
+                self._fn.gt_reads.append([node.attr, node.lineno])
+            elif node.attr == "environ":
+                if self._ref_of(node) == "os.environ":
+                    self._fn.impure_reads.append(["os.environ", node.lineno])
+        self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        # Bare mutator calls on module globals: ``CACHE.update(...)``.
+        value = node.value
+        if (self._fn is not None and isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in _MUTATOR_METHODS
+                and isinstance(value.func.value, ast.Name)):
+            self._note_global_write(value.func.value.id, node.lineno)
+        self.generic_visit(node)
+
+
+def summarize_module(
+    module: ModuleInfo, gt_attrs: Iterable[str] | None = None,
+) -> ModuleSummary:
+    """Extract the whole-program summary of one parsed module."""
+    if gt_attrs is None:
+        from ..contract import ground_truth_attributes
+
+        gt_attrs = ground_truth_attributes()
+    extractor = _Extractor(module, frozenset(gt_attrs))
+    summary = extractor.run()
+    _collect_stage_runs(extractor, summary)
+    extractor.note_lines()
+    return summary
+
+
+def _is_stage_ref(ref: str) -> bool:
+    return ref == "Stage" or ref == "local:Stage" or ref.endswith(".Stage")
+
+
+def _collect_stage_runs(extractor: _Extractor,
+                        summary: ModuleSummary) -> None:
+    """Find pipeline Stage constructions and fingerprint_inputs calls.
+
+    A function referenced as a Stage's ``run`` (second positional or
+    ``run=`` keyword) is a cache-key-relevant compute root; so is any
+    function *called inside* a ``fingerprint_inputs=`` expression —
+    both feed the content-addressed key and must stay deterministic.
+    """
+    for fn in summary.functions.values():
+        for call in fn.calls:
+            if not _is_stage_ref(call.raw):
+                continue
+            for slot, ref in call.callable_args:
+                if slot == 1 or slot == "run":
+                    summary.stage_runs.append([ref, call.line])
+    # fingerprint_inputs= call targets live inside the keyword
+    # expression; one cheap re-walk of the tree picks them up.  Name
+    # resolution here sees only module scope (imports + top-level
+    # defs), which covers how stage catalogues are actually written.
+    tree = extractor.info.tree
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        ref = extractor._ref_of(node.func) or ""
+        if not _is_stage_ref(ref):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg != "fingerprint_inputs":
+                continue
+            for sub in ast.walk(keyword.value):
+                if isinstance(sub, ast.Call):
+                    sub_ref = extractor._ref_of(sub.func)
+                    if sub_ref is not None:
+                        summary.stage_runs.append([sub_ref, sub.lineno])

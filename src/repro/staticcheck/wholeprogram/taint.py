@@ -1,0 +1,228 @@
+"""Interprocedural ground-truth taint fixpoint.
+
+Taint starts where planted ground truth enters user code — a read of a
+``@ground_truth``-marked attribute, or any function defined inside the
+generator-side modules (``repro.failures.hazards`` /
+``repro.failures.faultmodel``) — and propagates along three channels
+until nothing changes:
+
+* **returns** — a function whose return value derives from a tainted
+  atom has a tainted return; callers that consume that return become
+  tainted in turn;
+* **arguments** — passing a tainted value into a function taints its
+  parameters (context-insensitively), so a helper that returns or
+  stores what it was handed keeps the chain alive;
+* **attribute stores** — writing a tainted value to ``obj.name`` taints
+  attribute ``name`` *module-scoped*: reads of ``.name`` count as
+  tainted only inside the module that performed a tainted write, which
+  keeps result-object field names from smearing taint across the whole
+  analysis layer.
+
+Functions in the declared *taint boundary* (the operator-visibility
+projection, e.g. ``repro.failures.engine:simulate``) never acquire a
+tainted return: the simulation is precisely where planted hazard
+parameters are laundered into observable telemetry *by design*, and
+the paper's discipline is that everything downstream of the boundary
+is legitimate operator data.
+
+Every taint judgment carries a *why* record, so a finding can print
+the full propagation chain back to the planted read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .callgraph import Program, split_node
+from .summaries import FunctionSummary, ModuleSummary
+
+
+def _fmt(node: str) -> str:
+    module, qualname = split_node(node)
+    return f"{module}:{qualname}"
+
+
+@dataclass
+class TaintAnalysis:
+    """Result of the fixpoint: what is tainted and why."""
+
+    program: Program
+    boundary: frozenset[str]
+    #: Ground-truth source module prefixes; calls into them taint even
+    #: when the callee module is outside the analyzed program.
+    sources: frozenset[str] = frozenset()
+    #: node -> why its return value is tainted.
+    tainted_returns: dict[str, tuple] = field(default_factory=dict)
+    #: (module, attr name) -> why writes of that attr are tainted.
+    tainted_attrs: dict[tuple[str, str], tuple] = field(default_factory=dict)
+    #: node -> why its parameters receive tainted values.
+    tainted_param_fns: dict[str, tuple] = field(default_factory=dict)
+    #: (caller node, call index) -> callee node, for chain rendering.
+    callees: dict[tuple[str, int], str] = field(default_factory=dict)
+
+    def atom_why(self, node: str, module: str, atom: str) -> tuple | None:
+        """Why ``atom`` (in function ``node``) is tainted, or None."""
+        if atom.startswith("gt:"):
+            _, attr, line = atom.split(":", 2)
+            return ("gt", node, attr, int(line))
+        if atom.startswith("call:"):
+            index = int(atom[5:])
+            callee = self.callees.get((node, index))
+            if (callee is not None and callee not in self.boundary
+                    and callee in self.tainted_returns):
+                fn = self.program.function(node)
+                line = fn.calls[index].line if fn else 0
+                return ("call", node, callee, line)
+            return self._external_source_call(node, index)
+        if atom.startswith("attr:"):
+            key = (module, atom[5:])
+            if key in self.tainted_attrs:
+                return ("attr", module, atom[5:])
+            return None
+        if atom.startswith("param:"):
+            if node in self.tainted_param_fns:
+                return ("param", node)
+            return None
+        return None
+
+    def call_taint(self, node: str, fn: FunctionSummary,
+                   index: int) -> tuple | None:
+        """Why call site ``index`` of ``node`` returns a tainted value."""
+        callee = self.callees.get((node, index))
+        if (callee is not None and callee not in self.boundary
+                and callee in self.tainted_returns):
+            return ("call", node, callee, fn.calls[index].line)
+        return self._external_source_call(node, index)
+
+    def _external_source_call(self, node: str, index: int) -> tuple | None:
+        """Taint for a call whose dotted target lives in a ground-truth
+        module, even when that module is outside the analyzed program
+        (e.g. a fixture program calling the real ``faultmodel``)."""
+        fn = self.program.function(node)
+        if fn is None or index >= len(fn.calls):
+            return None
+        raw = fn.calls[index].raw
+        if raw and any(raw == src or raw.startswith(src + ".")
+                       for src in self.sources):
+            return ("extcall", node, raw, fn.calls[index].line)
+        return None
+
+    def chain(self, why: tuple, limit: int = 12) -> list[str]:
+        """Human-readable propagation chain from a why record back to
+        the planted source."""
+        steps: list[str] = []
+        current: tuple | None = why
+        while current is not None and len(steps) < limit:
+            kind = current[0]
+            if kind == "gt":
+                _, node, attr, line = current
+                summary = self.program.module_of(node)
+                path = summary.path if summary else "?"
+                steps.append(
+                    f"{_fmt(node)} reads planted .{attr} ({path}:{line})")
+                current = None
+            elif kind == "source":
+                _, node = current
+                steps.append(
+                    f"{_fmt(node)} is defined in a ground-truth module")
+                current = None
+            elif kind == "call":
+                _, node, callee, line = current
+                steps.append(
+                    f"{_fmt(node)} consumes {_fmt(callee)}() (line {line})")
+                current = self.tainted_returns.get(callee)
+            elif kind == "extcall":
+                _, node, raw, line = current
+                steps.append(
+                    f"{_fmt(node)} calls {raw}() from a ground-truth "
+                    f"module (line {line})")
+                current = None
+            elif kind == "attr":
+                _, module, attr = current
+                steps.append(
+                    f"reads .{attr}, tainted by a store in {module}")
+                current = self.tainted_attrs.get((module, attr))
+                if current is not None and current[0] == "attr":
+                    current = None  # avoid attr -> attr loops
+            elif kind == "param":
+                _, node = current
+                steps.append(f"{_fmt(node)} receives a tainted argument")
+                current = self.tainted_param_fns.get(node)
+                if current is not None and current[0] == "param":
+                    current = None
+            else:
+                current = None
+        return steps
+
+
+def analyze_taint(
+    program: Program,
+    source_modules: Iterable[str],
+    boundary: Iterable[str],
+) -> TaintAnalysis:
+    """Run the ground-truth taint fixpoint over a linked program."""
+    sources = frozenset(source_modules)
+    analysis = TaintAnalysis(program=program,
+                             boundary=frozenset(boundary),
+                             sources=sources)
+    # Resolve every call site once (node, index) -> callee node.
+    for node, summary, fn in program.iter_functions():
+        for index, site in enumerate(fn.calls):
+            callee = program.resolve_call(summary.module, site.raw, fn)
+            if callee is not None:
+                analysis.callees[(node, index)] = callee
+
+    # Seeds: ground-truth-module functions, and direct planted reads
+    # that flow into a return value.
+    for node, summary, fn in program.iter_functions():
+        if node in analysis.boundary:
+            continue
+        if summary.module in sources:
+            analysis.tainted_returns[node] = ("source", node)
+            continue
+        for atom in fn.return_atoms:
+            if atom.startswith("gt:"):
+                _, attr, line = atom.split(":", 2)
+                analysis.tainted_returns[node] = ("gt", node, attr,
+                                                  int(line))
+                break
+
+    triples = list(program.iter_functions())
+    changed = True
+    while changed:
+        changed = False
+        for node, summary, fn in triples:
+            module = summary.module
+            # Returns.
+            if node not in analysis.tainted_returns and (
+                    node not in analysis.boundary):
+                for atom in fn.return_atoms:
+                    why = analysis.atom_why(node, module, atom)
+                    if why is not None:
+                        analysis.tainted_returns[node] = why
+                        changed = True
+                        break
+            # Attribute stores (module-scoped).
+            for attr, atoms, _line in fn.attr_writes:
+                key = (module, attr)
+                if key in analysis.tainted_attrs:
+                    continue
+                for atom in atoms:
+                    why = analysis.atom_why(node, module, atom)
+                    if why is not None:
+                        analysis.tainted_attrs[key] = why
+                        changed = True
+                        break
+            # Arguments into program-internal callees.
+            for index, site in enumerate(fn.calls):
+                callee = analysis.callees.get((node, index))
+                if callee is None or callee in analysis.tainted_param_fns:
+                    continue
+                for atom in site.arg_atoms:
+                    why = analysis.atom_why(node, module, atom)
+                    if why is not None:
+                        analysis.tainted_param_fns[callee] = why
+                        changed = True
+                        break
+    return analysis

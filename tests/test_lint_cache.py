@@ -1,0 +1,214 @@
+"""Incremental lint cache, parallel determinism, baseline v2 migration.
+
+The engine's caching contract: a warm run computes nothing per-module
+(fragments come off the artifact store), a one-module edit re-analyzes
+exactly that module, and serial / parallel / warm runs produce
+identical findings.  The baseline contract: fingerprints are line-
+number independent and comment-insensitive, schema-1 files refuse to
+load until the one-shot migration rewrites them, and migration
+preserves rationales.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.errors import DataError
+from repro.staticcheck import (
+    lint_paths,
+    load_baseline,
+    migrate_baseline,
+    write_baseline,
+)
+from repro.staticcheck.baselines import fingerprint
+from repro.staticcheck.framework import Finding
+import repro.staticcheck.wholeprogram.engine as engine_mod
+
+CLEAN = "def add(a, b):\n    return a + b\n"
+VIOLATION = "import time\n\ndef created():\n    return time.time()\n"
+
+
+def make_package(tmp_path, modules=None, name="fixturepkg"):
+    package = tmp_path / name
+    package.mkdir()
+    (package / "__init__.py").write_text("")
+    for module, source in (modules or {"clock": VIOLATION}).items():
+        (package / f"{module}.py").write_text(source)
+    return package
+
+
+def finding_tuples(report):
+    return [(f.rule, f.path, f.line, f.col, f.message, f.source_line)
+            for f in report.findings + report.baselined]
+
+
+class TestFragmentCache:
+    def test_warm_run_computes_nothing(self, tmp_path, monkeypatch):
+        package = make_package(tmp_path, {"clock": VIOLATION, "ok": CLEAN})
+        cache = tmp_path / "cache"
+        cold = lint_paths([package], cache_dir=cache)
+        assert cold.analyzed_modules == 3  # __init__, clock, ok
+        assert cold.cached_modules == 0
+
+        # A warm run must never enter per-module analysis at all — the
+        # fragments (and thus parsing) come straight off the store.
+        def boom(spec):
+            raise AssertionError(f"warm run analyzed {spec[0]}")
+
+        monkeypatch.setattr(engine_mod, "module_fragment", boom)
+        warm = lint_paths([package], cache_dir=cache)
+        assert warm.analyzed_modules == 0
+        assert warm.cached_modules == 3
+        assert finding_tuples(warm) == finding_tuples(cold)
+
+    def test_one_module_edit_reanalyzes_only_it(self, tmp_path):
+        package = make_package(tmp_path, {"clock": VIOLATION, "ok": CLEAN})
+        cache = tmp_path / "cache"
+        lint_paths([package], cache_dir=cache)
+        (package / "ok.py").write_text(CLEAN + "\nX = 2\n")
+        touched = lint_paths([package], cache_dir=cache)
+        assert touched.analyzed_modules == 1
+        assert touched.cached_modules == 2
+
+    def test_new_file_invalidates_whole_tree(self, tmp_path):
+        # Import-edge and layering resolution depend on which sibling
+        # modules exist, so the module *set* is part of every fragment
+        # key: adding a file re-analyzes everything, by design.
+        package = make_package(tmp_path, {"ok": CLEAN})
+        cache = tmp_path / "cache"
+        lint_paths([package], cache_dir=cache)
+        (package / "extra.py").write_text(CLEAN)
+        report = lint_paths([package], cache_dir=cache)
+        assert report.cached_modules == 0
+        assert report.analyzed_modules == 3
+
+    def test_rule_version_bump_invalidates(self, tmp_path, monkeypatch):
+        from repro.staticcheck.rules.wallclock import WallclockRule
+
+        package = make_package(tmp_path)
+        cache = tmp_path / "cache"
+        lint_paths([package], cache_dir=cache)
+        monkeypatch.setattr(WallclockRule, "version", 99)
+        report = lint_paths([package], cache_dir=cache)
+        assert report.cached_modules == 0
+
+    def test_serial_parallel_and_warm_are_identical(self, tmp_path):
+        package = make_package(tmp_path, {
+            "clock": VIOLATION,
+            "ok": CLEAN,
+            "more": "import time\n\ndef t():\n    return time.time()\n",
+        })
+        cache = tmp_path / "cache"
+        serial = lint_paths([package])
+        parallel = lint_paths([package], jobs=2)
+        cold = lint_paths([package], cache_dir=cache)
+        warm = lint_paths([package], cache_dir=cache)
+        expected = finding_tuples(serial)
+        assert finding_tuples(parallel) == expected
+        assert finding_tuples(cold) == expected
+        assert finding_tuples(warm) == expected
+
+    def test_uncached_runs_still_work(self, tmp_path):
+        package = make_package(tmp_path)
+        report = lint_paths([package])
+        assert report.cached_modules == 0
+        assert not report.ok
+
+
+class TestBaselineV2:
+    def test_edit_above_baselined_finding_keeps_it_baselined(self, tmp_path):
+        package = make_package(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        report = lint_paths([package])
+        write_baseline(baseline_path, report.all_findings,
+                       rationale="fixture clock is test scaffolding")
+        # Insert lines ABOVE the finding: its line number moves, its
+        # fingerprint must not.
+        (package / "clock.py").write_text(
+            "import time\n\nHEADER = 1\nMORE = 2\n\n"
+            "def created():\n    return time.time()\n"
+        )
+        report = lint_paths([package],
+                            baseline=load_baseline(baseline_path))
+        assert report.ok
+        assert len(report.baselined) == 1
+        assert report.baselined[0].line == 7  # moved, still matched
+
+    def test_comment_churn_on_the_line_keeps_it_baselined(self, tmp_path):
+        package = make_package(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        report = lint_paths([package])
+        write_baseline(baseline_path, report.all_findings,
+                       rationale="fixture clock is test scaffolding")
+        (package / "clock.py").write_text(
+            "import time\n\ndef created():\n"
+            "    return time.time()  # reviewed 2026-08\n"
+        )
+        report = lint_paths([package],
+                            baseline=load_baseline(baseline_path))
+        assert report.ok
+
+    def test_code_change_on_the_line_resurfaces_it(self, tmp_path):
+        package = make_package(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        report = lint_paths([package])
+        write_baseline(baseline_path, report.all_findings,
+                       rationale="fixture clock is test scaffolding")
+        (package / "clock.py").write_text(
+            "import time\n\ndef created():\n    return time.time() + 1\n"
+        )
+        report = lint_paths([package],
+                            baseline=load_baseline(baseline_path))
+        assert not report.ok
+
+    def test_fingerprint_ignores_line_and_comments(self):
+        a = Finding(rule="wallclock", path="repro/x.py", line=10, col=0,
+                    message="m", source_line="return time.time()")
+        b = Finding(rule="wallclock", path="repro/x.py", line=99, col=4,
+                    message="m", source_line="return time.time()  # ok")
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_schema_one_file_refuses_to_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": 1, "entries": []}))
+        with pytest.raises(DataError, match="migrate-baseline"):
+            load_baseline(path)
+
+    def test_migration_preserves_rationales(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "entries": [{
+                "fingerprint": "0123456789abcdef",
+                "rule": "wallclock",
+                "file": "repro/x.py",
+                "line": 4,
+                "message": "wall-clock call",
+                "source_line": "return time.time()  # legacy",
+                "rationale": "grandfathered legacy clock",
+            }],
+        }))
+        migrate_baseline(path)
+        baseline = load_baseline(path)
+        assert len(baseline) == 1
+        expected = fingerprint(Finding(
+            rule="wallclock", path="repro/x.py", line=4, col=0,
+            message="wall-clock call",
+            source_line="return time.time()  # legacy"))
+        assert expected in baseline
+        assert baseline.rationale(expected) == "grandfathered legacy clock"
+
+    def test_migration_is_idempotent(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": 1, "entries": []}))
+        migrate_baseline(path)
+        before = path.read_text()
+        migrate_baseline(path)
+        assert path.read_text() == before
+
+    def test_shipped_baseline_is_schema_two(self):
+        shipped = load_baseline()
+        assert shipped.path is not None
+        payload = json.loads(pathlib.Path(shipped.path).read_text())
+        assert payload["schema"] == 2

@@ -66,6 +66,8 @@ class TestLintCommand:
         assert set(payload["rules"]) == {
             "GT-leak", "RNG-discipline", "wallclock", "float-eq",
             "schema-fields", "layering",
+            "GT-taint", "fingerprint-purity", "async-safety",
+            "shared-mutable-state",
         }
 
     def test_rule_selection(self, tmp_path):
@@ -77,7 +79,9 @@ class TestLintCommand:
         code, out = run_cli(["lint", "--list-rules"])
         assert code == 0
         for rule_id in ("GT-leak", "RNG-discipline", "wallclock",
-                        "float-eq", "schema-fields", "layering"):
+                        "float-eq", "schema-fields", "layering",
+                        "GT-taint", "fingerprint-purity", "async-safety",
+                        "shared-mutable-state"):
             assert rule_id in out
 
     def test_write_and_reuse_baseline(self, tmp_path):

@@ -1,0 +1,271 @@
+"""Call-graph builder: property tests over generated module trees.
+
+The generator synthesizes random multi-module programs with a known
+ground-truth edge set, then asserts the builder recovers exactly those
+edges.  Shapes covered: direct cross-module imports, import *cycles*,
+re-exports through a hub module, aliased imports, class-method
+resolution through inheritance, decorated callees and
+``functools.partial``-wrapped callees.  A final property plants a
+ground-truth read at the end of a random-length call chain and asserts
+the taint rule reports every hop.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.staticcheck import lint_sources
+from repro.staticcheck.framework import ModuleInfo
+from repro.staticcheck.wholeprogram.callgraph import CallGraph, Program
+from repro.staticcheck.wholeprogram.summaries import summarize_module
+
+PKG = "repro.genmod"
+
+
+def link(sources: dict[str, str]) -> tuple[Program, CallGraph]:
+    known = frozenset(sources)
+    summaries = [
+        summarize_module(ModuleInfo(
+            source=text, name=name,
+            path=__import__("pathlib").Path(name.replace(".", "/") + ".py"),
+            known_modules=known,
+        ))
+        for name, text in sorted(sources.items())
+    ]
+    program = Program(summaries)
+    return program, CallGraph.build(program)
+
+
+def edge_set(program: Program, graph: CallGraph) -> set[tuple[str, str]]:
+    return {
+        (node, edge.callee)
+        for node, _summary, _fn in program.iter_functions()
+        for edge in graph.out_edges(node)
+    }
+
+
+# One generated program: `n` modules, function f{i} in module m{i}, and
+# a random wiring of which function calls which.  Import style per edge
+# is drawn independently: direct, aliased, or via the hub re-export.
+@st.composite
+def programs(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    # (caller, callee, style) triples; callee may be any module incl.
+    # earlier ones (cycles arise when i calls j and j calls i).
+    edges = draw(st.lists(
+        st.tuples(
+            st.integers(0, n - 1),
+            st.integers(0, n - 1),
+            st.sampled_from(["direct", "alias", "hub"]),
+        ),
+        max_size=10, unique_by=lambda e: (e[0], e[1]),
+    ))
+    edges = [e for e in edges if e[0] != e[1]]
+    return n, edges
+
+
+def build_sources(n: int, edges: list[tuple[int, int, str]]) -> dict[str, str]:
+    hub_exports = sorted({callee for _c, callee, style in edges
+                          if style == "hub"})
+    sources: dict[str, str] = {
+        f"{PKG}.hub": "".join(
+            f"from .m{k} import f{k}\n" for k in hub_exports) or "pass\n",
+    }
+    for i in range(n):
+        lines = []
+        body: dict[int, list[str]] = {}
+        for caller, callee, style in edges:
+            if caller != i:
+                continue
+            if style == "direct":
+                lines.append(f"from .m{callee} import f{callee}")
+                call = f"f{callee}()"
+            elif style == "alias":
+                lines.append(f"from .m{callee} import f{callee} as g{callee}")
+                call = f"g{callee}()"
+            else:
+                lines.append(f"from .hub import f{callee}")
+                call = f"f{callee}()"
+            body.setdefault(i, []).append(f"    {call}")
+        lines.append(f"def f{i}():")
+        lines.extend(body.get(i, []))
+        lines.append("    return None")
+        sources[f"{PKG}.m{i}"] = "\n".join(lines) + "\n"
+    return sources
+
+
+class TestGeneratedPrograms:
+    @settings(max_examples=40, deadline=None)
+    @given(programs())
+    def test_edge_set_matches_construction(self, prog):
+        n, edges = prog
+        sources = build_sources(n, edges)
+        program, graph = link(sources)
+        expected = {
+            (f"{PKG}.m{caller}:f{caller}", f"{PKG}.m{callee}:f{callee}")
+            for caller, callee, _style in edges
+        }
+        got = {
+            (c, k) for c, k in edge_set(program, graph)
+            if c.split(":")[1].startswith("f")
+        }
+        assert got == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=8))
+    def test_taint_chain_reports_every_hop(self, depth):
+        # f0 -> f1 -> ... -> f{depth-1}, the last one reads planted GT;
+        # f0 lives in an analysis module so the chain must be flagged
+        # and the message must name every intermediate hop.
+        sources = {}
+        for i in range(depth - 1):
+            module = (f"{PKG}.m{i}" if i else "repro.analysis.entry")
+            sources[module] = (
+                f"from ..genmod.m{i + 1} import f{i + 1}\n"
+                if i == 0 else
+                f"from .m{i + 1} import f{i + 1}\n"
+            ) + f"def f{i}(event):\n    return f{i + 1}(event)\n"
+        sources[f"{PKG}.m{depth - 1}"] = (
+            f"def f{depth - 1}(event):\n"
+            "    return event.hazard_multiplier\n"
+        )
+        findings = [f for f in lint_sources(sources) if f.rule == "GT-taint"]
+        assert findings
+        message = findings[0].message
+        for i in range(1, depth):
+            assert f"f{i}" in message, f"hop f{i} missing from chain"
+
+
+class TestImportCycles:
+    def test_mutual_recursion_across_modules(self):
+        sources = {
+            f"{PKG}.m0": (
+                "from .m1 import f1\n"
+                "def f0(n):\n"
+                "    return f1(n - 1)\n"
+            ),
+            f"{PKG}.m1": (
+                "from .m0 import f0\n"
+                "def f1(n):\n"
+                "    return f0(n - 1)\n"
+            ),
+        }
+        program, graph = link(sources)
+        assert (f"{PKG}.m0:f0", f"{PKG}.m1:f1") in edge_set(program, graph)
+        assert (f"{PKG}.m1:f1", f"{PKG}.m0:f0") in edge_set(program, graph)
+
+    def test_reachability_terminates_on_cycles(self):
+        sources = {
+            f"{PKG}.m0": "from .m1 import f1\ndef f0():\n    return f1()\n",
+            f"{PKG}.m1": "from .m0 import f0\ndef f1():\n    return f0()\n",
+        }
+        program, graph = link(sources)
+        reach = graph.reachable([f"{PKG}.m0:f0"])
+        assert f"{PKG}.m1:f1" in reach
+        assert f"{PKG}.m0:f0" in reach
+
+
+class TestResolutionShapes:
+    def test_method_resolution_through_inheritance(self):
+        sources = {
+            f"{PKG}.base": (
+                "class Base:\n"
+                "    def compute(self):\n"
+                "        return 1\n"
+            ),
+            f"{PKG}.sub": (
+                "from .base import Base\n"
+                "class Sub(Base):\n"
+                "    pass\n"
+                "def use():\n"
+                "    x = Sub()\n"
+                "    return x.compute()\n"
+            ),
+        }
+        program, graph = link(sources)
+        # Sub has no compute; the call resolves to the inherited one.
+        assert (f"{PKG}.sub:use", f"{PKG}.base:Base.compute") in edge_set(
+            program, graph)
+
+    def test_override_beats_base_method(self):
+        sources = {
+            f"{PKG}.base": (
+                "class Base:\n"
+                "    def compute(self):\n"
+                "        return 1\n"
+            ),
+            f"{PKG}.sub": (
+                "from .base import Base\n"
+                "class Sub(Base):\n"
+                "    def compute(self):\n"
+                "        return 2\n"
+                "def use():\n"
+                "    x = Sub()\n"
+                "    return x.compute()\n"
+            ),
+        }
+        program, graph = link(sources)
+        edges = edge_set(program, graph)
+        assert (f"{PKG}.sub:use", f"{PKG}.sub:Sub.compute") in edges
+        assert (f"{PKG}.sub:use", f"{PKG}.base:Base.compute") not in edges
+
+    def test_decorated_callee_still_resolves(self):
+        sources = {
+            f"{PKG}.m0": (
+                "import functools\n"
+                "@functools.lru_cache(maxsize=None)\n"
+                "def cached(n):\n"
+                "    return n\n"
+                "def use():\n"
+                "    return cached(3)\n"
+            ),
+        }
+        program, graph = link(sources)
+        assert (f"{PKG}.m0:use", f"{PKG}.m0:cached") in edge_set(
+            program, graph)
+
+    def test_partial_wrapped_callee_records_edge(self):
+        sources = {
+            f"{PKG}.m0": (
+                "import functools\n"
+                "def target(a, b):\n"
+                "    return a + b\n"
+                "def use():\n"
+                "    h = functools.partial(target, 1)\n"
+                "    return h(2)\n"
+            ),
+        }
+        program, graph = link(sources)
+        assert (f"{PKG}.m0:use", f"{PKG}.m0:target") in edge_set(
+            program, graph)
+
+    def test_local_alias_of_imported_function(self):
+        sources = {
+            f"{PKG}.m0": "def f0():\n    return 1\n",
+            f"{PKG}.m1": (
+                "from .m0 import f0\n"
+                "g = f0\n"
+                "def use():\n"
+                "    return g()\n"
+            ),
+        }
+        program, graph = link(sources)
+        assert (f"{PKG}.m1:use", f"{PKG}.m0:f0") in edge_set(program, graph)
+
+    def test_dynamic_dispatch_under_approximates(self):
+        # An attribute call on an unknown object must produce NO edge
+        # (precision over recall: no edge explosion on duck typing).
+        sources = {
+            f"{PKG}.m0": (
+                "def use(thing):\n"
+                "    return thing.compute()\n"
+            ),
+        }
+        program, graph = link(sources)
+        assert edge_set(program, graph) == set()
+
+
+@pytest.fixture(autouse=True)
+def _no_cache_noise(tmp_path, monkeypatch):
+    # Property tests hammer lint_sources; keep any ambient lint cache
+    # env var from turning fixtures into disk traffic.
+    monkeypatch.delenv("REPRO_LINT_CACHE", raising=False)

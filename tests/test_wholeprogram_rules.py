@@ -1,0 +1,341 @@
+"""Interprocedural rule families: triggering and clean fixtures.
+
+Each family gets at least one fixture that MUST fire (the planted
+violation CI also carries) and one structurally similar fixture that
+MUST stay clean, so the rules' precision — not just their recall — is
+pinned by tests.  Fixtures run through :func:`repro.staticcheck.lint_sources`,
+which links a dict of virtual modules into one whole program.
+"""
+
+import pytest
+
+from repro.staticcheck import get_wholeprogram_rule, lint_sources
+from repro.staticcheck.framework import get_rule
+
+
+def rule_ids(findings):
+    return {f.rule for f in findings}
+
+
+def only(findings, rule_id):
+    return [f for f in findings if f.rule == rule_id]
+
+
+class TestGtTaint:
+    def test_two_hop_launder_across_modules_fires(self):
+        findings = lint_sources({
+            "repro.failures.probe": (
+                "def peek(event):\n"
+                "    return event.hazard_multiplier\n"
+            ),
+            "repro.pipeline.helper": (
+                "from ..failures.probe import peek\n"
+                "def relay(event):\n"
+                "    return peek(event)\n"
+            ),
+            "repro.analysis.consumer": (
+                "from ..pipeline.helper import relay\n"
+                "def score(event):\n"
+                "    return relay(event)\n"
+            ),
+        })
+        taints = only(findings, "GT-taint")
+        assert taints, "two-hop ground-truth launder must be flagged"
+        assert "repro/analysis/consumer.py" in taints[0].path
+
+    def test_finding_message_carries_full_propagation_chain(self):
+        findings = lint_sources({
+            "repro.failures.probe": (
+                "def peek(event):\n"
+                "    return event.hazard_multiplier\n"
+            ),
+            "repro.pipeline.helper": (
+                "from ..failures.probe import peek\n"
+                "def relay(event):\n"
+                "    return peek(event)\n"
+            ),
+            "repro.analysis.consumer": (
+                "from ..pipeline.helper import relay\n"
+                "def score(event):\n"
+                "    return relay(event)\n"
+            ),
+        })
+        message = only(findings, "GT-taint")[0].message
+        # Every hop of the laundering chain is named, source first.
+        assert "repro.pipeline.helper:relay" in message
+        assert "repro.failures.probe:peek" in message
+        assert "hazard_multiplier" in message
+
+    def test_forbidden_module_import_taints_through_helper(self):
+        findings = lint_sources({
+            "repro.pipeline.helper": (
+                "from ..failures.faultmodel import FaultModel\n"
+                "def rates(config):\n"
+                "    return FaultModel(config)\n"
+            ),
+            "repro.analysis.consumer": (
+                "from ..pipeline.helper import rates\n"
+                "def score(config):\n"
+                "    return rates(config)\n"
+            ),
+        })
+        assert only(findings, "GT-taint")
+
+    def test_simulate_boundary_is_not_taint(self):
+        # The paper's operator-visibility projection: simulate() touches
+        # planted hazards by design, and its *output* is the legitimate
+        # observable surface for analysis code.
+        findings = lint_sources({
+            "repro.analysis.consumer": (
+                "from ..failures.engine import simulate\n"
+                "def run(config):\n"
+                "    return simulate(config)\n"
+            ),
+        })
+        assert "GT-taint" not in rule_ids(findings)
+
+    def test_non_analysis_consumer_stays_clean(self):
+        # Taint inside the simulator side is fine; only the analysis
+        # surface is forbidden from consuming it.
+        findings = lint_sources({
+            "repro.failures.probe": (
+                "def peek(event):\n"
+                "    return event.hazard_multiplier\n"
+            ),
+            "repro.datacenter.wiring": (
+                "from ..failures.probe import peek\n"
+                "def describe(event):\n"
+                "    return peek(event)\n"
+            ),
+        })
+        assert "GT-taint" not in rule_ids(findings)
+
+    def test_noqa_suppresses_with_audit_trail(self):
+        findings = lint_sources({
+            "repro.failures.probe": (
+                "def peek(event):\n"
+                "    return event.hazard_multiplier\n"
+            ),
+            "repro.analysis.consumer": (
+                "from ..failures.probe import peek\n"
+                "def score(event):\n"
+                "    return peek(event)  # repro: noqa[GT-taint]\n"
+            ),
+        })
+        assert "GT-taint" not in rule_ids(findings)
+
+
+class TestFingerprintPurity:
+    def test_wallclock_three_calls_below_stage_run_fires(self):
+        findings = lint_sources({
+            "repro.pipeline.custom": (
+                "import datetime\n"
+                "from .core import Stage\n"
+                "def _stamp():\n"
+                "    return datetime.datetime.now()\n"
+                "def _inner():\n"
+                "    return _stamp()\n"
+                "def _mid():\n"
+                "    return _inner()\n"
+                "def run(inputs, ctx):\n"
+                "    return _mid()\n"
+                "stage = Stage(name='custom', run=run, codec='json')\n"
+            ),
+        })
+        purity = only(findings, "fingerprint-purity")
+        assert purity, "datetime.now under a Stage run must be flagged"
+        assert purity[0].line == 4  # anchored at the sink
+        assert "run" in purity[0].message and "chain" in purity[0].message
+
+    def test_env_read_below_stage_run_fires(self):
+        findings = lint_sources({
+            "repro.pipeline.custom": (
+                "import os\n"
+                "from .core import Stage\n"
+                "def run(inputs, ctx):\n"
+                "    return os.getenv('REPRO_MODE')\n"
+                "stage = Stage(name='custom', run=run, codec='json')\n"
+            ),
+        })
+        assert only(findings, "fingerprint-purity")
+
+    def test_unseeded_rng_below_stage_run_fires(self):
+        findings = lint_sources({
+            "repro.pipeline.custom": (
+                "import numpy as np\n"
+                "from .core import Stage\n"
+                "def run(inputs, ctx):\n"
+                "    return np.random.default_rng().poisson(3.0)\n"
+                "stage = Stage(name='custom', run=run, codec='json')\n"
+            ),
+        })
+        assert only(findings, "fingerprint-purity")
+
+    def test_injected_clock_port_stays_clean(self):
+        # The sanctioned pattern: a clock passed in as a default-arg
+        # port is a *reference*, never a resolvable call to time.time.
+        findings = lint_sources({
+            "repro.pipeline.custom": (
+                "import time\n"
+                "from .core import Stage\n"
+                "def run(inputs, ctx, clock=time.perf_counter):\n"
+                "    start = clock()\n"
+                "    return {'elapsed': clock() - start}\n"
+                "stage = Stage(name='custom', run=run, codec='json')\n"
+            ),
+        })
+        assert "fingerprint-purity" not in rule_ids(findings)
+
+    def test_wallclock_not_reachable_from_stage_stays_clean(self):
+        # Nondeterminism outside any Stage-run closure is the per-module
+        # wallclock rule's business, not a cache-key-purity violation.
+        findings = lint_sources({
+            "repro.pipeline.custom": (
+                "import datetime\n"
+                "from .core import Stage\n"
+                "def _stamp():\n"
+                "    return datetime.datetime.now()\n"
+                "def run(inputs, ctx):\n"
+                "    return 1\n"
+                "stage = Stage(name='custom', run=run, codec='json')\n"
+            ),
+        })
+        assert "fingerprint-purity" not in rule_ids(findings)
+
+
+class TestAsyncSafety:
+    def test_blocking_sleep_in_serve_handler_fires(self):
+        findings = lint_sources({
+            "repro.serve.custom": (
+                "import time\n"
+                "def _work():\n"
+                "    time.sleep(0.5)\n"
+                "async def handle(request):\n"
+                "    return _work()\n"
+            ),
+        })
+        flagged = only(findings, "async-safety")
+        assert flagged, "time.sleep under an async handler must be flagged"
+        assert "handle" in flagged[0].message
+        assert "time.sleep" in flagged[0].message
+
+    def test_subprocess_below_async_fires(self):
+        findings = lint_sources({
+            "repro.serve.custom": (
+                "import subprocess\n"
+                "async def handle(request):\n"
+                "    return subprocess.run(['true'])\n"
+            ),
+        })
+        assert only(findings, "async-safety")
+
+    def test_executor_hop_is_clean_by_construction(self):
+        # run_in_executor passes the blocking callable as a reference;
+        # the async closure must not walk into it.
+        findings = lint_sources({
+            "repro.serve.custom": (
+                "import asyncio\n"
+                "import time\n"
+                "def _work():\n"
+                "    time.sleep(0.5)\n"
+                "async def handle(request):\n"
+                "    loop = asyncio.get_running_loop()\n"
+                "    return await loop.run_in_executor(None, _work)\n"
+            ),
+        })
+        assert "async-safety" not in rule_ids(findings)
+
+    def test_sync_only_blocking_call_stays_clean(self):
+        findings = lint_sources({
+            "repro.telemetry.custom": (
+                "import time\n"
+                "def retry_loop():\n"
+                "    time.sleep(0.1)\n"
+            ),
+        })
+        assert "async-safety" not in rule_ids(findings)
+
+
+class TestSharedMutableState:
+    FIXTURE = {
+        "repro.telemetry.shared": (
+            "CACHE = {}\n"
+            "def remember(item):\n"
+            "    CACHE[item] = 1\n"
+            "def worker(item):\n"
+            "    remember(item)\n"
+            "    return item\n"
+            "async def poll():\n"
+            "    remember('x')\n"
+            "def kick(items):\n"
+            "    from ..parallel import map_items\n"
+            "    return map_items(worker, items, jobs=2)\n"
+        ),
+    }
+
+    def test_helper_shared_by_loop_and_workers_fires(self):
+        findings = lint_sources(self.FIXTURE)
+        flagged = only(findings, "shared-mutable-state")
+        assert flagged
+        message = flagged[0].message
+        assert "CACHE" in message
+        assert "poll" in message  # the asyncio-side chain is named
+
+    def test_worker_only_writer_stays_clean(self):
+        fixture = dict(self.FIXTURE)
+        fixture["repro.telemetry.shared"] = (
+            fixture["repro.telemetry.shared"]
+            .replace("async def poll():\n    remember('x')\n",
+                     "async def poll():\n    return 1\n")
+        )
+        findings = lint_sources(fixture)
+        assert "shared-mutable-state" not in rule_ids(findings)
+
+    def test_local_rebind_of_same_name_stays_clean(self):
+        findings = lint_sources({
+            "repro.telemetry.shared": (
+                "def shared_helper(items):\n"
+                "    CACHE = {}\n"
+                "    CACHE['x'] = 1\n"
+                "    return CACHE\n"
+                "async def poll(items):\n"
+                "    return shared_helper(items)\n"
+                "def kick(items):\n"
+                "    from ..parallel import map_items\n"
+                "    return map_items(shared_helper, items, jobs=2)\n"
+            ),
+        })
+        assert "shared-mutable-state" not in rule_ids(findings)
+
+
+class TestRuleSelection:
+    def test_wholeprogram_rule_lookup(self):
+        rule = get_wholeprogram_rule("GT-taint")
+        assert rule.id == "GT-taint"
+        assert rule.version >= 1
+
+    def test_explicit_per_module_filter_disables_wholeprogram(self):
+        findings = lint_sources({
+            "repro.serve.custom": (
+                "import time\n"
+                "async def handle(request):\n"
+                "    time.sleep(0.5)\n"
+            ),
+        }, rules=[get_rule("float-eq")])
+        assert findings == []
+
+    def test_explicit_wholeprogram_filter_runs_alone(self):
+        findings = lint_sources({
+            "repro.serve.custom": (
+                "import time\n"
+                "async def handle(request):\n"
+                "    time.sleep(0.5)\n"
+            ),
+        }, rules=[], wp_rules=[get_wholeprogram_rule("async-safety")])
+        assert rule_ids(findings) == {"async-safety"}
+
+    def test_unknown_wholeprogram_rule_is_an_error(self):
+        from repro.errors import DataError
+
+        with pytest.raises(DataError, match="unknown"):
+            get_wholeprogram_rule("no-such-rule")
