@@ -1,0 +1,82 @@
+"""CI autonomics smoke: the closed loop acts, and prediction pays off.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/autonomics_smoke.py [--scale S]
+        [--days N] [--budget SECONDS]
+
+Replays one seed under the reactive and predictive controllers through
+the full closed loop — stepping session, event feed, streaming
+monitors, spare ledger — and checks the ROADMAP's closed-loop claim on
+the default scenario: acting on predictions must meet or beat break/fix
+on SLA attainment (equivalently: SLA shortfall no worse) at
+equal-or-lower TCO.  Exits non-zero if either leg of the verdict fails,
+the loop never acts, or the wall clock exceeds the budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import repro
+from repro.autonomics import compare_policies, render_autonomics
+
+
+def run_smoke(scale: float, days: int, budget_s: float) -> int:
+    start = time.perf_counter()
+    payload = compare_policies(
+        repro.SimulationConfig.small(seed=0, scale=scale, n_days=days),
+        policies=("reactive", "predictive"),
+    )
+    elapsed = time.perf_counter() - start
+
+    print(render_autonomics(payload))
+    print(f"\nshakedown-train + 2 policy replays: {elapsed:.2f}s")
+
+    rows = {row["policy"]: row for row in payload["policies"]}
+    reactive, predictive = rows["reactive"], rows["predictive"]
+    verdict = payload["verdict"]
+
+    if predictive["n_actions"] == 0 or reactive["n_actions"] == 0:
+        print("FAIL: a controller never acted — the loop is not closed",
+              file=sys.stderr)
+        return 1
+    reactive_shortfall = 1.0 - reactive["sla_attainment"]
+    predictive_shortfall = 1.0 - predictive["sla_attainment"]
+    if predictive_shortfall > reactive_shortfall:
+        print(f"FAIL: predictive SLA shortfall {predictive_shortfall:.4%} "
+              f"exceeds reactive {reactive_shortfall:.4%}", file=sys.stderr)
+        return 1
+    if not verdict["predictive_tco_leq_reactive"]:
+        print(f"FAIL: predictive TCO {predictive['tco_units']:,.0f} exceeds "
+              f"reactive {reactive['tco_units']:,.0f}", file=sys.stderr)
+        return 1
+    if elapsed > budget_s:
+        print(f"FAIL: {elapsed:.2f}s exceeds the {budget_s:.0f}s budget",
+              file=sys.stderr)
+        return 1
+    print(f"OK: prediction beats break/fix "
+          f"({verdict['sla_attainment_delta']:+.2%} SLA, "
+          f"{verdict['tco_delta_units']:+,.0f} TCO units) "
+          f"within the {budget_s:.0f}s budget")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="fleet scale factor (default 0.2)")
+    parser.add_argument("--days", type=int, default=270,
+                        help="simulated days (default 270)")
+    parser.add_argument("--budget", type=float, default=120.0,
+                        help="wall-clock budget in seconds")
+    args = parser.parse_args(argv)
+    if args.scale <= 0 or args.days < 60 or args.budget <= 0:
+        parser.error("--scale must be > 0, --days >= 60, --budget > 0")
+    return run_smoke(args.scale, args.days, args.budget)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

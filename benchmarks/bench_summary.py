@@ -68,6 +68,16 @@ def summarize(path: pathlib.Path) -> str:
                 f"{extra['predict_score_latency_ms']:.1f}ms "
                 f"({extra['rows_per_sec']:,.0f} rows/s)"
             )
+        if "step_ratio" in extra:
+            # The session-step bench records the same-seed batch
+            # simulate mean next to the stepped loop's, with the gated
+            # overhead ratio.
+            lines.append(
+                f"{'':4s}batch {extra['batch_mean_s']*1e3:.1f}ms -> "
+                f"stepped every {extra.get('step_days', '?')}d "
+                f"{entry['mean_s']*1e3:.1f}ms "
+                f"({extra['step_ratio']:.2f}x, gate 1.50x)"
+            )
         if "p99_ms" in extra:
             # Serve rows carry client-side latency percentiles from the
             # load generator alongside the throughput column.

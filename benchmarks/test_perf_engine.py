@@ -20,6 +20,42 @@ def test_perf_simulation_quarter_scale(benchmark):
     assert len(result.tickets) > 1000
 
 
+def test_perf_session_step_overhead(benchmark):
+    """Weekly-stepped session vs batch simulate on the same year.
+
+    The stepping machinery (chunk buffering, per-step window slicing,
+    incremental finalization) must stay close to the batch path — the
+    closed-loop what-if engine replays every policy through it.  Gated
+    at 1.5x the batch mean so only a structural regression trips it.
+    """
+    import time
+
+    from repro.failures.engine import SimulationSession
+
+    config = repro.SimulationConfig.small(seed=50, scale=0.25, n_days=365)
+
+    batch_start = time.perf_counter()
+    batch = repro.simulate(config)
+    batch_s = time.perf_counter() - batch_start
+
+    def stepped():
+        session = SimulationSession(config)
+        while not session.exhausted:
+            session.step(7)
+        return session.result()
+
+    result = benchmark.pedantic(stepped, rounds=3, iterations=1)
+    assert len(result.tickets) == len(batch.tickets)
+    ratio = benchmark.stats.stats.mean / batch_s
+    benchmark.extra_info["batch_mean_s"] = batch_s
+    benchmark.extra_info["step_ratio"] = ratio
+    benchmark.extra_info["step_days"] = 7
+    assert ratio <= 1.5, (
+        f"weekly-stepped session ran {ratio:.2f}x the batch path "
+        f"({benchmark.stats.stats.mean:.3f}s vs {batch_s:.3f}s)"
+    )
+
+
 @pytest.fixture(scope="module")
 def perf_run():
     return repro.simulate(

@@ -1,0 +1,72 @@
+"""Closed-loop autonomics: controllers acting on the live stream.
+
+The package closes the paper's loop: the streaming monitors
+(:mod:`repro.stream`) watch a live
+:class:`~repro.failures.engine.SimulationSession`, a
+:class:`~repro.autonomics.controller.Controller` turns their alerts
+into declarative :mod:`~repro.autonomics.actions`, and the
+:mod:`~repro.autonomics.whatif` engine replays the same seed under
+competing policies to score SLA attainment against TCO.
+
+Everything here lives on the analysis side of the ground-truth
+boundary: controllers see tickets, sensor readings and their own
+ledger — never hazards.
+"""
+
+from .actions import (
+    ACTION_TYPES,
+    DEFAULT_LEAD_TIME_DAYS,
+    MoveSetpoints,
+    OrderSpares,
+    SwapSku,
+)
+from .controller import (
+    BUILTIN_POLICIES,
+    Controller,
+    NullController,
+    Observation,
+    PredictiveController,
+    ReactiveController,
+    ThresholdController,
+    make_controller,
+)
+from .experiment import (
+    autonomics_experiment,
+    autonomics_query_payload,
+    compute_autonomics_payload,
+    render_autonomics,
+)
+from .feed import SessionEventFeed
+from .spares import SpareLedger
+from .whatif import (
+    PolicyRunOutcome,
+    compare_policies,
+    run_policy,
+    train_shakedown_predictor,
+)
+
+__all__ = [
+    "ACTION_TYPES",
+    "BUILTIN_POLICIES",
+    "Controller",
+    "DEFAULT_LEAD_TIME_DAYS",
+    "MoveSetpoints",
+    "NullController",
+    "Observation",
+    "OrderSpares",
+    "PolicyRunOutcome",
+    "PredictiveController",
+    "ReactiveController",
+    "SessionEventFeed",
+    "SpareLedger",
+    "SwapSku",
+    "ThresholdController",
+    "autonomics_experiment",
+    "autonomics_query_payload",
+    "compare_policies",
+    "compute_autonomics_payload",
+    "make_controller",
+    "render_autonomics",
+    "run_policy",
+    "train_shakedown_predictor",
+]

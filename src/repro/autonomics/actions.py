@@ -1,0 +1,121 @@
+"""The action vocabulary controllers may emit.
+
+Actions are declarative: a controller decides *what* should happen and
+the simulation session (or the policy runtime, for operational
+inventory) carries it out through sanctioned mutation points.  The
+split keeps the ground-truth boundary intact — a controller module
+never touches the hazard model, and the only substrate writes happen
+inside :meth:`~repro.failures.engine.SimulationSession.apply`, below
+the field-data boundary, at the generation frontier.
+
+Three action families mirror the paper's decision chapters:
+
+* :class:`OrderSpares` — Q1: adjust a rack's provisioned spare pool,
+  with a procurement lead time.  Operational inventory only: it never
+  perturbs the physical realization, so spare-only policies replay the
+  identical ticket stream and score counterfactually.
+* :class:`SwapSku` — Q2: swap a rack's hardware SKU at the next
+  refresh point (the generation frontier).
+* :class:`MoveSetpoints` — Q3: retarget the cooling plant's
+  temperature/humidity setpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: Default procurement lead time for spare orders, in days.  Chosen to
+#: sit just above the predictive monitor's alert horizon: a predicted
+#: failure leaves (roughly) enough runway for the spares to land, while
+#: a purely reactive order always arrives a full lead time after the
+#: breach began.
+DEFAULT_LEAD_TIME_DAYS = 3
+
+
+@dataclass(frozen=True)
+class OrderSpares:
+    """Order additional spare servers for one rack.
+
+    Attributes:
+        rack_index: target rack (inventory row).
+        n_servers: how many spare servers to add to the rack's pool.
+        lead_time_days: procurement delay; the spares join the pool
+            this many days after the order is placed.
+    """
+
+    rack_index: int
+    n_servers: int = 1
+    lead_time_days: int = DEFAULT_LEAD_TIME_DAYS
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ConfigError(f"spare order needs n_servers >= 1, got {self.n_servers}")
+        if self.lead_time_days < 0:
+            raise ConfigError("lead_time_days must be >= 0")
+
+    def apply_to(self, session) -> None:
+        """Spares are operational inventory, not simulated hardware.
+
+        The policy runtime's :class:`~repro.autonomics.spares.SpareLedger`
+        books the order; the session only records it in its action log
+        (which :meth:`~repro.failures.engine.SimulationSession.apply`
+        does for every action), so the physical realization — and hence
+        seed-comparability across spare-only policies — is untouched.
+        """
+
+
+@dataclass(frozen=True)
+class SwapSku:
+    """Swap racks onto a different hardware SKU at the next refresh.
+
+    Attributes:
+        rack_ids: rack labels to refresh.
+        sku_name: replacement SKU (must be a drop-in: same
+            servers-per-rack, enforced by the fleet mutation point).
+    """
+
+    rack_ids: tuple[str, ...]
+    sku_name: str
+
+    def __post_init__(self) -> None:
+        if not self.rack_ids:
+            raise ConfigError("SKU swap needs at least one rack id")
+
+    def apply_to(self, session) -> None:
+        """Queue the refresh on the session's fleet mutation point."""
+        session.swap_sku(self.rack_ids, self.sku_name)
+
+
+@dataclass(frozen=True)
+class MoveSetpoints:
+    """Move the cooling plant's temperature/humidity setpoints.
+
+    Attributes:
+        temp_delta_f: inlet-temperature shift in °F (negative = cool).
+        rh_delta: relative-humidity shift in percentage points.
+        rack_indices: affected racks; ``None`` means fleet-wide.
+    """
+
+    temp_delta_f: float = 0.0
+    rh_delta: float = 0.0
+    rack_indices: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not (self.temp_delta_f or self.rh_delta):
+            raise ConfigError("setpoint move needs a non-zero delta")
+
+    def apply_to(self, session) -> None:
+        """Queue the move on the session's environment mutation point."""
+        session.move_setpoints(
+            temp_delta_f=self.temp_delta_f,
+            rh_delta=self.rh_delta,
+            rack_indices=(
+                None if self.rack_indices is None else list(self.rack_indices)
+            ),
+        )
+
+
+#: Every concrete action type, for validation and docs.
+ACTION_TYPES = (OrderSpares, SwapSku, MoveSetpoints)

@@ -1,0 +1,250 @@
+"""The controller port and the built-in closed-loop policies.
+
+A :class:`Controller` observes the run the way an operator would — the
+streaming monitors' alerts, the BMS's observed conditions, its own
+spare ledger — and answers with declarative actions.  The substrate
+never leaks in: observations are assembled by the policy runtime from
+per-step event blocks and monitor state only.
+
+Built-in policies span the paper's decision space:
+
+* :class:`NullController` — the no-op baseline whose stepped run must
+  be bit-identical to batch ``simulate()`` (the determinism gate).
+* :class:`ReactiveController` — classic break/fix: order spares only
+  after an SLA-risk breach fires, and eat the full procurement lead
+  time while the rack stays exposed.
+* :class:`PredictiveController` — DC-Prophet-style: act on
+  PREDICTED_FAILURE alerts ahead of the fault (orders land roughly
+  when the failure does instead of a lead time after the breach) and
+  schedule proactive interventions on the flagged rack-days; breaches
+  that slip through still get the reactive response.
+* :class:`ThresholdController` — plant-level rule: when observed
+  inlet temperatures run hot, pull the cooling setpoint down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..stream.triggers import Alert, AlertKind
+from .actions import DEFAULT_LEAD_TIME_DAYS, MoveSetpoints, OrderSpares
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What a controller is allowed to see at one decision point.
+
+    Attributes:
+        day: current observation frontier (days since run start).
+        window_days: days covered since the previous decision.
+        alerts: monitor alerts that fired inside the window.
+        down: per-rack servers currently down (SLA gauge state).
+        capacity: per-rack server counts.
+        spares: per-rack spare servers on hand.
+        racks_on_order: racks with an undelivered spare order.
+        observed_temp_f: per-rack mean observed inlet °F over the
+            window (NaN where every reading dropped out).
+        observed_rh: per-rack mean observed %RH over the window.
+    """
+
+    day: int
+    window_days: int
+    alerts: tuple[Alert, ...]
+    down: np.ndarray
+    capacity: np.ndarray
+    spares: np.ndarray
+    racks_on_order: frozenset[int]
+    observed_temp_f: np.ndarray
+    observed_rh: np.ndarray
+
+    def alerts_of(self, kind: AlertKind) -> tuple[Alert, ...]:
+        """The window's alerts of one kind."""
+        return tuple(alert for alert in self.alerts if alert.kind is kind)
+
+
+class Controller:
+    """Port for closed-loop policies: observe, then act.
+
+    Subclasses implement :meth:`decide`; the runtime calls it once per
+    decision interval and routes the returned actions through the
+    session (physical) and the spare ledger (operational).
+    """
+
+    #: Stable identifier used in comparisons, payloads and the CLI.
+    policy_id: str = "abstract"
+
+    def decide(self, observation: Observation) -> list:
+        """Return the actions to apply at this decision point."""
+        raise NotImplementedError
+
+    #: Whether the runtime should attach a PredictiveMonitor.
+    wants_predictions: bool = False
+
+
+class NullController(Controller):
+    """Does nothing — the determinism baseline."""
+
+    policy_id = "null"
+
+    def decide(self, observation: Observation) -> list:
+        return []
+
+
+@dataclass
+class ReactiveController(Controller):
+    """Break/fix: top up a rack's spares only after it breaches.
+
+    Attributes:
+        order_servers: spare servers per order.
+        lead_time_days: procurement delay on every order.
+    """
+
+    order_servers: int = 2
+    lead_time_days: int = DEFAULT_LEAD_TIME_DAYS
+    policy_id: str = field(default="reactive", init=False)
+
+    def decide(self, observation: Observation) -> list:
+        actions = []
+        seen: set[int] = set()
+        for alert in observation.alerts_of(AlertKind.SLA_RISK):
+            rack = alert.rack_index
+            if rack in seen or rack in observation.racks_on_order:
+                continue
+            seen.add(rack)
+            actions.append(OrderSpares(
+                rack_index=rack,
+                n_servers=self.order_servers,
+                lead_time_days=self.lead_time_days,
+            ))
+        return actions
+
+
+@dataclass
+class PredictiveController(Controller):
+    """Act on predicted failures before they land.
+
+    Orders the same spare increment as the reactive policy but at
+    prediction time, so the procurement lead time is (mostly) absorbed
+    by the prediction horizon; flagged rack-days additionally feed the
+    proactive-maintenance accounting
+    (:func:`~repro.decisions.proactive.evaluate_scored`).  SLA breaches
+    that slip past the predictor still get the reactive response —
+    prediction augments break/fix, it does not replace it.
+    """
+
+    order_servers: int = 2
+    lead_time_days: int = DEFAULT_LEAD_TIME_DAYS
+    policy_id: str = field(default="predictive", init=False)
+    wants_predictions: bool = field(default=True, init=False)
+
+    def __post_init__(self) -> None:
+        #: (rack, day, score) triples for proactive accounting.
+        self.flagged: list[tuple[int, int, float]] = []
+        #: Racks already topped up on a prediction.  Spares persist, so
+        #: re-ordering every time the same rack is re-flagged only buys
+        #: inventory the rack already has; one predictive top-up per
+        #: rack, with the reactive breach response as the uncapped
+        #: escalation path for racks that need more.
+        self._predictive_ordered: set[int] = set()
+
+    def decide(self, observation: Observation) -> list:
+        actions = []
+        seen: set[int] = set()
+        for alert in observation.alerts_of(AlertKind.PREDICTED_FAILURE):
+            rack = alert.rack_index
+            self.flagged.append((rack, observation.day, float(alert.value)))
+            if (
+                rack in seen
+                or rack in observation.racks_on_order
+                or rack in self._predictive_ordered
+            ):
+                continue
+            seen.add(rack)
+            self._predictive_ordered.add(rack)
+            actions.append(OrderSpares(
+                rack_index=rack,
+                n_servers=self.order_servers,
+                lead_time_days=self.lead_time_days,
+            ))
+        for alert in observation.alerts_of(AlertKind.SLA_RISK):
+            rack = alert.rack_index
+            if rack in seen or rack in observation.racks_on_order:
+                continue
+            seen.add(rack)
+            actions.append(OrderSpares(
+                rack_index=rack,
+                n_servers=self.order_servers,
+                lead_time_days=self.lead_time_days,
+            ))
+        return actions
+
+
+@dataclass
+class ThresholdController(Controller):
+    """Plant-level rule: cool the room when observed inlets run hot.
+
+    Attributes:
+        hot_temp_f: observed mean inlet °F that triggers a setpoint pull.
+        setpoint_step_f: °F removed per trigger (negative shift).
+        max_total_shift_f: total cooling budget — the plant cannot be
+            retargeted indefinitely.
+        order_servers / lead_time_days: breach response, same as the
+            reactive policy.
+    """
+
+    hot_temp_f: float = 80.0
+    setpoint_step_f: float = 2.0
+    max_total_shift_f: float = 6.0
+    order_servers: int = 2
+    lead_time_days: int = DEFAULT_LEAD_TIME_DAYS
+    policy_id: str = field(default="threshold", init=False)
+
+    def __post_init__(self) -> None:
+        self._shifted_f = 0.0
+
+    def decide(self, observation: Observation) -> list:
+        actions = []
+        temps = observation.observed_temp_f
+        hot = np.nanmean(temps) if np.isfinite(temps).any() else np.nan
+        if (
+            np.isfinite(hot)
+            and hot > self.hot_temp_f
+            and self._shifted_f + self.setpoint_step_f <= self.max_total_shift_f
+        ):
+            self._shifted_f += self.setpoint_step_f
+            actions.append(MoveSetpoints(temp_delta_f=-self.setpoint_step_f))
+        seen: set[int] = set()
+        for alert in observation.alerts_of(AlertKind.SLA_RISK):
+            rack = alert.rack_index
+            if rack in seen or rack in observation.racks_on_order:
+                continue
+            seen.add(rack)
+            actions.append(OrderSpares(
+                rack_index=rack,
+                n_servers=self.order_servers,
+                lead_time_days=self.lead_time_days,
+            ))
+        return actions
+
+
+#: Registry of built-in policies by id.
+BUILTIN_POLICIES: tuple[str, ...] = ("null", "reactive", "predictive", "threshold")
+
+
+def make_controller(policy_id: str, **kwargs) -> Controller:
+    """Instantiate a built-in policy by id."""
+    from ..errors import ConfigError
+
+    if policy_id == "null":
+        return NullController()
+    if policy_id == "reactive":
+        return ReactiveController(**kwargs)
+    if policy_id == "predictive":
+        return PredictiveController(**kwargs)
+    if policy_id == "threshold":
+        return ThresholdController(**kwargs)
+    raise ConfigError(
+        f"unknown policy {policy_id!r}; built-ins: {', '.join(BUILTIN_POLICIES)}"
+    )

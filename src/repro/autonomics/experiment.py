@@ -1,0 +1,160 @@
+"""The ``autonomics`` experiment: same-seed closed-loop policy shootout.
+
+One payload answers the closed-loop question — if an autonomic
+controller had been riding the monitors and acting, would the fleet
+have met its SLA, and at what cost?  The what-if engine replays the
+run's seed under each built-in policy and scores SLA attainment and
+TCO; the payload is a JSON-safe dict so the pipeline persists it as a
+content-addressed artifact (stage ``autonomics:compare``) and the
+report/service layers render or serve it without recomputing.
+"""
+
+from __future__ import annotations
+
+from ..errors import DataError
+from ..reporting.context import AnalysisContext, autonomics_stage
+from .controller import BUILTIN_POLICIES
+from .whatif import (
+    DEFAULT_DECIDE_EVERY_DAYS,
+    DEFAULT_INITIAL_SPARE_FRACTION,
+    DEFAULT_SLA_LEVEL,
+    DEFAULT_SLA_PENALTY_UNITS,
+    DEFAULT_WARMUP_DAYS,
+    compare_policies,
+)
+
+#: Policies the registered experiment compares, in run order.
+DEFAULT_POLICIES: tuple[str, ...] = ("null", "reactive", "predictive")
+
+#: Steps of the autonomics pipeline; the stage names are
+#: ``autonomics_stage(step)`` for each.
+STAGE_STEPS = ("compare",)
+
+#: Declared stage dependencies of the registered ``autonomics``
+#: experiment (cross-checked against the registry and the catalogue).
+STAGE_DEPS = tuple(autonomics_stage(step) for step in STAGE_STEPS)
+
+#: Source modules whose content invalidates the experiment's rendering.
+CODE_MODULES = ("repro.autonomics.experiment",)
+
+
+def compute_autonomics_payload(
+    config,
+    policies: tuple[str, ...] = DEFAULT_POLICIES,
+    sla_level: float = DEFAULT_SLA_LEVEL,
+    initial_spare_fraction: float = DEFAULT_INITIAL_SPARE_FRACTION,
+    decide_every_days: int = DEFAULT_DECIDE_EVERY_DAYS,
+    warmup_days: int = DEFAULT_WARMUP_DAYS,
+    sla_penalty_units: float = DEFAULT_SLA_PENALTY_UNITS,
+) -> dict:
+    """The policy shootout as one JSON-safe payload.
+
+    A thin naming shim over :func:`~repro.autonomics.whatif.compare_policies`
+    so the pipeline stage, the experiment and the serve query all share
+    one entry point and its defaults.
+    """
+    return compare_policies(
+        config,
+        policies=policies,
+        sla_level=sla_level,
+        initial_spare_fraction=initial_spare_fraction,
+        decide_every_days=decide_every_days,
+        warmup_days=warmup_days,
+        sla_penalty_units=sla_penalty_units,
+    )
+
+
+def render_autonomics(payload: dict) -> str:
+    """Text rendering of an ``autonomics:compare`` payload."""
+    scenario = payload["scenario"]
+    lines = [
+        "[autonomics] closed-loop policy shootout on one seed",
+        "  would an autonomic controller have met the SLA, and at "
+        "what cost?",
+        f"  seed {scenario['seed']}, {scenario['n_days']} days, SLA "
+        f"{scenario['sla_level']:.2%}, decisions every "
+        f"{scenario['decide_every_days']} d, scoring after day "
+        f"{scenario['warmup_days']}",
+        "",
+        "  policy      attain%  breach-d  spares  interv  prevented"
+        "       TCO",
+    ]
+    for row in payload["policies"]:
+        lines.append(
+            f"  {row['policy']:<10}"
+            f"  {row['sla_attainment']:>6.2%}"
+            f"  {row['breach_rack_days']:>8}"
+            f"  {row['spare_servers_ordered']:>6}"
+            f"  {row['n_interventions']:>6}"
+            f"  {row['failures_prevented']:>9.1f}"
+            f"  {row['tco_units']:>8.0f}"
+        )
+    verdict = payload.get("verdict")
+    if verdict is not None:
+        sla_word = (
+            "matches or beats" if verdict["predictive_beats_reactive_sla"]
+            else "trails"
+        )
+        tco_word = (
+            "at equal or lower" if verdict["predictive_tco_leq_reactive"]
+            else "but at higher"
+        )
+        lines += [
+            "",
+            f"  verdict: acting on predictions {sla_word} break/fix on "
+            f"SLA attainment ({verdict['sla_attainment_delta']:+.2%}) "
+            f"{tco_word} TCO ({verdict['tco_delta_units']:+.0f} units).",
+        ]
+    return "\n".join(lines)
+
+
+def autonomics_experiment(context: AnalysisContext) -> str:
+    """Registered experiment entry point (artifact-aware)."""
+    payload = None
+    artifacts = getattr(context, "artifacts", None)
+    if artifacts is not None and artifacts.has_stage(
+        autonomics_stage("compare")
+    ):
+        payload = artifacts.get(autonomics_stage("compare"))
+    if payload is None:
+        payload = compute_autonomics_payload(context.result.config)
+    return render_autonomics(payload)
+
+
+def autonomics_query_payload(context: AnalysisContext, params: dict) -> dict:
+    """Serve-layer payload: the shootout, optionally re-parameterized."""
+    policies = params.get("policies", ",".join(DEFAULT_POLICIES))
+    if isinstance(policies, str):
+        policies = tuple(p.strip() for p in policies.split(",") if p.strip())
+    unknown = [p for p in policies if p not in BUILTIN_POLICIES]
+    if unknown:
+        raise DataError(
+            f"unknown policies {unknown}; "
+            f"built-ins: {', '.join(BUILTIN_POLICIES)}"
+        )
+    if not policies:
+        raise DataError("need at least one policy")
+    sla_level = float(params.get("sla_level", DEFAULT_SLA_LEVEL))
+    if not 0.0 < sla_level <= 1.0:
+        raise DataError(f"sla_level must be in (0, 1], got {sla_level}")
+    decide_every = int(params.get("decide_every_days",
+                                  DEFAULT_DECIDE_EVERY_DAYS))
+
+    artifacts = getattr(context, "artifacts", None)
+    defaults = (
+        policies == DEFAULT_POLICIES
+        and sla_level == DEFAULT_SLA_LEVEL
+        and decide_every == DEFAULT_DECIDE_EVERY_DAYS
+    )
+    if (
+        defaults
+        and artifacts is not None
+        and artifacts.has_stage(autonomics_stage("compare"))
+    ):
+        return artifacts.get(autonomics_stage("compare"))
+    return compute_autonomics_payload(
+        context.result.config,
+        policies=policies,
+        sla_level=sla_level,
+        decide_every_days=decide_every,
+    )

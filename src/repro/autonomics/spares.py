@@ -1,0 +1,105 @@
+"""Operational spare inventory with procurement lead times.
+
+Spares are not simulated hardware: ordering them never perturbs the
+failure realization, which is exactly what lets the what-if engine
+replay the same seed under different spare policies and attribute every
+outcome delta to the policy.  The ledger therefore lives on the
+analysis side: it books :class:`~repro.autonomics.actions.OrderSpares`
+actions, applies arrivals as the run's frontier passes their lead
+time, and reconstructs the full per-rack provisioning trajectory for
+SLA-attainment and TCO scoring afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class SpareLedger:
+    """Per-rack spare-server bookkeeping over one controlled run.
+
+    Args:
+        capacity: per-rack server counts, shape ``(n_racks,)``.
+        n_days: observation-window length.
+        initial_fraction: provisioned spare fraction at day 0 (scalar
+            or per-rack array).
+    """
+
+    def __init__(
+        self,
+        capacity: np.ndarray,
+        n_days: int,
+        initial_fraction: float | np.ndarray = 0.0,
+    ):
+        self.capacity = np.asarray(capacity, dtype=np.int64)
+        self.n_racks = len(self.capacity)
+        self.n_days = int(n_days)
+        fraction = np.broadcast_to(
+            np.asarray(initial_fraction, dtype=float), (self.n_racks,)
+        )
+        if (fraction < 0).any():
+            raise ConfigError("initial spare fraction must be >= 0")
+        #: Spare servers on hand right now, per rack (fractional seeds
+        #: round down: you cannot rack half a server).
+        self.spares = np.floor(fraction * self.capacity).astype(np.int64)
+        self._initial = self.spares.copy()
+        #: Pending orders: (arrival_day, rack_index, n_servers).
+        self.pending: list[tuple[int, int, int]] = []
+        #: Every booked order: (order_day, arrival_day, rack, n_servers).
+        self.orders: list[tuple[int, int, int, int]] = []
+
+    def book(self, order_day: int, rack_index: int, n_servers: int,
+             lead_time_days: int) -> None:
+        """Book one spare order; it arrives after the lead time."""
+        if not 0 <= rack_index < self.n_racks:
+            raise ConfigError(
+                f"rack_index {rack_index} outside [0, {self.n_racks})"
+            )
+        arrival = order_day + lead_time_days
+        self.pending.append((arrival, rack_index, n_servers))
+        self.orders.append((order_day, arrival, rack_index, n_servers))
+
+    def racks_on_order(self) -> set[int]:
+        """Racks with at least one undelivered order (for cooldowns)."""
+        return {rack for _, rack, _ in self.pending}
+
+    def deliver_until(self, day: int) -> list[tuple[int, int, int]]:
+        """Apply every arrival with ``arrival_day <= day``.
+
+        Returns the delivered (arrival_day, rack, n_servers) triples in
+        booking order.
+        """
+        delivered = [order for order in self.pending if order[0] <= day]
+        if delivered:
+            self.pending = [order for order in self.pending if order[0] > day]
+            for _, rack, n_servers in delivered:
+                self.spares[rack] += n_servers
+        return delivered
+
+    def fraction_now(self) -> np.ndarray:
+        """Current provisioned spare fraction per rack."""
+        return self.spares / np.maximum(self.capacity, 1)
+
+    def spares_trajectory(self) -> np.ndarray:
+        """Provisioned spare servers per ``(day, rack)`` over the run.
+
+        Reconstructed from the order book: each order contributes from
+        its arrival day on.  Shape ``(n_days, n_racks)``.
+        """
+        trajectory = np.tile(self._initial, (self.n_days, 1))
+        for _, arrival, rack, n_servers in self.orders:
+            if arrival < self.n_days:
+                trajectory[arrival:, rack] += n_servers
+        return trajectory
+
+    def mean_fraction(self) -> float:
+        """Fleet-wide time-averaged spare fraction (the TCO input)."""
+        trajectory = self.spares_trajectory()
+        total_capacity = float(self.capacity.sum())
+        return float(trajectory.sum(axis=1).mean() / max(total_capacity, 1.0))
+
+    def total_ordered(self) -> int:
+        """Total spare servers ordered over the run."""
+        return sum(n for _, _, _, n in self.orders)

@@ -13,6 +13,9 @@ Commands:
   metrics, ``score`` renders the full evaluation (ranking + proactive
   TCO vs reactive), ``follow`` replays the stream with the live
   predictive monitor attached and prints its alerts.
+* ``autonomics`` — closed-loop controllers over a stepping simulation
+  session: run one policy and print its SLA/TCO score, or ``--compare``
+  the built-in policies on the same seed.
 * ``lint``     — run the domain-aware static checks (``repro.staticcheck``)
   over the package (or given paths); exit 1 on new findings.
 * ``list``     — list the registered experiments (``--format json`` adds
@@ -409,6 +412,46 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_autonomics(args: argparse.Namespace) -> int:
+    from .autonomics import make_controller, run_policy, train_shakedown_predictor
+    from .autonomics.experiment import (
+        DEFAULT_POLICIES,
+        compute_autonomics_payload,
+        render_autonomics,
+    )
+
+    config = _build_config(args)
+    if args.compare:
+        policies = tuple(dict.fromkeys(args.policy or ())) or DEFAULT_POLICIES
+        payload = compute_autonomics_payload(config, policies=policies)
+        print(render_autonomics(payload))
+        verdict = payload.get("verdict")
+        if verdict is not None and not (
+            verdict["predictive_beats_reactive_sla"]
+            and verdict["predictive_tco_leq_reactive"]
+        ):
+            return 1
+        return 0
+
+    policy_id = args.policy[0] if args.policy else "predictive"
+    controller = make_controller(policy_id)
+    predictor = None
+    if controller.wants_predictions:
+        predictor = train_shakedown_predictor(config, horizon_days=args.horizon)
+    outcome = run_policy(config, controller, predictor=predictor)
+    row = outcome.score_row()
+    print(f"policy {row['policy']}: SLA attainment "
+          f"{row['sla_attainment']:.2%} "
+          f"({row['breach_rack_days']} breach rack-days), "
+          f"TCO {row['tco_units']:.0f} units")
+    print(f"  spares ordered {row['spare_servers_ordered']} "
+          f"(mean fraction {row['mean_spare_fraction']:.3f}), "
+          f"{row['n_interventions']} interventions, "
+          f"{row['failures_prevented']:.1f} failures prevented")
+    print(f"  {row['n_alerts']} alerts -> {row['n_actions']} actions")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .staticcheck import (
         all_rules, lint_paths, load_baseline, render_json, render_sarif,
@@ -681,6 +724,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="follow-mode alert threshold on the failure "
                               "score, in (0, 1) (default 0.6)")
     predict.set_defaults(func=_cmd_predict)
+
+    autonomics = commands.add_parser(
+        "autonomics",
+        help="closed-loop controllers over a stepping simulation session",
+    )
+    _add_sim_arguments(autonomics)
+    autonomics.add_argument(
+        "--policy", action="append", default=None,
+        choices=("null", "reactive", "predictive", "threshold"),
+        help="policy to run (repeatable; default: predictive, or the "
+             "null/reactive/predictive shootout with --compare)")
+    autonomics.add_argument(
+        "--horizon", type=int, default=3,
+        help="prediction horizon in days for the predictive policy's "
+             "shakedown-trained model (default 3)")
+    autonomics.add_argument(
+        "--compare", action="store_true",
+        help="replay the same seed under each policy and print the "
+             "scored shootout (exit 1 if the predictive controller "
+             "does not beat reactive on SLA at equal-or-lower TCO)")
+    autonomics.set_defaults(func=_cmd_autonomics, policy=None)
 
     lint = commands.add_parser(
         "lint",

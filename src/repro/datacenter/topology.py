@@ -339,3 +339,41 @@ class Fleet:
         """All racks assigned to ``workload``."""
         self.workloads.get(workload)
         return [rack for rack in self.racks if rack.workload == workload]
+
+    def swap_sku(self, rack_ids, sku_name: str) -> int:
+        """Re-SKU the named racks — the sanctioned inventory mutation
+        point for autonomics hardware-refresh actions.
+
+        Only drop-in refreshes are allowed: the replacement SKU must
+        house the same number of servers per rack, so rack capacities,
+        server indexing and any streaming inventory derived from the
+        fleet stay valid mid-run.  The cached :class:`FleetArrays` view
+        is invalidated; callers re-derive dependent models afterwards.
+
+        Returns the number of racks swapped.
+        """
+        import dataclasses
+
+        spec = self.skus.get(sku_name)
+        wanted = set(rack_ids)
+        if not wanted:
+            return 0
+        swapped = 0
+        for dc in self.datacenters:
+            for index, rack in enumerate(dc.racks):
+                if rack.rack_id not in wanted:
+                    continue
+                if spec.servers_per_rack != rack.sku.servers_per_rack:
+                    raise ConfigError(
+                        f"{rack.rack_id}: refresh SKU {spec.name!r} houses "
+                        f"{spec.servers_per_rack} servers/rack, rack has "
+                        f"{rack.sku.servers_per_rack}; only drop-in "
+                        "refreshes are supported"
+                    )
+                dc.racks[index] = dataclasses.replace(rack, sku=spec)
+                wanted.discard(rack.rack_id)
+                swapped += 1
+        if wanted:
+            raise ConfigError(f"unknown rack ids for SKU swap: {sorted(wanted)}")
+        self._arrays = None
+        return swapped

@@ -157,3 +157,38 @@ class EnvironmentSeries:
         if not 0 <= day_index < self.n_days:
             raise ConfigError(f"day_index {day_index} outside [0, {self.n_days})")
         return self.temp_f[day_index], self.rh[day_index]
+
+    def shift_setpoints(
+        self,
+        start_day: int,
+        temp_delta_f: float = 0.0,
+        rh_delta: float = 0.0,
+        rack_indices: "np.ndarray | list[int] | None" = None,
+    ) -> None:
+        """Shift true conditions from ``start_day`` on — the sanctioned
+        mutation point for autonomics setpoint moves.
+
+        Models the cooling plant retargeting its supply-air setpoints:
+        every affected rack's inlet temperature (and/or humidity) moves
+        by the given delta for all days at or after ``start_day``.  RH
+        stays clipped to the physical [2, 99] band.  Callers (the
+        simulation session) must only shift days whose failure draws
+        have not yet been realized.
+        """
+        if not 0 <= start_day <= self.n_days:
+            raise ConfigError(
+                f"start_day {start_day} outside [0, {self.n_days}]"
+            )
+        cols: "np.ndarray | slice"
+        if rack_indices is None:
+            cols = slice(None)
+        else:
+            cols = np.asarray(rack_indices, dtype=np.int64)
+            if cols.size and (cols.min() < 0 or cols.max() >= self.n_racks):
+                raise ConfigError(
+                    f"rack_indices outside [0, {self.n_racks})"
+                )
+        self.temp_f[start_day:, cols] += temp_delta_f
+        self.rh[start_day:, cols] = np.clip(
+            self.rh[start_day:, cols] + rh_delta, 2.0, 99.0,
+        )

@@ -20,6 +20,8 @@ render`` is spelled out as :class:`~repro.pipeline.core.Stage` objects:
 * ``predict:{features,train,score}`` — the failure-prediction sub-DAG;
   the snapshot dataset and fitted model stay memory-only while the
   scored evaluation payload persists as JSON;
+* ``autonomics:compare`` — the closed-loop policy shootout (same seed
+  replayed under each built-in controller), persisted as JSON;
 * ``render:{experiment}`` — one text artifact per registry entry, with
   dependencies taken from the experiment's declared ``stages``.
 
@@ -32,6 +34,10 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
+from ..autonomics.experiment import (
+    DEFAULT_POLICIES,
+    compute_autonomics_payload,
+)
 from ..cache import config_fingerprint
 from ..decisions.component_spares import ComponentProvisioner
 from ..decisions.spares import SpareProvisioner
@@ -50,6 +56,7 @@ from ..reporting.context import (
     SIMULATE_STAGE,
     SUMMARY_STAGE,
     AnalysisContext,
+    autonomics_stage,
     component_provisioner_stage,
     fielddata_stage,
     predict_stage,
@@ -252,6 +259,33 @@ def _predict_stages() -> Iterable[Stage]:
     )
 
 
+def _autonomics_stages(config: "SimulationConfig") -> Iterable[Stage]:
+    """The closed-loop policy shootout as a content-addressed artifact.
+
+    The what-if engine replays the *config* (fresh sessions per
+    policy), so like the root simulate stage this one is keyed by the
+    config fingerprint and carries the config at runtime rather than
+    depending on the batch result.
+    """
+    def run_compare(inputs: dict, ctx: StageContext) -> dict:
+        return compute_autonomics_payload(ctx.runtime["config"])
+
+    yield Stage(
+        autonomics_stage("compare"), run_compare,
+        fingerprint_inputs={
+            "config": config_fingerprint(config),
+            "policies": list(DEFAULT_POLICIES),
+        },
+        runtime={"config": config},
+        code=(
+            "repro.autonomics.whatif",
+            "repro.autonomics.controller",
+            "repro.autonomics.experiment",
+        ),
+        codec="json",
+    )
+
+
 def _render_stage(experiment: Experiment,
                   render_params: Mapping[str, Any] | None) -> Stage:
     def run(inputs: dict, ctx: StageContext) -> str:
@@ -280,6 +314,7 @@ def analysis_stages(config: "SimulationConfig") -> list[Stage]:
     stages.append(_component_provisioner_stage(24.0))
     stages.extend(fielddata_payload_stage(s) for s in DEFAULT_SEVERITIES)
     stages.extend(_predict_stages())
+    stages.extend(_autonomics_stages(config))
     return stages
 
 

@@ -56,6 +56,11 @@ def predict_stage(step: str) -> str:
     return f"predict:{step}"
 
 
+def autonomics_stage(step: str) -> str:
+    """Stage name of one closed-loop autonomics step (e.g. compare)."""
+    return f"autonomics:{step}"
+
+
 class AnalysisContext:
     """Caches derived datasets for one simulation run.
 

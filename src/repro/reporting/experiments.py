@@ -19,6 +19,7 @@ from ..errors import DataError
 from . import figures, tables
 from .context import (
     AnalysisContext,
+    autonomics_stage,
     component_provisioner_stage,
     fielddata_stage,
     predict_stage,
@@ -87,6 +88,14 @@ def _predict(context: AnalysisContext) -> str:
     from ..predict.experiment import predict_experiment
 
     return predict_experiment(context)
+
+
+def _autonomics(context: AnalysisContext) -> str:
+    # Function-level import of a higher layer, allowed by the explicit
+    # exception list in staticcheck.contract.LAYERING_EXCEPTIONS.
+    from ..autonomics.experiment import autonomics_experiment
+
+    return autonomics_experiment(context)
 
 
 _TABLES = ("repro.reporting.tables",)
@@ -181,6 +190,11 @@ def _registry() -> list[Experiment]:
                        predict_stage(s) for s in ("features", "train", "score")
                    ),
                    code=("repro.predict.experiment",)),
+        Experiment("autonomics", "Closed-loop policy shootout: reactive "
+                   "vs predictive controllers on one seed",
+                   _autonomics,
+                   stages=(autonomics_stage("compare"),),
+                   code=("repro.autonomics.experiment",)),
     ]
 
 

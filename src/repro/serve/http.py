@@ -13,6 +13,8 @@ GET       /v1/fleets                      list fleets (``?tenant=`` to scope)
 GET       /v1/fleets/{ref}/q1             Q1 spare provisioning
 GET       /v1/fleets/{ref}/q2             Q2 SKU ranking
 GET       /v1/fleets/{ref}/q3             Q3 operating ranges
+GET       /v1/fleets/{ref}/predict        online failure-prediction evaluation
+GET       /v1/fleets/{ref}/autonomics     closed-loop policy shootout
 GET       /v1/fleets/{ref}/events         event-trace window (offset/limit)
 ========  ==============================  =======================================
 
@@ -247,7 +249,7 @@ class ServeApp:
                             f"no route for {request.path}")
         self._expect(request.method, "GET")
         tenant = request.tenant or "public"
-        if leaf in ("q1", "q2", "q3", "predict"):
+        if leaf in ("q1", "q2", "q3", "predict", "autonomics"):
             payload = await self.service.query(
                 fleet_ref, leaf, request.query, tenant=tenant,
             )
@@ -261,7 +263,7 @@ class ServeApp:
             return 200, dict(payload, schema=1)
         raise HttpError(404, "not_found",
                         f"unknown query {leaf!r}; "
-                        "try q1, q2, q3, predict or events")
+                        "try q1, q2, q3, predict, autonomics or events")
 
     def _expect(self, method: str, allowed: str) -> None:
         if method != allowed:

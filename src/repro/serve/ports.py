@@ -29,9 +29,10 @@ from typing import Any, Mapping
 
 #: Query kinds the service answers.  ``q1``/``q2``/``q3`` mirror the
 #: paper's operator questions; ``predict`` serves the online
-#: failure-prediction evaluation; ``events`` materializes the flattened
-#: event trace for the event-source port to slice.
-QUERY_KINDS = ("q1", "q2", "q3", "predict", "events")
+#: failure-prediction evaluation; ``autonomics`` serves the closed-loop
+#: policy shootout; ``events`` materializes the flattened event trace
+#: for the event-source port to slice.
+QUERY_KINDS = ("q1", "q2", "q3", "predict", "autonomics", "events")
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,10 @@ canonical parameter tuple and answered as a JSON-safe payload:
 * ``predict`` — online failure prediction (ISSUE 8): ranking metrics,
   one proactive-vs-reactive operating point and the top risk list from
   the ``predict:score`` evaluation payload.
+* ``autonomics`` — the closed-loop policy shootout: the same seed
+  replayed under each requested controller, scored on SLA attainment
+  and TCO (the ``autonomics:compare`` payload when the defaults are
+  requested).
 * ``events`` — materializes the fleet's flattened event trace (the
   ``event_blocks`` stage) so the event-source port can slice it.
 
@@ -46,6 +50,11 @@ QUERY_DEFAULTS: dict[str, dict[str, Any]] = {
     "q2": {"peak_quantile": 0.999},
     "q3": {"dc": ""},  # "" = every datacenter in the fleet
     "predict": {"horizon_days": 3.0, "act_fraction": 0.05, "top": 10.0},
+    "autonomics": {
+        "policies": "null,reactive,predictive",
+        "sla_level": 0.95,
+        "decide_every_days": 7.0,
+    },
     "events": {},
 }
 
@@ -106,6 +115,19 @@ def parse_query(kind: str, raw: Mapping[str, Any] | None = None) -> Query:
             )
         if params["top"] < 1:
             raise DataError(f"predict: top must be >= 1, got {params['top']}")
+    if kind == "autonomics":
+        if not 0.0 < params["sla_level"] <= 1.0:
+            raise DataError(
+                f"autonomics: sla_level must be in (0, 1], "
+                f"got {params['sla_level']}"
+            )
+        if params["decide_every_days"] < 1:
+            raise DataError(
+                f"autonomics: decide_every_days must be >= 1, "
+                f"got {params['decide_every_days']}"
+            )
+        if not params["policies"].strip(","):
+            raise DataError("autonomics: policies must name at least one policy")
     return Query(kind=kind, params=tuple(sorted(params.items())))
 
 
@@ -255,11 +277,21 @@ def predict_payload(context: AnalysisContext, params: Mapping[str, Any]) -> dict
     return json_safe(predict_query_payload(context, dict(params)))
 
 
+def autonomics_payload(
+    context: AnalysisContext, params: Mapping[str, Any],
+) -> dict:
+    """Autonomics: the policy shootout for the requested controllers."""
+    from ..autonomics.experiment import autonomics_query_payload
+
+    return json_safe(autonomics_query_payload(context, dict(params)))
+
+
 _PAYLOAD_BUILDERS = {
     "q1": q1_payload,
     "q2": q2_payload,
     "q3": q3_payload,
     "predict": predict_payload,
+    "autonomics": autonomics_payload,
 }
 
 #: Source modules whose edits must invalidate cached answers, per kind.
@@ -271,6 +303,12 @@ _QUERY_CODE: dict[str, tuple[str, ...]] = {
         "repro.serve.queries",
         "repro.predict.scoring",
         "repro.predict.experiment",
+    ),
+    "autonomics": (
+        "repro.serve.queries",
+        "repro.autonomics.whatif",
+        "repro.autonomics.controller",
+        "repro.autonomics.experiment",
     ),
 }
 

@@ -15,7 +15,8 @@ import functools
 #: They may consume simulator *outputs* (tickets, sensor streams,
 #: inventory) but never the planted hazard model.
 ANALYSIS_PACKAGES: frozenset[str] = frozenset(
-    {"analysis", "decisions", "predict", "reporting", "stream", "telemetry"}
+    {"analysis", "autonomics", "decisions", "predict", "reporting", "stream",
+     "telemetry"}
 )
 
 #: Packages whose dict keys for tickets/inventory must come from
@@ -42,6 +43,13 @@ RNG_HELPER_MODULES: frozenset[str] = frozenset({"repro.rng"})
 #: ground-truth → observable boundary, not a convenience.
 TAINT_BOUNDARY: frozenset[str] = frozenset({
     "repro.failures.engine:simulate",
+    # The stepping session is the same projection, released
+    # incrementally: each step's ticket chunk (and the running prefix /
+    # final result) is operator-visible field data, so taint stops at
+    # these return values exactly as it does at batch ``simulate``.
+    "repro.failures.engine:SimulationSession.step",
+    "repro.failures.engine:SimulationSession.tickets_so_far",
+    "repro.failures.engine:SimulationSession.result",
 })
 
 #: Call refs whose result depends on when/where the process runs —
@@ -113,6 +121,7 @@ PACKAGE_LAYER_ORDER: tuple[str, ...] = (
     "stream.blocks",
     "stream",
     "predict",
+    "autonomics",
     "pipeline",
     "staticcheck",
     "serve",
@@ -128,6 +137,7 @@ LAYERING_EXCEPTIONS: frozenset[tuple[str, str]] = frozenset({
     ("repro.reporting.experiments", "fielddata"),
     ("repro.reporting.experiments", "stream"),
     ("repro.reporting.experiments", "predict"),
+    ("repro.reporting.experiments", "autonomics"),
     ("repro.reporting.sweeps", "pipeline"),
     # airflow's feature marks come from telemetry.schema, a leaf
     # declarations module with no further repro imports.

@@ -92,8 +92,11 @@ class StreamAnalyzer:
         ``_update_block_indexed(block)`` and ``finish()`` plugs in; it
         sees *every* event (sensors included — feature-based monitors
         need them), and its alerts sort after the built-in triggers'
-        within an event.  Must be attached before any event is fed and
-        cannot be checkpointed (see :mod:`repro.stream.checkpoint`).
+        within an event.  Must be attached before any event is fed.
+        Monitors that also expose ``state_arrays()``/``meta()``
+        checkpoint with the analyzer; resuming hands each one's state
+        to a caller-supplied factory (see
+        :func:`repro.stream.checkpoint.load_checkpoint`).
         """
         if self.events_seen or self.finished:
             raise DataError("attach monitors before feeding the stream")

@@ -13,6 +13,16 @@ order and timestamps — is bit-identical to a single uninterrupted pass.
 The analyzer enforces the seam itself (it refuses events whose ``seq``
 does not match its position), and the fingerprint check refuses resumes
 against a different fleet.
+
+Attached extra monitors (e.g. a
+:class:`~repro.predict.monitor.PredictiveMonitor`) checkpoint too:
+each one's flat arrays land under an indexed ``extra{i}.`` prefix and
+its type name is recorded in the metadata.  What the bundle does *not*
+carry is anything the monitor holds by reference rather than by state
+— a fitted model, most prominently — so :func:`load_checkpoint` takes
+one factory per extra monitor that closes over those references and
+rebuilds the monitor from its arrays + metadata (see
+``PredictiveMonitor.from_state`` for the canonical shape).
 """
 
 from __future__ import annotations
@@ -68,12 +78,13 @@ def save_checkpoint(
     """
     if analyzer.finished:
         raise DataError("cannot checkpoint a finished analyzer")
-    if analyzer.extra_monitors:
-        raise DataError(
-            "cannot checkpoint an analyzer with attached extra monitors; "
-            "checkpoint their state separately (predictive monitors carry "
-            "a fitted model the bundle format does not serialize)"
-        )
+    for index, extra in enumerate(analyzer.extra_monitors):
+        if not (hasattr(extra, "state_arrays") and hasattr(extra, "meta")):
+            raise DataError(
+                f"extra monitor #{index} "
+                f"({type(extra).__name__}) does not expose "
+                "state_arrays()/meta() and cannot be checkpointed"
+            )
     path = pathlib.Path(path)
     arrays: dict[str, np.ndarray] = {}
     metas: dict[str, dict] = {}
@@ -91,6 +102,10 @@ def save_checkpoint(
         add("monitor", analyzer.monitor.state_arrays(), analyzer.monitor.meta())
     if analyzer.drift is not None:
         add("drift", analyzer.drift.state_arrays(), analyzer.drift.meta())
+    extras = []
+    for index, extra in enumerate(analyzer.extra_monitors):
+        add(f"extra{index}", extra.state_arrays(), extra.meta())
+        extras.append({"type": type(extra).__name__})
 
     meta = {
         "schema": STREAM_CHECKPOINT_SCHEMA,
@@ -104,6 +119,7 @@ def save_checkpoint(
         "sla_level": analyzer.sla.level,
         "alerts": [_alert_to_json(alert) for alert in analyzer.alerts],
         "parts": metas,
+        "extras": extras,
     }
     arrays["meta_json"] = np.frombuffer(
         json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8,
@@ -136,11 +152,23 @@ def checkpoint_meta(path: str | pathlib.Path) -> dict:
 
 def load_checkpoint(
     path: str | pathlib.Path, inventory: StreamInventory,
+    extra_monitor_factories=None,
 ) -> StreamAnalyzer:
     """Rebuild an analyzer from a bundle, verified against ``inventory``.
 
     The returned analyzer sits exactly at ``events_seen``; feed it the
     stream suffix (``skip=analyzer.events_seen``) to continue.
+
+    Args:
+        path: the ``.npz`` bundle written by :func:`save_checkpoint`.
+        inventory: the stream's rack geometry (fingerprint-checked).
+        extra_monitor_factories: one callable per extra monitor in the
+            bundle, in attach order.  Each receives ``(arrays, meta)``
+            — the monitor's flat state arrays and its JSON metadata —
+            and returns the rebuilt monitor; the factory supplies
+            whatever the bundle does not carry (e.g. the fitted model:
+            ``lambda a, m: PredictiveMonitor.from_state(inv, model, a,
+            m)``).  Required exactly when the bundle has extras.
     """
     path = pathlib.Path(path)
     meta = checkpoint_meta(path)
@@ -151,6 +179,17 @@ def load_checkpoint(
             f"{inventory.fingerprint()})"
         )
     parts = meta["parts"]
+    extras_meta = meta.get("extras", [])
+    factories = list(extra_monitor_factories or [])
+    if len(factories) != len(extras_meta):
+        kinds = [extra["type"] for extra in extras_meta]
+        raise DataError(
+            f"{path}: bundle carries {len(extras_meta)} extra "
+            f"monitor(s) {kinds} but {len(factories)} factory(ies) "
+            "were supplied; pass one extra_monitor_factories entry per "
+            "attached monitor, in attach order"
+        )
+    prefixes = list(_PARTS) + [f"extra{i}" for i in range(len(extras_meta))]
     with np.load(path) as bundle:
         arrays = {
             prefix: {
@@ -158,7 +197,7 @@ def load_checkpoint(
                 for key in bundle.files
                 if key.startswith(f"{prefix}.")
             }
-            for prefix in _PARTS
+            for prefix in prefixes
         }
 
     analyzer = StreamAnalyzer(
@@ -186,6 +225,14 @@ def load_checkpoint(
     if "drift" in parts:
         analyzer.drift = RateDriftDetector.from_state(
             arrays["drift"], parts["drift"],
+        )
+    for index, factory in enumerate(factories):
+        prefix = f"extra{index}"
+        # Restored directly (not via attach_monitor, which refuses a
+        # mid-stream analyzer): the monitor's own state already sits at
+        # the checkpoint position.
+        analyzer.extra_monitors.append(
+            factory(arrays[prefix], parts[prefix]),
         )
     analyzer.events_seen = int(meta["events_seen"])
     analyzer.blocks_seen = int(meta.get("blocks_seen", 0))

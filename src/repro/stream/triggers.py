@@ -142,6 +142,26 @@ class SlaRiskMonitor:
         self.breached = np.zeros(inventory.n_racks, dtype=bool)
         self.alerts_emitted = 0
 
+    def set_spare_fraction(self, spare_fraction: float | np.ndarray) -> None:
+        """Retarget the provisioned spare fraction mid-stream.
+
+        The closed-loop mutation point: when delivered spare orders
+        change a rack's provisioning, the monitor's breach threshold
+        must follow.  Gauge state (active tickets, down counts) is
+        untouched; breach hysteresis re-evaluates naturally on the next
+        event, so a rack that the new provisioning covers simply stops
+        alerting.
+        """
+        fraction = np.broadcast_to(
+            np.asarray(spare_fraction, dtype=float),
+            (self.inventory.n_racks,),
+        ).copy()
+        if (fraction < 0).any():
+            raise DataError("spare_fraction must be >= 0")
+        self.spare_fraction = fraction
+        capacity = self.inventory.n_servers.astype(float)
+        self.allowed = fraction * capacity + self.sla.shortfall * capacity
+
     def _tracks(self, event: Event) -> bool:
         if event.false_positive:
             return False

@@ -83,7 +83,7 @@ class TestClusterHelpers:
 class TestRegistryRunAll:
     def test_run_all_renders_every_experiment(self, small_context):
         rendered = run_all(small_context)
-        assert len(rendered) == 25
+        assert len(rendered) == 26
         assert all(isinstance(text, str) and text for text in rendered.values())
 
 

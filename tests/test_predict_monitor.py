@@ -13,6 +13,7 @@ from repro.stream import (
     StreamInventory,
     blocks_from_result,
     flatten_result,
+    load_checkpoint,
     save_checkpoint,
 )
 
@@ -134,13 +135,15 @@ class TestAnalyzerIntegration:
             analyzer.attach_monitor(
                 PredictiveMonitor(inventory, model))
 
-    def test_checkpoint_refuses_extra_monitors(self, inventory, model,
-                                               tmp_path):
+    def test_checkpoint_requires_factories_for_extra_monitors(
+            self, inventory, model, tmp_path):
         analyzer = StreamAnalyzer(inventory)
         analyzer.attach_monitor(
             PredictiveMonitor(inventory, model))
-        with pytest.raises(DataError, match="extra monitors"):
-            save_checkpoint(analyzer, tmp_path / "state.npz")
+        path = tmp_path / "state.npz"
+        save_checkpoint(analyzer, path)
+        with pytest.raises(DataError, match="PredictiveMonitor"):
+            load_checkpoint(path, inventory)
 
 
 class TestServePredict:

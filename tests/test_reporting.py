@@ -151,7 +151,7 @@ class TestRegistry:
     def test_all_tables_and_figures_registered(self):
         expected = {f"table{i}" for i in range(1, 5)} | {
             f"fig{i:02d}" for i in range(1, 19)
-        } | {"fielddata", "streaming", "predict"}
+        } | {"fielddata", "streaming", "predict", "autonomics"}
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment_rejected(self):

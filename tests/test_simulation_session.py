@@ -1,0 +1,237 @@
+"""Stepping simulation sessions: the determinism gate and mutation points.
+
+The hard contract: a session stepped under a no-op controller — any
+partition of the horizon into ``step(n)`` calls — produces the exact
+byte-for-byte ticket stream of batch ``simulate()``.  Golden-tested on
+fixed partitions (including one crossing the 365-day generation-chunk
+boundary) and property-tested on randomized partitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigError, SimulationError
+from repro.failures.engine import CHUNK_DAYS, SimulationSession, simulate
+
+#: Columns whose byte-for-byte equality defines "the same ticket log".
+TICKET_COLUMNS = (
+    "day_index", "start_hour_abs", "rack_index", "server_offset",
+    "fault_code", "false_positive", "repair_hours", "batch_id",
+)
+
+
+def assert_logs_equal(actual, expected):
+    assert len(actual) == len(expected)
+    for name in TICKET_COLUMNS:
+        a, b = getattr(actual, name), getattr(expected, name)
+        assert a.dtype == b.dtype, name
+        assert np.array_equal(a, b), name
+
+
+def stepped_log(config, partition):
+    """Concatenated per-step chunks for one partition of the horizon."""
+    session = SimulationSession(config)
+    chunks = []
+    for n in partition:
+        chunks.append(session.step(n))
+    assert session.exhausted
+    merged = {
+        name: np.concatenate([getattr(c, name) for c in chunks])
+        for name in TICKET_COLUMNS
+    }
+    return session, merged
+
+
+class TestNoOpBitIdentity:
+    """The gate: no-op stepped session == batch simulate, exactly."""
+
+    def test_result_identical_across_chunk_boundary(self):
+        # 400 days crosses the CHUNK_DAYS=365 generation boundary, so
+        # this exercises the buffered-chunk release path end to end.
+        assert CHUNK_DAYS == 365
+        config = SimulationConfig.small(seed=7, scale=0.05, n_days=400)
+        batch = simulate(config)
+        session, merged = stepped_log(config, (1, 6, 100, 258, 30, 5))
+        result = session.result()
+        assert_logs_equal(result.tickets, batch.tickets)
+        # The concatenated step chunks are the same stream, pre-sorted
+        # per chunk window (day_index is the most significant key).
+        for name in TICKET_COLUMNS:
+            assert np.array_equal(merged[name], getattr(batch.tickets, name))
+        # Substrate equality too: same environment and observed BMS.
+        assert np.array_equal(result.environment.temp_f, batch.environment.temp_f)
+        assert np.array_equal(result.bms.temp_f, batch.bms.temp_f,
+                              equal_nan=True)
+
+    def test_single_full_step_is_batch(self, tiny_session_config):
+        batch = simulate(tiny_session_config)
+        session = SimulationSession(tiny_session_config)
+        chunk = session.step()
+        assert_logs_equal(chunk, batch.tickets)
+        assert_logs_equal(session.result().tickets, batch.tickets)
+
+    def test_tickets_so_far_is_stable_prefix(self, tiny_session_config):
+        session = SimulationSession(tiny_session_config)
+        session.step(40)
+        early = session.tickets_so_far()
+        session.step()
+        late = session.tickets_so_far()
+        n = len(early)
+        for name in TICKET_COLUMNS:
+            assert np.array_equal(getattr(late, name)[:n],
+                                  getattr(early, name))
+
+
+@pytest.fixture(scope="module")
+def tiny_session_config():
+    return SimulationConfig.small(seed=11, scale=0.05, n_days=90)
+
+
+@pytest.fixture(scope="module")
+def tiny_batch(tiny_session_config):
+    return simulate(tiny_session_config)
+
+
+def partitions(n_days):
+    """Random partitions of ``n_days`` into positive step sizes."""
+    return st.integers(0, 2**32 - 1).map(
+        lambda seed: _partition_from_seed(seed, n_days)
+    )
+
+
+def _partition_from_seed(seed, n_days):
+    rng = np.random.default_rng(seed)
+    parts = []
+    remaining = n_days
+    while remaining:
+        take = int(rng.integers(1, remaining + 1))
+        parts.append(take)
+        remaining -= take
+    return tuple(parts)
+
+
+class TestPartitionProperty:
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(partition=partitions(90))
+    def test_any_partition_matches_batch(
+        self, partition, tiny_session_config, tiny_batch,
+    ):
+        _, merged = stepped_log(tiny_session_config, partition)
+        for name in TICKET_COLUMNS:
+            assert np.array_equal(merged[name],
+                                  getattr(tiny_batch.tickets, name)), name
+
+    @pytest.mark.parametrize("partition", [
+        (90,),                      # one full-horizon step
+        (1,) * 90,                  # day-by-day
+        (89, 1), (1, 89), (45, 45), (7,) * 12 + (6,),
+    ])
+    def test_named_partitions(self, partition, tiny_session_config, tiny_batch):
+        _, merged = stepped_log(tiny_session_config, partition)
+        for name in TICKET_COLUMNS:
+            assert np.array_equal(merged[name],
+                                  getattr(tiny_batch.tickets, name)), name
+
+
+class TestSessionApi:
+    def test_step_past_end_raises(self, tiny_session_config):
+        session = SimulationSession(tiny_session_config)
+        session.step()
+        assert session.exhausted
+        with pytest.raises(SimulationError):
+            session.step(1)
+
+    def test_step_zero_raises(self, tiny_session_config):
+        session = SimulationSession(tiny_session_config)
+        with pytest.raises(SimulationError):
+            session.step(0)
+
+    def test_result_before_exhaustion_raises(self, tiny_session_config):
+        session = SimulationSession(tiny_session_config)
+        session.step(10)
+        with pytest.raises(SimulationError):
+            session.result()
+
+    def test_step_clamps_to_horizon(self, tiny_session_config):
+        session = SimulationSession(tiny_session_config)
+        session.step(80)
+        chunk = session.step(1000)
+        assert session.exhausted
+        assert (chunk.day_index >= 80).all()
+
+    def test_generation_frontier_is_chunked(self, tiny_session_config):
+        session = SimulationSession(tiny_session_config)
+        session.step(5)
+        # 90-day horizon, single 365-day chunk: everything realized.
+        assert session.generation_frontier == 90
+        assert session.day == 5
+
+
+class TestMutationPoints:
+    def test_setpoint_move_shifts_environment_and_bms(self):
+        config = SimulationConfig.small(seed=5, scale=0.05, n_days=60)
+        baseline = simulate(config)
+        session = SimulationSession(config)
+        session.step(30)
+        session.move_setpoints(temp_delta_f=-4.0)
+        session.step()
+        result = session.result()
+        # Generated chunks are realized up front (single chunk here), so
+        # the *past* stays identical and the shift applies from the
+        # generation frontier — the whole horizon was already drawn, so
+        # with a single chunk the move lands nowhere: physical actions
+        # take effect at the next chunk boundary only.
+        assert np.array_equal(result.environment.temp_f,
+                              baseline.environment.temp_f)
+
+    def test_setpoint_move_applies_at_chunk_boundary(self):
+        config = SimulationConfig.small(seed=5, scale=0.05, n_days=400)
+        baseline = simulate(config)
+        session = SimulationSession(config)
+        session.step(300)
+        session.move_setpoints(temp_delta_f=-4.0)
+        session.step()
+        result = session.result()
+        # Days before the second chunk (365) are untouched...
+        assert np.array_equal(result.environment.temp_f[:365],
+                              baseline.environment.temp_f[:365])
+        # ...and the second chunk runs 4°F cooler.
+        assert np.allclose(result.environment.temp_f[365:],
+                           baseline.environment.temp_f[365:] - 4.0)
+        # Observed BMS readings shift too (NaN dropouts stay NaN).
+        observed = result.bms.temp_f[365:]
+        base_observed = baseline.bms.temp_f[365:]
+        mask = np.isfinite(observed) & np.isfinite(base_observed)
+        assert mask.any()
+        assert np.allclose(observed[mask], base_observed[mask] - 4.0)
+
+    def test_sku_swap_validates_rack_ids(self, tiny_session_config):
+        session = SimulationSession(tiny_session_config)
+        sku_name = session.fleet.datacenters[0].racks[0].sku.name
+        # Mutations queue until the next chunk draw; the bad rack id
+        # surfaces there.
+        session.swap_sku(("no-such-rack",), sku_name)
+        with pytest.raises(ConfigError):
+            session.step(1)
+
+    def test_apply_after_exhaustion_raises(self, tiny_session_config):
+        from repro.autonomics.actions import MoveSetpoints
+
+        session = SimulationSession(tiny_session_config)
+        session.step()
+        with pytest.raises(SimulationError):
+            session.apply([MoveSetpoints(temp_delta_f=-1.0)])
+
+    def test_action_log_records_applied_actions(self, tiny_session_config):
+        from repro.autonomics.actions import MoveSetpoints
+
+        session = SimulationSession(tiny_session_config)
+        session.step(10)
+        action = MoveSetpoints(temp_delta_f=-1.0)
+        session.apply([action])
+        assert session.action_log == [(10, action)]

@@ -127,3 +127,104 @@ class TestRefusals:
         wrong_offset = flatten_result(tiny_run)  # starts at seq 0
         with pytest.raises(DataError, match="position"):
             clone.process(next(wrong_offset))
+
+
+@pytest.fixture(scope="module")
+def fitted_model(tiny_run):
+    from repro.predict import build_feature_dataset, train_predictor
+
+    dataset = build_feature_dataset(tiny_run, horizon_days=3)
+    model, _, _ = train_predictor(dataset, horizon_days=3)
+    return model
+
+
+class TestExtraMonitors:
+    """Checkpointing analyzers with attached extra monitors (ISSUE 10
+    satellite: resume with a PredictiveMonitor is bit-identical)."""
+
+    def _monitored_analyzer(self, inventory, model):
+        from repro.predict import PredictiveMonitor
+
+        analyzer = StreamAnalyzer(
+            inventory, sla=AvailabilitySla(0.95),
+            spare_fraction=0.02, drift=True,
+        )
+        analyzer.attach_monitor(
+            PredictiveMonitor(inventory, model, threshold=0.6),
+        )
+        return analyzer
+
+    def test_predictive_monitor_resume_bit_identical(
+        self, tiny_run, fitted_model, tmp_path,
+    ):
+        from repro.predict import PredictiveMonitor
+        from repro.stream import blocks_from_result
+
+        inventory = StreamInventory.from_result(tiny_run)
+        blocks = list(blocks_from_result(tiny_run))
+        cut = len(blocks) // 3
+
+        uninterrupted = self._monitored_analyzer(inventory, fitted_model)
+        for block in blocks:
+            uninterrupted.process_block(block)
+
+        first_leg = self._monitored_analyzer(inventory, fitted_model)
+        for block in blocks[:cut]:
+            first_leg.process_block(block)
+        path = save_checkpoint(first_leg, tmp_path / "p.npz")
+        resumed = load_checkpoint(path, inventory, [
+            lambda arrays, meta: PredictiveMonitor.from_state(
+                inventory, fitted_model, arrays, meta,
+            ),
+        ])
+        for block in blocks[cut:]:
+            resumed.process_block(block)
+
+        assert resumed.alerts == uninterrupted.alerts
+        assert np.array_equal(resumed.mu_matrix(),
+                              uninterrupted.mu_matrix())
+        restored = resumed.extra_monitors[0]
+        original = uninterrupted.extra_monitors[0]
+        assert np.array_equal(restored._flagged, original._flagged)
+        assert restored.alerts_emitted == original.alerts_emitted
+        assert resumed.summary() == uninterrupted.summary()
+
+    def test_extras_recorded_in_meta(self, tiny_run, fitted_model, tmp_path):
+        inventory = StreamInventory.from_result(tiny_run)
+        analyzer = self._monitored_analyzer(inventory, fitted_model)
+        analyzer.consume(flatten_result(tiny_run), max_events=200)
+        path = save_checkpoint(analyzer, tmp_path / "p.npz")
+        meta = checkpoint_meta(path)
+        assert meta["extras"] == [{"type": "PredictiveMonitor"}]
+
+    def test_missing_factory_refused(self, tiny_run, fitted_model, tmp_path):
+        inventory = StreamInventory.from_result(tiny_run)
+        analyzer = self._monitored_analyzer(inventory, fitted_model)
+        analyzer.consume(flatten_result(tiny_run), max_events=200)
+        path = save_checkpoint(analyzer, tmp_path / "p.npz")
+        with pytest.raises(DataError, match="PredictiveMonitor"):
+            load_checkpoint(path, inventory)
+
+    def test_surplus_factory_refused(self, half_streamed, tmp_path):
+        inventory, analyzer = half_streamed
+        path = save_checkpoint(analyzer, tmp_path / "c.npz")
+        with pytest.raises(DataError, match="0 extra"):
+            load_checkpoint(path, inventory,
+                            [lambda arrays, meta: None])
+
+    def test_stateless_extra_refused(self, tiny_run, tmp_path):
+        class OpaqueMonitor:
+            def update(self, event):
+                return []
+
+            def _update_block_indexed(self, block):
+                return []
+
+            def finish(self):
+                return []
+
+        analyzer = StreamAnalyzer(StreamInventory.from_result(tiny_run))
+        analyzer.attach_monitor(OpaqueMonitor())
+        analyzer.consume(flatten_result(tiny_run), max_events=50)
+        with pytest.raises(DataError, match="OpaqueMonitor"):
+            save_checkpoint(analyzer, tmp_path / "o.npz")
